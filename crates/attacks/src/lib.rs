@@ -1,0 +1,153 @@
+//! # ijvm-attacks — the paper's robustness evaluation
+//!
+//! Reproduces the eight attacks of §4.3, each run against both VM
+//! configurations:
+//!
+//! * `Shared` — the vulnerable baseline standing in for the Sun JVM:
+//!   shared statics/strings/`Class` objects, no accounting, no isolate
+//!   termination;
+//! * `Isolated` — I-JVM.
+//!
+//! | id | attack | Shared outcome | I-JVM outcome |
+//! |----|--------|----------------|---------------|
+//! | A1 | mutable object in static variable | victim NPEs | victim unaffected (per-isolate statics) |
+//! | A2 | lock a shared `Class` object | victim freezes | victim runs (per-isolate `Class` objects) |
+//! | A3 | memory exhaustion | victim OOMs, platform lost | accounting identifies attacker; kill + recover |
+//! | A4 | excessive object creation (GC churn) | platform thrashes | GC-activation counter identifies; kill + recover |
+//! | A5 | recursive thread creation | thread limit exhausted for all | per-isolate thread counter identifies; kill + recover |
+//! | A6 | standalone infinite loop | CPU stolen forever | CPU sampling identifies; kill stops the loop |
+//! | A7 | hanging thread (callee never returns) | caller stuck forever | killing the callee raises `StoppedIsolateException` in the caller |
+//! | A8 | no termination support | bundle cannot be unloaded | poisoned methods + stack patching stop it |
+//!
+//! Section 4.4's three accounting-imprecision experiments live in
+//! [`limits`].
+
+pub mod limits;
+pub mod scenarios;
+
+use ijvm_core::vm::IsolationMode;
+
+/// The eight attacks of §4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackId {
+    /// A1 — store mutable object in static variable.
+    A1StaticVariable,
+    /// A2 — synchronized method / synchronized call block.
+    A2SynchronizedLock,
+    /// A3 — memory exhaustion.
+    A3MemoryExhaustion,
+    /// A4 — exponential object creation (GC churn).
+    A4ObjectChurn,
+    /// A5 — recursive thread creation.
+    A5ThreadCreation,
+    /// A6 — standalone infinite loop.
+    A6InfiniteLoop,
+    /// A7 — hanging thread.
+    A7HangingThread,
+    /// A8 — lack of termination support.
+    A8Termination,
+}
+
+impl AttackId {
+    /// All eight attacks in paper order.
+    pub const ALL: [AttackId; 8] = [
+        AttackId::A1StaticVariable,
+        AttackId::A2SynchronizedLock,
+        AttackId::A3MemoryExhaustion,
+        AttackId::A4ObjectChurn,
+        AttackId::A5ThreadCreation,
+        AttackId::A6InfiniteLoop,
+        AttackId::A7HangingThread,
+        AttackId::A8Termination,
+    ];
+
+    /// Short label (`"A1"`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackId::A1StaticVariable => "A1",
+            AttackId::A2SynchronizedLock => "A2",
+            AttackId::A3MemoryExhaustion => "A3",
+            AttackId::A4ObjectChurn => "A4",
+            AttackId::A5ThreadCreation => "A5",
+            AttackId::A6InfiniteLoop => "A6",
+            AttackId::A7HangingThread => "A7",
+            AttackId::A8Termination => "A8",
+        }
+    }
+
+    /// Paper description of the attack.
+    pub fn description(self) -> &'static str {
+        match self {
+            AttackId::A1StaticVariable => "store mutable object in static variable",
+            AttackId::A2SynchronizedLock => "synchronized method or synchronized call block",
+            AttackId::A3MemoryExhaustion => "memory exhaustion",
+            AttackId::A4ObjectChurn => "exponential object creation",
+            AttackId::A5ThreadCreation => "recursive thread creation",
+            AttackId::A6InfiniteLoop => "standalone infinite loop",
+            AttackId::A7HangingThread => "hanging thread",
+            AttackId::A8Termination => "lack of termination support",
+        }
+    }
+}
+
+/// Result of running one attack under one VM configuration.
+#[derive(Debug, Clone)]
+pub struct AttackReport {
+    /// Which attack.
+    pub id: AttackId,
+    /// Which VM configuration.
+    pub mode: IsolationMode,
+    /// `true` when the platform was compromised (victim corrupted, frozen
+    /// or starved, and the situation could not be remediated).
+    pub compromised: bool,
+    /// Human-readable explanation of what happened.
+    pub detail: String,
+}
+
+/// Runs one attack under `mode`.
+pub fn run_attack(id: AttackId, mode: IsolationMode) -> AttackReport {
+    match id {
+        AttackId::A1StaticVariable => scenarios::a1_static_variable(mode),
+        AttackId::A2SynchronizedLock => scenarios::a2_synchronized_lock(mode),
+        AttackId::A3MemoryExhaustion => scenarios::a3_memory_exhaustion(mode),
+        AttackId::A4ObjectChurn => scenarios::a4_object_churn(mode),
+        AttackId::A5ThreadCreation => scenarios::a5_thread_creation(mode),
+        AttackId::A6InfiniteLoop => scenarios::a6_infinite_loop(mode),
+        AttackId::A7HangingThread => scenarios::a7_hanging_thread(mode),
+        AttackId::A8Termination => scenarios::a8_termination(mode),
+    }
+}
+
+/// Runs all eight attacks under `mode`, in paper order.
+pub fn run_all(mode: IsolationMode) -> Vec<AttackReport> {
+    AttackId::ALL.iter().map(|&id| run_attack(id, mode)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_attack_compromises_the_shared_baseline() {
+        for report in run_all(IsolationMode::Shared) {
+            assert!(
+                report.compromised,
+                "{} should compromise the Shared baseline: {}",
+                report.id.label(),
+                report.detail
+            );
+        }
+    }
+
+    #[test]
+    fn ijvm_contains_every_attack() {
+        for report in run_all(IsolationMode::Isolated) {
+            assert!(
+                !report.compromised,
+                "{} should be contained by I-JVM: {}",
+                report.id.label(),
+                report.detail
+            );
+        }
+    }
+}

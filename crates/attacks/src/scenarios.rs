@@ -1,0 +1,773 @@
+//! The eight attack scenarios of §4.3, each staged on a real framework
+//! with a victim bundle and a malicious bundle.
+
+use crate::{AttackId, AttackReport};
+use ijvm_core::ids::{ClassId, IsolateId, MethodRef, ThreadId};
+use ijvm_core::value::Value;
+use ijvm_core::vm::{IsolationMode, Vm, VmOptions};
+use ijvm_osgi::{BundleDescriptor, BundleId, Framework};
+
+/// VM options for attack runs: a small heap and thread limit so the
+/// resource attacks bite quickly.
+fn attack_options(mode: IsolationMode) -> VmOptions {
+    let mut o = match mode {
+        IsolationMode::Shared => VmOptions::shared(),
+        IsolationMode::Isolated => VmOptions::isolated(),
+    };
+    o.heap_limit_bytes = 4 << 20;
+    o.gc_threshold_bytes = 1 << 20;
+    o.max_threads = 64;
+    o
+}
+
+fn framework(mode: IsolationMode) -> Framework {
+    Framework::new(attack_options(mode))
+}
+
+fn install(fw: &mut Framework, name: &str, pkg: &str, src: &str, imports: Vec<BundleId>) -> BundleId {
+    let imported: Vec<(String, Vec<u8>)> = imports
+        .iter()
+        .flat_map(|id| fw.bundle(*id).expect("import exists").classes.clone())
+        .collect();
+    let desc = BundleDescriptor::from_source(name, pkg, src, None, imports, &imported)
+        .unwrap_or_else(|e| panic!("bundle {name} failed to compile: {e}"));
+    fw.install_bundle(desc).expect("bundle install")
+}
+
+fn class_of(fw: &mut Framework, bundle: BundleId, internal: &str) -> ClassId {
+    let loader = fw.bundle(bundle).expect("bundle exists").loader;
+    fw.vm_mut().load_class(loader, internal).expect("class loads")
+}
+
+/// Outcome of a budgeted method call.
+#[derive(Debug, PartialEq)]
+enum CallResult {
+    /// Completed normally with the return value.
+    Done(Option<Value>),
+    /// Died with an uncaught exception of the given class.
+    Threw(String),
+    /// Still running or blocked when the budget ran out.
+    Stuck(ThreadId),
+}
+
+fn call_budgeted(
+    vm: &mut Vm,
+    class: ClassId,
+    name: &str,
+    desc: &str,
+    args: Vec<Value>,
+    creator: IsolateId,
+    budget: u64,
+) -> CallResult {
+    let index = vm
+        .class(class)
+        .find_method(name, desc)
+        .unwrap_or_else(|| panic!("method {name}{desc} missing"));
+    let tid = vm
+        .spawn_thread(name, MethodRef { class, index }, args, creator)
+        .expect("spawn");
+    let _ = vm.run(Some(budget));
+    inspect(vm, tid)
+}
+
+fn inspect(vm: &Vm, tid: ThreadId) -> CallResult {
+    let t = vm.thread(tid).expect("thread exists");
+    if !t.is_terminated() {
+        return CallResult::Stuck(tid);
+    }
+    match t.uncaught {
+        Some(ex) => {
+            let name = vm.class(vm.heap().get(ex).class).name.to_string();
+            CallResult::Threw(name)
+        }
+        None => CallResult::Done(t.result),
+    }
+}
+
+/// Spawns a method on a fresh thread without driving the VM.
+fn spawn(
+    vm: &mut Vm,
+    class: ClassId,
+    name: &str,
+    desc: &str,
+    args: Vec<Value>,
+    creator: IsolateId,
+) -> ThreadId {
+    let index = vm
+        .class(class)
+        .find_method(name, desc)
+        .unwrap_or_else(|| panic!("method {name}{desc} missing"));
+    vm.spawn_thread(name, MethodRef { class, index }, args, creator).expect("spawn")
+}
+
+/// The non-privileged isolate with the largest value of `metric`.
+fn worst_isolate(fw: &Framework, metric: impl Fn(&ijvm_core::accounting::ResourceStats) -> u64) -> Option<IsolateId> {
+    fw.snapshots()
+        .into_iter()
+        .filter(|s| !s.isolate.is_privileged())
+        .max_by_key(|s| metric(&s.stats))
+        .map(|s| s.isolate)
+}
+
+fn report(id: AttackId, mode: IsolationMode, compromised: bool, detail: String) -> AttackReport {
+    AttackReport { id, mode, compromised, detail }
+}
+
+// ---------------------------------------------------------------------
+// A1 — store mutable object in static variable
+// ---------------------------------------------------------------------
+
+/// Bundle A works on a static array; bundle B finds the static variable
+/// and nulls its contents. Sun JVM: A throws `NullPointerException`.
+/// I-JVM: the static (and thus the array created by `<clinit>`) is
+/// per-isolate, so B corrupts only its own copy.
+pub fn a1_static_variable(mode: IsolationMode) -> AttackReport {
+    let mut fw = framework(mode);
+    let victim = install(
+        &mut fw,
+        "victim",
+        "vic",
+        r#"
+        class Data {
+            static String[] items = makeItems();
+            static String[] makeItems() {
+                String[] xs = new String[4];
+                for (int i = 0; i < 4; i++) xs[i] = "item" + i;
+                return xs;
+            }
+            static int sum() {
+                int s = 0;
+                for (int i = 0; i < Data.items.length; i++) s += Data.items[i].length();
+                return s;
+            }
+        }
+        "#,
+        vec![],
+    );
+    let attacker = install(
+        &mut fw,
+        "malicious",
+        "mal",
+        r#"
+        class Attack {
+            static void corrupt() {
+                String[] xs = Data.items;
+                for (int i = 0; i < xs.length; i++) xs[i] = null;
+            }
+        }
+        "#,
+        vec![victim],
+    );
+    let (viso, aiso) =
+        (fw.bundle(victim).unwrap().isolate, fw.bundle(attacker).unwrap().isolate);
+    let data = class_of(&mut fw, victim, "vic/Data");
+    let attack = class_of(&mut fw, attacker, "mal/Attack");
+    let vm = fw.vm_mut();
+
+    let before = call_budgeted(vm, data, "sum", "()I", vec![], viso, 1_000_000);
+    assert_eq!(before, CallResult::Done(Some(Value::Int(20))), "victim healthy at start");
+    let _ = call_budgeted(vm, attack, "corrupt", "()V", vec![], aiso, 1_000_000);
+    let after = call_budgeted(vm, data, "sum", "()I", vec![], viso, 1_000_000);
+
+    match after {
+        CallResult::Done(Some(Value::Int(20))) => report(
+            AttackId::A1StaticVariable,
+            mode,
+            false,
+            "victim's static array unchanged: per-isolate statics contained the write".into(),
+        ),
+        CallResult::Threw(class) => report(
+            AttackId::A1StaticVariable,
+            mode,
+            true,
+            format!("victim crashed with {class}: shared static array was corrupted"),
+        ),
+        other => report(AttackId::A1StaticVariable, mode, true, format!("unexpected: {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// A2 — synchronized method / synchronized call block
+// ---------------------------------------------------------------------
+
+/// Bundle A's library has a `static synchronized` method (locking the
+/// `java.lang.Class` object). Bundle B grabs that `Class` object and
+/// holds its monitor forever. Sun JVM: A blocks. I-JVM: each isolate has
+/// its own `Class` object, so there is nothing shared to lock.
+pub fn a2_synchronized_lock(mode: IsolationMode) -> AttackReport {
+    let mut fw = framework(mode);
+    let victim = install(
+        &mut fw,
+        "victim",
+        "vic",
+        r#"
+        class Lib {
+            static synchronized int compute() { return 42; }
+        }
+        "#,
+        vec![],
+    );
+    let attacker = install(
+        &mut fw,
+        "malicious",
+        "mal",
+        r#"
+        class Attack {
+            static void grab() {
+                Lib probe = new Lib();
+                Object k = probe.getClass();
+                synchronized (k) {
+                    while (true) { Thread.sleep(1000); }
+                }
+            }
+        }
+        "#,
+        vec![victim],
+    );
+    let (viso, aiso) =
+        (fw.bundle(victim).unwrap().isolate, fw.bundle(attacker).unwrap().isolate);
+    let lib = class_of(&mut fw, victim, "vic/Lib");
+    let attack = class_of(&mut fw, attacker, "mal/Attack");
+    let vm = fw.vm_mut();
+
+    // Attacker takes the lock and parks inside the monitor.
+    let _grabber = spawn(vm, attack, "grab", "()V", vec![], aiso);
+    let _ = vm.run(Some(500_000));
+
+    // Victim calls its own synchronized static method.
+    let outcome = call_budgeted(vm, lib, "compute", "()I", vec![], viso, 2_000_000);
+    match outcome {
+        CallResult::Done(Some(Value::Int(42))) => report(
+            AttackId::A2SynchronizedLock,
+            mode,
+            false,
+            "victim's synchronized method ran: per-isolate Class objects prevent the lock".into(),
+        ),
+        CallResult::Stuck(_) => report(
+            AttackId::A2SynchronizedLock,
+            mode,
+            true,
+            "victim blocked forever on its own Class monitor held by the attacker".into(),
+        ),
+        other => report(AttackId::A2SynchronizedLock, mode, true, format!("unexpected: {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// A3 — memory exhaustion
+// ---------------------------------------------------------------------
+
+/// The attacker allocates and retains objects until the heap is full.
+/// Sun JVM: every bundle gets `OutOfMemoryError`. I-JVM: per-isolate
+/// memory accounting lets the administrator identify and kill the
+/// offender; the GC then reclaims its hoard and other bundles recover.
+pub fn a3_memory_exhaustion(mode: IsolationMode) -> AttackReport {
+    let mut fw = framework(mode);
+    let victim = install(
+        &mut fw,
+        "victim",
+        "vic",
+        r#"
+        class Work {
+            static int alloc() {
+                int[] buf = new int[16384];
+                return buf.length;
+            }
+        }
+        "#,
+        vec![],
+    );
+    let attacker = install(
+        &mut fw,
+        "malicious",
+        "mal",
+        r#"
+        class Attack {
+            static ArrayList hoard = new ArrayList();
+            static void exhaust() {
+                try {
+                    while (true) hoard.add(new int[8192]);
+                } catch (OutOfMemoryError e) { }
+            }
+        }
+        "#,
+        vec![],
+    );
+    let (viso, aiso) =
+        (fw.bundle(victim).unwrap().isolate, fw.bundle(attacker).unwrap().isolate);
+    let work = class_of(&mut fw, victim, "vic/Work");
+    let attack = class_of(&mut fw, attacker, "mal/Attack");
+
+    let healthy =
+        call_budgeted(fw.vm_mut(), work, "alloc", "()I", vec![], viso, 1_000_000);
+    assert_eq!(healthy, CallResult::Done(Some(Value::Int(16384))));
+
+    let _ = call_budgeted(fw.vm_mut(), attack, "exhaust", "()V", vec![], aiso, 20_000_000);
+
+    if mode == IsolationMode::Isolated {
+        // The administrator reads per-isolate live memory and kills the
+        // worst offender.
+        fw.vm_mut().collect_garbage(None);
+        let offender = worst_isolate(&fw, |s| s.live_bytes).expect("accounting identifies someone");
+        if offender != aiso {
+            return report(
+                AttackId::A3MemoryExhaustion,
+                mode,
+                true,
+                format!("accounting blamed {offender}, not the attacker {aiso}"),
+            );
+        }
+        fw.vm_mut().terminate_isolate(offender).expect("termination supported");
+    } else {
+        // No accounting, no termination: the administrator is blind.
+        let unsupported = fw.vm_mut().terminate_isolate(aiso).is_err();
+        assert!(unsupported, "Shared baseline must not support isolate termination");
+    }
+
+    let after = call_budgeted(fw.vm_mut(), work, "alloc", "()I", vec![], viso, 1_000_000);
+    match after {
+        CallResult::Done(Some(Value::Int(16384))) => report(
+            AttackId::A3MemoryExhaustion,
+            mode,
+            false,
+            "admin killed the hoarding bundle; victim allocates again".into(),
+        ),
+        CallResult::Threw(class) => report(
+            AttackId::A3MemoryExhaustion,
+            mode,
+            true,
+            format!("victim got {class}: heap exhausted and unrecoverable"),
+        ),
+        other => report(AttackId::A3MemoryExhaustion, mode, true, format!("unexpected: {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// A4 — exponential object creation (GC churn)
+// ---------------------------------------------------------------------
+
+/// The attacker allocates garbage in a loop, triggering collection after
+/// collection. I-JVM counts GC activations per isolate; the administrator
+/// kills the offender and the churn stops.
+pub fn a4_object_churn(mode: IsolationMode) -> AttackReport {
+    let mut fw = framework(mode);
+    let attacker = install(
+        &mut fw,
+        "malicious",
+        "mal",
+        r#"
+        class Attack {
+            static void churn() {
+                while (true) {
+                    int[] garbage = new int[2048];
+                    garbage[0] = 1;
+                }
+            }
+        }
+        "#,
+        vec![],
+    );
+    let aiso = fw.bundle(attacker).unwrap().isolate;
+    let attack = class_of(&mut fw, attacker, "mal/Attack");
+
+    let churner = spawn(fw.vm_mut(), attack, "churn", "()V", vec![], aiso);
+    let _ = fw.vm_mut().run(Some(8_000_000));
+    let gc_before = fw.vm().gc_count();
+    assert!(gc_before > 3, "churn should have forced collections (got {gc_before})");
+
+    if mode == IsolationMode::Isolated {
+        let offender = worst_isolate(&fw, |s| s.gc_triggers).expect("accounting identifies someone");
+        if offender != aiso {
+            return report(
+                AttackId::A4ObjectChurn,
+                mode,
+                true,
+                format!("GC-activation accounting blamed {offender}, not {aiso}"),
+            );
+        }
+        fw.vm_mut().terminate_isolate(offender).expect("termination supported");
+        let _ = fw.vm_mut().run(Some(1_000_000));
+        let stopped = fw.vm().thread(churner).unwrap().is_terminated();
+        let gc_after_kill = fw.vm().gc_count();
+        let _ = fw.vm_mut().run(Some(3_000_000));
+        let quiet = fw.vm().gc_count() == gc_after_kill;
+        if stopped && quiet {
+            return report(
+                AttackId::A4ObjectChurn,
+                mode,
+                false,
+                format!("churner killed after {gc_before} forced collections; GC is quiet again"),
+            );
+        }
+        return report(AttackId::A4ObjectChurn, mode, true, "churner survived the kill".into());
+    }
+
+    // Shared: the churner cannot be attributed or stopped.
+    let _ = fw.vm_mut().run(Some(3_000_000));
+    let still_churning = !fw.vm().thread(churner).unwrap().is_terminated()
+        && fw.vm().gc_count() > gc_before;
+    report(
+        AttackId::A4ObjectChurn,
+        mode,
+        still_churning,
+        format!(
+            "collector forced {} times and no way to attribute or stop the churn",
+            fw.vm().gc_count()
+        ),
+    )
+}
+
+// ---------------------------------------------------------------------
+// A5 — recursive thread creation
+// ---------------------------------------------------------------------
+
+/// The attacker creates threads until the platform limit. Sun JVM: other
+/// bundles can no longer start threads. I-JVM: the per-isolate
+/// threads-created counter identifies the offender; killing it raises
+/// `StoppedIsolateException` in its parked threads, freeing capacity.
+pub fn a5_thread_creation(mode: IsolationMode) -> AttackReport {
+    let mut fw = framework(mode);
+    let victim = install(
+        &mut fw,
+        "victim",
+        "vic",
+        r#"
+        class Pinger implements Runnable {
+            static int pongs = 0;
+            public void run() { pongs = pongs + 1; }
+        }
+        class Work {
+            static int ping() {
+                Thread t = new Thread(new Pinger());
+                t.start();
+                t.join();
+                return Pinger.pongs;
+            }
+        }
+        "#,
+        vec![],
+    );
+    let attacker = install(
+        &mut fw,
+        "malicious",
+        "mal",
+        r#"
+        class Sleeper implements Runnable {
+            public void run() { while (true) { Thread.sleep(100000); } }
+        }
+        class Attack {
+            static int flood() {
+                int n = 0;
+                try {
+                    while (true) {
+                        Thread t = new Thread(new Sleeper());
+                        t.start();
+                        n++;
+                    }
+                } catch (OutOfMemoryError e) { }
+                return n;
+            }
+        }
+        "#,
+        vec![],
+    );
+    let (viso, aiso) =
+        (fw.bundle(victim).unwrap().isolate, fw.bundle(attacker).unwrap().isolate);
+    let work = class_of(&mut fw, victim, "vic/Work");
+    let attack = class_of(&mut fw, attacker, "mal/Attack");
+
+    let healthy = call_budgeted(fw.vm_mut(), work, "ping", "()I", vec![], viso, 2_000_000);
+    assert!(matches!(healthy, CallResult::Done(Some(Value::Int(_)))), "victim healthy: {healthy:?}");
+
+    let flooded =
+        call_budgeted(fw.vm_mut(), attack, "flood", "()I", vec![], aiso, 20_000_000);
+    assert!(
+        matches!(flooded, CallResult::Done(Some(Value::Int(n)) ) if n > 10),
+        "flood should hit the thread limit: {flooded:?}"
+    );
+
+    if mode == IsolationMode::Isolated {
+        let offender =
+            worst_isolate(&fw, |s| s.threads_created).expect("accounting identifies someone");
+        if offender != aiso {
+            return report(
+                AttackId::A5ThreadCreation,
+                mode,
+                true,
+                format!("thread accounting blamed {offender}, not {aiso}"),
+            );
+        }
+        fw.vm_mut().terminate_isolate(offender).expect("termination supported");
+        let _ = fw.vm_mut().run(Some(3_000_000));
+    }
+
+    let after = call_budgeted(fw.vm_mut(), work, "ping", "()I", vec![], viso, 3_000_000);
+    match after {
+        CallResult::Done(Some(Value::Int(_))) => report(
+            AttackId::A5ThreadCreation,
+            mode,
+            false,
+            "attacker killed; its parked threads died and capacity recovered".into(),
+        ),
+        CallResult::Threw(class) => report(
+            AttackId::A5ThreadCreation,
+            mode,
+            true,
+            format!("victim cannot start threads anymore ({class})"),
+        ),
+        other => report(AttackId::A5ThreadCreation, mode, true, format!("unexpected: {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// A6 — standalone infinite loop
+// ---------------------------------------------------------------------
+
+/// The attacker burns CPU in an infinite loop. I-JVM's CPU sampling
+/// charges the time to the looping isolate; the administrator kills it
+/// and the loop thread dies with `StoppedIsolateException`.
+pub fn a6_infinite_loop(mode: IsolationMode) -> AttackReport {
+    let mut fw = framework(mode);
+    let attacker = install(
+        &mut fw,
+        "malicious",
+        "mal",
+        r#"
+        class Attack {
+            static void burn() {
+                int x = 0;
+                while (true) { x = x + 1; }
+            }
+        }
+        "#,
+        vec![],
+    );
+    let aiso = fw.bundle(attacker).unwrap().isolate;
+    let attack = class_of(&mut fw, attacker, "mal/Attack");
+
+    let burner = spawn(fw.vm_mut(), attack, "burn", "()V", vec![], aiso);
+    let _ = fw.vm_mut().run(Some(3_000_000));
+    assert!(!fw.vm().thread(burner).unwrap().is_terminated(), "loop must be running");
+
+    if mode == IsolationMode::Isolated {
+        let offender = worst_isolate(&fw, |s| s.cpu_sampled).expect("sampling identifies someone");
+        if offender != aiso {
+            return report(
+                AttackId::A6InfiniteLoop,
+                mode,
+                true,
+                format!("CPU sampling blamed {offender}, not {aiso}"),
+            );
+        }
+        fw.vm_mut().terminate_isolate(offender).expect("termination supported");
+        let _ = fw.vm_mut().run(Some(1_000_000));
+        let dead = fw.vm().thread(burner).unwrap().is_terminated();
+        return report(
+            AttackId::A6InfiniteLoop,
+            mode,
+            !dead,
+            if dead {
+                "CPU sampling identified the looper; kill stopped it".into()
+            } else {
+                "looper survived the kill".into()
+            },
+        );
+    }
+
+    let _ = fw.vm_mut().run(Some(2_000_000));
+    let alive = !fw.vm().thread(burner).unwrap().is_terminated();
+    report(
+        AttackId::A6InfiniteLoop,
+        mode,
+        alive,
+        "no CPU accounting and no termination: the loop burns CPU forever".into(),
+    )
+}
+
+// ---------------------------------------------------------------------
+// A7 — hanging thread
+// ---------------------------------------------------------------------
+
+/// Bundle A calls a method of bundle B and B never returns (it sleeps in
+/// a loop, as in the paper's `Thread.sleep` example). Sun JVM: execution
+/// never returns to A. I-JVM: the administrator kills B; the caller gets
+/// `StoppedIsolateException`, which A catches — execution returns to A.
+pub fn a7_hanging_thread(mode: IsolationMode) -> AttackReport {
+    let mut fw = framework(mode);
+    let hanger = install(
+        &mut fw,
+        "hanger",
+        "hb",
+        r#"
+        class HangService {
+            int get() {
+                while (true) { Thread.sleep(1000); }
+            }
+        }
+        "#,
+        vec![],
+    );
+    let caller = install(
+        &mut fw,
+        "caller",
+        "ca",
+        r#"
+        class Caller {
+            static int call() {
+                HangService s = new HangService();
+                try {
+                    return s.get();
+                } catch (StoppedIsolateException e) {
+                    return -2;
+                }
+            }
+        }
+        "#,
+        vec![hanger],
+    );
+    let (hiso, ciso) = (fw.bundle(hanger).unwrap().isolate, fw.bundle(caller).unwrap().isolate);
+    let caller_class = class_of(&mut fw, caller, "ca/Caller");
+
+    let tid = spawn(fw.vm_mut(), caller_class, "call", "()I", vec![], ciso);
+    let _ = fw.vm_mut().run(Some(2_000_000));
+
+    // The thread migrated into the hanging bundle: the administrator can
+    // see which bundle each parked thread is currently executing in.
+    let current = fw.vm().thread(tid).unwrap().current_isolate;
+    assert!(!fw.vm().thread(tid).unwrap().is_terminated());
+
+    if mode == IsolationMode::Isolated {
+        assert_eq!(current, hiso, "thread should be charged to the hanging bundle");
+        fw.vm_mut().terminate_isolate(hiso).expect("termination supported");
+        let _ = fw.vm_mut().run(Some(2_000_000));
+        return match inspect(fw.vm(), tid) {
+            CallResult::Done(Some(Value::Int(-2))) => report(
+                AttackId::A7HangingThread,
+                mode,
+                false,
+                "killing the callee returned control to the caller via StoppedIsolateException"
+                    .into(),
+            ),
+            other => report(
+                AttackId::A7HangingThread,
+                mode,
+                true,
+                format!("caller did not regain control: {other:?}"),
+            ),
+        };
+    }
+
+    let _ = fw.vm_mut().run(Some(2_000_000));
+    let stuck = !fw.vm().thread(tid).unwrap().is_terminated();
+    report(
+        AttackId::A7HangingThread,
+        mode,
+        stuck,
+        "execution never returns to the caller and nothing can interrupt the callee".into(),
+    )
+}
+
+// ---------------------------------------------------------------------
+// A8 — lack of termination support
+// ---------------------------------------------------------------------
+
+/// Bundle A holds a reference into bundle B; B then attacks; the
+/// administrator unloads B. Sun JVM: the reference pins B — it cannot be
+/// unloaded and the attack continues. I-JVM: B's methods are poisoned and
+/// its threads stopped; A keeps the shared object but any call into B
+/// throws.
+pub fn a8_termination(mode: IsolationMode) -> AttackReport {
+    let mut fw = framework(mode);
+    let provider = install(
+        &mut fw,
+        "provider",
+        "pb",
+        r#"
+        class Token {
+            int secret;
+            Token() { secret = 99; }
+        }
+        class Registry {
+            static Token give() { return new Token(); }
+            static void attackLoop() {
+                int x = 0;
+                while (true) { x = x + 1; }
+            }
+        }
+        "#,
+        vec![],
+    );
+    let holder = install(
+        &mut fw,
+        "holder",
+        "ha",
+        r#"
+        class Holder {
+            static Token held;
+            static int take() { held = Registry.give(); return held.secret; }
+            static int useAfterKill() {
+                int v = held.secret;
+                try {
+                    Registry.give();
+                    return -1;
+                } catch (StoppedIsolateException e) {
+                    return v;
+                }
+            }
+        }
+        "#,
+        vec![provider],
+    );
+    let (piso, hiso) =
+        (fw.bundle(provider).unwrap().isolate, fw.bundle(holder).unwrap().isolate);
+    let registry = class_of(&mut fw, provider, "pb/Registry");
+    let holder_class = class_of(&mut fw, holder, "ha/Holder");
+
+    let taken = call_budgeted(fw.vm_mut(), holder_class, "take", "()I", vec![], hiso, 1_000_000);
+    assert_eq!(taken, CallResult::Done(Some(Value::Int(99))));
+
+    let looper = spawn(fw.vm_mut(), registry, "attackLoop", "()V", vec![], piso);
+    let _ = fw.vm_mut().run(Some(3_000_000));
+
+    if mode == IsolationMode::Isolated {
+        fw.vm_mut().terminate_isolate(piso).expect("termination supported");
+        let _ = fw.vm_mut().run(Some(2_000_000));
+        let loop_dead = fw.vm().thread(looper).unwrap().is_terminated();
+        let use_after = call_budgeted(
+            fw.vm_mut(),
+            holder_class,
+            "useAfterKill",
+            "()I",
+            vec![],
+            hiso,
+            2_000_000,
+        );
+        return match (loop_dead, use_after) {
+            (true, CallResult::Done(Some(Value::Int(99)))) => report(
+                AttackId::A8Termination,
+                mode,
+                false,
+                "bundle unloaded: attack thread dead, shared object still readable, \
+                 calls into the dead bundle throw StoppedIsolateException"
+                    .into(),
+            ),
+            (dead, other) => report(
+                AttackId::A8Termination,
+                mode,
+                true,
+                format!("unload incomplete (loop dead: {dead}, use-after: {other:?})"),
+            ),
+        };
+    }
+
+    // Shared: termination is unsupported; the attack keeps running.
+    let cannot_unload = fw.vm_mut().terminate_isolate(piso).is_err();
+    let _ = fw.vm_mut().run(Some(2_000_000));
+    let still_attacking = !fw.vm().thread(looper).unwrap().is_terminated();
+    report(
+        AttackId::A8Termination,
+        mode,
+        cannot_unload && still_attacking,
+        "the holder's reference pins the bundle; no termination support, attack continues".into(),
+    )
+}

@@ -1,0 +1,28 @@
+//! Criterion bench for **Figure 1**: each micro-benchmark under both VM
+//! configurations; the ratio between the paired entries is the figure's
+//! y-axis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ijvm_bench::micro::{run_once, Micro};
+use ijvm_core::vm::IsolationMode;
+
+fn bench_micros(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_micro");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let iterations = 50_000;
+    for micro in Micro::ALL {
+        for (label, mode) in
+            [("baseline", IsolationMode::Shared), ("ijvm", IsolationMode::Isolated)]
+        {
+            group.bench_function(format!("{}/{label}", micro.name()), |b| {
+                b.iter(|| std::hint::black_box(run_once(micro, mode, iterations)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_micros);
+criterion_main!(benches);

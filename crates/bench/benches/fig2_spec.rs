@@ -1,0 +1,30 @@
+//! Criterion bench for **Figure 2**: the SPEC JVM98 analogues under both
+//! VM configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ijvm_core::vm::IsolationMode;
+use ijvm_workloads::{run_workload, spec};
+
+fn bench_spec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_spec");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for w in spec::all() {
+        // Bench at reduced scale so a full `cargo bench` stays minutes,
+        // not hours (the fig2 binary runs the full-scale versions).
+        let mut small = w;
+        small.scale = 1;
+        for (label, mode) in
+            [("baseline", IsolationMode::Shared), ("ijvm", IsolationMode::Isolated)]
+        {
+            group.bench_function(format!("{}/{label}", small.name), |b| {
+                b.iter(|| std::hint::black_box(run_workload(&small, mode).result))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spec);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench for **Table 1**: per-model cost of a batch of
+//! inter-bundle calls.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ijvm_comm::models::{measure, Model};
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_inter_bundle_calls");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for model in Model::ALL {
+        group.bench_function(model.name(), |b| {
+            b.iter(|| std::hint::black_box(measure(model, 200).checksum))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

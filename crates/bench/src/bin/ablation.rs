@@ -1,0 +1,62 @@
+//! Ablation: which part of I-JVM's overhead comes from *accounting* and
+//! which from *isolation itself* (mirrors + migration)?
+//!
+//! Three configurations over the Figure 1 micro-benchmarks:
+//! baseline (Shared), isolation without accounting, full I-JVM.
+//! The paper bundles both under "I-JVM"; this harness separates them —
+//! the ablation DESIGN.md calls out for the resource-accounting choice
+//! (§3.2 rejects call/write barriers because of exactly this cost).
+
+use ijvm_bench::micro::{run_once_with, Micro};
+use ijvm_core::vm::{IsolationMode, VmOptions};
+use std::time::Duration;
+
+fn options(mode: IsolationMode, accounting: bool) -> VmOptions {
+    let mut o = match mode {
+        IsolationMode::Shared => VmOptions::shared(),
+        IsolationMode::Isolated => VmOptions::isolated(),
+    };
+    o.accounting = accounting;
+    o
+}
+
+fn median_of(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let iterations = 250_000;
+    let rounds = 5;
+    println!("Ablation — isolation vs accounting cost ({iterations} iterations, median of {rounds})\n");
+    println!(
+        "{:<22} {:>12} {:>18} {:>12}",
+        "benchmark", "baseline", "isolated-no-acct", "full I-JVM"
+    );
+    for micro in Micro::ALL {
+        let mut base = Vec::new();
+        let mut noacct = Vec::new();
+        let mut full = Vec::new();
+        for _ in 0..rounds {
+            let (b, _) = run_once_with(micro, options(IsolationMode::Shared, false), iterations);
+            let (n, _) = run_once_with(micro, options(IsolationMode::Isolated, false), iterations);
+            let (f, _) = run_once_with(micro, options(IsolationMode::Isolated, true), iterations);
+            base.push(b.as_secs_f64());
+            noacct.push(n.as_secs_f64() / b.as_secs_f64());
+            full.push(f.as_secs_f64() / b.as_secs_f64());
+        }
+        let b = Duration::from_secs_f64(median_of(base));
+        let n = median_of(noacct);
+        let f = median_of(full);
+        println!(
+            "{:<22} {:>12} {:>16.3}x {:>11.3}x",
+            micro.name(),
+            format!("{b:.3?}"),
+            n,
+            f,
+        );
+    }
+    println!("\n(isolated-no-acct isolates the mirror/migration cost; the gap to");
+    println!(" full I-JVM is the per-allocation/per-call accounting the paper");
+    println!(" accepted instead of write barriers)");
+}

@@ -1,0 +1,23 @@
+//! Regenerates **Figure 1**: performance of I-JVM for the
+//! micro-benchmarks, relative to the unmodified baseline VM.
+//!
+//! Paper: intra-bundle call +14%, inter-bundle call +16%, object
+//! allocation +18%, static access +46% without compiler optimizations
+//! (<1% with them — an interpreter never hoists, so this harness matches
+//! the *unoptimized* static-access configuration).
+
+use ijvm_bench::micro::figure1;
+use ijvm_bench::print_overhead_table;
+
+fn main() {
+    let iterations = 250_000; // x4 unrolled bodies = 1M measured operations
+    println!("Figure 1 — micro-benchmark overhead of I-JVM vs baseline ({iterations} iterations)");
+    println!("(paper: intra +14% | inter +16% | allocation +18% | static access +46% unoptimized)");
+    let rows = figure1(iterations);
+    print_overhead_table("Figure 1", &rows);
+    println!("\nguest-instruction view (hardware-independent):");
+    for r in &rows {
+        let pct = (r.isolated_insns as f64 / r.shared_insns.max(1) as f64 - 1.0) * 100.0;
+        println!("  {:<22} +{:.1}% instructions", r.name, pct);
+    }
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Figure 2**: overhead of I-JVM on the SPEC JVM98
+//! analogues, relative to the baseline VM. The workloads run inside
+//! Isolate0, exactly as the paper runs SPEC.
+//!
+//! Paper: all benchmarks below 20% overhead.
+
+use ijvm_bench::{print_overhead_table, OverheadRow};
+use ijvm_core::vm::IsolationMode;
+use ijvm_workloads::{run_workload, spec};
+
+fn main() {
+    println!("Figure 2 — SPEC JVM98 analogue overhead of I-JVM vs baseline");
+    println!("(paper: every benchmark below 20% overhead)\n");
+    let rounds = 3;
+    let mut rows = Vec::new();
+    for w in spec::all() {
+        let mut ratios = Vec::new();
+        let mut best_shared = std::time::Duration::MAX;
+        let mut shared_insns = 0;
+        let mut isolated_insns = 0;
+        for _ in 0..rounds {
+            let shared = run_workload(&w, IsolationMode::Shared);
+            let isolated = run_workload(&w, IsolationMode::Isolated);
+            assert_eq!(shared.result, isolated.result, "{} diverged", w.name);
+            ratios.push(isolated.wall.as_secs_f64() / shared.wall.as_secs_f64());
+            best_shared = best_shared.min(shared.wall);
+            shared_insns = shared.instructions;
+            isolated_insns = isolated.instructions;
+        }
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = ratios[ratios.len() / 2];
+        rows.push(OverheadRow {
+            name: w.name,
+            shared: best_shared,
+            isolated: std::time::Duration::from_secs_f64(best_shared.as_secs_f64() * median),
+            shared_insns,
+            isolated_insns,
+        });
+    }
+    print_overhead_table("Figure 2", &rows);
+    let max = rows.iter().map(|r| r.overhead_pct()).fold(f64::MIN, f64::max);
+    println!("\nmax overhead: {max:.1}%");
+}

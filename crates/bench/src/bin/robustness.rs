@@ -1,0 +1,39 @@
+//! Regenerates the **§4.3 robustness matrix**: every attack A1–A8 run
+//! against the Shared baseline (the "Sun JVM" column) and against I-JVM.
+//!
+//! Paper: all eight compromise the baseline; I-JVM contains all eight
+//! (relying on the administrator for the resource attacks).
+
+use ijvm_attacks::{run_attack, AttackId};
+use ijvm_core::vm::IsolationMode;
+
+fn main() {
+    println!("Robustness matrix (section 4.3): attacks A1..A8\n");
+    println!("{:<4} {:<44} {:<12} {:<12}", "id", "attack", "baseline", "I-JVM");
+    let mut baseline_ok = true;
+    let mut ijvm_ok = true;
+    for id in AttackId::ALL {
+        let shared = run_attack(id, IsolationMode::Shared);
+        let isolated = run_attack(id, IsolationMode::Isolated);
+        baseline_ok &= shared.compromised;
+        ijvm_ok &= !isolated.compromised;
+        println!(
+            "{:<4} {:<44} {:<12} {:<12}",
+            id.label(),
+            id.description(),
+            if shared.compromised { "COMPROMISED" } else { "survived?!" },
+            if isolated.compromised { "BREACHED?!" } else { "contained" },
+        );
+    }
+    println!();
+    for id in AttackId::ALL {
+        let isolated = run_attack(id, IsolationMode::Isolated);
+        println!("{}: {}", id.label(), isolated.detail);
+    }
+    println!(
+        "\nsummary: baseline vulnerable to all 8: {baseline_ok}; I-JVM contains all 8: {ijvm_ok}"
+    );
+    if !(baseline_ok && ijvm_ok) {
+        std::process::exit(1);
+    }
+}

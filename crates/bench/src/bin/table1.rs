@@ -1,0 +1,42 @@
+//! Regenerates **Table 1**: cost of 200 inter-bundle calls, depending on
+//! the communication model.
+//!
+//! Paper (Pentium D 3 GHz, JIT): local 20 µs, RMI 90 ms, Incommunicado
+//! 9 ms, I-JVM 24 µs. The claim to reproduce is the *shape*: I-JVM within
+//! a small factor of a plain local call, and an order of magnitude (or
+//! more) below copying/marshalling models.
+
+use ijvm_comm::models::{table1, Model};
+
+fn main() {
+    let calls = 200;
+    println!("Table 1 — cost of {calls} inter-bundle calls per communication model");
+    println!("(paper: local 20us | RMI 90ms | Incommunicado 9ms | I-JVM 24us)\n");
+    println!(
+        "{:<26} {:>14} {:>14} {:>16}",
+        "model", "total", "per call", "guest insns"
+    );
+    let reports = table1(calls);
+    for r in &reports {
+        println!(
+            "{:<26} {:>14} {:>13.0}ns {:>16}",
+            r.model.name(),
+            format!("{:.3?}", r.wall),
+            r.ns_per_call(),
+            r.guest_instructions
+        );
+    }
+    let get = |m: Model| {
+        reports
+            .iter()
+            .find(|r| r.model == m)
+            .map(|r| r.ns_per_call())
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "\nratios: I-JVM/local = {:.2}x,  links/I-JVM = {:.1}x,  RMI/I-JVM = {:.1}x",
+        get(Model::IJvm) / get(Model::Local),
+        get(Model::Links) / get(Model::IJvm),
+        get(Model::Rmi) / get(Model::IJvm),
+    );
+}

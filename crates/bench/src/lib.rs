@@ -1,0 +1,83 @@
+//! # ijvm-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's §4:
+//!
+//! | artifact | binary | criterion bench |
+//! |---|---|---|
+//! | Table 1 (inter-bundle call cost) | `table1` | `table1_calls` |
+//! | Figure 1 (micro-benchmark overhead) | `fig1` | `fig1_micro` |
+//! | Figure 2 (SPEC analogue overhead) | `fig2` | `fig2_spec` |
+//! | Figure 3 (memory on Felix/Equinox profiles) | `fig3` | — |
+//! | §4.3 robustness matrix | `robustness` | — |
+//! | §4.4 accounting limits | `accounting_limits` | — |
+//!
+//! The [`micro`] module implements the Figure 1 micro-benchmarks: each
+//! runs identical bytecode under both VM configurations, so the reported
+//! overhead isolates exactly the cost the paper attributes to I-JVM.
+
+pub mod micro;
+
+use ijvm_core::vm::IsolationMode;
+use std::time::Duration;
+
+/// A baseline/I-JVM measurement pair.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Wall time in `Shared` (LadyVM-baseline) mode.
+    pub shared: Duration,
+    /// Wall time in `Isolated` (I-JVM) mode.
+    pub isolated: Duration,
+    /// Guest instructions in `Shared` mode.
+    pub shared_insns: u64,
+    /// Guest instructions in `Isolated` mode.
+    pub isolated_insns: u64,
+}
+
+impl OverheadRow {
+    /// Wall-clock overhead of I-JVM relative to the baseline, in percent.
+    pub fn overhead_pct(&self) -> f64 {
+        let base = self.shared.as_secs_f64();
+        if base == 0.0 {
+            return 0.0;
+        }
+        (self.isolated.as_secs_f64() / base - 1.0) * 100.0
+    }
+
+    /// Relative performance (baseline = 1.0), the y-axis of Figures 1–2.
+    pub fn relative(&self) -> f64 {
+        let base = self.shared.as_secs_f64();
+        if base == 0.0 {
+            return 1.0;
+        }
+        self.isolated.as_secs_f64() / base
+    }
+}
+
+/// Pretty-prints a list of overhead rows as an aligned table.
+pub fn print_overhead_table(title: &str, rows: &[OverheadRow]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<22} {:>14} {:>14} {:>10} {:>12}",
+        "benchmark", "baseline", "I-JVM", "overhead", "rel. perf"
+    );
+    for r in rows {
+        println!(
+            "{:<22} {:>14} {:>14} {:>9.1}% {:>12.3}",
+            r.name,
+            format!("{:.3?}", r.shared),
+            format!("{:.3?}", r.isolated),
+            r.overhead_pct(),
+            r.relative(),
+        );
+    }
+}
+
+/// Helper: the `VmOptions` for a mode.
+pub fn options_for(mode: IsolationMode) -> ijvm_core::vm::VmOptions {
+    match mode {
+        IsolationMode::Shared => ijvm_core::vm::VmOptions::shared(),
+        IsolationMode::Isolated => ijvm_core::vm::VmOptions::isolated(),
+    }
+}

@@ -1,0 +1,317 @@
+//! Figure 1 micro-benchmarks: intra-isolate calls, inter-isolate calls,
+//! object allocation, and static-variable access — each interpreted under
+//! both VM configurations (paper §4.2 runs each operation a million
+//! times; the iteration count here is a parameter).
+
+use crate::OverheadRow;
+use ijvm_core::ids::{ClassId, IsolateId};
+use ijvm_core::value::Value;
+use ijvm_core::vm::{IsolationMode, Vm};
+use ijvm_minijava::{compile_to_bytes, CompileEnv};
+use std::time::{Duration, Instant};
+
+/// Which micro-benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Micro {
+    /// A method call within one bundle (I-JVM adds the isolate test).
+    IntraIsolateCall,
+    /// A method call across bundles (adds the isolate-reference update).
+    InterIsolateCall,
+    /// `new Object()`-style allocation (adds resource accounting and the
+    /// memory-limit test).
+    Allocation,
+    /// Static variable access (adds the task-class-mirror indirection and
+    /// initialization check — the paper's worst case without the JIT's
+    /// hoisting, which an interpreter never has).
+    StaticAccess,
+}
+
+impl Micro {
+    /// All four, in Figure 1 order.
+    pub const ALL: [Micro; 4] = [
+        Micro::IntraIsolateCall,
+        Micro::InterIsolateCall,
+        Micro::Allocation,
+        Micro::StaticAccess,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Micro::IntraIsolateCall => "intra-isolate call",
+            Micro::InterIsolateCall => "inter-isolate call",
+            Micro::Allocation => "object allocation",
+            Micro::StaticAccess => "static access",
+        }
+    }
+}
+
+const INTRA_SRC: &str = r#"
+    class Worker {
+        static int step(int x) { return x + 1; }
+        static int spin(int n) {
+            int acc = 0;
+            for (int i = 0; i < n; i++) {
+                acc += step(i);
+                acc += step(i);
+                acc += step(i);
+                acc += step(i);
+            }
+            return acc;
+        }
+    }
+"#;
+
+const CALLEE_SRC: &str = r#"
+    class Remote {
+        int step(int x) { return x + 1; }
+    }
+    class RemoteFactory {
+        static Remote make() { return new Remote(); }
+    }
+"#;
+
+const CALLER_SRC: &str = r#"
+    class Driver {
+        static int spin(Remote r, int n) {
+            int acc = 0;
+            for (int i = 0; i < n; i++) {
+                acc += r.step(i);
+                acc += r.step(i);
+                acc += r.step(i);
+                acc += r.step(i);
+            }
+            return acc;
+        }
+    }
+"#;
+
+const ALLOC_SRC: &str = r#"
+    class Cell { }
+    class AllocBench {
+        static int spin(int n) {
+            int live = 0;
+            for (int i = 0; i < n; i++) {
+                Cell c = new Cell();
+                if (c != null) live++;
+            }
+            return live;
+        }
+    }
+"#;
+
+const STATIC_SRC: &str = r#"
+    class Counter {
+        static int value;
+        static int spin(int n) {
+            // Unrolled x4 to raise the static-access density per loop
+            // iteration (the measured op is the access, not the loop).
+            for (int i = 0; i < n; i++) {
+                value = value + 1;
+                value = value + 1;
+                value = value + 1;
+                value = value + 1;
+            }
+            return value;
+        }
+    }
+"#;
+
+struct Prepared {
+    vm: Vm,
+    entry: ClassId,
+    iso: IsolateId,
+    args: Vec<Value>,
+}
+
+#[cfg(test)]
+fn prepare(micro: Micro, mode: IsolationMode, iterations: i32) -> Prepared {
+    prepare_with(micro, crate::options_for(mode), iterations)
+}
+
+fn prepare_with(micro: Micro, options: ijvm_core::vm::VmOptions, iterations: i32) -> Prepared {
+    let mut vm = ijvm_jsl::boot(options);
+    let iso = vm.create_isolate("bench");
+    let loader = vm.loader_of(iso).unwrap();
+    match micro {
+        Micro::IntraIsolateCall | Micro::Allocation | Micro::StaticAccess => {
+            let src = match micro {
+                Micro::IntraIsolateCall => INTRA_SRC,
+                Micro::Allocation => ALLOC_SRC,
+                _ => STATIC_SRC,
+            };
+            for (name, bytes) in compile_to_bytes(src, &CompileEnv::new()).unwrap() {
+                vm.add_class_bytes(loader, &name, bytes);
+            }
+            let entry_name = match micro {
+                Micro::IntraIsolateCall => "Worker",
+                Micro::Allocation => "AllocBench",
+                _ => "Counter",
+            };
+            let entry = vm.load_class(loader, entry_name).unwrap();
+            Prepared { vm, entry, iso, args: vec![Value::Int(iterations)] }
+        }
+        Micro::InterIsolateCall => {
+            // Callee bundle.
+            let callee_iso = vm.create_isolate("remote-bundle");
+            let callee_loader = vm.loader_of(callee_iso).unwrap();
+            let callee_classes = compile_to_bytes(CALLEE_SRC, &CompileEnv::new()).unwrap();
+            for (name, bytes) in &callee_classes {
+                vm.add_class_bytes(callee_loader, name, bytes.clone());
+            }
+            vm.add_loader_delegate(loader, callee_loader);
+            // Caller bundle.
+            let mut cenv = CompileEnv::new();
+            for (_, bytes) in &callee_classes {
+                let cf = ijvm_classfile::reader::read_class(bytes).unwrap();
+                cenv.import_class_file(&cf).unwrap();
+            }
+            for (name, bytes) in compile_to_bytes(CALLER_SRC, &cenv).unwrap() {
+                vm.add_class_bytes(loader, &name, bytes);
+            }
+            let factory = vm.load_class(callee_loader, "RemoteFactory").unwrap();
+            let remote = vm
+                .call_static_as(factory, "make", "()LRemote;", vec![], callee_iso)
+                .unwrap()
+                .unwrap();
+            let Value::Ref(remote_ref) = remote else { panic!("factory returned {remote}") };
+            vm.pin(remote_ref);
+            let entry = vm.load_class(loader, "Driver").unwrap();
+            Prepared {
+                vm,
+                entry,
+                iso,
+                args: vec![Value::Ref(remote_ref), Value::Int(iterations)],
+            }
+        }
+    }
+}
+
+fn descriptor(micro: Micro) -> &'static str {
+    match micro {
+        Micro::InterIsolateCall => "(LRemote;I)I",
+        _ => "(I)I",
+    }
+}
+
+/// Runs one micro-benchmark once under `mode`, returning the wall time
+/// and guest instruction count of the measured loop (after a warm-up run
+/// that pays class loading and lazy resolution).
+pub fn run_once(micro: Micro, mode: IsolationMode, iterations: i32) -> (Duration, u64) {
+    run_once_with(micro, crate::options_for(mode), iterations)
+}
+
+/// Like [`run_once`] with explicit `VmOptions` (used by the ablation
+/// harness to separate isolation cost from accounting cost).
+pub fn run_once_with(
+    micro: Micro,
+    options: ijvm_core::vm::VmOptions,
+    iterations: i32,
+) -> (Duration, u64) {
+    let mode = options.isolation;
+    let mut p = prepare_with(micro, options, iterations);
+    let _ = mode;
+    // Warm-up.
+    p.vm
+        .call_static_as(
+            p.entry,
+            "spin",
+            descriptor(micro),
+            warmup_args(&p.args),
+            p.iso,
+        )
+        .expect("warmup run");
+    let insns_before = p.vm.vclock();
+    let start = Instant::now();
+    p.vm
+        .call_static_as(p.entry, "spin", descriptor(micro), p.args.clone(), p.iso)
+        .expect("measured run");
+    (start.elapsed(), p.vm.vclock() - insns_before)
+}
+
+fn warmup_args(args: &[Value]) -> Vec<Value> {
+    let mut out = args.to_vec();
+    if let Some(Value::Int(n)) = out.last().copied() {
+        let idx = out.len() - 1;
+        out[idx] = Value::Int((n / 10).max(8));
+    }
+    out
+}
+
+/// Measures one micro-benchmark in both modes, alternating several runs
+/// and keeping the fastest of each (minimum is robust against scheduler
+/// and frequency noise — what matters is the best-case instruction path).
+pub fn compare(micro: Micro, iterations: i32) -> OverheadRow {
+    compare_runs(micro, iterations, 5)
+}
+
+/// Like [`compare`] with an explicit run count. Each round measures the
+/// two modes back to back and contributes one overhead ratio; the median
+/// ratio is reported (paired ratios cancel slow machine phases that hit
+/// both runs of a round equally).
+pub fn compare_runs(micro: Micro, iterations: i32, runs: u32) -> OverheadRow {
+    let mut ratios: Vec<f64> = Vec::new();
+    let mut best_shared = Duration::MAX;
+    let mut shared_insns = 0;
+    let mut isolated_insns = 0;
+    for _ in 0..runs.max(1) {
+        let (s, si) = run_once(micro, IsolationMode::Shared, iterations);
+        let (i, ii) = run_once(micro, IsolationMode::Isolated, iterations);
+        ratios.push(i.as_secs_f64() / s.as_secs_f64().max(f64::MIN_POSITIVE));
+        best_shared = best_shared.min(s);
+        shared_insns = si;
+        isolated_insns = ii;
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    let median = ratios[ratios.len() / 2];
+    let isolated = Duration::from_secs_f64(best_shared.as_secs_f64() * median);
+    OverheadRow {
+        name: micro.name(),
+        shared: best_shared,
+        isolated,
+        shared_insns,
+        isolated_insns,
+    }
+}
+
+/// The complete Figure 1 dataset.
+pub fn figure1(iterations: i32) -> Vec<OverheadRow> {
+    Micro::ALL.iter().map(|&m| compare(m, iterations)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_micros_run_in_both_modes() {
+        for m in Micro::ALL {
+            let row = compare(m, 20_000);
+            // The same bytecode runs in both modes, so instruction counts
+            // differ only by I-JVM's checks — never by more than 2x.
+            assert!(row.isolated_insns >= row.shared_insns, "{}", m.name());
+            assert!(
+                row.isolated_insns < row.shared_insns * 2,
+                "{}: isolated {} vs shared {}",
+                m.name(),
+                row.isolated_insns,
+                row.shared_insns
+            );
+        }
+    }
+
+    #[test]
+    fn inter_isolate_calls_migrate_only_in_isolated_mode() {
+        let mut p = prepare(Micro::InterIsolateCall, IsolationMode::Isolated, 100);
+        p.vm
+            .call_static_as(p.entry, "spin", "(LRemote;I)I", p.args.clone(), p.iso)
+            .unwrap();
+        assert!(p.vm.migrations() >= 200);
+
+        let mut p = prepare(Micro::InterIsolateCall, IsolationMode::Shared, 100);
+        p.vm
+            .call_static_as(p.entry, "spin", "(LRemote;I)I", p.args.clone(), p.iso)
+            .unwrap();
+        assert_eq!(p.vm.migrations(), 0);
+    }
+}

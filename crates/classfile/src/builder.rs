@@ -1,0 +1,1118 @@
+//! Assembler API: build class files programmatically with label-based
+//! branches and automatic `max_stack` computation.
+//!
+//! ```
+//! use ijvm_classfile::{AccessFlags, ClassBuilder, Opcode};
+//!
+//! let mut cb = ClassBuilder::new("demo/Adder", "java/lang/Object", AccessFlags::PUBLIC);
+//! let mut m = cb.method("add", "(II)I", AccessFlags::PUBLIC | AccessFlags::STATIC);
+//! m.iload(0);
+//! m.iload(1);
+//! m.op(Opcode::Iadd);
+//! m.op(Opcode::Ireturn);
+//! m.done().unwrap();
+//! let class = cb.build().unwrap();
+//! assert_eq!(class.name().unwrap(), "demo/Adder");
+//! ```
+
+use crate::class::{Attribute, ClassFile, Code, ExceptionTableEntry, FieldInfo, MethodInfo};
+use crate::constant::ConstPool;
+use crate::descriptor::{BaseType, MethodDescriptor};
+use crate::error::{ClassFileError, Result};
+use crate::flags::AccessFlags;
+use crate::instruction::Instruction;
+use crate::opcode::Opcode;
+
+/// A forward- or backward-referencing code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+/// Builds one class file.
+#[derive(Debug)]
+pub struct ClassBuilder {
+    name: String,
+    super_name: Option<String>,
+    interfaces: Vec<String>,
+    access: AccessFlags,
+    pool: ConstPool,
+    fields: Vec<FieldInfo>,
+    methods: Vec<MethodInfo>,
+}
+
+impl ClassBuilder {
+    /// Starts a class named `name` extending `super_name`.
+    /// Use [`ClassBuilder::new_root`] only for `java/lang/Object` itself.
+    pub fn new(name: &str, super_name: &str, access: AccessFlags) -> ClassBuilder {
+        ClassBuilder {
+            name: name.to_owned(),
+            super_name: Some(super_name.to_owned()),
+            interfaces: Vec::new(),
+            access,
+            pool: ConstPool::new(),
+            fields: Vec::new(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Starts the root class (`java/lang/Object`), which has no superclass.
+    pub fn new_root(name: &str, access: AccessFlags) -> ClassBuilder {
+        ClassBuilder { super_name: None, ..ClassBuilder::new(name, "", access) }
+    }
+
+    /// Starts an interface (implies the `INTERFACE` and `ABSTRACT` flags).
+    pub fn new_interface(name: &str) -> ClassBuilder {
+        ClassBuilder::new(
+            name,
+            "java/lang/Object",
+            AccessFlags::PUBLIC | AccessFlags::INTERFACE | AccessFlags::ABSTRACT,
+        )
+    }
+
+    /// Declares that this class implements `interface_name`.
+    pub fn implements(&mut self, interface_name: &str) -> &mut Self {
+        self.interfaces.push(interface_name.to_owned());
+        self
+    }
+
+    /// Declares a field.
+    pub fn field(&mut self, name: &str, descriptor: &str, access: AccessFlags) -> &mut Self {
+        let name = self.pool.utf8(name).expect("pool limit");
+        let descriptor = self.pool.utf8(descriptor).expect("pool limit");
+        self.fields.push(FieldInfo { access, name, descriptor });
+        self
+    }
+
+    /// Starts a method with a bytecode body.
+    ///
+    /// `max_locals` is initialized from the parameter count (plus the
+    /// receiver for instance methods); grow it with
+    /// [`MethodBuilder::alloc_local`] or [`MethodBuilder::ensure_locals`].
+    pub fn method(&mut self, name: &str, descriptor: &str, access: AccessFlags) -> MethodBuilder<'_> {
+        let desc = MethodDescriptor::parse(descriptor)
+            .unwrap_or_else(|e| panic!("bad method descriptor {descriptor:?}: {e}"));
+        let mut max_locals = desc.param_slots() as u16;
+        if !access.is_static() {
+            max_locals += 1;
+        }
+        MethodBuilder {
+            cb: self,
+            name: name.to_owned(),
+            descriptor: descriptor.to_owned(),
+            access,
+            insns: Vec::new(),
+            labels: Vec::new(),
+            handlers: Vec::new(),
+            max_locals,
+        }
+    }
+
+    /// Declares a native method (no bytecode body; bound by the host VM).
+    pub fn native_method(&mut self, name: &str, descriptor: &str, access: AccessFlags) -> &mut Self {
+        let name = self.pool.utf8(name).expect("pool limit");
+        let descriptor_idx = self.pool.utf8(descriptor).expect("pool limit");
+        self.methods.push(MethodInfo {
+            access: access | AccessFlags::NATIVE,
+            name,
+            descriptor: descriptor_idx,
+            code: None,
+        });
+        self
+    }
+
+    /// Declares an abstract method (interfaces use this).
+    pub fn abstract_method(&mut self, name: &str, descriptor: &str, access: AccessFlags) -> &mut Self {
+        let name = self.pool.utf8(name).expect("pool limit");
+        let descriptor_idx = self.pool.utf8(descriptor).expect("pool limit");
+        self.methods.push(MethodInfo {
+            access: access | AccessFlags::ABSTRACT,
+            name,
+            descriptor: descriptor_idx,
+            code: None,
+        });
+        self
+    }
+
+    /// Finishes the class, validating its structure.
+    pub fn build(mut self) -> Result<ClassFile> {
+        let this_class = self.pool.class(&self.name)?;
+        let super_class = match &self.super_name {
+            Some(s) => self.pool.class(s)?,
+            None => 0,
+        };
+        let interfaces = self
+            .interfaces
+            .iter()
+            .map(|i| self.pool.class(i))
+            .collect::<Result<Vec<_>>>()?;
+        let cf = ClassFile {
+            minor_version: crate::MINOR_VERSION,
+            major_version: crate::MAJOR_VERSION,
+            pool: self.pool,
+            access: self.access,
+            this_class,
+            super_class,
+            interfaces,
+            fields: self.fields,
+            methods: self.methods,
+            attributes: Vec::<Attribute>::new(),
+        };
+        cf.validate()?;
+        Ok(cf)
+    }
+}
+
+struct HandlerSpec {
+    start: Label,
+    end: Label,
+    handler: Label,
+    catch_type: Option<String>,
+}
+
+/// Builds the bytecode body of one method. Obtained from
+/// [`ClassBuilder::method`]; call [`MethodBuilder::done`] to finish.
+pub struct MethodBuilder<'a> {
+    cb: &'a mut ClassBuilder,
+    name: String,
+    descriptor: String,
+    access: AccessFlags,
+    insns: Vec<Instruction>,
+    /// `labels[l]` = instruction index the label is bound to.
+    labels: Vec<Option<usize>>,
+    handlers: Vec<HandlerSpec>,
+    max_locals: u16,
+}
+
+impl MethodBuilder<'_> {
+    // ---- labels ----------------------------------------------------------
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() as u32 - 1)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    pub fn bind(&mut self, label: Label) {
+        self.labels[label.0 as usize] = Some(self.insns.len());
+    }
+
+    /// Creates a label already bound to the next instruction.
+    pub fn here(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    // ---- locals ----------------------------------------------------------
+
+    /// Reserves one more local slot, returning its index.
+    pub fn alloc_local(&mut self) -> u16 {
+        let idx = self.max_locals;
+        self.max_locals += 1;
+        idx
+    }
+
+    /// Ensures at least `n` local slots exist.
+    pub fn ensure_locals(&mut self, n: u16) {
+        self.max_locals = self.max_locals.max(n);
+    }
+
+    /// Current number of local slots.
+    pub fn max_locals(&self) -> u16 {
+        self.max_locals
+    }
+
+    // ---- raw emission ----------------------------------------------------
+
+    /// Emits an operand-less instruction.
+    pub fn op(&mut self, op: Opcode) -> &mut Self {
+        self.insns.push(Instruction::Simple(op));
+        self
+    }
+
+    /// Emits a prebuilt instruction.
+    pub fn raw(&mut self, insn: Instruction) -> &mut Self {
+        self.insns.push(insn);
+        self
+    }
+
+    // ---- constants -------------------------------------------------------
+
+    /// Pushes an `int` constant using the shortest encoding.
+    pub fn const_int(&mut self, v: i32) -> &mut Self {
+        let insn = match v {
+            -1 => Instruction::Simple(Opcode::IconstM1),
+            0 => Instruction::Simple(Opcode::Iconst0),
+            1 => Instruction::Simple(Opcode::Iconst1),
+            2 => Instruction::Simple(Opcode::Iconst2),
+            3 => Instruction::Simple(Opcode::Iconst3),
+            4 => Instruction::Simple(Opcode::Iconst4),
+            5 => Instruction::Simple(Opcode::Iconst5),
+            v if (-128..=127).contains(&v) => Instruction::Bipush(v as i8),
+            v if (-32768..=32767).contains(&v) => Instruction::Sipush(v as i16),
+            v => Instruction::Ldc(self.cb.pool.integer(v).expect("pool limit")),
+        };
+        self.insns.push(insn);
+        self
+    }
+
+    /// Pushes a `long` constant.
+    pub fn const_long(&mut self, v: i64) -> &mut Self {
+        let insn = match v {
+            0 => Instruction::Simple(Opcode::Lconst0),
+            1 => Instruction::Simple(Opcode::Lconst1),
+            v => Instruction::Ldc(self.cb.pool.long(v).expect("pool limit")),
+        };
+        self.insns.push(insn);
+        self
+    }
+
+    /// Pushes a `float` constant.
+    pub fn const_float(&mut self, v: f32) -> &mut Self {
+        let insn = if v.to_bits() == 0.0f32.to_bits() {
+            Instruction::Simple(Opcode::Fconst0)
+        } else if v == 1.0 {
+            Instruction::Simple(Opcode::Fconst1)
+        } else if v == 2.0 {
+            Instruction::Simple(Opcode::Fconst2)
+        } else {
+            Instruction::Ldc(self.cb.pool.float(v).expect("pool limit"))
+        };
+        self.insns.push(insn);
+        self
+    }
+
+    /// Pushes a `double` constant.
+    pub fn const_double(&mut self, v: f64) -> &mut Self {
+        let insn = if v.to_bits() == 0.0f64.to_bits() {
+            Instruction::Simple(Opcode::Dconst0)
+        } else if v == 1.0 {
+            Instruction::Simple(Opcode::Dconst1)
+        } else {
+            Instruction::Ldc(self.cb.pool.double(v).expect("pool limit"))
+        };
+        self.insns.push(insn);
+        self
+    }
+
+    /// Pushes a string literal.
+    pub fn const_string(&mut self, s: &str) -> &mut Self {
+        let idx = self.cb.pool.string(s).expect("pool limit");
+        self.insns.push(Instruction::Ldc(idx));
+        self
+    }
+
+    /// Pushes `null`.
+    pub fn const_null(&mut self) -> &mut Self {
+        self.op(Opcode::AconstNull)
+    }
+
+    // ---- locals access ----------------------------------------------------
+
+    /// `iload n`
+    pub fn iload(&mut self, n: u16) -> &mut Self {
+        self.local(Opcode::Iload, n)
+    }
+    /// `lload n`
+    pub fn lload(&mut self, n: u16) -> &mut Self {
+        self.local(Opcode::Lload, n)
+    }
+    /// `fload n`
+    pub fn fload(&mut self, n: u16) -> &mut Self {
+        self.local(Opcode::Fload, n)
+    }
+    /// `dload n`
+    pub fn dload(&mut self, n: u16) -> &mut Self {
+        self.local(Opcode::Dload, n)
+    }
+    /// `aload n`
+    pub fn aload(&mut self, n: u16) -> &mut Self {
+        self.local(Opcode::Aload, n)
+    }
+    /// `istore n`
+    pub fn istore(&mut self, n: u16) -> &mut Self {
+        self.local(Opcode::Istore, n)
+    }
+    /// `lstore n`
+    pub fn lstore(&mut self, n: u16) -> &mut Self {
+        self.local(Opcode::Lstore, n)
+    }
+    /// `fstore n`
+    pub fn fstore(&mut self, n: u16) -> &mut Self {
+        self.local(Opcode::Fstore, n)
+    }
+    /// `dstore n`
+    pub fn dstore(&mut self, n: u16) -> &mut Self {
+        self.local(Opcode::Dstore, n)
+    }
+    /// `astore n`
+    pub fn astore(&mut self, n: u16) -> &mut Self {
+        self.local(Opcode::Astore, n)
+    }
+
+    fn local(&mut self, op: Opcode, n: u16) -> &mut Self {
+        self.ensure_locals(n + 1);
+        self.insns.push(Instruction::Local(op, n));
+        self
+    }
+
+    /// `iinc local, delta`
+    pub fn iinc(&mut self, local: u16, delta: i16) -> &mut Self {
+        self.ensure_locals(local + 1);
+        self.insns.push(Instruction::Iinc { local, delta });
+        self
+    }
+
+    // ---- control flow ------------------------------------------------------
+
+    /// Emits a branch to `target`.
+    pub fn branch(&mut self, op: Opcode, target: Label) -> &mut Self {
+        debug_assert!(op.is_branch(), "{op:?} is not a branch");
+        self.insns.push(Instruction::Branch(op, target.0));
+        self
+    }
+
+    /// `goto target`
+    pub fn goto(&mut self, target: Label) -> &mut Self {
+        self.branch(Opcode::Goto, target)
+    }
+
+    /// Emits a `tableswitch` over consecutive keys starting at `low`.
+    pub fn tableswitch(&mut self, default: Label, low: i32, targets: &[Label]) -> &mut Self {
+        self.insns.push(Instruction::Tableswitch {
+            default: default.0,
+            low,
+            targets: targets.iter().map(|l| l.0).collect(),
+        });
+        self
+    }
+
+    /// Emits a `lookupswitch` over sorted `(key, label)` pairs.
+    pub fn lookupswitch(&mut self, default: Label, pairs: &[(i32, Label)]) -> &mut Self {
+        self.insns.push(Instruction::Lookupswitch {
+            default: default.0,
+            pairs: pairs.iter().map(|(k, l)| (*k, l.0)).collect(),
+        });
+        self
+    }
+
+    // ---- members ------------------------------------------------------------
+
+    /// `getstatic class.name : descriptor`
+    pub fn getstatic(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
+        let idx = self.cb.pool.field_ref(class, name, descriptor).expect("pool limit");
+        self.insns.push(Instruction::Field(Opcode::Getstatic, idx));
+        self
+    }
+
+    /// `putstatic class.name : descriptor`
+    pub fn putstatic(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
+        let idx = self.cb.pool.field_ref(class, name, descriptor).expect("pool limit");
+        self.insns.push(Instruction::Field(Opcode::Putstatic, idx));
+        self
+    }
+
+    /// `getfield class.name : descriptor`
+    pub fn getfield(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
+        let idx = self.cb.pool.field_ref(class, name, descriptor).expect("pool limit");
+        self.insns.push(Instruction::Field(Opcode::Getfield, idx));
+        self
+    }
+
+    /// `putfield class.name : descriptor`
+    pub fn putfield(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
+        let idx = self.cb.pool.field_ref(class, name, descriptor).expect("pool limit");
+        self.insns.push(Instruction::Field(Opcode::Putfield, idx));
+        self
+    }
+
+    /// `invokevirtual class.name descriptor`
+    pub fn invokevirtual(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
+        let idx = self.cb.pool.method_ref(class, name, descriptor).expect("pool limit");
+        self.insns.push(Instruction::Invoke(Opcode::Invokevirtual, idx));
+        self
+    }
+
+    /// `invokespecial class.name descriptor` (constructors, super calls).
+    pub fn invokespecial(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
+        let idx = self.cb.pool.method_ref(class, name, descriptor).expect("pool limit");
+        self.insns.push(Instruction::Invoke(Opcode::Invokespecial, idx));
+        self
+    }
+
+    /// `invokestatic class.name descriptor`
+    pub fn invokestatic(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
+        let idx = self.cb.pool.method_ref(class, name, descriptor).expect("pool limit");
+        self.insns.push(Instruction::Invoke(Opcode::Invokestatic, idx));
+        self
+    }
+
+    /// `invokeinterface class.name descriptor`
+    pub fn invokeinterface(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
+        let idx = self
+            .cb
+            .pool
+            .interface_method_ref(class, name, descriptor)
+            .expect("pool limit");
+        self.insns.push(Instruction::Invoke(Opcode::Invokeinterface, idx));
+        self
+    }
+
+    // ---- objects and arrays ---------------------------------------------------
+
+    /// `new class`
+    pub fn new_object(&mut self, class: &str) -> &mut Self {
+        let idx = self.cb.pool.class(class).expect("pool limit");
+        self.insns.push(Instruction::New(idx));
+        self
+    }
+
+    /// `newarray <primitive>`
+    pub fn newarray(&mut self, elem: BaseType) -> &mut Self {
+        self.insns.push(Instruction::Newarray(elem.newarray_code()));
+        self
+    }
+
+    /// `anewarray class`
+    pub fn anewarray(&mut self, class: &str) -> &mut Self {
+        let idx = self.cb.pool.class(class).expect("pool limit");
+        self.insns.push(Instruction::Anewarray(idx));
+        self
+    }
+
+    /// `checkcast class`
+    pub fn checkcast(&mut self, class: &str) -> &mut Self {
+        let idx = self.cb.pool.class(class).expect("pool limit");
+        self.insns.push(Instruction::Checkcast(idx));
+        self
+    }
+
+    /// `instanceof class`
+    pub fn instanceof(&mut self, class: &str) -> &mut Self {
+        let idx = self.cb.pool.class(class).expect("pool limit");
+        self.insns.push(Instruction::Instanceof(idx));
+        self
+    }
+
+    // ---- exception handling ------------------------------------------------
+
+    /// Registers an exception handler for the range `[start, end)`.
+    /// `catch_type: None` catches everything (`finally`).
+    pub fn exception_handler(
+        &mut self,
+        start: Label,
+        end: Label,
+        handler: Label,
+        catch_type: Option<&str>,
+    ) -> &mut Self {
+        self.handlers.push(HandlerSpec {
+            start,
+            end,
+            handler,
+            catch_type: catch_type.map(str::to_owned),
+        });
+        self
+    }
+
+    // ---- finish ---------------------------------------------------------------
+
+    /// Assembles the method: resolves labels, encodes bytecode, computes
+    /// `max_stack`, and appends the method to the class.
+    pub fn done(self) -> Result<()> {
+        let MethodBuilder { cb, name, descriptor, access, insns, labels, handlers, max_locals } =
+            self;
+
+        if insns.is_empty() {
+            return Err(ClassFileError::Builder(format!("method {name} has no code")));
+        }
+
+        // Pass 1: compute the byte offset of every instruction.
+        let mut offsets = Vec::with_capacity(insns.len());
+        let mut pc = 0u32;
+        for insn in &insns {
+            offsets.push(pc);
+            pc += encoded_size(insn, pc);
+        }
+        let code_len = pc;
+        if code_len > u16::MAX as u32 * 4 {
+            return Err(ClassFileError::LimitExceeded("code length"));
+        }
+
+        let resolve = |label_id: u32| -> Result<u32> {
+            let idx = labels
+                .get(label_id as usize)
+                .copied()
+                .flatten()
+                .ok_or_else(|| ClassFileError::Builder(format!("unbound label L{label_id}")))?;
+            Ok(if idx == insns.len() { code_len } else { offsets[idx] })
+        };
+
+        // Pass 2: encode with resolved targets.
+        let mut code = Vec::with_capacity(code_len as usize);
+        for (i, insn) in insns.iter().enumerate() {
+            encode(insn, offsets[i], &mut code, &resolve)?;
+        }
+        debug_assert_eq!(code.len() as u32, code_len);
+
+        // Exception table.
+        let mut exception_table = Vec::with_capacity(handlers.len());
+        for h in &handlers {
+            let catch_type = match &h.catch_type {
+                Some(c) => cb.pool.class(c)?,
+                None => 0,
+            };
+            exception_table.push(ExceptionTableEntry {
+                start_pc: resolve(h.start.0)?,
+                end_pc: resolve(h.end.0)?,
+                handler_pc: resolve(h.handler.0)?,
+                catch_type,
+            });
+        }
+
+        // Pass 3: max_stack via worklist dataflow over the decoded stream.
+        let max_stack = compute_max_stack(&code, &exception_table, &cb.pool, &name)?;
+
+        let name_idx = cb.pool.utf8(&name)?;
+        let desc_idx = cb.pool.utf8(&descriptor)?;
+        cb.methods.push(MethodInfo {
+            access,
+            name: name_idx,
+            descriptor: desc_idx,
+            code: Some(Code { max_stack, max_locals, code, exception_table }),
+        });
+        Ok(())
+    }
+}
+
+/// Size in bytes of `insn` when encoded at offset `pc`.
+fn encoded_size(insn: &Instruction, pc: u32) -> u32 {
+    match insn {
+        Instruction::Simple(_) => 1,
+        Instruction::Bipush(_) => 2,
+        Instruction::Sipush(_) => 3,
+        Instruction::Ldc(idx) => {
+            if *idx <= u8::MAX as u16 {
+                2
+            } else {
+                3
+            }
+        }
+        Instruction::Local(_, n) => {
+            if *n <= 3 {
+                1
+            } else {
+                2
+            }
+        }
+        Instruction::Iinc { .. } => 3,
+        Instruction::Branch(..) => 3,
+        Instruction::Tableswitch { targets, .. } => {
+            let pad = pad_after(pc);
+            1 + pad + 12 + 4 * targets.len() as u32
+        }
+        Instruction::Lookupswitch { pairs, .. } => {
+            let pad = pad_after(pc);
+            1 + pad + 8 + 8 * pairs.len() as u32
+        }
+        Instruction::Field(..) => 3,
+        Instruction::Invoke(op, _) => {
+            if *op == Opcode::Invokeinterface {
+                5
+            } else {
+                3
+            }
+        }
+        Instruction::New(_) => 3,
+        Instruction::Newarray(_) => 2,
+        Instruction::Anewarray(_) => 3,
+        Instruction::Checkcast(_) => 3,
+        Instruction::Instanceof(_) => 3,
+    }
+}
+
+/// Padding bytes needed after the opcode byte at `pc` to 4-align.
+fn pad_after(pc: u32) -> u32 {
+    (4 - ((pc + 1) % 4)) % 4
+}
+
+fn encode(
+    insn: &Instruction,
+    pc: u32,
+    out: &mut Vec<u8>,
+    resolve: &dyn Fn(u32) -> Result<u32>,
+) -> Result<()> {
+    let branch16 = |target: u32| -> Result<[u8; 2]> {
+        let off = target as i64 - pc as i64;
+        let off16 = i16::try_from(off)
+            .map_err(|_| ClassFileError::BadBranchTarget { at: pc, target: target as i64 })?;
+        Ok((off16 as u16).to_be_bytes())
+    };
+    match insn {
+        Instruction::Simple(op) => out.push(op.as_byte()),
+        Instruction::Bipush(v) => {
+            out.push(Opcode::Bipush.as_byte());
+            out.push(*v as u8);
+        }
+        Instruction::Sipush(v) => {
+            out.push(Opcode::Sipush.as_byte());
+            out.extend_from_slice(&(*v as u16).to_be_bytes());
+        }
+        Instruction::Ldc(idx) => {
+            if *idx <= u8::MAX as u16 {
+                out.push(Opcode::Ldc.as_byte());
+                out.push(*idx as u8);
+            } else {
+                out.push(Opcode::LdcW.as_byte());
+                out.extend_from_slice(&idx.to_be_bytes());
+            }
+        }
+        Instruction::Local(op, n) => {
+            use Opcode as O;
+            if *n <= 3 {
+                let base = match op {
+                    O::Iload => O::Iload0,
+                    O::Lload => O::Lload0,
+                    O::Fload => O::Fload0,
+                    O::Dload => O::Dload0,
+                    O::Aload => O::Aload0,
+                    O::Istore => O::Istore0,
+                    O::Lstore => O::Lstore0,
+                    O::Fstore => O::Fstore0,
+                    O::Dstore => O::Dstore0,
+                    O::Astore => O::Astore0,
+                    _ => return Err(ClassFileError::Builder(format!("bad local op {op:?}"))),
+                };
+                out.push(base.as_byte() + *n as u8);
+            } else {
+                if *n > u8::MAX as u16 {
+                    return Err(ClassFileError::LimitExceeded("local index"));
+                }
+                out.push(op.as_byte());
+                out.push(*n as u8);
+            }
+        }
+        Instruction::Iinc { local, delta } => {
+            if *local > u8::MAX as u16 {
+                return Err(ClassFileError::LimitExceeded("iinc local index"));
+            }
+            if *delta < i8::MIN as i16 || *delta > i8::MAX as i16 {
+                return Err(ClassFileError::LimitExceeded("iinc delta"));
+            }
+            out.push(Opcode::Iinc.as_byte());
+            out.push(*local as u8);
+            out.push(*delta as i8 as u8);
+        }
+        Instruction::Branch(op, label) => {
+            let target = resolve(*label)?;
+            out.push(op.as_byte());
+            out.extend_from_slice(&branch16(target)?);
+        }
+        Instruction::Tableswitch { default, low, targets } => {
+            out.push(Opcode::Tableswitch.as_byte());
+            for _ in 0..pad_after(pc) {
+                out.push(0);
+            }
+            let d = resolve(*default)?;
+            out.extend_from_slice(&(d as i64 - pc as i64).to_be_bytes()[4..]);
+            out.extend_from_slice(&low.to_be_bytes());
+            let high = *low + targets.len() as i32 - 1;
+            out.extend_from_slice(&high.to_be_bytes());
+            for t in targets {
+                let t = resolve(*t)?;
+                out.extend_from_slice(&((t as i64 - pc as i64) as i32).to_be_bytes());
+            }
+        }
+        Instruction::Lookupswitch { default, pairs } => {
+            out.push(Opcode::Lookupswitch.as_byte());
+            for _ in 0..pad_after(pc) {
+                out.push(0);
+            }
+            let d = resolve(*default)?;
+            out.extend_from_slice(&((d as i64 - pc as i64) as i32).to_be_bytes());
+            out.extend_from_slice(&(pairs.len() as u32).to_be_bytes());
+            let mut sorted = pairs.clone();
+            sorted.sort_by_key(|(k, _)| *k);
+            for (k, t) in sorted {
+                let t = resolve(t)?;
+                out.extend_from_slice(&k.to_be_bytes());
+                out.extend_from_slice(&((t as i64 - pc as i64) as i32).to_be_bytes());
+            }
+        }
+        Instruction::Field(op, idx) | Instruction::Invoke(op, idx)
+            if *op != Opcode::Invokeinterface =>
+        {
+            out.push(op.as_byte());
+            out.extend_from_slice(&idx.to_be_bytes());
+        }
+        Instruction::Invoke(_, idx) => {
+            // invokeinterface: index, count, 0 (count kept for format parity)
+            out.push(Opcode::Invokeinterface.as_byte());
+            out.extend_from_slice(&idx.to_be_bytes());
+            out.push(0);
+            out.push(0);
+        }
+        Instruction::Field(..) => unreachable!("covered above"),
+        Instruction::New(idx) => {
+            out.push(Opcode::New.as_byte());
+            out.extend_from_slice(&idx.to_be_bytes());
+        }
+        Instruction::Newarray(atype) => {
+            out.push(Opcode::Newarray.as_byte());
+            out.push(*atype);
+        }
+        Instruction::Anewarray(idx) => {
+            out.push(Opcode::Anewarray.as_byte());
+            out.extend_from_slice(&idx.to_be_bytes());
+        }
+        Instruction::Checkcast(idx) => {
+            out.push(Opcode::Checkcast.as_byte());
+            out.extend_from_slice(&idx.to_be_bytes());
+        }
+        Instruction::Instanceof(idx) => {
+            out.push(Opcode::Instanceof.as_byte());
+            out.extend_from_slice(&idx.to_be_bytes());
+        }
+    }
+    Ok(())
+}
+
+/// `(pops, pushes)` of one instruction in the single-slot model.
+pub fn stack_effect(insn: &Instruction, pool: &ConstPool) -> Result<(u16, u16)> {
+    use Opcode as O;
+    Ok(match insn {
+        Instruction::Simple(op) => match op {
+            O::Nop => (0, 0),
+            O::AconstNull
+            | O::IconstM1
+            | O::Iconst0
+            | O::Iconst1
+            | O::Iconst2
+            | O::Iconst3
+            | O::Iconst4
+            | O::Iconst5
+            | O::Lconst0
+            | O::Lconst1
+            | O::Fconst0
+            | O::Fconst1
+            | O::Fconst2
+            | O::Dconst0
+            | O::Dconst1 => (0, 1),
+            O::Iaload | O::Laload | O::Faload | O::Daload | O::Aaload | O::Baload | O::Caload
+            | O::Saload => (2, 1),
+            O::Iastore | O::Lastore | O::Fastore | O::Dastore | O::Aastore | O::Bastore
+            | O::Castore | O::Sastore => (3, 0),
+            O::Pop => (1, 0),
+            O::Pop2 => (2, 0),
+            O::Dup => (1, 2),
+            O::DupX1 => (2, 3),
+            O::DupX2 => (3, 4),
+            O::Dup2 => (2, 4),
+            O::Dup2X1 => (3, 5),
+            O::Dup2X2 => (4, 6),
+            O::Swap => (2, 2),
+            O::Iadd | O::Ladd | O::Fadd | O::Dadd | O::Isub | O::Lsub | O::Fsub | O::Dsub
+            | O::Imul | O::Lmul | O::Fmul | O::Dmul | O::Idiv | O::Ldiv | O::Fdiv | O::Ddiv
+            | O::Irem | O::Lrem | O::Frem | O::Drem | O::Ishl | O::Lshl | O::Ishr | O::Lshr
+            | O::Iushr | O::Lushr | O::Iand | O::Land | O::Ior | O::Lor | O::Ixor | O::Lxor => {
+                (2, 1)
+            }
+            O::Ineg | O::Lneg | O::Fneg | O::Dneg => (1, 1),
+            O::I2l | O::I2f | O::I2d | O::L2i | O::L2f | O::L2d | O::F2i | O::F2l | O::F2d
+            | O::D2i | O::D2l | O::D2f | O::I2b | O::I2c | O::I2s => (1, 1),
+            O::Lcmp | O::Fcmpl | O::Fcmpg | O::Dcmpl | O::Dcmpg => (2, 1),
+            O::Ireturn | O::Lreturn | O::Freturn | O::Dreturn | O::Areturn => (1, 0),
+            O::Return => (0, 0),
+            O::Arraylength => (1, 1),
+            O::Athrow => (1, 0),
+            O::Monitorenter | O::Monitorexit => (1, 0),
+            other => {
+                return Err(ClassFileError::Builder(format!(
+                    "opcode {other:?} is not operand-less"
+                )));
+            }
+        },
+        Instruction::Bipush(_) | Instruction::Sipush(_) | Instruction::Ldc(_) => (0, 1),
+        Instruction::Local(op, _) => match op {
+            O::Iload | O::Lload | O::Fload | O::Dload | O::Aload => (0, 1),
+            O::Istore | O::Lstore | O::Fstore | O::Dstore | O::Astore => (1, 0),
+            other => {
+                return Err(ClassFileError::Builder(format!("bad local op {other:?}")));
+            }
+        },
+        Instruction::Iinc { .. } => (0, 0),
+        Instruction::Branch(op, _) => match op {
+            O::Goto => (0, 0),
+            O::Ifeq | O::Ifne | O::Iflt | O::Ifge | O::Ifgt | O::Ifle | O::Ifnull
+            | O::Ifnonnull => (1, 0),
+            _ => (2, 0), // if_icmp*, if_acmp*
+        },
+        Instruction::Tableswitch { .. } | Instruction::Lookupswitch { .. } => (1, 0),
+        Instruction::Field(op, idx) => {
+            let (_, _, desc) = pool.member_ref_at(*idx)?;
+            let _ = crate::descriptor::FieldType::parse(desc)?;
+            match op {
+                O::Getstatic => (0, 1),
+                O::Putstatic => (1, 0),
+                O::Getfield => (1, 1),
+                O::Putfield => (2, 0),
+                _ => unreachable!(),
+            }
+        }
+        Instruction::Invoke(op, idx) => {
+            let (_, _, desc) = pool.member_ref_at(*idx)?;
+            let d = MethodDescriptor::parse(desc)?;
+            let mut pops = d.param_slots() as u16;
+            if *op != O::Invokestatic {
+                pops += 1;
+            }
+            (pops, if d.is_void() { 0 } else { 1 })
+        }
+        Instruction::New(_) => (0, 1),
+        Instruction::Newarray(_) | Instruction::Anewarray(_) => (1, 1),
+        Instruction::Checkcast(_) => (1, 1),
+        Instruction::Instanceof(_) => (1, 1),
+    })
+}
+
+/// Computes `max_stack` with a worklist dataflow over the encoded code.
+///
+/// Also acts as a structural verifier: it rejects stack underflow and
+/// inconsistent depths at join points.
+pub fn compute_max_stack(
+    code: &[u8],
+    handlers: &[ExceptionTableEntry],
+    pool: &ConstPool,
+    method_name: &str,
+) -> Result<u16> {
+    let insns = crate::instruction::decode_all(code)?;
+    let index_of: std::collections::HashMap<u32, usize> =
+        insns.iter().enumerate().map(|(i, (off, _))| (*off, i)).collect();
+    let lookup = |off: u32| -> Result<usize> {
+        index_of.get(&off).copied().ok_or(ClassFileError::BadBranchTarget {
+            at: off,
+            target: off as i64,
+        })
+    };
+
+    let mut depth_in: Vec<Option<i32>> = vec![None; insns.len()];
+    let mut work: Vec<(usize, i32)> = vec![(0, 0)];
+    // Handler entry points start with the thrown exception on the stack.
+    for h in handlers {
+        work.push((lookup(h.handler_pc)?, 1));
+    }
+
+    let mut max = 0i32;
+    while let Some((i, depth)) = work.pop() {
+        match depth_in[i] {
+            Some(d) if d == depth => continue,
+            Some(d) => {
+                return Err(ClassFileError::Builder(format!(
+                    "method {method_name}: stack depth mismatch at offset {} ({} vs {})",
+                    insns[i].0, d, depth
+                )));
+            }
+            None => depth_in[i] = Some(depth),
+        }
+        let (off, insn) = &insns[i];
+        let (pops, pushes) = stack_effect(insn, pool)?;
+        let after = depth - pops as i32 + pushes as i32;
+        if depth - (pops as i32) < 0 {
+            return Err(ClassFileError::Builder(format!(
+                "method {method_name}: stack underflow at offset {off}"
+            )));
+        }
+        max = max.max(after).max(depth);
+
+        match insn {
+            Instruction::Branch(op, target) => {
+                work.push((lookup(*target)?, after));
+                if *op != Opcode::Goto {
+                    if i + 1 < insns.len() {
+                        work.push((i + 1, after));
+                    }
+                }
+            }
+            Instruction::Tableswitch { default, targets, .. } => {
+                work.push((lookup(*default)?, after));
+                for t in targets {
+                    work.push((lookup(*t)?, after));
+                }
+            }
+            Instruction::Lookupswitch { default, pairs } => {
+                work.push((lookup(*default)?, after));
+                for (_, t) in pairs {
+                    work.push((lookup(*t)?, after));
+                }
+            }
+            _ if insn.opcode().ends_basic_block() => {}
+            _ => {
+                if i + 1 < insns.len() {
+                    work.push((i + 1, after));
+                } else {
+                    return Err(ClassFileError::Builder(format!(
+                        "method {method_name}: control flow falls off the end of the code"
+                    )));
+                }
+            }
+        }
+    }
+
+    u16::try_from(max).map_err(|_| ClassFileError::LimitExceeded("max stack"))
+}
+
+/// Builds an exception-throwing helper: `CodeBuilder` shorthand is exposed
+/// as a type alias for discoverability.
+pub type CodeBuilder<'a> = MethodBuilder<'a>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_add() -> ClassFile {
+        let mut cb = ClassBuilder::new("T", "java/lang/Object", AccessFlags::PUBLIC);
+        let mut m = cb.method("add", "(II)I", AccessFlags::PUBLIC | AccessFlags::STATIC);
+        m.iload(0);
+        m.iload(1);
+        m.op(Opcode::Iadd);
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+        cb.build().unwrap()
+    }
+
+    #[test]
+    fn simple_method_assembles() {
+        let c = build_add();
+        let m = c.find_method("add", "(II)I").unwrap();
+        let code = m.code.as_ref().unwrap();
+        assert_eq!(code.code, vec![0x1a, 0x1b, 0x60, 0xac]);
+        assert_eq!(code.max_stack, 2);
+        assert_eq!(code.max_locals, 2);
+    }
+
+    #[test]
+    fn forward_and_backward_branches() {
+        let mut cb = ClassBuilder::new("L", "java/lang/Object", AccessFlags::PUBLIC);
+        let mut m = cb.method("count", "(I)I", AccessFlags::STATIC);
+        // int s = 0; while (i > 0) { s += i; i--; } return s;
+        let s = m.alloc_local();
+        m.const_int(0);
+        m.istore(s);
+        let head = m.here();
+        let exit = m.new_label();
+        m.iload(0);
+        m.branch(Opcode::Ifle, exit);
+        m.iload(s);
+        m.iload(0);
+        m.op(Opcode::Iadd);
+        m.istore(s);
+        m.iinc(0, -1);
+        m.goto(head);
+        m.bind(exit);
+        m.iload(s);
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+        let c = cb.build().unwrap();
+        let code = c.find_method("count", "(I)I").unwrap().code.as_ref().unwrap();
+        assert!(code.max_stack >= 2);
+        // Round-trips through the decoder.
+        crate::instruction::decode_all(&code.code).unwrap();
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut cb = ClassBuilder::new("U", "java/lang/Object", AccessFlags::PUBLIC);
+        let mut m = cb.method("f", "()V", AccessFlags::STATIC);
+        let l = m.new_label();
+        m.goto(l);
+        m.op(Opcode::Return);
+        assert!(matches!(m.done(), Err(ClassFileError::Builder(_))));
+    }
+
+    #[test]
+    fn stack_underflow_is_detected() {
+        let mut cb = ClassBuilder::new("U2", "java/lang/Object", AccessFlags::PUBLIC);
+        let mut m = cb.method("f", "()V", AccessFlags::STATIC);
+        m.op(Opcode::Pop); // nothing to pop
+        m.op(Opcode::Return);
+        assert!(m.done().is_err());
+    }
+
+    #[test]
+    fn falling_off_the_end_is_detected() {
+        let mut cb = ClassBuilder::new("U3", "java/lang/Object", AccessFlags::PUBLIC);
+        let mut m = cb.method("f", "()V", AccessFlags::STATIC);
+        m.const_int(1);
+        m.op(Opcode::Pop);
+        assert!(m.done().is_err());
+    }
+
+    #[test]
+    fn exception_handler_depth_is_one() {
+        let mut cb = ClassBuilder::new("E", "java/lang/Object", AccessFlags::PUBLIC);
+        let mut m = cb.method("f", "()V", AccessFlags::STATIC);
+        let start = m.here();
+        m.op(Opcode::Nop);
+        let end = m.here();
+        m.op(Opcode::Return);
+        let handler = m.here();
+        m.op(Opcode::Pop); // pops the exception
+        m.op(Opcode::Return);
+        m.exception_handler(start, end, handler, None);
+        m.done().unwrap();
+        let c = cb.build().unwrap();
+        let code = c.find_method("f", "()V").unwrap().code.as_ref().unwrap();
+        assert_eq!(code.exception_table.len(), 1);
+        assert_eq!(code.max_stack, 1);
+    }
+
+    #[test]
+    fn tableswitch_assembles_and_decodes() {
+        let mut cb = ClassBuilder::new("S", "java/lang/Object", AccessFlags::PUBLIC);
+        let mut m = cb.method("sel", "(I)I", AccessFlags::STATIC);
+        let l0 = m.new_label();
+        let l1 = m.new_label();
+        let def = m.new_label();
+        m.iload(0);
+        m.tableswitch(def, 0, &[l0, l1]);
+        m.bind(l0);
+        m.const_int(10);
+        m.op(Opcode::Ireturn);
+        m.bind(l1);
+        m.const_int(20);
+        m.op(Opcode::Ireturn);
+        m.bind(def);
+        m.const_int(-1);
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+        let c = cb.build().unwrap();
+        let code = c.find_method("sel", "(I)I").unwrap().code.as_ref().unwrap();
+        let insns = crate::instruction::decode_all(&code.code).unwrap();
+        let (_, sw) = &insns[1];
+        match sw {
+            Instruction::Tableswitch { low, targets, .. } => {
+                assert_eq!(*low, 0);
+                assert_eq!(targets.len(), 2);
+            }
+            other => panic!("expected tableswitch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interning_reuses_pool_entries() {
+        let mut cb = ClassBuilder::new("I", "java/lang/Object", AccessFlags::PUBLIC);
+        let mut m = cb.method("f", "()V", AccessFlags::STATIC);
+        m.const_string("hello");
+        m.op(Opcode::Pop);
+        m.const_string("hello");
+        m.op(Opcode::Pop);
+        m.op(Opcode::Return);
+        m.done().unwrap();
+        let c = cb.build().unwrap();
+        let strings = c
+            .pool
+            .iter()
+            .filter(|(_, e)| matches!(e, crate::constant::ConstEntry::String { .. }))
+            .count();
+        assert_eq!(strings, 1);
+    }
+}

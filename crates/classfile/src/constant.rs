@@ -1,0 +1,359 @@
+//! Constant pool: the shared table of symbolic references and literals.
+
+use crate::error::{ClassFileError, Result};
+use std::collections::HashMap;
+
+/// Index into a [`ConstPool`]. Index 0 is reserved and never valid,
+/// matching the JVM convention.
+pub type CpIndex = u16;
+
+/// Constant pool entry tags (binary encoding).
+pub mod tag {
+    pub const UTF8: u8 = 1;
+    pub const INTEGER: u8 = 3;
+    pub const FLOAT: u8 = 4;
+    pub const LONG: u8 = 5;
+    pub const DOUBLE: u8 = 6;
+    pub const CLASS: u8 = 7;
+    pub const STRING: u8 = 8;
+    pub const FIELDREF: u8 = 9;
+    pub const METHODREF: u8 = 10;
+    pub const INTERFACE_METHODREF: u8 = 11;
+    pub const NAME_AND_TYPE: u8 = 12;
+}
+
+/// One entry in the constant pool.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstEntry {
+    /// Modified-UTF8 string (we store plain UTF-8).
+    Utf8(String),
+    /// 32-bit integer literal.
+    Integer(i32),
+    /// 32-bit float literal.
+    Float(f32),
+    /// 64-bit integer literal.
+    Long(i64),
+    /// 64-bit float literal.
+    Double(f64),
+    /// Symbolic reference to a class; payload is a `Utf8` index holding the
+    /// internal name (e.g. `java/lang/Object`).
+    Class { name: CpIndex },
+    /// String literal; payload is a `Utf8` index.
+    String { utf8: CpIndex },
+    /// Symbolic reference to a field.
+    FieldRef { class: CpIndex, name_and_type: CpIndex },
+    /// Symbolic reference to a class method.
+    MethodRef { class: CpIndex, name_and_type: CpIndex },
+    /// Symbolic reference to an interface method.
+    InterfaceMethodRef { class: CpIndex, name_and_type: CpIndex },
+    /// Pair of name and descriptor `Utf8` indices.
+    NameAndType { name: CpIndex, descriptor: CpIndex },
+}
+
+impl ConstEntry {
+    /// The binary tag for this entry.
+    pub fn tag(&self) -> u8 {
+        match self {
+            ConstEntry::Utf8(_) => tag::UTF8,
+            ConstEntry::Integer(_) => tag::INTEGER,
+            ConstEntry::Float(_) => tag::FLOAT,
+            ConstEntry::Long(_) => tag::LONG,
+            ConstEntry::Double(_) => tag::DOUBLE,
+            ConstEntry::Class { .. } => tag::CLASS,
+            ConstEntry::String { .. } => tag::STRING,
+            ConstEntry::FieldRef { .. } => tag::FIELDREF,
+            ConstEntry::MethodRef { .. } => tag::METHODREF,
+            ConstEntry::InterfaceMethodRef { .. } => tag::INTERFACE_METHODREF,
+            ConstEntry::NameAndType { .. } => tag::NAME_AND_TYPE,
+        }
+    }
+}
+
+/// The constant pool of a class file.
+///
+/// Entries are 1-indexed; unlike the JVM spec, `Long`/`Double` occupy a
+/// single slot (the reader/writer preserve this crate's convention).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConstPool {
+    entries: Vec<ConstEntry>,
+    // Interning maps used by the builder so identical constants share a slot.
+    utf8_index: HashMap<String, CpIndex>,
+}
+
+impl ConstPool {
+    /// Creates an empty pool.
+    pub fn new() -> ConstPool {
+        ConstPool::default()
+    }
+
+    /// Number of entries (excluding the reserved slot 0).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the pool holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(index, entry)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (CpIndex, &ConstEntry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| ((i + 1) as CpIndex, e))
+    }
+
+    fn push(&mut self, entry: ConstEntry) -> Result<CpIndex> {
+        if self.entries.len() >= u16::MAX as usize - 1 {
+            return Err(ClassFileError::LimitExceeded("constant pool size"));
+        }
+        self.entries.push(entry);
+        Ok(self.entries.len() as CpIndex)
+    }
+
+    /// Appends a raw entry without interning (used by the reader).
+    pub fn push_raw(&mut self, entry: ConstEntry) -> Result<CpIndex> {
+        if let ConstEntry::Utf8(s) = &entry {
+            let idx = (self.entries.len() + 1) as CpIndex;
+            self.utf8_index.entry(s.clone()).or_insert(idx);
+        }
+        self.push(entry)
+    }
+
+    /// Looks up an entry; index 0 and out-of-range indices return an error.
+    pub fn get(&self, index: CpIndex) -> Result<&ConstEntry> {
+        if index == 0 {
+            return Err(ClassFileError::BadConstantIndex { index, expected: "non-zero entry" });
+        }
+        self.entries
+            .get(index as usize - 1)
+            .ok_or(ClassFileError::BadConstantIndex { index, expected: "in-range entry" })
+    }
+
+    /// Interns a UTF-8 constant, returning an existing slot when possible.
+    pub fn utf8(&mut self, s: &str) -> Result<CpIndex> {
+        if let Some(&idx) = self.utf8_index.get(s) {
+            return Ok(idx);
+        }
+        let idx = self.push(ConstEntry::Utf8(s.to_owned()))?;
+        self.utf8_index.insert(s.to_owned(), idx);
+        Ok(idx)
+    }
+
+    /// Interns an integer constant.
+    pub fn integer(&mut self, v: i32) -> Result<CpIndex> {
+        self.find_or_push(|e| matches!(e, ConstEntry::Integer(x) if *x == v), ConstEntry::Integer(v))
+    }
+
+    /// Interns a float constant (bitwise comparison).
+    pub fn float(&mut self, v: f32) -> Result<CpIndex> {
+        self.find_or_push(
+            |e| matches!(e, ConstEntry::Float(x) if x.to_bits() == v.to_bits()),
+            ConstEntry::Float(v),
+        )
+    }
+
+    /// Interns a long constant.
+    pub fn long(&mut self, v: i64) -> Result<CpIndex> {
+        self.find_or_push(|e| matches!(e, ConstEntry::Long(x) if *x == v), ConstEntry::Long(v))
+    }
+
+    /// Interns a double constant (bitwise comparison).
+    pub fn double(&mut self, v: f64) -> Result<CpIndex> {
+        self.find_or_push(
+            |e| matches!(e, ConstEntry::Double(x) if x.to_bits() == v.to_bits()),
+            ConstEntry::Double(v),
+        )
+    }
+
+    /// Interns a class reference by internal name.
+    pub fn class(&mut self, internal_name: &str) -> Result<CpIndex> {
+        let name = self.utf8(internal_name)?;
+        self.find_or_push(
+            |e| matches!(e, ConstEntry::Class { name: n } if *n == name),
+            ConstEntry::Class { name },
+        )
+    }
+
+    /// Interns a string literal.
+    pub fn string(&mut self, value: &str) -> Result<CpIndex> {
+        let utf8 = self.utf8(value)?;
+        self.find_or_push(
+            |e| matches!(e, ConstEntry::String { utf8: u } if *u == utf8),
+            ConstEntry::String { utf8 },
+        )
+    }
+
+    /// Interns a `NameAndType` pair.
+    pub fn name_and_type(&mut self, name: &str, descriptor: &str) -> Result<CpIndex> {
+        let name = self.utf8(name)?;
+        let descriptor = self.utf8(descriptor)?;
+        self.find_or_push(
+            |e| {
+                matches!(e, ConstEntry::NameAndType { name: n, descriptor: d }
+                         if *n == name && *d == descriptor)
+            },
+            ConstEntry::NameAndType { name, descriptor },
+        )
+    }
+
+    /// Interns a field reference.
+    pub fn field_ref(&mut self, class: &str, name: &str, descriptor: &str) -> Result<CpIndex> {
+        let class = self.class(class)?;
+        let nat = self.name_and_type(name, descriptor)?;
+        self.find_or_push(
+            |e| {
+                matches!(e, ConstEntry::FieldRef { class: c, name_and_type: n }
+                         if *c == class && *n == nat)
+            },
+            ConstEntry::FieldRef { class, name_and_type: nat },
+        )
+    }
+
+    /// Interns a class-method reference.
+    pub fn method_ref(&mut self, class: &str, name: &str, descriptor: &str) -> Result<CpIndex> {
+        let class = self.class(class)?;
+        let nat = self.name_and_type(name, descriptor)?;
+        self.find_or_push(
+            |e| {
+                matches!(e, ConstEntry::MethodRef { class: c, name_and_type: n }
+                         if *c == class && *n == nat)
+            },
+            ConstEntry::MethodRef { class, name_and_type: nat },
+        )
+    }
+
+    /// Interns an interface-method reference.
+    pub fn interface_method_ref(
+        &mut self,
+        class: &str,
+        name: &str,
+        descriptor: &str,
+    ) -> Result<CpIndex> {
+        let class = self.class(class)?;
+        let nat = self.name_and_type(name, descriptor)?;
+        self.find_or_push(
+            |e| {
+                matches!(e, ConstEntry::InterfaceMethodRef { class: c, name_and_type: n }
+                         if *c == class && *n == nat)
+            },
+            ConstEntry::InterfaceMethodRef { class, name_and_type: nat },
+        )
+    }
+
+    fn find_or_push(
+        &mut self,
+        pred: impl Fn(&ConstEntry) -> bool,
+        entry: ConstEntry,
+    ) -> Result<CpIndex> {
+        for (i, e) in self.entries.iter().enumerate() {
+            if pred(e) {
+                return Ok((i + 1) as CpIndex);
+            }
+        }
+        self.push(entry)
+    }
+
+    // ---- typed accessors -------------------------------------------------
+
+    /// Reads a `Utf8` entry as `&str`.
+    pub fn utf8_at(&self, index: CpIndex) -> Result<&str> {
+        match self.get(index)? {
+            ConstEntry::Utf8(s) => Ok(s),
+            _ => Err(ClassFileError::BadConstantIndex { index, expected: "Utf8" }),
+        }
+    }
+
+    /// Reads a `Class` entry, returning the referenced internal name.
+    pub fn class_name_at(&self, index: CpIndex) -> Result<&str> {
+        match self.get(index)? {
+            ConstEntry::Class { name } => self.utf8_at(*name),
+            _ => Err(ClassFileError::BadConstantIndex { index, expected: "Class" }),
+        }
+    }
+
+    /// Reads a `String` entry, returning the literal value.
+    pub fn string_at(&self, index: CpIndex) -> Result<&str> {
+        match self.get(index)? {
+            ConstEntry::String { utf8 } => self.utf8_at(*utf8),
+            _ => Err(ClassFileError::BadConstantIndex { index, expected: "String" }),
+        }
+    }
+
+    /// Reads a `NameAndType` entry as `(name, descriptor)`.
+    pub fn name_and_type_at(&self, index: CpIndex) -> Result<(&str, &str)> {
+        match self.get(index)? {
+            ConstEntry::NameAndType { name, descriptor } => {
+                Ok((self.utf8_at(*name)?, self.utf8_at(*descriptor)?))
+            }
+            _ => Err(ClassFileError::BadConstantIndex { index, expected: "NameAndType" }),
+        }
+    }
+
+    /// Reads any member reference (field, method or interface method) as
+    /// `(class_name, member_name, descriptor)`.
+    pub fn member_ref_at(&self, index: CpIndex) -> Result<(&str, &str, &str)> {
+        let (class, nat) = match self.get(index)? {
+            ConstEntry::FieldRef { class, name_and_type }
+            | ConstEntry::MethodRef { class, name_and_type }
+            | ConstEntry::InterfaceMethodRef { class, name_and_type } => (*class, *name_and_type),
+            _ => {
+                return Err(ClassFileError::BadConstantIndex { index, expected: "member ref" });
+            }
+        };
+        let class_name = self.class_name_at(class)?;
+        let (name, desc) = self.name_and_type_at(nat)?;
+        Ok((class_name, name, desc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utf8_interning_shares_slots() {
+        let mut cp = ConstPool::new();
+        let a = cp.utf8("hello").unwrap();
+        let b = cp.utf8("hello").unwrap();
+        let c = cp.utf8("world").unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(cp.utf8_at(a).unwrap(), "hello");
+    }
+
+    #[test]
+    fn member_refs_resolve_transitively() {
+        let mut cp = ConstPool::new();
+        let m = cp.method_ref("Foo", "bar", "(I)V").unwrap();
+        let (c, n, d) = cp.member_ref_at(m).unwrap();
+        assert_eq!((c, n, d), ("Foo", "bar", "(I)V"));
+    }
+
+    #[test]
+    fn index_zero_is_invalid() {
+        let cp = ConstPool::new();
+        assert!(cp.get(0).is_err());
+        assert!(cp.get(1).is_err());
+    }
+
+    #[test]
+    fn numeric_interning() {
+        let mut cp = ConstPool::new();
+        assert_eq!(cp.integer(42).unwrap(), cp.integer(42).unwrap());
+        assert_ne!(cp.integer(42).unwrap(), cp.integer(43).unwrap());
+        assert_eq!(cp.long(1 << 40).unwrap(), cp.long(1 << 40).unwrap());
+        // f32 NaN interning is bitwise.
+        assert_eq!(cp.float(f32::NAN).unwrap(), cp.float(f32::NAN).unwrap());
+    }
+
+    #[test]
+    fn string_entries_point_at_utf8() {
+        let mut cp = ConstPool::new();
+        let s = cp.string("lit").unwrap();
+        assert_eq!(cp.string_at(s).unwrap(), "lit");
+        // The same literal is interned.
+        assert_eq!(s, cp.string("lit").unwrap());
+    }
+}

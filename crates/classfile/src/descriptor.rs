@@ -1,0 +1,289 @@
+//! Field and method descriptors (`I`, `Ljava/lang/String;`, `(IJ)V`, …).
+
+use crate::error::{ClassFileError, Result};
+use std::fmt;
+
+/// A primitive type as it appears in descriptors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaseType {
+    /// `Z`
+    Boolean,
+    /// `B`
+    Byte,
+    /// `C`
+    Char,
+    /// `S`
+    Short,
+    /// `I`
+    Int,
+    /// `J`
+    Long,
+    /// `F`
+    Float,
+    /// `D`
+    Double,
+}
+
+impl BaseType {
+    /// The descriptor character for this type.
+    pub fn descriptor_char(self) -> char {
+        match self {
+            BaseType::Boolean => 'Z',
+            BaseType::Byte => 'B',
+            BaseType::Char => 'C',
+            BaseType::Short => 'S',
+            BaseType::Int => 'I',
+            BaseType::Long => 'J',
+            BaseType::Float => 'F',
+            BaseType::Double => 'D',
+        }
+    }
+
+    /// The `newarray` atype operand for this type (JVM encoding).
+    pub fn newarray_code(self) -> u8 {
+        match self {
+            BaseType::Boolean => 4,
+            BaseType::Char => 5,
+            BaseType::Float => 6,
+            BaseType::Double => 7,
+            BaseType::Byte => 8,
+            BaseType::Short => 9,
+            BaseType::Int => 10,
+            BaseType::Long => 11,
+        }
+    }
+
+    /// Inverse of [`BaseType::newarray_code`].
+    pub fn from_newarray_code(code: u8) -> Option<BaseType> {
+        Some(match code {
+            4 => BaseType::Boolean,
+            5 => BaseType::Char,
+            6 => BaseType::Float,
+            7 => BaseType::Double,
+            8 => BaseType::Byte,
+            9 => BaseType::Short,
+            10 => BaseType::Int,
+            11 => BaseType::Long,
+            _ => return None,
+        })
+    }
+}
+
+/// The type of a field, parameter, return value or array element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FieldType {
+    /// A primitive type.
+    Base(BaseType),
+    /// A class reference, holding the internal name (`java/lang/String`).
+    Object(String),
+    /// An array with the given element type.
+    Array(Box<FieldType>),
+}
+
+impl FieldType {
+    /// Convenience constructor for an object type.
+    pub fn object(internal_name: &str) -> FieldType {
+        FieldType::Object(internal_name.to_owned())
+    }
+
+    /// Convenience constructor for an array of `elem`.
+    pub fn array(elem: FieldType) -> FieldType {
+        FieldType::Array(Box::new(elem))
+    }
+
+    /// Parses a field descriptor; the whole string must be consumed.
+    pub fn parse(desc: &str) -> Result<FieldType> {
+        let mut chars = desc.chars().peekable();
+        let t = parse_field_type(&mut chars, desc)?;
+        if chars.next().is_some() {
+            return Err(ClassFileError::BadDescriptor(desc.to_owned()));
+        }
+        Ok(t)
+    }
+
+    /// `true` for reference types (objects and arrays).
+    pub fn is_reference(&self) -> bool {
+        matches!(self, FieldType::Object(_) | FieldType::Array(_))
+    }
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldType::Base(b) => write!(f, "{}", b.descriptor_char()),
+            FieldType::Object(name) => write!(f, "L{name};"),
+            FieldType::Array(elem) => write!(f, "[{elem}"),
+        }
+    }
+}
+
+fn parse_field_type(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    whole: &str,
+) -> Result<FieldType> {
+    let bad = || ClassFileError::BadDescriptor(whole.to_owned());
+    match chars.next().ok_or_else(bad)? {
+        'Z' => Ok(FieldType::Base(BaseType::Boolean)),
+        'B' => Ok(FieldType::Base(BaseType::Byte)),
+        'C' => Ok(FieldType::Base(BaseType::Char)),
+        'S' => Ok(FieldType::Base(BaseType::Short)),
+        'I' => Ok(FieldType::Base(BaseType::Int)),
+        'J' => Ok(FieldType::Base(BaseType::Long)),
+        'F' => Ok(FieldType::Base(BaseType::Float)),
+        'D' => Ok(FieldType::Base(BaseType::Double)),
+        'L' => {
+            let mut name = String::new();
+            loop {
+                match chars.next().ok_or_else(bad)? {
+                    ';' => break,
+                    c => name.push(c),
+                }
+            }
+            if name.is_empty() {
+                return Err(bad());
+            }
+            Ok(FieldType::Object(name))
+        }
+        '[' => Ok(FieldType::Array(Box::new(parse_field_type(chars, whole)?))),
+        _ => Err(bad()),
+    }
+}
+
+/// A parsed method descriptor: parameter types and optional return type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MethodDescriptor {
+    /// Parameter types in declaration order.
+    pub params: Vec<FieldType>,
+    /// Return type, or `None` for `void`.
+    pub ret: Option<FieldType>,
+}
+
+impl MethodDescriptor {
+    /// Parses a method descriptor such as `(ILjava/lang/String;)V`.
+    pub fn parse(desc: &str) -> Result<MethodDescriptor> {
+        let bad = || ClassFileError::BadDescriptor(desc.to_owned());
+        let mut chars = desc.chars().peekable();
+        if chars.next() != Some('(') {
+            return Err(bad());
+        }
+        let mut params = Vec::new();
+        loop {
+            match chars.peek() {
+                Some(')') => {
+                    chars.next();
+                    break;
+                }
+                Some(_) => params.push(parse_field_type(&mut chars, desc)?),
+                None => return Err(bad()),
+            }
+        }
+        let ret = match chars.peek() {
+            Some('V') => {
+                chars.next();
+                None
+            }
+            Some(_) => Some(parse_field_type(&mut chars, desc)?),
+            None => return Err(bad()),
+        };
+        if chars.next().is_some() {
+            return Err(bad());
+        }
+        Ok(MethodDescriptor { params, ret })
+    }
+
+    /// Number of parameter slots (one per parameter in this crate's
+    /// single-slot model), not counting the receiver.
+    pub fn param_slots(&self) -> usize {
+        self.params.len()
+    }
+
+    /// `true` when the method returns `void`.
+    pub fn is_void(&self) -> bool {
+        self.ret.is_none()
+    }
+}
+
+impl fmt::Display for MethodDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for p in &self.params {
+            write!(f, "{p}")?;
+        }
+        f.write_str(")")?;
+        match &self.ret {
+            None => f.write_str("V"),
+            Some(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_primitives() {
+        assert_eq!(FieldType::parse("I").unwrap(), FieldType::Base(BaseType::Int));
+        assert_eq!(FieldType::parse("D").unwrap(), FieldType::Base(BaseType::Double));
+        assert!(FieldType::parse("Q").is_err());
+        assert!(FieldType::parse("II").is_err());
+    }
+
+    #[test]
+    fn parse_objects_and_arrays() {
+        assert_eq!(
+            FieldType::parse("Ljava/lang/String;").unwrap(),
+            FieldType::object("java/lang/String")
+        );
+        assert_eq!(
+            FieldType::parse("[[I").unwrap(),
+            FieldType::array(FieldType::array(FieldType::Base(BaseType::Int)))
+        );
+        assert!(FieldType::parse("L;").is_err());
+        assert!(FieldType::parse("Lfoo").is_err());
+        assert!(FieldType::parse("[").is_err());
+    }
+
+    #[test]
+    fn parse_method_descriptors() {
+        let d = MethodDescriptor::parse("(ILjava/lang/String;[J)V").unwrap();
+        assert_eq!(d.params.len(), 3);
+        assert!(d.is_void());
+        assert_eq!(d.to_string(), "(ILjava/lang/String;[J)V");
+
+        let d = MethodDescriptor::parse("()Ljava/lang/Object;").unwrap();
+        assert!(d.params.is_empty());
+        assert_eq!(d.ret, Some(FieldType::object("java/lang/Object")));
+
+        assert!(MethodDescriptor::parse("I)V").is_err());
+        assert!(MethodDescriptor::parse("(I").is_err());
+        assert!(MethodDescriptor::parse("(I)VV").is_err());
+        assert!(MethodDescriptor::parse("(I)").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in ["(JDF)Z", "()V", "([[Ljava/lang/Object;I)[B"] {
+            let d = MethodDescriptor::parse(s).unwrap();
+            assert_eq!(d.to_string(), s);
+            assert_eq!(MethodDescriptor::parse(&d.to_string()).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn newarray_codes_round_trip() {
+        for b in [
+            BaseType::Boolean,
+            BaseType::Byte,
+            BaseType::Char,
+            BaseType::Short,
+            BaseType::Int,
+            BaseType::Long,
+            BaseType::Float,
+            BaseType::Double,
+        ] {
+            assert_eq!(BaseType::from_newarray_code(b.newarray_code()), Some(b));
+        }
+        assert_eq!(BaseType::from_newarray_code(3), None);
+    }
+}

@@ -1,0 +1,142 @@
+//! Textual disassembler, mainly for debugging and golden tests.
+
+use crate::class::ClassFile;
+use crate::constant::ConstPool;
+use crate::error::Result;
+use crate::instruction::{decode_all, Instruction};
+use std::fmt::Write as _;
+
+/// Disassembles a whole class into a `javap`-like listing.
+pub fn disassemble(class: &ClassFile) -> Result<String> {
+    let mut out = String::new();
+    let name = class.name()?;
+    writeln!(out, "{} class {}", class.access, name).unwrap();
+    if let Some(sup) = class.super_name()? {
+        writeln!(out, "  extends {sup}").unwrap();
+    }
+    for i in class.interface_names()? {
+        writeln!(out, "  implements {i}").unwrap();
+    }
+    for f in &class.fields {
+        writeln!(
+            out,
+            "  {} field {} : {}",
+            f.access,
+            class.pool.utf8_at(f.name)?,
+            class.pool.utf8_at(f.descriptor)?
+        )
+        .unwrap();
+    }
+    for m in &class.methods {
+        let mname = class.pool.utf8_at(m.name)?;
+        let mdesc = class.pool.utf8_at(m.descriptor)?;
+        writeln!(out, "  {} method {}{}", m.access, mname, mdesc).unwrap();
+        if let Some(code) = &m.code {
+            writeln!(out, "    // max_stack={} max_locals={}", code.max_stack, code.max_locals)
+                .unwrap();
+            for (pc, insn) in decode_all(&code.code)? {
+                writeln!(out, "    {pc:5}: {}", format_insn(&insn, &class.pool)).unwrap();
+            }
+            for e in &code.exception_table {
+                let ty = if e.catch_type == 0 {
+                    "any".to_owned()
+                } else {
+                    class.pool.class_name_at(e.catch_type)?.to_owned()
+                };
+                writeln!(
+                    out,
+                    "    catch {} [{}, {}) -> {}",
+                    ty, e.start_pc, e.end_pc, e.handler_pc
+                )
+                .unwrap();
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Formats one instruction with symbolic constant-pool operands.
+pub fn format_insn(insn: &Instruction, pool: &ConstPool) -> String {
+    match insn {
+        Instruction::Simple(op) => op.mnemonic().to_owned(),
+        Instruction::Bipush(v) => format!("bipush {v}"),
+        Instruction::Sipush(v) => format!("sipush {v}"),
+        Instruction::Ldc(idx) => {
+            let lit = match pool.get(*idx) {
+                Ok(crate::constant::ConstEntry::Integer(v)) => format!("int {v}"),
+                Ok(crate::constant::ConstEntry::Long(v)) => format!("long {v}"),
+                Ok(crate::constant::ConstEntry::Float(v)) => format!("float {v}"),
+                Ok(crate::constant::ConstEntry::Double(v)) => format!("double {v}"),
+                Ok(crate::constant::ConstEntry::String { .. }) => {
+                    format!("String {:?}", pool.string_at(*idx).unwrap_or("<bad>"))
+                }
+                _ => format!("#{idx}"),
+            };
+            format!("ldc {lit}")
+        }
+        Instruction::Local(op, n) => format!("{} {n}", op.mnemonic()),
+        Instruction::Iinc { local, delta } => format!("iinc {local}, {delta}"),
+        Instruction::Branch(op, target) => format!("{} -> {target}", op.mnemonic()),
+        Instruction::Tableswitch { default, low, targets } => {
+            let mut s = format!("tableswitch low={low} default->{default}");
+            for (i, t) in targets.iter().enumerate() {
+                write!(s, " {}->{}", *low as i64 + i as i64, t).unwrap();
+            }
+            s
+        }
+        Instruction::Lookupswitch { default, pairs } => {
+            let mut s = format!("lookupswitch default->{default}");
+            for (k, t) in pairs {
+                write!(s, " {k}->{t}").unwrap();
+            }
+            s
+        }
+        Instruction::Field(op, idx) | Instruction::Invoke(op, idx) => {
+            match pool.member_ref_at(*idx) {
+                Ok((c, n, d)) => format!("{} {c}.{n}:{d}", op.mnemonic()),
+                Err(_) => format!("{} #{idx}", op.mnemonic()),
+            }
+        }
+        Instruction::New(idx) => {
+            format!("new {}", pool.class_name_at(*idx).unwrap_or("<bad>"))
+        }
+        Instruction::Newarray(code) => {
+            let ty = crate::descriptor::BaseType::from_newarray_code(*code)
+                .map(|b| b.descriptor_char().to_string())
+                .unwrap_or_else(|| format!("atype {code}"));
+            format!("newarray {ty}")
+        }
+        Instruction::Anewarray(idx) => {
+            format!("anewarray {}", pool.class_name_at(*idx).unwrap_or("<bad>"))
+        }
+        Instruction::Checkcast(idx) => {
+            format!("checkcast {}", pool.class_name_at(*idx).unwrap_or("<bad>"))
+        }
+        Instruction::Instanceof(idx) => {
+            format!("instanceof {}", pool.class_name_at(*idx).unwrap_or("<bad>"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ClassBuilder;
+    use crate::flags::AccessFlags;
+    use crate::opcode::Opcode;
+
+    #[test]
+    fn disassembly_mentions_symbols() {
+        let mut cb = ClassBuilder::new("D", "java/lang/Object", AccessFlags::PUBLIC);
+        cb.field("x", "I", AccessFlags::STATIC);
+        let mut m = cb.method("f", "()I", AccessFlags::STATIC);
+        m.getstatic("D", "x", "I");
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+        let c = cb.build().unwrap();
+        let text = disassemble(&c).unwrap();
+        assert!(text.contains("class D"), "{text}");
+        assert!(text.contains("getstatic D.x:I"), "{text}");
+        assert!(text.contains("ireturn"), "{text}");
+    }
+}

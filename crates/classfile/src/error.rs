@@ -1,0 +1,83 @@
+//! Error type shared by the reader, writer, builder and descriptor parser.
+
+use std::fmt;
+
+/// Result alias used throughout `ijvm-classfile`.
+pub type Result<T> = std::result::Result<T, ClassFileError>;
+
+/// Errors raised while building, encoding or decoding a class file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassFileError {
+    /// The input ended before a complete structure could be read.
+    UnexpectedEof {
+        /// What the reader was trying to decode.
+        context: &'static str,
+    },
+    /// The file does not start with the `0xCAFEBABE` magic number.
+    BadMagic(u32),
+    /// The file declares a version this crate does not understand.
+    UnsupportedVersion {
+        /// Major version found in the file.
+        major: u16,
+        /// Minor version found in the file.
+        minor: u16,
+    },
+    /// A constant-pool tag byte is unknown.
+    BadConstantTag(u8),
+    /// A constant-pool index is out of range or refers to the wrong kind of entry.
+    BadConstantIndex {
+        /// The offending index.
+        index: u16,
+        /// What kind of entry was expected.
+        expected: &'static str,
+    },
+    /// A UTF-8 constant contains invalid bytes.
+    BadUtf8,
+    /// An opcode byte is not part of the supported instruction set.
+    BadOpcode(u8),
+    /// A branch target or code offset is invalid.
+    BadBranchTarget {
+        /// Offset of the branching instruction.
+        at: u32,
+        /// The invalid target.
+        target: i64,
+    },
+    /// A field or method descriptor is malformed.
+    BadDescriptor(String),
+    /// The builder was asked to do something inconsistent
+    /// (e.g. unbound label, stack-depth mismatch at a join point).
+    Builder(String),
+    /// A structural limit was exceeded (too many constants, code too long, …).
+    LimitExceeded(&'static str),
+    /// Generic malformed-structure error with context.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ClassFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassFileError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while reading {context}")
+            }
+            ClassFileError::BadMagic(m) => write!(f, "bad magic number {m:#010x}"),
+            ClassFileError::UnsupportedVersion { major, minor } => {
+                write!(f, "unsupported class file version {major}.{minor}")
+            }
+            ClassFileError::BadConstantTag(t) => write!(f, "unknown constant pool tag {t}"),
+            ClassFileError::BadConstantIndex { index, expected } => {
+                write!(f, "constant pool index {index} is not a valid {expected}")
+            }
+            ClassFileError::BadUtf8 => write!(f, "invalid UTF-8 in constant pool"),
+            ClassFileError::BadOpcode(op) => write!(f, "unsupported opcode {op:#04x}"),
+            ClassFileError::BadBranchTarget { at, target } => {
+                write!(f, "invalid branch target {target} at code offset {at}")
+            }
+            ClassFileError::BadDescriptor(d) => write!(f, "malformed descriptor {d:?}"),
+            ClassFileError::Builder(msg) => write!(f, "builder error: {msg}"),
+            ClassFileError::LimitExceeded(what) => write!(f, "limit exceeded: {what}"),
+            ClassFileError::Malformed(what) => write!(f, "malformed class file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClassFileError {}

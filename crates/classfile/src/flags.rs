@@ -1,0 +1,128 @@
+//! Access flags for classes, fields and methods.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// A bit set of access and property flags.
+///
+/// The bit values match the JVM specification where a counterpart exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct AccessFlags(pub u16);
+
+impl AccessFlags {
+    /// Declared public; accessible from any other class.
+    pub const PUBLIC: AccessFlags = AccessFlags(0x0001);
+    /// Declared private; accessible only within the defining class.
+    pub const PRIVATE: AccessFlags = AccessFlags(0x0002);
+    /// Declared protected.
+    pub const PROTECTED: AccessFlags = AccessFlags(0x0004);
+    /// Declared static.
+    pub const STATIC: AccessFlags = AccessFlags(0x0008);
+    /// Declared final.
+    pub const FINAL: AccessFlags = AccessFlags(0x0010);
+    /// Method is declared `synchronized`; on a class this is ACC_SUPER (ignored).
+    pub const SYNCHRONIZED: AccessFlags = AccessFlags(0x0020);
+    /// Method is implemented natively by the host VM.
+    pub const NATIVE: AccessFlags = AccessFlags(0x0100);
+    /// An interface, not a class.
+    pub const INTERFACE: AccessFlags = AccessFlags(0x0200);
+    /// Declared abstract; no implementation provided.
+    pub const ABSTRACT: AccessFlags = AccessFlags(0x0400);
+
+    /// Empty flag set.
+    pub const fn empty() -> AccessFlags {
+        AccessFlags(0)
+    }
+
+    /// Returns `true` if every bit of `other` is set in `self`.
+    pub const fn contains(self, other: AccessFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `true` if the `STATIC` bit is set.
+    pub const fn is_static(self) -> bool {
+        self.contains(AccessFlags::STATIC)
+    }
+
+    /// Returns `true` if the `NATIVE` bit is set.
+    pub const fn is_native(self) -> bool {
+        self.contains(AccessFlags::NATIVE)
+    }
+
+    /// Returns `true` if the `ABSTRACT` bit is set.
+    pub const fn is_abstract(self) -> bool {
+        self.contains(AccessFlags::ABSTRACT)
+    }
+
+    /// Returns `true` if the `INTERFACE` bit is set.
+    pub const fn is_interface(self) -> bool {
+        self.contains(AccessFlags::INTERFACE)
+    }
+
+    /// Returns `true` if the `SYNCHRONIZED` bit is set.
+    pub const fn is_synchronized(self) -> bool {
+        self.contains(AccessFlags::SYNCHRONIZED)
+    }
+}
+
+impl BitOr for AccessFlags {
+    type Output = AccessFlags;
+    fn bitor(self, rhs: AccessFlags) -> AccessFlags {
+        AccessFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for AccessFlags {
+    fn bitor_assign(&mut self, rhs: AccessFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for AccessFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: [(AccessFlags, &str); 9] = [
+            (AccessFlags::PUBLIC, "public"),
+            (AccessFlags::PRIVATE, "private"),
+            (AccessFlags::PROTECTED, "protected"),
+            (AccessFlags::STATIC, "static"),
+            (AccessFlags::FINAL, "final"),
+            (AccessFlags::SYNCHRONIZED, "synchronized"),
+            (AccessFlags::NATIVE, "native"),
+            (AccessFlags::INTERFACE, "interface"),
+            (AccessFlags::ABSTRACT, "abstract"),
+        ];
+        let mut first = true;
+        for (flag, name) in names {
+            if self.contains(flag) {
+                if !first {
+                    f.write_str(" ")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_or() {
+        let f = AccessFlags::PUBLIC | AccessFlags::STATIC;
+        assert!(f.contains(AccessFlags::PUBLIC));
+        assert!(f.contains(AccessFlags::STATIC));
+        assert!(!f.contains(AccessFlags::FINAL));
+        assert!(f.is_static());
+        assert!(!f.is_native());
+    }
+
+    #[test]
+    fn display_lists_flag_names() {
+        let f = AccessFlags::PUBLIC | AccessFlags::FINAL;
+        assert_eq!(f.to_string(), "public final");
+        assert_eq!(AccessFlags::empty().to_string(), "");
+    }
+}

@@ -1,0 +1,314 @@
+//! Decoded instruction representation and a code-stream decoder.
+//!
+//! The interpreter in `ijvm-core` executes raw code bytes directly; this
+//! decoded form is used by the assembler, the disassembler, the structural
+//! verifier and the `max_stack` computation.
+
+use crate::constant::CpIndex;
+use crate::error::{ClassFileError, Result};
+use crate::opcode::Opcode;
+
+/// A single decoded instruction. Branch targets are absolute code offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instruction {
+    /// Any opcode with no operands.
+    Simple(Opcode),
+    /// `bipush` — push a sign-extended byte.
+    Bipush(i8),
+    /// `sipush` — push a sign-extended short.
+    Sipush(i16),
+    /// `ldc`/`ldc_w`/`ldc2_w` — push a constant-pool literal.
+    Ldc(CpIndex),
+    /// Local variable load/store with an explicit index
+    /// (`iload`, `astore`, …; the `_0..=_3` forms decode to this too).
+    Local(Opcode, u16),
+    /// `iinc local, delta`.
+    Iinc { local: u16, delta: i16 },
+    /// Conditional or unconditional branch to an absolute code offset.
+    Branch(Opcode, u32),
+    /// `tableswitch` — dense jump table.
+    Tableswitch {
+        /// Branch target when the key is out of range.
+        default: u32,
+        /// Smallest key in the table.
+        low: i32,
+        /// Targets for `low..=low + targets.len() - 1`.
+        targets: Vec<u32>,
+    },
+    /// `lookupswitch` — sparse `(key, target)` pairs sorted by key.
+    Lookupswitch {
+        /// Branch target when no pair matches.
+        default: u32,
+        /// Sorted match pairs.
+        pairs: Vec<(i32, u32)>,
+    },
+    /// Field access: `getstatic`/`putstatic`/`getfield`/`putfield`.
+    Field(Opcode, CpIndex),
+    /// Method invocation (`invokevirtual`/`special`/`static`/`interface`).
+    Invoke(Opcode, CpIndex),
+    /// `new` — allocate an instance of the referenced class.
+    New(CpIndex),
+    /// `newarray` — allocate a primitive array; operand is the atype code.
+    Newarray(u8),
+    /// `anewarray` — allocate a reference array of the referenced class.
+    Anewarray(CpIndex),
+    /// `checkcast`.
+    Checkcast(CpIndex),
+    /// `instanceof`.
+    Instanceof(CpIndex),
+}
+
+impl Instruction {
+    /// The opcode this instruction decodes from (canonical form; `Local`
+    /// reports the explicit-index opcode).
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Instruction::Simple(op) => *op,
+            Instruction::Bipush(_) => Opcode::Bipush,
+            Instruction::Sipush(_) => Opcode::Sipush,
+            Instruction::Ldc(_) => Opcode::LdcW,
+            Instruction::Local(op, _) => *op,
+            Instruction::Iinc { .. } => Opcode::Iinc,
+            Instruction::Branch(op, _) => *op,
+            Instruction::Tableswitch { .. } => Opcode::Tableswitch,
+            Instruction::Lookupswitch { .. } => Opcode::Lookupswitch,
+            Instruction::Field(op, _) => *op,
+            Instruction::Invoke(op, _) => *op,
+            Instruction::New(_) => Opcode::New,
+            Instruction::Newarray(_) => Opcode::Newarray,
+            Instruction::Anewarray(_) => Opcode::Anewarray,
+            Instruction::Checkcast(_) => Opcode::Checkcast,
+            Instruction::Instanceof(_) => Opcode::Instanceof,
+        }
+    }
+}
+
+/// Decodes the instruction at `pc`, returning it and the offset of the next
+/// instruction.
+pub fn decode_at(code: &[u8], pc: u32) -> Result<(Instruction, u32)> {
+    let mut r = CodeCursor { code, pos: pc as usize };
+    let at = pc;
+    let op = Opcode::from_byte(r.u8("opcode")?)?;
+    use Opcode as O;
+    let insn = match op {
+        O::Bipush => Instruction::Bipush(r.u8("bipush operand")? as i8),
+        O::Sipush => Instruction::Sipush(r.u16("sipush operand")? as i16),
+        O::Ldc => Instruction::Ldc(r.u8("ldc index")? as CpIndex),
+        O::LdcW | O::Ldc2W => Instruction::Ldc(r.u16("ldc_w index")?),
+        O::Iload | O::Lload | O::Fload | O::Dload | O::Aload | O::Istore | O::Lstore
+        | O::Fstore | O::Dstore | O::Astore => {
+            Instruction::Local(op, r.u8("local index")? as u16)
+        }
+        O::Iload0 | O::Iload1 | O::Iload2 | O::Iload3 => {
+            Instruction::Local(O::Iload, (op as u8 - O::Iload0 as u8) as u16)
+        }
+        O::Lload0 | O::Lload1 | O::Lload2 | O::Lload3 => {
+            Instruction::Local(O::Lload, (op as u8 - O::Lload0 as u8) as u16)
+        }
+        O::Fload0 | O::Fload1 | O::Fload2 | O::Fload3 => {
+            Instruction::Local(O::Fload, (op as u8 - O::Fload0 as u8) as u16)
+        }
+        O::Dload0 | O::Dload1 | O::Dload2 | O::Dload3 => {
+            Instruction::Local(O::Dload, (op as u8 - O::Dload0 as u8) as u16)
+        }
+        O::Aload0 | O::Aload1 | O::Aload2 | O::Aload3 => {
+            Instruction::Local(O::Aload, (op as u8 - O::Aload0 as u8) as u16)
+        }
+        O::Istore0 | O::Istore1 | O::Istore2 | O::Istore3 => {
+            Instruction::Local(O::Istore, (op as u8 - O::Istore0 as u8) as u16)
+        }
+        O::Lstore0 | O::Lstore1 | O::Lstore2 | O::Lstore3 => {
+            Instruction::Local(O::Lstore, (op as u8 - O::Lstore0 as u8) as u16)
+        }
+        O::Fstore0 | O::Fstore1 | O::Fstore2 | O::Fstore3 => {
+            Instruction::Local(O::Fstore, (op as u8 - O::Fstore0 as u8) as u16)
+        }
+        O::Dstore0 | O::Dstore1 | O::Dstore2 | O::Dstore3 => {
+            Instruction::Local(O::Dstore, (op as u8 - O::Dstore0 as u8) as u16)
+        }
+        O::Astore0 | O::Astore1 | O::Astore2 | O::Astore3 => {
+            Instruction::Local(O::Astore, (op as u8 - O::Astore0 as u8) as u16)
+        }
+        O::Iinc => {
+            let local = r.u8("iinc local")? as u16;
+            let delta = r.u8("iinc delta")? as i8 as i16;
+            Instruction::Iinc { local, delta }
+        }
+        O::Ifeq | O::Ifne | O::Iflt | O::Ifge | O::Ifgt | O::Ifle | O::IfIcmpeq | O::IfIcmpne
+        | O::IfIcmplt | O::IfIcmpge | O::IfIcmpgt | O::IfIcmple | O::IfAcmpeq | O::IfAcmpne
+        | O::Goto | O::Ifnull | O::Ifnonnull => {
+            let off = r.u16("branch offset")? as i16 as i64;
+            let target = at as i64 + off;
+            let target = u32::try_from(target)
+                .map_err(|_| ClassFileError::BadBranchTarget { at, target })?;
+            Instruction::Branch(op, target)
+        }
+        O::Tableswitch => {
+            r.align4(at)?;
+            let default = r.branch32(at)?;
+            let low = r.u32("tableswitch low")? as i32;
+            let high = r.u32("tableswitch high")? as i32;
+            if high < low || (high as i64 - low as i64) > 1 << 16 {
+                return Err(ClassFileError::Malformed("tableswitch bounds"));
+            }
+            let n = (high - low + 1) as usize;
+            let mut targets = Vec::with_capacity(n);
+            for _ in 0..n {
+                targets.push(r.branch32(at)?);
+            }
+            Instruction::Tableswitch { default, low, targets }
+        }
+        O::Lookupswitch => {
+            r.align4(at)?;
+            let default = r.branch32(at)?;
+            let npairs = r.u32("lookupswitch npairs")?;
+            if npairs > 1 << 16 {
+                return Err(ClassFileError::Malformed("lookupswitch npairs"));
+            }
+            let mut pairs = Vec::with_capacity(npairs as usize);
+            for _ in 0..npairs {
+                let key = r.u32("lookupswitch key")? as i32;
+                let target = r.branch32(at)?;
+                pairs.push((key, target));
+            }
+            Instruction::Lookupswitch { default, pairs }
+        }
+        O::Getstatic | O::Putstatic | O::Getfield | O::Putfield => {
+            Instruction::Field(op, r.u16("field ref index")?)
+        }
+        O::Invokevirtual | O::Invokespecial | O::Invokestatic => {
+            Instruction::Invoke(op, r.u16("method ref index")?)
+        }
+        O::Invokeinterface => {
+            let idx = r.u16("interface method ref index")?;
+            // count + zero byte, kept for JVM-format compatibility
+            let _count = r.u8("invokeinterface count")?;
+            let _zero = r.u8("invokeinterface zero")?;
+            Instruction::Invoke(op, idx)
+        }
+        O::New => Instruction::New(r.u16("new class index")?),
+        O::Newarray => Instruction::Newarray(r.u8("newarray atype")?),
+        O::Anewarray => Instruction::Anewarray(r.u16("anewarray class index")?),
+        O::Checkcast => Instruction::Checkcast(r.u16("checkcast class index")?),
+        O::Instanceof => Instruction::Instanceof(r.u16("instanceof class index")?),
+        // Everything else carries no operands.
+        _ => Instruction::Simple(op),
+    };
+    Ok((insn, r.pos as u32))
+}
+
+/// Iterates over all instructions in `code`, yielding `(offset, instruction)`.
+pub fn decode_all(code: &[u8]) -> Result<Vec<(u32, Instruction)>> {
+    let mut out = Vec::new();
+    let mut pc = 0u32;
+    while (pc as usize) < code.len() {
+        let (insn, next) = decode_at(code, pc)?;
+        out.push((pc, insn));
+        pc = next;
+    }
+    Ok(out)
+}
+
+struct CodeCursor<'a> {
+    code: &'a [u8],
+    pos: usize,
+}
+
+impl CodeCursor<'_> {
+    fn u8(&mut self, ctx: &'static str) -> Result<u8> {
+        let b = *self
+            .code
+            .get(self.pos)
+            .ok_or(ClassFileError::UnexpectedEof { context: ctx })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self, ctx: &'static str) -> Result<u16> {
+        let hi = self.u8(ctx)? as u16;
+        let lo = self.u8(ctx)? as u16;
+        Ok((hi << 8) | lo)
+    }
+
+    fn u32(&mut self, ctx: &'static str) -> Result<u32> {
+        let hi = self.u16(ctx)? as u32;
+        let lo = self.u16(ctx)? as u32;
+        Ok((hi << 16) | lo)
+    }
+
+    fn align4(&mut self, switch_at: u32) -> Result<()> {
+        // Padding is relative to the offset *after* the opcode byte,
+        // i.e. the next multiple of 4 after `switch_at + 1`.
+        let _ = switch_at;
+        while self.pos % 4 != 0 {
+            self.u8("switch padding")?;
+        }
+        Ok(())
+    }
+
+    fn branch32(&mut self, at: u32) -> Result<u32> {
+        let off = self.u32("switch target")? as i32 as i64;
+        let target = at as i64 + off;
+        u32::try_from(target).map_err(|_| ClassFileError::BadBranchTarget { at, target })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_simple_sequence() {
+        // iconst_1; iconst_2; iadd; ireturn
+        let code = [0x04, 0x05, 0x60, 0xac];
+        let insns = decode_all(&code).unwrap();
+        assert_eq!(insns.len(), 4);
+        assert_eq!(insns[0].1, Instruction::Simple(Opcode::Iconst1));
+        assert_eq!(insns[2].1, Instruction::Simple(Opcode::Iadd));
+        assert_eq!(insns[3].1, Instruction::Simple(Opcode::Ireturn));
+    }
+
+    #[test]
+    fn decode_short_form_locals() {
+        // iload_2; astore 5
+        let code = [0x1c, 0x3a, 0x05];
+        let insns = decode_all(&code).unwrap();
+        assert_eq!(insns[0].1, Instruction::Local(Opcode::Iload, 2));
+        assert_eq!(insns[1].1, Instruction::Local(Opcode::Astore, 5));
+    }
+
+    #[test]
+    fn decode_branch_targets_are_absolute() {
+        // 0: goto +5 (-> 5); 3: nop; 4: nop; 5: return
+        let code = [0xa7, 0x00, 0x05, 0x00, 0x00, 0xb1];
+        let insns = decode_all(&code).unwrap();
+        assert_eq!(insns[0].1, Instruction::Branch(Opcode::Goto, 5));
+    }
+
+    #[test]
+    fn negative_branch_out_of_range_is_error() {
+        // goto -10 at offset 0
+        let code = [0xa7, 0xff, 0xf6];
+        assert!(matches!(
+            decode_at(&code, 0),
+            Err(ClassFileError::BadBranchTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_operand_is_eof() {
+        let code = [0x10]; // bipush with missing operand
+        assert!(matches!(
+            decode_at(&code, 0),
+            Err(ClassFileError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_iinc() {
+        let code = [0x84, 0x03, 0xff]; // iinc 3, -1
+        let (insn, next) = decode_at(&code, 0).unwrap();
+        assert_eq!(insn, Instruction::Iinc { local: 3, delta: -1 });
+        assert_eq!(next, 3);
+    }
+}

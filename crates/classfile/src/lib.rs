@@ -1,0 +1,52 @@
+//! Class-file format for the ijvm virtual machine.
+//!
+//! This crate defines a binary class-file format closely modelled on the Java
+//! Virtual Machine class-file format: a `0xCAFEBABE` magic number, a constant
+//! pool, access flags, field and method tables, and per-method `Code`
+//! attributes holding bytecode with exception tables.
+//!
+//! It provides four layers:
+//!
+//! * a data model ([`ClassFile`], [`ConstPool`], [`MethodInfo`], …),
+//! * binary serialization ([`writer::write_class`]) and parsing
+//!   ([`reader::read_class`]),
+//! * a builder/assembler API ([`builder::ClassBuilder`]) with label-based
+//!   branches and automatic `max_stack` computation, and
+//! * a disassembler ([`disasm::disassemble`]).
+//!
+//! # Deviations from the JVM specification
+//!
+//! The format is a faithful *subset* with one deliberate simplification: the
+//! slot model. Every value — including `long` and `double` — occupies exactly
+//! one operand-stack slot and one local-variable slot. The `*2` stack ops
+//! (`dup2`, `pop2`, …) therefore operate on two slots of category-1 values.
+//! The compiler in `ijvm-minijava` and the interpreter in `ijvm-core` agree
+//! on this model.
+
+pub mod builder;
+pub mod class;
+pub mod constant;
+pub mod descriptor;
+pub mod disasm;
+pub mod error;
+pub mod flags;
+pub mod instruction;
+pub mod opcode;
+pub mod reader;
+pub mod writer;
+
+pub use builder::{ClassBuilder, CodeBuilder, Label, MethodBuilder};
+pub use class::{Attribute, ClassFile, ExceptionTableEntry, FieldInfo, MethodInfo};
+pub use constant::{ConstEntry, ConstPool, CpIndex};
+pub use descriptor::{BaseType, FieldType, MethodDescriptor};
+pub use error::{ClassFileError, Result};
+pub use flags::AccessFlags;
+pub use instruction::Instruction;
+pub use opcode::Opcode;
+
+/// Magic number at the start of every class file.
+pub const MAGIC: u32 = 0xCAFE_BABE;
+/// Major version emitted by this crate ("ijvm v1").
+pub const MAJOR_VERSION: u16 = 50;
+/// Minor version emitted by this crate.
+pub const MINOR_VERSION: u16 = 0;

@@ -1,0 +1,408 @@
+//! Bytecode opcodes. Numbering follows the JVM specification.
+
+use crate::error::{ClassFileError, Result};
+
+/// A bytecode opcode.
+///
+/// The numeric values are identical to the JVM specification for every
+/// opcode this crate supports. Unsupported JVM opcodes (`jsr`, `ret`,
+/// `wide`, `invokedynamic`, …) are rejected by the decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)] // the mnemonics are self-describing
+pub enum Opcode {
+    Nop = 0x00,
+    AconstNull = 0x01,
+    IconstM1 = 0x02,
+    Iconst0 = 0x03,
+    Iconst1 = 0x04,
+    Iconst2 = 0x05,
+    Iconst3 = 0x06,
+    Iconst4 = 0x07,
+    Iconst5 = 0x08,
+    Lconst0 = 0x09,
+    Lconst1 = 0x0a,
+    Fconst0 = 0x0b,
+    Fconst1 = 0x0c,
+    Fconst2 = 0x0d,
+    Dconst0 = 0x0e,
+    Dconst1 = 0x0f,
+    Bipush = 0x10,
+    Sipush = 0x11,
+    Ldc = 0x12,
+    LdcW = 0x13,
+    Ldc2W = 0x14,
+    Iload = 0x15,
+    Lload = 0x16,
+    Fload = 0x17,
+    Dload = 0x18,
+    Aload = 0x19,
+    Iload0 = 0x1a,
+    Iload1 = 0x1b,
+    Iload2 = 0x1c,
+    Iload3 = 0x1d,
+    Lload0 = 0x1e,
+    Lload1 = 0x1f,
+    Lload2 = 0x20,
+    Lload3 = 0x21,
+    Fload0 = 0x22,
+    Fload1 = 0x23,
+    Fload2 = 0x24,
+    Fload3 = 0x25,
+    Dload0 = 0x26,
+    Dload1 = 0x27,
+    Dload2 = 0x28,
+    Dload3 = 0x29,
+    Aload0 = 0x2a,
+    Aload1 = 0x2b,
+    Aload2 = 0x2c,
+    Aload3 = 0x2d,
+    Iaload = 0x2e,
+    Laload = 0x2f,
+    Faload = 0x30,
+    Daload = 0x31,
+    Aaload = 0x32,
+    Baload = 0x33,
+    Caload = 0x34,
+    Saload = 0x35,
+    Istore = 0x36,
+    Lstore = 0x37,
+    Fstore = 0x38,
+    Dstore = 0x39,
+    Astore = 0x3a,
+    Istore0 = 0x3b,
+    Istore1 = 0x3c,
+    Istore2 = 0x3d,
+    Istore3 = 0x3e,
+    Lstore0 = 0x3f,
+    Lstore1 = 0x40,
+    Lstore2 = 0x41,
+    Lstore3 = 0x42,
+    Fstore0 = 0x43,
+    Fstore1 = 0x44,
+    Fstore2 = 0x45,
+    Fstore3 = 0x46,
+    Dstore0 = 0x47,
+    Dstore1 = 0x48,
+    Dstore2 = 0x49,
+    Dstore3 = 0x4a,
+    Astore0 = 0x4b,
+    Astore1 = 0x4c,
+    Astore2 = 0x4d,
+    Astore3 = 0x4e,
+    Iastore = 0x4f,
+    Lastore = 0x50,
+    Fastore = 0x51,
+    Dastore = 0x52,
+    Aastore = 0x53,
+    Bastore = 0x54,
+    Castore = 0x55,
+    Sastore = 0x56,
+    Pop = 0x57,
+    Pop2 = 0x58,
+    Dup = 0x59,
+    DupX1 = 0x5a,
+    DupX2 = 0x5b,
+    Dup2 = 0x5c,
+    Dup2X1 = 0x5d,
+    Dup2X2 = 0x5e,
+    Swap = 0x5f,
+    Iadd = 0x60,
+    Ladd = 0x61,
+    Fadd = 0x62,
+    Dadd = 0x63,
+    Isub = 0x64,
+    Lsub = 0x65,
+    Fsub = 0x66,
+    Dsub = 0x67,
+    Imul = 0x68,
+    Lmul = 0x69,
+    Fmul = 0x6a,
+    Dmul = 0x6b,
+    Idiv = 0x6c,
+    Ldiv = 0x6d,
+    Fdiv = 0x6e,
+    Ddiv = 0x6f,
+    Irem = 0x70,
+    Lrem = 0x71,
+    Frem = 0x72,
+    Drem = 0x73,
+    Ineg = 0x74,
+    Lneg = 0x75,
+    Fneg = 0x76,
+    Dneg = 0x77,
+    Ishl = 0x78,
+    Lshl = 0x79,
+    Ishr = 0x7a,
+    Lshr = 0x7b,
+    Iushr = 0x7c,
+    Lushr = 0x7d,
+    Iand = 0x7e,
+    Land = 0x7f,
+    Ior = 0x80,
+    Lor = 0x81,
+    Ixor = 0x82,
+    Lxor = 0x83,
+    Iinc = 0x84,
+    I2l = 0x85,
+    I2f = 0x86,
+    I2d = 0x87,
+    L2i = 0x88,
+    L2f = 0x89,
+    L2d = 0x8a,
+    F2i = 0x8b,
+    F2l = 0x8c,
+    F2d = 0x8d,
+    D2i = 0x8e,
+    D2l = 0x8f,
+    D2f = 0x90,
+    I2b = 0x91,
+    I2c = 0x92,
+    I2s = 0x93,
+    Lcmp = 0x94,
+    Fcmpl = 0x95,
+    Fcmpg = 0x96,
+    Dcmpl = 0x97,
+    Dcmpg = 0x98,
+    Ifeq = 0x99,
+    Ifne = 0x9a,
+    Iflt = 0x9b,
+    Ifge = 0x9c,
+    Ifgt = 0x9d,
+    Ifle = 0x9e,
+    IfIcmpeq = 0x9f,
+    IfIcmpne = 0xa0,
+    IfIcmplt = 0xa1,
+    IfIcmpge = 0xa2,
+    IfIcmpgt = 0xa3,
+    IfIcmple = 0xa4,
+    IfAcmpeq = 0xa5,
+    IfAcmpne = 0xa6,
+    Goto = 0xa7,
+    Tableswitch = 0xaa,
+    Lookupswitch = 0xab,
+    Ireturn = 0xac,
+    Lreturn = 0xad,
+    Freturn = 0xae,
+    Dreturn = 0xaf,
+    Areturn = 0xb0,
+    Return = 0xb1,
+    Getstatic = 0xb2,
+    Putstatic = 0xb3,
+    Getfield = 0xb4,
+    Putfield = 0xb5,
+    Invokevirtual = 0xb6,
+    Invokespecial = 0xb7,
+    Invokestatic = 0xb8,
+    Invokeinterface = 0xb9,
+    New = 0xbb,
+    Newarray = 0xbc,
+    Anewarray = 0xbd,
+    Arraylength = 0xbe,
+    Athrow = 0xbf,
+    Checkcast = 0xc0,
+    Instanceof = 0xc1,
+    Monitorenter = 0xc2,
+    Monitorexit = 0xc3,
+    Ifnull = 0xc6,
+    Ifnonnull = 0xc7,
+}
+
+impl Opcode {
+    /// Decodes a raw opcode byte.
+    pub fn from_byte(b: u8) -> Result<Opcode> {
+        OPCODE_TABLE[b as usize].ok_or(ClassFileError::BadOpcode(b))
+    }
+
+    /// The raw opcode byte.
+    pub fn as_byte(self) -> u8 {
+        self as u8
+    }
+
+    /// The standard mnemonic (e.g. `"iload_0"`).
+    pub fn mnemonic(self) -> &'static str {
+        MNEMONICS[self as u8 as usize]
+    }
+
+    /// `true` for conditional branches and `goto`.
+    pub fn is_branch(self) -> bool {
+        matches!(
+            self,
+            Opcode::Ifeq
+                | Opcode::Ifne
+                | Opcode::Iflt
+                | Opcode::Ifge
+                | Opcode::Ifgt
+                | Opcode::Ifle
+                | Opcode::IfIcmpeq
+                | Opcode::IfIcmpne
+                | Opcode::IfIcmplt
+                | Opcode::IfIcmpge
+                | Opcode::IfIcmpgt
+                | Opcode::IfIcmple
+                | Opcode::IfAcmpeq
+                | Opcode::IfAcmpne
+                | Opcode::Goto
+                | Opcode::Ifnull
+                | Opcode::Ifnonnull
+        )
+    }
+
+    /// `true` for instructions that never fall through (`goto`, returns,
+    /// `athrow`, switches).
+    pub fn ends_basic_block(self) -> bool {
+        matches!(
+            self,
+            Opcode::Goto
+                | Opcode::Tableswitch
+                | Opcode::Lookupswitch
+                | Opcode::Ireturn
+                | Opcode::Lreturn
+                | Opcode::Freturn
+                | Opcode::Dreturn
+                | Opcode::Areturn
+                | Opcode::Return
+                | Opcode::Athrow
+        )
+    }
+}
+
+const fn build_table() -> [Option<Opcode>; 256] {
+    let mut t: [Option<Opcode>; 256] = [None; 256];
+    // Contiguous runs are filled by transmuting validated byte values; done
+    // explicitly because const fns cannot loop over enum variants.
+    macro_rules! set {
+        ($t:ident, $($op:ident),* $(,)?) => {
+            $( $t[Opcode::$op as usize] = Some(Opcode::$op); )*
+        };
+    }
+    set!(
+        t, Nop, AconstNull, IconstM1, Iconst0, Iconst1, Iconst2, Iconst3, Iconst4, Iconst5,
+        Lconst0, Lconst1, Fconst0, Fconst1, Fconst2, Dconst0, Dconst1, Bipush, Sipush, Ldc, LdcW,
+        Ldc2W, Iload, Lload, Fload, Dload, Aload, Iload0, Iload1, Iload2, Iload3, Lload0, Lload1,
+        Lload2, Lload3, Fload0, Fload1, Fload2, Fload3, Dload0, Dload1, Dload2, Dload3, Aload0,
+        Aload1, Aload2, Aload3, Iaload, Laload, Faload, Daload, Aaload, Baload, Caload, Saload,
+        Istore, Lstore, Fstore, Dstore, Astore, Istore0, Istore1, Istore2, Istore3, Lstore0,
+        Lstore1, Lstore2, Lstore3, Fstore0, Fstore1, Fstore2, Fstore3, Dstore0, Dstore1, Dstore2,
+        Dstore3, Astore0, Astore1, Astore2, Astore3, Iastore, Lastore, Fastore, Dastore, Aastore,
+        Bastore, Castore, Sastore, Pop, Pop2, Dup, DupX1, DupX2, Dup2, Dup2X1, Dup2X2, Swap, Iadd,
+        Ladd, Fadd, Dadd, Isub, Lsub, Fsub, Dsub, Imul, Lmul, Fmul, Dmul, Idiv, Ldiv, Fdiv, Ddiv,
+        Irem, Lrem, Frem, Drem, Ineg, Lneg, Fneg, Dneg, Ishl, Lshl, Ishr, Lshr, Iushr, Lushr,
+        Iand, Land, Ior, Lor, Ixor, Lxor, Iinc, I2l, I2f, I2d, L2i, L2f, L2d, F2i, F2l, F2d, D2i,
+        D2l, D2f, I2b, I2c, I2s, Lcmp, Fcmpl, Fcmpg, Dcmpl, Dcmpg, Ifeq, Ifne, Iflt, Ifge, Ifgt,
+        Ifle, IfIcmpeq, IfIcmpne, IfIcmplt, IfIcmpge, IfIcmpgt, IfIcmple, IfAcmpeq, IfAcmpne,
+        Goto, Tableswitch, Lookupswitch, Ireturn, Lreturn, Freturn, Dreturn, Areturn, Return,
+        Getstatic, Putstatic, Getfield, Putfield, Invokevirtual, Invokespecial, Invokestatic,
+        Invokeinterface, New, Newarray, Anewarray, Arraylength, Athrow, Checkcast, Instanceof,
+        Monitorenter, Monitorexit, Ifnull, Ifnonnull,
+    );
+    t
+}
+
+/// Lookup table from opcode byte to [`Opcode`].
+pub static OPCODE_TABLE: [Option<Opcode>; 256] = build_table();
+
+const fn build_mnemonics() -> [&'static str; 256] {
+    let mut m: [&'static str; 256] = ["<invalid>"; 256];
+    macro_rules! name {
+        ($m:ident, $($op:ident => $s:literal),* $(,)?) => {
+            $( $m[Opcode::$op as usize] = $s; )*
+        };
+    }
+    name!(
+        m,
+        Nop => "nop", AconstNull => "aconst_null", IconstM1 => "iconst_m1",
+        Iconst0 => "iconst_0", Iconst1 => "iconst_1", Iconst2 => "iconst_2",
+        Iconst3 => "iconst_3", Iconst4 => "iconst_4", Iconst5 => "iconst_5",
+        Lconst0 => "lconst_0", Lconst1 => "lconst_1", Fconst0 => "fconst_0",
+        Fconst1 => "fconst_1", Fconst2 => "fconst_2", Dconst0 => "dconst_0",
+        Dconst1 => "dconst_1", Bipush => "bipush", Sipush => "sipush", Ldc => "ldc",
+        LdcW => "ldc_w", Ldc2W => "ldc2_w", Iload => "iload", Lload => "lload",
+        Fload => "fload", Dload => "dload", Aload => "aload", Iload0 => "iload_0",
+        Iload1 => "iload_1", Iload2 => "iload_2", Iload3 => "iload_3", Lload0 => "lload_0",
+        Lload1 => "lload_1", Lload2 => "lload_2", Lload3 => "lload_3", Fload0 => "fload_0",
+        Fload1 => "fload_1", Fload2 => "fload_2", Fload3 => "fload_3", Dload0 => "dload_0",
+        Dload1 => "dload_1", Dload2 => "dload_2", Dload3 => "dload_3", Aload0 => "aload_0",
+        Aload1 => "aload_1", Aload2 => "aload_2", Aload3 => "aload_3", Iaload => "iaload",
+        Laload => "laload", Faload => "faload", Daload => "daload", Aaload => "aaload",
+        Baload => "baload", Caload => "caload", Saload => "saload", Istore => "istore",
+        Lstore => "lstore", Fstore => "fstore", Dstore => "dstore", Astore => "astore",
+        Istore0 => "istore_0", Istore1 => "istore_1", Istore2 => "istore_2",
+        Istore3 => "istore_3", Lstore0 => "lstore_0", Lstore1 => "lstore_1",
+        Lstore2 => "lstore_2", Lstore3 => "lstore_3", Fstore0 => "fstore_0",
+        Fstore1 => "fstore_1", Fstore2 => "fstore_2", Fstore3 => "fstore_3",
+        Dstore0 => "dstore_0", Dstore1 => "dstore_1", Dstore2 => "dstore_2",
+        Dstore3 => "dstore_3", Astore0 => "astore_0", Astore1 => "astore_1",
+        Astore2 => "astore_2", Astore3 => "astore_3", Iastore => "iastore",
+        Lastore => "lastore", Fastore => "fastore", Dastore => "dastore",
+        Aastore => "aastore", Bastore => "bastore", Castore => "castore",
+        Sastore => "sastore", Pop => "pop", Pop2 => "pop2", Dup => "dup", DupX1 => "dup_x1",
+        DupX2 => "dup_x2", Dup2 => "dup2", Dup2X1 => "dup2_x1", Dup2X2 => "dup2_x2",
+        Swap => "swap", Iadd => "iadd", Ladd => "ladd", Fadd => "fadd", Dadd => "dadd",
+        Isub => "isub", Lsub => "lsub", Fsub => "fsub", Dsub => "dsub", Imul => "imul",
+        Lmul => "lmul", Fmul => "fmul", Dmul => "dmul", Idiv => "idiv", Ldiv => "ldiv",
+        Fdiv => "fdiv", Ddiv => "ddiv", Irem => "irem", Lrem => "lrem", Frem => "frem",
+        Drem => "drem", Ineg => "ineg", Lneg => "lneg", Fneg => "fneg", Dneg => "dneg",
+        Ishl => "ishl", Lshl => "lshl", Ishr => "ishr", Lshr => "lshr", Iushr => "iushr",
+        Lushr => "lushr", Iand => "iand", Land => "land", Ior => "ior", Lor => "lor",
+        Ixor => "ixor", Lxor => "lxor", Iinc => "iinc", I2l => "i2l", I2f => "i2f",
+        I2d => "i2d", L2i => "l2i", L2f => "l2f", L2d => "l2d", F2i => "f2i", F2l => "f2l",
+        F2d => "f2d", D2i => "d2i", D2l => "d2l", D2f => "d2f", I2b => "i2b", I2c => "i2c",
+        I2s => "i2s", Lcmp => "lcmp", Fcmpl => "fcmpl", Fcmpg => "fcmpg", Dcmpl => "dcmpl",
+        Dcmpg => "dcmpg", Ifeq => "ifeq", Ifne => "ifne", Iflt => "iflt", Ifge => "ifge",
+        Ifgt => "ifgt", Ifle => "ifle", IfIcmpeq => "if_icmpeq", IfIcmpne => "if_icmpne",
+        IfIcmplt => "if_icmplt", IfIcmpge => "if_icmpge", IfIcmpgt => "if_icmpgt",
+        IfIcmple => "if_icmple", IfAcmpeq => "if_acmpeq", IfAcmpne => "if_acmpne",
+        Goto => "goto", Tableswitch => "tableswitch", Lookupswitch => "lookupswitch",
+        Ireturn => "ireturn", Lreturn => "lreturn", Freturn => "freturn",
+        Dreturn => "dreturn", Areturn => "areturn", Return => "return",
+        Getstatic => "getstatic", Putstatic => "putstatic", Getfield => "getfield",
+        Putfield => "putfield", Invokevirtual => "invokevirtual",
+        Invokespecial => "invokespecial", Invokestatic => "invokestatic",
+        Invokeinterface => "invokeinterface", New => "new", Newarray => "newarray",
+        Anewarray => "anewarray", Arraylength => "arraylength", Athrow => "athrow",
+        Checkcast => "checkcast", Instanceof => "instanceof",
+        Monitorenter => "monitorenter", Monitorexit => "monitorexit",
+        Ifnull => "ifnull", Ifnonnull => "ifnonnull",
+    );
+    m
+}
+
+/// Lookup table from opcode byte to mnemonic.
+pub static MNEMONICS: [&str; 256] = build_mnemonics();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_supported() {
+        let mut count = 0;
+        for b in 0u16..=255 {
+            if let Ok(op) = Opcode::from_byte(b as u8) {
+                assert_eq!(op.as_byte(), b as u8);
+                assert_ne!(op.mnemonic(), "<invalid>");
+                count += 1;
+            }
+        }
+        // The supported subset is large (most of the JVM instruction set).
+        assert!(count > 180, "only {count} opcodes supported");
+    }
+
+    #[test]
+    fn unsupported_opcodes_rejected() {
+        for b in [0xa8u8, 0xa9, 0xba, 0xc4, 0xc5, 0xc8, 0xc9, 0xca, 0xff] {
+            assert!(Opcode::from_byte(b).is_err(), "{b:#x} should be unsupported");
+        }
+    }
+
+    #[test]
+    fn branch_classification() {
+        assert!(Opcode::Goto.is_branch());
+        assert!(Opcode::Ifnull.is_branch());
+        assert!(!Opcode::Iadd.is_branch());
+        assert!(Opcode::Return.ends_basic_block());
+        assert!(Opcode::Athrow.ends_basic_block());
+        assert!(!Opcode::Ifeq.ends_basic_block());
+    }
+}

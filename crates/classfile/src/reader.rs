@@ -1,0 +1,266 @@
+//! Binary parsing of class files. The inverse of
+//! [`write_class`](crate::writer::write_class); see that module for the
+//! layout description.
+
+use crate::class::{Attribute, ClassFile, Code, ExceptionTableEntry, FieldInfo, MethodInfo};
+use crate::constant::{tag, ConstEntry, ConstPool};
+use crate::error::{ClassFileError, Result};
+use crate::flags::AccessFlags;
+
+/// Parses a class file from bytes, running structural validation.
+pub fn read_class(bytes: &[u8]) -> Result<ClassFile> {
+    let mut r = Reader { bytes, pos: 0 };
+
+    let magic = r.u32("magic")?;
+    if magic != crate::MAGIC {
+        return Err(ClassFileError::BadMagic(magic));
+    }
+    let minor_version = r.u16("minor version")?;
+    let major_version = r.u16("major version")?;
+    if major_version > crate::MAJOR_VERSION {
+        return Err(ClassFileError::UnsupportedVersion { major: major_version, minor: minor_version });
+    }
+
+    let const_count = r.u16("constant count")?;
+    let mut pool = ConstPool::new();
+    for _ in 0..const_count {
+        let t = r.u8("constant tag")?;
+        let entry = match t {
+            tag::UTF8 => {
+                let len = r.u16("utf8 length")? as usize;
+                let raw = r.slice(len, "utf8 bytes")?;
+                let s = std::str::from_utf8(raw).map_err(|_| ClassFileError::BadUtf8)?;
+                ConstEntry::Utf8(s.to_owned())
+            }
+            tag::INTEGER => ConstEntry::Integer(r.u32("integer")? as i32),
+            tag::FLOAT => ConstEntry::Float(f32::from_bits(r.u32("float")?)),
+            tag::LONG => ConstEntry::Long(r.u64("long")? as i64),
+            tag::DOUBLE => ConstEntry::Double(f64::from_bits(r.u64("double")?)),
+            tag::CLASS => ConstEntry::Class { name: r.u16("class name index")? },
+            tag::STRING => ConstEntry::String { utf8: r.u16("string utf8 index")? },
+            tag::FIELDREF => ConstEntry::FieldRef {
+                class: r.u16("fieldref class")?,
+                name_and_type: r.u16("fieldref nat")?,
+            },
+            tag::METHODREF => ConstEntry::MethodRef {
+                class: r.u16("methodref class")?,
+                name_and_type: r.u16("methodref nat")?,
+            },
+            tag::INTERFACE_METHODREF => ConstEntry::InterfaceMethodRef {
+                class: r.u16("interface methodref class")?,
+                name_and_type: r.u16("interface methodref nat")?,
+            },
+            tag::NAME_AND_TYPE => ConstEntry::NameAndType {
+                name: r.u16("nat name")?,
+                descriptor: r.u16("nat descriptor")?,
+            },
+            other => return Err(ClassFileError::BadConstantTag(other)),
+        };
+        pool.push_raw(entry)?;
+    }
+
+    let access = AccessFlags(r.u16("class access")?);
+    let this_class = r.u16("this_class")?;
+    let super_class = r.u16("super_class")?;
+
+    let interface_count = r.u16("interface count")?;
+    let mut interfaces = Vec::with_capacity(interface_count as usize);
+    for _ in 0..interface_count {
+        interfaces.push(r.u16("interface index")?);
+    }
+
+    let field_count = r.u16("field count")?;
+    let mut fields = Vec::with_capacity(field_count as usize);
+    for _ in 0..field_count {
+        fields.push(FieldInfo {
+            access: AccessFlags(r.u16("field access")?),
+            name: r.u16("field name")?,
+            descriptor: r.u16("field descriptor")?,
+        });
+    }
+
+    let method_count = r.u16("method count")?;
+    let mut methods = Vec::with_capacity(method_count as usize);
+    for _ in 0..method_count {
+        let access = AccessFlags(r.u16("method access")?);
+        let name = r.u16("method name")?;
+        let descriptor = r.u16("method descriptor")?;
+        let has_code = r.u8("has_code flag")?;
+        let code = match has_code {
+            0 => None,
+            1 => {
+                let max_stack = r.u16("max_stack")?;
+                let max_locals = r.u16("max_locals")?;
+                let code_len = r.u32("code length")? as usize;
+                if code_len > 1 << 24 {
+                    return Err(ClassFileError::LimitExceeded("code length"));
+                }
+                let code = r.slice(code_len, "code bytes")?.to_vec();
+                let handler_count = r.u16("handler count")?;
+                let mut exception_table = Vec::with_capacity(handler_count as usize);
+                for _ in 0..handler_count {
+                    exception_table.push(ExceptionTableEntry {
+                        start_pc: r.u32("handler start")?,
+                        end_pc: r.u32("handler end")?,
+                        handler_pc: r.u32("handler pc")?,
+                        catch_type: r.u16("handler catch type")?,
+                    });
+                }
+                // The bytecode must decode cleanly.
+                crate::instruction::decode_all(&code)?;
+                Some(Code { max_stack, max_locals, code, exception_table })
+            }
+            other => {
+                let _ = other;
+                return Err(ClassFileError::Malformed("has_code flag"));
+            }
+        };
+        methods.push(MethodInfo { access, name, descriptor, code });
+    }
+
+    let attr_count = r.u16("attribute count")?;
+    let mut attributes = Vec::with_capacity(attr_count as usize);
+    for _ in 0..attr_count {
+        let name = r.u16("attribute name")?;
+        let len = r.u32("attribute length")? as usize;
+        if len > 1 << 24 {
+            return Err(ClassFileError::LimitExceeded("attribute length"));
+        }
+        let data = r.slice(len, "attribute data")?.to_vec();
+        attributes.push(Attribute { name, data });
+    }
+
+    if r.pos != bytes.len() {
+        return Err(ClassFileError::Malformed("trailing bytes after class file"));
+    }
+
+    let cf = ClassFile {
+        minor_version,
+        major_version,
+        pool,
+        access,
+        this_class,
+        super_class,
+        interfaces,
+        fields,
+        methods,
+        attributes,
+    };
+    cf.validate()?;
+    Ok(cf)
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self, ctx: &'static str) -> Result<u8> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or(ClassFileError::UnexpectedEof { context: ctx })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self, ctx: &'static str) -> Result<u16> {
+        Ok(((self.u8(ctx)? as u16) << 8) | self.u8(ctx)? as u16)
+    }
+
+    fn u32(&mut self, ctx: &'static str) -> Result<u32> {
+        Ok(((self.u16(ctx)? as u32) << 16) | self.u16(ctx)? as u32)
+    }
+
+    fn u64(&mut self, ctx: &'static str) -> Result<u64> {
+        Ok(((self.u32(ctx)? as u64) << 32) | self.u32(ctx)? as u64)
+    }
+
+    fn slice(&mut self, len: usize, ctx: &'static str) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or(ClassFileError::UnexpectedEof { context: ctx })?;
+        if end > self.bytes.len() {
+            return Err(ClassFileError::UnexpectedEof { context: ctx });
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ClassBuilder;
+    use crate::opcode::Opcode;
+    use crate::writer::write_class;
+
+    fn sample_class() -> ClassFile {
+        let mut cb = ClassBuilder::new("pkg/Sample", "java/lang/Object", AccessFlags::PUBLIC);
+        cb.field("count", "I", AccessFlags::STATIC | AccessFlags::PUBLIC);
+        cb.field("name", "Ljava/lang/String;", AccessFlags::PUBLIC);
+        cb.implements("pkg/Iface");
+        let mut m = cb.method("inc", "(I)I", AccessFlags::PUBLIC | AccessFlags::STATIC);
+        m.iload(0);
+        m.const_int(1);
+        m.op(Opcode::Iadd);
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+        cb.native_method("nat", "()V", AccessFlags::PUBLIC | AccessFlags::STATIC);
+        cb.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = sample_class();
+        let bytes = write_class(&c).unwrap();
+        let c2 = read_class(&bytes).unwrap();
+        assert_eq!(c.name().unwrap(), c2.name().unwrap());
+        assert_eq!(c.fields.len(), c2.fields.len());
+        assert_eq!(c.methods.len(), c2.methods.len());
+        assert_eq!(
+            c.find_method("inc", "(I)I").unwrap().code,
+            c2.find_method("inc", "(I)I").unwrap().code
+        );
+        assert_eq!(c.interface_names().unwrap(), c2.interface_names().unwrap());
+        // Byte-for-byte stability.
+        assert_eq!(bytes, write_class(&c2).unwrap());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = write_class(&sample_class()).unwrap();
+        bytes[0] = 0;
+        assert!(matches!(read_class(&bytes), Err(ClassFileError::BadMagic(_))));
+    }
+
+    #[test]
+    fn truncation_is_rejected_everywhere() {
+        let bytes = write_class(&sample_class()).unwrap();
+        // Any prefix must fail cleanly, never panic.
+        for len in 0..bytes.len() {
+            assert!(read_class(&bytes[..len]).is_err(), "prefix of length {len} parsed");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = write_class(&sample_class()).unwrap();
+        bytes.push(0xff);
+        assert!(read_class(&bytes).is_err());
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = write_class(&sample_class()).unwrap();
+        // major version lives at offset 6..8
+        bytes[6] = 0xff;
+        assert!(matches!(
+            read_class(&bytes),
+            Err(ClassFileError::UnsupportedVersion { .. })
+        ));
+    }
+}

@@ -1,0 +1,122 @@
+//! Binary serialization of class files.
+//!
+//! Layout (all integers big-endian, mirroring the JVM format):
+//!
+//! ```text
+//! u32 magic (0xCAFEBABE)
+//! u16 minor, u16 major
+//! u16 constant_count (number of entries; slot 0 is implicit)
+//! entries: tag u8 + payload
+//! u16 access, u16 this_class, u16 super_class
+//! u16 interface_count + u16 per interface
+//! u16 field_count + (u16 access, u16 name, u16 descriptor) per field
+//! u16 method_count + method records
+//! u16 attribute_count + (u16 name, u32 len, bytes) per attribute
+//! ```
+//!
+//! A method record is `u16 access, u16 name, u16 descriptor, u8 has_code`
+//! followed, when `has_code == 1`, by `u16 max_stack, u16 max_locals,
+//! u32 code_len, code bytes, u16 handler_count` and per handler
+//! `u32 start, u32 end, u32 handler, u16 catch_type`.
+
+use crate::class::ClassFile;
+use crate::constant::ConstEntry;
+use crate::error::Result;
+
+/// Serializes a class file to bytes. The inverse of
+/// [`read_class`](crate::reader::read_class).
+pub fn write_class(class: &ClassFile) -> Result<Vec<u8>> {
+    class.validate()?;
+    let mut out = Vec::with_capacity(1024);
+    w32(&mut out, crate::MAGIC);
+    w16(&mut out, class.minor_version);
+    w16(&mut out, class.major_version);
+
+    w16(&mut out, class.pool.len() as u16);
+    for (_, entry) in class.pool.iter() {
+        out.push(entry.tag());
+        match entry {
+            ConstEntry::Utf8(s) => {
+                w16(&mut out, s.len() as u16);
+                out.extend_from_slice(s.as_bytes());
+            }
+            ConstEntry::Integer(v) => w32(&mut out, *v as u32),
+            ConstEntry::Float(v) => w32(&mut out, v.to_bits()),
+            ConstEntry::Long(v) => w64(&mut out, *v as u64),
+            ConstEntry::Double(v) => w64(&mut out, v.to_bits()),
+            ConstEntry::Class { name } => w16(&mut out, *name),
+            ConstEntry::String { utf8 } => w16(&mut out, *utf8),
+            ConstEntry::FieldRef { class, name_and_type }
+            | ConstEntry::MethodRef { class, name_and_type }
+            | ConstEntry::InterfaceMethodRef { class, name_and_type } => {
+                w16(&mut out, *class);
+                w16(&mut out, *name_and_type);
+            }
+            ConstEntry::NameAndType { name, descriptor } => {
+                w16(&mut out, *name);
+                w16(&mut out, *descriptor);
+            }
+        }
+    }
+
+    w16(&mut out, class.access.0);
+    w16(&mut out, class.this_class);
+    w16(&mut out, class.super_class);
+
+    w16(&mut out, class.interfaces.len() as u16);
+    for &i in &class.interfaces {
+        w16(&mut out, i);
+    }
+
+    w16(&mut out, class.fields.len() as u16);
+    for f in &class.fields {
+        w16(&mut out, f.access.0);
+        w16(&mut out, f.name);
+        w16(&mut out, f.descriptor);
+    }
+
+    w16(&mut out, class.methods.len() as u16);
+    for m in &class.methods {
+        w16(&mut out, m.access.0);
+        w16(&mut out, m.name);
+        w16(&mut out, m.descriptor);
+        match &m.code {
+            None => out.push(0),
+            Some(code) => {
+                out.push(1);
+                w16(&mut out, code.max_stack);
+                w16(&mut out, code.max_locals);
+                w32(&mut out, code.code.len() as u32);
+                out.extend_from_slice(&code.code);
+                w16(&mut out, code.exception_table.len() as u16);
+                for e in &code.exception_table {
+                    w32(&mut out, e.start_pc);
+                    w32(&mut out, e.end_pc);
+                    w32(&mut out, e.handler_pc);
+                    w16(&mut out, e.catch_type);
+                }
+            }
+        }
+    }
+
+    w16(&mut out, class.attributes.len() as u16);
+    for a in &class.attributes {
+        w16(&mut out, a.name);
+        w32(&mut out, a.data.len() as u32);
+        out.extend_from_slice(&a.data);
+    }
+
+    Ok(out)
+}
+
+fn w16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn w32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn w64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the class-file format.
+
+use ijvm_classfile::{
+    builder::ClassBuilder,
+    descriptor::{BaseType, FieldType, MethodDescriptor},
+    reader::read_class,
+    writer::write_class,
+    AccessFlags, Opcode,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Descriptors
+// ---------------------------------------------------------------------
+
+fn arb_field_type() -> impl Strategy<Value = FieldType> {
+    let leaf = prop_oneof![
+        Just(FieldType::Base(BaseType::Boolean)),
+        Just(FieldType::Base(BaseType::Byte)),
+        Just(FieldType::Base(BaseType::Char)),
+        Just(FieldType::Base(BaseType::Short)),
+        Just(FieldType::Base(BaseType::Int)),
+        Just(FieldType::Base(BaseType::Long)),
+        Just(FieldType::Base(BaseType::Float)),
+        Just(FieldType::Base(BaseType::Double)),
+        "[a-zA-Z][a-zA-Z0-9/$]{0,30}".prop_map(|s| FieldType::Object(s)),
+    ];
+    leaf.prop_recursive(3, 8, 2, |inner| {
+        inner.prop_map(|t| FieldType::Array(Box::new(t)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn field_descriptors_round_trip(t in arb_field_type()) {
+        let text = t.to_string();
+        let parsed = FieldType::parse(&text).expect("own output parses");
+        prop_assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn method_descriptors_round_trip(
+        params in proptest::collection::vec(arb_field_type(), 0..6),
+        ret in proptest::option::of(arb_field_type()),
+    ) {
+        let d = MethodDescriptor { params, ret };
+        let text = d.to_string();
+        let parsed = MethodDescriptor::parse(&text).expect("own output parses");
+        prop_assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn descriptor_parser_never_panics(s in "\\PC{0,40}") {
+        let _ = FieldType::parse(&s);
+        let _ = MethodDescriptor::parse(&s);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary round trips + mutation robustness
+// ---------------------------------------------------------------------
+
+fn sample_class(fields: u8, consts: &[i32]) -> ijvm_classfile::ClassFile {
+    let mut cb = ClassBuilder::new("prop/Sample", "java/lang/Object", AccessFlags::PUBLIC);
+    for i in 0..fields {
+        let flags = if i % 2 == 0 {
+            AccessFlags::PUBLIC | AccessFlags::STATIC
+        } else {
+            AccessFlags::PRIVATE
+        };
+        cb.field(&format!("f{i}"), if i % 3 == 0 { "I" } else { "Ljava/lang/String;" }, flags);
+    }
+    let mut m = cb.method("sum", "()I", AccessFlags::PUBLIC | AccessFlags::STATIC);
+    m.const_int(0);
+    for &c in consts {
+        m.const_int(c);
+        m.op(Opcode::Iadd);
+    }
+    m.op(Opcode::Ireturn);
+    m.done().expect("assembles");
+    cb.build().expect("builds")
+}
+
+proptest! {
+    #[test]
+    fn class_files_round_trip(fields in 0u8..12, consts in proptest::collection::vec(any::<i32>(), 0..20)) {
+        let c = sample_class(fields, &consts);
+        let bytes = write_class(&c).expect("writes");
+        let back = read_class(&bytes).expect("reads");
+        prop_assert_eq!(c.name().unwrap(), back.name().unwrap());
+        prop_assert_eq!(c.fields.len(), back.fields.len());
+        prop_assert_eq!(
+            c.find_method("sum", "()I").unwrap().code.as_ref(),
+            back.find_method("sum", "()I").unwrap().code.as_ref()
+        );
+        // Idempotent re-serialization.
+        prop_assert_eq!(bytes, write_class(&back).expect("re-writes"));
+    }
+
+    #[test]
+    fn reader_survives_single_byte_corruption(
+        consts in proptest::collection::vec(any::<i32>(), 1..8),
+        pos_frac in 0.0f64..1.0,
+        delta in 1u8..=255,
+    ) {
+        let c = sample_class(3, &consts);
+        let mut bytes = write_class(&c).expect("writes");
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] = bytes[pos].wrapping_add(delta);
+        // Must never panic; may succeed (benign byte) or fail cleanly.
+        let _ = read_class(&bytes);
+    }
+
+    #[test]
+    fn reader_survives_truncation(
+        consts in proptest::collection::vec(any::<i32>(), 1..8),
+        keep_frac in 0.0f64..1.0,
+    ) {
+        let c = sample_class(2, &consts);
+        let bytes = write_class(&c).expect("writes");
+        let keep = ((bytes.len() - 1) as f64 * keep_frac) as usize;
+        prop_assert!(read_class(&bytes[..keep]).is_err());
+    }
+}
+
+// ---------------------------------------------------------------------
+// max_stack computation matches a reference simulation
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn max_stack_is_exact_for_straightline_code(pushes in 1usize..60) {
+        let mut cb = ClassBuilder::new("prop/Stack", "java/lang/Object", AccessFlags::PUBLIC);
+        let mut m = cb.method("deep", "()I", AccessFlags::STATIC);
+        for i in 0..pushes {
+            m.const_int(i as i32);
+        }
+        for _ in 0..pushes - 1 {
+            m.op(Opcode::Iadd);
+        }
+        m.op(Opcode::Ireturn);
+        m.done().expect("assembles");
+        let c = cb.build().expect("builds");
+        let code = c.find_method("deep", "()I").unwrap().code.as_ref().unwrap();
+        prop_assert_eq!(code.max_stack as usize, pushes);
+    }
+}

@@ -1,0 +1,228 @@
+//! Deep copy of object graphs between isolates — the parameter-passing
+//! mechanism of Incommunicado-style isolate links (MVM). This is exactly
+//! the cost I-JVM avoids by migrating the thread instead.
+
+use ijvm_core::heap::ObjBody;
+use ijvm_core::ids::IsolateId;
+use ijvm_core::value::{GcRef, Value};
+use ijvm_core::vm::Vm;
+use std::collections::HashMap;
+
+/// Deep-copies `v` into `target` isolate, preserving sharing and cycles
+/// within the copied graph. Primitives are returned unchanged. Returns
+/// `None` when the heap limit is hit.
+///
+/// Every copied object is pinned for the duration of the copy: an
+/// allocation mid-graph may trigger a collection, and the host-side
+/// `seen` map is invisible to the collector.
+pub fn deep_copy_value(vm: &mut Vm, v: Value, target: IsolateId) -> Option<Value> {
+    let mut seen: HashMap<GcRef, GcRef> = HashMap::new();
+    let mut pins: Vec<usize> = Vec::new();
+    let result = copy_value(vm, v, target, &mut seen, &mut pins);
+    for handle in pins {
+        vm.unpin(handle);
+    }
+    result
+}
+
+fn copy_value(
+    vm: &mut Vm,
+    v: Value,
+    target: IsolateId,
+    seen: &mut HashMap<GcRef, GcRef>,
+    pins: &mut Vec<usize>,
+) -> Option<Value> {
+    match v {
+        Value::Ref(r) => copy_ref(vm, r, target, seen, pins).map(Value::Ref),
+        other => Some(other),
+    }
+}
+
+fn copy_ref(
+    vm: &mut Vm,
+    r: GcRef,
+    target: IsolateId,
+    seen: &mut HashMap<GcRef, GcRef>,
+    pins: &mut Vec<usize>,
+) -> Option<GcRef> {
+    if let Some(&copied) = seen.get(&r) {
+        return Some(copied);
+    }
+    // Strings copy by value (cheapest correct behaviour across isolates).
+    if let Some(s) = vm.read_string(r) {
+        let copied = vm.new_string(target, &s);
+        pins.push(vm.pin(copied));
+        seen.insert(r, copied);
+        return Some(copied);
+    }
+    let (class, body_kind) = {
+        let obj = vm.heap().get(r);
+        (obj.class, discriminate(&obj.body))
+    };
+    match body_kind {
+        BodyKind::Fields(n) => {
+            let copied = vm.alloc_object(class, target)?;
+            pins.push(vm.pin(copied));
+            seen.insert(r, copied);
+            for slot in 0..n {
+                let field = match &vm.heap().get(r).body {
+                    ObjBody::Fields(fields) => fields[slot],
+                    _ => unreachable!("shape checked above"),
+                };
+                let copied_field = copy_value(vm, field, target, seen, pins)?;
+                if let ObjBody::Fields(fields) = &mut vm.heap_mut().get_mut(copied).body {
+                    fields[slot] = copied_field;
+                }
+            }
+            Some(copied)
+        }
+        BodyKind::PrimArray => {
+            // Clone the payload wholesale.
+            let (body, desc) = {
+                let obj = vm.heap().get(r);
+                (obj.body.clone(), obj.array_desc.clone())
+            };
+            let copied = alloc_clone(vm, class, target, body, &desc)?;
+            pins.push(vm.pin(copied));
+            seen.insert(r, copied);
+            Some(copied)
+        }
+        BodyKind::RefArray(n) => {
+            let (elem_desc, desc) = {
+                let obj = vm.heap().get(r);
+                let ObjBody::ArrRef { elem_desc, .. } = &obj.body else { unreachable!() };
+                (elem_desc.clone(), obj.array_desc.clone())
+            };
+            let copied = vm.alloc_ref_array(target, &elem_desc, n)?;
+            let _ = desc;
+            pins.push(vm.pin(copied));
+            seen.insert(r, copied);
+            for i in 0..n {
+                let elem = match &vm.heap().get(r).body {
+                    ObjBody::ArrRef { data, .. } => data[i],
+                    _ => unreachable!("shape checked above"),
+                };
+                let copied_elem = copy_value(vm, elem, target, seen, pins)?;
+                if let ObjBody::ArrRef { data, .. } = &mut vm.heap_mut().get_mut(copied).body {
+                    data[i] = copied_elem;
+                }
+            }
+            Some(copied)
+        }
+    }
+}
+
+enum BodyKind {
+    Fields(usize),
+    PrimArray,
+    RefArray(usize),
+}
+
+fn discriminate(body: &ObjBody) -> BodyKind {
+    match body {
+        ObjBody::Fields(f) => BodyKind::Fields(f.len()),
+        ObjBody::ArrRef { data, .. } => BodyKind::RefArray(data.len()),
+        _ => BodyKind::PrimArray,
+    }
+}
+
+fn alloc_clone(
+    vm: &mut Vm,
+    class: ijvm_core::ids::ClassId,
+    target: IsolateId,
+    body: ObjBody,
+    desc: &str,
+) -> Option<GcRef> {
+    // Primitive arrays have no inner references; clone the body directly
+    // through the public char-array/ref-array helpers where possible.
+    match body {
+        ObjBody::ArrChar(chars) => vm.alloc_chars(target, &chars),
+        other => {
+            // Fall back: allocate via a ref-array-sized check then swap the
+            // body in place (all primitive kinds share the accounting path).
+            let len = other.array_len().unwrap_or(0);
+            let placeholder = vm.alloc_ref_array(target, "Ljava/lang/Object;", len)?;
+            let obj = vm.heap_mut().get_mut(placeholder);
+            obj.body = other;
+            obj.class = class;
+            obj.array_desc = desc.to_owned();
+            Some(placeholder)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ijvm_core::vm::VmOptions;
+    use ijvm_minijava::{compile_to_bytes, CompileEnv};
+
+    fn vm_with_classes(src: &str) -> (Vm, IsolateId, IsolateId) {
+        let mut vm = ijvm_jsl::boot(VmOptions::isolated());
+        let a = vm.create_isolate("a");
+        let b = vm.create_isolate("b");
+        let loader = vm.loader_of(a).unwrap();
+        for (name, bytes) in compile_to_bytes(src, &CompileEnv::new()).unwrap() {
+            vm.add_class_bytes(loader, &name, bytes);
+        }
+        (vm, a, b)
+    }
+
+    #[test]
+    fn copies_object_graphs_with_cycles() {
+        let src = r#"
+            class Node { Node next; int v; }
+            class Mk {
+                static Node ring(int n) {
+                    Node first = new Node();
+                    first.v = 0;
+                    Node cur = first;
+                    for (int i = 1; i < n; i++) {
+                        Node nn = new Node();
+                        nn.v = i;
+                        cur.next = nn;
+                        cur = nn;
+                    }
+                    cur.next = first;
+                    return first;
+                }
+            }
+        "#;
+        let (mut vm, a, b) = vm_with_classes(src);
+        let loader = vm.loader_of(a).unwrap();
+        let mk = vm.load_class(loader, "Mk").unwrap();
+        let ring = vm
+            .call_static_as(mk, "ring", "(I)LNode;", vec![Value::Int(4)], a)
+            .unwrap()
+            .unwrap();
+        let Value::Ref(head) = ring else { panic!("expected ref") };
+        let copied = copy_test_helper(&mut vm, head, b);
+        // The copy is a distinct 4-node ring with the same values.
+        assert_ne!(copied, head);
+        let mut cur = copied;
+        for expect in [0, 1, 2, 3] {
+            let v = vm.get_field(cur, "v").unwrap().as_int();
+            assert_eq!(v, expect);
+            cur = vm.get_field(cur, "next").unwrap().as_ref().unwrap();
+        }
+        assert_eq!(cur, copied, "cycle preserved");
+        // Ownership: the copy is charged to isolate b.
+        assert_eq!(vm.heap().get(copied).owner, b);
+    }
+
+    fn copy_test_helper(vm: &mut Vm, r: GcRef, target: IsolateId) -> GcRef {
+        match deep_copy_value(vm, Value::Ref(r), target).unwrap() {
+            Value::Ref(c) => c,
+            other => panic!("expected ref, got {other}"),
+        }
+    }
+
+    #[test]
+    fn copies_strings_and_arrays() {
+        let (mut vm, a, b) = vm_with_classes("class Empty { }");
+        let s = vm.new_string(a, "shared text");
+        let copied = copy_test_helper(&mut vm, s, b);
+        assert_ne!(copied, s);
+        assert_eq!(vm.read_string(copied).unwrap(), "shared text");
+    }
+}

@@ -1,0 +1,98 @@
+//! Host-level VM errors (distinct from Java exceptions thrown inside the VM).
+
+use crate::ids::{ClassId, IsolateId, ThreadId};
+use std::fmt;
+
+/// Result alias for host-level VM operations.
+pub type Result<T> = std::result::Result<T, VmError>;
+
+/// Errors surfaced to the embedding host (not Java exceptions; those are
+/// heap objects delivered through the interpreter's unwinding machinery).
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// A class could not be found on the loader's class path.
+    ClassNotFound {
+        /// Internal name of the missing class.
+        name: String,
+    },
+    /// A class file failed to parse or link.
+    LinkError(String),
+    /// A referenced field or method does not exist.
+    NoSuchMember {
+        /// `Class.name:descriptor` of the missing member.
+        what: String,
+    },
+    /// A native method has no registered implementation.
+    UnboundNative {
+        /// `Class.name:descriptor` of the unbound native.
+        what: String,
+    },
+    /// The operation referenced an unknown or dead isolate.
+    BadIsolate(IsolateId),
+    /// The operation referenced an unknown thread.
+    BadThread(ThreadId),
+    /// The operation referenced an unknown class id.
+    BadClass(ClassId),
+    /// A privileged operation was attempted from a non-privileged isolate.
+    PermissionDenied {
+        /// What was attempted.
+        what: String,
+        /// The isolate that attempted it.
+        from: IsolateId,
+    },
+    /// The executed program threw an exception that nobody caught.
+    UncaughtException {
+        /// Internal name of the exception class.
+        class_name: String,
+        /// The exception's detail message, if any.
+        message: Option<String>,
+    },
+    /// `Vm::run` exhausted its instruction budget before going idle.
+    BudgetExhausted,
+    /// All live threads are blocked on each other.
+    Deadlock,
+    /// Underlying class-file error.
+    ClassFile(ijvm_classfile::ClassFileError),
+    /// Catch-all for internal invariant violations (reported, not panicked).
+    Internal(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::ClassNotFound { name } => write!(f, "class not found: {name}"),
+            VmError::LinkError(msg) => write!(f, "link error: {msg}"),
+            VmError::NoSuchMember { what } => write!(f, "no such member: {what}"),
+            VmError::UnboundNative { what } => write!(f, "unbound native method: {what}"),
+            VmError::BadIsolate(id) => write!(f, "unknown or dead isolate: {id}"),
+            VmError::BadThread(id) => write!(f, "unknown thread: {id}"),
+            VmError::BadClass(id) => write!(f, "unknown class id {}", id.0),
+            VmError::PermissionDenied { what, from } => {
+                write!(f, "permission denied: {what} attempted from {from}")
+            }
+            VmError::UncaughtException { class_name, message } => match message {
+                Some(m) => write!(f, "uncaught exception {class_name}: {m}"),
+                None => write!(f, "uncaught exception {class_name}"),
+            },
+            VmError::BudgetExhausted => write!(f, "instruction budget exhausted"),
+            VmError::Deadlock => write!(f, "deadlock: all threads blocked"),
+            VmError::ClassFile(e) => write!(f, "class file error: {e}"),
+            VmError::Internal(msg) => write!(f, "internal VM error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VmError::ClassFile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ijvm_classfile::ClassFileError> for VmError {
+    fn from(e: ijvm_classfile::ClassFileError) -> VmError {
+        VmError::ClassFile(e)
+    }
+}

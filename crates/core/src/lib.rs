@@ -1,0 +1,81 @@
+//! # ijvm-core — the I-JVM virtual machine
+//!
+//! A from-scratch Java-style virtual machine implementing the design of
+//! *"I-JVM: a Java Virtual Machine for Component Isolation in OSGi"*
+//! (Geoffray, Thomas, Muller, Parrend, Frénot, Folliot — DSN 2009):
+//!
+//! * **Lightweight isolates** — one per class loader; per-isolate *task
+//!   class mirrors* hold static variables, interned strings and
+//!   `java.lang.Class` objects, so bundles cannot corrupt or lock each
+//!   other's shared state.
+//! * **Thread migration** — an inter-isolate call is a direct method call
+//!   that updates the thread's isolate reference; objects are shared by
+//!   passing references, with no RPC or copying.
+//! * **Resource accounting** — per-isolate CPU (sampled), memory
+//!   (recomputed by the GC, charging each object to the first isolate that
+//!   references it), threads, I/O, connections and GC activations.
+//! * **Isolate termination** — stack patching raises an uncatchable
+//!   `StoppedIsolateException` in code returning to a terminated isolate,
+//!   and every method of the isolate is poisoned.
+//!
+//! The same VM runs in [`vm::IsolationMode::Shared`] as the *baseline*
+//! (the unmodified "LadyVM"/"Sun JVM" whose vulnerabilities the paper
+//! demonstrates) and in [`vm::IsolationMode::Isolated`] as I-JVM; every
+//! overhead the paper measures is the delta between the two modes on
+//! identical bytecode.
+//!
+//! ```
+//! use ijvm_core::prelude::*;
+//! use ijvm_classfile::{AccessFlags, ClassBuilder, Opcode};
+//!
+//! let mut vm = Vm::new(VmOptions::isolated());
+//! ijvm_core::bootstrap::install(&mut vm).unwrap();
+//! let iso = vm.create_isolate("demo");
+//! let loader = vm.loader_of(iso).unwrap();
+//!
+//! let mut cb = ClassBuilder::new("Demo", "java/lang/Object", AccessFlags::PUBLIC);
+//! let mut m = cb.method("addOne", "(I)I", AccessFlags::PUBLIC | AccessFlags::STATIC);
+//! m.iload(0);
+//! m.const_int(1);
+//! m.op(Opcode::Iadd);
+//! m.op(Opcode::Ireturn);
+//! m.done().unwrap();
+//! let bytes = ijvm_classfile::writer::write_class(&cb.build().unwrap()).unwrap();
+//!
+//! vm.add_class_bytes(loader, "Demo", bytes);
+//! let class = vm.load_class(loader, "Demo").unwrap();
+//! let out = vm.call_static(class, "addOne", "(I)I", vec![Value::Int(41)]).unwrap();
+//! assert_eq!(out, Some(Value::Int(42)));
+//! ```
+
+pub mod accounting;
+pub mod bootstrap;
+pub mod class;
+pub mod error;
+pub mod gc;
+pub mod heap;
+pub mod ids;
+pub mod interp;
+pub mod isolate;
+pub mod monitor;
+pub mod natives;
+pub mod terminate;
+pub mod thread;
+pub mod value;
+pub mod vm;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use crate::accounting::{IsolateSnapshot, ResourceStats};
+    pub use crate::error::{Result as VmResult, VmError};
+    pub use crate::ids::{ClassId, IsolateId, LoaderId, MethodRef, ThreadId};
+    pub use crate::isolate::IsolateState;
+    pub use crate::natives::{NativeFn, NativeResult};
+    pub use crate::value::{GcRef, Value};
+    pub use crate::vm::{IsolationMode, RunOutcome, Vm, VmOptions};
+}
+
+pub use crate::error::{Result, VmError};
+pub use crate::ids::{ClassId, IsolateId, LoaderId, MethodRef, ThreadId};
+pub use crate::value::{GcRef, Value};
+pub use crate::vm::{IsolationMode, RunOutcome, Vm, VmOptions};

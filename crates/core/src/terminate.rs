@@ -1,0 +1,134 @@
+//! Isolate termination (paper §3.3).
+//!
+//! Termination must cope with thread migration: threads created by *other*
+//! isolates may currently be executing the dying isolate's code, and the
+//! dying isolate's threads may be executing elsewhere. I-JVM therefore:
+//!
+//! 1. poisons every method of the isolate's classes, so any future call
+//!    throws `StoppedIsolateException`;
+//! 2. walks every thread stack and patches the return of each frame whose
+//!    *caller* belongs to the dying isolate, so returning into the isolate
+//!    raises `StoppedIsolateException` (which the isolate cannot catch);
+//! 3. raises the exception immediately in threads whose top frame is in
+//!    the dying isolate, and sets the interrupted flag on threads parked
+//!    inside the system library on the isolate's behalf;
+//! 4. drops the isolate's string map and task class mirrors so the GC can
+//!    reclaim everything not shared with other isolates.
+
+use crate::error::{Result, VmError};
+use crate::ids::IsolateId;
+use crate::interp::make_sie;
+use crate::isolate::IsolateState;
+use crate::thread::ThreadState;
+use crate::vm::{IsolationMode, Vm};
+
+impl Vm {
+    /// Terminates `target`, applying the full §3.3 protocol. Host-level
+    /// entry point; the in-VM native (used by the OSGi framework) checks
+    /// that the caller is `Isolate0` before delegating here.
+    pub fn terminate_isolate(&mut self, target: IsolateId) -> Result<()> {
+        if self.options.isolation != IsolationMode::Isolated {
+            return Err(VmError::Internal(
+                "isolate termination requires IsolationMode::Isolated".to_owned(),
+            ));
+        }
+        let iso = self
+            .isolates
+            .get_mut(target.0 as usize)
+            .ok_or(VmError::BadIsolate(target))?;
+        if iso.state != IsolateState::Active {
+            return Ok(()); // already terminated
+        }
+        iso.state = IsolateState::Terminating;
+        let loader = iso.loader;
+
+        // 1. Poison the isolate's classes: no method of theirs runs again,
+        //    whether already "compiled" or not (paper: not-yet-JITed
+        //    methods are never compiled; compiled ones get a throwing
+        //    branch patched in).
+        for class in &mut self.classes {
+            if class.loader == loader {
+                class.poisoned = true;
+            }
+        }
+
+        // 2 & 3. Patch every thread's stack.
+        let tids: Vec<_> = self
+            .threads
+            .iter()
+            .filter(|t| !t.is_terminated())
+            .map(|t| t.id)
+            .collect();
+        for tid in tids {
+            let t = tid.0 as usize;
+            let nframes = self.threads[t].frames.len();
+            if nframes == 0 {
+                continue;
+            }
+            // Any frame whose caller executes in the dying isolate throws
+            // on return instead of returning into it.
+            for i in 1..nframes {
+                if self.threads[t].frames[i - 1].isolate == target {
+                    self.threads[t].frames[i].poisoned_return = Some(target);
+                }
+            }
+            let top_in_target = self.threads[t].frames[nframes - 1].isolate == target;
+            let top_is_system = self.threads[t].frames[nframes - 1].is_system;
+            let any_in_target =
+                self.threads[t].frames.iter().any(|f| f.isolate == target);
+
+            if top_in_target && !top_is_system {
+                // The thread is executing the dying isolate's code right
+                // now: raise StoppedIsolateException at its next step.
+                let ex = make_sie(self, tid, target);
+                self.threads[t].pending_exception = Some(ex);
+                self.unpark_for_termination(tid);
+            } else if top_is_system && any_in_target {
+                // Parked inside the system library on the isolate's
+                // behalf: interrupt so sleeps and I/O abort (the Spring
+                // protection-domain trick the paper cites).
+                self.threads[t].interrupted = true;
+                self.unpark_for_termination(tid);
+            }
+        }
+
+        // 4. Release per-isolate state: interned strings and every task
+        //    class mirror of the dying isolate. Mirrors of the isolate's
+        //    *own* classes in other isolates die too (their code is gone).
+        self.isolates[target.0 as usize].strings.clear();
+        let mi = target.0 as usize;
+        for class in &mut self.classes {
+            if class.mirrors.len() > mi {
+                class.mirrors[mi] = None;
+            }
+            if class.loader == loader {
+                for m in &mut class.mirrors {
+                    *m = None;
+                }
+            }
+        }
+
+        // Reclaim unshared objects now; also flips the isolate to Dead if
+        // nothing of it survives.
+        self.collect_garbage(None);
+        self.poll_unblock();
+        Ok(())
+    }
+
+    /// Wakes a thread that termination needs to make progress, pulling it
+    /// out of sleeps, waits and monitor queues.
+    fn unpark_for_termination(&mut self, tid: crate::ids::ThreadId) {
+        let t = tid.0 as usize;
+        match self.threads[t].state {
+            ThreadState::Runnable | ThreadState::Terminated => {}
+            ThreadState::BlockedOnMonitor(obj) | ThreadState::WaitingOnMonitor(obj) => {
+                if let Some(mon) = self.heap.get_mut(obj).monitor.as_mut() {
+                    mon.entry_queue.retain(|&x| x != tid);
+                    mon.wait_set.retain(|&x| x != tid);
+                }
+                self.wake(tid);
+            }
+            _ => self.wake(tid),
+        }
+    }
+}

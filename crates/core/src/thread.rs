@@ -1,0 +1,148 @@
+//! Green threads and stack frames.
+//!
+//! The VM schedules its own threads deterministically (instruction-count
+//! quanta). A thread carries the isolate it is *currently executing in* —
+//! the isolate reference that inter-isolate calls update (paper §3.1) and
+//! that CPU sampling reads (paper §3.2).
+
+use crate::class::CodeBody;
+use crate::ids::{ClassId, IsolateId, MethodRef, ThreadId};
+use crate::value::{GcRef, Value};
+use std::rc::Rc;
+
+/// One interpreter frame.
+#[derive(Debug)]
+pub struct Frame {
+    /// The executing method.
+    pub method: MethodRef,
+    /// The method's class (copied out of `method` for fast access).
+    pub class: ClassId,
+    /// Isolate this frame executes in. System-library frames execute in
+    /// the calling isolate (paper §3.1), so this is never a "system"
+    /// placeholder — it is always a real isolate.
+    pub isolate: IsolateId,
+    /// Isolate of the caller, restored into the thread on return.
+    pub caller_isolate: IsolateId,
+    /// `true` when the method belongs to the Java System Library; the GC
+    /// skips such frames during accounting (paper §3.2 step 3).
+    pub is_system: bool,
+    /// The bytecode body.
+    pub code: Rc<CodeBody>,
+    /// Current program counter (byte offset).
+    pub pc: u32,
+    /// Local variable slots.
+    pub locals: Vec<Value>,
+    /// Operand stack.
+    pub stack: Vec<Value>,
+    /// Monitor entered on behalf of a `synchronized` method, exited on
+    /// return or unwind.
+    pub sync_object: Option<GcRef>,
+    /// `true` when this frame's `synchronized` monitor has not been
+    /// acquired yet (thread-entry frames take it lazily, on first step).
+    pub needs_sync_enter: bool,
+    /// Set by isolate termination (paper §3.3): when this frame returns,
+    /// the return value is discarded and a `StoppedIsolateException` for
+    /// the given isolate is raised instead, because the caller frame
+    /// belongs to a terminated isolate.
+    pub poisoned_return: Option<IsolateId>,
+}
+
+/// Why a thread is not currently runnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Ready to run.
+    Runnable,
+    /// Sleeping until the given virtual time (instruction clock).
+    Sleeping {
+        /// Wake-up deadline on the VM's virtual clock.
+        until: u64,
+    },
+    /// Blocked entering a contended monitor.
+    BlockedOnMonitor(GcRef),
+    /// Parked in `Object.wait`.
+    WaitingOnMonitor(GcRef),
+    /// Waiting for another thread to finish.
+    BlockedOnJoin(ThreadId),
+    /// Waiting for another thread to finish running `<clinit>`.
+    BlockedOnClassInit {
+        /// The class being initialized.
+        class: ClassId,
+        /// The isolate whose mirror is being initialized.
+        isolate: IsolateId,
+    },
+    /// Finished (normally or with an uncaught exception).
+    Terminated,
+}
+
+/// A green thread.
+#[derive(Debug)]
+pub struct VmThread {
+    /// This thread's id.
+    pub id: ThreadId,
+    /// Debug name.
+    pub name: String,
+    /// The frame stack; last entry is the active frame.
+    pub frames: Vec<Frame>,
+    /// Scheduler state.
+    pub state: ThreadState,
+    /// The isolate the thread is currently executing in — the "isolate
+    /// reference" of the paper, updated on inter-isolate calls.
+    pub current_isolate: IsolateId,
+    /// The isolate that created the thread (threads are charged to their
+    /// creator, paper §3.2, but may execute code from any isolate).
+    pub creator_isolate: IsolateId,
+    /// Exception in flight (set before unwinding).
+    pub pending_exception: Option<GcRef>,
+    /// Interrupt flag; set by isolate termination on system-library leaf
+    /// frames so blocking calls abort (paper §3.3).
+    pub interrupted: bool,
+    /// The associated `java/lang/Thread` object, if started from Java.
+    pub thread_obj: Option<GcRef>,
+    /// Value returned by the thread's entry method, for host callers.
+    pub result: Option<Value>,
+    /// Uncaught exception that terminated the thread, if any.
+    pub uncaught: Option<GcRef>,
+    /// Instructions executed since the thread last switched isolates;
+    /// flushed into `ResourceStats::cpu_exact` at switch points.
+    pub insns_since_switch: u64,
+}
+
+impl VmThread {
+    /// Creates a thread with no frames yet.
+    pub fn new(id: ThreadId, name: &str, isolate: IsolateId) -> VmThread {
+        VmThread {
+            id,
+            name: name.to_owned(),
+            frames: Vec::new(),
+            state: ThreadState::Runnable,
+            current_isolate: isolate,
+            creator_isolate: isolate,
+            pending_exception: None,
+            interrupted: false,
+            thread_obj: None,
+            result: None,
+            uncaught: None,
+            insns_since_switch: 0,
+        }
+    }
+
+    /// `true` when the thread can be scheduled.
+    pub fn is_runnable(&self) -> bool {
+        self.state == ThreadState::Runnable
+    }
+
+    /// `true` when the thread has finished.
+    pub fn is_terminated(&self) -> bool {
+        self.state == ThreadState::Terminated
+    }
+
+    /// The active frame.
+    pub fn top_frame(&self) -> Option<&Frame> {
+        self.frames.last()
+    }
+
+    /// The active frame, mutably.
+    pub fn top_frame_mut(&mut self) -> Option<&mut Frame> {
+        self.frames.last_mut()
+    }
+}

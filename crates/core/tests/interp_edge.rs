@@ -1,0 +1,345 @@
+//! Interpreter edge cases exercised through hand-assembled bytecode —
+//! opcodes and corner semantics the mini-Java compiler never emits.
+
+use ijvm_classfile::{AccessFlags, BaseType, ClassBuilder, Opcode};
+use ijvm_core::prelude::*;
+use ijvm_core::vm::Vm;
+
+const STATIC: AccessFlags = AccessFlags(AccessFlags::PUBLIC.0 | AccessFlags::STATIC.0);
+
+/// Builds a VM with one isolate and installs `build`'s class.
+fn vm_with(build: impl FnOnce(&mut ClassBuilder)) -> (Vm, ClassId, IsolateId) {
+    let mut vm = ijvm_jsl::boot(VmOptions::isolated());
+    let iso = vm.create_isolate("edge");
+    let loader = vm.loader_of(iso).unwrap();
+    let mut cb = ClassBuilder::new("Edge", "java/lang/Object", AccessFlags::PUBLIC);
+    build(&mut cb);
+    let bytes = ijvm_classfile::writer::write_class(&cb.build().unwrap()).unwrap();
+    vm.add_class_bytes(loader, "Edge", bytes);
+    let class = vm.load_class(loader, "Edge").unwrap();
+    (vm, class, iso)
+}
+
+fn run_i(vm: &mut Vm, class: ClassId, iso: IsolateId, name: &str, args: Vec<Value>) -> Value {
+    let desc = format!("({})I", "I".repeat(args.len()));
+    vm.call_static_as(class, name, &desc, args, iso).unwrap().unwrap()
+}
+
+#[test]
+fn tableswitch_dispatch_and_default() {
+    let (mut vm, class, iso) = vm_with(|cb| {
+        let mut m = cb.method("sel", "(I)I", STATIC);
+        let l0 = m.new_label();
+        let l1 = m.new_label();
+        let l2 = m.new_label();
+        let def = m.new_label();
+        m.iload(0);
+        m.tableswitch(def, 10, &[l0, l1, l2]);
+        m.bind(l0);
+        m.const_int(100);
+        m.op(Opcode::Ireturn);
+        m.bind(l1);
+        m.const_int(200);
+        m.op(Opcode::Ireturn);
+        m.bind(l2);
+        m.const_int(300);
+        m.op(Opcode::Ireturn);
+        m.bind(def);
+        m.const_int(-1);
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+    });
+    for (input, expect) in [(10, 100), (11, 200), (12, 300), (9, -1), (13, -1), (-5, -1)] {
+        assert_eq!(
+            run_i(&mut vm, class, iso, "sel", vec![Value::Int(input)]),
+            Value::Int(expect),
+            "tableswitch({input})"
+        );
+    }
+}
+
+#[test]
+fn lookupswitch_sparse_keys() {
+    let (mut vm, class, iso) = vm_with(|cb| {
+        let mut m = cb.method("sel", "(I)I", STATIC);
+        let a = m.new_label();
+        let b = m.new_label();
+        let def = m.new_label();
+        m.iload(0);
+        m.lookupswitch(def, &[(-100, a), (7777, b)]);
+        m.bind(a);
+        m.const_int(1);
+        m.op(Opcode::Ireturn);
+        m.bind(b);
+        m.const_int(2);
+        m.op(Opcode::Ireturn);
+        m.bind(def);
+        m.const_int(0);
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+    });
+    assert_eq!(run_i(&mut vm, class, iso, "sel", vec![Value::Int(-100)]), Value::Int(1));
+    assert_eq!(run_i(&mut vm, class, iso, "sel", vec![Value::Int(7777)]), Value::Int(2));
+    assert_eq!(run_i(&mut vm, class, iso, "sel", vec![Value::Int(0)]), Value::Int(0));
+}
+
+#[test]
+fn dup_x_and_swap_family() {
+    // Computes: given a=1 b=2 c=3 on the stack, dup_x2 then folds with
+    // iadd three times: 3 + (1 + (2 + 3)) = 9 — exercises slot rotation.
+    let (mut vm, class, iso) = vm_with(|cb| {
+        let mut m = cb.method("rot", "()I", STATIC);
+        m.const_int(1);
+        m.const_int(2);
+        m.const_int(3); // stack: 1 2 3
+        m.op(Opcode::DupX2); // 3 1 2 3
+        m.op(Opcode::Iadd); // 3 1 5
+        m.op(Opcode::Iadd); // 3 6
+        m.op(Opcode::Iadd); // 9
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+
+        let mut m = cb.method("swp", "()I", STATIC);
+        m.const_int(10);
+        m.const_int(3);
+        m.op(Opcode::Swap);
+        m.op(Opcode::Isub); // 3 - 10
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+
+        let mut m = cb.method("d2x1", "()I", STATIC);
+        m.const_int(5);
+        m.const_int(1);
+        m.const_int(2); // 5 1 2
+        m.op(Opcode::Dup2X1); // 1 2 5 1 2
+        m.op(Opcode::Iadd); // 1 2 5 3
+        m.op(Opcode::Iadd); // 1 2 8
+        m.op(Opcode::Iadd); // 1 10
+        m.op(Opcode::Iadd); // 11
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+    });
+    assert_eq!(run_i(&mut vm, class, iso, "rot", vec![]), Value::Int(9));
+    assert_eq!(run_i(&mut vm, class, iso, "swp", vec![]), Value::Int(-7));
+    assert_eq!(run_i(&mut vm, class, iso, "d2x1", vec![]), Value::Int(11));
+}
+
+#[test]
+fn float_nan_comparison_directions() {
+    // fcmpl pushes -1 on NaN; fcmpg pushes +1 on NaN (JVM spec).
+    let (mut vm, class, iso) = vm_with(|cb| {
+        for (name, op) in [("cl", Opcode::Fcmpl), ("cg", Opcode::Fcmpg)] {
+            let mut m = cb.method(name, "()I", STATIC);
+            m.const_float(f32::NAN);
+            m.const_float(1.0);
+            m.op(op);
+            m.op(Opcode::Ireturn);
+            m.done().unwrap();
+        }
+    });
+    assert_eq!(run_i(&mut vm, class, iso, "cl", vec![]), Value::Int(-1));
+    assert_eq!(run_i(&mut vm, class, iso, "cg", vec![]), Value::Int(1));
+}
+
+#[test]
+fn float_to_int_conversions_saturate() {
+    let (mut vm, class, iso) = vm_with(|cb| {
+        let mut m = cb.method("nan", "()I", STATIC);
+        m.const_float(f32::NAN);
+        m.op(Opcode::F2i);
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+
+        let mut m = cb.method("posinf", "()I", STATIC);
+        m.const_double(f64::INFINITY);
+        m.op(Opcode::D2i);
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+
+        let mut m = cb.method("neginf", "()I", STATIC);
+        m.const_double(f64::NEG_INFINITY);
+        m.op(Opcode::D2i);
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+    });
+    assert_eq!(run_i(&mut vm, class, iso, "nan", vec![]), Value::Int(0));
+    assert_eq!(run_i(&mut vm, class, iso, "posinf", vec![]), Value::Int(i32::MAX));
+    assert_eq!(run_i(&mut vm, class, iso, "neginf", vec![]), Value::Int(i32::MIN));
+}
+
+#[test]
+fn integer_overflow_wraps_and_min_div_minus_one() {
+    let (mut vm, class, iso) = vm_with(|cb| {
+        let mut m = cb.method("ovf", "()I", STATIC);
+        m.const_int(i32::MAX);
+        m.const_int(1);
+        m.op(Opcode::Iadd);
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+
+        // Integer.MIN_VALUE / -1 wraps to MIN_VALUE in Java (no trap).
+        let mut m = cb.method("mindiv", "()I", STATIC);
+        m.const_int(i32::MIN);
+        m.const_int(-1);
+        m.op(Opcode::Idiv);
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+    });
+    assert_eq!(run_i(&mut vm, class, iso, "ovf", vec![]), Value::Int(i32::MIN));
+    assert_eq!(run_i(&mut vm, class, iso, "mindiv", vec![]), Value::Int(i32::MIN));
+}
+
+#[test]
+fn shift_counts_are_masked() {
+    let (mut vm, class, iso) = vm_with(|cb| {
+        // 1 << 33 == 1 << 1 for ints (count masked to 5 bits).
+        let mut m = cb.method("shl33", "()I", STATIC);
+        m.const_int(1);
+        m.const_int(33);
+        m.op(Opcode::Ishl);
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+    });
+    assert_eq!(run_i(&mut vm, class, iso, "shl33", vec![]), Value::Int(2));
+}
+
+#[test]
+fn athrow_null_becomes_npe() {
+    let (mut vm, class, iso) = vm_with(|cb| {
+        let mut m = cb.method("boom", "()I", STATIC);
+        m.const_null();
+        m.op(Opcode::Athrow);
+        m.done().unwrap();
+    });
+    let err = vm.call_static_as(class, "boom", "()I", vec![], iso).unwrap_err();
+    match err {
+        VmError::UncaughtException { class_name, .. } => {
+            assert_eq!(class_name, "java/lang/NullPointerException");
+        }
+        other => panic!("expected NPE, got {other}"),
+    }
+}
+
+#[test]
+fn checkcast_passes_null_and_instanceof_rejects_it() {
+    let (mut vm, class, iso) = vm_with(|cb| {
+        let mut m = cb.method("castnull", "()I", STATIC);
+        m.const_null();
+        m.checkcast("java/lang/String");
+        m.op(Opcode::Pop);
+        m.const_int(1);
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+
+        let mut m = cb.method("instnull", "()I", STATIC);
+        m.const_null();
+        m.instanceof("java/lang/String");
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+    });
+    assert_eq!(run_i(&mut vm, class, iso, "castnull", vec![]), Value::Int(1));
+    assert_eq!(run_i(&mut vm, class, iso, "instnull", vec![]), Value::Int(0));
+}
+
+#[test]
+fn arrays_are_instances_of_object_only() {
+    let (mut vm, class, iso) = vm_with(|cb| {
+        let mut m = cb.method("arrobj", "()I", STATIC);
+        m.const_int(3);
+        m.newarray(BaseType::Int);
+        m.instanceof("java/lang/Object");
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+
+        let mut m = cb.method("arrstr", "()I", STATIC);
+        m.const_int(3);
+        m.newarray(BaseType::Int);
+        m.instanceof("java/lang/String");
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+    });
+    assert_eq!(run_i(&mut vm, class, iso, "arrobj", vec![]), Value::Int(1));
+    assert_eq!(run_i(&mut vm, class, iso, "arrstr", vec![]), Value::Int(0));
+}
+
+#[test]
+fn negative_array_size_throws() {
+    let (mut vm, class, iso) = vm_with(|cb| {
+        let mut m = cb.method("neg", "(I)I", STATIC);
+        m.iload(0);
+        m.newarray(BaseType::Long);
+        m.op(Opcode::Arraylength);
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+    });
+    assert_eq!(run_i(&mut vm, class, iso, "neg", vec![Value::Int(4)]), Value::Int(4));
+    let err = vm
+        .call_static_as(class, "neg", "(I)I", vec![Value::Int(-1)], iso)
+        .unwrap_err();
+    match err {
+        VmError::UncaughtException { class_name, .. } => {
+            assert_eq!(class_name, "java/lang/NegativeArraySizeException");
+        }
+        other => panic!("expected NegativeArraySizeException, got {other}"),
+    }
+}
+
+#[test]
+fn long_constants_via_ldc2w_and_lcmp() {
+    let (mut vm, class, iso) = vm_with(|cb| {
+        let mut m = cb.method("big", "()I", STATIC);
+        m.const_long(0x1234_5678_9ABC_DEF0u64 as i64);
+        m.const_long(0x1234_5678_9ABC_DEF0u64 as i64);
+        m.op(Opcode::Lcmp);
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+
+        let mut m = cb.method("ucmp", "()I", STATIC);
+        m.const_long(-1);
+        m.const_long(1);
+        m.op(Opcode::Lcmp);
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+    });
+    assert_eq!(run_i(&mut vm, class, iso, "big", vec![]), Value::Int(0));
+    assert_eq!(run_i(&mut vm, class, iso, "ucmp", vec![]), Value::Int(-1));
+}
+
+#[test]
+fn remainder_semantics_for_floats_and_negatives() {
+    let (mut vm, class, iso) = vm_with(|cb| {
+        let mut m = cb.method("iremneg", "()I", STATIC);
+        m.const_int(-7);
+        m.const_int(3);
+        m.op(Opcode::Irem);
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+
+        // drem keeps the dividend's sign: -7.5 % 2.0 == -1.5 -> (int)-1
+        let mut m = cb.method("dremneg", "()I", STATIC);
+        m.const_double(-7.5);
+        m.const_double(2.0);
+        m.op(Opcode::Drem);
+        m.op(Opcode::D2i);
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+    });
+    assert_eq!(run_i(&mut vm, class, iso, "iremneg", vec![]), Value::Int(-1));
+    assert_eq!(run_i(&mut vm, class, iso, "dremneg", vec![]), Value::Int(-1));
+}
+
+#[test]
+fn i2b_i2c_i2s_truncate() {
+    let (mut vm, class, iso) = vm_with(|cb| {
+        for (name, op) in [("b", Opcode::I2b), ("c", Opcode::I2c), ("s", Opcode::I2s)] {
+            let mut m = cb.method(name, "(I)I", STATIC);
+            m.iload(0);
+            m.op(op);
+            m.op(Opcode::Ireturn);
+            m.done().unwrap();
+        }
+    });
+    assert_eq!(run_i(&mut vm, class, iso, "b", vec![Value::Int(0x181)]), Value::Int(-127));
+    assert_eq!(run_i(&mut vm, class, iso, "c", vec![Value::Int(-1)]), Value::Int(0xFFFF));
+    assert_eq!(run_i(&mut vm, class, iso, "s", vec![Value::Int(0x18000)]), Value::Int(-32768));
+}

@@ -1,0 +1,253 @@
+//! Class files for the system library, built with the assembler.
+
+use ijvm_classfile::{AccessFlags, ClassBuilder, ClassFile, Opcode};
+use ijvm_core::error::Result;
+use ijvm_core::vm::Vm;
+
+const PUB: AccessFlags = AccessFlags::PUBLIC;
+const PUBSTATIC: AccessFlags = AccessFlags(AccessFlags::PUBLIC.0 | AccessFlags::STATIC.0);
+
+/// `java/lang/System`: console, clock, gc, exit, arraycopy.
+pub fn system_class() -> ClassFile {
+    let mut cb = ClassBuilder::new("java/lang/System", "java/lang/Object", PUB | AccessFlags::FINAL);
+    for desc in [
+        "(Ljava/lang/String;)V",
+        "(I)V",
+        "(J)V",
+        "(D)V",
+        "(Z)V",
+        "(C)V",
+        "(Ljava/lang/Object;)V",
+    ] {
+        cb.native_method("println", desc, PUBSTATIC);
+    }
+    cb.native_method("currentTimeMillis", "()J", PUBSTATIC);
+    cb.native_method("nanoTime", "()J", PUBSTATIC);
+    cb.native_method("gc", "()V", PUBSTATIC);
+    cb.native_method("exit", "(I)V", PUBSTATIC);
+    cb.native_method(
+        "arraycopy",
+        "(Ljava/lang/Object;ILjava/lang/Object;II)V",
+        PUBSTATIC,
+    );
+    cb.native_method("identityHashCode", "(Ljava/lang/Object;)I", PUBSTATIC);
+    cb.build().expect("java/lang/System")
+}
+
+/// `java/lang/Runnable`.
+pub fn runnable_interface() -> ClassFile {
+    let mut cb = ClassBuilder::new_interface("java/lang/Runnable");
+    cb.abstract_method("run", "()V", PUB);
+    cb.build().expect("java/lang/Runnable")
+}
+
+/// `java/lang/Thread`: green threads charged to their creating isolate.
+pub fn thread_class() -> ClassFile {
+    let mut cb = ClassBuilder::new("java/lang/Thread", "java/lang/Object", PUB);
+    cb.implements("java/lang/Runnable");
+    cb.field("target", "Ljava/lang/Runnable;", AccessFlags::PRIVATE);
+    cb.field("vmTid", "I", AccessFlags::PRIVATE);
+
+    let mut m = cb.method("<init>", "()V", PUB);
+    m.aload(0);
+    m.invokespecial("java/lang/Object", "<init>", "()V");
+    m.op(Opcode::Return);
+    m.done().expect("Thread.<init>()");
+
+    let mut m = cb.method("<init>", "(Ljava/lang/Runnable;)V", PUB);
+    m.aload(0);
+    m.invokespecial("java/lang/Object", "<init>", "()V");
+    m.aload(0);
+    m.aload(1);
+    m.putfield("java/lang/Thread", "target", "Ljava/lang/Runnable;");
+    m.op(Opcode::Return);
+    m.done().expect("Thread.<init>(Runnable)");
+
+    // run(): delegate to target when present; subclasses override this.
+    let mut m = cb.method("run", "()V", PUB);
+    let done = m.new_label();
+    m.aload(0);
+    m.getfield("java/lang/Thread", "target", "Ljava/lang/Runnable;");
+    m.branch(Opcode::Ifnull, done);
+    m.aload(0);
+    m.getfield("java/lang/Thread", "target", "Ljava/lang/Runnable;");
+    m.invokeinterface("java/lang/Runnable", "run", "()V");
+    m.bind(done);
+    m.op(Opcode::Return);
+    m.done().expect("Thread.run");
+
+    cb.native_method("start", "()V", PUB);
+    cb.native_method("join", "()V", PUB);
+    cb.native_method("interrupt", "()V", PUB);
+    cb.native_method("isAlive", "()Z", PUB);
+    cb.native_method("sleep", "(J)V", PUBSTATIC);
+    cb.native_method("yield", "()V", PUBSTATIC);
+    cb.native_method("interrupted", "()Z", PUBSTATIC);
+    cb.build().expect("java/lang/Thread")
+}
+
+/// `java/lang/Math` intrinsics.
+pub fn math_class() -> ClassFile {
+    let mut cb = ClassBuilder::new("java/lang/Math", "java/lang/Object", PUB | AccessFlags::FINAL);
+    for (name, desc) in [
+        ("abs", "(I)I"),
+        ("abs", "(J)J"),
+        ("abs", "(D)D"),
+        ("min", "(II)I"),
+        ("max", "(II)I"),
+        ("min", "(JJ)J"),
+        ("max", "(JJ)J"),
+        ("min", "(DD)D"),
+        ("max", "(DD)D"),
+        ("sqrt", "(D)D"),
+        ("floor", "(D)D"),
+        ("ceil", "(D)D"),
+        ("pow", "(DD)D"),
+        ("sin", "(D)D"),
+        ("cos", "(D)D"),
+        ("random", "()D"),
+    ] {
+        cb.native_method(name, desc, PUBSTATIC);
+    }
+    cb.build().expect("java/lang/Math")
+}
+
+/// `java/lang/StringBuilder` backed by a growable `[C`.
+pub fn stringbuilder_class() -> ClassFile {
+    let mut cb = ClassBuilder::new("java/lang/StringBuilder", "java/lang/Object", PUB);
+    cb.field("buf", "[C", AccessFlags::PRIVATE);
+    cb.field("len", "I", AccessFlags::PRIVATE);
+
+    let mut m = cb.method("<init>", "()V", PUB);
+    m.aload(0);
+    m.invokespecial("java/lang/Object", "<init>", "()V");
+    m.aload(0);
+    m.const_int(16);
+    m.newarray(ijvm_classfile::BaseType::Char);
+    m.putfield("java/lang/StringBuilder", "buf", "[C");
+    m.aload(0);
+    m.const_int(0);
+    m.putfield("java/lang/StringBuilder", "len", "I");
+    m.op(Opcode::Return);
+    m.done().expect("StringBuilder.<init>");
+
+    let mut m = cb.method("length", "()I", PUB);
+    m.aload(0);
+    m.getfield("java/lang/StringBuilder", "len", "I");
+    m.op(Opcode::Ireturn);
+    m.done().expect("StringBuilder.length");
+
+    let sb = "Ljava/lang/StringBuilder;";
+    for desc in [
+        format!("(Ljava/lang/String;){sb}"),
+        format!("(I){sb}"),
+        format!("(J){sb}"),
+        format!("(D){sb}"),
+        format!("(Z){sb}"),
+        format!("(C){sb}"),
+        format!("(Ljava/lang/Object;){sb}"),
+    ] {
+        cb.native_method("append", &desc, PUB);
+    }
+    cb.native_method("toString", "()Ljava/lang/String;", PUB);
+    cb.build().expect("java/lang/StringBuilder")
+}
+
+/// `java/util/ArrayList` backed by a growable `Object[]`.
+pub fn arraylist_class() -> ClassFile {
+    let mut cb = ClassBuilder::new("java/util/ArrayList", "java/lang/Object", PUB);
+    cb.field("elems", "[Ljava/lang/Object;", AccessFlags::PRIVATE);
+    cb.field("size", "I", AccessFlags::PRIVATE);
+
+    let mut m = cb.method("<init>", "()V", PUB);
+    m.aload(0);
+    m.invokespecial("java/lang/Object", "<init>", "()V");
+    m.aload(0);
+    m.const_int(8);
+    m.anewarray("java/lang/Object");
+    m.putfield("java/util/ArrayList", "elems", "[Ljava/lang/Object;");
+    m.aload(0);
+    m.const_int(0);
+    m.putfield("java/util/ArrayList", "size", "I");
+    m.op(Opcode::Return);
+    m.done().expect("ArrayList.<init>");
+
+    let mut m = cb.method("size", "()I", PUB);
+    m.aload(0);
+    m.getfield("java/util/ArrayList", "size", "I");
+    m.op(Opcode::Ireturn);
+    m.done().expect("ArrayList.size");
+
+    cb.native_method("add", "(Ljava/lang/Object;)Z", PUB);
+    cb.native_method("get", "(I)Ljava/lang/Object;", PUB);
+    cb.native_method("set", "(ILjava/lang/Object;)Ljava/lang/Object;", PUB);
+    cb.native_method("remove", "(I)Ljava/lang/Object;", PUB);
+    cb.native_method("clear", "()V", PUB);
+    cb.native_method("contains", "(Ljava/lang/Object;)Z", PUB);
+    cb.build().expect("java/util/ArrayList")
+}
+
+/// `java/util/HashMap`: linear-probing table; string keys hash by value,
+/// all other keys by identity (calling back into guest `hashCode` from a
+/// native is deliberately unsupported).
+pub fn hashmap_class() -> ClassFile {
+    let mut cb = ClassBuilder::new("java/util/HashMap", "java/lang/Object", PUB);
+    cb.field("keys", "[Ljava/lang/Object;", AccessFlags::PRIVATE);
+    cb.field("vals", "[Ljava/lang/Object;", AccessFlags::PRIVATE);
+    cb.field("size", "I", AccessFlags::PRIVATE);
+
+    let mut m = cb.method("<init>", "()V", PUB);
+    m.aload(0);
+    m.invokespecial("java/lang/Object", "<init>", "()V");
+    m.aload(0);
+    m.const_int(16);
+    m.anewarray("java/lang/Object");
+    m.putfield("java/util/HashMap", "keys", "[Ljava/lang/Object;");
+    m.aload(0);
+    m.const_int(16);
+    m.anewarray("java/lang/Object");
+    m.putfield("java/util/HashMap", "vals", "[Ljava/lang/Object;");
+    m.aload(0);
+    m.const_int(0);
+    m.putfield("java/util/HashMap", "size", "I");
+    m.op(Opcode::Return);
+    m.done().expect("HashMap.<init>");
+
+    let mut m = cb.method("size", "()I", PUB);
+    m.aload(0);
+    m.getfield("java/util/HashMap", "size", "I");
+    m.op(Opcode::Ireturn);
+    m.done().expect("HashMap.size");
+
+    cb.native_method("put", "(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;", PUB);
+    cb.native_method("get", "(Ljava/lang/Object;)Ljava/lang/Object;", PUB);
+    cb.native_method("remove", "(Ljava/lang/Object;)Ljava/lang/Object;", PUB);
+    cb.native_method("containsKey", "(Ljava/lang/Object;)Z", PUB);
+    cb.build().expect("java/util/HashMap")
+}
+
+/// `org/ijvm/VConnection`: a simulated connection (file/socket stand-in).
+/// Opening charges a connection to the opening isolate; reads and writes
+/// charge I/O bytes (paper §3.2).
+pub fn vconnection_class() -> ClassFile {
+    let mut cb = ClassBuilder::new("org/ijvm/VConnection", "java/lang/Object", PUB);
+    cb.field("open", "Z", AccessFlags::PRIVATE);
+    cb.native_method("connect", "()Lorg/ijvm/VConnection;", PUBSTATIC);
+    cb.native_method("read", "(I)I", PUB);
+    cb.native_method("write", "(I)I", PUB);
+    cb.native_method("close", "()V", PUB);
+    cb.build().expect("org/ijvm/VConnection")
+}
+
+/// Installs all JSL classes (natives must already be registered).
+pub fn install_all(vm: &mut Vm) -> Result<()> {
+    vm.install_system_class(&system_class())?;
+    vm.install_system_class(&runnable_interface())?;
+    vm.install_system_class(&thread_class())?;
+    vm.install_system_class(&math_class())?;
+    vm.install_system_class(&stringbuilder_class())?;
+    vm.install_system_class(&arraylist_class())?;
+    vm.install_system_class(&hashmap_class())?;
+    vm.install_system_class(&vconnection_class())?;
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! # ijvm-jsl — the Java System Library for the ijvm VM
+//!
+//! Installs the bootstrap classes from `ijvm_core::bootstrap` plus the
+//! runtime classes OSGi bundles and the paper's workloads need:
+//!
+//! * `java/lang/System` — console printing, virtual clock, `gc`, `exit`
+//!   (privileged), `arraycopy`;
+//! * `java/lang/Thread` / `java/lang/Runnable` — green threads charged to
+//!   their creating isolate (paper §3.2);
+//! * `java/lang/Math` — arithmetic intrinsics and a deterministic
+//!   `random()`;
+//! * `java/lang/StringBuilder` — string assembly used by compiled
+//!   concatenation;
+//! * `java/util/ArrayList`, `java/util/HashMap` — the collections the
+//!   SPEC-analogue workloads exercise;
+//! * `org/ijvm/VConnection` — a simulated connection whose reads and
+//!   writes are charged to the performing isolate, JRes-style (paper
+//!   §3.2).
+//!
+//! System-library classes live in the bootstrap loader, so they execute in
+//! the *calling* isolate and their resource use is charged to the caller
+//! (paper §3.1/§3.2).
+//!
+//! Call [`install`] on a fresh [`Vm`] before loading application classes.
+
+pub mod classes;
+pub mod natives;
+
+use ijvm_core::error::Result;
+use ijvm_core::vm::Vm;
+
+/// Installs the complete system library (bootstrap + JSL) into `vm`.
+pub fn install(vm: &mut Vm) -> Result<()> {
+    ijvm_core::bootstrap::install(vm)?;
+    natives::register_all(vm);
+    classes::install_all(vm)?;
+    Ok(())
+}
+
+/// Convenience: a fully booted VM with the given options.
+pub fn boot(options: ijvm_core::vm::VmOptions) -> Vm {
+    let mut vm = Vm::new(options);
+    install(&mut vm).expect("system library installation cannot fail on a fresh VM");
+    vm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ijvm_core::prelude::*;
+
+    #[test]
+    fn boot_installs_everything() {
+        let vm = boot(VmOptions::isolated());
+        for name in [
+            "java/lang/Object",
+            "java/lang/String",
+            "java/lang/System",
+            "java/lang/Thread",
+            "java/lang/Runnable",
+            "java/lang/Math",
+            "java/lang/StringBuilder",
+            "java/util/ArrayList",
+            "java/util/HashMap",
+            "org/ijvm/VConnection",
+            "org/ijvm/StoppedIsolateException",
+        ] {
+            assert!(
+                vm.find_class(LoaderId::BOOTSTRAP, name).is_some(),
+                "{name} should be installed"
+            );
+        }
+    }
+
+    #[test]
+    fn boot_shared_mode_works_too() {
+        let vm = boot(VmOptions::shared());
+        assert!(!vm.is_isolated());
+        assert!(vm.find_class(LoaderId::BOOTSTRAP, "java/lang/System").is_some());
+    }
+}

@@ -1,0 +1,370 @@
+//! Abstract syntax tree for the mini-Java language.
+
+/// A source type as written (`int`, `Foo`, `String[]`, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeName {
+    /// `int`
+    Int,
+    /// `long`
+    Long,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// `boolean`
+    Boolean,
+    /// `char`
+    Char,
+    /// `void` (return position only)
+    Void,
+    /// A class or interface by simple or qualified name.
+    Named(String),
+    /// `T[]`
+    Array(Box<TypeName>),
+}
+
+/// One compilation unit: a list of class/interface declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Unit {
+    /// Declarations in source order.
+    pub classes: Vec<ClassDecl>,
+}
+
+/// A class or interface declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDecl {
+    /// Simple name.
+    pub name: String,
+    /// `true` for interfaces.
+    pub is_interface: bool,
+    /// Superclass simple name (defaults to `Object`).
+    pub superclass: Option<String>,
+    /// Implemented interfaces.
+    pub interfaces: Vec<String>,
+    /// Field declarations.
+    pub fields: Vec<FieldDecl>,
+    /// Methods and constructors.
+    pub methods: Vec<MethodDecl>,
+    /// Declaration line.
+    pub line: u32,
+}
+
+/// A field declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeName,
+    /// `static`?
+    pub is_static: bool,
+    /// Optional initializer (emitted into `<clinit>` or constructors).
+    pub init: Option<Expr>,
+    /// Declaration line.
+    pub line: u32,
+}
+
+/// A method or constructor declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodDecl {
+    /// Method name; constructors use the class name and `is_ctor`.
+    pub name: String,
+    /// `true` for constructors.
+    pub is_ctor: bool,
+    /// Return type (`Void` for constructors).
+    pub ret: TypeName,
+    /// Parameters as `(name, type)`.
+    pub params: Vec<(String, TypeName)>,
+    /// `static`?
+    pub is_static: bool,
+    /// `synchronized`?
+    pub is_synchronized: bool,
+    /// Body; `None` for interface methods.
+    pub body: Option<Vec<Stmt>>,
+    /// Declaration line.
+    pub line: u32,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// `Type name = expr;` (initializer optional)
+    VarDecl {
+        /// Declared type.
+        ty: TypeName,
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if (cond) then else?`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Box<Stmt>,
+        /// Else branch.
+        otherwise: Option<Box<Stmt>>,
+    },
+    /// `while (cond) body`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `for (init; cond; update) body`
+    For {
+        /// Initializer.
+        init: Option<Box<Stmt>>,
+        /// Condition (empty = true).
+        cond: Option<Expr>,
+        /// Update expression.
+        update: Option<Expr>,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `return expr?;`
+    Return(Option<Expr>, u32),
+    /// `throw expr;`
+    Throw(Expr, u32),
+    /// `break;`
+    Break(u32),
+    /// `continue;`
+    Continue(u32),
+    /// `try { } catch (T e) { } ...`
+    Try {
+        /// Protected body.
+        body: Vec<Stmt>,
+        /// Catch clauses.
+        catches: Vec<CatchClause>,
+    },
+    /// `synchronized (expr) { ... }`
+    Synchronized {
+        /// Lock expression.
+        lock: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+}
+
+/// One `catch` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatchClause {
+    /// Caught exception type (simple name).
+    pub ty: String,
+    /// Binding name.
+    pub name: String,
+    /// Handler body.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `>>>`
+    Ushr,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    LAnd,
+    /// `||`
+    LOr,
+}
+
+/// An expression; every variant carries its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i32, u32),
+    /// Long literal.
+    Long(i64, u32),
+    /// Float literal.
+    Float(f32, u32),
+    /// Double literal.
+    Double(f64, u32),
+    /// Char literal.
+    Char(u16, u32),
+    /// `true`/`false`.
+    Bool(bool, u32),
+    /// String literal.
+    Str(String, u32),
+    /// `null`.
+    Null(u32),
+    /// `this`.
+    This(u32),
+    /// A bare name: local, parameter, field of `this`, static field of the
+    /// current class, or a class name (when qualified further).
+    Name(String, u32),
+    /// `expr.field` or `ClassName.field`.
+    Field {
+        /// Receiver (None when the base was resolved as a class name).
+        target: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// Source line.
+        line: u32,
+    },
+    /// `expr[i]`
+    Index {
+        /// Array expression.
+        array: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Method call. `target: None` means unqualified (current class /
+    /// `this`); a `Name` target may resolve to a class (static call).
+    Call {
+        /// Receiver expression.
+        target: Option<Box<Expr>>,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `new T(args)`
+    New {
+        /// Class simple name.
+        class: String,
+        /// Constructor arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `new T[len]` (possibly with extra `[]` dims on the element type).
+    NewArray {
+        /// Element type.
+        elem: TypeName,
+        /// Length expression.
+        len: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `!expr`
+    Not(Box<Expr>, u32),
+    /// `-expr`
+    Neg(Box<Expr>, u32),
+    /// `(Type) expr`
+    Cast {
+        /// Target type.
+        ty: TypeName,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `expr instanceof Type`
+    InstanceOf {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Tested type name.
+        ty: String,
+        /// Source line.
+        line: u32,
+    },
+    /// `lvalue = expr` (or compound `op=`).
+    Assign {
+        /// Assignment target.
+        target: Box<Expr>,
+        /// Compound operator, `None` for plain `=`.
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `x++` / `x--` (statement position only).
+    Incr {
+        /// Target lvalue.
+        target: Box<Expr>,
+        /// +1 or -1.
+        delta: i32,
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Expr {
+    /// Source line of this expression.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Int(_, l)
+            | Expr::Long(_, l)
+            | Expr::Float(_, l)
+            | Expr::Double(_, l)
+            | Expr::Char(_, l)
+            | Expr::Bool(_, l)
+            | Expr::Str(_, l)
+            | Expr::Null(l)
+            | Expr::This(l)
+            | Expr::Name(_, l)
+            | Expr::Not(_, l)
+            | Expr::Neg(_, l) => *l,
+            Expr::Field { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::New { line, .. }
+            | Expr::NewArray { line, .. }
+            | Expr::Bin { line, .. }
+            | Expr::Cast { line, .. }
+            | Expr::InstanceOf { line, .. }
+            | Expr::Assign { line, .. }
+            | Expr::Incr { line, .. } => *line,
+        }
+    }
+}

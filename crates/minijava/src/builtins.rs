@@ -1,0 +1,284 @@
+//! Signatures of the system-library classes installed by `ijvm-jsl`.
+//!
+//! Kept in sync with `ijvm_core::bootstrap` and `ijvm_jsl::classes` by the
+//! cross-crate integration tests in the workspace root.
+
+use crate::env::{ClassInfo, Env, FieldSig, MethodSig, Ty};
+
+fn m(name: &str, params: &[Ty], ret: Ty, is_static: bool) -> MethodSig {
+    MethodSig { name: name.to_owned(), params: params.to_vec(), ret, is_static }
+}
+
+fn class(
+    internal: &str,
+    superclass: Option<&str>,
+    interfaces: &[&str],
+    fields: Vec<FieldSig>,
+    methods: Vec<MethodSig>,
+) -> ClassInfo {
+    ClassInfo {
+        internal: internal.to_owned(),
+        is_interface: false,
+        superclass: superclass.map(str::to_owned),
+        interfaces: interfaces.iter().map(|s| s.to_string()).collect(),
+        fields,
+        methods,
+    }
+}
+
+fn exception(env: &mut Env, internal: &str, superclass: &str) {
+    env.add_class(class(
+        internal,
+        Some(superclass),
+        &[],
+        vec![],
+        vec![
+            m("<init>", &[], Ty::Void, false),
+            m("<init>", &[Ty::string()], Ty::Void, false),
+        ],
+    ));
+}
+
+/// Registers every builtin signature into `env`.
+pub fn register(env: &mut Env) {
+    let obj = Ty::object;
+    let s = Ty::string;
+
+    env.add_class(class(
+        "java/lang/Object",
+        None,
+        &[],
+        vec![],
+        vec![
+            m("<init>", &[], Ty::Void, false),
+            m("hashCode", &[], Ty::Int, false),
+            m("equals", &[obj()], Ty::Boolean, false),
+            m("toString", &[], s(), false),
+            m("getClass", &[], Ty::Object("java/lang/Class".into()), false),
+        ],
+    ));
+
+    env.add_class(class(
+        "java/lang/Class",
+        Some("java/lang/Object"),
+        &[],
+        vec![],
+        vec![m("getName", &[], s(), false)],
+    ));
+
+    env.add_class(class(
+        "java/lang/String",
+        Some("java/lang/Object"),
+        &[],
+        vec![],
+        vec![
+            m("length", &[], Ty::Int, false),
+            m("charAt", &[Ty::Int], Ty::Char, false),
+            m("equals", &[obj()], Ty::Boolean, false),
+            m("hashCode", &[], Ty::Int, false),
+            m("concat", &[s()], s(), false),
+            m("substring", &[Ty::Int, Ty::Int], s(), false),
+            m("indexOf", &[Ty::Int], Ty::Int, false),
+            m("intern", &[], s(), false),
+            m("toString", &[], s(), false),
+        ],
+    ));
+
+    env.add_class(class(
+        "java/lang/System",
+        Some("java/lang/Object"),
+        &[],
+        vec![],
+        vec![
+            m("println", &[s()], Ty::Void, true),
+            m("println", &[Ty::Int], Ty::Void, true),
+            m("println", &[Ty::Long], Ty::Void, true),
+            m("println", &[Ty::Double], Ty::Void, true),
+            m("println", &[Ty::Boolean], Ty::Void, true),
+            m("println", &[Ty::Char], Ty::Void, true),
+            m("println", &[obj()], Ty::Void, true),
+            m("currentTimeMillis", &[], Ty::Long, true),
+            m("nanoTime", &[], Ty::Long, true),
+            m("gc", &[], Ty::Void, true),
+            m("exit", &[Ty::Int], Ty::Void, true),
+            m("identityHashCode", &[obj()], Ty::Int, true),
+            m("arraycopy", &[obj(), Ty::Int, obj(), Ty::Int, Ty::Int], Ty::Void, true),
+        ],
+    ));
+
+    env.add_class(class(
+        "java/lang/Math",
+        Some("java/lang/Object"),
+        &[],
+        vec![],
+        vec![
+            m("abs", &[Ty::Int], Ty::Int, true),
+            m("abs", &[Ty::Long], Ty::Long, true),
+            m("abs", &[Ty::Double], Ty::Double, true),
+            m("min", &[Ty::Int, Ty::Int], Ty::Int, true),
+            m("max", &[Ty::Int, Ty::Int], Ty::Int, true),
+            m("min", &[Ty::Long, Ty::Long], Ty::Long, true),
+            m("max", &[Ty::Long, Ty::Long], Ty::Long, true),
+            m("min", &[Ty::Double, Ty::Double], Ty::Double, true),
+            m("max", &[Ty::Double, Ty::Double], Ty::Double, true),
+            m("sqrt", &[Ty::Double], Ty::Double, true),
+            m("floor", &[Ty::Double], Ty::Double, true),
+            m("ceil", &[Ty::Double], Ty::Double, true),
+            m("pow", &[Ty::Double, Ty::Double], Ty::Double, true),
+            m("sin", &[Ty::Double], Ty::Double, true),
+            m("cos", &[Ty::Double], Ty::Double, true),
+            m("random", &[], Ty::Double, true),
+        ],
+    ));
+
+    let runnable = ClassInfo {
+        internal: "java/lang/Runnable".to_owned(),
+        is_interface: true,
+        superclass: Some("java/lang/Object".to_owned()),
+        interfaces: vec![],
+        fields: vec![],
+        methods: vec![m("run", &[], Ty::Void, false)],
+    };
+    env.add_class(runnable);
+
+    env.add_class(class(
+        "java/lang/Thread",
+        Some("java/lang/Object"),
+        &["java/lang/Runnable"],
+        vec![],
+        vec![
+            m("<init>", &[], Ty::Void, false),
+            m("<init>", &[Ty::Object("java/lang/Runnable".into())], Ty::Void, false),
+            m("run", &[], Ty::Void, false),
+            m("start", &[], Ty::Void, false),
+            m("join", &[], Ty::Void, false),
+            m("interrupt", &[], Ty::Void, false),
+            m("isAlive", &[], Ty::Boolean, false),
+            m("sleep", &[Ty::Long], Ty::Void, true),
+            m("yield", &[], Ty::Void, true),
+            m("interrupted", &[], Ty::Boolean, true),
+        ],
+    ));
+
+    let sb = Ty::Object("java/lang/StringBuilder".into());
+    env.add_class(class(
+        "java/lang/StringBuilder",
+        Some("java/lang/Object"),
+        &[],
+        vec![],
+        vec![
+            m("<init>", &[], Ty::Void, false),
+            m("append", &[s()], sb.clone(), false),
+            m("append", &[Ty::Int], sb.clone(), false),
+            m("append", &[Ty::Long], sb.clone(), false),
+            m("append", &[Ty::Double], sb.clone(), false),
+            m("append", &[Ty::Boolean], sb.clone(), false),
+            m("append", &[Ty::Char], sb.clone(), false),
+            m("append", &[obj()], sb.clone(), false),
+            m("toString", &[], s(), false),
+            m("length", &[], Ty::Int, false),
+        ],
+    ));
+
+    env.add_class(class(
+        "java/util/ArrayList",
+        Some("java/lang/Object"),
+        &[],
+        vec![],
+        vec![
+            m("<init>", &[], Ty::Void, false),
+            m("add", &[obj()], Ty::Boolean, false),
+            m("get", &[Ty::Int], obj(), false),
+            m("set", &[Ty::Int, obj()], obj(), false),
+            m("remove", &[Ty::Int], obj(), false),
+            m("clear", &[], Ty::Void, false),
+            m("size", &[], Ty::Int, false),
+            m("contains", &[obj()], Ty::Boolean, false),
+        ],
+    ));
+
+    env.add_class(class(
+        "java/util/HashMap",
+        Some("java/lang/Object"),
+        &[],
+        vec![],
+        vec![
+            m("<init>", &[], Ty::Void, false),
+            m("put", &[obj(), obj()], obj(), false),
+            m("get", &[obj()], obj(), false),
+            m("remove", &[obj()], obj(), false),
+            m("containsKey", &[obj()], Ty::Boolean, false),
+            m("size", &[], Ty::Int, false),
+        ],
+    ));
+
+    env.add_class(class(
+        "org/ijvm/VConnection",
+        Some("java/lang/Object"),
+        &[],
+        vec![],
+        vec![
+            m("connect", &[], Ty::Object("org/ijvm/VConnection".into()), true),
+            m("read", &[Ty::Int], Ty::Int, false),
+            m("write", &[Ty::Int], Ty::Int, false),
+            m("close", &[], Ty::Void, false),
+        ],
+    ));
+
+    env.add_class(class(
+        "java/lang/Throwable",
+        Some("java/lang/Object"),
+        &[],
+        vec![FieldSig { name: "message".to_owned(), ty: s(), is_static: false }],
+        vec![
+            m("<init>", &[], Ty::Void, false),
+            m("<init>", &[s()], Ty::Void, false),
+            m("getMessage", &[], s(), false),
+        ],
+    ));
+
+    for (name, sup) in ijvm_exception_hierarchy() {
+        exception(env, name, sup);
+    }
+
+    // StoppedIsolateException carries the terminated isolate id.
+    env.add_class(class(
+        "org/ijvm/StoppedIsolateException",
+        Some("java/lang/Error"),
+        &[],
+        vec![FieldSig { name: "isolateId".to_owned(), ty: Ty::Int, is_static: false }],
+        vec![m("<init>", &[], Ty::Void, false), m("getIsolateId", &[], Ty::Int, false)],
+    ));
+}
+
+/// The `(class, super)` pairs of the bootstrap exception hierarchy —
+/// mirrors `ijvm_core::bootstrap::EXCEPTION_HIERARCHY`.
+fn ijvm_exception_hierarchy() -> &'static [(&'static str, &'static str)] {
+    &[
+        ("java/lang/Exception", "java/lang/Throwable"),
+        ("java/lang/RuntimeException", "java/lang/Exception"),
+        ("java/lang/Error", "java/lang/Throwable"),
+        ("java/lang/NullPointerException", "java/lang/RuntimeException"),
+        ("java/lang/ArithmeticException", "java/lang/RuntimeException"),
+        ("java/lang/ArrayIndexOutOfBoundsException", "java/lang/RuntimeException"),
+        ("java/lang/NegativeArraySizeException", "java/lang/RuntimeException"),
+        ("java/lang/ClassCastException", "java/lang/RuntimeException"),
+        ("java/lang/IllegalMonitorStateException", "java/lang/RuntimeException"),
+        ("java/lang/IllegalArgumentException", "java/lang/RuntimeException"),
+        ("java/lang/IllegalStateException", "java/lang/RuntimeException"),
+        ("java/lang/UnsupportedOperationException", "java/lang/RuntimeException"),
+        ("java/lang/SecurityException", "java/lang/RuntimeException"),
+        ("java/lang/InterruptedException", "java/lang/Exception"),
+        ("java/io/IOException", "java/lang/Exception"),
+        ("java/lang/OutOfMemoryError", "java/lang/Error"),
+        ("java/lang/StackOverflowError", "java/lang/Error"),
+        ("java/lang/VerifyError", "java/lang/Error"),
+        ("java/lang/InternalError", "java/lang/Error"),
+        ("java/lang/NoClassDefFoundError", "java/lang/Error"),
+        ("java/lang/NoSuchFieldError", "java/lang/Error"),
+        ("java/lang/NoSuchMethodError", "java/lang/Error"),
+        ("java/lang/AbstractMethodError", "java/lang/Error"),
+        ("java/lang/UnsatisfiedLinkError", "java/lang/Error"),
+        ("java/lang/ExceptionInInitializerError", "java/lang/Error"),
+    ]
+}

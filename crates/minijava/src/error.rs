@@ -1,0 +1,66 @@
+//! Compiler diagnostics.
+
+use std::fmt;
+
+/// Result alias for compilation.
+pub type Result<T> = std::result::Result<T, CompileError>;
+
+/// A compile-time diagnostic with a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Which compiler phase rejected the program.
+    pub phase: Phase,
+    /// 1-based source line (0 when unknown).
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Compiler phases, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenizer.
+    Lex,
+    /// Parser.
+    Parse,
+    /// Type checking / name resolution.
+    Check,
+    /// Bytecode emission.
+    Emit,
+}
+
+impl CompileError {
+    /// Lexer error at `line`.
+    pub fn lex(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError { phase: Phase::Lex, line, message: message.into() }
+    }
+
+    /// Parser error at `line`.
+    pub fn parse(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError { phase: Phase::Parse, line, message: message.into() }
+    }
+
+    /// Semantic error at `line`.
+    pub fn check(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError { phase: Phase::Check, line, message: message.into() }
+    }
+
+    /// Code-generation error at `line`.
+    pub fn emit(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError { phase: Phase::Emit, line, message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Check => "check",
+            Phase::Emit => "emit",
+        };
+        write!(f, "{phase} error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}

@@ -1,0 +1,328 @@
+//! Tokenizer for the mini-Java language.
+
+use crate::error::{CompileError, Result};
+use std::fmt;
+
+/// A token with its source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are recognized by the parser).
+    Ident(String),
+    /// `int` literal.
+    Int(i32),
+    /// `long` literal (`123L`).
+    Long(i64),
+    /// `float` literal (`1.5f`).
+    Float(f32),
+    /// `double` literal (`1.5`).
+    Double(f64),
+    /// `char` literal.
+    Char(u16),
+    /// String literal.
+    Str(String),
+    /// Punctuation / operator, e.g. `"+="`, `"{"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Long(v) => write!(f, "{v}L"),
+            Tok::Float(v) => write!(f, "{v}f"),
+            Tok::Double(v) => write!(f, "{v}"),
+            Tok::Char(c) => write!(f, "'{}'", char::from_u32(*c as u32).unwrap_or('?')),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Punct(p) => write!(f, "{p}"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Multi-character operators, longest first.
+const PUNCTS: &[&str] = &[
+    ">>>=", "<<=", ">>=", ">>>", "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=",
+    "*=", "/=", "%=", "<<", ">>", "&=", "|=", "^=", "+", "-", "*", "/", "%", "=", "<", ">", "!",
+    "&", "|", "^", "~", "?", ":", ";", ",", ".", "(", ")", "{", "}", "[", "]",
+];
+
+/// Tokenizes `source`.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    let bytes = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= bytes.len() {
+                    return Err(CompileError::lex(line, "unterminated block comment"));
+                }
+                i += 2;
+                continue;
+            }
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric()
+                    || bytes[i] == b'_'
+                    || bytes[i] == b'$')
+            {
+                i += 1;
+            }
+            out.push(Token { kind: Tok::Ident(source[start..i].to_owned()), line });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X') {
+                i += 2;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let text = &source[start + 2..i];
+                let v = i64::from_str_radix(text, 16)
+                    .map_err(|_| CompileError::lex(line, "bad hex literal"))?;
+                if i < bytes.len() && (bytes[i] == b'L' || bytes[i] == b'l') {
+                    i += 1;
+                    out.push(Token { kind: Tok::Long(v), line });
+                } else {
+                    out.push(Token { kind: Tok::Int(v as i32), line });
+                }
+                continue;
+            }
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && i + 1 < bytes.len()
+                && (bytes[i + 1] as char).is_ascii_digit()
+            {
+                is_float = true;
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                is_float = true;
+                i += 1;
+                if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                    i += 1;
+                }
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            let text = &source[start..i];
+            let suffix = if i < bytes.len() { bytes[i] as char } else { ' ' };
+            let kind = match (is_float, suffix) {
+                (_, 'f') | (_, 'F') => {
+                    i += 1;
+                    Tok::Float(text.parse().map_err(|_| CompileError::lex(line, "bad float"))?)
+                }
+                (false, 'L') | (false, 'l') => {
+                    i += 1;
+                    Tok::Long(text.parse().map_err(|_| CompileError::lex(line, "bad long"))?)
+                }
+                (false, 'd') | (false, 'D') | (true, 'd') | (true, 'D') => {
+                    i += 1;
+                    Tok::Double(text.parse().map_err(|_| CompileError::lex(line, "bad double"))?)
+                }
+                (true, _) => {
+                    Tok::Double(text.parse().map_err(|_| CompileError::lex(line, "bad double"))?)
+                }
+                (false, _) => {
+                    Tok::Int(text.parse().map_err(|_| {
+                        CompileError::lex(line, "integer literal out of range")
+                    })?)
+                }
+            };
+            out.push(Token { kind, line });
+            continue;
+        }
+        // Char literal.
+        if c == '\'' {
+            i += 1;
+            let ch = if bytes[i] == b'\\' {
+                i += 1;
+                let e = unescape(bytes[i] as char)
+                    .ok_or_else(|| CompileError::lex(line, "bad escape in char literal"))?;
+                i += 1;
+                e
+            } else {
+                let ch = source[i..].chars().next().unwrap();
+                i += ch.len_utf8();
+                ch as u16
+            };
+            if i >= bytes.len() || bytes[i] != b'\'' {
+                return Err(CompileError::lex(line, "unterminated char literal"));
+            }
+            i += 1;
+            out.push(Token { kind: Tok::Char(ch), line });
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(CompileError::lex(line, "unterminated string literal"));
+                }
+                match bytes[i] {
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    b'\\' => {
+                        i += 1;
+                        let e = unescape(bytes[i] as char)
+                            .ok_or_else(|| CompileError::lex(line, "bad escape"))?;
+                        s.push(char::from_u32(e as u32).unwrap_or('?'));
+                        i += 1;
+                    }
+                    b'\n' => return Err(CompileError::lex(line, "newline in string literal")),
+                    _ => {
+                        let ch = source[i..].chars().next().unwrap();
+                        s.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+            }
+            out.push(Token { kind: Tok::Str(s), line });
+            continue;
+        }
+        // Punctuation.
+        let rest = &source[i..];
+        let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) else {
+            return Err(CompileError::lex(line, format!("unexpected character {c:?}")));
+        };
+        out.push(Token { kind: Tok::Punct(p), line });
+        i += p.len();
+    }
+    out.push(Token { kind: Tok::Eof, line });
+    Ok(out)
+}
+
+fn unescape(c: char) -> Option<u16> {
+    Some(match c {
+        'n' => '\n' as u16,
+        't' => '\t' as u16,
+        'r' => '\r' as u16,
+        '0' => 0,
+        '\\' => '\\' as u16,
+        '\'' => '\'' as u16,
+        '"' => '"' as u16,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 42L 1.5 1.5f 2e3 0x10 0xffL"),
+            vec![
+                Tok::Int(42),
+                Tok::Long(42),
+                Tok::Double(1.5),
+                Tok::Float(1.5),
+                Tok::Double(2000.0),
+                Tok::Int(16),
+                Tok::Long(255),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            kinds("a >>> b >= c >> d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct(">>>"),
+                Tok::Ident("b".into()),
+                Tok::Punct(">="),
+                Tok::Ident("c".into()),
+                Tok::Punct(">>"),
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        assert_eq!(
+            kinds(r#""hi\n" 'x' '\t'"#),
+            vec![Tok::Str("hi\n".into()), Tok::Char('x' as u16), Tok::Char('\t' as u16), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_counted() {
+        let toks = lex("a // comment\n/* multi\nline */ b").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].kind, Tok::Ident("b".into()));
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("#").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

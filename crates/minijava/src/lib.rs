@@ -1,0 +1,109 @@
+//! # ijvm-minijava — a small Java-like compiler for the ijvm VM
+//!
+//! Compiles a Java-like source language to `ijvm-classfile` class files.
+//! This is the authoring front-end for everything that runs *inside* the
+//! VM in this workspace: the OSGi bundles, the eight attacks of the
+//! paper's §4.3, and the SPEC JVM98 analogue workloads.
+//!
+//! The language is a practical subset of Java: classes and interfaces,
+//! fields (static and instance, with initializers), constructors,
+//! methods (`static`/`synchronized`), `int`/`long`/`float`/`double`/
+//! `boolean`/`char`/`String`/class/array types, full expression syntax
+//! with numeric promotion and string concatenation, `if`/`while`/`for`/
+//! `break`/`continue`, `try`/`catch`, `throw`, `synchronized` blocks,
+//! `instanceof`, casts, `new` arrays and objects. Not supported: generics,
+//! `finally`, nested classes, varargs, `super.` calls, field shadowing.
+//!
+//! ```
+//! use ijvm_minijava::{compile, CompileEnv};
+//!
+//! let classes = compile(
+//!     r#"
+//!     class Fib {
+//!         static int fib(int n) {
+//!             if (n < 2) return n;
+//!             return fib(n - 1) + fib(n - 2);
+//!         }
+//!     }
+//!     "#,
+//!     &CompileEnv::new(),
+//! )
+//! .unwrap();
+//! assert_eq!(classes[0].name().unwrap(), "Fib");
+//! ```
+
+pub mod ast;
+pub mod builtins;
+pub mod codegen;
+pub mod env;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use env::{ClassInfo, Env, FieldSig, MethodSig, Ty};
+pub use error::{CompileError, Result};
+
+use ijvm_classfile::ClassFile;
+
+/// Compilation context: the package prefix for generated classes and the
+/// set of external classes the unit may reference.
+#[derive(Debug, Clone)]
+pub struct CompileEnv {
+    /// Package prefix (internal-name style, e.g. `"bundlea"`); empty for
+    /// the default package.
+    pub package: String,
+    /// External class signatures (system library + imported bundles).
+    pub env: Env,
+}
+
+impl CompileEnv {
+    /// A fresh environment with the system-library builtins.
+    pub fn new() -> CompileEnv {
+        CompileEnv { package: String::new(), env: Env::with_builtins() }
+    }
+
+    /// Like [`CompileEnv::new`] with a package prefix.
+    pub fn in_package(package: &str) -> CompileEnv {
+        CompileEnv { package: package.to_owned(), env: Env::with_builtins() }
+    }
+
+    /// Makes previously compiled classes referenceable (bundle imports).
+    pub fn import_class_file(&mut self, cf: &ClassFile) -> Result<()> {
+        self.env.add_class_file(cf)
+    }
+
+    /// Registers an extra signature directly.
+    pub fn import_signature(&mut self, info: ClassInfo) {
+        self.env.add_class(info);
+    }
+}
+
+impl Default for CompileEnv {
+    fn default() -> CompileEnv {
+        CompileEnv::new()
+    }
+}
+
+/// Compiles one source unit into class files.
+pub fn compile(source: &str, cenv: &CompileEnv) -> Result<Vec<ClassFile>> {
+    let unit = parser::parse(source)?;
+    codegen::compile_unit(&unit, &cenv.env, &cenv.package)
+}
+
+/// Compiles and serializes, returning `(internal_name, bytes)` pairs ready
+/// for `Vm::add_class_bytes`.
+pub fn compile_to_bytes(source: &str, cenv: &CompileEnv) -> Result<Vec<(String, Vec<u8>)>> {
+    let classes = compile(source, cenv)?;
+    classes
+        .into_iter()
+        .map(|cf| {
+            let name = cf
+                .name()
+                .map_err(|e| CompileError::emit(0, e.to_string()))?
+                .to_owned();
+            let bytes = ijvm_classfile::writer::write_class(&cf)
+                .map_err(|e| CompileError::emit(0, e.to_string()))?;
+            Ok((name, bytes))
+        })
+        .collect()
+}

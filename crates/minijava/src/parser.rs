@@ -1,0 +1,866 @@
+//! Recursive-descent parser for the mini-Java language.
+
+use crate::ast::*;
+use crate::error::{CompileError, Result};
+use crate::lexer::{lex, Tok, Token};
+
+/// Parses a compilation unit.
+pub fn parse(source: &str) -> Result<Unit> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut classes = Vec::new();
+    while !p.at_eof() {
+        classes.push(p.class_decl()?);
+    }
+    Ok(Unit { classes })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(CompileError::parse(self.line(), format!("expected `{p}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(CompileError::parse(self.line(), format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    // ---- declarations ------------------------------------------------
+
+    fn class_decl(&mut self) -> Result<ClassDecl> {
+        let line = self.line();
+        // Ignore leading `public`/`final`/`abstract` modifiers.
+        while self.eat_kw("public") || self.eat_kw("final") || self.eat_kw("abstract") {}
+        let is_interface = if self.eat_kw("interface") {
+            true
+        } else if self.eat_kw("class") {
+            false
+        } else {
+            return Err(CompileError::parse(line, format!("expected `class` or `interface`, found `{}`", self.peek())));
+        };
+        let name = self.expect_ident()?;
+        let mut superclass = None;
+        let mut interfaces = Vec::new();
+        if self.eat_kw("extends") {
+            superclass = Some(self.expect_ident()?);
+        }
+        if self.eat_kw("implements") {
+            loop {
+                interfaces.push(self.expect_ident()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_punct("{")?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while !self.eat_punct("}") {
+            self.member(&name, is_interface, &mut fields, &mut methods)?;
+        }
+        Ok(ClassDecl { name, is_interface, superclass, interfaces, fields, methods, line })
+    }
+
+    fn member(
+        &mut self,
+        class_name: &str,
+        in_interface: bool,
+        fields: &mut Vec<FieldDecl>,
+        methods: &mut Vec<MethodDecl>,
+    ) -> Result<()> {
+        let line = self.line();
+        let mut is_static = false;
+        let mut is_synchronized = false;
+        loop {
+            if self.eat_kw("public") || self.eat_kw("private") || self.eat_kw("protected")
+                || self.eat_kw("final")
+            {
+                continue;
+            }
+            if self.eat_kw("static") {
+                is_static = true;
+                continue;
+            }
+            if self.eat_kw("synchronized") {
+                is_synchronized = true;
+                continue;
+            }
+            break;
+        }
+        // Constructor: `Name(`
+        if let Tok::Ident(id) = self.peek() {
+            if id == class_name && matches!(self.peek2(), Tok::Punct("(")) {
+                self.bump();
+                let params = self.params()?;
+                let body = self.block_stmts()?;
+                methods.push(MethodDecl {
+                    name: "<init>".to_owned(),
+                    is_ctor: true,
+                    ret: TypeName::Void,
+                    params,
+                    is_static: false,
+                    is_synchronized,
+                    body: Some(body),
+                    line,
+                });
+                return Ok(());
+            }
+        }
+        let ty = self.type_name()?;
+        let name = self.expect_ident()?;
+        if matches!(self.peek(), Tok::Punct("(")) {
+            let params = self.params()?;
+            let body = if in_interface {
+                self.expect_punct(";")?;
+                None
+            } else {
+                Some(self.block_stmts()?)
+            };
+            methods.push(MethodDecl {
+                name,
+                is_ctor: false,
+                ret: ty,
+                params,
+                is_static,
+                is_synchronized,
+                body,
+                line,
+            });
+        } else {
+            // Field (possibly several, comma-separated).
+            let mut fname = name;
+            loop {
+                let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+                fields.push(FieldDecl { name: fname.clone(), ty: ty.clone(), is_static, init, line });
+                if self.eat_punct(",") {
+                    fname = self.expect_ident()?;
+                    continue;
+                }
+                break;
+            }
+            self.expect_punct(";")?;
+        }
+        Ok(())
+    }
+
+    fn params(&mut self) -> Result<Vec<(String, TypeName)>> {
+        self.expect_punct("(")?;
+        let mut out = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                let ty = self.type_name()?;
+                let name = self.expect_ident()?;
+                out.push((name, ty));
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+        }
+        Ok(out)
+    }
+
+    fn type_name(&mut self) -> Result<TypeName> {
+        let base = match self.bump() {
+            Tok::Ident(s) => match s.as_str() {
+                "int" => TypeName::Int,
+                "long" => TypeName::Long,
+                "float" => TypeName::Float,
+                "double" => TypeName::Double,
+                "boolean" => TypeName::Boolean,
+                "char" => TypeName::Char,
+                "void" => TypeName::Void,
+                _ => TypeName::Named(s),
+            },
+            other => {
+                return Err(CompileError::parse(self.line(), format!("expected type, found `{other}`")));
+            }
+        };
+        let mut ty = base;
+        while matches!(self.peek(), Tok::Punct("[")) && matches!(self.peek2(), Tok::Punct("]")) {
+            self.bump();
+            self.bump();
+            ty = TypeName::Array(Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn block_stmts(&mut self) -> Result<Vec<Stmt>> {
+        self.expect_punct("{")?;
+        let mut out = Vec::new();
+        while !self.eat_punct("}") {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        if matches!(self.peek(), Tok::Punct("{")) {
+            return Ok(Stmt::Block(self.block_stmts()?));
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then = Box::new(self.stmt()?);
+            let otherwise = if self.eat_kw("else") { Some(Box::new(self.stmt()?)) } else { None };
+            return Ok(Stmt::If { cond, then, otherwise });
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = Box::new(self.stmt()?);
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_kw("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else {
+                let s = self.simple_stmt()?;
+                self.expect_punct(";")?;
+                Some(Box::new(s))
+            };
+            let cond = if matches!(self.peek(), Tok::Punct(";")) { None } else { Some(self.expr()?) };
+            self.expect_punct(";")?;
+            let update = if matches!(self.peek(), Tok::Punct(")")) { None } else { Some(self.expr()?) };
+            self.expect_punct(")")?;
+            let body = Box::new(self.stmt()?);
+            return Ok(Stmt::For { init, cond, update, body });
+        }
+        if self.eat_kw("return") {
+            let value = if matches!(self.peek(), Tok::Punct(";")) { None } else { Some(self.expr()?) };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(value, line));
+        }
+        if self.eat_kw("throw") {
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Throw(e, line));
+        }
+        if self.eat_kw("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break(line));
+        }
+        if self.eat_kw("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue(line));
+        }
+        if self.eat_kw("try") {
+            let body = self.block_stmts()?;
+            let mut catches = Vec::new();
+            while self.is_kw("catch") {
+                let cline = self.line();
+                self.bump();
+                self.expect_punct("(")?;
+                let ty = self.expect_ident()?;
+                let name = self.expect_ident()?;
+                self.expect_punct(")")?;
+                let cbody = self.block_stmts()?;
+                catches.push(CatchClause { ty, name, body: cbody, line: cline });
+            }
+            if catches.is_empty() {
+                return Err(CompileError::parse(line, "try without catch (finally is unsupported)"));
+            }
+            return Ok(Stmt::Try { body, catches });
+        }
+        if self.eat_kw("synchronized") {
+            self.expect_punct("(")?;
+            let lock = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.block_stmts()?;
+            return Ok(Stmt::Synchronized { lock, body, line });
+        }
+        let s = self.simple_stmt()?;
+        self.expect_punct(";")?;
+        Ok(s)
+    }
+
+    /// A declaration or expression statement (no trailing `;`), as used in
+    /// `for` initializers and plain statements.
+    fn simple_stmt(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        if self.looks_like_decl() {
+            let ty = self.type_name()?;
+            let name = self.expect_ident()?;
+            let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+            return Ok(Stmt::VarDecl { ty, name, init, line });
+        }
+        Ok(Stmt::Expr(self.expr()?))
+    }
+
+    /// Lookahead: `Type ident` (where Type is a primitive, or an
+    /// identifier followed by `ident` or `[] ident`).
+    fn looks_like_decl(&self) -> bool {
+        let prim = matches!(
+            self.peek(),
+            Tok::Ident(s) if matches!(s.as_str(), "int" | "long" | "float" | "double" | "boolean" | "char")
+        );
+        if prim {
+            return true;
+        }
+        let Tok::Ident(first) = self.peek() else { return false };
+        if is_keyword(first) {
+            return false;
+        }
+        // `Foo x` or `Foo[] x` or `Foo[][] x`…
+        let mut i = self.pos + 1;
+        while matches!(self.tokens[i].kind, Tok::Punct("["))
+            && matches!(self.tokens[i + 1].kind, Tok::Punct("]"))
+        {
+            i += 2;
+        }
+        matches!(&self.tokens[i].kind, Tok::Ident(s) if !is_keyword(s))
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr> {
+        let lhs = self.logical_or()?;
+        let line = self.line();
+        let op = if self.eat_punct("=") {
+            None
+        } else if self.eat_punct("+=") {
+            Some(BinOp::Add)
+        } else if self.eat_punct("-=") {
+            Some(BinOp::Sub)
+        } else if self.eat_punct("*=") {
+            Some(BinOp::Mul)
+        } else if self.eat_punct("/=") {
+            Some(BinOp::Div)
+        } else if self.eat_punct("%=") {
+            Some(BinOp::Rem)
+        } else if self.eat_punct("&=") {
+            Some(BinOp::And)
+        } else if self.eat_punct("|=") {
+            Some(BinOp::Or)
+        } else if self.eat_punct("^=") {
+            Some(BinOp::Xor)
+        } else if self.eat_punct("<<=") {
+            Some(BinOp::Shl)
+        } else if self.eat_punct(">>=") {
+            Some(BinOp::Shr)
+        } else if self.eat_punct(">>>=") {
+            Some(BinOp::Ushr)
+        } else {
+            return Ok(lhs);
+        };
+        let value = self.assignment()?;
+        Ok(Expr::Assign { target: Box::new(lhs), op, value: Box::new(value), line })
+    }
+
+    fn logical_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.logical_and()?;
+        loop {
+            let line = self.line();
+            if self.eat_punct("||") {
+                let rhs = self.logical_and()?;
+                lhs = Expr::Bin { op: BinOp::LOr, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn logical_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.bitor()?;
+        loop {
+            let line = self.line();
+            if self.eat_punct("&&") {
+                let rhs = self.bitor()?;
+                lhs = Expr::Bin { op: BinOp::LAnd, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn bitor(&mut self) -> Result<Expr> {
+        let mut lhs = self.bitxor()?;
+        loop {
+            let line = self.line();
+            if self.eat_punct("|") {
+                let rhs = self.bitxor()?;
+                lhs = Expr::Bin { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn bitxor(&mut self) -> Result<Expr> {
+        let mut lhs = self.bitand()?;
+        loop {
+            let line = self.line();
+            if self.eat_punct("^") {
+                let rhs = self.bitand()?;
+                lhs = Expr::Bin { op: BinOp::Xor, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn bitand(&mut self) -> Result<Expr> {
+        let mut lhs = self.equality()?;
+        loop {
+            let line = self.line();
+            if self.eat_punct("&") {
+                let rhs = self.equality()?;
+                lhs = Expr::Bin { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn equality(&mut self) -> Result<Expr> {
+        let mut lhs = self.relational()?;
+        loop {
+            let line = self.line();
+            let op = if self.eat_punct("==") {
+                BinOp::Eq
+            } else if self.eat_punct("!=") {
+                BinOp::Ne
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.relational()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+    }
+
+    fn relational(&mut self) -> Result<Expr> {
+        let mut lhs = self.shift()?;
+        loop {
+            let line = self.line();
+            if self.is_kw("instanceof") {
+                self.bump();
+                let ty = self.expect_ident()?;
+                lhs = Expr::InstanceOf { expr: Box::new(lhs), ty, line };
+                continue;
+            }
+            let op = if self.eat_punct("<=") {
+                BinOp::Le
+            } else if self.eat_punct(">=") {
+                BinOp::Ge
+            } else if self.eat_punct("<") {
+                BinOp::Lt
+            } else if self.eat_punct(">") {
+                BinOp::Gt
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.shift()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+    }
+
+    fn shift(&mut self) -> Result<Expr> {
+        let mut lhs = self.additive()?;
+        loop {
+            let line = self.line();
+            let op = if self.eat_punct("<<") {
+                BinOp::Shl
+            } else if self.eat_punct(">>>") {
+                BinOp::Ushr
+            } else if self.eat_punct(">>") {
+                BinOp::Shr
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.additive()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let line = self.line();
+            let op = if self.eat_punct("+") {
+                BinOp::Add
+            } else if self.eat_punct("-") {
+                BinOp::Sub
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let line = self.line();
+            let op = if self.eat_punct("*") {
+                BinOp::Mul
+            } else if self.eat_punct("/") {
+                BinOp::Div
+            } else if self.eat_punct("%") {
+                BinOp::Rem
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.unary()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        let line = self.line();
+        if self.eat_punct("!") {
+            return Ok(Expr::Not(Box::new(self.unary()?), line));
+        }
+        if self.eat_punct("-") {
+            return Ok(Expr::Neg(Box::new(self.unary()?), line));
+        }
+        if self.eat_punct("++") {
+            let t = self.unary()?;
+            return Ok(Expr::Incr { target: Box::new(t), delta: 1, line });
+        }
+        if self.eat_punct("--") {
+            let t = self.unary()?;
+            return Ok(Expr::Incr { target: Box::new(t), delta: -1, line });
+        }
+        // Cast: `(` Type `)` unary — only when the parenthesized tokens
+        // form a type and the next token starts an expression.
+        if matches!(self.peek(), Tok::Punct("(")) {
+            if let Some(saved) = self.try_cast()? {
+                return Ok(saved);
+            }
+        }
+        self.postfix()
+    }
+
+    fn try_cast(&mut self) -> Result<Option<Expr>> {
+        let line = self.line();
+        let save = self.pos;
+        self.bump(); // (
+        let is_type = match self.peek() {
+            Tok::Ident(s) => {
+                matches!(s.as_str(), "int" | "long" | "float" | "double" | "boolean" | "char")
+                    || (!is_keyword(s)
+                        && s.chars().next().is_some_and(|c| c.is_ascii_uppercase()))
+            }
+            _ => false,
+        };
+        if !is_type {
+            self.pos = save;
+            return Ok(None);
+        }
+        let ty = self.type_name()?;
+        if !self.eat_punct(")") {
+            self.pos = save;
+            return Ok(None);
+        }
+        // Must be followed by something that starts a unary expression and
+        // is unambiguous — identifiers, literals, `(`, `this`, `new`, `!`.
+        let casts = matches!(
+            self.peek(),
+            Tok::Ident(_)
+                | Tok::Int(_)
+                | Tok::Long(_)
+                | Tok::Float(_)
+                | Tok::Double(_)
+                | Tok::Char(_)
+                | Tok::Str(_)
+                | Tok::Punct("(")
+        );
+        if !casts {
+            self.pos = save;
+            return Ok(None);
+        }
+        let expr = self.unary()?;
+        Ok(Some(Expr::Cast { ty, expr: Box::new(expr), line }))
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.line();
+            if self.eat_punct(".") {
+                let name = self.expect_ident()?;
+                if matches!(self.peek(), Tok::Punct("(")) {
+                    let args = self.call_args()?;
+                    e = Expr::Call { target: Some(Box::new(e)), method: name, args, line };
+                } else {
+                    e = Expr::Field { target: Box::new(e), name, line };
+                }
+                continue;
+            }
+            if matches!(self.peek(), Tok::Punct("[")) && !matches!(self.peek2(), Tok::Punct("]")) {
+                self.bump();
+                let index = self.expr()?;
+                self.expect_punct("]")?;
+                e = Expr::Index { array: Box::new(e), index: Box::new(index), line };
+                continue;
+            }
+            if self.eat_punct("++") {
+                e = Expr::Incr { target: Box::new(e), delta: 1, line };
+                continue;
+            }
+            if self.eat_punct("--") {
+                e = Expr::Incr { target: Box::new(e), delta: -1, line };
+                continue;
+            }
+            return Ok(e);
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>> {
+        self.expect_punct("(")?;
+        let mut args = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+        }
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v, line)),
+            Tok::Long(v) => Ok(Expr::Long(v, line)),
+            Tok::Float(v) => Ok(Expr::Float(v, line)),
+            Tok::Double(v) => Ok(Expr::Double(v, line)),
+            Tok::Char(v) => Ok(Expr::Char(v, line)),
+            Tok::Str(s) => Ok(Expr::Str(s, line)),
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(id) => match id.as_str() {
+                "true" => Ok(Expr::Bool(true, line)),
+                "false" => Ok(Expr::Bool(false, line)),
+                "null" => Ok(Expr::Null(line)),
+                "this" => Ok(Expr::This(line)),
+                "new" => {
+                    let base = self.type_name()?;
+                    if matches!(self.peek(), Tok::Punct("[")) {
+                        self.bump();
+                        let len = self.expr()?;
+                        self.expect_punct("]")?;
+                        let mut elem = base;
+                        // `new T[n][]` — extra dims make the element an array.
+                        while self.eat_punct("[") {
+                            self.expect_punct("]")?;
+                            elem = TypeName::Array(Box::new(elem));
+                        }
+                        Ok(Expr::NewArray { elem, len: Box::new(len), line })
+                    } else {
+                        let TypeName::Named(class) = base else {
+                            return Err(CompileError::parse(line, "cannot `new` a primitive"));
+                        };
+                        let args = self.call_args()?;
+                        Ok(Expr::New { class, args, line })
+                    }
+                }
+                _ => {
+                    if matches!(self.peek(), Tok::Punct("(")) {
+                        let args = self.call_args()?;
+                        Ok(Expr::Call { target: None, method: id, args, line })
+                    } else {
+                        Ok(Expr::Name(id, line))
+                    }
+                }
+            },
+            other => Err(CompileError::parse(line, format!("unexpected token `{other}`"))),
+        }
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "class" | "interface" | "extends" | "implements" | "static" | "synchronized" | "public"
+            | "private" | "protected" | "final" | "abstract" | "if" | "else" | "while" | "for"
+            | "return" | "throw" | "try" | "catch" | "break" | "continue" | "new" | "this"
+            | "true" | "false" | "null" | "instanceof" | "int" | "long" | "float" | "double"
+            | "boolean" | "char" | "void"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_class_with_members() {
+        let unit = parse(
+            r#"
+            class Counter {
+                static int total = 0;
+                int value;
+                Counter(int v) { this.value = v; }
+                int get() { return value; }
+                static void bump() { total = total + 1; }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(unit.classes.len(), 1);
+        let c = &unit.classes[0];
+        assert_eq!(c.name, "Counter");
+        assert_eq!(c.fields.len(), 2);
+        assert_eq!(c.methods.len(), 3);
+        assert!(c.methods[0].is_ctor);
+    }
+
+    #[test]
+    fn parse_interface() {
+        let unit = parse("interface Shape { void draw(int x, int y); }").unwrap();
+        let c = &unit.classes[0];
+        assert!(c.is_interface);
+        assert!(c.methods[0].body.is_none());
+    }
+
+    #[test]
+    fn parse_control_flow() {
+        let unit = parse(
+            r#"
+            class C {
+                static int f(int n) {
+                    int s = 0;
+                    for (int i = 0; i < n; i++) { s += i; }
+                    while (s > 100) { s = s - 1; }
+                    if (s == 0) return -1; else return s;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(unit.classes[0].methods.len(), 1);
+    }
+
+    #[test]
+    fn parse_try_catch_and_sync() {
+        parse(
+            r#"
+            class C {
+                void f(Object o) {
+                    try { g(); } catch (Exception e) { throw e; }
+                    synchronized (o) { g(); }
+                }
+                void g() {}
+            }
+            "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn parse_casts_and_instanceof() {
+        let unit = parse(
+            r#"
+            class C {
+                static int f(Object o) {
+                    if (o instanceof String) { String s = (String) o; return s.length(); }
+                    double d = 3.5;
+                    return (int) d;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(unit.classes[0].methods.len(), 1);
+    }
+
+    #[test]
+    fn parenthesized_expression_is_not_a_cast() {
+        // `(a) + b` where a is lowercase: treated as parens, not a cast.
+        parse("class C { static int f(int a, int b) { return (a) + b; } }").unwrap();
+    }
+
+    #[test]
+    fn parse_new_arrays() {
+        parse(
+            r#"
+            class C {
+                static int[] make(int n) { return new int[n]; }
+                static String[] names() { return new String[3]; }
+            }
+            "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn errors_have_lines() {
+        let err = parse("class C {\n  int f( { }\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

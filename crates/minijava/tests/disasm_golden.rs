@@ -1,0 +1,103 @@
+//! Golden test: the disassembly of a known compilation stays stable.
+//! Guards the compiler's code shape (and the disassembler) against
+//! accidental regressions; update deliberately when codegen changes.
+
+use ijvm_minijava::{compile, CompileEnv};
+
+#[test]
+fn max_method_disassembles_to_the_expected_shape() {
+    let classes = compile(
+        r#"
+        class M {
+            static int max(int a, int b) {
+                if (a > b) return a;
+                return b;
+            }
+        }
+        "#,
+        &CompileEnv::new(),
+    )
+    .unwrap();
+    let text = ijvm_classfile::disasm::disassemble(&classes[0]).unwrap();
+    // Structure, not exact offsets: a comparison branch, two ireturns and
+    // the unreachable terminator.
+    assert!(text.contains("public class M"), "{text}");
+    assert!(text.contains("method max(II)I"), "{text}");
+    assert!(text.contains("if_icmpgt"), "{text}");
+    assert_eq!(text.matches("ireturn").count(), 2, "{text}");
+    assert!(text.contains("athrow"), "non-void terminator present: {text}");
+}
+
+#[test]
+fn string_concat_lowers_to_stringbuilder() {
+    let classes = compile(
+        r#"class S { static String f(int n) { return "n=" + n + "!"; } }"#,
+        &CompileEnv::new(),
+    )
+    .unwrap();
+    let text = ijvm_classfile::disasm::disassemble(&classes[0]).unwrap();
+    assert!(text.contains("new java/lang/StringBuilder"), "{text}");
+    assert!(
+        text.contains("invokevirtual java/lang/StringBuilder.append:(Ljava/lang/String;)Ljava/lang/StringBuilder;"),
+        "{text}"
+    );
+    assert!(
+        text.contains("invokevirtual java/lang/StringBuilder.append:(I)Ljava/lang/StringBuilder;"),
+        "{text}"
+    );
+    assert!(
+        text.contains("invokevirtual java/lang/StringBuilder.toString:()Ljava/lang/String;"),
+        "{text}"
+    );
+}
+
+#[test]
+fn synchronized_blocks_emit_balanced_monitor_ops() {
+    let classes = compile(
+        r#"
+        class L {
+            static Object lock = new Object();
+            static void f() { synchronized (lock) { int x = 1; } }
+        }
+        "#,
+        &CompileEnv::new(),
+    )
+    .unwrap();
+    let text = ijvm_classfile::disasm::disassemble(&classes[0]).unwrap();
+    assert_eq!(text.matches("monitorenter").count(), 1, "{text}");
+    // Normal path + exceptional path both release.
+    assert_eq!(text.matches("monitorexit").count(), 2, "{text}");
+    assert!(text.contains("catch any"), "catch-all for the unlock: {text}");
+}
+
+#[test]
+fn try_catch_emits_typed_handler_ranges() {
+    let classes = compile(
+        r#"
+        class T {
+            static int f(int n) {
+                try { return 10 / n; } catch (ArithmeticException e) { return -1; }
+            }
+        }
+        "#,
+        &CompileEnv::new(),
+    )
+    .unwrap();
+    let text = ijvm_classfile::disasm::disassemble(&classes[0]).unwrap();
+    assert!(text.contains("catch java/lang/ArithmeticException"), "{text}");
+    assert!(text.contains("idiv"), "{text}");
+}
+
+#[test]
+fn interfaces_compile_to_abstract_methods() {
+    let classes = compile(
+        "interface Op { int apply(int x); } class Id implements Op { public int apply(int x) { return x; } }",
+        &CompileEnv::new(),
+    )
+    .unwrap();
+    let op = ijvm_classfile::disasm::disassemble(&classes[0]).unwrap();
+    assert!(op.contains("interface"), "{op}");
+    assert!(op.contains("abstract method apply(I)I"), "{op}");
+    let id = ijvm_classfile::disasm::disassemble(&classes[1]).unwrap();
+    assert!(id.contains("implements Op"), "{id}");
+}

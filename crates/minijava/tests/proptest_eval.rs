@@ -1,0 +1,120 @@
+//! Differential property test: random arithmetic expressions compiled by
+//! mini-java and interpreted by the VM must agree with a Rust reference
+//! evaluator (Java wrapping semantics).
+
+use ijvm_core::prelude::*;
+use ijvm_minijava::{compile_to_bytes, CompileEnv};
+use proptest::prelude::*;
+
+/// An expression tree over ints.
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i32),
+    Var,      // the method parameter
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Shl(Box<E>, u8),
+    Shr(Box<E>, u8),
+    Neg(Box<E>),
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![(-1000i32..1000).prop_map(E::Lit), Just(E::Var)];
+    leaf.prop_recursive(5, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), 0u8..31).prop_map(|(a, s)| E::Shl(Box::new(a), s)),
+            (inner.clone(), 0u8..31).prop_map(|(a, s)| E::Shr(Box::new(a), s)),
+            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
+        ]
+    })
+}
+
+fn to_source(e: &E) -> String {
+    match e {
+        E::Lit(v) => {
+            if *v < 0 {
+                format!("(0 - {})", -(*v as i64))
+            } else {
+                v.to_string()
+            }
+        }
+        E::Var => "x".to_owned(),
+        E::Add(a, b) => format!("({} + {})", to_source(a), to_source(b)),
+        E::Sub(a, b) => format!("({} - {})", to_source(a), to_source(b)),
+        E::Mul(a, b) => format!("({} * {})", to_source(a), to_source(b)),
+        E::And(a, b) => format!("({} & {})", to_source(a), to_source(b)),
+        E::Or(a, b) => format!("({} | {})", to_source(a), to_source(b)),
+        E::Xor(a, b) => format!("({} ^ {})", to_source(a), to_source(b)),
+        E::Shl(a, s) => format!("({} << {s})", to_source(a)),
+        E::Shr(a, s) => format!("({} >> {s})", to_source(a)),
+        E::Neg(a) => format!("(-{})", to_source(a)),
+    }
+}
+
+fn eval(e: &E, x: i32) -> i32 {
+    match e {
+        E::Lit(v) => *v,
+        E::Var => x,
+        E::Add(a, b) => eval(a, x).wrapping_add(eval(b, x)),
+        E::Sub(a, b) => eval(a, x).wrapping_sub(eval(b, x)),
+        E::Mul(a, b) => eval(a, x).wrapping_mul(eval(b, x)),
+        E::And(a, b) => eval(a, x) & eval(b, x),
+        E::Or(a, b) => eval(a, x) | eval(b, x),
+        E::Xor(a, b) => eval(a, x) ^ eval(b, x),
+        E::Shl(a, s) => eval(a, x).wrapping_shl(*s as u32),
+        E::Shr(a, s) => eval(a, x).wrapping_shr(*s as u32),
+        E::Neg(a) => eval(a, x).wrapping_neg(),
+    }
+}
+
+fn run_compiled(expr_src: &str, x: i32) -> i32 {
+    let src = format!("class P {{ static int f(int x) {{ return {expr_src}; }} }}");
+    let mut vm = ijvm_jsl::boot(VmOptions::isolated());
+    let iso = vm.create_isolate("prop");
+    let loader = vm.loader_of(iso).unwrap();
+    for (name, bytes) in compile_to_bytes(&src, &CompileEnv::new()).unwrap() {
+        vm.add_class_bytes(loader, &name, bytes);
+    }
+    let class = vm.load_class(loader, "P").unwrap();
+    match vm.call_static(class, "f", "(I)I", vec![Value::Int(x)]) {
+        Ok(Some(Value::Int(v))) => v,
+        other => panic!("expression run failed: {other:?} for {src}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compiled_expressions_match_reference_eval(e in arb_expr(), x in -10_000i32..10_000) {
+        let src = to_source(&e);
+        let expect = eval(&e, x);
+        let got = run_compiled(&src, x);
+        prop_assert_eq!(got, expect, "expr {} at x={}", src, x);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Division/remainder against the reference, with Java semantics
+    /// (truncated division, wrapping overflow, exception on zero handled
+    /// by guarding the generator).
+    #[test]
+    fn division_matches_reference(a in any::<i32>(), b in any::<i32>().prop_filter("nonzero", |v| *v != 0)) {
+        let src = format!("(x / {b1}) + (x % {b1})", b1 = if b < 0 { format!("(0 - {})", -(b as i64)) } else { b.to_string() });
+        let expect = a.wrapping_div(b).wrapping_add(a.wrapping_rem(b));
+        let got = run_compiled(&src, a);
+        prop_assert_eq!(got, expect);
+    }
+}

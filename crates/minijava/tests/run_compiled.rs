@@ -1,0 +1,488 @@
+//! End-to-end tests: compile mini-Java source and execute it on the VM.
+
+use ijvm_core::prelude::*;
+use ijvm_minijava::{compile_to_bytes, CompileEnv};
+
+/// Boots a VM, compiles `source` into a fresh isolate, and returns
+/// `(vm, isolate, class_id_of(main_class))`.
+fn setup(source: &str, main_class: &str) -> (Vm, IsolateId, ClassId) {
+    let mut vm = ijvm_jsl::boot(VmOptions::isolated());
+    let iso = vm.create_isolate("test-bundle");
+    let loader = vm.loader_of(iso).unwrap();
+    for (name, bytes) in compile_to_bytes(source, &CompileEnv::new()).unwrap() {
+        vm.add_class_bytes(loader, &name, bytes);
+    }
+    let class = vm.load_class(loader, main_class).unwrap();
+    (vm, iso, class)
+}
+
+fn run_int(source: &str, class: &str, method: &str, args: Vec<Value>) -> i32 {
+    let (mut vm, _, cid) = setup(source, class);
+    let desc = format!("({})I", "I".repeat(args.len()));
+    match vm.call_static(cid, method, &desc, args) {
+        Ok(Some(Value::Int(v))) => v,
+        other => panic!("unexpected result: {other:?}"),
+    }
+}
+
+#[test]
+fn arithmetic_and_recursion() {
+    let src = r#"
+        class Fib {
+            static int fib(int n) {
+                if (n < 2) return n;
+                return fib(n - 1) + fib(n - 2);
+            }
+        }
+    "#;
+    assert_eq!(run_int(src, "Fib", "fib", vec![Value::Int(15)]), 610);
+}
+
+#[test]
+fn loops_and_locals() {
+    let src = r#"
+        class Sum {
+            static int sum(int n) {
+                int s = 0;
+                for (int i = 1; i <= n; i++) s += i;
+                return s;
+            }
+        }
+    "#;
+    assert_eq!(run_int(src, "Sum", "sum", vec![Value::Int(100)]), 5050);
+}
+
+#[test]
+fn while_break_continue() {
+    let src = r#"
+        class C {
+            static int f(int n) {
+                int s = 0;
+                int i = 0;
+                while (true) {
+                    i++;
+                    if (i > n) break;
+                    if (i % 2 == 0) continue;
+                    s += i;
+                }
+                return s;
+            }
+        }
+    "#;
+    // Sum of odd numbers 1..=9 = 25.
+    assert_eq!(run_int(src, "C", "f", vec![Value::Int(9)]), 25);
+}
+
+#[test]
+fn longs_doubles_and_casts() {
+    let src = r#"
+        class N {
+            static int f(int x) {
+                long big = 1L << 40;
+                big = big + x;
+                double d = big * 0.5;
+                long back = (long) d;
+                return (int) (back % 1000000);
+            }
+        }
+    "#;
+    let expect = ((((1i64 << 40) + 7) as f64 * 0.5) as i64 % 1_000_000) as i32;
+    assert_eq!(run_int(src, "N", "f", vec![Value::Int(7)]), expect);
+}
+
+#[test]
+fn arrays_and_indexing() {
+    let src = r#"
+        class A {
+            static int f(int n) {
+                int[] xs = new int[n];
+                for (int i = 0; i < n; i++) xs[i] = i * i;
+                int s = 0;
+                for (int i = 0; i < xs.length; i++) s += xs[i];
+                return s;
+            }
+        }
+    "#;
+    assert_eq!(run_int(src, "A", "f", vec![Value::Int(10)]), 285);
+}
+
+#[test]
+fn objects_fields_and_virtual_dispatch() {
+    let src = r#"
+        class Shape {
+            int area() { return 0; }
+        }
+        class Square extends Shape {
+            int side;
+            Square(int s) { this.side = s; }
+            int area() { return side * side; }
+        }
+        class Rect extends Shape {
+            int w; int h;
+            Rect(int w, int h) { this.w = w; this.h = h; }
+            int area() { return w * h; }
+        }
+        class Main {
+            static int f(int a) {
+                Shape[] shapes = new Shape[3];
+                shapes[0] = new Square(a);
+                shapes[1] = new Rect(a, 2);
+                shapes[2] = new Shape();
+                int total = 0;
+                for (int i = 0; i < shapes.length; i++) total += shapes[i].area();
+                return total;
+            }
+        }
+    "#;
+    assert_eq!(run_int(src, "Main", "f", vec![Value::Int(5)]), 25 + 10);
+}
+
+#[test]
+fn interfaces_and_invokeinterface() {
+    let src = r#"
+        interface Op { int apply(int x); }
+        class Twice implements Op { public int apply(int x) { return x * 2; } }
+        class Inc implements Op { public int apply(int x) { return x + 1; } }
+        class Main {
+            static int f(int x) {
+                Op a = new Twice();
+                Op b = new Inc();
+                return a.apply(b.apply(x));
+            }
+        }
+    "#;
+    assert_eq!(run_int(src, "Main", "f", vec![Value::Int(10)]), 22);
+}
+
+#[test]
+fn static_fields_and_clinit() {
+    let src = r#"
+        class Conf {
+            static int base = 40;
+            static int bump() { base = base + 1; return base; }
+        }
+        class Main {
+            static int f(int unused) {
+                Conf.bump();
+                return Conf.bump();
+            }
+        }
+    "#;
+    assert_eq!(run_int(src, "Main", "f", vec![Value::Int(0)]), 42);
+}
+
+#[test]
+fn string_operations() {
+    let src = r#"
+        class S {
+            static int f(int n) {
+                String a = "hello";
+                String b = a + " world " + n;
+                if (b.equals("hello world 7")) return b.length();
+                return -1;
+            }
+        }
+    "#;
+    assert_eq!(run_int(src, "S", "f", vec![Value::Int(7)]), 13);
+}
+
+#[test]
+fn string_identity_within_isolate() {
+    // Within one isolate, literals are interned: `==` holds.
+    let src = r#"
+        class S {
+            static int f(int unused) {
+                String a = "x";
+                String b = "x";
+                if (a == b) return 1;
+                return 0;
+            }
+        }
+    "#;
+    assert_eq!(run_int(src, "S", "f", vec![Value::Int(0)]), 1);
+}
+
+#[test]
+fn exceptions_try_catch() {
+    let src = r#"
+        class E {
+            static int f(int n) {
+                int caught = 0;
+                try {
+                    int x = 10 / n;
+                    return x;
+                } catch (ArithmeticException e) {
+                    caught = 1;
+                }
+                try {
+                    int[] xs = new int[2];
+                    return xs[5];
+                } catch (ArrayIndexOutOfBoundsException e) {
+                    caught = caught + 2;
+                }
+                try {
+                    String s = null;
+                    return s.length();
+                } catch (NullPointerException e) {
+                    caught = caught + 4;
+                }
+                return caught;
+            }
+        }
+    "#;
+    assert_eq!(run_int(src, "E", "f", vec![Value::Int(0)]), 7);
+}
+
+#[test]
+fn user_exceptions_and_rethrow() {
+    let src = r#"
+        class AppError extends Exception {
+            int code;
+            AppError(int c) { this.code = c; }
+        }
+        class E {
+            static int boom(int c) { return 0; }
+            static int f(int c) {
+                try {
+                    throw new AppError(c);
+                } catch (AppError e) {
+                    return e.code + 100;
+                }
+            }
+        }
+    "#;
+    assert_eq!(run_int(src, "E", "f", vec![Value::Int(5)]), 105);
+}
+
+#[test]
+fn uncaught_exception_reported_to_host() {
+    let src = r#"
+        class E {
+            static int f(int n) { return 10 / n; }
+        }
+    "#;
+    let (mut vm, _, cid) = setup(src, "E");
+    let err = vm.call_static(cid, "f", "(I)I", vec![Value::Int(0)]).unwrap_err();
+    match err {
+        VmError::UncaughtException { class_name, .. } => {
+            assert_eq!(class_name, "java/lang/ArithmeticException");
+        }
+        other => panic!("expected uncaught exception, got {other}"),
+    }
+}
+
+#[test]
+fn instanceof_and_checkcast() {
+    let src = r#"
+        class Main {
+            static int f(int n) {
+                Object o = "text";
+                int r = 0;
+                if (o instanceof String) r += 1;
+                String s = (String) o;
+                r += s.length();
+                try {
+                    Object x = new Object();
+                    String bad = (String) x;
+                    r = -100;
+                } catch (ClassCastException e) {
+                    r += 10;
+                }
+                return r;
+            }
+        }
+    "#;
+    assert_eq!(run_int(src, "Main", "f", vec![Value::Int(0)]), 15);
+}
+
+#[test]
+fn collections_arraylist_hashmap() {
+    let src = r#"
+        class Main {
+            static int f(int n) {
+                ArrayList list = new ArrayList();
+                for (int i = 0; i < n; i++) list.add("item" + i);
+                HashMap map = new HashMap();
+                map.put("k1", "v1");
+                map.put("k2", "v2");
+                map.put("k1", "v1b");
+                int r = list.size() * 100 + map.size() * 10;
+                String v = (String) map.get("k1");
+                if (v.equals("v1b")) r += 1;
+                return r;
+            }
+        }
+    "#;
+    assert_eq!(run_int(src, "Main", "f", vec![Value::Int(5)]), 521);
+}
+
+#[test]
+fn stringbuilder_direct() {
+    let src = r#"
+        class Main {
+            static int f(int n) {
+                StringBuilder sb = new StringBuilder();
+                for (int i = 0; i < n; i++) sb.append(i).append(',');
+                return sb.toString().length();
+            }
+        }
+    "#;
+    // "0,1,2,3,4," = 10 chars
+    assert_eq!(run_int(src, "Main", "f", vec![Value::Int(5)]), 10);
+}
+
+#[test]
+fn threads_run_and_join() {
+    let src = r#"
+        class Worker implements Runnable {
+            static int done = 0;
+            public void run() { done = done + 1; }
+        }
+        class Main {
+            static int f(int n) {
+                Thread[] ts = new Thread[n];
+                for (int i = 0; i < n; i++) {
+                    ts[i] = new Thread(new Worker());
+                    ts[i].start();
+                }
+                for (int i = 0; i < n; i++) ts[i].join();
+                return Worker.done;
+            }
+        }
+    "#;
+    assert_eq!(run_int(src, "Main", "f", vec![Value::Int(4)]), 4);
+}
+
+#[test]
+fn synchronized_blocks_protect_counter() {
+    let src = r#"
+        class Counter {
+            static int value = 0;
+            static Object lock = new Object();
+            static void bump() {
+                synchronized (lock) {
+                    int v = value;
+                    value = v + 1;
+                }
+            }
+        }
+        class Worker implements Runnable {
+            public void run() {
+                for (int i = 0; i < 50; i++) Counter.bump();
+            }
+        }
+        class Main {
+            static int f(int n) {
+                Thread[] ts = new Thread[n];
+                for (int i = 0; i < n; i++) { ts[i] = new Thread(new Worker()); ts[i].start(); }
+                for (int i = 0; i < n; i++) ts[i].join();
+                return Counter.value;
+            }
+        }
+    "#;
+    assert_eq!(run_int(src, "Main", "f", vec![Value::Int(3)]), 150);
+}
+
+#[test]
+fn println_reaches_console() {
+    let src = r#"
+        class Main {
+            static int f(int n) {
+                println("n is " + n);
+                println(n * 2);
+                println(true);
+                return 0;
+            }
+        }
+    "#;
+    let (mut vm, _, cid) = setup(src, "Main");
+    vm.call_static(cid, "f", "(I)I", vec![Value::Int(21)]).unwrap();
+    let lines = vm.take_console();
+    assert_eq!(lines, vec!["n is 21".to_owned(), "42".to_owned(), "true".to_owned()]);
+}
+
+#[test]
+fn math_natives() {
+    let src = r#"
+        class Main {
+            static int f(int n) {
+                double r = Math.sqrt(n * 1.0);
+                return (int) (r * 1000.0) + Math.max(1, 2) + Math.abs(-10);
+            }
+        }
+    "#;
+    assert_eq!(run_int(src, "Main", "f", vec![Value::Int(4)]), 2012);
+}
+
+#[test]
+fn switch_like_chain_and_bitops() {
+    let src = r#"
+        class Main {
+            static int f(int n) {
+                int x = n & 255;
+                x = x | 4096;
+                x = x ^ 15;
+                x = x << 2;
+                x = x >>> 1;
+                long y = (long) x;
+                y = y << 33;
+                y = y >> 30;
+                return (int) (y & 0x7fffffff) + x;
+            }
+        }
+    "#;
+    let n = 77i32;
+    let mut x = n & 255;
+    x |= 4096;
+    x ^= 15;
+    x <<= 2;
+    x = ((x as u32) >> 1) as i32;
+    let mut y = x as i64;
+    y <<= 33;
+    y >>= 30;
+    let expect = ((y & 0x7fffffff) as i32).wrapping_add(x);
+    assert_eq!(run_int(src, "Main", "f", vec![Value::Int(n)]), expect);
+}
+
+#[test]
+fn instance_field_initializers_run_in_ctor() {
+    let src = r#"
+        class Box {
+            int capacity = 64;
+            String tag = "box";
+            int describe() { return capacity + tag.length(); }
+        }
+        class Main {
+            static int f(int unused) { return new Box().describe(); }
+        }
+    "#;
+    assert_eq!(run_int(src, "Main", "f", vec![Value::Int(0)]), 67);
+}
+
+#[test]
+fn gc_survives_allocation_churn() {
+    let src = r#"
+        class Node {
+            Node next;
+            int v;
+            Node(int v) { this.v = v; }
+        }
+        class Main {
+            static int f(int n) {
+                Node head = null;
+                // Lots of garbage plus a live list.
+                for (int i = 0; i < n; i++) {
+                    Node garbage = new Node(i * 2);
+                    Node keep = new Node(i);
+                    keep.next = head;
+                    head = keep;
+                }
+                System.gc();
+                int s = 0;
+                while (head != null) { s += head.v; head = head.next; }
+                return s;
+            }
+        }
+    "#;
+    assert_eq!(run_int(src, "Main", "f", vec![Value::Int(100)]), 4950);
+}

@@ -1,0 +1,288 @@
+//! OSGi support classes installed into the system library, and their
+//! natives (backed by the framework's shared state).
+
+use crate::state::{FrameworkState, ServiceEntry};
+use ijvm_classfile::{AccessFlags, ClassBuilder, ClassFile, Opcode};
+use ijvm_core::error::Result;
+use ijvm_core::natives::NativeResult;
+use ijvm_core::value::Value;
+use ijvm_core::vm::Vm;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const PUB: AccessFlags = AccessFlags::PUBLIC;
+
+/// `org/osgi/BundleContext`: the per-bundle handle to the framework — the
+/// first shared object a bundle sees (paper §3.4). Backed by natives.
+pub fn bundle_context_class() -> ClassFile {
+    let mut cb = ClassBuilder::new("org/osgi/BundleContext", "java/lang/Object", PUB);
+    cb.field("bundleId", "I", AccessFlags::PRIVATE | AccessFlags::FINAL);
+    let mut m = cb.method("getBundleId", "()I", PUB);
+    m.aload(0);
+    m.getfield("org/osgi/BundleContext", "bundleId", "I");
+    m.op(Opcode::Ireturn);
+    m.done().expect("getBundleId");
+    cb.native_method("registerService", "(Ljava/lang/String;Ljava/lang/Object;)V", PUB);
+    cb.native_method("getService", "(Ljava/lang/String;)Ljava/lang/Object;", PUB);
+    cb.native_method("addBundleListener", "(Lorg/osgi/BundleListener;)V", PUB);
+    cb.native_method("log", "(Ljava/lang/String;)V", PUB);
+    cb.build().expect("org/osgi/BundleContext")
+}
+
+/// `org/osgi/BundleActivator`: bundles implement the static convention
+/// `static void start(BundleContext)` / `static void stop(BundleContext)`;
+/// this marker interface documents the instance variant for listeners.
+pub fn bundle_listener_interface() -> ClassFile {
+    let mut cb = ClassBuilder::new_interface("org/osgi/BundleListener");
+    cb.abstract_method("bundleStopped", "(I)V", PUB);
+    cb.build().expect("org/osgi/BundleListener")
+}
+
+/// `org/osgi/Admin`: privileged operations, callable only from `Isolate0`
+/// (the OSGi runtime isolate). Demonstrates the paper's Isolate0 rights:
+/// terminating isolates and shutting the platform down.
+pub fn admin_class() -> ClassFile {
+    let mut cb = ClassBuilder::new("org/osgi/Admin", "java/lang/Object", PUB);
+    cb.native_method("terminateBundle", "(I)V", PUB | AccessFlags::STATIC);
+    cb.native_method("shutdown", "(I)V", PUB | AccessFlags::STATIC);
+    cb.build().expect("org/osgi/Admin")
+}
+
+/// Installs OSGi classes and registers their natives against the shared
+/// framework state.
+pub fn install(vm: &mut Vm, state: Rc<RefCell<FrameworkState>>) -> Result<()> {
+    register_natives(vm, state);
+    vm.install_system_class(&bundle_context_class())?;
+    vm.install_system_class(&bundle_listener_interface())?;
+    vm.install_system_class(&admin_class())?;
+    Ok(())
+}
+
+fn register_natives(vm: &mut Vm, state: Rc<RefCell<FrameworkState>>) {
+    let ctx = "org/osgi/BundleContext";
+
+    // registerService(name, obj): the name service through which bundles
+    // publish references; registering makes the object a GC root.
+    {
+        let state = Rc::clone(&state);
+        vm.register_native(
+            ctx,
+            "registerService",
+            "(Ljava/lang/String;Ljava/lang/Object;)V",
+            Rc::new(move |vm, tid, args| {
+                let receiver = args[0].as_ref().expect("receiver");
+                let Some(name_ref) = args[1].as_ref() else {
+                    return NativeResult::Throw {
+                        class_name: "java/lang/NullPointerException",
+                        message: "service name".to_owned(),
+                    };
+                };
+                let Some(service) = args[2].as_ref() else {
+                    return NativeResult::Throw {
+                        class_name: "java/lang/NullPointerException",
+                        message: "service object".to_owned(),
+                    };
+                };
+                let name = vm.read_string(name_ref).unwrap_or_default();
+                let provider = vm
+                    .get_field(receiver, "bundleId")
+                    .map(|v| v.as_int())
+                    .unwrap_or(-1);
+                let _ = tid;
+                let pin = vm.pin(service);
+                let mut st = state.borrow_mut();
+                if let Some(old) = st.services.insert(
+                    name,
+                    ServiceEntry { pin, provider: provider as u32 },
+                ) {
+                    vm.unpin(old.pin);
+                }
+                NativeResult::Return(None)
+            }),
+        );
+    }
+
+    // getService(name): explicit sharing — the returned reference is the
+    // only way an isolate gains access to a foreign object (paper §3.1).
+    {
+        let state = Rc::clone(&state);
+        vm.register_native(
+            ctx,
+            "getService",
+            "(Ljava/lang/String;)Ljava/lang/Object;",
+            Rc::new(move |vm, _tid, args| {
+                let Some(name_ref) = args[1].as_ref() else {
+                    return NativeResult::Return(Some(Value::Null));
+                };
+                let name = vm.read_string(name_ref).unwrap_or_default();
+                let st = state.borrow();
+                let v = st
+                    .services
+                    .get(&name)
+                    .and_then(|e| vm.pinned(e.pin))
+                    .map(Value::Ref)
+                    .unwrap_or(Value::Null);
+                NativeResult::Return(Some(v))
+            }),
+        );
+    }
+
+    // addBundleListener(listener): StoppedBundleEvent delivery (paper
+    // §3.4 rule 3).
+    {
+        let state = Rc::clone(&state);
+        vm.register_native(
+            ctx,
+            "addBundleListener",
+            "(Lorg/osgi/BundleListener;)V",
+            Rc::new(move |vm, _tid, args| {
+                let receiver = args[0].as_ref().expect("receiver");
+                let Some(listener) = args[1].as_ref() else {
+                    return NativeResult::Return(None);
+                };
+                let owner = vm
+                    .get_field(receiver, "bundleId")
+                    .map(|v| v.as_int())
+                    .unwrap_or(-1);
+                let pin = vm.pin(listener);
+                state.borrow_mut().listeners.push((owner as u32, pin));
+                NativeResult::Return(None)
+            }),
+        );
+    }
+
+    vm.register_native(
+        ctx,
+        "log",
+        "(Ljava/lang/String;)V",
+        Rc::new(|vm, tid, args| {
+            let msg = match args[1] {
+                Value::Ref(r) => vm.read_string(r).unwrap_or_default(),
+                _ => "null".to_owned(),
+            };
+            let iso = vm.current_isolate(tid);
+            vm.console_print(format!("[{iso}] {msg}"));
+            NativeResult::Return(None)
+        }),
+    );
+
+    // Admin natives: privileged (Isolate0 only) — the rights paper §3.1
+    // grants exclusively to the isolate the OSGi runtime executes in.
+    {
+        let state = Rc::clone(&state);
+        vm.register_native(
+            "org/osgi/Admin",
+            "terminateBundle",
+            "(I)V",
+            Rc::new(move |vm, tid, args| {
+                let caller = vm.current_isolate(tid);
+                if !caller.is_privileged() {
+                    return NativeResult::Throw {
+                        class_name: "java/lang/SecurityException",
+                        message: format!("terminateBundle denied to {caller}"),
+                    };
+                }
+                let bundle = args[0].as_int() as u32;
+                let iso = state.borrow().bundle_isolates.get(&bundle).copied();
+                match iso {
+                    Some(iso) => match vm.terminate_isolate(iso) {
+                        Ok(()) => NativeResult::Return(None),
+                        Err(e) => NativeResult::Fail(e),
+                    },
+                    None => NativeResult::Throw {
+                        class_name: "java/lang/IllegalArgumentException",
+                        message: format!("unknown bundle {bundle}"),
+                    },
+                }
+            }),
+        );
+    }
+    vm.register_native(
+        "org/osgi/Admin",
+        "shutdown",
+        "(I)V",
+        Rc::new(|vm, tid, args| {
+            let caller = vm.current_isolate(tid);
+            if !caller.is_privileged() {
+                return NativeResult::Throw {
+                    class_name: "java/lang/SecurityException",
+                    message: format!("shutdown denied to {caller}"),
+                };
+            }
+            vm.request_exit(args[0].as_int());
+            NativeResult::Return(None)
+        }),
+    );
+}
+
+/// Mini-Java signatures for the OSGi classes, for bundle compilation.
+pub fn osgi_signatures(env: &mut ijvm_minijava::Env) {
+    use ijvm_minijava::{ClassInfo, MethodSig, Ty};
+    let obj = Ty::object();
+    let s = Ty::string();
+    let ctx_ty = Ty::Object("org/osgi/BundleContext".to_owned());
+    env.add_class(ClassInfo {
+        internal: "org/osgi/BundleContext".to_owned(),
+        is_interface: false,
+        superclass: Some("java/lang/Object".to_owned()),
+        interfaces: vec![],
+        fields: vec![],
+        methods: vec![
+            MethodSig { name: "getBundleId".into(), params: vec![], ret: Ty::Int, is_static: false },
+            MethodSig {
+                name: "registerService".into(),
+                params: vec![s.clone(), obj.clone()],
+                ret: Ty::Void,
+                is_static: false,
+            },
+            MethodSig {
+                name: "getService".into(),
+                params: vec![s.clone()],
+                ret: obj.clone(),
+                is_static: false,
+            },
+            MethodSig {
+                name: "addBundleListener".into(),
+                params: vec![Ty::Object("org/osgi/BundleListener".to_owned())],
+                ret: Ty::Void,
+                is_static: false,
+            },
+            MethodSig { name: "log".into(), params: vec![s], ret: Ty::Void, is_static: false },
+        ],
+    });
+    env.add_class(ClassInfo {
+        internal: "org/osgi/BundleListener".to_owned(),
+        is_interface: true,
+        superclass: Some("java/lang/Object".to_owned()),
+        interfaces: vec![],
+        fields: vec![],
+        methods: vec![MethodSig {
+            name: "bundleStopped".into(),
+            params: vec![Ty::Int],
+            ret: Ty::Void,
+            is_static: false,
+        }],
+    });
+    env.add_class(ClassInfo {
+        internal: "org/osgi/Admin".to_owned(),
+        is_interface: false,
+        superclass: Some("java/lang/Object".to_owned()),
+        interfaces: vec![],
+        fields: vec![],
+        methods: vec![
+            MethodSig {
+                name: "terminateBundle".into(),
+                params: vec![Ty::Int],
+                ret: Ty::Void,
+                is_static: true,
+            },
+            MethodSig {
+                name: "shutdown".into(),
+                params: vec![Ty::Int],
+                ret: Ty::Void,
+                is_static: true,
+            },
+        ],
+    });
+    let _ = ctx_ty;
+}

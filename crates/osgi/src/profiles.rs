@@ -1,0 +1,136 @@
+//! Base configurations mirroring the paper's Figure 3 measurement:
+//! a Felix-like profile (the OSGi runtime plus **3** management bundles —
+//! administration, shell, repository) and an Equinox-like profile (the
+//! runtime plus **22** management bundles).
+
+use crate::{BundleDescriptor, BundleId, Framework};
+use ijvm_core::error::Result;
+use ijvm_core::vm::VmOptions;
+
+/// The Felix base profile's management bundles.
+pub const FELIX_BUNDLES: &[&str] = &["admin", "shell", "repository"];
+
+/// The Equinox base profile's management bundles (22, matching the
+/// bundle count the paper reports for the Equinox base configuration).
+pub const EQUINOX_BUNDLES: &[&str] = &[
+    "admin", "shell", "repository", "console", "registry", "preferences", "jobs", "contenttype",
+    "runtime", "apputil", "common", "supplement", "transforms", "update", "configurator", "ds",
+    "event", "log", "metatype", "useradmin", "http", "launcher",
+];
+
+/// Generates the source of one management bundle: a service interface, an
+/// implementation with state (statics, string table, per-instance data),
+/// a worker class, and an activator that populates caches and registers
+/// the service — representative of what OSGi management bundles do at
+/// start-up.
+pub fn management_bundle_source(name: &str) -> String {
+    format!(
+        r#"
+        interface {cap}Service {{
+            int handle(int request);
+        }}
+        class {cap}Impl implements {cap}Service {{
+            static int requests = 0;
+            static String label = "{name}-service";
+            ArrayList cache;
+            HashMap index;
+            {cap}Impl() {{
+                cache = new ArrayList();
+                index = new HashMap();
+                for (int i = 0; i < 32; i++) {{
+                    String key = "{name}-entry-" + i;
+                    cache.add(key);
+                    index.put(key, new {cap}Record(i));
+                }}
+            }}
+            public int handle(int request) {{
+                requests = requests + 1;
+                {cap}Record r = ({cap}Record) index.get("{name}-entry-" + (request % 32));
+                if (r == null) return -1;
+                return r.weight;
+            }}
+        }}
+        class {cap}Record {{
+            int weight;
+            String tag;
+            {cap}Record(int w) {{ weight = w * 3 + 1; tag = "record-" + w; }}
+        }}
+        class Activator {{
+            static void start(BundleContext ctx) {{
+                ctx.registerService("{name}", new {cap}Impl());
+                ctx.log("{name} ready");
+            }}
+            static void stop(BundleContext ctx) {{
+                ctx.log("{name} stopped");
+            }}
+        }}
+        "#,
+        cap = capitalize(name),
+        name = name,
+    )
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Builds the descriptor for one management bundle.
+pub fn management_bundle(name: &str) -> BundleDescriptor {
+    let src = management_bundle_source(name);
+    BundleDescriptor::from_source(name, name, &src, Some("Activator"), vec![], &[])
+        .unwrap_or_else(|e| panic!("management bundle {name} failed to compile: {e}"))
+}
+
+/// Boots a framework and installs+starts a list of management bundles.
+pub fn boot_profile(options: VmOptions, bundle_names: &[&str]) -> Result<(Framework, Vec<BundleId>)> {
+    let mut fw = Framework::new(options);
+    let mut ids = Vec::with_capacity(bundle_names.len());
+    for name in bundle_names {
+        let id = fw.install_bundle(management_bundle(name))?;
+        fw.start_bundle(id)?;
+        ids.push(id);
+    }
+    Ok((fw, ids))
+}
+
+/// The Felix-like base configuration (runtime + 3 bundles).
+pub fn felix_base(options: VmOptions) -> Result<(Framework, Vec<BundleId>)> {
+    boot_profile(options, FELIX_BUNDLES)
+}
+
+/// The Equinox-like base configuration (runtime + 22 bundles).
+pub fn equinox_base(options: VmOptions) -> Result<(Framework, Vec<BundleId>)> {
+    boot_profile(options, EQUINOX_BUNDLES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn felix_profile_boots_and_registers_services() {
+        let (fw, ids) = felix_base(VmOptions::isolated()).unwrap();
+        assert_eq!(ids.len(), 3);
+        for name in FELIX_BUNDLES {
+            assert!(fw.get_service(name).is_some(), "service {name} missing");
+        }
+    }
+
+    #[test]
+    fn equinox_profile_has_22_bundles() {
+        assert_eq!(EQUINOX_BUNDLES.len(), 22);
+        let (fw, ids) = equinox_base(VmOptions::isolated()).unwrap();
+        assert_eq!(ids.len(), 22);
+        assert!(fw.get_service("useradmin").is_some());
+    }
+
+    #[test]
+    fn profiles_boot_in_shared_mode_too() {
+        let (fw, _) = felix_base(VmOptions::shared()).unwrap();
+        assert!(fw.get_service("shell").is_some());
+    }
+}

@@ -1,0 +1,24 @@
+//! Framework state shared between the Rust API and the OSGi natives.
+
+use ijvm_core::ids::IsolateId;
+use std::collections::HashMap;
+
+/// One registered service.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceEntry {
+    /// Host-root pin handle of the service object.
+    pub pin: usize,
+    /// Bundle id of the provider.
+    pub provider: u32,
+}
+
+/// State the natives and the framework share (`Rc<RefCell<…>>`).
+#[derive(Debug, Default)]
+pub struct FrameworkState {
+    /// Service name → entry (the OSGi name service of paper §3.4).
+    pub services: HashMap<String, ServiceEntry>,
+    /// `(owner bundle, listener pin)` pairs for StoppedBundleEvents.
+    pub listeners: Vec<(u32, usize)>,
+    /// Bundle id → isolate (used by `Admin.terminateBundle`).
+    pub bundle_isolates: HashMap<u32, IsolateId>,
+}

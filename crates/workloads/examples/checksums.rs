@@ -1,0 +1,7 @@
+//! Prints each workload's actual checksum (used to pin `expected`).
+fn main() {
+    for w in ijvm_workloads::spec::all() {
+        let s = ijvm_workloads::run_workload(&w, ijvm_core::vm::IsolationMode::Isolated);
+        println!("{} {} ({} insns, {:?})", w.name, s.result, s.instructions, s.wall);
+    }
+}

@@ -1,0 +1,17 @@
+//! # ijvm-workloads — evaluation workloads
+//!
+//! * [`spec`] — seven mini-Java analogues of the SPEC JVM98 suite the
+//!   paper's Figure 2 measures (compress, jess, db, javac, mpegaudio,
+//!   mtrt, jack);
+//! * [`runner`] — runs a workload on a fresh VM in either isolation mode
+//!   and reports wall time, guest instructions and the checksum;
+//! * [`paint`] — the Felix paint demo of §4.1 (a drag gesture makes ≈200
+//!   inter-bundle calls).
+
+pub mod paint;
+pub mod runner;
+pub mod spec;
+
+pub use paint::{DragReport, PaintDemo};
+pub use runner::{run_workload, RunStats};
+pub use spec::{all, Workload};

@@ -1,0 +1,187 @@
+//! The Felix paint demo of §4.1: a canvas bundle and a shape bundle;
+//! dragging a shape across the canvas makes roughly two hundred
+//! inter-bundle calls (one per motion step).
+
+use ijvm_core::ids::ClassId;
+use ijvm_core::value::Value;
+use ijvm_core::vm::{IsolationMode, VmOptions};
+use ijvm_osgi::{BundleDescriptor, BundleId, Framework};
+use std::time::{Duration, Instant};
+
+const SHAPE_BUNDLE: &str = r#"
+    interface ShapeService {
+        int moveTo(int x, int y);
+    }
+    class Circle implements ShapeService {
+        int cx; int cy; int moves;
+        public int moveTo(int x, int y) {
+            cx = x;
+            cy = y;
+            moves = moves + 1;
+            return moves;
+        }
+    }
+    class Activator {
+        static void start(BundleContext ctx) {
+            ctx.registerService("shape.circle", new Circle());
+        }
+    }
+"#;
+
+const CANVAS_BUNDLE: &str = r#"
+    class Canvas {
+        static int drag(ShapeService s, int steps) {
+            int last = 0;
+            for (int i = 0; i < steps; i++) {
+                last = s.moveTo(i, i);
+            }
+            return last;
+        }
+    }
+    class Activator {
+        static void start(BundleContext ctx) {
+            ctx.log("canvas ready");
+        }
+    }
+"#;
+
+/// A booted paint application.
+pub struct PaintDemo {
+    /// The framework with both bundles started.
+    pub fw: Framework,
+    /// The canvas bundle.
+    pub canvas: BundleId,
+    /// The shape bundle.
+    pub shape: BundleId,
+    canvas_class: ClassId,
+}
+
+/// One measured drag gesture.
+#[derive(Debug, Clone)]
+pub struct DragReport {
+    /// Steps in the gesture (the paper observes ≈200 for corner-to-corner).
+    pub steps: u32,
+    /// Inter-isolate migrations during the drag (≈ 2 per call: in + out).
+    pub migrations: u64,
+    /// Calls that entered the shape bundle.
+    pub calls_into_shape: u64,
+    /// Wall-clock duration.
+    pub wall: Duration,
+}
+
+impl PaintDemo {
+    /// Boots the framework, installs and starts both bundles.
+    pub fn boot(mode: IsolationMode) -> PaintDemo {
+        let options = match mode {
+            IsolationMode::Shared => VmOptions::shared(),
+            IsolationMode::Isolated => VmOptions::isolated(),
+        };
+        let mut fw = Framework::new(options);
+        let shape = fw
+            .install_bundle(
+                BundleDescriptor::from_source(
+                    "paint-shape",
+                    "shape",
+                    SHAPE_BUNDLE,
+                    Some("Activator"),
+                    vec![],
+                    &[],
+                )
+                .expect("shape bundle compiles"),
+            )
+            .expect("shape installs");
+        fw.start_bundle(shape).expect("shape starts");
+
+        let shape_classes = fw.bundle(shape).expect("installed").classes.clone();
+        let canvas = fw
+            .install_bundle(
+                BundleDescriptor::from_source(
+                    "paint-canvas",
+                    "canvas",
+                    CANVAS_BUNDLE,
+                    Some("Activator"),
+                    vec![shape],
+                    &shape_classes,
+                )
+                .expect("canvas bundle compiles"),
+            )
+            .expect("canvas installs");
+        fw.start_bundle(canvas).expect("canvas starts");
+
+        let loader = fw.bundle(canvas).expect("installed").loader;
+        let canvas_class =
+            fw.vm_mut().load_class(loader, "canvas/Canvas").expect("canvas class");
+        PaintDemo { fw, canvas, shape, canvas_class }
+    }
+
+    /// Drags the circle `steps` times across the canvas: one inter-bundle
+    /// call per step, through the service object found in the registry.
+    pub fn drag(&mut self, steps: u32) -> DragReport {
+        let service = self.fw.get_service("shape.circle").expect("shape registered");
+        let caller_iso = self.fw.bundle(self.canvas).expect("installed").isolate;
+        let shape_iso = self.fw.bundle(self.shape).expect("installed").isolate;
+
+        let migrations_before = self.fw.vm().migrations();
+        let calls_before = self
+            .fw
+            .vm()
+            .isolate_stats(shape_iso)
+            .map(|s| s.calls_in)
+            .unwrap_or(0);
+        let start = Instant::now();
+        let out = self
+            .fw
+            .vm_mut()
+            .call_static_as(
+                self.canvas_class,
+                "drag",
+                "(Lshape/ShapeService;I)I",
+                vec![Value::Ref(service), Value::Int(steps as i32)],
+                caller_iso,
+            )
+            .expect("drag succeeds");
+        let wall = start.elapsed();
+        assert!(matches!(out, Some(Value::Int(_))), "drag returned {out:?}");
+        let migrations = self.fw.vm().migrations() - migrations_before;
+        let calls_into_shape = self
+            .fw
+            .vm()
+            .isolate_stats(shape_iso)
+            .map(|s| s.calls_in - calls_before)
+            .unwrap_or(0);
+        DragReport { steps, migrations, calls_into_shape, wall }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_corner_to_corner_drag_makes_200_inter_bundle_calls() {
+        let mut demo = PaintDemo::boot(IsolationMode::Isolated);
+        let report = demo.drag(200);
+        assert_eq!(report.calls_into_shape, 200, "one call into the shape bundle per step");
+        // Each call migrates in and back out.
+        assert!(report.migrations >= 400, "migrations: {}", report.migrations);
+    }
+
+    #[test]
+    fn shared_mode_runs_the_demo_without_migrations() {
+        let mut demo = PaintDemo::boot(IsolationMode::Shared);
+        let report = demo.drag(200);
+        assert_eq!(report.migrations, 0, "the baseline has no isolate switching");
+    }
+
+    #[test]
+    fn shape_state_advances_per_drag() {
+        let mut demo = PaintDemo::boot(IsolationMode::Isolated);
+        demo.drag(10);
+        let report = demo.drag(10);
+        // `moves` is cumulative on the shared service object.
+        assert_eq!(report.steps, 10);
+        let service = demo.fw.get_service("shape.circle").unwrap();
+        let moves = demo.fw.vm().get_field(service, "moves").unwrap().as_int();
+        assert_eq!(moves, 20);
+    }
+}

@@ -1,0 +1,112 @@
+//! Executes workloads on a fresh VM in either isolation mode.
+//!
+//! Figure 2 of the paper runs SPEC JVM98 inside Isolate0 and reports the
+//! slowdown of I-JVM relative to LadyVM; [`run_workload`] reproduces that
+//! setup — same bytecode, two VM configurations.
+
+use crate::spec::Workload;
+use ijvm_core::ids::IsolateId;
+use ijvm_core::value::Value;
+use ijvm_core::vm::{IsolationMode, Vm, VmOptions};
+use ijvm_minijava::{compile_to_bytes, CompileEnv};
+use std::time::{Duration, Instant};
+
+/// Measured execution of one workload.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Workload name.
+    pub name: &'static str,
+    /// VM configuration used.
+    pub mode: IsolationMode,
+    /// Wall-clock time of the `run` call.
+    pub wall: Duration,
+    /// Guest instructions interpreted.
+    pub instructions: u64,
+    /// The checksum the workload returned.
+    pub result: i32,
+}
+
+/// Boots a VM in `mode` with the workload compiled into Isolate0's
+/// loader, returning the VM and entry class.
+pub fn prepare(w: &Workload, mode: IsolationMode) -> (Vm, ijvm_core::ids::ClassId, IsolateId) {
+    let options = match mode {
+        IsolationMode::Shared => VmOptions::shared(),
+        IsolationMode::Isolated => VmOptions::isolated(),
+    };
+    let mut vm = ijvm_jsl::boot(options);
+    let iso = vm.create_isolate("workload"); // Isolate0
+    let loader = vm.loader_of(iso).expect("isolate exists");
+    for (name, bytes) in
+        compile_to_bytes(w.source, &CompileEnv::new()).expect("workload compiles")
+    {
+        vm.add_class_bytes(loader, &name, bytes);
+    }
+    let class = vm.load_class(loader, w.entry_class).expect("entry class loads");
+    (vm, class, iso)
+}
+
+/// Runs one workload once, returning timing and the checksum.
+pub fn run_workload(w: &Workload, mode: IsolationMode) -> RunStats {
+    let (mut vm, class, iso) = prepare(w, mode);
+    let insns_before = vm.vclock();
+    let start = Instant::now();
+    let out = vm
+        .call_static_as(class, "run", "(I)I", vec![Value::Int(w.scale)], iso)
+        .unwrap_or_else(|e| panic!("workload {} failed: {e}", w.name));
+    let wall = start.elapsed();
+    let result = match out {
+        Some(Value::Int(v)) => v,
+        other => panic!("workload {} returned {other:?}", w.name),
+    };
+    RunStats { name: w.name, mode, wall, instructions: vm.vclock() - insns_before, result }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+
+    #[test]
+    fn workloads_produce_their_expected_checksums() {
+        for w in spec::all() {
+            let stats = run_workload(&w, IsolationMode::Isolated);
+            assert_eq!(
+                stats.result, w.expected,
+                "{}: expected {}, measured {}",
+                w.name, w.expected, stats.result
+            );
+        }
+    }
+
+    #[test]
+    fn results_are_identical_across_modes() {
+        // The strongest correctness check in the workspace: isolation must
+        // not change program semantics, only cost.
+        for w in spec::all() {
+            let shared = run_workload(&w, IsolationMode::Shared);
+            let isolated = run_workload(&w, IsolationMode::Isolated);
+            assert_eq!(
+                shared.result, isolated.result,
+                "{} diverged between modes",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_mode_executes_at_least_as_many_instructions() {
+        // I-JVM adds initialization checks; it can never execute fewer
+        // guest-visible instructions than the baseline on the same code.
+        for w in spec::all() {
+            let shared = run_workload(&w, IsolationMode::Shared);
+            let isolated = run_workload(&w, IsolationMode::Isolated);
+            assert!(
+                isolated.instructions >= shared.instructions,
+                "{}: isolated {} < shared {}",
+                w.name,
+                isolated.instructions,
+                shared.instructions
+            );
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! SPEC JVM98 analogue workloads, authored in mini-Java.
+//!
+//! Each analogue stresses the VM features its SPEC counterpart is known
+//! for; Figure 2 measures their *relative* slowdown under I-JVM, which
+//! depends on the instruction mix (static accesses, allocation rate,
+//! call density), not on the exact program.
+//!
+//! | analogue | SPEC counterpart | stress profile |
+//! |---|---|---|
+//! | compress | _201_compress | tight int loops over byte arrays, dictionary hashing |
+//! | jess | _202_jess | rule matching over a fact base, statics, branching |
+//! | db | _209_db | record objects, string keys, sorting, collections |
+//! | javac | _213_javac | recursive-descent parsing, char handling, call-heavy |
+//! | mpegaudio | _222_mpegaudio | fixed-point DSP kernels, long multiplies |
+//! | mtrt | _227_mtrt | multi-threaded double-precision ray tracing |
+//! | jack | _228_jack | grammar expansion, StringBuilder churn |
+
+/// One benchmark program.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Short name used in reports.
+    pub name: &'static str,
+    /// The SPEC JVM98 benchmark it stands in for.
+    pub spec_name: &'static str,
+    /// Mini-Java source.
+    pub source: &'static str,
+    /// Entry class (simple name).
+    pub entry_class: &'static str,
+    /// Scale argument passed to `run(int)`.
+    pub scale: i32,
+    /// Expected checksum returned by `run`, fixed across modes.
+    pub expected: i32,
+}
+
+/// All seven analogues, in SPEC numbering order.
+pub fn all() -> Vec<Workload> {
+    vec![COMPRESS, JESS, DB, JAVAC, MPEGAUDIO, MTRT, JACK]
+}
+
+/// `_201_compress` analogue: an LZW-flavoured compressor with a hashed
+/// dictionary over pseudo-random byte data, plus a decompression check.
+pub const COMPRESS: Workload = Workload {
+    name: "compress",
+    spec_name: "_201_compress",
+    entry_class: "Compress",
+    scale: 6,
+    expected: 478717,
+    source: r#"
+    class Compress {
+        static int run(int scale) {
+            int n = scale * 20000;
+            int[] data = new int[n];
+            int seed = 12345;
+            for (int i = 0; i < n; i++) {
+                seed = seed * 1103515245 + 12345;
+                data[i] = (seed >>> 16) & 63;
+            }
+            // Dictionary: open-addressed (prefix, symbol) -> code.
+            int cap = 65536;
+            int[] keys = new int[cap];
+            int[] codes = new int[cap];
+            for (int i = 0; i < cap; i++) keys[i] = -1;
+            int next = 64;
+            int prefix = data[0];
+            int out = 0;
+            int outsum = 0;
+            for (int i = 1; i < n; i++) {
+                int sym = data[i];
+                int key = prefix * 64 + sym;
+                int h = (key * 0x9E3779B1) >>> 16;
+                if (h < 0) h = -h;
+                h = h % cap;
+                boolean found = false;
+                while (keys[h] != -1) {
+                    if (keys[h] == key) { found = true; break; }
+                    h = (h + 1) % cap;
+                }
+                if (found) {
+                    prefix = codes[h];
+                } else {
+                    if (next < 60000) {
+                        keys[h] = key;
+                        codes[h] = next;
+                        next++;
+                    }
+                    out++;
+                    outsum = outsum + prefix;
+                    prefix = sym;
+                }
+            }
+            return out * 7 + (outsum & 65535) + next;
+        }
+    }
+    "#,
+};
+
+/// `_202_jess` analogue: forward-chaining rule engine over a fact base,
+/// iterating to a fixed point.
+pub const JESS: Workload = Workload {
+    name: "jess",
+    spec_name: "_202_jess",
+    entry_class: "Jess",
+    scale: 5,
+    expected: 579719,
+    source: r#"
+    class Rule {
+        int ifA; int ifB; int then;
+        Rule(int a, int b, int t) { ifA = a; ifB = b; then = t; }
+    }
+    class Jess {
+        static int run(int scale) {
+            int nfacts = 600;
+            int nrules = scale * 400;
+            boolean[] facts = new boolean[nfacts];
+            for (int i = 0; i < 8; i++) facts[i] = true;
+            Rule[] rules = new Rule[nrules];
+            int seed = 999;
+            for (int i = 0; i < nrules; i++) {
+                // Preconditions biased towards low-numbered facts so that
+                // firing cascades through the rule base.
+                seed = seed * 1103515245 + 12345;
+                int a = ((seed >>> 16) & 32767) % (2 + (i % 96));
+                seed = seed * 1103515245 + 12345;
+                int b = ((seed >>> 16) & 32767) % (2 + (i % 128));
+                seed = seed * 1103515245 + 12345;
+                int t = ((seed >>> 16) & 32767) % nfacts;
+                rules[i] = new Rule(a, b, t);
+            }
+            int fired = 0;
+            int rounds = 0;
+            boolean changed = true;
+            while (changed && rounds < 200) {
+                changed = false;
+                rounds++;
+                for (int i = 0; i < nrules; i++) {
+                    Rule r = rules[i];
+                    if (facts[r.ifA] && facts[r.ifB] && !facts[r.then]) {
+                        facts[r.then] = true;
+                        fired++;
+                        changed = true;
+                    }
+                }
+            }
+            int active = 0;
+            for (int i = 0; i < nfacts; i++) if (facts[i]) active++;
+            return fired * 1000 + active * 31 + rounds * 7;
+        }
+    }
+    "#,
+};
+
+/// `_209_db` analogue: an in-memory database of records with string keys,
+/// lookups, updates, a shell sort and deletions.
+pub const DB: Workload = Workload {
+    name: "db",
+    spec_name: "_209_db",
+    entry_class: "Db",
+    scale: 3,
+    expected: 11632405,
+    source: r#"
+    class Record {
+        String key;
+        int balance;
+        Record(String k, int b) { key = k; balance = b; }
+    }
+    class Db {
+        static int run(int scale) {
+            int n = scale * 400;
+            ArrayList table = new ArrayList();
+            HashMap index = new HashMap();
+            int seed = 4242;
+            for (int i = 0; i < n; i++) {
+                seed = seed * 1103515245 + 12345;
+                String key = "acct-" + (((seed >>> 16) & 32767) % (n * 2));
+                if (!index.containsKey(key)) {
+                    Record r = new Record(key, i % 1000);
+                    table.add(r);
+                    index.put(key, r);
+                }
+            }
+            // Updates through the index.
+            int hits = 0;
+            for (int i = 0; i < n; i++) {
+                String key = "acct-" + (i % (n * 2));
+                Record r = (Record) index.get(key);
+                if (r != null) { r.balance += 10; hits++; }
+            }
+            // Shell sort by balance (descending), then key-length tiebreak.
+            int size = table.size();
+            Record[] recs = new Record[size];
+            for (int i = 0; i < size; i++) recs[i] = (Record) table.get(i);
+            for (int gap = size / 2; gap > 0; gap = gap / 2) {
+                for (int i = gap; i < size; i++) {
+                    Record tmp = recs[i];
+                    int j = i;
+                    while (j >= gap && recs[j - gap].balance < tmp.balance) {
+                        recs[j] = recs[j - gap];
+                        j -= gap;
+                    }
+                    recs[j] = tmp;
+                }
+            }
+            int checksum = 0;
+            for (int i = 0; i < size; i++) {
+                checksum = checksum * 31 + recs[i].balance;
+                checksum = checksum & 16777215;
+            }
+            return checksum + hits + size;
+        }
+    }
+    "#,
+};
+
+/// `_213_javac` analogue: tokenizer + recursive-descent parser/evaluator
+/// for arithmetic expressions over generated source text.
+pub const JAVAC: Workload = Workload {
+    name: "javac",
+    spec_name: "_213_javac",
+    entry_class: "Javac",
+    scale: 4,
+    expected: 12760596,
+    source: r#"
+    class Parser {
+        String src;
+        int pos;
+        Parser(String s) { src = s; pos = 0; }
+        int peek() {
+            if (pos >= src.length()) return -1;
+            return src.charAt(pos);
+        }
+        int expr() {
+            int v = term();
+            while (true) {
+                int c = peek();
+                if (c == '+') { pos++; v = v + term(); }
+                else if (c == '-') { pos++; v = v - term(); }
+                else break;
+            }
+            return v;
+        }
+        int term() {
+            int v = factor();
+            while (true) {
+                int c = peek();
+                if (c == '*') { pos++; v = v * factor(); }
+                else if (c == '/') { pos++; int d = factor(); if (d != 0) v = v / d; }
+                else break;
+            }
+            return v;
+        }
+        int factor() {
+            int c = peek();
+            if (c == '(') {
+                pos++;
+                int v = expr();
+                if (peek() == ')') pos++;
+                return v;
+            }
+            int v = 0;
+            while (true) {
+                c = peek();
+                if (c < '0' || c > '9') break;
+                v = v * 10 + (c - '0');
+                pos++;
+            }
+            return v;
+        }
+    }
+    class Javac {
+        static int run(int scale) {
+            int rounds = scale * 700;
+            int seed = 777;
+            int checksum = 0;
+            for (int i = 0; i < rounds; i++) {
+                seed = seed * 1103515245 + 12345;
+                int a = (seed >>> 16) & 255;
+                seed = seed * 1103515245 + 12345;
+                int b = ((seed >>> 16) & 255) + 1;
+                seed = seed * 1103515245 + 12345;
+                int c = (seed >>> 16) & 255;
+                String text = "(" + a + "+" + b + ")*" + c + "-" + a + "/" + b;
+                Parser p = new Parser(text);
+                checksum = (checksum * 31 + p.expr()) & 16777215;
+            }
+            return checksum;
+        }
+    }
+    "#,
+};
+
+/// `_222_mpegaudio` analogue: fixed-point subband synthesis — windowed
+/// dot products with longs over a synthesized signal.
+pub const MPEGAUDIO: Workload = Workload {
+    name: "mpegaudio",
+    spec_name: "_222_mpegaudio",
+    entry_class: "Mpeg",
+    scale: 3,
+    expected: 11210,
+    source: r#"
+    class Mpeg {
+        static int run(int scale) {
+            int frames = scale * 80;
+            int[] window = new int[512];
+            for (int i = 0; i < 512; i++) {
+                window[i] = ((i * 37) % 255) - 127;
+            }
+            int[] signal = new int[512 + 32];
+            int seed = 31337;
+            long acc = 0;
+            for (int f = 0; f < frames; f++) {
+                for (int i = 0; i < signal.length; i++) {
+                    seed = seed * 1103515245 + 12345;
+                    signal[i] = ((seed >>> 16) & 4095) - 2048;
+                }
+                // 32 subbands, each a 512-tap dot product.
+                for (int sb = 0; sb < 32; sb++) {
+                    long sum = 0;
+                    for (int t = 0; t < 512; t++) {
+                        sum += (long) window[t] * (long) signal[t + sb];
+                    }
+                    acc += sum >> 12;
+                }
+            }
+            return (int) (acc & 16777215);
+        }
+    }
+    "#,
+};
+
+/// `_227_mtrt` analogue: a two-thread ray tracer over a small sphere
+/// scene (double math, virtual dispatch, threads).
+pub const MTRT: Workload = Workload {
+    name: "mtrt",
+    spec_name: "_227_mtrt",
+    entry_class: "Mtrt",
+    scale: 3,
+    expected: 3702784,
+    source: r#"
+    class Sphere {
+        double cx; double cy; double cz; double r2;
+        Sphere(double x, double y, double z, double rad) {
+            cx = x; cy = y; cz = z; r2 = rad * rad;
+        }
+        double hit(double ox, double oy, double dx, double dy) {
+            // Ray origin (ox, oy, -10), direction (dx, dy, 1), unnormalized.
+            double px = ox - cx;
+            double py = oy - cy;
+            double pz = -10.0 - cz;
+            double a = dx * dx + dy * dy + 1.0;
+            double b = 2.0 * (px * dx + py * dy + pz);
+            double c = px * px + py * py + pz * pz - r2;
+            double disc = b * b - 4.0 * a * c;
+            if (disc < 0.0) return -1.0;
+            return (-b - Math.sqrt(disc)) / (2.0 * a);
+        }
+    }
+    class Tracer implements Runnable {
+        static int[] image;
+        static Sphere[] scene;
+        int from; int to; int width;
+        Tracer(int f, int t, int w) { from = f; to = t; width = w; }
+        public void run() {
+            for (int y = from; y < to; y++) {
+                for (int x = 0; x < width; x++) {
+                    double ox = (x - width / 2) * 0.02;
+                    double oy = (y - width / 2) * 0.02;
+                    double best = 1000000.0;
+                    int shade = 0;
+                    for (int s = 0; s < scene.length; s++) {
+                        double t = scene[s].hit(ox, oy, 0.001 * x, 0.001 * y);
+                        if (t > 0.0 && t < best) {
+                            best = t;
+                            shade = 32 + (s * 73) % 200;
+                        }
+                    }
+                    image[y * width + x] = shade;
+                }
+            }
+        }
+    }
+    class Mtrt {
+        static int run(int scale) {
+            int width = scale * 24;
+            Tracer.image = new int[width * width];
+            Tracer.scene = new Sphere[5];
+            Tracer.scene[0] = new Sphere(0.0, 0.0, 0.0, 2.0);
+            Tracer.scene[1] = new Sphere(1.5, 1.0, 3.0, 1.0);
+            Tracer.scene[2] = new Sphere(-2.0, -1.0, 2.0, 1.5);
+            Tracer.scene[3] = new Sphere(0.5, -1.5, 5.0, 2.5);
+            Tracer.scene[4] = new Sphere(-1.0, 2.0, 1.0, 0.75);
+            Thread a = new Thread(new Tracer(0, width / 2, width));
+            Thread b = new Thread(new Tracer(width / 2, width, width));
+            a.start();
+            b.start();
+            a.join();
+            b.join();
+            int checksum = 0;
+            for (int i = 0; i < width * width; i++) {
+                checksum = (checksum * 31 + Tracer.image[i]) & 16777215;
+            }
+            return checksum;
+        }
+    }
+    "#,
+};
+
+/// `_228_jack` analogue: grammar expansion with heavy string building and
+/// token counting (parser-generator style).
+pub const JACK: Workload = Workload {
+    name: "jack",
+    spec_name: "_228_jack",
+    entry_class: "Jack",
+    scale: 3,
+    expected: 145740,
+    source: r#"
+    class Jack {
+        static String expand(int sym, int depth) {
+            if (depth <= 0) return "t";
+            if (sym == 0) return "(" + expand(1, depth - 1) + ")";
+            if (sym == 1) return expand(2, depth - 1) + "+" + expand(2, depth - 1);
+            if (sym == 2) return expand(3, depth - 1) + "*t";
+            return "id" + depth;
+        }
+        static int run(int scale) {
+            int rounds = scale * 60;
+            int tokens = 0;
+            int chars = 0;
+            for (int i = 0; i < rounds; i++) {
+                String prod = expand(i % 3, 6 + (i % 3));
+                chars += prod.length();
+                StringBuilder sb = new StringBuilder();
+                int count = 0;
+                for (int j = 0; j < prod.length(); j++) {
+                    char c = prod.charAt(j);
+                    if (c == '+' || c == '*' || c == '(' || c == ')') {
+                        count++;
+                        sb.append(' ');
+                    } else {
+                        sb.append(c);
+                    }
+                }
+                tokens += count + sb.length() % 7;
+            }
+            return tokens * 100 + (chars & 65535);
+        }
+    }
+    "#,
+};

@@ -1,0 +1,35 @@
+//! Attack lab: runs the paper's eight §4.3 attacks against both VM
+//! configurations and prints the robustness matrix.
+//!
+//! ```sh
+//! cargo run --release --example attack_lab
+//! ```
+
+use ijvm::attacks::{run_attack, AttackId};
+use ijvm_core::vm::IsolationMode;
+
+fn main() {
+    println!("attack lab — §4.3 robustness evaluation");
+    println!("baseline = shared statics/strings/Class objects, no accounting, no termination");
+    println!("I-JVM    = per-isolate mirrors + accounting + termination\n");
+
+    println!("{:<4} {:<44} {:<13} {:<10}", "id", "attack", "baseline", "I-JVM");
+    println!("{}", "-".repeat(75));
+    for id in AttackId::ALL {
+        let baseline = run_attack(id, IsolationMode::Shared);
+        let ijvm = run_attack(id, IsolationMode::Isolated);
+        println!(
+            "{:<4} {:<44} {:<13} {:<10}",
+            id.label(),
+            id.description(),
+            if baseline.compromised { "COMPROMISED" } else { "survived?!" },
+            if ijvm.compromised { "BREACHED?!" } else { "contained" },
+        );
+    }
+
+    println!("\nhow I-JVM contained each attack:");
+    for id in AttackId::ALL {
+        let ijvm = run_attack(id, IsolationMode::Isolated);
+        println!("  {}: {}", id.label(), ijvm.detail);
+    }
+}

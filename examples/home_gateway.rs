@@ -1,0 +1,132 @@
+//! A "next-generation Internet home gateway" (the deployment the paper's
+//! introduction motivates): trusted bundles run alongside a dynamically
+//! downloaded third-party bundle that turns out to be hostile. The
+//! administrator uses I-JVM's accounting to find it and termination to
+//! evict it — without restarting the platform.
+//!
+//! ```sh
+//! cargo run --release --example home_gateway
+//! ```
+
+use ijvm::prelude::*;
+use ijvm_core::ids::MethodRef;
+
+fn main() {
+    let mut options = VmOptions::isolated();
+    options.heap_limit_bytes = 16 << 20;
+    let mut fw = Framework::new(options);
+
+    // Trusted service: a metering bundle the household relies on.
+    let meter = fw
+        .install_bundle(
+            BundleDescriptor::from_source(
+                "power-meter",
+                "meter",
+                r#"
+                class Meter {
+                    static int reading = 100;
+                    static int read() { reading = reading + 7; return reading; }
+                }
+                class Activator {
+                    static void start(BundleContext ctx) { ctx.log("meter online"); }
+                }
+                "#,
+                Some("Activator"),
+                vec![],
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    fw.start_bundle(meter).unwrap();
+
+    // Third-party download: claims to be a weather widget, actually hoards
+    // memory and burns CPU.
+    let widget = fw
+        .install_bundle(
+            BundleDescriptor::from_source(
+                "weather-widget",
+                "widget",
+                r#"
+                class Hoard {
+                    static ArrayList stash = new ArrayList();
+                    static void grow() {
+                        try {
+                            for (int i = 0; i < 400; i++) stash.add(new int[4096]);
+                        } catch (OutOfMemoryError e) { }
+                    }
+                }
+                class Spin implements Runnable {
+                    public void run() {
+                        Hoard.grow();
+                        int x = 0;
+                        while (true) { x = x + 1; }
+                    }
+                }
+                class Activator {
+                    static void start(BundleContext ctx) {
+                        ctx.log("totally a weather widget");
+                        Thread t = new Thread(new Spin());
+                        t.start();
+                    }
+                }
+                "#,
+                Some("Activator"),
+                vec![],
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    fw.lifecycle_budget = 30_000_000; // the widget never goes idle
+    fw.start_bundle(widget).unwrap();
+    for line in fw.vm_mut().take_console() {
+        println!("[guest] {line}");
+    }
+
+    // The gateway keeps serving; the widget keeps burning.
+    let _ = fw.run(Some(20_000_000));
+
+    // Administrator's dashboard.
+    fw.vm_mut().collect_garbage(None);
+    println!("\nadministrator dashboard:");
+    let mut worst: Option<(IsolateId, String, u64)> = None;
+    for snap in fw.snapshots() {
+        println!(
+            "  {:<16} cpu={:<12} live-bytes={:<10} threads={}",
+            snap.name, snap.stats.cpu_sampled, snap.stats.live_bytes, snap.stats.threads_created
+        );
+        let score = snap.stats.cpu_sampled + snap.stats.live_bytes;
+        if !snap.isolate.is_privileged()
+            && worst.as_ref().map(|(_, _, s)| score > *s).unwrap_or(true)
+        {
+            worst = Some((snap.isolate, snap.name.clone(), score));
+        }
+    }
+    let (offender_iso, offender_name, _) = worst.expect("bundles installed");
+    println!("\noffender identified: {offender_name} ({offender_iso})");
+
+    // Evict it (paper §3.3) and verify the meter still works.
+    let widget_bundle = fw
+        .bundles()
+        .iter()
+        .find(|b| b.isolate == offender_iso)
+        .map(|b| b.id)
+        .expect("offender is a bundle");
+    fw.kill_bundle(widget_bundle).unwrap();
+    println!("bundle {offender_name} terminated; platform still up.");
+
+    let loader = fw.bundle(meter).unwrap().loader;
+    let meter_iso = fw.bundle(meter).unwrap().isolate;
+    let meter_class = fw.vm_mut().load_class(loader, "meter/Meter").unwrap();
+    let index = fw.vm().class(meter_class).find_method("read", "()I").unwrap();
+    let tid = fw
+        .vm_mut()
+        .spawn_thread("read", MethodRef { class: meter_class, index }, vec![], meter_iso)
+        .unwrap();
+    let _ = fw.run(Some(5_000_000));
+    println!(
+        "meter reading after eviction: {:?} (service uninterrupted)",
+        fw.vm().thread_result(tid)
+    );
+}

@@ -1,0 +1,95 @@
+//! Quickstart: boot an I-JVM, install two bundles, share a service, watch
+//! the thread migrate — the whole paper in thirty lines of API.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ijvm::prelude::*;
+
+fn main() {
+    // An OSGi framework on top of I-JVM. The runtime lives in Isolate0;
+    // every bundle we install gets its own isolate.
+    let mut fw = Framework::new(VmOptions::isolated());
+
+    // A provider bundle: registers a greeting service.
+    let provider = fw
+        .install_bundle(
+            BundleDescriptor::from_source(
+                "greeter",
+                "greeter",
+                r#"
+                class GreetService {
+                    int greetings;
+                    String greet(String who) {
+                        greetings = greetings + 1;
+                        return "hello, " + who + "!";
+                    }
+                }
+                class Activator {
+                    static void start(BundleContext ctx) {
+                        ctx.registerService("greet", new GreetService());
+                        ctx.log("greeter ready");
+                    }
+                }
+                "#,
+                Some("Activator"),
+                vec![],
+                &[],
+            )
+            .expect("greeter compiles"),
+        )
+        .expect("greeter installs");
+    fw.start_bundle(provider).expect("greeter starts");
+
+    // A consumer bundle: looks the service up and calls it directly —
+    // I-JVM migrates the calling thread into the greeter's isolate and
+    // back; no RPC, no copying.
+    let provider_classes = fw.bundle(provider).unwrap().classes.clone();
+    let consumer = fw
+        .install_bundle(
+            BundleDescriptor::from_source(
+                "lobby",
+                "lobby",
+                r#"
+                class Activator {
+                    static void start(BundleContext ctx) {
+                        GreetService s = (GreetService) ctx.getService("greet");
+                        println(s.greet("world"));
+                        println(s.greet("OSGi"));
+                    }
+                }
+                "#,
+                Some("Activator"),
+                vec![provider],
+                &provider_classes,
+            )
+            .expect("lobby compiles"),
+        )
+        .expect("lobby installs");
+
+    let migrations_before = fw.vm().migrations();
+    fw.start_bundle(consumer).expect("lobby starts");
+
+    for line in fw.vm_mut().take_console() {
+        println!("[guest] {line}");
+    }
+    println!(
+        "inter-isolate migrations during the calls: {}",
+        fw.vm().migrations() - migrations_before
+    );
+
+    // The administrator's view: per-bundle resource accounting.
+    fw.vm_mut().collect_garbage(None);
+    println!("\nper-isolate accounting (the administrator's dashboard):");
+    for snap in fw.snapshots() {
+        println!(
+            "  {:<14} cpu(sampled)={:<9} allocated={:<8} live={:<8} calls-in={}",
+            snap.name,
+            snap.stats.cpu_sampled,
+            snap.stats.allocated_bytes,
+            snap.stats.live_bytes,
+            snap.stats.calls_in
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! `ijvm-run` — compile and run a mini-Java source file on the I-JVM.
+//!
+//! ```sh
+//! ijvm-run program.mj                 # runs `static void main()` of the
+//!                                     # first class declaring one
+//! ijvm-run program.mj --class Main    # pick the entry class
+//! ijvm-run program.mj --shared        # run on the vulnerable baseline
+//! ijvm-run program.mj --stats         # print per-isolate accounting
+//! ```
+//!
+//! The program runs inside its own bundle isolate; `println(...)` output
+//! is forwarded to stdout.
+
+use ijvm::prelude::*;
+use std::process::ExitCode;
+
+struct Args {
+    path: String,
+    entry_class: Option<String>,
+    shared: bool,
+    stats: bool,
+    budget: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut parsed = Args {
+        path: String::new(),
+        entry_class: None,
+        shared: false,
+        stats: false,
+        budget: None,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--class" => {
+                parsed.entry_class =
+                    Some(args.next().ok_or("--class needs a value")?);
+            }
+            "--shared" => parsed.shared = true,
+            "--stats" => parsed.stats = true,
+            "--budget" => {
+                let v = args.next().ok_or("--budget needs a value")?;
+                parsed.budget =
+                    Some(v.parse().map_err(|_| format!("bad budget {v:?}"))?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: ijvm-run <file.mj> [--class NAME] [--shared] [--stats] [--budget N]"
+                    .to_owned());
+            }
+            other if parsed.path.is_empty() && !other.starts_with('-') => {
+                parsed.path = other.to_owned();
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if parsed.path.is_empty() {
+        return Err("usage: ijvm-run <file.mj> [--class NAME] [--shared] [--stats] [--budget N]"
+            .to_owned());
+    }
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match std::fs::read_to_string(&args.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ijvm-run: cannot read {}: {e}", args.path);
+            return ExitCode::from(2);
+        }
+    };
+
+    let classes = match ijvm::minijava::compile(&source, &ijvm::minijava::CompileEnv::new()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ijvm-run: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    // Entry: the requested class, or the first one declaring main()V.
+    let entry = match &args.entry_class {
+        Some(name) => name.clone(),
+        None => {
+            let found = classes.iter().find_map(|c| {
+                c.find_method("main", "()V").map(|_| c.name().unwrap().to_owned())
+            });
+            match found {
+                Some(n) => n,
+                None => {
+                    eprintln!("ijvm-run: no class declares `static void main()`");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+    };
+
+    let options = if args.shared { VmOptions::shared() } else { VmOptions::isolated() };
+    let mut vm = ijvm::jsl::boot(options);
+    let iso = vm.create_isolate("main-bundle");
+    let loader = vm.loader_of(iso).expect("isolate exists");
+    for cf in &classes {
+        let name = cf.name().expect("compiled class has a name").to_owned();
+        let bytes = ijvm::classfile::writer::write_class(cf).expect("serializes");
+        vm.add_class_bytes(loader, &name, bytes);
+    }
+    let class = match vm.load_class(loader, &entry) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ijvm-run: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if vm.class(class).find_method("main", "()V").is_none() {
+        eprintln!("ijvm-run: {entry} has no `static void main()`");
+        return ExitCode::from(1);
+    }
+
+    let result = match args.budget {
+        None => vm.call_static_as(class, "main", "()V", vec![], iso).map(|_| ()),
+        Some(budget) => {
+            let index = vm.class(class).find_method("main", "()V").expect("checked");
+            let mref = ijvm::core::ids::MethodRef { class, index };
+            vm.spawn_thread("main", mref, vec![], iso).expect("spawn");
+            match vm.run(Some(budget)) {
+                RunOutcome::BudgetExhausted => {
+                    eprintln!("ijvm-run: instruction budget exhausted");
+                }
+                RunOutcome::Deadlock => eprintln!("ijvm-run: deadlock"),
+                RunOutcome::Idle => {}
+            }
+            Ok(())
+        }
+    };
+
+    for line in vm.take_console() {
+        println!("{line}");
+    }
+    if args.stats {
+        vm.collect_garbage(None);
+        eprintln!("\nper-isolate accounting:");
+        for snap in vm.snapshots() {
+            eprintln!(
+                "  {:<14} cpu={:<12} allocated={:<10} live={:<10} gcs={} threads={}",
+                snap.name,
+                snap.stats.cpu_sampled,
+                snap.stats.allocated_bytes,
+                snap.stats.live_bytes,
+                snap.stats.gc_triggers,
+                snap.stats.threads_created,
+            );
+        }
+    }
+
+    match result {
+        Ok(()) => {
+            if let Some(code) = vm.exit_code() {
+                return ExitCode::from(code.clamp(0, 255) as u8);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ijvm-run: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # ijvm — I-JVM in Rust
+//!
+//! A reproduction of *"I-JVM: a Java Virtual Machine for Component
+//! Isolation in OSGi"* (Geoffray, Thomas, Muller, Parrend, Frénot,
+//! Folliot — DSN 2009), built from scratch: class-file format, bytecode
+//! interpreter, green threads, garbage collector, mini-Java compiler,
+//! OSGi-like framework — and on top of it all the paper's contribution:
+//! lightweight isolates with thread migration, per-isolate resource
+//! accounting and isolate termination.
+//!
+//! This crate is the facade re-exporting the workspace:
+//!
+//! * [`classfile`] — class-file format, assembler, disassembler;
+//! * [`core`] — the VM (isolates, migration, accounting, termination);
+//! * [`jsl`] — the Java System Library;
+//! * [`minijava`] — the mini-Java source compiler;
+//! * [`osgi`] — the OSGi-like component framework;
+//! * [`comm`] — Table 1's communication models;
+//! * [`attacks`] — the §4.3 attack suite and §4.4 accounting limits;
+//! * [`workloads`] — the SPEC JVM98 analogues and the paint demo.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ijvm::prelude::*;
+//!
+//! // Boot an I-JVM, make a bundle isolate, compile and run mini-Java.
+//! let mut vm = ijvm::jsl::boot(VmOptions::isolated());
+//! let iso = vm.create_isolate("hello-bundle");
+//! let loader = vm.loader_of(iso).unwrap();
+//! let classes = ijvm::minijava::compile_to_bytes(
+//!     "class Hello { static int add(int a, int b) { return a + b; } }",
+//!     &ijvm::minijava::CompileEnv::new(),
+//! )
+//! .unwrap();
+//! for (name, bytes) in classes {
+//!     vm.add_class_bytes(loader, &name, bytes);
+//! }
+//! let hello = vm.load_class(loader, "Hello").unwrap();
+//! let sum = vm.call_static(hello, "add", "(II)I", vec![Value::Int(40), Value::Int(2)]);
+//! assert_eq!(sum.unwrap(), Some(Value::Int(42)));
+//! ```
+
+pub use ijvm_attacks as attacks;
+pub use ijvm_classfile as classfile;
+pub use ijvm_comm as comm;
+pub use ijvm_core as core;
+pub use ijvm_jsl as jsl;
+pub use ijvm_minijava as minijava;
+pub use ijvm_osgi as osgi;
+pub use ijvm_workloads as workloads;
+
+/// Commonly used types across the workspace.
+pub mod prelude {
+    pub use ijvm_core::prelude::*;
+    pub use ijvm_osgi::{BundleDescriptor, BundleId, BundleState, Framework};
+}
