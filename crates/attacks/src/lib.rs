@@ -120,7 +120,10 @@ pub fn run_attack(id: AttackId, mode: IsolationMode) -> AttackReport {
 
 /// Runs all eight attacks under `mode`, in paper order.
 pub fn run_all(mode: IsolationMode) -> Vec<AttackReport> {
-    AttackId::ALL.iter().map(|&id| run_attack(id, mode)).collect()
+    AttackId::ALL
+        .iter()
+        .map(|&id| run_attack(id, mode))
+        .collect()
 }
 
 #[cfg(test)]

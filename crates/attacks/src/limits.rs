@@ -129,11 +129,22 @@ fn fixture() -> (Framework, BundleId, BundleId) {
     (fw, caller, callee)
 }
 
-fn call(fw: &mut Framework, bundle: BundleId, class: &str, method: &str, desc: &str, args: Vec<Value>) {
+fn call(
+    fw: &mut Framework,
+    bundle: BundleId,
+    class: &str,
+    method: &str,
+    desc: &str,
+    args: Vec<Value>,
+) {
     let loader = fw.bundle(bundle).unwrap().loader;
     let iso = fw.bundle(bundle).unwrap().isolate;
     let cid: ClassId = fw.vm_mut().load_class(loader, class).expect("class loads");
-    let index = fw.vm().class(cid).find_method(method, desc).expect("method exists");
+    let index = fw
+        .vm()
+        .class(cid)
+        .find_method(method, desc)
+        .expect("method exists");
     let _ = fw
         .vm_mut()
         .spawn_thread(method, MethodRef { class: cid, index }, args, iso)
@@ -150,8 +161,18 @@ fn stats_of(fw: &Framework, iso: IsolateId) -> ijvm_core::accounting::ResourceSt
 /// call than the caller's loop body (paper: ~75% / 25%).
 pub fn cpu_mischarge(calls: i32) -> CpuExperiment {
     let (mut fw, caller, callee) = fixture();
-    let (miso, aiso) = (fw.bundle(caller).unwrap().isolate, fw.bundle(callee).unwrap().isolate);
-    call(&mut fw, caller, "bm/Driver", "storm", "(I)I", vec![Value::Int(calls)]);
+    let (miso, aiso) = (
+        fw.bundle(caller).unwrap().isolate,
+        fw.bundle(callee).unwrap().isolate,
+    );
+    call(
+        &mut fw,
+        caller,
+        "bm/Driver",
+        "storm",
+        "(I)I",
+        vec![Value::Int(calls)],
+    );
     let (m, a) = (stats_of(&fw, miso), stats_of(&fw, aiso));
     CpuExperiment {
         caller_sampled: m.cpu_sampled,
@@ -165,10 +186,23 @@ pub fn cpu_mischarge(calls: i32) -> CpuExperiment {
 /// are charged to A (the isolate executing at the trigger), not to M.
 pub fn gc_mischarge(calls: i32) -> GcExperiment {
     let (mut fw, caller, callee) = fixture();
-    let (miso, aiso) = (fw.bundle(caller).unwrap().isolate, fw.bundle(callee).unwrap().isolate);
-    call(&mut fw, caller, "bm/Driver", "allocStorm", "(I)I", vec![Value::Int(calls)]);
+    let (miso, aiso) = (
+        fw.bundle(caller).unwrap().isolate,
+        fw.bundle(callee).unwrap().isolate,
+    );
+    call(
+        &mut fw,
+        caller,
+        "bm/Driver",
+        "allocStorm",
+        "(I)I",
+        vec![Value::Int(calls)],
+    );
     let (m, a) = (stats_of(&fw, miso), stats_of(&fw, aiso));
-    GcExperiment { caller_gc: m.gc_triggers, callee_gc: a.gc_triggers }
+    GcExperiment {
+        caller_gc: m.gc_triggers,
+        callee_gc: a.gc_triggers,
+    }
 }
 
 /// Experiment 3: M returns a large object to a caller that retains it;
@@ -196,11 +230,17 @@ pub fn memory_mischarge() -> MemoryExperiment {
             .expect("holder compiles"),
         )
         .expect("install holder");
-    let (miso, hiso) = (fw.bundle(caller).unwrap().isolate, fw.bundle(holder).unwrap().isolate);
+    let (miso, hiso) = (
+        fw.bundle(caller).unwrap().isolate,
+        fw.bundle(holder).unwrap().isolate,
+    );
     call(&mut fw, holder, "bh/Keep", "grab", "()V", vec![]);
     fw.vm_mut().collect_garbage(None);
     let (m, h) = (stats_of(&fw, miso), stats_of(&fw, hiso));
-    MemoryExperiment { producer_bytes: m.live_bytes, holder_bytes: h.live_bytes }
+    MemoryExperiment {
+        producer_bytes: m.live_bytes,
+        holder_bytes: h.live_bytes,
+    }
 }
 
 #[cfg(test)]

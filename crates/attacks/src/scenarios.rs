@@ -24,7 +24,13 @@ fn framework(mode: IsolationMode) -> Framework {
     Framework::new(attack_options(mode))
 }
 
-fn install(fw: &mut Framework, name: &str, pkg: &str, src: &str, imports: Vec<BundleId>) -> BundleId {
+fn install(
+    fw: &mut Framework,
+    name: &str,
+    pkg: &str,
+    src: &str,
+    imports: Vec<BundleId>,
+) -> BundleId {
     let imported: Vec<(String, Vec<u8>)> = imports
         .iter()
         .flat_map(|id| fw.bundle(*id).expect("import exists").classes.clone())
@@ -36,7 +42,9 @@ fn install(fw: &mut Framework, name: &str, pkg: &str, src: &str, imports: Vec<Bu
 
 fn class_of(fw: &mut Framework, bundle: BundleId, internal: &str) -> ClassId {
     let loader = fw.bundle(bundle).expect("bundle exists").loader;
-    fw.vm_mut().load_class(loader, internal).expect("class loads")
+    fw.vm_mut()
+        .load_class(loader, internal)
+        .expect("class loads")
 }
 
 /// Outcome of a budgeted method call.
@@ -97,11 +105,15 @@ fn spawn(
         .class(class)
         .find_method(name, desc)
         .unwrap_or_else(|| panic!("method {name}{desc} missing"));
-    vm.spawn_thread(name, MethodRef { class, index }, args, creator).expect("spawn")
+    vm.spawn_thread(name, MethodRef { class, index }, args, creator)
+        .expect("spawn")
 }
 
 /// The non-privileged isolate with the largest value of `metric`.
-fn worst_isolate(fw: &Framework, metric: impl Fn(&ijvm_core::accounting::ResourceStats) -> u64) -> Option<IsolateId> {
+fn worst_isolate(
+    fw: &Framework,
+    metric: impl Fn(&ijvm_core::accounting::ResourceStats) -> u64,
+) -> Option<IsolateId> {
     fw.snapshots()
         .into_iter()
         .filter(|s| !s.isolate.is_privileged())
@@ -110,7 +122,12 @@ fn worst_isolate(fw: &Framework, metric: impl Fn(&ijvm_core::accounting::Resourc
 }
 
 fn report(id: AttackId, mode: IsolationMode, compromised: bool, detail: String) -> AttackReport {
-    AttackReport { id, mode, compromised, detail }
+    AttackReport {
+        id,
+        mode,
+        compromised,
+        detail,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -158,14 +175,20 @@ pub fn a1_static_variable(mode: IsolationMode) -> AttackReport {
         "#,
         vec![victim],
     );
-    let (viso, aiso) =
-        (fw.bundle(victim).unwrap().isolate, fw.bundle(attacker).unwrap().isolate);
+    let (viso, aiso) = (
+        fw.bundle(victim).unwrap().isolate,
+        fw.bundle(attacker).unwrap().isolate,
+    );
     let data = class_of(&mut fw, victim, "vic/Data");
     let attack = class_of(&mut fw, attacker, "mal/Attack");
     let vm = fw.vm_mut();
 
     let before = call_budgeted(vm, data, "sum", "()I", vec![], viso, 1_000_000);
-    assert_eq!(before, CallResult::Done(Some(Value::Int(20))), "victim healthy at start");
+    assert_eq!(
+        before,
+        CallResult::Done(Some(Value::Int(20))),
+        "victim healthy at start"
+    );
     let _ = call_budgeted(vm, attack, "corrupt", "()V", vec![], aiso, 1_000_000);
     let after = call_budgeted(vm, data, "sum", "()I", vec![], viso, 1_000_000);
 
@@ -182,7 +205,12 @@ pub fn a1_static_variable(mode: IsolationMode) -> AttackReport {
             true,
             format!("victim crashed with {class}: shared static array was corrupted"),
         ),
-        other => report(AttackId::A1StaticVariable, mode, true, format!("unexpected: {other:?}")),
+        other => report(
+            AttackId::A1StaticVariable,
+            mode,
+            true,
+            format!("unexpected: {other:?}"),
+        ),
     }
 }
 
@@ -224,8 +252,10 @@ pub fn a2_synchronized_lock(mode: IsolationMode) -> AttackReport {
         "#,
         vec![victim],
     );
-    let (viso, aiso) =
-        (fw.bundle(victim).unwrap().isolate, fw.bundle(attacker).unwrap().isolate);
+    let (viso, aiso) = (
+        fw.bundle(victim).unwrap().isolate,
+        fw.bundle(attacker).unwrap().isolate,
+    );
     let lib = class_of(&mut fw, victim, "vic/Lib");
     let attack = class_of(&mut fw, attacker, "mal/Attack");
     let vm = fw.vm_mut();
@@ -249,7 +279,12 @@ pub fn a2_synchronized_lock(mode: IsolationMode) -> AttackReport {
             true,
             "victim blocked forever on its own Class monitor held by the attacker".into(),
         ),
-        other => report(AttackId::A2SynchronizedLock, mode, true, format!("unexpected: {other:?}")),
+        other => report(
+            AttackId::A2SynchronizedLock,
+            mode,
+            true,
+            format!("unexpected: {other:?}"),
+        ),
     }
 }
 
@@ -293,16 +328,25 @@ pub fn a3_memory_exhaustion(mode: IsolationMode) -> AttackReport {
         "#,
         vec![],
     );
-    let (viso, aiso) =
-        (fw.bundle(victim).unwrap().isolate, fw.bundle(attacker).unwrap().isolate);
+    let (viso, aiso) = (
+        fw.bundle(victim).unwrap().isolate,
+        fw.bundle(attacker).unwrap().isolate,
+    );
     let work = class_of(&mut fw, victim, "vic/Work");
     let attack = class_of(&mut fw, attacker, "mal/Attack");
 
-    let healthy =
-        call_budgeted(fw.vm_mut(), work, "alloc", "()I", vec![], viso, 1_000_000);
+    let healthy = call_budgeted(fw.vm_mut(), work, "alloc", "()I", vec![], viso, 1_000_000);
     assert_eq!(healthy, CallResult::Done(Some(Value::Int(16384))));
 
-    let _ = call_budgeted(fw.vm_mut(), attack, "exhaust", "()V", vec![], aiso, 20_000_000);
+    let _ = call_budgeted(
+        fw.vm_mut(),
+        attack,
+        "exhaust",
+        "()V",
+        vec![],
+        aiso,
+        20_000_000,
+    );
 
     if mode == IsolationMode::Isolated {
         // The administrator reads per-isolate live memory and kills the
@@ -317,11 +361,16 @@ pub fn a3_memory_exhaustion(mode: IsolationMode) -> AttackReport {
                 format!("accounting blamed {offender}, not the attacker {aiso}"),
             );
         }
-        fw.vm_mut().terminate_isolate(offender).expect("termination supported");
+        fw.vm_mut()
+            .terminate_isolate(offender)
+            .expect("termination supported");
     } else {
         // No accounting, no termination: the administrator is blind.
         let unsupported = fw.vm_mut().terminate_isolate(aiso).is_err();
-        assert!(unsupported, "Shared baseline must not support isolate termination");
+        assert!(
+            unsupported,
+            "Shared baseline must not support isolate termination"
+        );
     }
 
     let after = call_budgeted(fw.vm_mut(), work, "alloc", "()I", vec![], viso, 1_000_000);
@@ -338,7 +387,12 @@ pub fn a3_memory_exhaustion(mode: IsolationMode) -> AttackReport {
             true,
             format!("victim got {class}: heap exhausted and unrecoverable"),
         ),
-        other => report(AttackId::A3MemoryExhaustion, mode, true, format!("unexpected: {other:?}")),
+        other => report(
+            AttackId::A3MemoryExhaustion,
+            mode,
+            true,
+            format!("unexpected: {other:?}"),
+        ),
     }
 }
 
@@ -373,10 +427,14 @@ pub fn a4_object_churn(mode: IsolationMode) -> AttackReport {
     let churner = spawn(fw.vm_mut(), attack, "churn", "()V", vec![], aiso);
     let _ = fw.vm_mut().run(Some(8_000_000));
     let gc_before = fw.vm().gc_count();
-    assert!(gc_before > 3, "churn should have forced collections (got {gc_before})");
+    assert!(
+        gc_before > 3,
+        "churn should have forced collections (got {gc_before})"
+    );
 
     if mode == IsolationMode::Isolated {
-        let offender = worst_isolate(&fw, |s| s.gc_triggers).expect("accounting identifies someone");
+        let offender =
+            worst_isolate(&fw, |s| s.gc_triggers).expect("accounting identifies someone");
         if offender != aiso {
             return report(
                 AttackId::A4ObjectChurn,
@@ -385,7 +443,9 @@ pub fn a4_object_churn(mode: IsolationMode) -> AttackReport {
                 format!("GC-activation accounting blamed {offender}, not {aiso}"),
             );
         }
-        fw.vm_mut().terminate_isolate(offender).expect("termination supported");
+        fw.vm_mut()
+            .terminate_isolate(offender)
+            .expect("termination supported");
         let _ = fw.vm_mut().run(Some(1_000_000));
         let stopped = fw.vm().thread(churner).unwrap().is_terminated();
         let gc_after_kill = fw.vm().gc_count();
@@ -399,13 +459,18 @@ pub fn a4_object_churn(mode: IsolationMode) -> AttackReport {
                 format!("churner killed after {gc_before} forced collections; GC is quiet again"),
             );
         }
-        return report(AttackId::A4ObjectChurn, mode, true, "churner survived the kill".into());
+        return report(
+            AttackId::A4ObjectChurn,
+            mode,
+            true,
+            "churner survived the kill".into(),
+        );
     }
 
     // Shared: the churner cannot be attributed or stopped.
     let _ = fw.vm_mut().run(Some(3_000_000));
-    let still_churning = !fw.vm().thread(churner).unwrap().is_terminated()
-        && fw.vm().gc_count() > gc_before;
+    let still_churning =
+        !fw.vm().thread(churner).unwrap().is_terminated() && fw.vm().gc_count() > gc_before;
     report(
         AttackId::A4ObjectChurn,
         mode,
@@ -471,16 +536,28 @@ pub fn a5_thread_creation(mode: IsolationMode) -> AttackReport {
         "#,
         vec![],
     );
-    let (viso, aiso) =
-        (fw.bundle(victim).unwrap().isolate, fw.bundle(attacker).unwrap().isolate);
+    let (viso, aiso) = (
+        fw.bundle(victim).unwrap().isolate,
+        fw.bundle(attacker).unwrap().isolate,
+    );
     let work = class_of(&mut fw, victim, "vic/Work");
     let attack = class_of(&mut fw, attacker, "mal/Attack");
 
     let healthy = call_budgeted(fw.vm_mut(), work, "ping", "()I", vec![], viso, 2_000_000);
-    assert!(matches!(healthy, CallResult::Done(Some(Value::Int(_)))), "victim healthy: {healthy:?}");
+    assert!(
+        matches!(healthy, CallResult::Done(Some(Value::Int(_)))),
+        "victim healthy: {healthy:?}"
+    );
 
-    let flooded =
-        call_budgeted(fw.vm_mut(), attack, "flood", "()I", vec![], aiso, 20_000_000);
+    let flooded = call_budgeted(
+        fw.vm_mut(),
+        attack,
+        "flood",
+        "()I",
+        vec![],
+        aiso,
+        20_000_000,
+    );
     assert!(
         matches!(flooded, CallResult::Done(Some(Value::Int(n)) ) if n > 10),
         "flood should hit the thread limit: {flooded:?}"
@@ -497,7 +574,9 @@ pub fn a5_thread_creation(mode: IsolationMode) -> AttackReport {
                 format!("thread accounting blamed {offender}, not {aiso}"),
             );
         }
-        fw.vm_mut().terminate_isolate(offender).expect("termination supported");
+        fw.vm_mut()
+            .terminate_isolate(offender)
+            .expect("termination supported");
         let _ = fw.vm_mut().run(Some(3_000_000));
     }
 
@@ -515,7 +594,12 @@ pub fn a5_thread_creation(mode: IsolationMode) -> AttackReport {
             true,
             format!("victim cannot start threads anymore ({class})"),
         ),
-        other => report(AttackId::A5ThreadCreation, mode, true, format!("unexpected: {other:?}")),
+        other => report(
+            AttackId::A5ThreadCreation,
+            mode,
+            true,
+            format!("unexpected: {other:?}"),
+        ),
     }
 }
 
@@ -547,7 +631,10 @@ pub fn a6_infinite_loop(mode: IsolationMode) -> AttackReport {
 
     let burner = spawn(fw.vm_mut(), attack, "burn", "()V", vec![], aiso);
     let _ = fw.vm_mut().run(Some(3_000_000));
-    assert!(!fw.vm().thread(burner).unwrap().is_terminated(), "loop must be running");
+    assert!(
+        !fw.vm().thread(burner).unwrap().is_terminated(),
+        "loop must be running"
+    );
 
     if mode == IsolationMode::Isolated {
         let offender = worst_isolate(&fw, |s| s.cpu_sampled).expect("sampling identifies someone");
@@ -559,7 +646,9 @@ pub fn a6_infinite_loop(mode: IsolationMode) -> AttackReport {
                 format!("CPU sampling blamed {offender}, not {aiso}"),
             );
         }
-        fw.vm_mut().terminate_isolate(offender).expect("termination supported");
+        fw.vm_mut()
+            .terminate_isolate(offender)
+            .expect("termination supported");
         let _ = fw.vm_mut().run(Some(1_000_000));
         let dead = fw.vm().thread(burner).unwrap().is_terminated();
         return report(
@@ -625,7 +714,10 @@ pub fn a7_hanging_thread(mode: IsolationMode) -> AttackReport {
         "#,
         vec![hanger],
     );
-    let (hiso, ciso) = (fw.bundle(hanger).unwrap().isolate, fw.bundle(caller).unwrap().isolate);
+    let (hiso, ciso) = (
+        fw.bundle(hanger).unwrap().isolate,
+        fw.bundle(caller).unwrap().isolate,
+    );
     let caller_class = class_of(&mut fw, caller, "ca/Caller");
 
     let tid = spawn(fw.vm_mut(), caller_class, "call", "()I", vec![], ciso);
@@ -637,8 +729,13 @@ pub fn a7_hanging_thread(mode: IsolationMode) -> AttackReport {
     assert!(!fw.vm().thread(tid).unwrap().is_terminated());
 
     if mode == IsolationMode::Isolated {
-        assert_eq!(current, hiso, "thread should be charged to the hanging bundle");
-        fw.vm_mut().terminate_isolate(hiso).expect("termination supported");
+        assert_eq!(
+            current, hiso,
+            "thread should be charged to the hanging bundle"
+        );
+        fw.vm_mut()
+            .terminate_isolate(hiso)
+            .expect("termination supported");
         let _ = fw.vm_mut().run(Some(2_000_000));
         return match inspect(fw.vm(), tid) {
             CallResult::Done(Some(Value::Int(-2))) => report(
@@ -718,19 +815,31 @@ pub fn a8_termination(mode: IsolationMode) -> AttackReport {
         "#,
         vec![provider],
     );
-    let (piso, hiso) =
-        (fw.bundle(provider).unwrap().isolate, fw.bundle(holder).unwrap().isolate);
+    let (piso, hiso) = (
+        fw.bundle(provider).unwrap().isolate,
+        fw.bundle(holder).unwrap().isolate,
+    );
     let registry = class_of(&mut fw, provider, "pb/Registry");
     let holder_class = class_of(&mut fw, holder, "ha/Holder");
 
-    let taken = call_budgeted(fw.vm_mut(), holder_class, "take", "()I", vec![], hiso, 1_000_000);
+    let taken = call_budgeted(
+        fw.vm_mut(),
+        holder_class,
+        "take",
+        "()I",
+        vec![],
+        hiso,
+        1_000_000,
+    );
     assert_eq!(taken, CallResult::Done(Some(Value::Int(99))));
 
     let looper = spawn(fw.vm_mut(), registry, "attackLoop", "()V", vec![], piso);
     let _ = fw.vm_mut().run(Some(3_000_000));
 
     if mode == IsolationMode::Isolated {
-        fw.vm_mut().terminate_isolate(piso).expect("termination supported");
+        fw.vm_mut()
+            .terminate_isolate(piso)
+            .expect("termination supported");
         let _ = fw.vm_mut().run(Some(2_000_000));
         let loop_dead = fw.vm().thread(looper).unwrap().is_terminated();
         let use_after = call_budgeted(

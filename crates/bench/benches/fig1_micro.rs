@@ -1,10 +1,13 @@
 //! Criterion bench for **Figure 1**: each micro-benchmark under both VM
 //! configurations; the ratio between the paired entries is the figure's
-//! y-axis.
+//! y-axis. A second group compares the raw and quickened execution
+//! engines on identical bytecode (the dispatch ablation).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ijvm_bench::micro::{run_once, Micro};
-use ijvm_core::vm::IsolationMode;
+use ijvm_bench::engine::run_arith_field;
+use ijvm_bench::micro::{run_once, run_once_with, Micro};
+use ijvm_core::engine::EngineKind;
+use ijvm_core::vm::{IsolationMode, VmOptions};
 
 fn bench_micros(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_micro");
@@ -13,9 +16,10 @@ fn bench_micros(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     let iterations = 50_000;
     for micro in Micro::ALL {
-        for (label, mode) in
-            [("baseline", IsolationMode::Shared), ("ijvm", IsolationMode::Isolated)]
-        {
+        for (label, mode) in [
+            ("baseline", IsolationMode::Shared),
+            ("ijvm", IsolationMode::Isolated),
+        ] {
             group.bench_function(format!("{}/{label}", micro.name()), |b| {
                 b.iter(|| std::hint::black_box(run_once(micro, mode, iterations)))
             });
@@ -24,5 +28,33 @@ fn bench_micros(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_micros);
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_engine");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let iterations = 50_000;
+    for (label, engine) in [
+        ("raw", EngineKind::Raw),
+        ("quickened", EngineKind::Quickened),
+    ] {
+        group.bench_function(format!("arith+field loop/{label}"), |b| {
+            b.iter(|| std::hint::black_box(run_arith_field(engine, iterations)))
+        });
+        for micro in Micro::ALL {
+            group.bench_function(format!("{}/{label}", micro.name()), |b| {
+                b.iter(|| {
+                    std::hint::black_box(run_once_with(
+                        micro,
+                        VmOptions::isolated().with_engine(engine),
+                        iterations,
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_micros, bench_engines);
 criterion_main!(benches);

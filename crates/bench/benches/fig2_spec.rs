@@ -15,9 +15,10 @@ fn bench_spec(c: &mut Criterion) {
         // not hours (the fig2 binary runs the full-scale versions).
         let mut small = w;
         small.scale = 1;
-        for (label, mode) in
-            [("baseline", IsolationMode::Shared), ("ijvm", IsolationMode::Isolated)]
-        {
+        for (label, mode) in [
+            ("baseline", IsolationMode::Shared),
+            ("ijvm", IsolationMode::Isolated),
+        ] {
             group.bench_function(format!("{}/{label}", small.name), |b| {
                 b.iter(|| std::hint::black_box(run_workload(&small, mode).result))
             });

@@ -28,7 +28,9 @@ fn median_of(mut xs: Vec<f64>) -> f64 {
 fn main() {
     let iterations = 250_000;
     let rounds = 5;
-    println!("Ablation — isolation vs accounting cost ({iterations} iterations, median of {rounds})\n");
+    println!(
+        "Ablation — isolation vs accounting cost ({iterations} iterations, median of {rounds})\n"
+    );
     println!(
         "{:<22} {:>12} {:>18} {:>12}",
         "benchmark", "baseline", "isolated-no-acct", "full I-JVM"

@@ -1,0 +1,22 @@
+//! A/B comparison of the execution engines: the raw byte interpreter vs
+//! the quickened pre-decoded dispatch, on identical bytecode and VM
+//! configuration. Writes `BENCH_engine.json` next to the working
+//! directory for downstream tooling.
+
+use ijvm_bench::engine::{engine_comparison, print_engine_table, to_json};
+
+fn main() {
+    let iterations = 200_000;
+    let runs = 5;
+    println!(
+        "Execution engine comparison — raw vs quickened ({iterations} iterations, best of {runs})"
+    );
+    let rows = engine_comparison(iterations, runs);
+    print_engine_table(&rows);
+    let json = to_json(&rows, iterations);
+    let path = "BENCH_engine.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}

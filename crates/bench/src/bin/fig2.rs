@@ -38,6 +38,9 @@ fn main() {
         });
     }
     print_overhead_table("Figure 2", &rows);
-    let max = rows.iter().map(|r| r.overhead_pct()).fold(f64::MIN, f64::max);
+    let max = rows
+        .iter()
+        .map(|r| r.overhead_pct())
+        .fold(f64::MIN, f64::max);
     println!("\nmax overhead: {max:.1}%");
 }

@@ -9,7 +9,10 @@ use ijvm_core::vm::IsolationMode;
 
 fn main() {
     println!("Robustness matrix (section 4.3): attacks A1..A8\n");
-    println!("{:<4} {:<44} {:<12} {:<12}", "id", "attack", "baseline", "I-JVM");
+    println!(
+        "{:<4} {:<44} {:<12} {:<12}",
+        "id", "attack", "baseline", "I-JVM"
+    );
     let mut baseline_ok = true;
     let mut ijvm_ok = true;
     for id in AttackId::ALL {
@@ -21,8 +24,16 @@ fn main() {
             "{:<4} {:<44} {:<12} {:<12}",
             id.label(),
             id.description(),
-            if shared.compromised { "COMPROMISED" } else { "survived?!" },
-            if isolated.compromised { "BREACHED?!" } else { "contained" },
+            if shared.compromised {
+                "COMPROMISED"
+            } else {
+                "survived?!"
+            },
+            if isolated.compromised {
+                "BREACHED?!"
+            } else {
+                "contained"
+            },
         );
     }
     println!();

@@ -1,0 +1,196 @@
+//! Raw-vs-quickened execution-engine comparison.
+//!
+//! Runs the Figure 1 micro-benchmarks (plus a field-access loop) on the
+//! same VM configuration with only [`EngineKind`] varied, so the measured
+//! delta is exactly the dispatch cost the quickened engine removes:
+//! per-instruction opcode table lookups, operand re-reads, branch-offset
+//! arithmetic, and constant-pool indirections.
+
+use crate::micro::{run_once_with, Micro};
+use ijvm_core::engine::EngineKind;
+use ijvm_core::vm::VmOptions;
+use std::time::Duration;
+
+/// One benchmark measured under both engines.
+#[derive(Debug, Clone)]
+pub struct EngineRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Wall time under [`EngineKind::Raw`].
+    pub raw: Duration,
+    /// Wall time under [`EngineKind::Quickened`].
+    pub quickened: Duration,
+    /// Guest instructions executed (identical under both engines).
+    pub insns: u64,
+}
+
+impl EngineRow {
+    /// How many times faster the quickened engine runs (>1 is faster).
+    pub fn speedup(&self) -> f64 {
+        self.raw.as_secs_f64() / self.quickened.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The benchmarks compared: the four Figure 1 micros. Their loop bodies
+/// cover calls, allocation, instance-field access (`Remote.step` reads
+/// `this`), and static access.
+pub const ENGINE_MICROS: [Micro; 4] = Micro::ALL;
+
+/// Measures one micro under both engines, alternating `runs` rounds and
+/// keeping the fastest time per engine (minimum is robust against
+/// scheduler and frequency noise).
+pub fn compare_engines(micro: Micro, iterations: i32, runs: u32) -> EngineRow {
+    let mut best_raw = Duration::MAX;
+    let mut best_quick = Duration::MAX;
+    let mut insns = 0;
+    for _ in 0..runs.max(1) {
+        let (r, ri) = run_once_with(
+            micro,
+            VmOptions::isolated().with_engine(EngineKind::Raw),
+            iterations,
+        );
+        let (q, qi) = run_once_with(
+            micro,
+            VmOptions::isolated().with_engine(EngineKind::Quickened),
+            iterations,
+        );
+        assert_eq!(ri, qi, "engines must execute identical instruction streams");
+        best_raw = best_raw.min(r);
+        best_quick = best_quick.min(q);
+        insns = qi;
+    }
+    EngineRow {
+        name: micro.name(),
+        raw: best_raw,
+        quickened: best_quick,
+        insns,
+    }
+}
+
+/// The acceptance workload for the quickened engine: a tight loop of
+/// instance-field reads/writes and integer arithmetic, where dispatch
+/// overhead dominates (no allocation, no calls, no statics).
+const ARITH_FIELD_SRC: &str = r#"
+    class Vec2 {
+        int x;
+        int y;
+        Vec2(int x, int y) { this.x = x; this.y = y; }
+    }
+    class ArithField {
+        static int spin(int n) {
+            Vec2 v = new Vec2(1, 2);
+            int acc = 0;
+            for (int i = 0; i < n; i++) {
+                v.x = v.x + i;
+                v.y = v.y ^ (v.x >> 3);
+                acc += (v.x & 65535) + (v.y % 8191) - i * 3;
+            }
+            return acc;
+        }
+    }
+"#;
+
+/// Runs the arithmetic/field-access loop once under `engine`, returning
+/// wall time and guest instructions (after a warm-up run that pays class
+/// loading, pre-decoding and quickening).
+pub fn run_arith_field(engine: EngineKind, iterations: i32) -> (Duration, u64) {
+    use ijvm_core::value::Value;
+    let mut vm = ijvm_jsl::boot(VmOptions::isolated().with_engine(engine));
+    let iso = vm.create_isolate("bench");
+    let loader = vm.loader_of(iso).unwrap();
+    let compiled =
+        ijvm_minijava::compile_to_bytes(ARITH_FIELD_SRC, &ijvm_minijava::CompileEnv::new())
+            .unwrap();
+    for (name, bytes) in compiled {
+        vm.add_class_bytes(loader, &name, bytes);
+    }
+    let class = vm.load_class(loader, "ArithField").unwrap();
+    vm.call_static_as(
+        class,
+        "spin",
+        "(I)I",
+        vec![Value::Int((iterations / 10).max(8))],
+        iso,
+    )
+    .expect("warmup run");
+    let before = vm.vclock();
+    let start = std::time::Instant::now();
+    vm.call_static_as(class, "spin", "(I)I", vec![Value::Int(iterations)], iso)
+        .expect("measured run");
+    (start.elapsed(), vm.vclock() - before)
+}
+
+/// Measures the arithmetic/field-access loop under both engines.
+pub fn compare_arith_field(iterations: i32, runs: u32) -> EngineRow {
+    let mut best_raw = Duration::MAX;
+    let mut best_quick = Duration::MAX;
+    let mut insns = 0;
+    for _ in 0..runs.max(1) {
+        let (r, ri) = run_arith_field(EngineKind::Raw, iterations);
+        let (q, qi) = run_arith_field(EngineKind::Quickened, iterations);
+        assert_eq!(ri, qi, "engines must execute identical instruction streams");
+        best_raw = best_raw.min(r);
+        best_quick = best_quick.min(q);
+        insns = qi;
+    }
+    EngineRow {
+        name: "arith+field loop",
+        raw: best_raw,
+        quickened: best_quick,
+        insns,
+    }
+}
+
+/// The full engine-comparison dataset: the arithmetic/field-access loop
+/// first, then the four Figure 1 micros.
+pub fn engine_comparison(iterations: i32, runs: u32) -> Vec<EngineRow> {
+    let mut rows = vec![compare_arith_field(iterations, runs)];
+    rows.extend(
+        ENGINE_MICROS
+            .iter()
+            .map(|&m| compare_engines(m, iterations, runs)),
+    );
+    rows
+}
+
+/// Pretty-prints the comparison.
+pub fn print_engine_table(rows: &[EngineRow]) {
+    println!("\n== Execution engine: raw vs quickened (Isolated mode) ==");
+    println!(
+        "{:<22} {:>14} {:>14} {:>10} {:>14}",
+        "benchmark", "raw", "quickened", "speedup", "guest insns"
+    );
+    for r in rows {
+        println!(
+            "{:<22} {:>14} {:>14} {:>9.2}x {:>14}",
+            r.name,
+            format!("{:.3?}", r.raw),
+            format!("{:.3?}", r.quickened),
+            r.speedup(),
+            r.insns,
+        );
+    }
+}
+
+/// Serializes the rows as the `BENCH_engine.json` document (hand-rolled:
+/// the workspace builds offline, without serde).
+pub fn to_json(rows: &[EngineRow], iterations: i32) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"engine_raw_vs_quickened\",\n");
+    out.push_str("  \"mode\": \"Isolated\",\n");
+    out.push_str(&format!("  \"iterations\": {iterations},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"raw_ns\": {}, \"quickened_ns\": {}, \"speedup\": {:.4}, \"guest_insns\": {}}}{}\n",
+            r.name,
+            r.raw.as_nanos(),
+            r.quickened.as_nanos(),
+            r.speedup(),
+            r.insns,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

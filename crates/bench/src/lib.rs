@@ -15,6 +15,7 @@
 //! runs identical bytecode under both VM configurations, so the reported
 //! overhead isolates exactly the cost the paper attributes to I-JVM.
 
+pub mod engine;
 pub mod micro;
 
 use ijvm_core::vm::IsolationMode;

@@ -149,7 +149,12 @@ fn prepare_with(micro: Micro, options: ijvm_core::vm::VmOptions, iterations: i32
                 _ => "Counter",
             };
             let entry = vm.load_class(loader, entry_name).unwrap();
-            Prepared { vm, entry, iso, args: vec![Value::Int(iterations)] }
+            Prepared {
+                vm,
+                entry,
+                iso,
+                args: vec![Value::Int(iterations)],
+            }
         }
         Micro::InterIsolateCall => {
             // Callee bundle.
@@ -174,7 +179,9 @@ fn prepare_with(micro: Micro, options: ijvm_core::vm::VmOptions, iterations: i32
                 .call_static_as(factory, "make", "()LRemote;", vec![], callee_iso)
                 .unwrap()
                 .unwrap();
-            let Value::Ref(remote_ref) = remote else { panic!("factory returned {remote}") };
+            let Value::Ref(remote_ref) = remote else {
+                panic!("factory returned {remote}")
+            };
             vm.pin(remote_ref);
             let entry = vm.load_class(loader, "Driver").unwrap();
             Prepared {
@@ -212,19 +219,17 @@ pub fn run_once_with(
     let mut p = prepare_with(micro, options, iterations);
     let _ = mode;
     // Warm-up.
-    p.vm
-        .call_static_as(
-            p.entry,
-            "spin",
-            descriptor(micro),
-            warmup_args(&p.args),
-            p.iso,
-        )
-        .expect("warmup run");
+    p.vm.call_static_as(
+        p.entry,
+        "spin",
+        descriptor(micro),
+        warmup_args(&p.args),
+        p.iso,
+    )
+    .expect("warmup run");
     let insns_before = p.vm.vclock();
     let start = Instant::now();
-    p.vm
-        .call_static_as(p.entry, "spin", descriptor(micro), p.args.clone(), p.iso)
+    p.vm.call_static_as(p.entry, "spin", descriptor(micro), p.args.clone(), p.iso)
         .expect("measured run");
     (start.elapsed(), p.vm.vclock() - insns_before)
 }
@@ -303,14 +308,12 @@ mod tests {
     #[test]
     fn inter_isolate_calls_migrate_only_in_isolated_mode() {
         let mut p = prepare(Micro::InterIsolateCall, IsolationMode::Isolated, 100);
-        p.vm
-            .call_static_as(p.entry, "spin", "(LRemote;I)I", p.args.clone(), p.iso)
+        p.vm.call_static_as(p.entry, "spin", "(LRemote;I)I", p.args.clone(), p.iso)
             .unwrap();
         assert!(p.vm.migrations() >= 200);
 
         let mut p = prepare(Micro::InterIsolateCall, IsolationMode::Shared, 100);
-        p.vm
-            .call_static_as(p.entry, "spin", "(LRemote;I)I", p.args.clone(), p.iso)
+        p.vm.call_static_as(p.entry, "spin", "(LRemote;I)I", p.args.clone(), p.iso)
             .unwrap();
         assert_eq!(p.vm.migrations(), 0);
     }

@@ -56,7 +56,10 @@ impl ClassBuilder {
 
     /// Starts the root class (`java/lang/Object`), which has no superclass.
     pub fn new_root(name: &str, access: AccessFlags) -> ClassBuilder {
-        ClassBuilder { super_name: None, ..ClassBuilder::new(name, "", access) }
+        ClassBuilder {
+            super_name: None,
+            ..ClassBuilder::new(name, "", access)
+        }
     }
 
     /// Starts an interface (implies the `INTERFACE` and `ABSTRACT` flags).
@@ -78,7 +81,11 @@ impl ClassBuilder {
     pub fn field(&mut self, name: &str, descriptor: &str, access: AccessFlags) -> &mut Self {
         let name = self.pool.utf8(name).expect("pool limit");
         let descriptor = self.pool.utf8(descriptor).expect("pool limit");
-        self.fields.push(FieldInfo { access, name, descriptor });
+        self.fields.push(FieldInfo {
+            access,
+            name,
+            descriptor,
+        });
         self
     }
 
@@ -87,7 +94,12 @@ impl ClassBuilder {
     /// `max_locals` is initialized from the parameter count (plus the
     /// receiver for instance methods); grow it with
     /// [`MethodBuilder::alloc_local`] or [`MethodBuilder::ensure_locals`].
-    pub fn method(&mut self, name: &str, descriptor: &str, access: AccessFlags) -> MethodBuilder<'_> {
+    pub fn method(
+        &mut self,
+        name: &str,
+        descriptor: &str,
+        access: AccessFlags,
+    ) -> MethodBuilder<'_> {
         let desc = MethodDescriptor::parse(descriptor)
             .unwrap_or_else(|e| panic!("bad method descriptor {descriptor:?}: {e}"));
         let mut max_locals = desc.param_slots() as u16;
@@ -107,7 +119,12 @@ impl ClassBuilder {
     }
 
     /// Declares a native method (no bytecode body; bound by the host VM).
-    pub fn native_method(&mut self, name: &str, descriptor: &str, access: AccessFlags) -> &mut Self {
+    pub fn native_method(
+        &mut self,
+        name: &str,
+        descriptor: &str,
+        access: AccessFlags,
+    ) -> &mut Self {
         let name = self.pool.utf8(name).expect("pool limit");
         let descriptor_idx = self.pool.utf8(descriptor).expect("pool limit");
         self.methods.push(MethodInfo {
@@ -120,7 +137,12 @@ impl ClassBuilder {
     }
 
     /// Declares an abstract method (interfaces use this).
-    pub fn abstract_method(&mut self, name: &str, descriptor: &str, access: AccessFlags) -> &mut Self {
+    pub fn abstract_method(
+        &mut self,
+        name: &str,
+        descriptor: &str,
+        access: AccessFlags,
+    ) -> &mut Self {
         let name = self.pool.utf8(name).expect("pool limit");
         let descriptor_idx = self.pool.utf8(descriptor).expect("pool limit");
         self.methods.push(MethodInfo {
@@ -400,50 +422,81 @@ impl MethodBuilder<'_> {
 
     /// `getstatic class.name : descriptor`
     pub fn getstatic(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
-        let idx = self.cb.pool.field_ref(class, name, descriptor).expect("pool limit");
+        let idx = self
+            .cb
+            .pool
+            .field_ref(class, name, descriptor)
+            .expect("pool limit");
         self.insns.push(Instruction::Field(Opcode::Getstatic, idx));
         self
     }
 
     /// `putstatic class.name : descriptor`
     pub fn putstatic(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
-        let idx = self.cb.pool.field_ref(class, name, descriptor).expect("pool limit");
+        let idx = self
+            .cb
+            .pool
+            .field_ref(class, name, descriptor)
+            .expect("pool limit");
         self.insns.push(Instruction::Field(Opcode::Putstatic, idx));
         self
     }
 
     /// `getfield class.name : descriptor`
     pub fn getfield(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
-        let idx = self.cb.pool.field_ref(class, name, descriptor).expect("pool limit");
+        let idx = self
+            .cb
+            .pool
+            .field_ref(class, name, descriptor)
+            .expect("pool limit");
         self.insns.push(Instruction::Field(Opcode::Getfield, idx));
         self
     }
 
     /// `putfield class.name : descriptor`
     pub fn putfield(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
-        let idx = self.cb.pool.field_ref(class, name, descriptor).expect("pool limit");
+        let idx = self
+            .cb
+            .pool
+            .field_ref(class, name, descriptor)
+            .expect("pool limit");
         self.insns.push(Instruction::Field(Opcode::Putfield, idx));
         self
     }
 
     /// `invokevirtual class.name descriptor`
     pub fn invokevirtual(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
-        let idx = self.cb.pool.method_ref(class, name, descriptor).expect("pool limit");
-        self.insns.push(Instruction::Invoke(Opcode::Invokevirtual, idx));
+        let idx = self
+            .cb
+            .pool
+            .method_ref(class, name, descriptor)
+            .expect("pool limit");
+        self.insns
+            .push(Instruction::Invoke(Opcode::Invokevirtual, idx));
         self
     }
 
     /// `invokespecial class.name descriptor` (constructors, super calls).
     pub fn invokespecial(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
-        let idx = self.cb.pool.method_ref(class, name, descriptor).expect("pool limit");
-        self.insns.push(Instruction::Invoke(Opcode::Invokespecial, idx));
+        let idx = self
+            .cb
+            .pool
+            .method_ref(class, name, descriptor)
+            .expect("pool limit");
+        self.insns
+            .push(Instruction::Invoke(Opcode::Invokespecial, idx));
         self
     }
 
     /// `invokestatic class.name descriptor`
     pub fn invokestatic(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
-        let idx = self.cb.pool.method_ref(class, name, descriptor).expect("pool limit");
-        self.insns.push(Instruction::Invoke(Opcode::Invokestatic, idx));
+        let idx = self
+            .cb
+            .pool
+            .method_ref(class, name, descriptor)
+            .expect("pool limit");
+        self.insns
+            .push(Instruction::Invoke(Opcode::Invokestatic, idx));
         self
     }
 
@@ -454,7 +507,8 @@ impl MethodBuilder<'_> {
             .pool
             .interface_method_ref(class, name, descriptor)
             .expect("pool limit");
-        self.insns.push(Instruction::Invoke(Opcode::Invokeinterface, idx));
+        self.insns
+            .push(Instruction::Invoke(Opcode::Invokeinterface, idx));
         self
     }
 
@@ -519,11 +573,21 @@ impl MethodBuilder<'_> {
     /// Assembles the method: resolves labels, encodes bytecode, computes
     /// `max_stack`, and appends the method to the class.
     pub fn done(self) -> Result<()> {
-        let MethodBuilder { cb, name, descriptor, access, insns, labels, handlers, max_locals } =
-            self;
+        let MethodBuilder {
+            cb,
+            name,
+            descriptor,
+            access,
+            insns,
+            labels,
+            handlers,
+            max_locals,
+        } = self;
 
         if insns.is_empty() {
-            return Err(ClassFileError::Builder(format!("method {name} has no code")));
+            return Err(ClassFileError::Builder(format!(
+                "method {name} has no code"
+            )));
         }
 
         // Pass 1: compute the byte offset of every instruction.
@@ -544,7 +608,11 @@ impl MethodBuilder<'_> {
                 .copied()
                 .flatten()
                 .ok_or_else(|| ClassFileError::Builder(format!("unbound label L{label_id}")))?;
-            Ok(if idx == insns.len() { code_len } else { offsets[idx] })
+            Ok(if idx == insns.len() {
+                code_len
+            } else {
+                offsets[idx]
+            })
         };
 
         // Pass 2: encode with resolved targets.
@@ -578,7 +646,12 @@ impl MethodBuilder<'_> {
             access,
             name: name_idx,
             descriptor: desc_idx,
-            code: Some(Code { max_stack, max_locals, code, exception_table }),
+            code: Some(Code {
+                max_stack,
+                max_locals,
+                code,
+                exception_table,
+            }),
         });
         Ok(())
     }
@@ -643,8 +716,10 @@ fn encode(
 ) -> Result<()> {
     let branch16 = |target: u32| -> Result<[u8; 2]> {
         let off = target as i64 - pc as i64;
-        let off16 = i16::try_from(off)
-            .map_err(|_| ClassFileError::BadBranchTarget { at: pc, target: target as i64 })?;
+        let off16 = i16::try_from(off).map_err(|_| ClassFileError::BadBranchTarget {
+            at: pc,
+            target: target as i64,
+        })?;
         Ok((off16 as u16).to_be_bytes())
     };
     match insn {
@@ -707,7 +782,11 @@ fn encode(
             out.push(op.as_byte());
             out.extend_from_slice(&branch16(target)?);
         }
-        Instruction::Tableswitch { default, low, targets } => {
+        Instruction::Tableswitch {
+            default,
+            low,
+            targets,
+        } => {
             out.push(Opcode::Tableswitch.as_byte());
             for _ in 0..pad_after(pc) {
                 out.push(0);
@@ -797,10 +876,22 @@ pub fn stack_effect(insn: &Instruction, pool: &ConstPool) -> Result<(u16, u16)> 
             | O::Fconst2
             | O::Dconst0
             | O::Dconst1 => (0, 1),
-            O::Iaload | O::Laload | O::Faload | O::Daload | O::Aaload | O::Baload | O::Caload
+            O::Iaload
+            | O::Laload
+            | O::Faload
+            | O::Daload
+            | O::Aaload
+            | O::Baload
+            | O::Caload
             | O::Saload => (2, 1),
-            O::Iastore | O::Lastore | O::Fastore | O::Dastore | O::Aastore | O::Bastore
-            | O::Castore | O::Sastore => (3, 0),
+            O::Iastore
+            | O::Lastore
+            | O::Fastore
+            | O::Dastore
+            | O::Aastore
+            | O::Bastore
+            | O::Castore
+            | O::Sastore => (3, 0),
             O::Pop => (1, 0),
             O::Pop2 => (2, 0),
             O::Dup => (1, 2),
@@ -810,15 +901,54 @@ pub fn stack_effect(insn: &Instruction, pool: &ConstPool) -> Result<(u16, u16)> 
             O::Dup2X1 => (3, 5),
             O::Dup2X2 => (4, 6),
             O::Swap => (2, 2),
-            O::Iadd | O::Ladd | O::Fadd | O::Dadd | O::Isub | O::Lsub | O::Fsub | O::Dsub
-            | O::Imul | O::Lmul | O::Fmul | O::Dmul | O::Idiv | O::Ldiv | O::Fdiv | O::Ddiv
-            | O::Irem | O::Lrem | O::Frem | O::Drem | O::Ishl | O::Lshl | O::Ishr | O::Lshr
-            | O::Iushr | O::Lushr | O::Iand | O::Land | O::Ior | O::Lor | O::Ixor | O::Lxor => {
-                (2, 1)
-            }
+            O::Iadd
+            | O::Ladd
+            | O::Fadd
+            | O::Dadd
+            | O::Isub
+            | O::Lsub
+            | O::Fsub
+            | O::Dsub
+            | O::Imul
+            | O::Lmul
+            | O::Fmul
+            | O::Dmul
+            | O::Idiv
+            | O::Ldiv
+            | O::Fdiv
+            | O::Ddiv
+            | O::Irem
+            | O::Lrem
+            | O::Frem
+            | O::Drem
+            | O::Ishl
+            | O::Lshl
+            | O::Ishr
+            | O::Lshr
+            | O::Iushr
+            | O::Lushr
+            | O::Iand
+            | O::Land
+            | O::Ior
+            | O::Lor
+            | O::Ixor
+            | O::Lxor => (2, 1),
             O::Ineg | O::Lneg | O::Fneg | O::Dneg => (1, 1),
-            O::I2l | O::I2f | O::I2d | O::L2i | O::L2f | O::L2d | O::F2i | O::F2l | O::F2d
-            | O::D2i | O::D2l | O::D2f | O::I2b | O::I2c | O::I2s => (1, 1),
+            O::I2l
+            | O::I2f
+            | O::I2d
+            | O::L2i
+            | O::L2f
+            | O::L2d
+            | O::F2i
+            | O::F2l
+            | O::F2d
+            | O::D2i
+            | O::D2l
+            | O::D2f
+            | O::I2b
+            | O::I2c
+            | O::I2s => (1, 1),
             O::Lcmp | O::Fcmpl | O::Fcmpg | O::Dcmpl | O::Dcmpg => (2, 1),
             O::Ireturn | O::Lreturn | O::Freturn | O::Dreturn | O::Areturn => (1, 0),
             O::Return => (0, 0),
@@ -842,7 +972,13 @@ pub fn stack_effect(insn: &Instruction, pool: &ConstPool) -> Result<(u16, u16)> 
         Instruction::Iinc { .. } => (0, 0),
         Instruction::Branch(op, _) => match op {
             O::Goto => (0, 0),
-            O::Ifeq | O::Ifne | O::Iflt | O::Ifge | O::Ifgt | O::Ifle | O::Ifnull
+            O::Ifeq
+            | O::Ifne
+            | O::Iflt
+            | O::Ifge
+            | O::Ifgt
+            | O::Ifle
+            | O::Ifnull
             | O::Ifnonnull => (1, 0),
             _ => (2, 0), // if_icmp*, if_acmp*
         },
@@ -885,13 +1021,19 @@ pub fn compute_max_stack(
     method_name: &str,
 ) -> Result<u16> {
     let insns = crate::instruction::decode_all(code)?;
-    let index_of: std::collections::HashMap<u32, usize> =
-        insns.iter().enumerate().map(|(i, (off, _))| (*off, i)).collect();
+    let index_of: std::collections::HashMap<u32, usize> = insns
+        .iter()
+        .enumerate()
+        .map(|(i, (off, _))| (*off, i))
+        .collect();
     let lookup = |off: u32| -> Result<usize> {
-        index_of.get(&off).copied().ok_or(ClassFileError::BadBranchTarget {
-            at: off,
-            target: off as i64,
-        })
+        index_of
+            .get(&off)
+            .copied()
+            .ok_or(ClassFileError::BadBranchTarget {
+                at: off,
+                target: off as i64,
+            })
     };
 
     let mut depth_in: Vec<Option<i32>> = vec![None; insns.len()];
@@ -926,13 +1068,13 @@ pub fn compute_max_stack(
         match insn {
             Instruction::Branch(op, target) => {
                 work.push((lookup(*target)?, after));
-                if *op != Opcode::Goto {
-                    if i + 1 < insns.len() {
-                        work.push((i + 1, after));
-                    }
+                if *op != Opcode::Goto && i + 1 < insns.len() {
+                    work.push((i + 1, after));
                 }
             }
-            Instruction::Tableswitch { default, targets, .. } => {
+            Instruction::Tableswitch {
+                default, targets, ..
+            } => {
                 work.push((lookup(*default)?, after));
                 for t in targets {
                     work.push((lookup(*t)?, after));
@@ -1012,7 +1154,12 @@ mod tests {
         m.op(Opcode::Ireturn);
         m.done().unwrap();
         let c = cb.build().unwrap();
-        let code = c.find_method("count", "(I)I").unwrap().code.as_ref().unwrap();
+        let code = c
+            .find_method("count", "(I)I")
+            .unwrap()
+            .code
+            .as_ref()
+            .unwrap();
         assert!(code.max_stack >= 2);
         // Round-trips through the decoder.
         crate::instruction::decode_all(&code.code).unwrap();

@@ -120,7 +120,10 @@ impl ClassFile {
     /// Looks up a declared method by name and descriptor.
     pub fn find_method(&self, name: &str, descriptor: &str) -> Option<&MethodInfo> {
         self.methods.iter().find(|m| {
-            self.pool.utf8_at(m.name).map(|n| n == name).unwrap_or(false)
+            self.pool
+                .utf8_at(m.name)
+                .map(|n| n == name)
+                .unwrap_or(false)
                 && self
                     .pool
                     .utf8_at(m.descriptor)
@@ -131,9 +134,12 @@ impl ClassFile {
 
     /// Looks up a declared field by name.
     pub fn find_field(&self, name: &str) -> Option<&FieldInfo> {
-        self.fields
-            .iter()
-            .find(|f| self.pool.utf8_at(f.name).map(|n| n == name).unwrap_or(false))
+        self.fields.iter().find(|f| {
+            self.pool
+                .utf8_at(f.name)
+                .map(|n| n == name)
+                .unwrap_or(false)
+        })
     }
 
     /// Basic structural sanity checks shared by the reader and the builder:
@@ -225,12 +231,17 @@ mod tests {
     #[test]
     fn validate_rejects_bad_exception_range() {
         let mut c = tiny_class();
-        c.methods[0].code.as_mut().unwrap().exception_table.push(ExceptionTableEntry {
-            start_pc: 5,
-            end_pc: 2,
-            handler_pc: 0,
-            catch_type: 0,
-        });
+        c.methods[0]
+            .code
+            .as_mut()
+            .unwrap()
+            .exception_table
+            .push(ExceptionTableEntry {
+                start_pc: 5,
+                end_pc: 2,
+                handler_pc: 0,
+                catch_type: 0,
+            });
         assert!(c.validate().is_err());
     }
 

@@ -41,11 +41,20 @@ pub enum ConstEntry {
     /// String literal; payload is a `Utf8` index.
     String { utf8: CpIndex },
     /// Symbolic reference to a field.
-    FieldRef { class: CpIndex, name_and_type: CpIndex },
+    FieldRef {
+        class: CpIndex,
+        name_and_type: CpIndex,
+    },
     /// Symbolic reference to a class method.
-    MethodRef { class: CpIndex, name_and_type: CpIndex },
+    MethodRef {
+        class: CpIndex,
+        name_and_type: CpIndex,
+    },
     /// Symbolic reference to an interface method.
-    InterfaceMethodRef { class: CpIndex, name_and_type: CpIndex },
+    InterfaceMethodRef {
+        class: CpIndex,
+        name_and_type: CpIndex,
+    },
     /// Pair of name and descriptor `Utf8` indices.
     NameAndType { name: CpIndex, descriptor: CpIndex },
 }
@@ -124,11 +133,17 @@ impl ConstPool {
     /// Looks up an entry; index 0 and out-of-range indices return an error.
     pub fn get(&self, index: CpIndex) -> Result<&ConstEntry> {
         if index == 0 {
-            return Err(ClassFileError::BadConstantIndex { index, expected: "non-zero entry" });
+            return Err(ClassFileError::BadConstantIndex {
+                index,
+                expected: "non-zero entry",
+            });
         }
         self.entries
             .get(index as usize - 1)
-            .ok_or(ClassFileError::BadConstantIndex { index, expected: "in-range entry" })
+            .ok_or(ClassFileError::BadConstantIndex {
+                index,
+                expected: "in-range entry",
+            })
     }
 
     /// Interns a UTF-8 constant, returning an existing slot when possible.
@@ -143,7 +158,10 @@ impl ConstPool {
 
     /// Interns an integer constant.
     pub fn integer(&mut self, v: i32) -> Result<CpIndex> {
-        self.find_or_push(|e| matches!(e, ConstEntry::Integer(x) if *x == v), ConstEntry::Integer(v))
+        self.find_or_push(
+            |e| matches!(e, ConstEntry::Integer(x) if *x == v),
+            ConstEntry::Integer(v),
+        )
     }
 
     /// Interns a float constant (bitwise comparison).
@@ -156,7 +174,10 @@ impl ConstPool {
 
     /// Interns a long constant.
     pub fn long(&mut self, v: i64) -> Result<CpIndex> {
-        self.find_or_push(|e| matches!(e, ConstEntry::Long(x) if *x == v), ConstEntry::Long(v))
+        self.find_or_push(
+            |e| matches!(e, ConstEntry::Long(x) if *x == v),
+            ConstEntry::Long(v),
+        )
     }
 
     /// Interns a double constant (bitwise comparison).
@@ -207,7 +228,10 @@ impl ConstPool {
                 matches!(e, ConstEntry::FieldRef { class: c, name_and_type: n }
                          if *c == class && *n == nat)
             },
-            ConstEntry::FieldRef { class, name_and_type: nat },
+            ConstEntry::FieldRef {
+                class,
+                name_and_type: nat,
+            },
         )
     }
 
@@ -220,7 +244,10 @@ impl ConstPool {
                 matches!(e, ConstEntry::MethodRef { class: c, name_and_type: n }
                          if *c == class && *n == nat)
             },
-            ConstEntry::MethodRef { class, name_and_type: nat },
+            ConstEntry::MethodRef {
+                class,
+                name_and_type: nat,
+            },
         )
     }
 
@@ -238,7 +265,10 @@ impl ConstPool {
                 matches!(e, ConstEntry::InterfaceMethodRef { class: c, name_and_type: n }
                          if *c == class && *n == nat)
             },
-            ConstEntry::InterfaceMethodRef { class, name_and_type: nat },
+            ConstEntry::InterfaceMethodRef {
+                class,
+                name_and_type: nat,
+            },
         )
     }
 
@@ -261,7 +291,10 @@ impl ConstPool {
     pub fn utf8_at(&self, index: CpIndex) -> Result<&str> {
         match self.get(index)? {
             ConstEntry::Utf8(s) => Ok(s),
-            _ => Err(ClassFileError::BadConstantIndex { index, expected: "Utf8" }),
+            _ => Err(ClassFileError::BadConstantIndex {
+                index,
+                expected: "Utf8",
+            }),
         }
     }
 
@@ -269,7 +302,10 @@ impl ConstPool {
     pub fn class_name_at(&self, index: CpIndex) -> Result<&str> {
         match self.get(index)? {
             ConstEntry::Class { name } => self.utf8_at(*name),
-            _ => Err(ClassFileError::BadConstantIndex { index, expected: "Class" }),
+            _ => Err(ClassFileError::BadConstantIndex {
+                index,
+                expected: "Class",
+            }),
         }
     }
 
@@ -277,7 +313,10 @@ impl ConstPool {
     pub fn string_at(&self, index: CpIndex) -> Result<&str> {
         match self.get(index)? {
             ConstEntry::String { utf8 } => self.utf8_at(*utf8),
-            _ => Err(ClassFileError::BadConstantIndex { index, expected: "String" }),
+            _ => Err(ClassFileError::BadConstantIndex {
+                index,
+                expected: "String",
+            }),
         }
     }
 
@@ -287,7 +326,10 @@ impl ConstPool {
             ConstEntry::NameAndType { name, descriptor } => {
                 Ok((self.utf8_at(*name)?, self.utf8_at(*descriptor)?))
             }
-            _ => Err(ClassFileError::BadConstantIndex { index, expected: "NameAndType" }),
+            _ => Err(ClassFileError::BadConstantIndex {
+                index,
+                expected: "NameAndType",
+            }),
         }
     }
 
@@ -295,11 +337,23 @@ impl ConstPool {
     /// `(class_name, member_name, descriptor)`.
     pub fn member_ref_at(&self, index: CpIndex) -> Result<(&str, &str, &str)> {
         let (class, nat) = match self.get(index)? {
-            ConstEntry::FieldRef { class, name_and_type }
-            | ConstEntry::MethodRef { class, name_and_type }
-            | ConstEntry::InterfaceMethodRef { class, name_and_type } => (*class, *name_and_type),
+            ConstEntry::FieldRef {
+                class,
+                name_and_type,
+            }
+            | ConstEntry::MethodRef {
+                class,
+                name_and_type,
+            }
+            | ConstEntry::InterfaceMethodRef {
+                class,
+                name_and_type,
+            } => (*class, *name_and_type),
             _ => {
-                return Err(ClassFileError::BadConstantIndex { index, expected: "member ref" });
+                return Err(ClassFileError::BadConstantIndex {
+                    index,
+                    expected: "member ref",
+                });
             }
         };
         let class_name = self.class_name_at(class)?;

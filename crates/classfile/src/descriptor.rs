@@ -223,8 +223,14 @@ mod tests {
 
     #[test]
     fn parse_primitives() {
-        assert_eq!(FieldType::parse("I").unwrap(), FieldType::Base(BaseType::Int));
-        assert_eq!(FieldType::parse("D").unwrap(), FieldType::Base(BaseType::Double));
+        assert_eq!(
+            FieldType::parse("I").unwrap(),
+            FieldType::Base(BaseType::Int)
+        );
+        assert_eq!(
+            FieldType::parse("D").unwrap(),
+            FieldType::Base(BaseType::Double)
+        );
         assert!(FieldType::parse("Q").is_err());
         assert!(FieldType::parse("II").is_err());
     }

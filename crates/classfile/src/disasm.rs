@@ -32,8 +32,12 @@ pub fn disassemble(class: &ClassFile) -> Result<String> {
         let mdesc = class.pool.utf8_at(m.descriptor)?;
         writeln!(out, "  {} method {}{}", m.access, mname, mdesc).unwrap();
         if let Some(code) = &m.code {
-            writeln!(out, "    // max_stack={} max_locals={}", code.max_stack, code.max_locals)
-                .unwrap();
+            writeln!(
+                out,
+                "    // max_stack={} max_locals={}",
+                code.max_stack, code.max_locals
+            )
+            .unwrap();
             for (pc, insn) in decode_all(&code.code)? {
                 writeln!(out, "    {pc:5}: {}", format_insn(&insn, &class.pool)).unwrap();
             }
@@ -77,7 +81,11 @@ pub fn format_insn(insn: &Instruction, pool: &ConstPool) -> String {
         Instruction::Local(op, n) => format!("{} {n}", op.mnemonic()),
         Instruction::Iinc { local, delta } => format!("iinc {local}, {delta}"),
         Instruction::Branch(op, target) => format!("{} -> {target}", op.mnemonic()),
-        Instruction::Tableswitch { default, low, targets } => {
+        Instruction::Tableswitch {
+            default,
+            low,
+            targets,
+        } => {
             let mut s = format!("tableswitch low={low} default->{default}");
             for (i, t) in targets.iter().enumerate() {
                 write!(s, " {}->{}", *low as i64 + i as i64, t).unwrap();

@@ -86,7 +86,10 @@ impl Instruction {
 /// Decodes the instruction at `pc`, returning it and the offset of the next
 /// instruction.
 pub fn decode_at(code: &[u8], pc: u32) -> Result<(Instruction, u32)> {
-    let mut r = CodeCursor { code, pos: pc as usize };
+    let mut r = CodeCursor {
+        code,
+        pos: pc as usize,
+    };
     let at = pc;
     let op = Opcode::from_byte(r.u8("opcode")?)?;
     use Opcode as O;
@@ -95,10 +98,16 @@ pub fn decode_at(code: &[u8], pc: u32) -> Result<(Instruction, u32)> {
         O::Sipush => Instruction::Sipush(r.u16("sipush operand")? as i16),
         O::Ldc => Instruction::Ldc(r.u8("ldc index")? as CpIndex),
         O::LdcW | O::Ldc2W => Instruction::Ldc(r.u16("ldc_w index")?),
-        O::Iload | O::Lload | O::Fload | O::Dload | O::Aload | O::Istore | O::Lstore
-        | O::Fstore | O::Dstore | O::Astore => {
-            Instruction::Local(op, r.u8("local index")? as u16)
-        }
+        O::Iload
+        | O::Lload
+        | O::Fload
+        | O::Dload
+        | O::Aload
+        | O::Istore
+        | O::Lstore
+        | O::Fstore
+        | O::Dstore
+        | O::Astore => Instruction::Local(op, r.u8("local index")? as u16),
         O::Iload0 | O::Iload1 | O::Iload2 | O::Iload3 => {
             Instruction::Local(O::Iload, (op as u8 - O::Iload0 as u8) as u16)
         }
@@ -134,9 +143,23 @@ pub fn decode_at(code: &[u8], pc: u32) -> Result<(Instruction, u32)> {
             let delta = r.u8("iinc delta")? as i8 as i16;
             Instruction::Iinc { local, delta }
         }
-        O::Ifeq | O::Ifne | O::Iflt | O::Ifge | O::Ifgt | O::Ifle | O::IfIcmpeq | O::IfIcmpne
-        | O::IfIcmplt | O::IfIcmpge | O::IfIcmpgt | O::IfIcmple | O::IfAcmpeq | O::IfAcmpne
-        | O::Goto | O::Ifnull | O::Ifnonnull => {
+        O::Ifeq
+        | O::Ifne
+        | O::Iflt
+        | O::Ifge
+        | O::Ifgt
+        | O::Ifle
+        | O::IfIcmpeq
+        | O::IfIcmpne
+        | O::IfIcmplt
+        | O::IfIcmpge
+        | O::IfIcmpgt
+        | O::IfIcmple
+        | O::IfAcmpeq
+        | O::IfAcmpne
+        | O::Goto
+        | O::Ifnull
+        | O::Ifnonnull => {
             let off = r.u16("branch offset")? as i16 as i64;
             let target = at as i64 + off;
             let target = u32::try_from(target)
@@ -156,7 +179,11 @@ pub fn decode_at(code: &[u8], pc: u32) -> Result<(Instruction, u32)> {
             for _ in 0..n {
                 targets.push(r.branch32(at)?);
             }
-            Instruction::Tableswitch { default, low, targets }
+            Instruction::Tableswitch {
+                default,
+                low,
+                targets,
+            }
         }
         O::Lookupswitch => {
             r.align4(at)?;
@@ -240,7 +267,7 @@ impl CodeCursor<'_> {
         // Padding is relative to the offset *after* the opcode byte,
         // i.e. the next multiple of 4 after `switch_at + 1`.
         let _ = switch_at;
-        while self.pos % 4 != 0 {
+        while !self.pos.is_multiple_of(4) {
             self.u8("switch padding")?;
         }
         Ok(())
@@ -308,7 +335,13 @@ mod tests {
     fn decode_iinc() {
         let code = [0x84, 0x03, 0xff]; // iinc 3, -1
         let (insn, next) = decode_at(&code, 0).unwrap();
-        assert_eq!(insn, Instruction::Iinc { local: 3, delta: -1 });
+        assert_eq!(
+            insn,
+            Instruction::Iinc {
+                local: 3,
+                delta: -1
+            }
+        );
         assert_eq!(next, 3);
     }
 }

@@ -277,24 +277,202 @@ const fn build_table() -> [Option<Opcode>; 256] {
         };
     }
     set!(
-        t, Nop, AconstNull, IconstM1, Iconst0, Iconst1, Iconst2, Iconst3, Iconst4, Iconst5,
-        Lconst0, Lconst1, Fconst0, Fconst1, Fconst2, Dconst0, Dconst1, Bipush, Sipush, Ldc, LdcW,
-        Ldc2W, Iload, Lload, Fload, Dload, Aload, Iload0, Iload1, Iload2, Iload3, Lload0, Lload1,
-        Lload2, Lload3, Fload0, Fload1, Fload2, Fload3, Dload0, Dload1, Dload2, Dload3, Aload0,
-        Aload1, Aload2, Aload3, Iaload, Laload, Faload, Daload, Aaload, Baload, Caload, Saload,
-        Istore, Lstore, Fstore, Dstore, Astore, Istore0, Istore1, Istore2, Istore3, Lstore0,
-        Lstore1, Lstore2, Lstore3, Fstore0, Fstore1, Fstore2, Fstore3, Dstore0, Dstore1, Dstore2,
-        Dstore3, Astore0, Astore1, Astore2, Astore3, Iastore, Lastore, Fastore, Dastore, Aastore,
-        Bastore, Castore, Sastore, Pop, Pop2, Dup, DupX1, DupX2, Dup2, Dup2X1, Dup2X2, Swap, Iadd,
-        Ladd, Fadd, Dadd, Isub, Lsub, Fsub, Dsub, Imul, Lmul, Fmul, Dmul, Idiv, Ldiv, Fdiv, Ddiv,
-        Irem, Lrem, Frem, Drem, Ineg, Lneg, Fneg, Dneg, Ishl, Lshl, Ishr, Lshr, Iushr, Lushr,
-        Iand, Land, Ior, Lor, Ixor, Lxor, Iinc, I2l, I2f, I2d, L2i, L2f, L2d, F2i, F2l, F2d, D2i,
-        D2l, D2f, I2b, I2c, I2s, Lcmp, Fcmpl, Fcmpg, Dcmpl, Dcmpg, Ifeq, Ifne, Iflt, Ifge, Ifgt,
-        Ifle, IfIcmpeq, IfIcmpne, IfIcmplt, IfIcmpge, IfIcmpgt, IfIcmple, IfAcmpeq, IfAcmpne,
-        Goto, Tableswitch, Lookupswitch, Ireturn, Lreturn, Freturn, Dreturn, Areturn, Return,
-        Getstatic, Putstatic, Getfield, Putfield, Invokevirtual, Invokespecial, Invokestatic,
-        Invokeinterface, New, Newarray, Anewarray, Arraylength, Athrow, Checkcast, Instanceof,
-        Monitorenter, Monitorexit, Ifnull, Ifnonnull,
+        t,
+        Nop,
+        AconstNull,
+        IconstM1,
+        Iconst0,
+        Iconst1,
+        Iconst2,
+        Iconst3,
+        Iconst4,
+        Iconst5,
+        Lconst0,
+        Lconst1,
+        Fconst0,
+        Fconst1,
+        Fconst2,
+        Dconst0,
+        Dconst1,
+        Bipush,
+        Sipush,
+        Ldc,
+        LdcW,
+        Ldc2W,
+        Iload,
+        Lload,
+        Fload,
+        Dload,
+        Aload,
+        Iload0,
+        Iload1,
+        Iload2,
+        Iload3,
+        Lload0,
+        Lload1,
+        Lload2,
+        Lload3,
+        Fload0,
+        Fload1,
+        Fload2,
+        Fload3,
+        Dload0,
+        Dload1,
+        Dload2,
+        Dload3,
+        Aload0,
+        Aload1,
+        Aload2,
+        Aload3,
+        Iaload,
+        Laload,
+        Faload,
+        Daload,
+        Aaload,
+        Baload,
+        Caload,
+        Saload,
+        Istore,
+        Lstore,
+        Fstore,
+        Dstore,
+        Astore,
+        Istore0,
+        Istore1,
+        Istore2,
+        Istore3,
+        Lstore0,
+        Lstore1,
+        Lstore2,
+        Lstore3,
+        Fstore0,
+        Fstore1,
+        Fstore2,
+        Fstore3,
+        Dstore0,
+        Dstore1,
+        Dstore2,
+        Dstore3,
+        Astore0,
+        Astore1,
+        Astore2,
+        Astore3,
+        Iastore,
+        Lastore,
+        Fastore,
+        Dastore,
+        Aastore,
+        Bastore,
+        Castore,
+        Sastore,
+        Pop,
+        Pop2,
+        Dup,
+        DupX1,
+        DupX2,
+        Dup2,
+        Dup2X1,
+        Dup2X2,
+        Swap,
+        Iadd,
+        Ladd,
+        Fadd,
+        Dadd,
+        Isub,
+        Lsub,
+        Fsub,
+        Dsub,
+        Imul,
+        Lmul,
+        Fmul,
+        Dmul,
+        Idiv,
+        Ldiv,
+        Fdiv,
+        Ddiv,
+        Irem,
+        Lrem,
+        Frem,
+        Drem,
+        Ineg,
+        Lneg,
+        Fneg,
+        Dneg,
+        Ishl,
+        Lshl,
+        Ishr,
+        Lshr,
+        Iushr,
+        Lushr,
+        Iand,
+        Land,
+        Ior,
+        Lor,
+        Ixor,
+        Lxor,
+        Iinc,
+        I2l,
+        I2f,
+        I2d,
+        L2i,
+        L2f,
+        L2d,
+        F2i,
+        F2l,
+        F2d,
+        D2i,
+        D2l,
+        D2f,
+        I2b,
+        I2c,
+        I2s,
+        Lcmp,
+        Fcmpl,
+        Fcmpg,
+        Dcmpl,
+        Dcmpg,
+        Ifeq,
+        Ifne,
+        Iflt,
+        Ifge,
+        Ifgt,
+        Ifle,
+        IfIcmpeq,
+        IfIcmpne,
+        IfIcmplt,
+        IfIcmpge,
+        IfIcmpgt,
+        IfIcmple,
+        IfAcmpeq,
+        IfAcmpne,
+        Goto,
+        Tableswitch,
+        Lookupswitch,
+        Ireturn,
+        Lreturn,
+        Freturn,
+        Dreturn,
+        Areturn,
+        Return,
+        Getstatic,
+        Putstatic,
+        Getfield,
+        Putfield,
+        Invokevirtual,
+        Invokespecial,
+        Invokestatic,
+        Invokeinterface,
+        New,
+        Newarray,
+        Anewarray,
+        Arraylength,
+        Athrow,
+        Checkcast,
+        Instanceof,
+        Monitorenter,
+        Monitorexit,
+        Ifnull,
+        Ifnonnull,
     );
     t
 }
@@ -392,7 +570,10 @@ mod tests {
     #[test]
     fn unsupported_opcodes_rejected() {
         for b in [0xa8u8, 0xa9, 0xba, 0xc4, 0xc5, 0xc8, 0xc9, 0xca, 0xff] {
-            assert!(Opcode::from_byte(b).is_err(), "{b:#x} should be unsupported");
+            assert!(
+                Opcode::from_byte(b).is_err(),
+                "{b:#x} should be unsupported"
+            );
         }
     }
 

@@ -18,7 +18,10 @@ pub fn read_class(bytes: &[u8]) -> Result<ClassFile> {
     let minor_version = r.u16("minor version")?;
     let major_version = r.u16("major version")?;
     if major_version > crate::MAJOR_VERSION {
-        return Err(ClassFileError::UnsupportedVersion { major: major_version, minor: minor_version });
+        return Err(ClassFileError::UnsupportedVersion {
+            major: major_version,
+            minor: minor_version,
+        });
     }
 
     let const_count = r.u16("constant count")?;
@@ -36,8 +39,12 @@ pub fn read_class(bytes: &[u8]) -> Result<ClassFile> {
             tag::FLOAT => ConstEntry::Float(f32::from_bits(r.u32("float")?)),
             tag::LONG => ConstEntry::Long(r.u64("long")? as i64),
             tag::DOUBLE => ConstEntry::Double(f64::from_bits(r.u64("double")?)),
-            tag::CLASS => ConstEntry::Class { name: r.u16("class name index")? },
-            tag::STRING => ConstEntry::String { utf8: r.u16("string utf8 index")? },
+            tag::CLASS => ConstEntry::Class {
+                name: r.u16("class name index")?,
+            },
+            tag::STRING => ConstEntry::String {
+                utf8: r.u16("string utf8 index")?,
+            },
             tag::FIELDREF => ConstEntry::FieldRef {
                 class: r.u16("fieldref class")?,
                 name_and_type: r.u16("fieldref nat")?,
@@ -108,14 +115,24 @@ pub fn read_class(bytes: &[u8]) -> Result<ClassFile> {
                 }
                 // The bytecode must decode cleanly.
                 crate::instruction::decode_all(&code)?;
-                Some(Code { max_stack, max_locals, code, exception_table })
+                Some(Code {
+                    max_stack,
+                    max_locals,
+                    code,
+                    exception_table,
+                })
             }
             other => {
                 let _ = other;
                 return Err(ClassFileError::Malformed("has_code flag"));
             }
         };
-        methods.push(MethodInfo { access, name, descriptor, code });
+        methods.push(MethodInfo {
+            access,
+            name,
+            descriptor,
+            code,
+        });
     }
 
     let attr_count = r.u16("attribute count")?;
@@ -234,7 +251,10 @@ mod tests {
     fn bad_magic_is_rejected() {
         let mut bytes = write_class(&sample_class()).unwrap();
         bytes[0] = 0;
-        assert!(matches!(read_class(&bytes), Err(ClassFileError::BadMagic(_))));
+        assert!(matches!(
+            read_class(&bytes),
+            Err(ClassFileError::BadMagic(_))
+        ));
     }
 
     #[test]
@@ -242,7 +262,10 @@ mod tests {
         let bytes = write_class(&sample_class()).unwrap();
         // Any prefix must fail cleanly, never panic.
         for len in 0..bytes.len() {
-            assert!(read_class(&bytes[..len]).is_err(), "prefix of length {len} parsed");
+            assert!(
+                read_class(&bytes[..len]).is_err(),
+                "prefix of length {len} parsed"
+            );
         }
     }
 

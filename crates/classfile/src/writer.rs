@@ -46,9 +46,18 @@ pub fn write_class(class: &ClassFile) -> Result<Vec<u8>> {
             ConstEntry::Double(v) => w64(&mut out, v.to_bits()),
             ConstEntry::Class { name } => w16(&mut out, *name),
             ConstEntry::String { utf8 } => w16(&mut out, *utf8),
-            ConstEntry::FieldRef { class, name_and_type }
-            | ConstEntry::MethodRef { class, name_and_type }
-            | ConstEntry::InterfaceMethodRef { class, name_and_type } => {
+            ConstEntry::FieldRef {
+                class,
+                name_and_type,
+            }
+            | ConstEntry::MethodRef {
+                class,
+                name_and_type,
+            }
+            | ConstEntry::InterfaceMethodRef {
+                class,
+                name_and_type,
+            } => {
                 w16(&mut out, *class);
                 w16(&mut out, *name_and_type);
             }

@@ -23,7 +23,7 @@ fn arb_field_type() -> impl Strategy<Value = FieldType> {
         Just(FieldType::Base(BaseType::Long)),
         Just(FieldType::Base(BaseType::Float)),
         Just(FieldType::Base(BaseType::Double)),
-        "[a-zA-Z][a-zA-Z0-9/$]{0,30}".prop_map(|s| FieldType::Object(s)),
+        "[a-zA-Z][a-zA-Z0-9/$]{0,30}".prop_map(FieldType::Object),
     ];
     leaf.prop_recursive(3, 8, 2, |inner| {
         inner.prop_map(|t| FieldType::Array(Box::new(t)))
@@ -68,7 +68,15 @@ fn sample_class(fields: u8, consts: &[i32]) -> ijvm_classfile::ClassFile {
         } else {
             AccessFlags::PRIVATE
         };
-        cb.field(&format!("f{i}"), if i % 3 == 0 { "I" } else { "Ljava/lang/String;" }, flags);
+        cb.field(
+            &format!("f{i}"),
+            if i % 3 == 0 {
+                "I"
+            } else {
+                "Ljava/lang/String;"
+            },
+            flags,
+        );
     }
     let mut m = cb.method("sum", "()I", AccessFlags::PUBLIC | AccessFlags::STATIC);
     m.const_int(0);

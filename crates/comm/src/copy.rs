@@ -90,7 +90,9 @@ fn copy_ref(
         BodyKind::RefArray(n) => {
             let (elem_desc, desc) = {
                 let obj = vm.heap().get(r);
-                let ObjBody::ArrRef { elem_desc, .. } = &obj.body else { unreachable!() };
+                let ObjBody::ArrRef { elem_desc, .. } = &obj.body else {
+                    unreachable!()
+                };
                 (elem_desc.clone(), obj.array_desc.clone())
             };
             let copied = vm.alloc_ref_array(target, &elem_desc, n)?;
@@ -195,7 +197,9 @@ mod tests {
             .call_static_as(mk, "ring", "(I)LNode;", vec![Value::Int(4)], a)
             .unwrap()
             .unwrap();
-        let Value::Ref(head) = ring else { panic!("expected ref") };
+        let Value::Ref(head) = ring else {
+            panic!("expected ref")
+        };
         let copied = copy_test_helper(&mut vm, head, b);
         // The copy is a distinct 4-node ring with the same values.
         assert_ne!(copied, head);

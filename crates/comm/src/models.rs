@@ -151,12 +151,17 @@ fn fixture(model: Model) -> Fixture {
         .call_static_as(factory, "make", "()LShape;", vec![], callee_iso)
         .unwrap()
         .unwrap();
-    let Value::Ref(shape_obj) = made else { panic!("factory returned {made}") };
+    let Value::Ref(shape_obj) = made else {
+        panic!("factory returned {made}")
+    };
     let pin = vm.pin(shape_obj);
 
     let shape_class = vm.heap().get(shape_obj).class;
     let move_index = vm.class(shape_class).find_method("moveTo", "(I)I").unwrap();
-    let shape_move = MethodRef { class: shape_class, index: move_index };
+    let shape_move = MethodRef {
+        class: shape_class,
+        index: move_index,
+    };
 
     Fixture {
         vm,
@@ -195,7 +200,13 @@ pub fn measure(model: Model, calls: u32) -> CallCostReport {
     };
     let wall = start.elapsed();
     let guest_instructions = fx.vm.vclock() - start_insns;
-    CallCostReport { model, calls, wall, guest_instructions, checksum }
+    CallCostReport {
+        model,
+        calls,
+        wall,
+        guest_instructions,
+        checksum,
+    }
 }
 
 /// Direct calls: the guest loop invokes `shape.moveTo(i)` n times. For
@@ -222,8 +233,8 @@ fn run_direct(fx: &mut Fixture, calls: u32) -> i64 {
 fn run_links(fx: &mut Fixture, calls: u32) -> i64 {
     let mut acc = 0i64;
     for i in 0..calls {
-        let arg = deep_copy_value(&mut fx.vm, Value::Int(i as i32), fx.callee_iso)
-            .expect("copy arg");
+        let arg =
+            deep_copy_value(&mut fx.vm, Value::Int(i as i32), fx.callee_iso).expect("copy arg");
         let tid = fx
             .vm
             .spawn_thread(
@@ -235,8 +246,7 @@ fn run_links(fx: &mut Fixture, calls: u32) -> i64 {
             .expect("spawn link thread");
         let _ = fx.vm.run(None);
         let result = fx.vm.thread_result(tid).expect("link call result");
-        let back =
-            deep_copy_value(&mut fx.vm, result, fx.caller_iso).expect("copy result");
+        let back = deep_copy_value(&mut fx.vm, result, fx.caller_iso).expect("copy result");
         acc += back.as_int() as i64;
     }
     acc
@@ -257,7 +267,11 @@ fn run_rmi(fx: &mut Fixture, calls: u32) -> i64 {
         let method = fx.vm.new_string(fx.caller_iso, "moveTo");
         let descriptor = fx.vm.new_string(fx.caller_iso, "(I)I");
         let mut wire = Vec::new();
-        for part in [Value::Ref(service), Value::Ref(method), Value::Ref(descriptor)] {
+        for part in [
+            Value::Ref(service),
+            Value::Ref(method),
+            Value::Ref(descriptor),
+        ] {
             serialize_value(&fx.vm, part, &mut wire);
         }
         serialize_value(&fx.vm, Value::Int(i as i32), &mut wire);
@@ -268,8 +282,12 @@ fn run_rmi(fx: &mut Fixture, calls: u32) -> i64 {
         let mut pos = 0usize;
         let mut parts = Vec::with_capacity(4);
         for _ in 0..4 {
-            let (v, used) =
-                deserialize_prefix(&mut fx.vm, &socket_b[pos..], fx.callee_iso, fx.callee_loader);
+            let (v, used) = deserialize_prefix(
+                &mut fx.vm,
+                &socket_b[pos..],
+                fx.callee_iso,
+                fx.callee_loader,
+            );
             parts.push(v);
             pos += used;
         }
@@ -294,8 +312,12 @@ fn run_rmi(fx: &mut Fixture, calls: u32) -> i64 {
         loopback(&mut socket_b, &mut socket_a, &wire);
         let (_status, used) =
             deserialize_prefix(&mut fx.vm, &socket_a, fx.caller_iso, fx.callee_loader);
-        let (back, _) =
-            deserialize_prefix(&mut fx.vm, &socket_a[used..], fx.caller_iso, fx.callee_loader);
+        let (back, _) = deserialize_prefix(
+            &mut fx.vm,
+            &socket_a[used..],
+            fx.caller_iso,
+            fx.callee_loader,
+        );
         acc += back.as_int() as i64;
     }
     acc
@@ -376,7 +398,10 @@ mod tests {
 
         assert_eq!(local_migrations, 0, "intra-bundle calls must not migrate");
         // 100 calls in + 100 returns + fixture calls.
-        assert!(inter_migrations >= 200, "expected ≥200 migrations, got {inter_migrations}");
+        assert!(
+            inter_migrations >= 200,
+            "expected ≥200 migrations, got {inter_migrations}"
+        );
     }
 
     #[test]
@@ -400,7 +425,10 @@ mod tests {
             ijvm < links,
             "I-JVM ({ijvm:.0} ns) should beat links ({links:.0} ns)"
         );
-        assert!(links <= rmi * 1.5, "links should not be slower than RMI (links {links:.0}, rmi {rmi:.0})");
+        assert!(
+            links <= rmi * 1.5,
+            "links should not be slower than RMI (links {links:.0}, rmi {rmi:.0})"
+        );
         assert!(
             ijvm < rmi / 5.0,
             "I-JVM ({ijvm:.0} ns) should be far below RMI ({rmi:.0} ns)"
@@ -417,6 +445,9 @@ mod tests {
         let mut fx = fixture(Model::IJvm);
         run_direct(&mut fx, 64);
         let stats = fx.vm.isolate_stats(fx.callee_iso).unwrap();
-        assert!(stats.calls_in >= 64, "callee should record ≥64 incoming calls");
+        assert!(
+            stats.calls_in >= 64,
+            "callee should record ≥64 incoming calls"
+        );
     }
 }

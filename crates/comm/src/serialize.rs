@@ -307,7 +307,9 @@ fn read_value(
             let class = vm
                 .load_class(loader, &class_name)
                 .map_err(|_| WireError::UnknownClass(class_name))?;
-            let obj = vm.alloc_object(class, target).ok_or(WireError::OutOfMemory)?;
+            let obj = vm
+                .alloc_object(class, target)
+                .ok_or(WireError::OutOfMemory)?;
             pin_ref(vm, obj);
             seen.push(obj);
             for slot in 0..nfields {
@@ -324,8 +326,9 @@ fn read_value(
         }
         tag::ARR_INT | tag::ARR_LONG | tag::ARR_DOUBLE | tag::ARR_CHAR | tag::ARR_BYTE => {
             let len = r.u32()? as usize;
-            let placeholder =
-                vm.alloc_ref_array(target, "Ljava/lang/Object;", len).ok_or(WireError::OutOfMemory)?;
+            let placeholder = vm
+                .alloc_ref_array(target, "Ljava/lang/Object;", len)
+                .ok_or(WireError::OutOfMemory)?;
             let (body, desc): (ObjBody, &str) = match t {
                 tag::ARR_INT => {
                     let mut a = vec![0i32; len];
@@ -373,8 +376,9 @@ fn read_value(
         tag::ARR_REF => {
             let elem_desc = r.str()?;
             let len = r.u32()? as usize;
-            let arr =
-                vm.alloc_ref_array(target, &elem_desc, len).ok_or(WireError::OutOfMemory)?;
+            let arr = vm
+                .alloc_ref_array(target, &elem_desc, len)
+                .ok_or(WireError::OutOfMemory)?;
             pin_ref(vm, arr);
             seen.push(arr);
             for i in 0..len {
@@ -388,8 +392,9 @@ fn read_value(
         tag::ARR_OTHER => {
             let kind = r.u8()?;
             let len = r.u32()? as usize;
-            let placeholder =
-                vm.alloc_ref_array(target, "Ljava/lang/Object;", len).ok_or(WireError::OutOfMemory)?;
+            let placeholder = vm
+                .alloc_ref_array(target, "Ljava/lang/Object;", len)
+                .ok_or(WireError::OutOfMemory)?;
             let (body, desc): (ObjBody, &str) = match kind {
                 0 => {
                     let mut a = vec![0u8; len];
@@ -437,7 +442,12 @@ mod tests {
         let a = vm.create_isolate("a");
         let b = vm.create_isolate("b");
         let loader = vm.loader_of(b).unwrap();
-        for v in [Value::Int(-7), Value::Long(1 << 40), Value::Double(1.25), Value::Null] {
+        for v in [
+            Value::Int(-7),
+            Value::Long(1 << 40),
+            Value::Double(1.25),
+            Value::Null,
+        ] {
             let mut bytes = Vec::new();
             serialize_value(&vm, v, &mut bytes);
             let back = deserialize_value(&mut vm, &bytes, b, loader).unwrap();

@@ -44,7 +44,9 @@ fn build(vm: &mut Vm, iso: IsolateId, t: &Tree) -> Value {
         Tree::Str(s) => Value::Ref(vm.new_string(iso, s)),
         Tree::IntArray(xs) => {
             // Build through the public ref-array API then swap the body in.
-            let arr = vm.alloc_ref_array(iso, "Ljava/lang/Object;", xs.len()).unwrap();
+            let arr = vm
+                .alloc_ref_array(iso, "Ljava/lang/Object;", xs.len())
+                .unwrap();
             let obj = vm.heap_mut().get_mut(arr);
             obj.body = ObjBody::ArrInt(xs.clone().into_boxed_slice());
             obj.array_desc = "[I".to_owned();

@@ -56,7 +56,11 @@ pub fn class_class() -> ClassFile {
 
 /// Builds `java/lang/String` (backed by a `[C` value array).
 pub fn string_class() -> ClassFile {
-    let mut cb = ClassBuilder::new("java/lang/String", "java/lang/Object", PUB | AccessFlags::FINAL);
+    let mut cb = ClassBuilder::new(
+        "java/lang/String",
+        "java/lang/Object",
+        PUB | AccessFlags::FINAL,
+    );
     cb.field("value", "[C", AccessFlags::PRIVATE | AccessFlags::FINAL);
     let mut m = cb.method("length", "()I", PUB);
     m.aload(0);
@@ -149,15 +153,39 @@ pub const EXCEPTION_HIERARCHY: &[(&str, &str)] = &[
     ("java/lang/Exception", "java/lang/Throwable"),
     ("java/lang/RuntimeException", "java/lang/Exception"),
     ("java/lang/Error", "java/lang/Throwable"),
-    ("java/lang/NullPointerException", "java/lang/RuntimeException"),
-    ("java/lang/ArithmeticException", "java/lang/RuntimeException"),
-    ("java/lang/ArrayIndexOutOfBoundsException", "java/lang/RuntimeException"),
-    ("java/lang/NegativeArraySizeException", "java/lang/RuntimeException"),
+    (
+        "java/lang/NullPointerException",
+        "java/lang/RuntimeException",
+    ),
+    (
+        "java/lang/ArithmeticException",
+        "java/lang/RuntimeException",
+    ),
+    (
+        "java/lang/ArrayIndexOutOfBoundsException",
+        "java/lang/RuntimeException",
+    ),
+    (
+        "java/lang/NegativeArraySizeException",
+        "java/lang/RuntimeException",
+    ),
     ("java/lang/ClassCastException", "java/lang/RuntimeException"),
-    ("java/lang/IllegalMonitorStateException", "java/lang/RuntimeException"),
-    ("java/lang/IllegalArgumentException", "java/lang/RuntimeException"),
-    ("java/lang/IllegalStateException", "java/lang/RuntimeException"),
-    ("java/lang/UnsupportedOperationException", "java/lang/RuntimeException"),
+    (
+        "java/lang/IllegalMonitorStateException",
+        "java/lang/RuntimeException",
+    ),
+    (
+        "java/lang/IllegalArgumentException",
+        "java/lang/RuntimeException",
+    ),
+    (
+        "java/lang/IllegalStateException",
+        "java/lang/RuntimeException",
+    ),
+    (
+        "java/lang/UnsupportedOperationException",
+        "java/lang/RuntimeException",
+    ),
     ("java/lang/SecurityException", "java/lang/RuntimeException"),
     ("java/lang/InterruptedException", "java/lang/Exception"),
     ("java/io/IOException", "java/lang/Exception"),
@@ -209,9 +237,7 @@ fn register_core_natives(vm: &mut Vm) {
             let iso = vm.thread(tid).expect("current thread").current_isolate;
             vm.ensure_mirror(class, iso);
             let mi = vm.mirror_index(iso);
-            let class_obj = vm
-                .class(class)
-                .mirrors[mi]
+            let class_obj = vm.class(class).mirrors[mi]
                 .as_ref()
                 .expect("mirror just ensured")
                 .class_object;

@@ -48,6 +48,9 @@ pub struct RuntimeMethod {
     pub returns_value: bool,
     /// Bytecode body (`None` for native/abstract methods).
     pub code: Option<Rc<CodeBody>>,
+    /// Pre-decoded instruction stream for the quickened engine, built
+    /// lazily on first execution and dropped with the owning loader.
+    pub prepared: Option<Rc<crate::engine::PreparedCode>>,
     /// Index into the VM's native-function table, bound lazily.
     pub native_idx: Option<u32>,
     /// Virtual-table slot, for non-static non-private non-init methods.
@@ -231,7 +234,9 @@ impl RuntimeClass {
 
     /// Mutable mirror access.
     pub fn mirror_mut(&mut self, iso: IsolateId) -> Option<&mut TaskClassMirror> {
-        self.mirrors.get_mut(iso.0 as usize).and_then(|m| m.as_mut())
+        self.mirrors
+            .get_mut(iso.0 as usize)
+            .and_then(|m| m.as_mut())
     }
 
     /// Rough metadata footprint of this class's mirrors, for the Figure 3
@@ -239,12 +244,6 @@ impl RuntimeClass {
     /// statics array and bookkeeping.
     pub fn mirror_metadata_bytes(&self) -> usize {
         let per_mirror = |m: &TaskClassMirror| 16 + m.statics.len() * 8 + 8;
-        self.mirrors.len() * 8
-            + self
-                .mirrors
-                .iter()
-                .flatten()
-                .map(per_mirror)
-                .sum::<usize>()
+        self.mirrors.len() * 8 + self.mirrors.iter().flatten().map(per_mirror).sum::<usize>()
     }
 }

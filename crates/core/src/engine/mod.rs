@@ -1,0 +1,122 @@
+//! The quickened execution engine.
+//!
+//! The raw interpreter ([`crate::interp`]) re-decodes every instruction
+//! from classfile bytes on every execution: an `Opcode::from_byte` table
+//! lookup plus operand re-reads, branch-offset arithmetic and switch
+//! re-alignment, and a constant-pool indirection for every field access
+//! and call. This module removes all of that work from the hot path with
+//! the classic VM *quickening* design, in three layers:
+//!
+//! 1. **Pre-decoding** ([`predecode`]) — on a method's first execution its
+//!    `Code` bytes are translated once into a dense, fixed-width
+//!    [`XInsn`] stream with fused operands and branch targets resolved to
+//!    instruction indices, plus a pc↔index map so exception tables (which
+//!    stay byte-addressed) and suspension points keep working.
+//! 2. **Quickening** ([`quicken`]) — constant-pool-indexed instructions
+//!    (`getfield`, `getstatic`, `invoke*`, `new`, …) start in slow form;
+//!    the first execution resolves them and rewrites the stream cell in
+//!    place to a direct-operand fast form. The interface-call inline
+//!    caches the raw interpreter kept in `RtCp` become per-call-site
+//!    caches in the stream.
+//! 3. **Dispatch** — [`quicken::step_thread_quickened`] drives threads
+//!    over the stream with semantics identical to the raw interpreter:
+//!    instruction-budget quanta, CPU-sampling weights, inter-isolate
+//!    migration on invoke, and `StoppedIsolateException` injection all
+//!    behave the same, which the differential tests assert.
+//!
+//! The per-method [`PreparedCode`] cache hangs off
+//! [`crate::class::RuntimeMethod::prepared`]; it is built lazily and torn
+//! down with the owning loader when its isolate is terminated.
+//! [`crate::vm::VmOptions::engine`] selects [`EngineKind::Raw`] or
+//! [`EngineKind::Quickened`], keeping both paths alive for §4.4-style
+//! ablations and A/B benchmarking.
+
+pub mod predecode;
+pub mod quicken;
+pub mod xinsn;
+
+pub use predecode::predecode;
+pub use xinsn::{Cmp, IfaceSite, SwitchTable, TrapKind, XInsn, BAD_TARGET};
+
+use crate::ids::MethodRef;
+use crate::vm::Vm;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Which execution engine drives bytecode frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Decode classfile bytes on every instruction (the seed interpreter;
+    /// kept for ablation and differential testing).
+    Raw,
+    /// Pre-decode each method once into an [`XInsn`] stream and dispatch
+    /// over it with in-place quickening (the default).
+    #[default]
+    Quickened,
+}
+
+/// A method's pre-decoded, quickenable instruction stream plus the side
+/// tables the stream indexes into.
+#[derive(Debug)]
+pub struct PreparedCode {
+    /// The instruction stream. `Cell` so quickening can rewrite a site in
+    /// place while the stream is shared with executing frames. Always
+    /// ends with a [`xinsn::TrapKind::FellOffEnd`] guard, so execution
+    /// running past the last real instruction faults cleanly without a
+    /// per-instruction bounds check.
+    pub insns: Box<[Cell<XInsn>]>,
+    /// Instruction index → start byte pc; the trailing guard's entry is
+    /// `bytes.len()`, so "the pc after the last instruction" maps too.
+    pub idx_to_pc: Box<[u32]>,
+    /// Byte pc → instruction index, [`BAD_TARGET`] on non-boundaries.
+    pub pc_to_idx: Box<[u32]>,
+    /// `tableswitch`/`lookupswitch` payloads.
+    pub switches: Box<[SwitchTable]>,
+    /// Per-site state of pre-decoded `invokeinterface` instructions.
+    pub iface_sites: Box<[IfaceSite]>,
+}
+
+impl PreparedCode {
+    /// The instruction index executing at byte pc `pc`, if `pc` is an
+    /// instruction boundary.
+    pub fn index_of_pc(&self, pc: u32) -> Option<u32> {
+        match self.pc_to_idx.get(pc as usize) {
+            Some(&idx) if idx != BAD_TARGET => Some(idx),
+            _ => None,
+        }
+    }
+
+    /// The start byte pc of instruction `idx`.
+    pub fn pc_of_index(&self, idx: u32) -> Option<u32> {
+        self.idx_to_pc.get(idx as usize).copied()
+    }
+
+    /// Approximate heap footprint, for metadata accounting.
+    pub fn metadata_bytes(&self) -> usize {
+        self.insns.len() * std::mem::size_of::<Cell<XInsn>>()
+            + self.idx_to_pc.len() * 4
+            + self.pc_to_idx.len() * 4
+            + self.switches.len() * std::mem::size_of::<SwitchTable>()
+            + self.iface_sites.len() * std::mem::size_of::<IfaceSite>()
+    }
+}
+
+/// Returns `method`'s prepared stream, building and caching it on first
+/// use. The cache lives on the [`crate::class::RuntimeMethod`] and is
+/// dropped when the owning loader's isolate is terminated.
+pub(crate) fn ensure_prepared(vm: &mut Vm, method: MethodRef) -> Rc<PreparedCode> {
+    let class = &vm.classes[method.class.0 as usize];
+    let m = &class.methods[method.index as usize];
+    if let Some(p) = &m.prepared {
+        return Rc::clone(p);
+    }
+    let code = m
+        .code
+        .as_ref()
+        .expect("ensure_prepared on non-bytecode method")
+        .clone();
+    let prepared = Rc::new(predecode(&code, &class.pool));
+    vm.classes[method.class.0 as usize].methods[method.index as usize].prepared =
+        Some(Rc::clone(&prepared));
+    prepared
+}

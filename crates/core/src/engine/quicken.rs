@@ -1,0 +1,1081 @@
+//! The quickened dispatch loop.
+//!
+//! Executes threads over the pre-decoded [`XInsn`] stream instead of raw
+//! classfile bytes. Constant-pool-indexed instructions arrive in their
+//! slow form; the first execution resolves the reference (through the
+//! same `resolve_*` helpers — and therefore the same `RtCp` cache and
+//! error behaviour — as the raw interpreter) and rewrites the stream cell
+//! in place to a direct-operand fast form, then re-dispatches the same
+//! cell without recounting the instruction. In `Shared` isolation mode
+//! static/`new`/`invokestatic` sites take a second transition to
+//! init-elided forms once their class-initialization check has passed,
+//! modelling the baseline JIT exactly like the raw interpreter's
+//! `RtCp::*Init` fast paths.
+//!
+//! Semantics intentionally mirror [`crate::interp::step_thread_raw`]
+//! one-for-one: the instruction budget is counted per logical bytecode
+//! instruction (fused forms still count once), `insns_since_switch`
+//! flushes at the same yield points, frames always carry *byte* pcs when
+//! the thread is suspended (so exception tables, termination stack
+//! patching and the disassembler are engine-agnostic), and inter-isolate
+//! calls migrate the thread through the shared `invoke_resolved` path.
+
+use super::xinsn::{SwitchTable, TrapKind, XInsn, BAD_TARGET};
+use super::{ensure_prepared, EngineKind};
+use crate::class::{ClassTarget, InitState, RtCp};
+use crate::heap::ObjBody;
+use crate::ids::ThreadId;
+use crate::interp::{
+    aioobe, alloc_prim_array, arith, check_not_poisoned, cmp3, do_return, ensure_initialized, f2i,
+    f2l, fcmp, frame_prologue, internal_err, invoke_resolved, is_instance, load_constant,
+    lookup_virtual, materialize, npe, peek_receiver, resolve_class, resolve_direct_method,
+    resolve_instance_field, resolve_interface_method, resolve_static_field, resolve_virtual_method,
+    unwind, InitAction, InvokeAction, Prologue,
+};
+use crate::monitor::{monitor_enter, monitor_exit, EnterResult};
+use crate::value::Value;
+use crate::vm::{IsolationMode, Thrown, Vm};
+
+/// Executes thread `tid` for at most `budget` instructions over the
+/// pre-decoded stream, returning how many were consumed.
+#[allow(unused_assignments)] // flush resets local_insns even on exit paths
+pub(crate) fn step_thread_quickened(vm: &mut Vm, tid: ThreadId, budget: u32) -> u32 {
+    debug_assert_eq!(vm.options.engine, EngineKind::Quickened);
+    let t = tid.0 as usize;
+    let mut consumed: u32 = 0;
+
+    'outer: while consumed < budget {
+        let fidx = match frame_prologue(vm, tid) {
+            Prologue::Run(fidx) => fidx,
+            Prologue::Redeliver => continue 'outer,
+            Prologue::Yield => return consumed,
+        };
+
+        let method = vm.threads[t].frames[fidx].method;
+        let prepared = ensure_prepared(vm, method);
+        let entry_pc = vm.threads[t].frames[fidx].pc;
+        let Some(entry_idx) = prepared.index_of_pc(entry_pc) else {
+            // Only reachable through malformed hand-crafted code; the raw
+            // engine would read garbage here, we fail cleanly.
+            let ex = materialize(
+                vm,
+                tid,
+                Thrown::ByName {
+                    class_name: "java/lang/VerifyError",
+                    message: format!("pc {entry_pc} is not an instruction boundary"),
+                },
+            );
+            if unwind(vm, tid, ex) {
+                continue 'outer;
+            }
+            return consumed;
+        };
+        let mut idx = entry_idx as usize;
+        let mut local_insns: u32 = 0;
+        let shared_mode = vm.options.isolation == IsolationMode::Shared;
+
+        macro_rules! fr {
+            () => {
+                vm.threads[t].frames[fidx]
+            };
+        }
+        macro_rules! push {
+            ($v:expr) => {
+                fr!().stack.push($v)
+            };
+        }
+        macro_rules! pop {
+            () => {
+                fr!().stack.pop().expect("operand stack underflow")
+            };
+        }
+        // Flushes pending instruction counts and records the byte pc of
+        // instruction index `$i` as the frame's resume point.
+        macro_rules! flush_at {
+            ($i:expr) => {{
+                fr!().pc = prepared.idx_to_pc[$i];
+                vm.threads[t].insns_since_switch += local_insns as u64;
+                consumed += local_insns;
+                #[allow(unused_assignments)]
+                {
+                    local_insns = 0;
+                }
+            }};
+        }
+        // Raises a Java exception from the current instruction; handler
+        // ranges match against the faulting instruction's start pc.
+        macro_rules! throw {
+            ($cur:expr, $thrown:expr) => {{
+                flush_at!($cur);
+                let ex = materialize(vm, tid, $thrown);
+                if unwind(vm, tid, ex) {
+                    continue 'outer;
+                }
+                return consumed;
+            }};
+        }
+        macro_rules! check {
+            ($cur:expr, $res:expr) => {
+                match $res {
+                    Ok(v) => v,
+                    Err(thrown) => throw!($cur, thrown),
+                }
+            };
+        }
+        // Arithmetic helpers (identical to the raw interpreter's).
+        macro_rules! binop_i {
+            ($m:ident) => {{
+                let b = pop!().as_int();
+                let a = pop!().as_int();
+                push!(Value::Int(a.$m(b)));
+            }};
+            (op $op:tt) => {{
+                let b = pop!().as_int();
+                let a = pop!().as_int();
+                push!(Value::Int(a $op b));
+            }};
+        }
+        macro_rules! binop_l {
+            ($m:ident) => {{
+                let b = pop!().as_long();
+                let a = pop!().as_long();
+                push!(Value::Long(a.$m(b)));
+            }};
+            (op $op:tt) => {{
+                let b = pop!().as_long();
+                let a = pop!().as_long();
+                push!(Value::Long(a $op b));
+            }};
+        }
+        macro_rules! binop_f {
+            ($op:tt) => {{
+                let b = pop!().as_float();
+                let a = pop!().as_float();
+                push!(Value::Float(a $op b));
+            }};
+        }
+        macro_rules! binop_d {
+            ($op:tt) => {{
+                let b = pop!().as_double();
+                let a = pop!().as_double();
+                push!(Value::Double(a $op b));
+            }};
+        }
+        macro_rules! conv {
+            ($get:ident, $to:ident, $ty:ty) => {{
+                let v = pop!().$get();
+                push!(Value::$to(v as $ty));
+            }};
+        }
+        // Performs a call whose target method is already resolved and
+        // routes the outcome: pushed or suspended frames yield back to
+        // the prologue; a completed native falls through to the next
+        // instruction unless the thread blocked or an exception was
+        // injected during the native (e.g. isolate termination).
+        macro_rules! finish_invoke {
+            ($cur:expr, $target:expr, $arg_slots:expr) => {{
+                let insn_pc = prepared.idx_to_pc[$cur] as usize;
+                let action = check!(
+                    $cur,
+                    invoke_resolved(vm, tid, fidx, $target, $arg_slots, insn_pc)
+                );
+                match action {
+                    InvokeAction::FramePushed | InvokeAction::Suspended => continue 'outer,
+                    InvokeAction::NativeDone => {
+                        if !vm.threads[t].is_runnable() || vm.threads[t].pending_exception.is_some()
+                        {
+                            continue 'outer;
+                        }
+                    }
+                }
+            }};
+        }
+
+        loop {
+            if consumed + local_insns >= budget {
+                flush_at!(idx);
+                return consumed;
+            }
+            let cur = idx;
+            local_insns += 1;
+            let mut next = cur + 1;
+
+            // Branches taken by the executed instruction land here; traps
+            // for targets inside another instruction's operands.
+            macro_rules! branch_to {
+                ($target:expr) => {{
+                    let target = $target;
+                    if target == BAD_TARGET {
+                        throw!(
+                            cur,
+                            internal_err("branch into the middle of an instruction")
+                        );
+                    }
+                    next = target as usize;
+                }};
+            }
+
+            // The `'redo` loop re-dispatches the same cell after a slow
+            // form has been quickened, without recounting the instruction.
+            'redo: loop {
+                match prepared.insns[cur].get() {
+                    XInsn::Nop => {}
+                    // ---- constants ----
+                    XInsn::AConstNull => push!(Value::Null),
+                    XInsn::IConst(v) => push!(Value::Int(v)),
+                    XInsn::LConst(v) => push!(Value::Long(v)),
+                    XInsn::FConst(v) => push!(Value::Float(v)),
+                    XInsn::DConst(v) => push!(Value::Double(v)),
+                    XInsn::LdcSlow(cp) => {
+                        flush_at!(next);
+                        let class_id = vm.threads[t].frames[fidx].class;
+                        let v = check!(cur, load_constant(vm, tid, class_id, cp));
+                        push!(v);
+                    }
+                    // ---- locals ----
+                    XInsn::Load(n) => {
+                        let v = fr!().locals[n as usize];
+                        push!(v);
+                    }
+                    XInsn::Store(n) => {
+                        let v = pop!();
+                        fr!().locals[n as usize] = v;
+                    }
+                    XInsn::Iinc { slot, delta } => {
+                        let f = &mut fr!();
+                        f.locals[slot as usize] =
+                            Value::Int(f.locals[slot as usize].as_int().wrapping_add(delta as i32));
+                    }
+                    // ---- array loads/stores ----
+                    XInsn::ArrLoad => {
+                        let idx_v = pop!().as_int();
+                        let arr = pop!();
+                        let Some(arr) = arr.as_ref() else {
+                            throw!(cur, npe())
+                        };
+                        let obj = vm.heap.get(arr);
+                        let len = obj.body.array_len().unwrap_or(0);
+                        if idx_v < 0 || idx_v as usize >= len {
+                            throw!(cur, aioobe(idx_v, len));
+                        }
+                        let i = idx_v as usize;
+                        let v = match &obj.body {
+                            ObjBody::ArrInt(a) => Value::Int(a[i]),
+                            ObjBody::ArrLong(a) => Value::Long(a[i]),
+                            ObjBody::ArrFloat(a) => Value::Float(a[i]),
+                            ObjBody::ArrDouble(a) => Value::Double(a[i]),
+                            ObjBody::ArrRef { data, .. } => data[i],
+                            ObjBody::ArrByte(a) => Value::Int(a[i] as i32),
+                            ObjBody::ArrChar(a) => Value::Int(a[i] as i32),
+                            ObjBody::ArrShort(a) => Value::Int(a[i] as i32),
+                            ObjBody::ArrBool(a) => Value::Int(a[i] as i32),
+                            ObjBody::Fields(_) => {
+                                throw!(cur, internal_err("array load on non-array"))
+                            }
+                        };
+                        push!(v);
+                    }
+                    XInsn::ArrStore => {
+                        let v = pop!();
+                        let idx_v = pop!().as_int();
+                        let arr = pop!();
+                        let Some(arr) = arr.as_ref() else {
+                            throw!(cur, npe())
+                        };
+                        let obj = vm.heap.get_mut(arr);
+                        let len = obj.body.array_len().unwrap_or(0);
+                        if idx_v < 0 || idx_v as usize >= len {
+                            throw!(cur, aioobe(idx_v, len));
+                        }
+                        let i = idx_v as usize;
+                        match &mut obj.body {
+                            ObjBody::ArrInt(a) => a[i] = v.as_int(),
+                            ObjBody::ArrLong(a) => a[i] = v.as_long(),
+                            ObjBody::ArrFloat(a) => a[i] = v.as_float(),
+                            ObjBody::ArrDouble(a) => a[i] = v.as_double(),
+                            ObjBody::ArrRef { data, .. } => data[i] = v,
+                            ObjBody::ArrByte(a) => a[i] = v.as_int() as i8,
+                            ObjBody::ArrChar(a) => a[i] = v.as_int() as u16,
+                            ObjBody::ArrShort(a) => a[i] = v.as_int() as i16,
+                            ObjBody::ArrBool(a) => a[i] = (v.as_int() != 0) as u8,
+                            ObjBody::Fields(_) => {
+                                throw!(cur, internal_err("array store on non-array"))
+                            }
+                        }
+                    }
+                    // ---- stack manipulation ----
+                    XInsn::Pop => {
+                        pop!();
+                    }
+                    XInsn::Pop2 => {
+                        pop!();
+                        pop!();
+                    }
+                    XInsn::Dup => {
+                        let v = *fr!().stack.last().expect("dup on empty stack");
+                        push!(v);
+                    }
+                    XInsn::DupX1 => {
+                        let a = pop!();
+                        let b = pop!();
+                        push!(a);
+                        push!(b);
+                        push!(a);
+                    }
+                    XInsn::DupX2 => {
+                        let a = pop!();
+                        let b = pop!();
+                        let c = pop!();
+                        push!(a);
+                        push!(c);
+                        push!(b);
+                        push!(a);
+                    }
+                    XInsn::Dup2 => {
+                        let a = pop!();
+                        let b = pop!();
+                        push!(b);
+                        push!(a);
+                        push!(b);
+                        push!(a);
+                    }
+                    XInsn::Dup2X1 => {
+                        let a = pop!();
+                        let b = pop!();
+                        let c = pop!();
+                        push!(b);
+                        push!(a);
+                        push!(c);
+                        push!(b);
+                        push!(a);
+                    }
+                    XInsn::Dup2X2 => {
+                        let a = pop!();
+                        let b = pop!();
+                        let c = pop!();
+                        let d = pop!();
+                        push!(b);
+                        push!(a);
+                        push!(d);
+                        push!(c);
+                        push!(b);
+                        push!(a);
+                    }
+                    XInsn::Swap => {
+                        let a = pop!();
+                        let b = pop!();
+                        push!(a);
+                        push!(b);
+                    }
+                    // ---- arithmetic ----
+                    XInsn::Iadd => binop_i!(wrapping_add),
+                    XInsn::Isub => binop_i!(wrapping_sub),
+                    XInsn::Imul => binop_i!(wrapping_mul),
+                    XInsn::Idiv => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_int();
+                        if b == 0 {
+                            throw!(cur, arith());
+                        }
+                        push!(Value::Int(a.wrapping_div(b)));
+                    }
+                    XInsn::Irem => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_int();
+                        if b == 0 {
+                            throw!(cur, arith());
+                        }
+                        push!(Value::Int(a.wrapping_rem(b)));
+                    }
+                    XInsn::Ladd => binop_l!(wrapping_add),
+                    XInsn::Lsub => binop_l!(wrapping_sub),
+                    XInsn::Lmul => binop_l!(wrapping_mul),
+                    XInsn::Ldiv => {
+                        let b = pop!().as_long();
+                        let a = pop!().as_long();
+                        if b == 0 {
+                            throw!(cur, arith());
+                        }
+                        push!(Value::Long(a.wrapping_div(b)));
+                    }
+                    XInsn::Lrem => {
+                        let b = pop!().as_long();
+                        let a = pop!().as_long();
+                        if b == 0 {
+                            throw!(cur, arith());
+                        }
+                        push!(Value::Long(a.wrapping_rem(b)));
+                    }
+                    XInsn::Fadd => binop_f!(+),
+                    XInsn::Fsub => binop_f!(-),
+                    XInsn::Fmul => binop_f!(*),
+                    XInsn::Fdiv => binop_f!(/),
+                    XInsn::Frem => {
+                        let b = pop!().as_float();
+                        let a = pop!().as_float();
+                        push!(Value::Float(a % b));
+                    }
+                    XInsn::Dadd => binop_d!(+),
+                    XInsn::Dsub => binop_d!(-),
+                    XInsn::Dmul => binop_d!(*),
+                    XInsn::Ddiv => binop_d!(/),
+                    XInsn::Drem => {
+                        let b = pop!().as_double();
+                        let a = pop!().as_double();
+                        push!(Value::Double(a % b));
+                    }
+                    XInsn::Ineg => {
+                        let a = pop!().as_int();
+                        push!(Value::Int(a.wrapping_neg()));
+                    }
+                    XInsn::Lneg => {
+                        let a = pop!().as_long();
+                        push!(Value::Long(a.wrapping_neg()));
+                    }
+                    XInsn::Fneg => {
+                        let a = pop!().as_float();
+                        push!(Value::Float(-a));
+                    }
+                    XInsn::Dneg => {
+                        let a = pop!().as_double();
+                        push!(Value::Double(-a));
+                    }
+                    XInsn::Ishl => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_int();
+                        push!(Value::Int(a.wrapping_shl(b as u32 & 31)));
+                    }
+                    XInsn::Ishr => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_int();
+                        push!(Value::Int(a.wrapping_shr(b as u32 & 31)));
+                    }
+                    XInsn::Iushr => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_int();
+                        push!(Value::Int(((a as u32).wrapping_shr(b as u32 & 31)) as i32));
+                    }
+                    XInsn::Lshl => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_long();
+                        push!(Value::Long(a.wrapping_shl(b as u32 & 63)));
+                    }
+                    XInsn::Lshr => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_long();
+                        push!(Value::Long(a.wrapping_shr(b as u32 & 63)));
+                    }
+                    XInsn::Lushr => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_long();
+                        push!(Value::Long(((a as u64).wrapping_shr(b as u32 & 63)) as i64));
+                    }
+                    XInsn::Iand => binop_i!(op &),
+                    XInsn::Ior => binop_i!(op |),
+                    XInsn::Ixor => binop_i!(op ^),
+                    XInsn::Land => binop_l!(op &),
+                    XInsn::Lor => binop_l!(op |),
+                    XInsn::Lxor => binop_l!(op ^),
+                    // ---- conversions ----
+                    XInsn::I2l => conv!(as_int, Long, i64),
+                    XInsn::I2f => conv!(as_int, Float, f32),
+                    XInsn::I2d => conv!(as_int, Double, f64),
+                    XInsn::L2i => conv!(as_long, Int, i32),
+                    XInsn::L2f => conv!(as_long, Float, f32),
+                    XInsn::L2d => conv!(as_long, Double, f64),
+                    XInsn::F2i => {
+                        let v = pop!().as_float();
+                        push!(Value::Int(f2i(v)));
+                    }
+                    XInsn::F2l => {
+                        let v = pop!().as_float();
+                        push!(Value::Long(f2l(v as f64)));
+                    }
+                    XInsn::F2d => conv!(as_float, Double, f64),
+                    XInsn::D2i => {
+                        let v = pop!().as_double();
+                        push!(Value::Int(f2i(v as f32)));
+                    }
+                    XInsn::D2l => {
+                        let v = pop!().as_double();
+                        push!(Value::Long(f2l(v)));
+                    }
+                    XInsn::D2f => conv!(as_double, Float, f32),
+                    XInsn::I2b => {
+                        let v = pop!().as_int();
+                        push!(Value::Int(v as i8 as i32));
+                    }
+                    XInsn::I2c => {
+                        let v = pop!().as_int();
+                        push!(Value::Int(v as u16 as i32));
+                    }
+                    XInsn::I2s => {
+                        let v = pop!().as_int();
+                        push!(Value::Int(v as i16 as i32));
+                    }
+                    // ---- comparisons ----
+                    XInsn::Lcmp => {
+                        let b = pop!().as_long();
+                        let a = pop!().as_long();
+                        push!(Value::Int(cmp3(a, b)));
+                    }
+                    XInsn::Fcmp { nan_is_one } => {
+                        let b = pop!().as_float();
+                        let a = pop!().as_float();
+                        push!(Value::Int(fcmp(a as f64, b as f64, nan_is_one)));
+                    }
+                    XInsn::Dcmp { nan_is_one } => {
+                        let b = pop!().as_double();
+                        let a = pop!().as_double();
+                        push!(Value::Int(fcmp(a, b, nan_is_one)));
+                    }
+                    // ---- branches ----
+                    XInsn::If { cmp, target } => {
+                        let v = pop!().as_int();
+                        if cmp.test(v) {
+                            branch_to!(target);
+                        }
+                    }
+                    XInsn::IfICmp { cmp, target } => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_int();
+                        if cmp.test(cmp3(a, b)) {
+                            branch_to!(target);
+                        }
+                    }
+                    XInsn::IfACmp { eq, target } => {
+                        let b = pop!();
+                        let a = pop!();
+                        if eq == a.ref_eq(b) {
+                            branch_to!(target);
+                        }
+                    }
+                    XInsn::IfNull { is_null, target } => {
+                        let v = pop!();
+                        if is_null == matches!(v, Value::Null) {
+                            branch_to!(target);
+                        }
+                    }
+                    XInsn::Goto(target) => branch_to!(target),
+                    XInsn::TableSwitch(si) => {
+                        let key = pop!().as_int();
+                        let target = match &prepared.switches[si as usize] {
+                            SwitchTable::Table {
+                                default,
+                                low,
+                                targets,
+                            } => {
+                                let off = key as i64 - *low as i64;
+                                if off < 0 || off >= targets.len() as i64 {
+                                    *default
+                                } else {
+                                    targets[off as usize]
+                                }
+                            }
+                            SwitchTable::Lookup { .. } => {
+                                unreachable!("tableswitch with lookup payload")
+                            }
+                        };
+                        branch_to!(target);
+                    }
+                    XInsn::LookupSwitch(si) => {
+                        let key = pop!().as_int();
+                        let target = match &prepared.switches[si as usize] {
+                            SwitchTable::Lookup { default, pairs } => pairs
+                                .iter()
+                                .find(|(k, _)| *k == key)
+                                .map(|&(_, tgt)| tgt)
+                                .unwrap_or(*default),
+                            SwitchTable::Table { .. } => {
+                                unreachable!("lookupswitch with table payload")
+                            }
+                        };
+                        branch_to!(target);
+                    }
+                    // ---- returns ----
+                    XInsn::Return => {
+                        flush_at!(next);
+                        if do_return(vm, tid, None) {
+                            continue 'outer;
+                        }
+                        return consumed;
+                    }
+                    XInsn::ReturnValue => {
+                        let v = pop!();
+                        flush_at!(next);
+                        if do_return(vm, tid, Some(v)) {
+                            continue 'outer;
+                        }
+                        return consumed;
+                    }
+                    // ---- static fields ----
+                    XInsn::GetStatic(cp) => {
+                        flush_at!(next);
+                        let class_id = vm.threads[t].frames[fidx].class;
+                        let (class, slot) = check!(cur, resolve_static_field(vm, class_id, cp));
+                        prepared.insns[cur].set(XInsn::GetStaticR { class, slot });
+                        continue 'redo;
+                    }
+                    XInsn::PutStatic(cp) => {
+                        flush_at!(next);
+                        let class_id = vm.threads[t].frames[fidx].class;
+                        let (class, slot) = check!(cur, resolve_static_field(vm, class_id, cp));
+                        prepared.insns[cur].set(XInsn::PutStaticR { class, slot });
+                        continue 'redo;
+                    }
+                    insn @ (XInsn::GetStaticR { class, slot }
+                    | XInsn::PutStaticR { class, slot }) => {
+                        let is_get = matches!(insn, XInsn::GetStaticR { .. });
+                        // I-JVM: current-isolate load + mirror index + init
+                        // state test on every access (paper §3.1); the
+                        // resolution is quickened away, the checks are not.
+                        let iso = vm.threads[t].current_isolate;
+                        let mi = vm.mirror_index(iso);
+                        let ready_value = match vm.classes[class.0 as usize].mirrors.get(mi) {
+                            Some(Some(m)) if m.init == InitState::Initialized => {
+                                Some(m.statics[slot as usize])
+                            }
+                            _ => None,
+                        };
+                        let hit = if let Some(v) = ready_value {
+                            if is_get {
+                                push!(v);
+                            } else {
+                                let v = pop!();
+                                vm.classes[class.0 as usize].mirrors[mi]
+                                    .as_mut()
+                                    .expect("checked above")
+                                    .statics[slot as usize] = v;
+                            }
+                            true
+                        } else {
+                            false
+                        };
+                        if !hit {
+                            flush_at!(next);
+                            match check!(cur, ensure_initialized(vm, tid, class, iso)) {
+                                InitAction::Ready => {}
+                                InitAction::Suspend => {
+                                    // Re-execute this instruction once
+                                    // <clinit> ran.
+                                    vm.threads[t].frames[fidx].pc = prepared.idx_to_pc[cur];
+                                    continue 'outer;
+                                }
+                            }
+                            if is_get {
+                                let v = vm.classes[class.0 as usize].mirrors[mi]
+                                    .as_ref()
+                                    .expect("mirror created by ensure_initialized")
+                                    .statics[slot as usize];
+                                push!(v);
+                            } else {
+                                let v = pop!();
+                                vm.classes[class.0 as usize].mirrors[mi]
+                                    .as_mut()
+                                    .expect("mirror created by ensure_initialized")
+                                    .statics[slot as usize] = v;
+                            }
+                        }
+                        if shared_mode {
+                            // Baseline fast path: the JIT removes the init
+                            // check once the class is initialized.
+                            prepared.insns[cur].set(if is_get {
+                                XInsn::GetStaticI { class, slot }
+                            } else {
+                                XInsn::PutStaticI { class, slot }
+                            });
+                        }
+                    }
+                    XInsn::GetStaticI { class, slot } => {
+                        let v = vm.classes[class.0 as usize].mirrors[0]
+                            .as_ref()
+                            .expect("fast entries only exist after init")
+                            .statics[slot as usize];
+                        push!(v);
+                    }
+                    XInsn::PutStaticI { class, slot } => {
+                        let v = pop!();
+                        vm.classes[class.0 as usize].mirrors[0]
+                            .as_mut()
+                            .expect("fast entries only exist after init")
+                            .statics[slot as usize] = v;
+                    }
+                    // ---- instance fields ----
+                    XInsn::GetField(cp) => {
+                        flush_at!(next);
+                        let class_id = vm.threads[t].frames[fidx].class;
+                        let slot = check!(cur, resolve_instance_field(vm, class_id, cp));
+                        prepared.insns[cur].set(XInsn::GetFieldR(slot));
+                        continue 'redo;
+                    }
+                    XInsn::PutField(cp) => {
+                        flush_at!(next);
+                        let class_id = vm.threads[t].frames[fidx].class;
+                        let slot = check!(cur, resolve_instance_field(vm, class_id, cp));
+                        prepared.insns[cur].set(XInsn::PutFieldR(slot));
+                        continue 'redo;
+                    }
+                    XInsn::GetFieldR(slot) => {
+                        let r = pop!();
+                        let Some(r) = r.as_ref() else {
+                            throw!(cur, npe())
+                        };
+                        let obj = vm.heap.get(r);
+                        let ObjBody::Fields(fields) = &obj.body else {
+                            throw!(cur, internal_err("getfield on array"))
+                        };
+                        let v = fields[slot as usize];
+                        push!(v);
+                    }
+                    XInsn::PutFieldR(slot) => {
+                        let v = pop!();
+                        let r = pop!();
+                        let Some(r) = r.as_ref() else {
+                            throw!(cur, npe())
+                        };
+                        let obj = vm.heap.get_mut(r);
+                        let ObjBody::Fields(fields) = &mut obj.body else {
+                            throw!(cur, internal_err("putfield on array"))
+                        };
+                        fields[slot as usize] = v;
+                    }
+                    // ---- invocation ----
+                    XInsn::InvokeStatic(cp) => {
+                        flush_at!(next);
+                        let class_id = vm.threads[t].frames[fidx].class;
+                        let target = check!(cur, resolve_direct_method(vm, class_id, cp));
+                        let arg_slots = vm.classes[target.class.0 as usize].methods
+                            [target.index as usize]
+                            .arg_slots;
+                        prepared.insns[cur].set(XInsn::InvokeStaticR { target, arg_slots });
+                        continue 'redo;
+                    }
+                    XInsn::InvokeSpecial(cp) => {
+                        flush_at!(next);
+                        let class_id = vm.threads[t].frames[fidx].class;
+                        let target = check!(cur, resolve_direct_method(vm, class_id, cp));
+                        let arg_slots = vm.classes[target.class.0 as usize].methods
+                            [target.index as usize]
+                            .arg_slots;
+                        prepared.insns[cur].set(XInsn::InvokeDirectR { target, arg_slots });
+                        continue 'redo;
+                    }
+                    XInsn::InvokeStaticR { target, arg_slots } => {
+                        flush_at!(next);
+                        let cur_iso = vm.threads[t].current_isolate;
+                        let mi = vm.mirror_index(cur_iso);
+                        let ready = matches!(
+                            vm.classes[target.class.0 as usize].mirrors.get(mi),
+                            Some(Some(m)) if m.init == InitState::Initialized
+                        );
+                        if !ready {
+                            match check!(cur, ensure_initialized(vm, tid, target.class, cur_iso)) {
+                                InitAction::Ready => {}
+                                InitAction::Suspend => {
+                                    vm.threads[t].frames[fidx].pc = prepared.idx_to_pc[cur];
+                                    continue 'outer;
+                                }
+                            }
+                        }
+                        if shared_mode {
+                            prepared.insns[cur].set(XInsn::InvokeStaticI { target, arg_slots });
+                        }
+                        finish_invoke!(cur, target, arg_slots);
+                    }
+                    XInsn::InvokeStaticI { target, arg_slots }
+                    | XInsn::InvokeDirectR { target, arg_slots } => {
+                        flush_at!(next);
+                        finish_invoke!(cur, target, arg_slots);
+                    }
+                    XInsn::InvokeVirtual(cp) => {
+                        flush_at!(next);
+                        let class_id = vm.threads[t].frames[fidx].class;
+                        let (vslot, arg_slots) =
+                            check!(cur, resolve_virtual_method(vm, class_id, cp));
+                        prepared.insns[cur].set(XInsn::InvokeVirtualR { vslot, arg_slots });
+                        continue 'redo;
+                    }
+                    XInsn::InvokeVirtualR { vslot, arg_slots } => {
+                        flush_at!(next);
+                        let receiver = check!(cur, peek_receiver(vm, t, fidx, arg_slots));
+                        let rc = vm.heap.get(receiver).class;
+                        let target = match vm.classes[rc.0 as usize].vtable.get(vslot as usize) {
+                            Some(&mref) => mref,
+                            None => throw!(
+                                cur,
+                                Thrown::ByName {
+                                    class_name: "java/lang/AbstractMethodError",
+                                    message: format!("vtable slot {vslot} missing"),
+                                }
+                            ),
+                        };
+                        finish_invoke!(cur, target, arg_slots);
+                    }
+                    XInsn::InvokeInterface(site) => {
+                        flush_at!(next);
+                        let s = &prepared.iface_sites[site as usize];
+                        let arg_slots = s.arg_slots;
+                        let receiver = check!(cur, peek_receiver(vm, t, fidx, arg_slots));
+                        let rc = vm.heap.get(receiver).class;
+                        // Per-site inline cache, migrated out of RtCp into
+                        // the stream.
+                        let target = match s.cache.get() {
+                            Some((cc, mref)) if cc == rc => mref,
+                            _ => {
+                                let found = match lookup_virtual(vm, rc, &s.name, &s.descriptor) {
+                                    Some(m) => m,
+                                    None => throw!(
+                                        cur,
+                                        Thrown::ByName {
+                                            class_name: "java/lang/AbstractMethodError",
+                                            message: format!(
+                                                "{}{} on {}",
+                                                s.name,
+                                                s.descriptor,
+                                                vm.classes[rc.0 as usize].name
+                                            ),
+                                        }
+                                    ),
+                                };
+                                s.cache.set(Some((rc, found)));
+                                found
+                            }
+                        };
+                        finish_invoke!(cur, target, arg_slots);
+                    }
+                    XInsn::InvokeIfaceSlow(cp) => {
+                        // Pool entry was malformed at pre-decode time: run
+                        // the raw interpreter's rtcp path verbatim.
+                        flush_at!(next);
+                        let class_id = vm.threads[t].frames[fidx].class;
+                        let (name, desc, arg_slots) =
+                            check!(cur, resolve_interface_method(vm, class_id, cp));
+                        let receiver = check!(cur, peek_receiver(vm, t, fidx, arg_slots));
+                        let rc = vm.heap.get(receiver).class;
+                        let cached = match &vm.classes[class_id.0 as usize].rtcp[cp as usize] {
+                            RtCp::InterfaceMethod {
+                                cache: Some((cc, mref)),
+                                ..
+                            } if *cc == rc => Some(*mref),
+                            _ => None,
+                        };
+                        let target = match cached {
+                            Some(mref) => mref,
+                            None => {
+                                let found = match lookup_virtual(vm, rc, &name, &desc) {
+                                    Some(m) => m,
+                                    None => throw!(
+                                        cur,
+                                        Thrown::ByName {
+                                            class_name: "java/lang/AbstractMethodError",
+                                            message: format!(
+                                                "{name}{desc} on {}",
+                                                vm.classes[rc.0 as usize].name
+                                            ),
+                                        }
+                                    ),
+                                };
+                                if let RtCp::InterfaceMethod { cache, .. } =
+                                    &mut vm.classes[class_id.0 as usize].rtcp[cp as usize]
+                                {
+                                    *cache = Some((rc, found));
+                                }
+                                found
+                            }
+                        };
+                        finish_invoke!(cur, target, arg_slots);
+                    }
+                    // ---- objects ----
+                    XInsn::New(cp) => {
+                        flush_at!(next);
+                        let class_id = vm.threads[t].frames[fidx].class;
+                        let target = check!(cur, resolve_class(vm, class_id, cp));
+                        let ClassTarget::Class(new_class) = target else {
+                            throw!(cur, internal_err("new on array type"))
+                        };
+                        prepared.insns[cur].set(XInsn::NewR(new_class));
+                        continue 'redo;
+                    }
+                    XInsn::NewR(new_class) => {
+                        flush_at!(next);
+                        let iso = vm.threads[t].current_isolate;
+                        check!(cur, check_not_poisoned(vm, tid, new_class));
+                        let mi = vm.mirror_index(iso);
+                        let ready = matches!(
+                            vm.classes[new_class.0 as usize].mirrors.get(mi),
+                            Some(Some(m)) if m.init == InitState::Initialized
+                        );
+                        if !ready {
+                            match check!(cur, ensure_initialized(vm, tid, new_class, iso)) {
+                                InitAction::Ready => {}
+                                InitAction::Suspend => {
+                                    vm.threads[t].frames[fidx].pc = prepared.idx_to_pc[cur];
+                                    continue 'outer;
+                                }
+                            }
+                        }
+                        if shared_mode {
+                            prepared.insns[cur].set(XInsn::NewI(new_class));
+                        }
+                        let r = check!(cur, vm.alloc_instance(new_class, iso));
+                        push!(Value::Ref(r));
+                    }
+                    XInsn::NewI(new_class) => {
+                        // Baseline fast path: init check elided, as a JIT
+                        // would after first execution.
+                        let iso = vm.threads[t].current_isolate;
+                        let r = check!(cur, vm.alloc_instance(new_class, iso));
+                        push!(Value::Ref(r));
+                    }
+                    XInsn::NewArray(atype) => {
+                        flush_at!(next);
+                        let len = pop!().as_int();
+                        if len < 0 {
+                            throw!(
+                                cur,
+                                Thrown::ByName {
+                                    class_name: "java/lang/NegativeArraySizeException",
+                                    message: len.to_string(),
+                                }
+                            );
+                        }
+                        let iso = vm.threads[t].current_isolate;
+                        let r = check!(cur, alloc_prim_array(vm, iso, atype, len as usize));
+                        push!(Value::Ref(r));
+                    }
+                    XInsn::ANewArray(cp) => {
+                        flush_at!(next);
+                        let class_id = vm.threads[t].frames[fidx].class;
+                        let target = check!(cur, resolve_class(vm, class_id, cp));
+                        let len = pop!().as_int();
+                        if len < 0 {
+                            throw!(
+                                cur,
+                                Thrown::ByName {
+                                    class_name: "java/lang/NegativeArraySizeException",
+                                    message: len.to_string(),
+                                }
+                            );
+                        }
+                        let elem_desc = match &target {
+                            ClassTarget::Class(c) => {
+                                format!("L{};", vm.classes[c.0 as usize].name)
+                            }
+                            ClassTarget::Array(d) => d.clone(),
+                        };
+                        let iso = vm.threads[t].current_isolate;
+                        let size = crate::heap::OBJECT_HEADER_BYTES + len as usize * 8;
+                        check!(cur, vm.check_heap(size, iso));
+                        let desc = format!("[{elem_desc}");
+                        let obj_class = vm.well_known.object.expect("bootstrap installed");
+                        let body = ObjBody::ArrRef {
+                            elem_desc,
+                            data: vec![Value::Null; len as usize].into_boxed_slice(),
+                        };
+                        let r = vm.alloc_raw(obj_class, iso, body, &desc);
+                        push!(Value::Ref(r));
+                    }
+                    XInsn::ArrayLength => {
+                        let r = pop!();
+                        let Some(r) = r.as_ref() else {
+                            throw!(cur, npe())
+                        };
+                        let len = vm.heap.get(r).body.array_len();
+                        let Some(len) = len else {
+                            throw!(cur, internal_err("arraylength on non-array"))
+                        };
+                        push!(Value::Int(len as i32));
+                    }
+                    XInsn::Athrow => {
+                        let r = pop!();
+                        let Some(r) = r.as_ref() else {
+                            throw!(cur, npe())
+                        };
+                        flush_at!(next);
+                        if unwind(vm, tid, r) {
+                            continue 'outer;
+                        }
+                        return consumed;
+                    }
+                    XInsn::Checkcast(cp) => {
+                        flush_at!(next);
+                        let class_id = vm.threads[t].frames[fidx].class;
+                        let target = check!(cur, resolve_class(vm, class_id, cp));
+                        let v = *fr!().stack.last().expect("checkcast on empty stack");
+                        if let Value::Ref(r) = v {
+                            if !is_instance(vm, r, &target) {
+                                let from = vm.classes[vm.heap.get(r).class.0 as usize].name.clone();
+                                throw!(
+                                    cur,
+                                    Thrown::ByName {
+                                        class_name: "java/lang/ClassCastException",
+                                        message: format!("{from} cannot be cast"),
+                                    }
+                                );
+                            }
+                        }
+                    }
+                    XInsn::InstanceOf(cp) => {
+                        flush_at!(next);
+                        let class_id = vm.threads[t].frames[fidx].class;
+                        let target = check!(cur, resolve_class(vm, class_id, cp));
+                        let v = pop!();
+                        let res = match v {
+                            Value::Ref(r) => is_instance(vm, r, &target) as i32,
+                            _ => 0,
+                        };
+                        push!(Value::Int(res));
+                    }
+                    // ---- monitors ----
+                    XInsn::MonitorEnter => {
+                        let v = *fr!().stack.last().expect("monitorenter on empty stack");
+                        let Some(r) = v.as_ref() else {
+                            pop!();
+                            throw!(cur, npe())
+                        };
+                        flush_at!(next);
+                        match monitor_enter(vm, tid, r) {
+                            EnterResult::Acquired => {
+                                pop!();
+                            }
+                            EnterResult::Blocked => {
+                                // Retry the monitorenter when rescheduled.
+                                vm.threads[t].frames[fidx].pc = prepared.idx_to_pc[cur];
+                                return consumed;
+                            }
+                        }
+                    }
+                    XInsn::MonitorExit => {
+                        let v = pop!();
+                        let Some(r) = v.as_ref() else {
+                            throw!(cur, npe())
+                        };
+                        flush_at!(next);
+                        check!(cur, monitor_exit(vm, tid, r));
+                    }
+                    // ---- traps ----
+                    XInsn::Invalid(byte) => {
+                        throw!(
+                            cur,
+                            Thrown::ByName {
+                                class_name: "java/lang/VerifyError",
+                                message: format!("bad opcode {byte:#04x}"),
+                            }
+                        );
+                    }
+                    XInsn::Trap(kind) => {
+                        let msg = match kind {
+                            TrapKind::Truncated => "code ends in the middle of an instruction",
+                            TrapKind::BadBranch => "branch into the middle of an instruction",
+                            TrapKind::FellOffEnd => "execution ran off the end of the code",
+                        };
+                        throw!(cur, internal_err(msg));
+                    }
+                }
+                break 'redo;
+            }
+            idx = next;
+        }
+    }
+    consumed
+}

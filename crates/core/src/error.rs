@@ -70,7 +70,10 @@ impl fmt::Display for VmError {
             VmError::PermissionDenied { what, from } => {
                 write!(f, "permission denied: {what} attempted from {from}")
             }
-            VmError::UncaughtException { class_name, message } => match message {
+            VmError::UncaughtException {
+                class_name,
+                message,
+            } => match message {
                 Some(m) => write!(f, "uncaught exception {class_name}: {m}"),
                 None => write!(f, "uncaught exception {class_name}"),
             },

@@ -75,10 +75,11 @@ impl Vm {
         // Thread stacks (step 3): every frame charges its own isolate.
         for t in &self.threads {
             let tiso = clamp(t.current_isolate, niso);
-            for opt in [t.pending_exception, t.uncaught, t.thread_obj] {
-                if let Some(r) = opt {
-                    roots[tiso].push(r);
-                }
+            for r in [t.pending_exception, t.uncaught, t.thread_obj]
+                .into_iter()
+                .flatten()
+            {
+                roots[tiso].push(r);
             }
             if let Some(Value::Ref(r)) = t.result {
                 roots[clamp(t.creator_isolate, niso)].push(r);

@@ -23,76 +23,109 @@ use ijvm_classfile::{ConstEntry, Opcode};
 pub const STOPPED_ISOLATE_EXCEPTION: &str = "org/ijvm/StoppedIsolateException";
 
 /// Executes thread `tid` for at most `budget` instructions, returning how
-/// many were consumed.
-#[allow(unused_assignments)] // operand readers advance pc even when a branch overwrites it
+/// many were consumed. Dispatches to the engine selected by
+/// [`crate::vm::VmOptions::engine`].
 pub(crate) fn step_thread(vm: &mut Vm, tid: ThreadId, budget: u32) -> u32 {
+    match vm.options.engine {
+        crate::engine::EngineKind::Raw => step_thread_raw(vm, tid, budget),
+        crate::engine::EngineKind::Quickened => {
+            crate::engine::quicken::step_thread_quickened(vm, tid, budget)
+        }
+    }
+}
+
+/// What [`frame_prologue`] decided about the thread's top frame.
+pub(crate) enum Prologue {
+    /// Execute the frame at the given index.
+    Run(usize),
+    /// An exception was delivered (or state changed); re-run the prologue.
+    Redeliver,
+    /// The thread cannot make progress this step.
+    Yield,
+}
+
+/// Common per-resumption bookkeeping shared by both engines: delivers
+/// injected exceptions, finishes empty threads, and takes the lazy
+/// monitor of thread-entry `synchronized` methods.
+pub(crate) fn frame_prologue(vm: &mut Vm, tid: ThreadId) -> Prologue {
+    let t = tid.0 as usize;
+    // Deliver externally injected exceptions (termination, interrupt).
+    if vm.threads[t].pending_exception.is_some() {
+        let ex = vm.threads[t].pending_exception.take().unwrap();
+        if !unwind(vm, tid, ex) {
+            return Prologue::Yield;
+        }
+        return Prologue::Redeliver;
+    }
+    if vm.threads[t].frames.is_empty() {
+        finish_thread(vm, tid, None);
+        return Prologue::Yield;
+    }
+    if !vm.threads[t].is_runnable() {
+        return Prologue::Yield;
+    }
+
+    let fidx = vm.threads[t].frames.len() - 1;
+    // Thread-entry `synchronized` methods take their monitor on first
+    // step (invoked frames acquire it in do_invoke instead).
+    if vm.threads[t].frames[fidx].needs_sync_enter {
+        let class = vm.threads[t].frames[fidx].class;
+        let cur_iso = vm.threads[t].current_isolate;
+        let is_static = vm.classes[class.0 as usize].methods
+            [vm.threads[t].frames[fidx].method.index as usize]
+            .is_static();
+        let lock = if is_static {
+            vm.ensure_mirror(class, cur_iso);
+            let mi = vm.mirror_index(cur_iso);
+            vm.classes[class.0 as usize].mirrors[mi]
+                .as_ref()
+                .expect("mirror just ensured")
+                .class_object
+        } else {
+            match vm.threads[t].frames[fidx].locals[0] {
+                Value::Ref(r) => r,
+                _ => {
+                    // Null receiver on a synchronized entry: NPE.
+                    let ex = materialize(
+                        vm,
+                        tid,
+                        Thrown::ByName {
+                            class_name: "java/lang/NullPointerException",
+                            message: String::new(),
+                        },
+                    );
+                    vm.threads[t].frames[fidx].needs_sync_enter = false;
+                    if unwind(vm, tid, ex) {
+                        return Prologue::Redeliver;
+                    }
+                    return Prologue::Yield;
+                }
+            }
+        };
+        match monitor_enter(vm, tid, lock) {
+            EnterResult::Acquired => {
+                let f = &mut vm.threads[t].frames[fidx];
+                f.sync_object = Some(lock);
+                f.needs_sync_enter = false;
+            }
+            EnterResult::Blocked => return Prologue::Yield,
+        }
+    }
+    Prologue::Run(fidx)
+}
+
+/// The raw engine: decodes classfile bytes instruction by instruction.
+#[allow(unused_assignments)] // operand readers advance pc even when a branch overwrites it
+pub(crate) fn step_thread_raw(vm: &mut Vm, tid: ThreadId, budget: u32) -> u32 {
     let t = tid.0 as usize;
     let mut consumed: u32 = 0;
 
     'outer: while consumed < budget {
-        // Deliver externally injected exceptions (termination, interrupt).
-        if vm.threads[t].pending_exception.is_some() {
-            let ex = vm.threads[t].pending_exception.take().unwrap();
-            if !unwind(vm, tid, ex) {
-                return consumed;
-            }
-            continue 'outer;
-        }
-        if vm.threads[t].frames.is_empty() {
-            finish_thread(vm, tid, None);
-            return consumed;
-        }
-        if !vm.threads[t].is_runnable() {
-            return consumed;
-        }
-
-        let fidx = vm.threads[t].frames.len() - 1;
-        // Thread-entry `synchronized` methods take their monitor on first
-        // step (invoked frames acquire it in do_invoke instead).
-        if vm.threads[t].frames[fidx].needs_sync_enter {
-            let class = vm.threads[t].frames[fidx].class;
-            let cur_iso = vm.threads[t].current_isolate;
-            let is_static =
-                vm.classes[class.0 as usize].methods
-                    [vm.threads[t].frames[fidx].method.index as usize]
-                    .is_static();
-            let lock = if is_static {
-                vm.ensure_mirror(class, cur_iso);
-                let mi = vm.mirror_index(cur_iso);
-                vm.classes[class.0 as usize].mirrors[mi]
-                    .as_ref()
-                    .expect("mirror just ensured")
-                    .class_object
-            } else {
-                match vm.threads[t].frames[fidx].locals[0] {
-                    Value::Ref(r) => r,
-                    _ => {
-                        // Null receiver on a synchronized entry: NPE.
-                        let ex = materialize(
-                            vm,
-                            tid,
-                            Thrown::ByName {
-                                class_name: "java/lang/NullPointerException",
-                                message: String::new(),
-                            },
-                        );
-                        vm.threads[t].frames[fidx].needs_sync_enter = false;
-                        if unwind(vm, tid, ex) {
-                            continue 'outer;
-                        }
-                        return consumed;
-                    }
-                }
-            };
-            match monitor_enter(vm, tid, lock) {
-                EnterResult::Acquired => {
-                    let f = &mut vm.threads[t].frames[fidx];
-                    f.sync_object = Some(lock);
-                    f.needs_sync_enter = false;
-                }
-                EnterResult::Blocked => return consumed,
-            }
-        }
+        let fidx = match frame_prologue(vm, tid) {
+            Prologue::Run(fidx) => fidx,
+            Prologue::Redeliver => continue 'outer,
+            Prologue::Yield => return consumed,
+        };
         let code = vm.threads[t].frames[fidx].code.clone();
         let bytes = &code.bytes;
         let mut pc = vm.threads[t].frames[fidx].pc as usize;
@@ -167,7 +200,8 @@ pub(crate) fn step_thread(vm: &mut Vm, tid: ThreadId, budget: u32) -> u32 {
         }
         macro_rules! op_i32 {
             () => {{
-                let v = i32::from_be_bytes([bytes[pc], bytes[pc + 1], bytes[pc + 2], bytes[pc + 3]]);
+                let v =
+                    i32::from_be_bytes([bytes[pc], bytes[pc + 1], bytes[pc + 2], bytes[pc + 3]]);
                 pc += 4;
                 v
             }};
@@ -265,7 +299,11 @@ pub(crate) fn step_thread(vm: &mut Vm, tid: ThreadId, budget: u32) -> u32 {
                     push!(Value::Int(v));
                 }
                 O::Ldc | O::LdcW | O::Ldc2W => {
-                    let idx = if op == O::Ldc { op_u8!() as u16 } else { op_u16!() };
+                    let idx = if op == O::Ldc {
+                        op_u8!() as u16
+                    } else {
+                        op_u16!()
+                    };
                     flush!();
                     let class_id = vm.threads[t].frames[fidx].class;
                     let v = check!(load_constant(vm, tid, class_id, idx));
@@ -339,11 +377,19 @@ pub(crate) fn step_thread(vm: &mut Vm, tid: ThreadId, budget: u32) -> u32 {
                     f.locals[n] = Value::Int(f.locals[n].as_int().wrapping_add(d));
                 }
                 // ---- array loads/stores ----
-                O::Iaload | O::Laload | O::Faload | O::Daload | O::Aaload | O::Baload
-                | O::Caload | O::Saload => {
+                O::Iaload
+                | O::Laload
+                | O::Faload
+                | O::Daload
+                | O::Aaload
+                | O::Baload
+                | O::Caload
+                | O::Saload => {
                     let idx = pop!().as_int();
                     let arr = pop!();
-                    let Some(arr) = arr.as_ref() else { throw!(npe()) };
+                    let Some(arr) = arr.as_ref() else {
+                        throw!(npe())
+                    };
                     let obj = vm.heap.get(arr);
                     let len = obj.body.array_len().unwrap_or(0);
                     if idx < 0 || idx as usize >= len {
@@ -366,12 +412,20 @@ pub(crate) fn step_thread(vm: &mut Vm, tid: ThreadId, budget: u32) -> u32 {
                     };
                     push!(v);
                 }
-                O::Iastore | O::Lastore | O::Fastore | O::Dastore | O::Aastore | O::Bastore
-                | O::Castore | O::Sastore => {
+                O::Iastore
+                | O::Lastore
+                | O::Fastore
+                | O::Dastore
+                | O::Aastore
+                | O::Bastore
+                | O::Castore
+                | O::Sastore => {
                     let v = pop!();
                     let idx = pop!().as_int();
                     let arr = pop!();
-                    let Some(arr) = arr.as_ref() else { throw!(npe()) };
+                    let Some(arr) = arr.as_ref() else {
+                        throw!(npe())
+                    };
                     let obj = vm.heap.get_mut(arr);
                     let len = obj.body.array_len().unwrap_or(0);
                     if idx < 0 || idx as usize >= len {
@@ -635,7 +689,11 @@ pub(crate) fn step_thread(vm: &mut Vm, tid: ThreadId, budget: u32) -> u32 {
                         pc = (insn_pc as i64 + off) as usize;
                     }
                 }
-                O::IfIcmpeq | O::IfIcmpne | O::IfIcmplt | O::IfIcmpge | O::IfIcmpgt
+                O::IfIcmpeq
+                | O::IfIcmpne
+                | O::IfIcmplt
+                | O::IfIcmpge
+                | O::IfIcmpgt
                 | O::IfIcmple => {
                     let off = op_u16!() as i16 as i64;
                     let b = pop!().as_int();
@@ -674,7 +732,7 @@ pub(crate) fn step_thread(vm: &mut Vm, tid: ThreadId, budget: u32) -> u32 {
                     pc = (insn_pc as i64 + off) as usize;
                 }
                 O::Tableswitch => {
-                    while pc % 4 != 0 {
+                    while !pc.is_multiple_of(4) {
                         pc += 1;
                     }
                     let default = op_i32!() as i64;
@@ -695,7 +753,7 @@ pub(crate) fn step_thread(vm: &mut Vm, tid: ThreadId, budget: u32) -> u32 {
                     }
                 }
                 O::Lookupswitch => {
-                    while pc % 4 != 0 {
+                    while !pc.is_multiple_of(4) {
                         pc += 1;
                     }
                     let default = op_i32!() as i64;
@@ -817,8 +875,10 @@ pub(crate) fn step_thread(vm: &mut Vm, tid: ThreadId, budget: u32) -> u32 {
                         }
                     }
                     if vm.options.isolation == crate::vm::IsolationMode::Shared {
-                        vm.classes[class_id.0 as usize].rtcp[cp as usize] =
-                            RtCp::StaticFieldInit { class: def_class, slot };
+                        vm.classes[class_id.0 as usize].rtcp[cp as usize] = RtCp::StaticFieldInit {
+                            class: def_class,
+                            slot,
+                        };
                     }
                 }
                 O::Getfield => {
@@ -962,7 +1022,9 @@ pub(crate) fn step_thread(vm: &mut Vm, tid: ThreadId, budget: u32) -> u32 {
                     let r = pop!();
                     let Some(r) = r.as_ref() else { throw!(npe()) };
                     let len = vm.heap.get(r).body.array_len();
-                    let Some(len) = len else { throw!(internal_err("arraylength on non-array")) };
+                    let Some(len) = len else {
+                        throw!(internal_err("arraylength on non-array"))
+                    };
                     push!(Value::Int(len as i32));
                 }
                 O::Athrow => {
@@ -1033,9 +1095,8 @@ pub(crate) fn step_thread(vm: &mut Vm, tid: ThreadId, budget: u32) -> u32 {
     consumed
 }
 
-
 /// Three-way comparison for `lcmp`.
-fn cmp3<T: Ord>(a: T, b: T) -> i32 {
+pub(crate) fn cmp3<T: Ord>(a: T, b: T) -> i32 {
     match a.cmp(&b) {
         std::cmp::Ordering::Less => -1,
         std::cmp::Ordering::Equal => 0,
@@ -1044,7 +1105,7 @@ fn cmp3<T: Ord>(a: T, b: T) -> i32 {
 }
 
 /// `fcmpl`/`fcmpg`/`dcmpl`/`dcmpg` semantics (NaN direction differs).
-fn fcmp(a: f64, b: f64, nan_is_one: bool) -> i32 {
+pub(crate) fn fcmp(a: f64, b: f64, nan_is_one: bool) -> i32 {
     if a.is_nan() || b.is_nan() {
         if nan_is_one {
             1
@@ -1061,7 +1122,7 @@ fn fcmp(a: f64, b: f64, nan_is_one: bool) -> i32 {
 }
 
 /// `f2i` saturating conversion per the JVM spec.
-fn f2i(v: f32) -> i32 {
+pub(crate) fn f2i(v: f32) -> i32 {
     if v.is_nan() {
         0
     } else {
@@ -1070,7 +1131,7 @@ fn f2i(v: f32) -> i32 {
 }
 
 /// `d2l` saturating conversion per the JVM spec.
-fn f2l(v: f64) -> i64 {
+pub(crate) fn f2l(v: f64) -> i64 {
     if v.is_nan() {
         0
     } else {
@@ -1078,26 +1139,32 @@ fn f2l(v: f64) -> i64 {
     }
 }
 
-fn npe() -> Thrown {
-    Thrown::ByName { class_name: "java/lang/NullPointerException", message: String::new() }
+pub(crate) fn npe() -> Thrown {
+    Thrown::ByName {
+        class_name: "java/lang/NullPointerException",
+        message: String::new(),
+    }
 }
 
-fn arith() -> Thrown {
+pub(crate) fn arith() -> Thrown {
     Thrown::ByName {
         class_name: "java/lang/ArithmeticException",
         message: "/ by zero".to_owned(),
     }
 }
 
-fn aioobe(idx: i32, len: usize) -> Thrown {
+pub(crate) fn aioobe(idx: i32, len: usize) -> Thrown {
     Thrown::ByName {
         class_name: "java/lang/ArrayIndexOutOfBoundsException",
         message: format!("index {idx} out of bounds for length {len}"),
     }
 }
 
-fn internal_err(msg: &str) -> Thrown {
-    Thrown::ByName { class_name: "java/lang/VerifyError", message: msg.to_owned() }
+pub(crate) fn internal_err(msg: &str) -> Thrown {
+    Thrown::ByName {
+        class_name: "java/lang/VerifyError",
+        message: msg.to_owned(),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1189,18 +1256,20 @@ fn do_invoke(
             let rc = vm.heap.get(receiver).class;
             // Inline cache on the call site.
             let cached = match &vm.classes[caller_class.0 as usize].rtcp[cp as usize] {
-                RtCp::InterfaceMethod { cache: Some((cc, mref)), .. } if *cc == rc => Some(*mref),
+                RtCp::InterfaceMethod {
+                    cache: Some((cc, mref)),
+                    ..
+                } if *cc == rc => Some(*mref),
                 _ => None,
             };
             let target = match cached {
                 Some(mref) => mref,
                 None => {
-                    let found = lookup_virtual(vm, rc, &name, &desc).ok_or_else(|| {
-                        Thrown::ByName {
+                    let found =
+                        lookup_virtual(vm, rc, &name, &desc).ok_or_else(|| Thrown::ByName {
                             class_name: "java/lang/AbstractMethodError",
                             message: format!("{name}{desc} on {}", vm.classes[rc.0 as usize].name),
-                        }
-                    })?;
+                        })?;
                     if let RtCp::InterfaceMethod { cache, .. } =
                         &mut vm.classes[caller_class.0 as usize].rtcp[cp as usize]
                     {
@@ -1213,6 +1282,24 @@ fn do_invoke(
         }
         _ => unreachable!("do_invoke on non-invoke opcode"),
     };
+
+    invoke_resolved(vm, tid, fidx, target, arg_slots, insn_pc)
+}
+
+/// Performs a call whose target method is already resolved: poisoning
+/// check, native dispatch or frame push, `synchronized` entry, and the
+/// inter-isolate thread migration of paper §3.1. Shared by the raw
+/// interpreter's `do_invoke` and the quickened engine's fast invoke forms.
+pub(crate) fn invoke_resolved(
+    vm: &mut Vm,
+    tid: ThreadId,
+    fidx: usize,
+    target: MethodRef,
+    arg_slots: u16,
+    insn_pc: usize,
+) -> Result<InvokeAction, Thrown> {
+    let t = tid.0 as usize;
+    let cur_iso = vm.threads[t].current_isolate;
 
     check_not_poisoned(vm, tid, target.class)?;
 
@@ -1262,9 +1349,13 @@ fn do_invoke(
                 }
                 Ok(InvokeAction::NativeDone)
             }
-            NativeResult::Throw { class_name, message } => {
-                Err(Thrown::ByName { class_name, message })
-            }
+            NativeResult::Throw {
+                class_name,
+                message,
+            } => Err(Thrown::ByName {
+                class_name,
+                message,
+            }),
             NativeResult::ThrowRef(r) => Err(Thrown::Ref(r)),
             NativeResult::Fail(e) => Err(Thrown::ByName {
                 class_name: "java/lang/InternalError",
@@ -1320,7 +1411,12 @@ fn do_invoke(
     }
 }
 
-fn peek_receiver(vm: &Vm, t: usize, fidx: usize, arg_slots: u16) -> Result<GcRef, Thrown> {
+pub(crate) fn peek_receiver(
+    vm: &Vm,
+    t: usize,
+    fidx: usize,
+    arg_slots: u16,
+) -> Result<GcRef, Thrown> {
     let stack = &vm.threads[t].frames[fidx].stack;
     let v = stack
         .get(stack.len().wrapping_sub(arg_slots as usize))
@@ -1374,7 +1470,12 @@ pub(crate) fn do_return(vm: &mut Vm, tid: ThreadId, value: Option<Value>) -> boo
         (m.returns_value, &*m.name == "<clinit>")
     };
     if is_clinit {
-        mark_initialized(vm, frame.method.class, frame.isolate, InitState::Initialized);
+        mark_initialized(
+            vm,
+            frame.method.class,
+            frame.isolate,
+            InitState::Initialized,
+        );
     }
     // Paper §3.3: returning into a frame of a terminated isolate raises
     // StoppedIsolateException instead.
@@ -1387,7 +1488,9 @@ pub(crate) fn do_return(vm: &mut Vm, tid: ThreadId, value: Option<Value>) -> boo
     match vm.threads[t].frames.last_mut() {
         Some(caller) => {
             if returns_value {
-                caller.stack.push(value.expect("value-returning method returned nothing"));
+                caller
+                    .stack
+                    .push(value.expect("value-returning method returned nothing"));
             }
             true
         }
@@ -1429,7 +1532,10 @@ pub(crate) fn finish_thread(vm: &mut Vm, tid: ThreadId, value: Option<Value>) {
 pub(crate) fn materialize(vm: &mut Vm, tid: ThreadId, thrown: Thrown) -> GcRef {
     match thrown {
         Thrown::Ref(r) => r,
-        Thrown::ByName { class_name, message } => alloc_exception(vm, tid, class_name, &message),
+        Thrown::ByName {
+            class_name,
+            message,
+        } => alloc_exception(vm, tid, class_name, &message),
     }
 }
 
@@ -1474,7 +1580,12 @@ pub(crate) fn make_sie(vm: &mut Vm, tid: ThreadId, dead_iso: IsolateId) -> GcRef
         .get(dead_iso.0 as usize)
         .map(|i| i.name.clone())
         .unwrap_or_default();
-    let r = alloc_exception(vm, tid, STOPPED_ISOLATE_EXCEPTION, &format!("isolate {name} stopped"));
+    let r = alloc_exception(
+        vm,
+        tid,
+        STOPPED_ISOLATE_EXCEPTION,
+        &format!("isolate {name} stopped"),
+    );
     let class = vm.heap.get(r).class;
     if let Some(slot) = vm.classes[class.0 as usize].find_instance_slot("isolateId") {
         if let crate::heap::ObjBody::Fields(fields) = &mut vm.heap.get_mut(r).body {
@@ -1491,7 +1602,9 @@ fn sie_isolate_of(vm: &Vm, ex: GcRef) -> Option<IsolateId> {
         return None;
     }
     let slot = class.find_instance_slot("isolateId")?;
-    let crate::heap::ObjBody::Fields(fields) = &obj.body else { return None };
+    let crate::heap::ObjBody::Fields(fields) = &obj.body else {
+        return None;
+    };
     match fields[slot as usize] {
         Value::Int(v) => Some(IsolateId(v as u16)),
         _ => None,
@@ -1561,7 +1674,10 @@ pub(crate) fn unwind(vm: &mut Vm, tid: ThreadId, ex: GcRef) -> bool {
                 }
             }
             if let Some(hpc) = handler_pc {
-                let frame = vm.threads[t].frames.last_mut().expect("frame checked above");
+                let frame = vm.threads[t]
+                    .frames
+                    .last_mut()
+                    .expect("frame checked above");
                 frame.stack.clear();
                 frame.stack.push(Value::Ref(ex));
                 frame.pc = hpc;
@@ -1575,8 +1691,7 @@ pub(crate) fn unwind(vm: &mut Vm, tid: ThreadId, ex: GcRef) -> bool {
             let _ = monitor_exit(vm, tid, obj);
         }
         let is_clinit = {
-            let m =
-                &vm.classes[frame.method.class.0 as usize].methods[frame.method.index as usize];
+            let m = &vm.classes[frame.method.class.0 as usize].methods[frame.method.index as usize];
             &*m.name == "<clinit>"
         };
         if is_clinit {
@@ -1624,7 +1739,10 @@ pub(crate) fn ensure_initialized(
             }
             InitState::InProgress(owner) if owner == tid => continue,
             InitState::InProgress(_) => {
-                vm.threads[t].state = ThreadState::BlockedOnClassInit { class: c, isolate: iso };
+                vm.threads[t].state = ThreadState::BlockedOnClassInit {
+                    class: c,
+                    isolate: iso,
+                };
                 return Ok(InitAction::Suspend);
             }
             InitState::Uninitialized => {
@@ -1656,11 +1774,7 @@ pub(crate) fn ensure_initialized(
 
 /// Rejects calls into classes of terminated isolates with a
 /// `StoppedIsolateException` (paper §3.3 "method poisoning").
-pub(crate) fn check_not_poisoned(
-    vm: &mut Vm,
-    tid: ThreadId,
-    class: ClassId,
-) -> Result<(), Thrown> {
+pub(crate) fn check_not_poisoned(vm: &mut Vm, tid: ThreadId, class: ClassId) -> Result<(), Thrown> {
     let (poisoned, iso, is_system) = {
         let c = &vm.classes[class.0 as usize];
         (c.poisoned, c.isolate, c.is_system)
@@ -1690,7 +1804,10 @@ fn link_error(kind: &'static str, detail: String) -> Thrown {
         "field" => "java/lang/NoSuchFieldError",
         _ => "java/lang/NoSuchMethodError",
     };
-    Thrown::ByName { class_name, message: detail }
+    Thrown::ByName {
+        class_name,
+        message: detail,
+    }
 }
 
 pub(crate) fn resolve_class(
@@ -1791,12 +1908,7 @@ fn find_method_up(vm: &Vm, class: ClassId, name: &str, desc: &str) -> Option<Met
 /// Virtual lookup used by `invokeinterface`: searches the class chain,
 /// then the interface hierarchy (for default-less interfaces this only
 /// validates existence).
-pub(crate) fn lookup_virtual(
-    vm: &Vm,
-    class: ClassId,
-    name: &str,
-    desc: &str,
-) -> Option<MethodRef> {
+pub(crate) fn lookup_virtual(vm: &Vm, class: ClassId, name: &str, desc: &str) -> Option<MethodRef> {
     find_method_up(vm, class, name, desc)
 }
 
@@ -1840,7 +1952,10 @@ pub(crate) fn resolve_virtual_method(
             // Private or constructor invoked virtually: treat as direct by
             // caching a degenerate entry through DirectMethod.
             vm.classes[class_id.0 as usize].rtcp[cp as usize] = RtCp::DirectMethod(mref);
-            Err(link_error("method", format!("{mname}:{mdesc} is not virtual")))
+            Err(link_error(
+                "method",
+                format!("{mname}:{mdesc} is not virtual"),
+            ))
         }
     }
 }
@@ -1850,8 +1965,12 @@ pub(crate) fn resolve_interface_method(
     class_id: ClassId,
     cp: u16,
 ) -> Result<(std::rc::Rc<str>, std::rc::Rc<str>, u16), Thrown> {
-    if let RtCp::InterfaceMethod { name, descriptor, arg_slots, .. } =
-        &vm.classes[class_id.0 as usize].rtcp[cp as usize]
+    if let RtCp::InterfaceMethod {
+        name,
+        descriptor,
+        arg_slots,
+        ..
+    } = &vm.classes[class_id.0 as usize].rtcp[cp as usize]
     {
         return Ok((name.clone(), descriptor.clone(), *arg_slots));
     }
@@ -1952,8 +2071,8 @@ pub(crate) fn is_instance(vm: &Vm, r: GcRef, target: &ClassTarget) -> bool {
                 return true;
             }
             // A reference array is assignable to Object[].
-            desc == "[Ljava/lang/Object;" && obj.array_desc.starts_with("[L")
-                || (desc == "[Ljava/lang/Object;" && obj.array_desc.starts_with("[["))
+            desc == "[Ljava/lang/Object;"
+                && (obj.array_desc.starts_with("[L") || obj.array_desc.starts_with("[["))
         }
     }
 }

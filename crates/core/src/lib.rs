@@ -51,6 +51,7 @@
 pub mod accounting;
 pub mod bootstrap;
 pub mod class;
+pub mod engine;
 pub mod error;
 pub mod gc;
 pub mod heap;
@@ -67,6 +68,7 @@ pub mod vm;
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use crate::accounting::{IsolateSnapshot, ResourceStats};
+    pub use crate::engine::EngineKind;
     pub use crate::error::{Result as VmResult, VmError};
     pub use crate::ids::{ClassId, IsolateId, LoaderId, MethodRef, ThreadId};
     pub use crate::isolate::IsolateState;

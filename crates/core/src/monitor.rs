@@ -23,7 +23,9 @@ pub(crate) enum EnterResult {
 /// Attempts to enter `obj`'s monitor on behalf of `tid`.
 pub(crate) fn monitor_enter(vm: &mut Vm, tid: ThreadId, obj: GcRef) -> EnterResult {
     let o = vm.heap.get_mut(obj);
-    let mon = o.monitor.get_or_insert_with(|| Box::new(MonitorState::default()));
+    let mon = o
+        .monitor
+        .get_or_insert_with(|| Box::new(MonitorState::default()));
     match mon.owner {
         None => {
             mon.owner = Some(tid);
@@ -90,7 +92,12 @@ pub(crate) fn monitor_wait(vm: &mut Vm, tid: ThreadId, obj: GcRef) -> Result<u32
 
 /// `Object.notify()`/`notifyAll()`: moves waiters to the entry queue.
 #[allow(dead_code)]
-pub(crate) fn monitor_notify(vm: &mut Vm, tid: ThreadId, obj: GcRef, all: bool) -> Result<(), Thrown> {
+pub(crate) fn monitor_notify(
+    vm: &mut Vm,
+    tid: ThreadId,
+    obj: GcRef,
+    all: bool,
+) -> Result<(), Thrown> {
     let o = vm.heap.get_mut(obj);
     let Some(mon) = o.monitor.as_mut() else {
         return Err(illegal_monitor_state());
@@ -99,8 +106,7 @@ pub(crate) fn monitor_notify(vm: &mut Vm, tid: ThreadId, obj: GcRef, all: bool) 
         return Err(illegal_monitor_state());
     }
     let mut to_wake = Vec::new();
-    loop {
-        let Some(w) = mon.wait_set.pop_front() else { break };
+    while let Some(w) = mon.wait_set.pop_front() {
         mon.entry_queue.push_back(w);
         to_wake.push(w);
         if !all {

@@ -60,14 +60,12 @@ impl NativeRegistry {
     }
 
     /// Registers (or replaces) a native implementation.
-    pub fn register(
-        &mut self,
-        class_name: &str,
-        method_name: &str,
-        descriptor: &str,
-        f: NativeFn,
-    ) {
-        let key = (class_name.to_owned(), method_name.to_owned(), descriptor.to_owned());
+    pub fn register(&mut self, class_name: &str, method_name: &str, descriptor: &str, f: NativeFn) {
+        let key = (
+            class_name.to_owned(),
+            method_name.to_owned(),
+            descriptor.to_owned(),
+        );
         match self.index.get(&key) {
             Some(&idx) => self.fns[idx as usize] = f,
             None => {
@@ -81,7 +79,11 @@ impl NativeRegistry {
     /// Looks up the binding index for a native method.
     pub fn lookup(&self, class_name: &str, method_name: &str, descriptor: &str) -> Option<u32> {
         self.index
-            .get(&(class_name.to_owned(), method_name.to_owned(), descriptor.to_owned()))
+            .get(&(
+                class_name.to_owned(),
+                method_name.to_owned(),
+                descriptor.to_owned(),
+            ))
             .copied()
     }
 
@@ -110,11 +112,21 @@ mod tests {
     fn register_and_lookup() {
         let mut reg = NativeRegistry::new();
         assert!(reg.lookup("C", "m", "()V").is_none());
-        reg.register("C", "m", "()V", Rc::new(|_, _, _| NativeResult::Return(None)));
+        reg.register(
+            "C",
+            "m",
+            "()V",
+            Rc::new(|_, _, _| NativeResult::Return(None)),
+        );
         let idx = reg.lookup("C", "m", "()V").unwrap();
         assert_eq!(reg.len(), 1);
         // Re-registering replaces in place.
-        reg.register("C", "m", "()V", Rc::new(|_, _, _| NativeResult::Return(Some(Value::Int(1)))));
+        reg.register(
+            "C",
+            "m",
+            "()V",
+            Rc::new(|_, _, _| NativeResult::Return(Some(Value::Int(1)))),
+        );
         assert_eq!(reg.lookup("C", "m", "()V").unwrap(), idx);
         assert_eq!(reg.len(), 1);
     }

@@ -74,8 +74,7 @@ impl Vm {
             }
             let top_in_target = self.threads[t].frames[nframes - 1].isolate == target;
             let top_is_system = self.threads[t].frames[nframes - 1].is_system;
-            let any_in_target =
-                self.threads[t].frames.iter().any(|f| f.isolate == target);
+            let any_in_target = self.threads[t].frames.iter().any(|f| f.isolate == target);
 
             if top_in_target && !top_is_system {
                 // The thread is executing the dying isolate's code right
@@ -94,7 +93,9 @@ impl Vm {
 
         // 4. Release per-isolate state: interned strings and every task
         //    class mirror of the dying isolate. Mirrors of the isolate's
-        //    *own* classes in other isolates die too (their code is gone).
+        //    *own* classes in other isolates die too (their code is gone),
+        //    as do their pre-decoded instruction streams — poisoning
+        //    guarantees they will never execute again.
         self.isolates[target.0 as usize].strings.clear();
         let mi = target.0 as usize;
         for class in &mut self.classes {
@@ -104,6 +105,9 @@ impl Vm {
             if class.loader == loader {
                 for m in &mut class.mirrors {
                     *m = None;
+                }
+                for method in &mut class.methods {
+                    method.prepared = None;
                 }
             }
         }

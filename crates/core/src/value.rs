@@ -152,7 +152,10 @@ mod tests {
         assert_eq!(Value::default_for_descriptor("Z"), Value::Int(0));
         assert_eq!(Value::default_for_descriptor("J"), Value::Long(0));
         assert_eq!(Value::default_for_descriptor("D"), Value::Double(0.0));
-        assert_eq!(Value::default_for_descriptor("Ljava/lang/String;"), Value::Null);
+        assert_eq!(
+            Value::default_for_descriptor("Ljava/lang/String;"),
+            Value::Null
+        );
         assert_eq!(Value::default_for_descriptor("[I"), Value::Null);
     }
 

@@ -3,8 +3,7 @@
 
 use crate::accounting::{IsolateSnapshot, ResourceStats};
 use crate::class::{
-    CodeBody, FieldDesc, InitState, RtCp, RuntimeClass, RuntimeMethod,
-    TaskClassMirror,
+    CodeBody, FieldDesc, InitState, RtCp, RuntimeClass, RuntimeMethod, TaskClassMirror,
 };
 use crate::error::{Result, VmError};
 use crate::heap::{Heap, ObjBody, Object};
@@ -34,6 +33,10 @@ pub enum IsolationMode {
 pub struct VmOptions {
     /// Isolation mode (see [`IsolationMode`]).
     pub isolation: IsolationMode,
+    /// Execution engine (see [`crate::engine::EngineKind`]): pre-decoded
+    /// quickened dispatch by default, with the raw byte interpreter kept
+    /// for ablation and A/B comparison.
+    pub engine: crate::engine::EngineKind,
     /// Per-isolate resource accounting. Defaults to `true` in `Isolated`
     /// mode; separable so benchmarks can ablate accounting cost.
     pub accounting: bool,
@@ -57,6 +60,7 @@ impl Default for VmOptions {
     fn default() -> VmOptions {
         VmOptions {
             isolation: IsolationMode::Isolated,
+            engine: crate::engine::EngineKind::default(),
             accounting: true,
             heap_limit_bytes: 256 << 20,
             max_threads: 4096,
@@ -70,12 +74,22 @@ impl Default for VmOptions {
 impl VmOptions {
     /// Baseline configuration: shared statics, no accounting.
     pub fn shared() -> VmOptions {
-        VmOptions { isolation: IsolationMode::Shared, accounting: false, ..VmOptions::default() }
+        VmOptions {
+            isolation: IsolationMode::Shared,
+            accounting: false,
+            ..VmOptions::default()
+        }
     }
 
     /// I-JVM configuration (the default).
     pub fn isolated() -> VmOptions {
         VmOptions::default()
+    }
+
+    /// The same options with a different execution engine.
+    pub fn with_engine(mut self, engine: crate::engine::EngineKind) -> VmOptions {
+        self.engine = engine;
+        self
     }
 }
 
@@ -235,7 +249,9 @@ impl Vm {
 
     /// Looks up an isolate.
     pub fn isolate(&self, iso: IsolateId) -> Result<&Isolate> {
-        self.isolates.get(iso.0 as usize).ok_or(VmError::BadIsolate(iso))
+        self.isolates
+            .get(iso.0 as usize)
+            .ok_or(VmError::BadIsolate(iso))
     }
 
     #[allow(dead_code)]
@@ -250,7 +266,9 @@ impl Vm {
 
     /// Adds class-file bytes to a loader's class path.
     pub fn add_class_bytes(&mut self, loader: LoaderId, name: &str, bytes: Vec<u8>) {
-        self.loaders[loader.0 as usize].classpath.insert(name.to_owned(), bytes);
+        self.loaders[loader.0 as usize]
+            .classpath
+            .insert(name.to_owned(), bytes);
     }
 
     /// Adds class-file bytes to the bootstrap (system) class path.
@@ -274,7 +292,8 @@ impl Vm {
         descriptor: &str,
         f: NativeFn,
     ) {
-        self.natives.register(class_name, method_name, descriptor, f);
+        self.natives
+            .register(class_name, method_name, descriptor, f);
         // Rebind any already-linked method of that name.
         for class in &mut self.classes {
             if &*class.name == class_name {
@@ -301,7 +320,10 @@ impl Vm {
             return Ok(id);
         }
         if loader != LoaderId::BOOTSTRAP {
-            if let Some(&id) = self.class_index.get(&(LoaderId::BOOTSTRAP, name.to_owned())) {
+            if let Some(&id) = self
+                .class_index
+                .get(&(LoaderId::BOOTSTRAP, name.to_owned()))
+            {
                 return Ok(id);
             }
             if self.loaders[0].classpath.contains_key(name) {
@@ -335,7 +357,9 @@ impl Vm {
             .classpath
             .get(name)
             .cloned()
-            .ok_or_else(|| VmError::ClassNotFound { name: name.to_owned() })?;
+            .ok_or_else(|| VmError::ClassNotFound {
+                name: name.to_owned(),
+            })?;
         let cf = ijvm_classfile::reader::read_class(&bytes)?;
         if cf.name()? != name {
             return Err(VmError::LinkError(format!(
@@ -351,11 +375,14 @@ impl Vm {
         let name: Rc<str> = Rc::from(cf.name()?);
 
         let super_class = match cf.super_name()? {
-            Some(s) => Some(self.load_class(loader, &s.to_owned())?),
+            Some(s) => Some(self.load_class(loader, s)?),
             None => None,
         };
-        let interface_names: Vec<String> =
-            cf.interface_names()?.into_iter().map(str::to_owned).collect();
+        let interface_names: Vec<String> = cf
+            .interface_names()?
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
         let mut interfaces = Vec::with_capacity(interface_names.len());
         for i in &interface_names {
             interfaces.push(self.load_class(loader, i)?);
@@ -416,6 +443,7 @@ impl Vm {
                 arg_slots,
                 returns_value: !parsed.is_void(),
                 code,
+                prepared: None,
                 native_idx,
                 vslot: None,
                 synchronized: m.access.is_synchronized(),
@@ -453,7 +481,10 @@ impl Vm {
                     break;
                 }
             }
-            let mref = MethodRef { class: id, index: idx as u16 };
+            let mref = MethodRef {
+                class: id,
+                index: idx as u16,
+            };
             match slot {
                 Some(vi) => {
                     vtable[vi] = mref;
@@ -511,7 +542,10 @@ impl Vm {
     pub fn find_class(&self, loader: LoaderId, name: &str) -> Option<ClassId> {
         self.class_index
             .get(&(loader, name.to_owned()))
-            .or_else(|| self.class_index.get(&(LoaderId::BOOTSTRAP, name.to_owned())))
+            .or_else(|| {
+                self.class_index
+                    .get(&(LoaderId::BOOTSTRAP, name.to_owned()))
+            })
             .copied()
     }
 
@@ -589,8 +623,11 @@ impl Vm {
             .iter()
             .map(|f| Value::default_for_descriptor(&f.descriptor))
             .collect();
-        c.mirrors[mi] =
-            Some(TaskClassMirror { init: InitState::Uninitialized, statics, class_object });
+        c.mirrors[mi] = Some(TaskClassMirror {
+            init: InitState::Uninitialized,
+            statics,
+            class_object,
+        });
         true
     }
 
@@ -667,7 +704,11 @@ impl Vm {
     }
 
     /// Enforces the heap limit before an allocation of `size` bytes.
-    pub(crate) fn check_heap(&mut self, size: usize, iso: IsolateId) -> std::result::Result<(), Thrown> {
+    pub(crate) fn check_heap(
+        &mut self,
+        size: usize,
+        iso: IsolateId,
+    ) -> std::result::Result<(), Thrown> {
         if self.heap.used_bytes() + size > self.options.heap_limit_bytes
             || self.allocated_since_gc > self.options.gc_threshold_bytes
         {
@@ -690,7 +731,11 @@ impl Vm {
     /// maps; in `Shared` mode there is a single global map).
     pub fn intern_string(&mut self, iso: IsolateId, s: &str) -> GcRef {
         let mi = self.mirror_index(iso) as u16;
-        let map_iso = if self.isolates.is_empty() { 0 } else { mi.min(self.isolates.len() as u16 - 1) };
+        let map_iso = if self.isolates.is_empty() {
+            0
+        } else {
+            mi.min(self.isolates.len() as u16 - 1)
+        };
         if let Some(i) = self.isolates.get(map_iso as usize) {
             if let Some(&r) = i.strings.get(s) {
                 if self.heap.is_live(r) {
@@ -724,7 +769,12 @@ impl Vm {
             .find_instance_slot("value")
             .expect("String.value field");
         fields[vslot as usize] = Value::Ref(arr);
-        self.alloc_raw(string_class, iso, ObjBody::Fields(fields.into_boxed_slice()), "")
+        self.alloc_raw(
+            string_class,
+            iso,
+            ObjBody::Fields(fields.into_boxed_slice()),
+            "",
+        )
     }
 
     /// Reads a Java string back into Rust. Returns `None` if `r` is not a
@@ -736,7 +786,9 @@ impl Vm {
             return None;
         }
         let vslot = self.classes[string_class.0 as usize].find_instance_slot("value")?;
-        let ObjBody::Fields(fields) = &obj.body else { return None };
+        let ObjBody::Fields(fields) = &obj.body else {
+            return None;
+        };
         let arr = fields[vslot as usize].as_ref()?;
         match &self.heap.get(arr).body {
             ObjBody::ArrChar(chars) => Some(String::from_utf16_lossy(chars)),
@@ -789,11 +841,14 @@ impl Vm {
     ) -> Frame {
         let class = &self.classes[method.class.0 as usize];
         let m = &class.methods[method.index as usize];
-        let code = m.code.as_ref().expect("make_frame on non-bytecode method").clone();
+        let code = m
+            .code
+            .as_ref()
+            .expect("make_frame on non-bytecode method")
+            .clone();
         let is_system = class.is_system;
         let is_clinit = &*m.name == "<clinit>";
-        let isolate = if is_system || is_clinit || self.options.isolation == IsolationMode::Shared
-        {
+        let isolate = if is_system || is_clinit || self.options.isolation == IsolationMode::Shared {
             caller_isolate
         } else {
             class.isolate
@@ -810,7 +865,10 @@ impl Vm {
             code,
             pc: 0,
             locals,
-            stack: Vec::with_capacity(code_stack_hint(&self.classes[method.class.0 as usize], method.index)),
+            stack: Vec::with_capacity(code_stack_hint(
+                &self.classes[method.class.0 as usize],
+                method.index,
+            )),
             sync_object: None,
             needs_sync_enter,
             poisoned_return: None,
@@ -819,7 +877,9 @@ impl Vm {
 
     /// Shared thread accessor.
     pub fn thread(&self, tid: ThreadId) -> Result<&VmThread> {
-        self.threads.get(tid.0 as usize).ok_or(VmError::BadThread(tid))
+        self.threads
+            .get(tid.0 as usize)
+            .ok_or(VmError::BadThread(tid))
     }
 
     pub(crate) fn thread_mut(&mut self, tid: ThreadId) -> &mut VmThread {
@@ -863,7 +923,11 @@ impl Vm {
                     .threads
                     .iter()
                     .any(|t| !t.is_terminated() && !t.is_runnable());
-                return if any_blocked { RunOutcome::Deadlock } else { RunOutcome::Idle };
+                return if any_blocked {
+                    RunOutcome::Deadlock
+                } else {
+                    RunOutcome::Idle
+                };
             };
             let quantum = self.options.quantum;
             let consumed = crate::interp::step_thread(self, tid, quantum);
@@ -947,9 +1011,7 @@ impl Vm {
                         .mirrors
                         .get(mi)
                         .and_then(|m| m.as_ref())
-                        .map(|m| {
-                            matches!(m.init, InitState::Initialized | InitState::Failed)
-                        })
+                        .map(|m| matches!(m.init, InitState::Initialized | InitState::Failed))
                         .unwrap_or(true);
                     if done {
                         to_wake.push(t.id);
@@ -1004,7 +1066,11 @@ impl Vm {
     ) -> Result<Option<Value>> {
         let iso = {
             let c = &self.classes[class.0 as usize];
-            if c.is_system { IsolateId::ISOLATE0 } else { c.isolate }
+            if c.is_system {
+                IsolateId::ISOLATE0
+            } else {
+                c.isolate
+            }
         };
         self.call_static_as(class, name, descriptor, args, iso)
     }
@@ -1021,7 +1087,10 @@ impl Vm {
         let index = self.classes[class.0 as usize]
             .find_method(name, descriptor)
             .ok_or_else(|| VmError::NoSuchMember {
-                what: format!("{}.{}:{}", self.classes[class.0 as usize].name, name, descriptor),
+                what: format!(
+                    "{}.{}:{}",
+                    self.classes[class.0 as usize].name, name, descriptor
+                ),
             })?;
         let mref = MethodRef { class, index };
         let tid = self.spawn_thread(&format!("call:{name}"), mref, args, caller)?;
@@ -1032,9 +1101,14 @@ impl Vm {
         }
         let t = &self.threads[tid.0 as usize];
         if let Some(ex) = t.uncaught {
-            let class_name = self.classes[self.heap.get(ex).class.0 as usize].name.to_string();
+            let class_name = self.classes[self.heap.get(ex).class.0 as usize]
+                .name
+                .to_string();
             let message = self.exception_message(ex);
-            return Err(VmError::UncaughtException { class_name, message });
+            return Err(VmError::UncaughtException {
+                class_name,
+                message,
+            });
         }
         Ok(t.result)
     }
@@ -1044,7 +1118,9 @@ impl Vm {
         let obj = self.heap.get(ex);
         let class = &self.classes[obj.class.0 as usize];
         let slot = class.find_instance_slot("message")?;
-        let ObjBody::Fields(fields) = &obj.body else { return None };
+        let ObjBody::Fields(fields) = &obj.body else {
+            return None;
+        };
         let r = fields[slot as usize].as_ref()?;
         self.read_string(r)
     }
@@ -1101,12 +1177,28 @@ impl Vm {
             .collect()
     }
 
-    /// Estimated VM metadata footprint: task-class-mirror arrays plus
-    /// per-isolate string maps and counters (the Figure 3 overheads).
+    /// Estimated *isolation* metadata footprint: task-class-mirror arrays
+    /// plus per-isolate string maps and counters (the Figure 3 overheads).
+    /// Execution-engine metadata is deliberately excluded — prepared
+    /// instruction streams exist identically in `Shared` and `Isolated`
+    /// mode and would dilute the isolation-overhead ratio; see
+    /// [`Vm::engine_metadata_bytes`].
     pub fn metadata_bytes(&self) -> usize {
         let mirrors: usize = self.classes.iter().map(|c| c.mirror_metadata_bytes()).sum();
         let isolates: usize = self.isolates.iter().map(|i| i.metadata_bytes()).sum();
         mirrors + isolates
+    }
+
+    /// Estimated footprint of the quickened engine's pre-decoded
+    /// instruction streams and side tables, across all methods that have
+    /// executed at least once.
+    pub fn engine_metadata_bytes(&self) -> usize {
+        self.classes
+            .iter()
+            .flat_map(|c| &c.methods)
+            .filter_map(|m| m.prepared.as_ref())
+            .map(|p| p.metadata_bytes())
+            .sum()
     }
 
     /// Lines printed by the guest through `System.println` so far,
@@ -1241,11 +1333,15 @@ impl Vm {
         creator: IsolateId,
     ) -> Result<ThreadId> {
         let class = self.heap.get(receiver).class;
-        let mref = crate::interp::lookup_virtual(self, class, name, descriptor).ok_or_else(
-            || VmError::NoSuchMember {
-                what: format!("{}.{}:{}", self.classes[class.0 as usize].name, name, descriptor),
-            },
-        )?;
+        let mref =
+            crate::interp::lookup_virtual(self, class, name, descriptor).ok_or_else(|| {
+                VmError::NoSuchMember {
+                    what: format!(
+                        "{}.{}:{}",
+                        self.classes[class.0 as usize].name, name, descriptor
+                    ),
+                }
+            })?;
         self.spawn_thread(thread_name, mref, vec![Value::Ref(receiver)], creator)
     }
 
@@ -1315,7 +1411,12 @@ impl Vm {
 
     /// Allocates an `Object[]`-style reference array with the given
     /// element descriptor, charged to `iso`.
-    pub fn alloc_ref_array(&mut self, iso: IsolateId, elem_desc: &str, len: usize) -> Option<GcRef> {
+    pub fn alloc_ref_array(
+        &mut self,
+        iso: IsolateId,
+        elem_desc: &str,
+        len: usize,
+    ) -> Option<GcRef> {
         let size = crate::heap::OBJECT_HEADER_BYTES + len * 8;
         if self.check_heap(size, iso).is_err() {
             return None;

@@ -1,0 +1,380 @@
+//! Differential tests: every program must behave identically under the
+//! raw byte interpreter and the quickened engine — same results, same
+//! console output, same guest instruction counts (the budget quantum is
+//! counted per logical instruction in both engines), same exceptions,
+//! and the same resource-accounting totals.
+
+use ijvm_core::engine::EngineKind;
+use ijvm_core::prelude::*;
+use ijvm_core::vm::Vm;
+use ijvm_minijava::{compile_to_bytes, CompileEnv};
+
+/// Everything we compare between engines after one run.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    result: Option<String>,
+    error: Option<String>,
+    vclock: u64,
+    migrations: u64,
+    console: Vec<String>,
+    cpu_exact: Vec<u64>,
+    cpu_sampled_total: u64,
+    allocated_objects: Vec<u64>,
+}
+
+fn run_program(
+    src: &str,
+    entry: &str,
+    method: &str,
+    desc: &str,
+    args: Vec<Value>,
+    mode: IsolationMode,
+    engine: EngineKind,
+) -> Observed {
+    let options = match mode {
+        IsolationMode::Shared => VmOptions::shared(),
+        IsolationMode::Isolated => VmOptions::isolated(),
+    }
+    .with_engine(engine);
+    let mut vm = ijvm_jsl::boot(options);
+    let iso = vm.create_isolate("diff");
+    let loader = vm.loader_of(iso).unwrap();
+    for (name, bytes) in compile_to_bytes(src, &CompileEnv::new()).unwrap() {
+        vm.add_class_bytes(loader, &name, bytes);
+    }
+    let class = vm.load_class(loader, entry).unwrap();
+    let outcome = vm.call_static_as(class, method, desc, args, iso);
+    observe(&mut vm, outcome)
+}
+
+fn observe(vm: &mut Vm, outcome: ijvm_core::Result<Option<Value>>) -> Observed {
+    let (result, error) = match outcome {
+        Ok(v) => (v.map(|v| format!("{v}")), None),
+        Err(e) => (None, Some(e.to_string())),
+    };
+    let snaps = vm.snapshots();
+    Observed {
+        result,
+        error,
+        vclock: vm.vclock(),
+        migrations: vm.migrations(),
+        console: vm.take_console(),
+        cpu_exact: snaps.iter().map(|s| s.stats.cpu_exact).collect(),
+        cpu_sampled_total: snaps.iter().map(|s| s.stats.cpu_sampled).sum(),
+        allocated_objects: snaps.iter().map(|s| s.stats.allocated_objects).collect(),
+    }
+}
+
+/// Runs one program under both engines in both isolation modes and
+/// asserts the observations match exactly.
+fn assert_engines_agree(
+    name: &str,
+    src: &str,
+    entry: &str,
+    method: &str,
+    desc: &str,
+    args: Vec<Value>,
+) {
+    for mode in [IsolationMode::Shared, IsolationMode::Isolated] {
+        let raw = run_program(
+            src,
+            entry,
+            method,
+            desc,
+            args.clone(),
+            mode,
+            EngineKind::Raw,
+        );
+        let quick = run_program(
+            src,
+            entry,
+            method,
+            desc,
+            args.clone(),
+            mode,
+            EngineKind::Quickened,
+        );
+        assert_eq!(raw, quick, "{name} diverged in {mode:?} mode");
+    }
+}
+
+#[test]
+fn arithmetic_and_branches_agree() {
+    assert_engines_agree(
+        "arith",
+        r#"
+        class A {
+            static int mix(int n) {
+                int acc = 7;
+                for (int i = 1; i < n; i++) {
+                    acc = acc * 31 + i;
+                    if (acc > 1000000) acc = acc % 99991;
+                    acc = acc ^ (acc >> 3);
+                }
+                return acc;
+            }
+        }
+        "#,
+        "A",
+        "mix",
+        "(I)I",
+        vec![Value::Int(5_000)],
+    );
+}
+
+#[test]
+fn fields_objects_and_statics_agree() {
+    assert_engines_agree(
+        "fields",
+        r#"
+        class Node {
+            int value;
+            Node next;
+            Node(int v) { value = v; }
+        }
+        class B {
+            static int total;
+            static int build(int n) {
+                Node head = null;
+                for (int i = 0; i < n; i++) {
+                    Node fresh = new Node(i);
+                    fresh.next = head;
+                    head = fresh;
+                    total = total + i;
+                }
+                int sum = 0;
+                while (head != null) { sum += head.value; head = head.next; }
+                return sum + total;
+            }
+        }
+        "#,
+        "B",
+        "build",
+        "(I)I",
+        vec![Value::Int(2_000)],
+    );
+}
+
+#[test]
+fn interfaces_and_virtual_dispatch_agree() {
+    assert_engines_agree(
+        "dispatch",
+        r#"
+        interface Op { int apply(int x); }
+        class Twice implements Op { public int apply(int x) { return x * 2; } }
+        class Inc implements Op { public int apply(int x) { return x + 1; } }
+        class C {
+            static int fold(int n) {
+                Op[] ops = new Op[2];
+                ops[0] = new Twice();
+                ops[1] = new Inc();
+                int acc = 1;
+                for (int i = 0; i < n; i++) {
+                    acc = ops[i % 2].apply(acc) % 100003;
+                }
+                return acc;
+            }
+        }
+        "#,
+        "C",
+        "fold",
+        "(I)I",
+        vec![Value::Int(3_000)],
+    );
+}
+
+#[test]
+fn exceptions_and_handlers_agree() {
+    assert_engines_agree(
+        "exceptions",
+        r#"
+        class D {
+            static int probe(int n) {
+                int caught = 0;
+                for (int i = 0; i < n; i++) {
+                    try {
+                        if (i % 3 == 0) throw new ArithmeticException("x");
+                        int[] xs = new int[2];
+                        int v = xs[i % 5]; // faults when i%5 >= 2
+                        caught += v;
+                    } catch (ArithmeticException e) {
+                        caught += 1;
+                    } catch (RuntimeException e) {
+                        caught += 2;
+                    }
+                }
+                return caught;
+            }
+        }
+        "#,
+        "D",
+        "probe",
+        "(I)I",
+        vec![Value::Int(500)],
+    );
+}
+
+#[test]
+fn uncaught_exceptions_agree() {
+    assert_engines_agree(
+        "uncaught",
+        r#"
+        class E {
+            static int boom(int n) { return n / (n - n); }
+        }
+        "#,
+        "E",
+        "boom",
+        "(I)I",
+        vec![Value::Int(7)],
+    );
+}
+
+#[test]
+fn strings_and_clinit_agree() {
+    assert_engines_agree(
+        "strings",
+        r#"
+        class F {
+            static String tag = "seed";
+            static int check(int n) {
+                String acc = tag;
+                for (int i = 0; i < n; i++) {
+                    acc = acc + "-" + i;
+                }
+                return acc.length();
+            }
+        }
+        "#,
+        "F",
+        "check",
+        "(I)I",
+        vec![Value::Int(64)],
+    );
+}
+
+#[test]
+fn quantum_interleaving_agrees() {
+    // Two threads incrementing a shared static under a small quantum:
+    // the deterministic scheduler must interleave identically under both
+    // engines, because instruction counting is per logical instruction.
+    let src = r#"
+        class G {
+            static int hits;
+            static int spin(int n) {
+                for (int i = 0; i < n; i++) { hits = hits + 1; }
+                return hits;
+            }
+        }
+    "#;
+    for mode in [IsolationMode::Shared, IsolationMode::Isolated] {
+        let mut seen = Vec::new();
+        for engine in [EngineKind::Raw, EngineKind::Quickened] {
+            let mut options = match mode {
+                IsolationMode::Shared => VmOptions::shared(),
+                IsolationMode::Isolated => VmOptions::isolated(),
+            }
+            .with_engine(engine);
+            options.quantum = 137; // force frequent thread switches
+            let mut vm = ijvm_jsl::boot(options);
+            let iso = vm.create_isolate("diff");
+            let loader = vm.loader_of(iso).unwrap();
+            for (name, bytes) in compile_to_bytes(src, &CompileEnv::new()).unwrap() {
+                vm.add_class_bytes(loader, &name, bytes);
+            }
+            let class = vm.load_class(loader, "G").unwrap();
+            let index = {
+                let mref = vm.class(class).find_method("spin", "(I)I").unwrap();
+                MethodRef { class, index: mref }
+            };
+            let t1 = vm
+                .spawn_thread("a", index, vec![Value::Int(600)], iso)
+                .unwrap();
+            let t2 = vm
+                .spawn_thread("b", index, vec![Value::Int(600)], iso)
+                .unwrap();
+            assert_eq!(vm.run(None), RunOutcome::Idle);
+            let r1 = vm.thread_result(t1);
+            let r2 = vm.thread_result(t2);
+            seen.push((
+                r1.map(|v| v.to_string()),
+                r2.map(|v| v.to_string()),
+                vm.vclock(),
+            ));
+        }
+        assert_eq!(seen[0], seen[1], "interleaving diverged in {mode:?} mode");
+    }
+}
+
+#[test]
+fn isolate_termination_agrees() {
+    // A callee isolate is terminated mid-workload; both engines must see
+    // the same StoppedIsolateException surface.
+    let callee_src = r#"
+        class Svc {
+            int poke(int x) { return x + 1; }
+        }
+        class SvcFactory {
+            static Svc make() { return new Svc(); }
+        }
+    "#;
+    let caller_src = r#"
+        class Caller {
+            static int call(Svc s) { return s.poke(5); }
+        }
+    "#;
+    let mut seen = Vec::new();
+    for engine in [EngineKind::Raw, EngineKind::Quickened] {
+        let options = VmOptions::isolated().with_engine(engine);
+        let mut vm = ijvm_jsl::boot(options);
+        let home = vm.create_isolate("home");
+        let home_loader = vm.loader_of(home).unwrap();
+        let callee = vm.create_isolate("callee");
+        let callee_loader = vm.loader_of(callee).unwrap();
+        let callee_classes = compile_to_bytes(callee_src, &CompileEnv::new()).unwrap();
+        for (name, bytes) in &callee_classes {
+            vm.add_class_bytes(callee_loader, name, bytes.clone());
+        }
+        vm.add_loader_delegate(home_loader, callee_loader);
+        let mut cenv = CompileEnv::new();
+        for (_, bytes) in &callee_classes {
+            let cf = ijvm_classfile::reader::read_class(bytes).unwrap();
+            cenv.import_class_file(&cf).unwrap();
+        }
+        for (name, bytes) in compile_to_bytes(caller_src, &cenv).unwrap() {
+            vm.add_class_bytes(home_loader, &name, bytes);
+        }
+        let factory = vm.load_class(callee_loader, "SvcFactory").unwrap();
+        let svc = vm
+            .call_static_as(factory, "make", "()LSvc;", vec![], callee)
+            .unwrap()
+            .unwrap();
+        let Value::Ref(svc_ref) = svc else {
+            panic!("factory returned {svc}")
+        };
+        vm.pin(svc_ref);
+        let caller = vm.load_class(home_loader, "Caller").unwrap();
+
+        // Warm the inter-isolate call path (quickening the invoke site),
+        // then kill the callee and call through the same site again.
+        let warm = vm
+            .call_static_as(caller, "call", "(LSvc;)I", vec![Value::Ref(svc_ref)], home)
+            .unwrap();
+        assert_eq!(warm, Some(Value::Int(6)));
+
+        vm.terminate_isolate(callee).unwrap();
+        let outcome =
+            vm.call_static_as(caller, "call", "(LSvc;)I", vec![Value::Ref(svc_ref)], home);
+        let uncaught = match outcome {
+            Err(ijvm_core::VmError::UncaughtException { class_name, .. }) => Some(class_name),
+            other => panic!("expected uncaught exception, got {other:?}"),
+        };
+        seen.push((uncaught, vm.migrations()));
+    }
+    assert_eq!(seen[0], seen[1], "termination behaviour diverged");
+    assert_eq!(
+        seen[0].0.as_deref(),
+        Some("org/ijvm/StoppedIsolateException"),
+        "terminated callee must poison the call"
+    );
+}

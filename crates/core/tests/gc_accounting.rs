@@ -35,7 +35,9 @@ fn accounting_is_deterministic_across_collections() {
     // Interleave allocations.
     for i in 0..50 {
         let iso = if i % 2 == 0 { a } else { b };
-        let arr = vm.alloc_ref_array(iso, "Ljava/lang/Object;", 10 + i).unwrap();
+        let arr = vm
+            .alloc_ref_array(iso, "Ljava/lang/Object;", 10 + i)
+            .unwrap();
         vm.pin(arr);
     }
     vm.collect_garbage(None);
@@ -52,7 +54,11 @@ fn object_owner_field_is_reassigned_by_the_collector() {
     // Paper §3.2 step 4: the charge moves when reachability changes.
     let (mut vm, a, b) = boot_two();
     let obj = vm.alloc_ref_array(a, "Ljava/lang/Object;", 500).unwrap();
-    assert_eq!(vm.heap().get(obj).owner, a, "allocation charges the allocator");
+    assert_eq!(
+        vm.heap().get(obj).owner,
+        a,
+        "allocation charges the allocator"
+    );
 
     // Make it reachable only from b: store it inside a b-pinned container.
     let container = vm.alloc_ref_array(b, "Ljava/lang/Object;", 1).unwrap();
@@ -85,12 +91,17 @@ fn stack_frames_charge_their_executing_isolate() {
         vm.add_class_bytes(loader, &name, bytes);
     }
     let class = vm.load_class(loader, "Holder").unwrap();
-    let out = vm.call_static_as(class, "hold", "(I)I", vec![Value::Int(0)], a).unwrap();
+    let out = vm
+        .call_static_as(class, "hold", "(I)I", vec![Value::Int(0)], a)
+        .unwrap();
     assert_eq!(out, Some(Value::Int(20000)));
     // During the in-call System.gc(), the frame's local array was live and
     // charged to isolate a (the executing frame's isolate).
     let live_at_gc = vm.isolate_stats(a).unwrap().live_bytes;
-    assert!(live_at_gc >= 80_000, "frame-local array charged to a: {live_at_gc}");
+    assert!(
+        live_at_gc >= 80_000,
+        "frame-local array charged to a: {live_at_gc}"
+    );
 }
 
 #[test]

@@ -22,7 +22,9 @@ fn vm_with(build: impl FnOnce(&mut ClassBuilder)) -> (Vm, ClassId, IsolateId) {
 
 fn run_i(vm: &mut Vm, class: ClassId, iso: IsolateId, name: &str, args: Vec<Value>) -> Value {
     let desc = format!("({})I", "I".repeat(args.len()));
-    vm.call_static_as(class, name, &desc, args, iso).unwrap().unwrap()
+    vm.call_static_as(class, name, &desc, args, iso)
+        .unwrap()
+        .unwrap()
 }
 
 #[test]
@@ -78,9 +80,18 @@ fn lookupswitch_sparse_keys() {
         m.op(Opcode::Ireturn);
         m.done().unwrap();
     });
-    assert_eq!(run_i(&mut vm, class, iso, "sel", vec![Value::Int(-100)]), Value::Int(1));
-    assert_eq!(run_i(&mut vm, class, iso, "sel", vec![Value::Int(7777)]), Value::Int(2));
-    assert_eq!(run_i(&mut vm, class, iso, "sel", vec![Value::Int(0)]), Value::Int(0));
+    assert_eq!(
+        run_i(&mut vm, class, iso, "sel", vec![Value::Int(-100)]),
+        Value::Int(1)
+    );
+    assert_eq!(
+        run_i(&mut vm, class, iso, "sel", vec![Value::Int(7777)]),
+        Value::Int(2)
+    );
+    assert_eq!(
+        run_i(&mut vm, class, iso, "sel", vec![Value::Int(0)]),
+        Value::Int(0)
+    );
 }
 
 #[test]
@@ -163,8 +174,14 @@ fn float_to_int_conversions_saturate() {
         m.done().unwrap();
     });
     assert_eq!(run_i(&mut vm, class, iso, "nan", vec![]), Value::Int(0));
-    assert_eq!(run_i(&mut vm, class, iso, "posinf", vec![]), Value::Int(i32::MAX));
-    assert_eq!(run_i(&mut vm, class, iso, "neginf", vec![]), Value::Int(i32::MIN));
+    assert_eq!(
+        run_i(&mut vm, class, iso, "posinf", vec![]),
+        Value::Int(i32::MAX)
+    );
+    assert_eq!(
+        run_i(&mut vm, class, iso, "neginf", vec![]),
+        Value::Int(i32::MIN)
+    );
 }
 
 #[test]
@@ -185,8 +202,14 @@ fn integer_overflow_wraps_and_min_div_minus_one() {
         m.op(Opcode::Ireturn);
         m.done().unwrap();
     });
-    assert_eq!(run_i(&mut vm, class, iso, "ovf", vec![]), Value::Int(i32::MIN));
-    assert_eq!(run_i(&mut vm, class, iso, "mindiv", vec![]), Value::Int(i32::MIN));
+    assert_eq!(
+        run_i(&mut vm, class, iso, "ovf", vec![]),
+        Value::Int(i32::MIN)
+    );
+    assert_eq!(
+        run_i(&mut vm, class, iso, "mindiv", vec![]),
+        Value::Int(i32::MIN)
+    );
 }
 
 #[test]
@@ -211,7 +234,9 @@ fn athrow_null_becomes_npe() {
         m.op(Opcode::Athrow);
         m.done().unwrap();
     });
-    let err = vm.call_static_as(class, "boom", "()I", vec![], iso).unwrap_err();
+    let err = vm
+        .call_static_as(class, "boom", "()I", vec![], iso)
+        .unwrap_err();
     match err {
         VmError::UncaughtException { class_name, .. } => {
             assert_eq!(class_name, "java/lang/NullPointerException");
@@ -237,8 +262,14 @@ fn checkcast_passes_null_and_instanceof_rejects_it() {
         m.op(Opcode::Ireturn);
         m.done().unwrap();
     });
-    assert_eq!(run_i(&mut vm, class, iso, "castnull", vec![]), Value::Int(1));
-    assert_eq!(run_i(&mut vm, class, iso, "instnull", vec![]), Value::Int(0));
+    assert_eq!(
+        run_i(&mut vm, class, iso, "castnull", vec![]),
+        Value::Int(1)
+    );
+    assert_eq!(
+        run_i(&mut vm, class, iso, "instnull", vec![]),
+        Value::Int(0)
+    );
 }
 
 #[test]
@@ -272,7 +303,10 @@ fn negative_array_size_throws() {
         m.op(Opcode::Ireturn);
         m.done().unwrap();
     });
-    assert_eq!(run_i(&mut vm, class, iso, "neg", vec![Value::Int(4)]), Value::Int(4));
+    assert_eq!(
+        run_i(&mut vm, class, iso, "neg", vec![Value::Int(4)]),
+        Value::Int(4)
+    );
     let err = vm
         .call_static_as(class, "neg", "(I)I", vec![Value::Int(-1)], iso)
         .unwrap_err();
@@ -324,8 +358,14 @@ fn remainder_semantics_for_floats_and_negatives() {
         m.op(Opcode::Ireturn);
         m.done().unwrap();
     });
-    assert_eq!(run_i(&mut vm, class, iso, "iremneg", vec![]), Value::Int(-1));
-    assert_eq!(run_i(&mut vm, class, iso, "dremneg", vec![]), Value::Int(-1));
+    assert_eq!(
+        run_i(&mut vm, class, iso, "iremneg", vec![]),
+        Value::Int(-1)
+    );
+    assert_eq!(
+        run_i(&mut vm, class, iso, "dremneg", vec![]),
+        Value::Int(-1)
+    );
 }
 
 #[test]
@@ -339,7 +379,16 @@ fn i2b_i2c_i2s_truncate() {
             m.done().unwrap();
         }
     });
-    assert_eq!(run_i(&mut vm, class, iso, "b", vec![Value::Int(0x181)]), Value::Int(-127));
-    assert_eq!(run_i(&mut vm, class, iso, "c", vec![Value::Int(-1)]), Value::Int(0xFFFF));
-    assert_eq!(run_i(&mut vm, class, iso, "s", vec![Value::Int(0x18000)]), Value::Int(-32768));
+    assert_eq!(
+        run_i(&mut vm, class, iso, "b", vec![Value::Int(0x181)]),
+        Value::Int(-127)
+    );
+    assert_eq!(
+        run_i(&mut vm, class, iso, "c", vec![Value::Int(-1)]),
+        Value::Int(0xFFFF)
+    );
+    assert_eq!(
+        run_i(&mut vm, class, iso, "s", vec![Value::Int(0x18000)]),
+        Value::Int(-32768)
+    );
 }

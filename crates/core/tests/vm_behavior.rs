@@ -20,9 +20,17 @@ fn load(vm: &mut Vm, iso: IsolateId, src: &str, entry: &str) -> ClassId {
     vm.load_class(loader, entry).unwrap()
 }
 
-fn spawn(vm: &mut Vm, class: ClassId, name: &str, desc: &str, args: Vec<Value>, iso: IsolateId) -> ThreadId {
+fn spawn(
+    vm: &mut Vm,
+    class: ClassId,
+    name: &str,
+    desc: &str,
+    args: Vec<Value>,
+    iso: IsolateId,
+) -> ThreadId {
     let index = vm.class(class).find_method(name, desc).unwrap();
-    vm.spawn_thread(name, MethodRef { class, index }, args, iso).unwrap()
+    vm.spawn_thread(name, MethodRef { class, index }, args, iso)
+        .unwrap()
 }
 
 // ---------------------------------------------------------------------
@@ -49,7 +57,9 @@ fn heap_limit_raises_out_of_memory_error() {
         "#,
         "Hog",
     );
-    let err = vm.call_static_as(class, "fill", "()I", vec![], iso).unwrap_err();
+    let err = vm
+        .call_static_as(class, "fill", "()I", vec![], iso)
+        .unwrap_err();
     match err {
         VmError::UncaughtException { class_name, .. } => {
             assert_eq!(class_name, "java/lang/OutOfMemoryError");
@@ -70,7 +80,9 @@ fn deep_recursion_raises_stack_overflow_error() {
         "class R { static int down(int n) { return down(n + 1); } }",
         "R",
     );
-    let err = vm.call_static_as(class, "down", "(I)I", vec![Value::Int(0)], iso).unwrap_err();
+    let err = vm
+        .call_static_as(class, "down", "(I)I", vec![Value::Int(0)], iso)
+        .unwrap_err();
     match err {
         VmError::UncaughtException { class_name, .. } => {
             assert_eq!(class_name, "java/lang/StackOverflowError");
@@ -146,7 +158,9 @@ fn synchronized_methods_are_reentrant() {
         "#,
         "R",
     );
-    let out = vm.call_static_as(class, "nest", "(I)I", vec![Value::Int(10)], iso).unwrap();
+    let out = vm
+        .call_static_as(class, "nest", "(I)I", vec![Value::Int(10)], iso)
+        .unwrap();
     assert_eq!(out, Some(Value::Int(10)));
 }
 
@@ -180,9 +194,19 @@ fn interrupt_breaks_sleep_with_interrupted_exception() {
         "B",
     );
     let tid = spawn(&mut vm, class, "nap", "()I", vec![], iso);
-    let _busy = spawn(&mut vm, busy_class, "churn", "(I)I", vec![Value::Int(100_000_000)], iso);
+    let _busy = spawn(
+        &mut vm,
+        busy_class,
+        "churn",
+        "(I)I",
+        vec![Value::Int(100_000_000)],
+        iso,
+    );
     let _ = vm.run(Some(100_000));
-    assert!(matches!(vm.thread_state_of(tid).unwrap(), ThreadState::Sleeping { .. }));
+    assert!(matches!(
+        vm.thread_state_of(tid).unwrap(),
+        ThreadState::Sleeping { .. }
+    ));
     vm.interrupt(tid);
     let _ = vm.run(Some(1_000_000));
     assert_eq!(vm.thread_result(tid), Some(Value::Int(77)));
@@ -209,13 +233,22 @@ fn clinit_runs_once_per_isolate() {
     let la = vm.loader_of(a).unwrap();
     let lb = vm.loader_of(b).unwrap();
     vm.add_loader_delegate(lb, la);
-    assert_eq!(vm.call_static_as(class, "read", "()I", vec![], a).unwrap(), Some(Value::Int(1)));
-    assert_eq!(vm.call_static_as(class, "read", "()I", vec![], a).unwrap(), Some(Value::Int(1)));
+    assert_eq!(
+        vm.call_static_as(class, "read", "()I", vec![], a).unwrap(),
+        Some(Value::Int(1))
+    );
+    assert_eq!(
+        vm.call_static_as(class, "read", "()I", vec![], a).unwrap(),
+        Some(Value::Int(1))
+    );
     // Calling the method from isolate b migrates the thread INTO the
     // class's isolate (paper §3.1): it reads a's mirror, and b never
     // materializes one. (b would only get a mirror by a getstatic in its
     // own code — covered by the workspace integration tests.)
-    assert_eq!(vm.call_static_as(class, "read", "()I", vec![], b).unwrap(), Some(Value::Int(1)));
+    assert_eq!(
+        vm.call_static_as(class, "read", "()I", vec![], b).unwrap(),
+        Some(Value::Int(1))
+    );
     assert!(vm.class(class).mirror(a).is_some());
     assert!(vm.class(class).mirror(b).is_none());
 }
@@ -236,9 +269,13 @@ fn failed_clinit_poisons_the_class_for_that_isolate() {
         "#,
         "Bad",
     );
-    let first = vm.call_static_as(class, "read", "()I", vec![], iso).unwrap_err();
+    let first = vm
+        .call_static_as(class, "read", "()I", vec![], iso)
+        .unwrap_err();
     assert!(matches!(first, VmError::UncaughtException { .. }));
-    let second = vm.call_static_as(class, "read", "()I", vec![], iso).unwrap_err();
+    let second = vm
+        .call_static_as(class, "read", "()I", vec![], iso)
+        .unwrap_err();
     match second {
         VmError::UncaughtException { class_name, .. } => {
             assert_eq!(class_name, "java/lang/NoClassDefFoundError");
@@ -281,7 +318,13 @@ fn interned_strings_are_identical_within_an_isolate() {
 fn unicode_strings_round_trip() {
     let mut vm = boot(VmOptions::isolated());
     let iso = vm.create_isolate("t");
-    for text in ["", "ascii", "héllo wörld", "日本語テキスト", "mixed 漢字 and λ"] {
+    for text in [
+        "",
+        "ascii",
+        "héllo wörld",
+        "日本語テキスト",
+        "mixed 漢字 and λ",
+    ] {
         let s = vm.new_string(iso, text);
         assert_eq!(vm.read_string(s).as_deref(), Some(text));
     }
@@ -303,14 +346,19 @@ fn gc_recomputes_live_bytes_after_release() {
         "#,
         "M",
     );
-    vm.call_static_as(class, "grab", "()I", vec![], iso).unwrap();
+    vm.call_static_as(class, "grab", "()I", vec![], iso)
+        .unwrap();
     vm.collect_garbage(None);
     let live_holding = vm.isolate_stats(iso).unwrap().live_bytes;
     assert!(live_holding >= 40_000, "held array charged: {live_holding}");
-    vm.call_static_as(class, "drop", "()I", vec![], iso).unwrap();
+    vm.call_static_as(class, "drop", "()I", vec![], iso)
+        .unwrap();
     vm.collect_garbage(None);
     let live_after = vm.isolate_stats(iso).unwrap().live_bytes;
-    assert!(live_after < live_holding - 39_000, "released: {live_after} < {live_holding}");
+    assert!(
+        live_after < live_holding - 39_000,
+        "released: {live_after} < {live_holding}"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -327,7 +375,10 @@ fn terminate_is_idempotent_and_shared_mode_refuses() {
 
     let mut shared = boot(VmOptions::shared());
     let iso = shared.create_isolate("t");
-    assert!(shared.terminate_isolate(iso).is_err(), "baseline has no termination");
+    assert!(
+        shared.terminate_isolate(iso).is_err(),
+        "baseline has no termination"
+    );
 }
 
 #[test]
@@ -365,8 +416,16 @@ fn terminated_isolate_becomes_dead_once_unreferenced() {
 fn calls_into_terminated_isolates_throw() {
     let mut vm = boot(VmOptions::isolated());
     let iso = vm.create_isolate("t");
-    let class = load(&mut vm, iso, "class T { static int f() { return 1; } }", "T");
-    assert_eq!(vm.call_static_as(class, "f", "()I", vec![], iso).unwrap(), Some(Value::Int(1)));
+    let class = load(
+        &mut vm,
+        iso,
+        "class T { static int f() { return 1; } }",
+        "T",
+    );
+    assert_eq!(
+        vm.call_static_as(class, "f", "()I", vec![], iso).unwrap(),
+        Some(Value::Int(1))
+    );
     vm.terminate_isolate(iso).unwrap();
     // Even a fresh thread pointed at the dead isolate's code dies with
     // StoppedIsolateException... but spawning *as* the dead isolate is a
@@ -407,7 +466,9 @@ fn calls_into_terminated_isolates_throw() {
         vm.add_class_bytes(lo, &name, bytes);
     }
     let caller = vm.load_class(lo, "C").unwrap();
-    let out = vm.call_static_as(caller, "callDead", "()I", vec![], other).unwrap();
+    let out = vm
+        .call_static_as(caller, "callDead", "()I", vec![], other)
+        .unwrap();
     assert_eq!(out, Some(Value::Int(-9)));
 }
 
@@ -435,7 +496,9 @@ fn io_and_connection_accounting() {
         "#,
         "Io",
     );
-    let out = vm.call_static_as(class, "chat", "()I", vec![], iso).unwrap();
+    let out = vm
+        .call_static_as(class, "chat", "()I", vec![], iso)
+        .unwrap();
     assert_eq!(out, Some(Value::Int(100)));
     let stats = vm.isolate_stats(iso).unwrap();
     assert_eq!(stats.io_read_bytes, 100);
@@ -453,9 +516,14 @@ fn cpu_exact_and_sampled_both_accumulate() {
         "class W { static int work(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; } }",
         "W",
     );
-    vm.call_static_as(class, "work", "(I)I", vec![Value::Int(200_000)], iso).unwrap();
+    vm.call_static_as(class, "work", "(I)I", vec![Value::Int(200_000)], iso)
+        .unwrap();
     let stats = vm.isolate_stats(iso).unwrap();
-    assert!(stats.cpu_sampled > 500_000, "sampled: {}", stats.cpu_sampled);
+    assert!(
+        stats.cpu_sampled > 500_000,
+        "sampled: {}",
+        stats.cpu_sampled
+    );
     assert!(stats.cpu_exact > 500_000, "exact: {}", stats.cpu_exact);
     // Sampling is quantum-grained; both counters describe the same work.
     let ratio = stats.cpu_sampled as f64 / stats.cpu_exact as f64;
@@ -477,5 +545,8 @@ fn metadata_footprint_grows_with_isolates() {
     vm.add_loader_delegate(lb, la);
     vm.call_static_as(class, "r", "()I", vec![], b).unwrap();
     let two = vm.metadata_bytes();
-    assert!(two > one, "mirrors for a second isolate cost memory ({one} -> {two})");
+    assert!(
+        two > one,
+        "mirrors for a second isolate cost memory ({one} -> {two})"
+    );
 }

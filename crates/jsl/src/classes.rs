@@ -9,7 +9,11 @@ const PUBSTATIC: AccessFlags = AccessFlags(AccessFlags::PUBLIC.0 | AccessFlags::
 
 /// `java/lang/System`: console, clock, gc, exit, arraycopy.
 pub fn system_class() -> ClassFile {
-    let mut cb = ClassBuilder::new("java/lang/System", "java/lang/Object", PUB | AccessFlags::FINAL);
+    let mut cb = ClassBuilder::new(
+        "java/lang/System",
+        "java/lang/Object",
+        PUB | AccessFlags::FINAL,
+    );
     for desc in [
         "(Ljava/lang/String;)V",
         "(I)V",
@@ -88,7 +92,11 @@ pub fn thread_class() -> ClassFile {
 
 /// `java/lang/Math` intrinsics.
 pub fn math_class() -> ClassFile {
-    let mut cb = ClassBuilder::new("java/lang/Math", "java/lang/Object", PUB | AccessFlags::FINAL);
+    let mut cb = ClassBuilder::new(
+        "java/lang/Math",
+        "java/lang/Object",
+        PUB | AccessFlags::FINAL,
+    );
     for (name, desc) in [
         ("abs", "(I)I"),
         ("abs", "(J)J"),
@@ -219,7 +227,11 @@ pub fn hashmap_class() -> ClassFile {
     m.op(Opcode::Ireturn);
     m.done().expect("HashMap.size");
 
-    cb.native_method("put", "(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;", PUB);
+    cb.native_method(
+        "put",
+        "(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;",
+        PUB,
+    );
     cb.native_method("get", "(Ljava/lang/Object;)Ljava/lang/Object;", PUB);
     cb.native_method("remove", "(Ljava/lang/Object;)Ljava/lang/Object;", PUB);
     cb.native_method("containsKey", "(Ljava/lang/Object;)Z", PUB);

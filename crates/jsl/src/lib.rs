@@ -76,6 +76,8 @@ mod tests {
     fn boot_shared_mode_works_too() {
         let vm = boot(VmOptions::shared());
         assert!(!vm.is_isolated());
-        assert!(vm.find_class(LoaderId::BOOTSTRAP, "java/lang/System").is_some());
+        assert!(vm
+            .find_class(LoaderId::BOOTSTRAP, "java/lang/System")
+            .is_some());
     }
 }

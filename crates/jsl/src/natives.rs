@@ -29,7 +29,10 @@ fn ret_void() -> NativeResult {
 }
 
 fn oom(what: &str) -> NativeResult {
-    NativeResult::Throw { class_name: "java/lang/OutOfMemoryError", message: what.to_owned() }
+    NativeResult::Throw {
+        class_name: "java/lang/OutOfMemoryError",
+        message: what.to_owned(),
+    }
 }
 
 /// Formats a value for `println`, mirroring Java's `String.valueOf`.
@@ -81,7 +84,11 @@ fn register_system(vm: &mut Vm) {
         "println",
         "(Z)V",
         Rc::new(|vm, _tid, args| {
-            let line = if args[0].as_int() != 0 { "true" } else { "false" };
+            let line = if args[0].as_int() != 0 {
+                "true"
+            } else {
+                "false"
+            };
             vm.console_print(line.to_owned());
             ret_void()
         }),
@@ -159,8 +166,11 @@ fn register_system(vm: &mut Vm) {
                     message: "arraycopy".to_owned(),
                 };
             };
-            let (spos, dpos, len) =
-                (args[1].as_int() as usize, args[3].as_int() as usize, args[4].as_int() as usize);
+            let (spos, dpos, len) = (
+                args[1].as_int() as usize,
+                args[3].as_int() as usize,
+                args[4].as_int() as usize,
+            );
             match copy_array(vm, src, spos, dst, dpos, len) {
                 Ok(()) => ret_void(),
                 Err(msg) => NativeResult::Throw {
@@ -283,7 +293,10 @@ fn register_thread(vm: &mut Vm) {
         "()V",
         Rc::new(|vm, tid, args| {
             let receiver = args[0].as_ref().expect("receiver");
-            let vm_tid = vm.get_field(receiver, "vmTid").map(|v| v.as_int()).unwrap_or(0);
+            let vm_tid = vm
+                .get_field(receiver, "vmTid")
+                .map(|v| v.as_int())
+                .unwrap_or(0);
             if vm_tid <= 0 {
                 return ret_void(); // never started
             }
@@ -300,7 +313,10 @@ fn register_thread(vm: &mut Vm) {
         "()V",
         Rc::new(|vm, _tid, args| {
             let receiver = args[0].as_ref().expect("receiver");
-            let vm_tid = vm.get_field(receiver, "vmTid").map(|v| v.as_int()).unwrap_or(0);
+            let vm_tid = vm
+                .get_field(receiver, "vmTid")
+                .map(|v| v.as_int())
+                .unwrap_or(0);
             if vm_tid > 0 {
                 vm.interrupt(ThreadId(vm_tid as u32 - 1));
             }
@@ -313,7 +329,10 @@ fn register_thread(vm: &mut Vm) {
         "()Z",
         Rc::new(|vm, _tid, args| {
             let receiver = args[0].as_ref().expect("receiver");
-            let vm_tid = vm.get_field(receiver, "vmTid").map(|v| v.as_int()).unwrap_or(0);
+            let vm_tid = vm
+                .get_field(receiver, "vmTid")
+                .map(|v| v.as_int())
+                .unwrap_or(0);
             let alive = vm_tid > 0
                 && vm
                     .thread_state_of(ThreadId(vm_tid as u32 - 1))
@@ -332,21 +351,96 @@ fn register_thread(vm: &mut Vm) {
 
 fn register_math(vm: &mut Vm) {
     let math = "java/lang/Math";
-    vm.register_native(math, "abs", "(I)I", Rc::new(|_v, _t, a| ret(Value::Int(a[0].as_int().wrapping_abs()))));
-    vm.register_native(math, "abs", "(J)J", Rc::new(|_v, _t, a| ret(Value::Long(a[0].as_long().wrapping_abs()))));
-    vm.register_native(math, "abs", "(D)D", Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().abs()))));
-    vm.register_native(math, "min", "(II)I", Rc::new(|_v, _t, a| ret(Value::Int(a[0].as_int().min(a[1].as_int())))));
-    vm.register_native(math, "max", "(II)I", Rc::new(|_v, _t, a| ret(Value::Int(a[0].as_int().max(a[1].as_int())))));
-    vm.register_native(math, "min", "(JJ)J", Rc::new(|_v, _t, a| ret(Value::Long(a[0].as_long().min(a[1].as_long())))));
-    vm.register_native(math, "max", "(JJ)J", Rc::new(|_v, _t, a| ret(Value::Long(a[0].as_long().max(a[1].as_long())))));
-    vm.register_native(math, "min", "(DD)D", Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().min(a[1].as_double())))));
-    vm.register_native(math, "max", "(DD)D", Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().max(a[1].as_double())))));
-    vm.register_native(math, "sqrt", "(D)D", Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().sqrt()))));
-    vm.register_native(math, "floor", "(D)D", Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().floor()))));
-    vm.register_native(math, "ceil", "(D)D", Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().ceil()))));
-    vm.register_native(math, "pow", "(DD)D", Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().powf(a[1].as_double())))));
-    vm.register_native(math, "sin", "(D)D", Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().sin()))));
-    vm.register_native(math, "cos", "(D)D", Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().cos()))));
+    vm.register_native(
+        math,
+        "abs",
+        "(I)I",
+        Rc::new(|_v, _t, a| ret(Value::Int(a[0].as_int().wrapping_abs()))),
+    );
+    vm.register_native(
+        math,
+        "abs",
+        "(J)J",
+        Rc::new(|_v, _t, a| ret(Value::Long(a[0].as_long().wrapping_abs()))),
+    );
+    vm.register_native(
+        math,
+        "abs",
+        "(D)D",
+        Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().abs()))),
+    );
+    vm.register_native(
+        math,
+        "min",
+        "(II)I",
+        Rc::new(|_v, _t, a| ret(Value::Int(a[0].as_int().min(a[1].as_int())))),
+    );
+    vm.register_native(
+        math,
+        "max",
+        "(II)I",
+        Rc::new(|_v, _t, a| ret(Value::Int(a[0].as_int().max(a[1].as_int())))),
+    );
+    vm.register_native(
+        math,
+        "min",
+        "(JJ)J",
+        Rc::new(|_v, _t, a| ret(Value::Long(a[0].as_long().min(a[1].as_long())))),
+    );
+    vm.register_native(
+        math,
+        "max",
+        "(JJ)J",
+        Rc::new(|_v, _t, a| ret(Value::Long(a[0].as_long().max(a[1].as_long())))),
+    );
+    vm.register_native(
+        math,
+        "min",
+        "(DD)D",
+        Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().min(a[1].as_double())))),
+    );
+    vm.register_native(
+        math,
+        "max",
+        "(DD)D",
+        Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().max(a[1].as_double())))),
+    );
+    vm.register_native(
+        math,
+        "sqrt",
+        "(D)D",
+        Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().sqrt()))),
+    );
+    vm.register_native(
+        math,
+        "floor",
+        "(D)D",
+        Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().floor()))),
+    );
+    vm.register_native(
+        math,
+        "ceil",
+        "(D)D",
+        Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().ceil()))),
+    );
+    vm.register_native(
+        math,
+        "pow",
+        "(DD)D",
+        Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().powf(a[1].as_double())))),
+    );
+    vm.register_native(
+        math,
+        "sin",
+        "(D)D",
+        Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().sin()))),
+    );
+    vm.register_native(
+        math,
+        "cos",
+        "(D)D",
+        Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().cos()))),
+    );
     // Deterministic xorshift so runs are reproducible.
     let seed = RefCell::new(0x9E3779B97F4A7C15u64);
     vm.register_native(
@@ -365,13 +459,21 @@ fn register_math(vm: &mut Vm) {
 
 /// Reads the `buf`/`len` pair of a `StringBuilder`.
 fn sb_state(vm: &Vm, sb: GcRef) -> (GcRef, i32) {
-    let buf = vm.get_field(sb, "buf").and_then(|v| v.as_ref()).expect("StringBuilder.buf");
+    let buf = vm
+        .get_field(sb, "buf")
+        .and_then(|v| v.as_ref())
+        .expect("StringBuilder.buf");
     let len = vm.get_field(sb, "len").map(|v| v.as_int()).unwrap_or(0);
     (buf, len)
 }
 
 /// Appends UTF-16 units to a `StringBuilder`, growing its buffer.
-fn sb_append_chars(vm: &mut Vm, tid: ThreadId, sb: GcRef, chars: &[u16]) -> Result<(), NativeResult> {
+fn sb_append_chars(
+    vm: &mut Vm,
+    tid: ThreadId,
+    sb: GcRef,
+    chars: &[u16],
+) -> Result<(), NativeResult> {
     let (buf, len) = sb_state(vm, sb);
     let cap = match &vm.heap().get(buf).body {
         ObjBody::ArrChar(a) => a.len(),
@@ -432,7 +534,13 @@ fn register_stringbuilder(vm: &mut Vm) {
         sbc,
         "append",
         &format!("(Z){sbd}"),
-        Rc::new(append(|_vm, v| if v.as_int() != 0 { "true".into() } else { "false".into() })),
+        Rc::new(append(|_vm, v| {
+            if v.as_int() != 0 {
+                "true".into()
+            } else {
+                "false".into()
+            }
+        })),
     );
     vm.register_native(
         sbc,
@@ -485,8 +593,10 @@ fn register_arraylist(vm: &mut Vm) {
         "(Ljava/lang/Object;)Z",
         Rc::new(|vm, tid, args| {
             let list = args[0].as_ref().expect("receiver");
-            let elems =
-                vm.get_field(list, "elems").and_then(|v| v.as_ref()).expect("ArrayList.elems");
+            let elems = vm
+                .get_field(list, "elems")
+                .and_then(|v| v.as_ref())
+                .expect("ArrayList.elems");
             let size = vm.get_field(list, "size").map(|v| v.as_int()).unwrap_or(0) as usize;
             let cap = vm.heap().get(elems).body.array_len().unwrap_or(0);
             let target = if size >= cap {
@@ -528,7 +638,10 @@ fn register_arraylist(vm: &mut Vm) {
                     message: format!("index {idx}, size {size}"),
                 };
             }
-            let elems = vm.get_field(list, "elems").and_then(|v| v.as_ref()).expect("elems");
+            let elems = vm
+                .get_field(list, "elems")
+                .and_then(|v| v.as_ref())
+                .expect("elems");
             let v = match &vm.heap().get(elems).body {
                 ObjBody::ArrRef { data, .. } => data[idx as usize],
                 _ => Value::Null,
@@ -550,7 +663,10 @@ fn register_arraylist(vm: &mut Vm) {
                     message: format!("index {idx}, size {size}"),
                 };
             }
-            let elems = vm.get_field(list, "elems").and_then(|v| v.as_ref()).expect("elems");
+            let elems = vm
+                .get_field(list, "elems")
+                .and_then(|v| v.as_ref())
+                .expect("elems");
             let old = match &mut vm.heap_mut().get_mut(elems).body {
                 ObjBody::ArrRef { data, .. } => {
                     let old = data[idx as usize];
@@ -576,7 +692,10 @@ fn register_arraylist(vm: &mut Vm) {
                     message: format!("index {idx}, size {size}"),
                 };
             }
-            let elems = vm.get_field(list, "elems").and_then(|v| v.as_ref()).expect("elems");
+            let elems = vm
+                .get_field(list, "elems")
+                .and_then(|v| v.as_ref())
+                .expect("elems");
             let old = match &mut vm.heap_mut().get_mut(elems).body {
                 ObjBody::ArrRef { data, .. } => {
                     let old = data[idx as usize];
@@ -596,7 +715,10 @@ fn register_arraylist(vm: &mut Vm) {
         "()V",
         Rc::new(|vm, _tid, args| {
             let list = args[0].as_ref().expect("receiver");
-            let elems = vm.get_field(list, "elems").and_then(|v| v.as_ref()).expect("elems");
+            let elems = vm
+                .get_field(list, "elems")
+                .and_then(|v| v.as_ref())
+                .expect("elems");
             if let ObjBody::ArrRef { data, .. } = &mut vm.heap_mut().get_mut(elems).body {
                 data.fill(Value::Null);
             }
@@ -611,7 +733,10 @@ fn register_arraylist(vm: &mut Vm) {
         Rc::new(|vm, _tid, args| {
             let list = args[0].as_ref().expect("receiver");
             let size = vm.get_field(list, "size").map(|v| v.as_int()).unwrap_or(0) as usize;
-            let elems = vm.get_field(list, "elems").and_then(|v| v.as_ref()).expect("elems");
+            let elems = vm
+                .get_field(list, "elems")
+                .and_then(|v| v.as_ref())
+                .expect("elems");
             let found = match &vm.heap().get(elems).body {
                 ObjBody::ArrRef { data, .. } => {
                     data[..size].iter().any(|&v| values_equal(vm, v, args[1]))
@@ -642,8 +767,14 @@ fn key_hash(vm: &Vm, key: Value) -> u64 {
 }
 
 fn map_arrays(vm: &Vm, map: GcRef) -> (GcRef, GcRef, usize) {
-    let keys = vm.get_field(map, "keys").and_then(|v| v.as_ref()).expect("HashMap.keys");
-    let vals = vm.get_field(map, "vals").and_then(|v| v.as_ref()).expect("HashMap.vals");
+    let keys = vm
+        .get_field(map, "keys")
+        .and_then(|v| v.as_ref())
+        .expect("HashMap.keys");
+    let vals = vm
+        .get_field(map, "vals")
+        .and_then(|v| v.as_ref())
+        .expect("HashMap.vals");
     let cap = vm.heap().get(keys).body.array_len().unwrap_or(0);
     (keys, vals, cap)
 }
@@ -775,7 +906,9 @@ fn register_hashmap(vm: &mut Vm) {
         Rc::new(|vm, tid, args| {
             let map = args[0].as_ref().expect("receiver");
             let (keys, vals, _, found) = map_probe(vm, map, args[1]);
-            let Some(slot) = found else { return ret(Value::Null) };
+            let Some(slot) = found else {
+                return ret(Value::Null);
+            };
             let old = match &vm.heap().get(vals).body {
                 ObjBody::ArrRef { data, .. } => data[slot],
                 _ => Value::Null,

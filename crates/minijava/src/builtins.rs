@@ -6,7 +6,12 @@
 use crate::env::{ClassInfo, Env, FieldSig, MethodSig, Ty};
 
 fn m(name: &str, params: &[Ty], ret: Ty, is_static: bool) -> MethodSig {
-    MethodSig { name: name.to_owned(), params: params.to_vec(), ret, is_static }
+    MethodSig {
+        name: name.to_owned(),
+        params: params.to_vec(),
+        ret,
+        is_static,
+    }
 }
 
 fn class(
@@ -102,7 +107,12 @@ pub fn register(env: &mut Env) {
             m("gc", &[], Ty::Void, true),
             m("exit", &[Ty::Int], Ty::Void, true),
             m("identityHashCode", &[obj()], Ty::Int, true),
-            m("arraycopy", &[obj(), Ty::Int, obj(), Ty::Int, Ty::Int], Ty::Void, true),
+            m(
+                "arraycopy",
+                &[obj(), Ty::Int, obj(), Ty::Int, Ty::Int],
+                Ty::Void,
+                true,
+            ),
         ],
     ));
 
@@ -148,7 +158,12 @@ pub fn register(env: &mut Env) {
         vec![],
         vec![
             m("<init>", &[], Ty::Void, false),
-            m("<init>", &[Ty::Object("java/lang/Runnable".into())], Ty::Void, false),
+            m(
+                "<init>",
+                &[Ty::Object("java/lang/Runnable".into())],
+                Ty::Void,
+                false,
+            ),
             m("run", &[], Ty::Void, false),
             m("start", &[], Ty::Void, false),
             m("join", &[], Ty::Void, false),
@@ -218,7 +233,12 @@ pub fn register(env: &mut Env) {
         &[],
         vec![],
         vec![
-            m("connect", &[], Ty::Object("org/ijvm/VConnection".into()), true),
+            m(
+                "connect",
+                &[],
+                Ty::Object("org/ijvm/VConnection".into()),
+                true,
+            ),
             m("read", &[Ty::Int], Ty::Int, false),
             m("write", &[Ty::Int], Ty::Int, false),
             m("close", &[], Ty::Void, false),
@@ -229,7 +249,11 @@ pub fn register(env: &mut Env) {
         "java/lang/Throwable",
         Some("java/lang/Object"),
         &[],
-        vec![FieldSig { name: "message".to_owned(), ty: s(), is_static: false }],
+        vec![FieldSig {
+            name: "message".to_owned(),
+            ty: s(),
+            is_static: false,
+        }],
         vec![
             m("<init>", &[], Ty::Void, false),
             m("<init>", &[s()], Ty::Void, false),
@@ -246,8 +270,15 @@ pub fn register(env: &mut Env) {
         "org/ijvm/StoppedIsolateException",
         Some("java/lang/Error"),
         &[],
-        vec![FieldSig { name: "isolateId".to_owned(), ty: Ty::Int, is_static: false }],
-        vec![m("<init>", &[], Ty::Void, false), m("getIsolateId", &[], Ty::Int, false)],
+        vec![FieldSig {
+            name: "isolateId".to_owned(),
+            ty: Ty::Int,
+            is_static: false,
+        }],
+        vec![
+            m("<init>", &[], Ty::Void, false),
+            m("getIsolateId", &[], Ty::Int, false),
+        ],
     ));
 }
 
@@ -258,15 +289,39 @@ fn ijvm_exception_hierarchy() -> &'static [(&'static str, &'static str)] {
         ("java/lang/Exception", "java/lang/Throwable"),
         ("java/lang/RuntimeException", "java/lang/Exception"),
         ("java/lang/Error", "java/lang/Throwable"),
-        ("java/lang/NullPointerException", "java/lang/RuntimeException"),
-        ("java/lang/ArithmeticException", "java/lang/RuntimeException"),
-        ("java/lang/ArrayIndexOutOfBoundsException", "java/lang/RuntimeException"),
-        ("java/lang/NegativeArraySizeException", "java/lang/RuntimeException"),
+        (
+            "java/lang/NullPointerException",
+            "java/lang/RuntimeException",
+        ),
+        (
+            "java/lang/ArithmeticException",
+            "java/lang/RuntimeException",
+        ),
+        (
+            "java/lang/ArrayIndexOutOfBoundsException",
+            "java/lang/RuntimeException",
+        ),
+        (
+            "java/lang/NegativeArraySizeException",
+            "java/lang/RuntimeException",
+        ),
         ("java/lang/ClassCastException", "java/lang/RuntimeException"),
-        ("java/lang/IllegalMonitorStateException", "java/lang/RuntimeException"),
-        ("java/lang/IllegalArgumentException", "java/lang/RuntimeException"),
-        ("java/lang/IllegalStateException", "java/lang/RuntimeException"),
-        ("java/lang/UnsupportedOperationException", "java/lang/RuntimeException"),
+        (
+            "java/lang/IllegalMonitorStateException",
+            "java/lang/RuntimeException",
+        ),
+        (
+            "java/lang/IllegalArgumentException",
+            "java/lang/RuntimeException",
+        ),
+        (
+            "java/lang/IllegalStateException",
+            "java/lang/RuntimeException",
+        ),
+        (
+            "java/lang/UnsupportedOperationException",
+            "java/lang/RuntimeException",
+        ),
         ("java/lang/SecurityException", "java/lang/RuntimeException"),
         ("java/lang/InterruptedException", "java/lang/Exception"),
         ("java/io/IOException", "java/lang/Exception"),

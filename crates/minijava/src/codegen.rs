@@ -3,7 +3,9 @@
 use crate::ast::*;
 use crate::env::{ClassInfo, Env, FieldSig, MethodSig, Ty};
 use crate::error::{CompileError, Result};
-use ijvm_classfile::{AccessFlags, BaseType, ClassBuilder, ClassFile, Label, MethodBuilder, Opcode};
+use ijvm_classfile::{
+    AccessFlags, BaseType, ClassBuilder, ClassFile, Label, MethodBuilder, Opcode,
+};
 use std::collections::HashMap;
 
 /// Compiles a parsed unit against `env`. `package` (may be empty) prefixes
@@ -44,9 +46,7 @@ fn resolve_type(tn: &TypeName, unit: &Unit, env: &Env, package: &str, line: u32)
         TypeName::Boolean => Ty::Boolean,
         TypeName::Char => Ty::Char,
         TypeName::Void => Ty::Void,
-        TypeName::Array(e) => {
-            Ty::Array(Box::new(resolve_type(e, unit, env, package, line)?))
-        }
+        TypeName::Array(e) => Ty::Array(Box::new(resolve_type(e, unit, env, package, line)?)),
         TypeName::Named(n) => {
             if unit.classes.iter().any(|c| &c.name == n) {
                 let internal = if package.is_empty() {
@@ -64,15 +64,28 @@ fn resolve_type(tn: &TypeName, unit: &Unit, env: &Env, package: &str, line: u32)
     })
 }
 
-fn resolve_class_name(name: &str, unit: &Unit, env: &Env, package: &str, line: u32) -> Result<String> {
+fn resolve_class_name(
+    name: &str,
+    unit: &Unit,
+    env: &Env,
+    package: &str,
+    line: u32,
+) -> Result<String> {
     match resolve_type(&TypeName::Named(name.to_owned()), unit, env, package, line)? {
         Ty::Object(internal) => Ok(internal),
-        _ => Err(CompileError::check(line, format!("`{name}` is not a class"))),
+        _ => Err(CompileError::check(
+            line,
+            format!("`{name}` is not a class"),
+        )),
     }
 }
 
 fn signature_of(c: &ClassDecl, unit: &Unit, env: &Env, package: &str) -> Result<ClassInfo> {
-    let internal = if package.is_empty() { c.name.clone() } else { format!("{package}/{}", c.name) };
+    let internal = if package.is_empty() {
+        c.name.clone()
+    } else {
+        format!("{package}/{}", c.name)
+    };
     let superclass = match &c.superclass {
         Some(s) => Some(resolve_class_name(s, unit, env, package, c.line)?),
         None => Some("java/lang/Object".to_owned()),
@@ -100,7 +113,12 @@ fn signature_of(c: &ClassDecl, unit: &Unit, env: &Env, package: &str) -> Result<
             .map(|(_, t)| resolve_type(t, unit, env, package, mdecl.line))
             .collect::<Result<Vec<_>>>()?;
         let ret = resolve_type(&mdecl.ret, unit, env, package, mdecl.line)?;
-        methods.push(MethodSig { name: mdecl.name.clone(), params, ret, is_static: mdecl.is_static });
+        methods.push(MethodSig {
+            name: mdecl.name.clone(),
+            params,
+            ret,
+            is_static: mdecl.is_static,
+        });
     }
     if !has_ctor && !c.is_interface {
         methods.push(MethodSig {
@@ -125,7 +143,10 @@ fn gen_class(c: &ClassDecl, info: &ClassInfo, env: &Env, internal: &str) -> Resu
     if c.is_interface {
         flags |= AccessFlags::INTERFACE | AccessFlags::ABSTRACT;
     }
-    let superclass = info.superclass.clone().unwrap_or_else(|| "java/lang/Object".to_owned());
+    let superclass = info
+        .superclass
+        .clone()
+        .unwrap_or_else(|| "java/lang/Object".to_owned());
     let mut cb = ClassBuilder::new(internal, &superclass, flags);
     for i in &info.interfaces {
         cb.implements(i);
@@ -147,7 +168,9 @@ fn gen_class(c: &ClassDecl, info: &ClassInfo, env: &Env, internal: &str) -> Resu
                 .expect("signature registered in phase 1");
             cb.abstract_method(&m.name, &sig.descriptor(), AccessFlags::PUBLIC);
         }
-        return cb.build().map_err(|e| CompileError::emit(c.line, e.to_string()));
+        return cb
+            .build()
+            .map_err(|e| CompileError::emit(c.line, e.to_string()));
     }
 
     // <clinit> for static field initializers.
@@ -166,7 +189,8 @@ fn gen_class(c: &ClassDecl, info: &ClassInfo, env: &Env, internal: &str) -> Resu
             g.mb.putstatic(internal, &f.name, &sig.ty.descriptor());
         }
         g.mb.op(Opcode::Return);
-        g.mb.done().map_err(|e| CompileError::emit(c.line, e.to_string()))?;
+        g.mb.done()
+            .map_err(|e| CompileError::emit(c.line, e.to_string()))?;
     }
 
     let instance_inits: Vec<(&FieldDecl, &FieldSig)> = c
@@ -181,7 +205,16 @@ fn gen_class(c: &ClassDecl, info: &ClassInfo, env: &Env, internal: &str) -> Resu
         if m.is_ctor {
             has_ctor = true;
         }
-        gen_method(&mut cb, m, c, info, env, internal, &superclass, &instance_inits)?;
+        gen_method(
+            &mut cb,
+            m,
+            c,
+            info,
+            env,
+            internal,
+            &superclass,
+            &instance_inits,
+        )?;
     }
     if !has_ctor {
         // Default constructor.
@@ -191,10 +224,12 @@ fn gen_class(c: &ClassDecl, info: &ClassInfo, env: &Env, internal: &str) -> Resu
         g.mb.invokespecial(&superclass, "<init>", "()V");
         gen_field_inits(&mut g, internal, &instance_inits)?;
         g.mb.op(Opcode::Return);
-        g.mb.done().map_err(|e| CompileError::emit(c.line, e.to_string()))?;
+        g.mb.done()
+            .map_err(|e| CompileError::emit(c.line, e.to_string()))?;
     }
 
-    cb.build().map_err(|e| CompileError::emit(c.line, e.to_string()))
+    cb.build()
+        .map_err(|e| CompileError::emit(c.line, e.to_string()))
 }
 
 fn gen_field_inits(
@@ -241,10 +276,9 @@ fn gen_method(
     let mb = cb.method(&m.name, &sig.descriptor(), flags);
     let mut g = Gen::new(mb, env, info, internal, sig.ret.clone(), m.is_static);
     // Parameters.
-    let mut slot = if m.is_static { 0 } else { 1 };
-    for ((pname, _), pty) in m.params.iter().zip(&sig.params) {
+    let first_slot = if m.is_static { 0 } else { 1 };
+    for (slot, ((pname, _), pty)) in (first_slot..).zip(m.params.iter().zip(&sig.params)) {
         g.declare(pname, slot, pty.clone(), m.line)?;
-        slot += 1;
     }
     if m.is_ctor {
         g.mb.aload(0);
@@ -266,9 +300,8 @@ fn gen_method(
         g.mb.const_null();
         g.mb.op(Opcode::Athrow);
     }
-    g.mb.done().map_err(|e| {
-        CompileError::emit(m.line, format!("in {}.{}: {e}", c.name, m.name))
-    })
+    g.mb.done()
+        .map_err(|e| CompileError::emit(m.line, format!("in {}.{}: {e}", c.name, m.name)))
 }
 
 /// Per-method code generator.
@@ -293,14 +326,26 @@ impl<'cb> Gen<'cb> {
         ret: Ty,
         is_static: bool,
     ) -> Gen<'cb> {
-        Gen { mb, env, class, internal, ret, is_static, scopes: vec![HashMap::new()], loops: Vec::new() }
+        Gen {
+            mb,
+            env,
+            class,
+            internal,
+            ret,
+            is_static,
+            scopes: vec![HashMap::new()],
+            loops: Vec::new(),
+        }
     }
 
     fn declare(&mut self, name: &str, slot: u16, ty: Ty, line: u32) -> Result<()> {
         self.mb.ensure_locals(slot + 1);
         let scope = self.scopes.last_mut().expect("scope stack never empty");
         if scope.insert(name.to_owned(), (slot, ty)).is_some() {
-            return Err(CompileError::check(line, format!("duplicate variable `{name}`")));
+            return Err(CompileError::check(
+                line,
+                format!("duplicate variable `{name}`"),
+            ));
         }
         Ok(())
     }
@@ -332,7 +377,12 @@ impl<'cb> Gen<'cb> {
                 self.scopes.pop();
                 Ok(())
             }
-            Stmt::VarDecl { ty, name, init, line } => {
+            Stmt::VarDecl {
+                ty,
+                name,
+                init,
+                line,
+            } => {
                 let ty = self.resolve(ty, *line)?;
                 let slot = self.mb.alloc_local();
                 if let Some(e) = init {
@@ -346,7 +396,11 @@ impl<'cb> Gen<'cb> {
                 self.declare(name, slot, ty, *line)
             }
             Stmt::Expr(e) => self.expr_stmt(e),
-            Stmt::If { cond, then, otherwise } => {
+            Stmt::If {
+                cond,
+                then,
+                otherwise,
+            } => {
                 let t = self.expr(cond)?;
                 self.expect_boolean(&t, cond.line())?;
                 let lfalse = self.mb.new_label();
@@ -380,7 +434,12 @@ impl<'cb> Gen<'cb> {
                 self.mb.bind(exit);
                 Ok(())
             }
-            Stmt::For { init, cond, update, body } => {
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(i) = init {
                     self.stmt(i)?;
@@ -471,7 +530,9 @@ impl<'cb> Gen<'cb> {
             let ty_internal = self
                 .env
                 .resolve(&c.ty)
-                .ok_or_else(|| CompileError::check(c.line, format!("unknown exception type `{}`", c.ty)))?
+                .ok_or_else(|| {
+                    CompileError::check(c.line, format!("unknown exception type `{}`", c.ty))
+                })?
                 .to_owned();
             self.scopes.push(HashMap::new());
             let slot = self.mb.alloc_local();
@@ -610,7 +671,10 @@ impl<'cb> Gen<'cb> {
         if *t == Ty::Boolean {
             Ok(())
         } else {
-            Err(CompileError::check(line, format!("expected boolean, found {t}")))
+            Err(CompileError::check(
+                line,
+                format!("expected boolean, found {t}"),
+            ))
         }
     }
 
@@ -697,7 +761,10 @@ impl<'cb> Gen<'cb> {
                 self.mb.checkcast(&desc);
                 Ok(())
             }
-            _ => Err(CompileError::check(line, format!("cannot cast {from} to {to}"))),
+            _ => Err(CompileError::check(
+                line,
+                format!("cannot cast {from} to {to}"),
+            )),
         }
     }
 
@@ -747,16 +814,22 @@ impl<'cb> Gen<'cb> {
             Expr::Index { array, index, line } => {
                 let at = self.expr(array)?;
                 let Ty::Array(elem) = at else {
-                    return Err(CompileError::check(*line, format!("indexing non-array {at}")));
+                    return Err(CompileError::check(
+                        *line,
+                        format!("indexing non-array {at}"),
+                    ));
                 };
                 let it = self.expr(index)?;
                 self.convert(&it, &Ty::Int, *line)?;
                 self.mb.op(array_load_op(&elem));
                 Ok(*elem)
             }
-            Expr::Call { target, method, args, line } => {
-                self.gen_call(target.as_deref(), method, args, *line)
-            }
+            Expr::Call {
+                target,
+                method,
+                args,
+                line,
+            } => self.gen_call(target.as_deref(), method, args, *line),
             Expr::New { class, args, line } => self.gen_new(class, args, *line),
             Expr::NewArray { elem, len, line } => {
                 let elem_ty = self.resolve(elem, *line)?;
@@ -770,9 +843,7 @@ impl<'cb> Gen<'cb> {
                     Ty::Boolean => self.mb.newarray(BaseType::Boolean),
                     Ty::Char => self.mb.newarray(BaseType::Char),
                     Ty::Object(name) => self.mb.anewarray(name),
-                    Ty::Array(inner) => {
-                        self.mb.anewarray(&Ty::Array(inner.clone()).descriptor())
-                    }
+                    Ty::Array(inner) => self.mb.anewarray(&Ty::Array(inner.clone()).descriptor()),
                     other => {
                         return Err(CompileError::check(*line, format!("cannot make {other}[]")));
                     }
@@ -819,11 +890,20 @@ impl<'cb> Gen<'cb> {
                 self.mb.instanceof(&internal);
                 Ok(Ty::Boolean)
             }
-            Expr::Assign { target, op, value, line } => {
+            Expr::Assign {
+                target,
+                op,
+                value,
+                line,
+            } => {
                 self.gen_assign(target, *op, value, *line)?;
                 Ok(Ty::Void)
             }
-            Expr::Incr { target, delta, line } => {
+            Expr::Incr {
+                target,
+                delta,
+                line,
+            } => {
                 self.gen_incr(target, *delta, *line)?;
                 Ok(Ty::Void)
             }
@@ -860,15 +940,15 @@ impl<'cb> Gen<'cb> {
         if let Expr::Name(base, _) = target {
             if self.is_class_name(base) {
                 let internal = self.env.resolve(base).expect("checked").to_owned();
-                let (decl, sig) = self
-                    .env
-                    .lookup_field(&internal, name)
-                    .ok_or_else(|| {
-                        CompileError::check(line, format!("no field `{name}` on {base}"))
-                    })?;
+                let (decl, sig) = self.env.lookup_field(&internal, name).ok_or_else(|| {
+                    CompileError::check(line, format!("no field `{name}` on {base}"))
+                })?;
                 let (decl, sig) = (decl.to_owned(), sig.clone());
                 if !sig.is_static {
-                    return Err(CompileError::check(line, format!("`{base}.{name}` is not static")));
+                    return Err(CompileError::check(
+                        line,
+                        format!("`{base}.{name}` is not static"),
+                    ));
                 }
                 self.mb.getstatic(&decl, name, &sig.ty.descriptor());
                 return Ok(sig.ty);
@@ -881,10 +961,9 @@ impl<'cb> Gen<'cb> {
                 Ok(Ty::Int)
             }
             Ty::Object(internal) => {
-                let (decl, sig) = self
-                    .env
-                    .lookup_field(internal, name)
-                    .ok_or_else(|| CompileError::check(line, format!("no field `{name}` on {t}")))?;
+                let (decl, sig) = self.env.lookup_field(internal, name).ok_or_else(|| {
+                    CompileError::check(line, format!("no field `{name}` on {t}"))
+                })?;
                 let (decl, sig) = (decl.to_owned(), sig.clone());
                 if sig.is_static {
                     // Reading a static through an instance: drop the
@@ -896,7 +975,10 @@ impl<'cb> Gen<'cb> {
                 }
                 Ok(sig.ty)
             }
-            other => Err(CompileError::check(line, format!("no field `{name}` on {other}"))),
+            other => Err(CompileError::check(
+                line,
+                format!("no field `{name}` on {other}"),
+            )),
         }
     }
 
@@ -934,7 +1016,11 @@ impl<'cb> Gen<'cb> {
                 line,
                 format!(
                     "no applicable overload of {what} for ({})",
-                    arg_types.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+                    arg_types
+                        .iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 ),
             )),
         }
@@ -1001,10 +1087,18 @@ impl<'cb> Gen<'cb> {
             Expr::Index { array, line, .. } => match self.infer(array)? {
                 Ty::Array(e) => *e,
                 other => {
-                    return Err(CompileError::check(*line, format!("indexing non-array {other}")));
+                    return Err(CompileError::check(
+                        *line,
+                        format!("indexing non-array {other}"),
+                    ));
                 }
             },
-            Expr::Call { target, method, args, line } => {
+            Expr::Call {
+                target,
+                method,
+                args,
+                line,
+            } => {
                 let (owner, candidates_owner) = match target.as_deref() {
                     None => (self.internal.to_owned(), None),
                     Some(Expr::Name(base, _)) if self.is_class_name(base) => {
@@ -1021,8 +1115,10 @@ impl<'cb> Gen<'cb> {
                     },
                 };
                 let _ = candidates_owner;
-                let arg_types =
-                    args.iter().map(|a| self.infer(a)).collect::<Result<Vec<_>>>()?;
+                let arg_types = args
+                    .iter()
+                    .map(|a| self.infer(a))
+                    .collect::<Result<Vec<_>>>()?;
                 let cands = self.env.lookup_methods(&owner, method);
                 if cands.is_empty() && target.is_none() {
                     // Builtin `println` / `print` shorthand.
@@ -1034,26 +1130,27 @@ impl<'cb> Gen<'cb> {
                 sig.ret
             }
             Expr::New { class, line, .. } => {
-                let internal = self
-                    .env
-                    .resolve(class)
-                    .ok_or_else(|| CompileError::check(*line, format!("unknown class `{class}`")))?;
+                let internal = self.env.resolve(class).ok_or_else(|| {
+                    CompileError::check(*line, format!("unknown class `{class}`"))
+                })?;
                 Ty::Object(internal.to_owned())
             }
-            Expr::NewArray { elem, line, .. } => {
-                Ty::Array(Box::new(self.resolve(elem, *line)?))
-            }
+            Expr::NewArray { elem, line, .. } => Ty::Array(Box::new(self.resolve(elem, *line)?)),
             Expr::Bin { op, lhs, rhs, line } => {
                 let l = self.infer(lhs)?;
                 let r = self.infer(rhs)?;
                 match op {
-                    BinOp::LAnd | BinOp::LOr | BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le
-                    | BinOp::Gt | BinOp::Ge => Ty::Boolean,
+                    BinOp::LAnd
+                    | BinOp::LOr
+                    | BinOp::Eq
+                    | BinOp::Ne
+                    | BinOp::Lt
+                    | BinOp::Le
+                    | BinOp::Gt
+                    | BinOp::Ge => Ty::Boolean,
                     BinOp::Add if l == Ty::string() || r == Ty::string() => Ty::string(),
                     BinOp::Shl | BinOp::Shr | BinOp::Ushr => norm(&l),
-                    BinOp::And | BinOp::Or | BinOp::Xor
-                        if l == Ty::Boolean && r == Ty::Boolean =>
-                    {
+                    BinOp::And | BinOp::Or | BinOp::Xor if l == Ty::Boolean && r == Ty::Boolean => {
                         Ty::Boolean
                     }
                     _ => promote(&l, &r).ok_or_else(|| {
@@ -1076,7 +1173,10 @@ impl<'cb> Gen<'cb> {
         args: &[Expr],
         line: u32,
     ) -> Result<Ty> {
-        let arg_types = args.iter().map(|a| self.infer(a)).collect::<Result<Vec<_>>>()?;
+        let arg_types = args
+            .iter()
+            .map(|a| self.infer(a))
+            .collect::<Result<Vec<_>>>()?;
 
         // Unqualified call.
         let (owner, receiver): (String, Option<&Expr>) = match target {
@@ -1116,8 +1216,11 @@ impl<'cb> Gen<'cb> {
         let cands = self.env.lookup_methods(&owner, method);
         let (decl, sig) = self.select_overload(&cands, &arg_types, line, method)?;
         let decl = decl.to_owned();
-        let decl_is_interface =
-            self.env.class(&decl).map(|c| c.is_interface).unwrap_or(false);
+        let decl_is_interface = self
+            .env
+            .class(&decl)
+            .map(|c| c.is_interface)
+            .unwrap_or(false);
 
         if sig.is_static {
             for (a, p) in args.iter().zip(&sig.params) {
@@ -1147,8 +1250,11 @@ impl<'cb> Gen<'cb> {
             // The receiver's *static* type decides interface vs virtual
             // dispatch; the owner may be a class implementing the
             // interface method, in which case virtual is correct.
-            let owner_is_interface =
-                self.env.class(&owner).map(|c| c.is_interface).unwrap_or(false);
+            let owner_is_interface = self
+                .env
+                .class(&owner)
+                .map(|c| c.is_interface)
+                .unwrap_or(false);
             if owner_is_interface || (decl_is_interface && owner == decl) {
                 self.mb.invokeinterface(&owner, method, &sig.descriptor());
             } else {
@@ -1164,21 +1270,34 @@ impl<'cb> Gen<'cb> {
             .resolve(class)
             .ok_or_else(|| CompileError::check(line, format!("unknown class `{class}`")))?
             .to_owned();
-        if self.env.class(&internal).map(|c| c.is_interface).unwrap_or(false) {
-            return Err(CompileError::check(line, format!("cannot instantiate interface {class}")));
+        if self
+            .env
+            .class(&internal)
+            .map(|c| c.is_interface)
+            .unwrap_or(false)
+        {
+            return Err(CompileError::check(
+                line,
+                format!("cannot instantiate interface {class}"),
+            ));
         }
-        let arg_types = args.iter().map(|a| self.infer(a)).collect::<Result<Vec<_>>>()?;
+        let arg_types = args
+            .iter()
+            .map(|a| self.infer(a))
+            .collect::<Result<Vec<_>>>()?;
         let cands = self.env.lookup_methods(&internal, "<init>");
         // Constructors do not inherit: only the class's own.
         let own: Vec<_> = cands.into_iter().filter(|(d, _)| *d == internal).collect();
-        let (_, sig) = self.select_overload(&own, &arg_types, line, &format!("{class} constructor"))?;
+        let (_, sig) =
+            self.select_overload(&own, &arg_types, line, &format!("{class} constructor"))?;
         self.mb.new_object(&internal);
         self.mb.op(Opcode::Dup);
         for (a, p) in args.iter().zip(&sig.params) {
             let t = self.expr(a)?;
             self.convert(&t, p, line)?;
         }
-        self.mb.invokespecial(&internal, "<init>", &sig.descriptor());
+        self.mb
+            .invokespecial(&internal, "<init>", &sig.descriptor());
         Ok(Ty::Object(internal))
     }
 
@@ -1229,7 +1348,11 @@ impl<'cb> Gen<'cb> {
         if matches!(op, BinOp::Eq | BinOp::Ne) && lt.is_reference() && rt.is_reference() {
             self.expr(lhs)?;
             self.expr(rhs)?;
-            let branch = if op == BinOp::Eq { O::IfAcmpeq } else { O::IfAcmpne };
+            let branch = if op == BinOp::Eq {
+                O::IfAcmpeq
+            } else {
+                O::IfAcmpne
+            };
             return self.bool_from_branch(branch);
         }
 
@@ -1294,44 +1417,45 @@ impl<'cb> Gen<'cb> {
                     (BinOp::Or, Ty::Long) => O::Lor,
                     (BinOp::Xor, Ty::Long) => O::Lxor,
                     _ => {
-                        return Err(CompileError::check(line, format!("bad bit-op operands {t}")));
+                        return Err(CompileError::check(
+                            line,
+                            format!("bad bit-op operands {t}"),
+                        ));
                     }
                 };
                 self.mb.op(opcode);
                 Ok(t)
             }
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                match &t {
-                    Ty::Int => {
-                        let branch = match op {
-                            BinOp::Eq => O::IfIcmpeq,
-                            BinOp::Ne => O::IfIcmpne,
-                            BinOp::Lt => O::IfIcmplt,
-                            BinOp::Le => O::IfIcmple,
-                            BinOp::Gt => O::IfIcmpgt,
-                            _ => O::IfIcmpge,
-                        };
-                        self.bool_from_branch(branch)
-                    }
-                    Ty::Long | Ty::Float | Ty::Double => {
-                        self.mb.op(match &t {
-                            Ty::Long => O::Lcmp,
-                            Ty::Float => O::Fcmpl,
-                            _ => O::Dcmpl,
-                        });
-                        let branch = match op {
-                            BinOp::Eq => O::Ifeq,
-                            BinOp::Ne => O::Ifne,
-                            BinOp::Lt => O::Iflt,
-                            BinOp::Le => O::Ifle,
-                            BinOp::Gt => O::Ifgt,
-                            _ => O::Ifge,
-                        };
-                        self.bool_from_branch(branch)
-                    }
-                    other => Err(CompileError::check(line, format!("cannot compare {other}"))),
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => match &t {
+                Ty::Int => {
+                    let branch = match op {
+                        BinOp::Eq => O::IfIcmpeq,
+                        BinOp::Ne => O::IfIcmpne,
+                        BinOp::Lt => O::IfIcmplt,
+                        BinOp::Le => O::IfIcmple,
+                        BinOp::Gt => O::IfIcmpgt,
+                        _ => O::IfIcmpge,
+                    };
+                    self.bool_from_branch(branch)
                 }
-            }
+                Ty::Long | Ty::Float | Ty::Double => {
+                    self.mb.op(match &t {
+                        Ty::Long => O::Lcmp,
+                        Ty::Float => O::Fcmpl,
+                        _ => O::Dcmpl,
+                    });
+                    let branch = match op {
+                        BinOp::Eq => O::Ifeq,
+                        BinOp::Ne => O::Ifne,
+                        BinOp::Lt => O::Iflt,
+                        BinOp::Le => O::Ifle,
+                        BinOp::Gt => O::Ifgt,
+                        _ => O::Ifge,
+                    };
+                    self.bool_from_branch(branch)
+                }
+                other => Err(CompileError::check(line, format!("cannot compare {other}"))),
+            },
             BinOp::LAnd | BinOp::LOr | BinOp::Shl | BinOp::Shr | BinOp::Ushr => unreachable!(),
         }
     }
@@ -1385,7 +1509,8 @@ impl<'cb> Gen<'cb> {
             };
             self.mb.invokevirtual(sb, "append", desc);
         }
-        self.mb.invokevirtual(sb, "toString", "()Ljava/lang/String;");
+        self.mb
+            .invokevirtual(sb, "toString", "()Ljava/lang/String;");
         Ok(Ty::string())
     }
 
@@ -1446,7 +1571,11 @@ impl<'cb> Gen<'cb> {
                 }
                 Ok(())
             }
-            Expr::Field { target: base, name, line: fline } => {
+            Expr::Field {
+                target: base,
+                name,
+                line: fline,
+            } => {
                 // Static via class name?
                 if let Expr::Name(b, _) = &**base {
                     if self.is_class_name(b) {
@@ -1475,12 +1604,14 @@ impl<'cb> Gen<'cb> {
                 }
                 let bt = self.expr(base)?;
                 let Ty::Object(internal) = &bt else {
-                    return Err(CompileError::check(*fline, format!("no field `{name}` on {bt}")));
+                    return Err(CompileError::check(
+                        *fline,
+                        format!("no field `{name}` on {bt}"),
+                    ));
                 };
-                let (decl, sig) = self
-                    .env
-                    .lookup_field(internal, name)
-                    .ok_or_else(|| CompileError::check(*fline, format!("no field `{name}` on {bt}")))?;
+                let (decl, sig) = self.env.lookup_field(internal, name).ok_or_else(|| {
+                    CompileError::check(*fline, format!("no field `{name}` on {bt}"))
+                })?;
                 let (decl, sig) = (decl.to_owned(), sig.clone());
                 if let Some(op) = op {
                     self.mb.op(Opcode::Dup);
@@ -1493,7 +1624,11 @@ impl<'cb> Gen<'cb> {
                 self.mb.putfield(&decl, name, &sig.ty.descriptor());
                 Ok(())
             }
-            Expr::Index { array, index, line: iline } => {
+            Expr::Index {
+                array,
+                index,
+                line: iline,
+            } => {
                 let at = self.expr(array)?;
                 let Ty::Array(elem) = at else {
                     return Err(CompileError::check(*iline, "indexing non-array"));
@@ -1511,7 +1646,10 @@ impl<'cb> Gen<'cb> {
                 self.mb.op(array_store_op(&elem));
                 Ok(())
             }
-            other => Err(CompileError::check(other.line(), "invalid assignment target")),
+            other => Err(CompileError::check(
+                other.line(),
+                "invalid assignment target",
+            )),
         }
     }
 
@@ -1529,7 +1667,10 @@ impl<'cb> Gen<'cb> {
                 );
                 return Ok(());
             }
-            return Err(CompileError::check(line, "can only += a String to a String"));
+            return Err(CompileError::check(
+                line,
+                "can only += a String to a String",
+            ));
         }
         let vt = self.expr(value)?;
         let work = promote(&norm(ty), &norm(&vt))
@@ -1673,7 +1814,13 @@ fn array_store_op(elem: &Ty) -> Opcode {
 
 /// Flattens a `+` tree into concatenation parts.
 fn collect_concat<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
-    if let Expr::Bin { op: BinOp::Add, lhs, rhs, .. } = e {
+    if let Expr::Bin {
+        op: BinOp::Add,
+        lhs,
+        rhs,
+        ..
+    } = e
+    {
         // Only flatten if this subtree is itself stringy-ambiguous; to
         // keep arithmetic like `1 + 2 + "s"` left-folded correctly we
         // flatten conservatively: nested `+` flattens only when one side
@@ -1691,9 +1838,12 @@ fn collect_concat<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
 fn contains_string_literal(e: &Expr) -> bool {
     match e {
         Expr::Str(..) => true,
-        Expr::Bin { op: BinOp::Add, lhs, rhs, .. } => {
-            contains_string_literal(lhs) || contains_string_literal(rhs)
-        }
+        Expr::Bin {
+            op: BinOp::Add,
+            lhs,
+            rhs,
+            ..
+        } => contains_string_literal(lhs) || contains_string_literal(rhs),
         _ => false,
     }
 }

@@ -199,8 +199,15 @@ impl Env {
 
     /// Registers a class, indexing it by its simple name too.
     pub fn add_class(&mut self, info: ClassInfo) {
-        let simple = info.internal.rsplit('/').next().unwrap_or(&info.internal).to_owned();
-        self.by_simple.entry(simple).or_insert_with(|| info.internal.clone());
+        let simple = info
+            .internal
+            .rsplit('/')
+            .next()
+            .unwrap_or(&info.internal)
+            .to_owned();
+        self.by_simple
+            .entry(simple)
+            .or_insert_with(|| info.internal.clone());
         self.classes.insert(info.internal.clone(), info);
     }
 
@@ -240,7 +247,12 @@ impl Env {
                 None => Ty::Void,
                 Some(t) => Ty::from_descriptor(&t.to_string())?,
             };
-            methods.push(MethodSig { name, params, ret, is_static: m.access.is_static() });
+            methods.push(MethodSig {
+                name,
+                params,
+                ret,
+                is_static: m.access.is_static(),
+            });
         }
         self.add_class(ClassInfo {
             internal,
@@ -291,7 +303,9 @@ impl Env {
         let mut seen_descs = Vec::new();
         let mut stack = vec![internal.to_owned()];
         while let Some(c) = stack.pop() {
-            let Some(info) = self.classes.get(&c) else { continue };
+            let Some(info) = self.classes.get(&c) else {
+                continue;
+            };
             for m in info.methods.iter().filter(|m| m.name == name) {
                 let d = m.descriptor();
                 if !seen_descs.contains(&d) {
@@ -320,7 +334,9 @@ impl Env {
             if c == sup {
                 return true;
             }
-            let Some(info) = self.classes.get(&c) else { continue };
+            let Some(info) = self.classes.get(&c) else {
+                continue;
+            };
             if let Some(s) = &info.superclass {
                 stack.push(s.clone());
             }

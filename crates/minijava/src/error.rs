@@ -32,22 +32,38 @@ pub enum Phase {
 impl CompileError {
     /// Lexer error at `line`.
     pub fn lex(line: u32, message: impl Into<String>) -> CompileError {
-        CompileError { phase: Phase::Lex, line, message: message.into() }
+        CompileError {
+            phase: Phase::Lex,
+            line,
+            message: message.into(),
+        }
     }
 
     /// Parser error at `line`.
     pub fn parse(line: u32, message: impl Into<String>) -> CompileError {
-        CompileError { phase: Phase::Parse, line, message: message.into() }
+        CompileError {
+            phase: Phase::Parse,
+            line,
+            message: message.into(),
+        }
     }
 
     /// Semantic error at `line`.
     pub fn check(line: u32, message: impl Into<String>) -> CompileError {
-        CompileError { phase: Phase::Check, line, message: message.into() }
+        CompileError {
+            phase: Phase::Check,
+            line,
+            message: message.into(),
+        }
     }
 
     /// Code-generation error at `line`.
     pub fn emit(line: u32, message: impl Into<String>) -> CompileError {
-        CompileError { phase: Phase::Emit, line, message: message.into() }
+        CompileError {
+            phase: Phase::Emit,
+            line,
+            message: message.into(),
+        }
     }
 }
 

@@ -53,9 +53,9 @@ impl fmt::Display for Tok {
 
 /// Multi-character operators, longest first.
 const PUNCTS: &[&str] = &[
-    ">>>=", "<<=", ">>=", ">>>", "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=",
-    "*=", "/=", "%=", "<<", ">>", "&=", "|=", "^=", "+", "-", "*", "/", "%", "=", "<", ">", "!",
-    "&", "|", "^", "~", "?", ":", ";", ",", ".", "(", ")", "{", "}", "[", "]",
+    ">>>=", "<<=", ">>=", ">>>", "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "*=",
+    "/=", "%=", "<<", ">>", "&=", "|=", "^=", "+", "-", "*", "/", "%", "=", "<", ">", "!", "&",
+    "|", "^", "~", "?", ":", ";", ",", ".", "(", ")", "{", "}", "[", "]",
 ];
 
 /// Tokenizes `source`.
@@ -109,7 +109,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
             {
                 i += 1;
             }
-            out.push(Token { kind: Tok::Ident(source[start..i].to_owned()), line });
+            out.push(Token {
+                kind: Tok::Ident(source[start..i].to_owned()),
+                line,
+            });
             continue;
         }
         // Numbers.
@@ -126,9 +129,15 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                     .map_err(|_| CompileError::lex(line, "bad hex literal"))?;
                 if i < bytes.len() && (bytes[i] == b'L' || bytes[i] == b'l') {
                     i += 1;
-                    out.push(Token { kind: Tok::Long(v), line });
+                    out.push(Token {
+                        kind: Tok::Long(v),
+                        line,
+                    });
                 } else {
-                    out.push(Token { kind: Tok::Int(v as i32), line });
+                    out.push(Token {
+                        kind: Tok::Int(v as i32),
+                        line,
+                    });
                 }
                 continue;
             }
@@ -157,28 +166,41 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                 }
             }
             let text = &source[start..i];
-            let suffix = if i < bytes.len() { bytes[i] as char } else { ' ' };
+            let suffix = if i < bytes.len() {
+                bytes[i] as char
+            } else {
+                ' '
+            };
             let kind = match (is_float, suffix) {
                 (_, 'f') | (_, 'F') => {
                     i += 1;
-                    Tok::Float(text.parse().map_err(|_| CompileError::lex(line, "bad float"))?)
+                    Tok::Float(
+                        text.parse()
+                            .map_err(|_| CompileError::lex(line, "bad float"))?,
+                    )
                 }
                 (false, 'L') | (false, 'l') => {
                     i += 1;
-                    Tok::Long(text.parse().map_err(|_| CompileError::lex(line, "bad long"))?)
+                    Tok::Long(
+                        text.parse()
+                            .map_err(|_| CompileError::lex(line, "bad long"))?,
+                    )
                 }
                 (false, 'd') | (false, 'D') | (true, 'd') | (true, 'D') => {
                     i += 1;
-                    Tok::Double(text.parse().map_err(|_| CompileError::lex(line, "bad double"))?)
+                    Tok::Double(
+                        text.parse()
+                            .map_err(|_| CompileError::lex(line, "bad double"))?,
+                    )
                 }
-                (true, _) => {
-                    Tok::Double(text.parse().map_err(|_| CompileError::lex(line, "bad double"))?)
-                }
-                (false, _) => {
-                    Tok::Int(text.parse().map_err(|_| {
-                        CompileError::lex(line, "integer literal out of range")
-                    })?)
-                }
+                (true, _) => Tok::Double(
+                    text.parse()
+                        .map_err(|_| CompileError::lex(line, "bad double"))?,
+                ),
+                (false, _) => Tok::Int(
+                    text.parse()
+                        .map_err(|_| CompileError::lex(line, "integer literal out of range"))?,
+                ),
             };
             out.push(Token { kind, line });
             continue;
@@ -201,7 +223,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                 return Err(CompileError::lex(line, "unterminated char literal"));
             }
             i += 1;
-            out.push(Token { kind: Tok::Char(ch), line });
+            out.push(Token {
+                kind: Tok::Char(ch),
+                line,
+            });
             continue;
         }
         // String literal.
@@ -232,18 +257,30 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                     }
                 }
             }
-            out.push(Token { kind: Tok::Str(s), line });
+            out.push(Token {
+                kind: Tok::Str(s),
+                line,
+            });
             continue;
         }
         // Punctuation.
         let rest = &source[i..];
         let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) else {
-            return Err(CompileError::lex(line, format!("unexpected character {c:?}")));
+            return Err(CompileError::lex(
+                line,
+                format!("unexpected character {c:?}"),
+            ));
         };
-        out.push(Token { kind: Tok::Punct(p), line });
+        out.push(Token {
+            kind: Tok::Punct(p),
+            line,
+        });
         i += p.len();
     }
-    out.push(Token { kind: Tok::Eof, line });
+    out.push(Token {
+        kind: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -306,7 +343,12 @@ mod tests {
     fn strings_and_chars() {
         assert_eq!(
             kinds(r#""hi\n" 'x' '\t'"#),
-            vec![Tok::Str("hi\n".into()), Tok::Char('x' as u16), Tok::Char('\t' as u16), Tok::Eof]
+            vec![
+                Tok::Str("hi\n".into()),
+                Tok::Char('x' as u16),
+                Tok::Char('\t' as u16),
+                Tok::Eof
+            ]
         );
     }
 

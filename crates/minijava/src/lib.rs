@@ -59,12 +59,18 @@ pub struct CompileEnv {
 impl CompileEnv {
     /// A fresh environment with the system-library builtins.
     pub fn new() -> CompileEnv {
-        CompileEnv { package: String::new(), env: Env::with_builtins() }
+        CompileEnv {
+            package: String::new(),
+            env: Env::with_builtins(),
+        }
     }
 
     /// Like [`CompileEnv::new`] with a package prefix.
     pub fn in_package(package: &str) -> CompileEnv {
-        CompileEnv { package: package.to_owned(), env: Env::with_builtins() }
+        CompileEnv {
+            package: package.to_owned(),
+            env: Env::with_builtins(),
+        }
     }
 
     /// Makes previously compiled classes referenceable (bundle imports).

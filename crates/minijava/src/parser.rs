@@ -58,7 +58,10 @@ impl Parser {
         if self.eat_punct(p) {
             Ok(())
         } else {
-            Err(CompileError::parse(self.line(), format!("expected `{p}`, found `{}`", self.peek())))
+            Err(CompileError::parse(
+                self.line(),
+                format!("expected `{p}`, found `{}`", self.peek()),
+            ))
         }
     }
 
@@ -74,7 +77,10 @@ impl Parser {
     fn expect_ident(&mut self) -> Result<String> {
         match self.bump() {
             Tok::Ident(s) => Ok(s),
-            other => Err(CompileError::parse(self.line(), format!("expected identifier, found `{other}`"))),
+            other => Err(CompileError::parse(
+                self.line(),
+                format!("expected identifier, found `{other}`"),
+            )),
         }
     }
 
@@ -93,7 +99,10 @@ impl Parser {
         } else if self.eat_kw("class") {
             false
         } else {
-            return Err(CompileError::parse(line, format!("expected `class` or `interface`, found `{}`", self.peek())));
+            return Err(CompileError::parse(
+                line,
+                format!("expected `class` or `interface`, found `{}`", self.peek()),
+            ));
         };
         let name = self.expect_ident()?;
         let mut superclass = None;
@@ -115,7 +124,15 @@ impl Parser {
         while !self.eat_punct("}") {
             self.member(&name, is_interface, &mut fields, &mut methods)?;
         }
-        Ok(ClassDecl { name, is_interface, superclass, interfaces, fields, methods, line })
+        Ok(ClassDecl {
+            name,
+            is_interface,
+            superclass,
+            interfaces,
+            fields,
+            methods,
+            line,
+        })
     }
 
     fn member(
@@ -129,7 +146,9 @@ impl Parser {
         let mut is_static = false;
         let mut is_synchronized = false;
         loop {
-            if self.eat_kw("public") || self.eat_kw("private") || self.eat_kw("protected")
+            if self.eat_kw("public")
+                || self.eat_kw("private")
+                || self.eat_kw("protected")
                 || self.eat_kw("final")
             {
                 continue;
@@ -187,8 +206,18 @@ impl Parser {
             // Field (possibly several, comma-separated).
             let mut fname = name;
             loop {
-                let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
-                fields.push(FieldDecl { name: fname.clone(), ty: ty.clone(), is_static, init, line });
+                let init = if self.eat_punct("=") {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                fields.push(FieldDecl {
+                    name: fname.clone(),
+                    ty: ty.clone(),
+                    is_static,
+                    init,
+                    line,
+                });
                 if self.eat_punct(",") {
                     fname = self.expect_ident()?;
                     continue;
@@ -230,7 +259,10 @@ impl Parser {
                 _ => TypeName::Named(s),
             },
             other => {
-                return Err(CompileError::parse(self.line(), format!("expected type, found `{other}`")));
+                return Err(CompileError::parse(
+                    self.line(),
+                    format!("expected type, found `{other}`"),
+                ));
             }
         };
         let mut ty = base;
@@ -263,8 +295,16 @@ impl Parser {
             let cond = self.expr()?;
             self.expect_punct(")")?;
             let then = Box::new(self.stmt()?);
-            let otherwise = if self.eat_kw("else") { Some(Box::new(self.stmt()?)) } else { None };
-            return Ok(Stmt::If { cond, then, otherwise });
+            let otherwise = if self.eat_kw("else") {
+                Some(Box::new(self.stmt()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If {
+                cond,
+                then,
+                otherwise,
+            });
         }
         if self.eat_kw("while") {
             self.expect_punct("(")?;
@@ -282,15 +322,32 @@ impl Parser {
                 self.expect_punct(";")?;
                 Some(Box::new(s))
             };
-            let cond = if matches!(self.peek(), Tok::Punct(";")) { None } else { Some(self.expr()?) };
+            let cond = if matches!(self.peek(), Tok::Punct(";")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(";")?;
-            let update = if matches!(self.peek(), Tok::Punct(")")) { None } else { Some(self.expr()?) };
+            let update = if matches!(self.peek(), Tok::Punct(")")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(")")?;
             let body = Box::new(self.stmt()?);
-            return Ok(Stmt::For { init, cond, update, body });
+            return Ok(Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            });
         }
         if self.eat_kw("return") {
-            let value = if matches!(self.peek(), Tok::Punct(";")) { None } else { Some(self.expr()?) };
+            let value = if matches!(self.peek(), Tok::Punct(";")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(";")?;
             return Ok(Stmt::Return(value, line));
         }
@@ -318,10 +375,18 @@ impl Parser {
                 let name = self.expect_ident()?;
                 self.expect_punct(")")?;
                 let cbody = self.block_stmts()?;
-                catches.push(CatchClause { ty, name, body: cbody, line: cline });
+                catches.push(CatchClause {
+                    ty,
+                    name,
+                    body: cbody,
+                    line: cline,
+                });
             }
             if catches.is_empty() {
-                return Err(CompileError::parse(line, "try without catch (finally is unsupported)"));
+                return Err(CompileError::parse(
+                    line,
+                    "try without catch (finally is unsupported)",
+                ));
             }
             return Ok(Stmt::Try { body, catches });
         }
@@ -344,8 +409,17 @@ impl Parser {
         if self.looks_like_decl() {
             let ty = self.type_name()?;
             let name = self.expect_ident()?;
-            let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
-            return Ok(Stmt::VarDecl { ty, name, init, line });
+            let init = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::VarDecl {
+                ty,
+                name,
+                init,
+                line,
+            });
         }
         Ok(Stmt::Expr(self.expr()?))
     }
@@ -360,7 +434,9 @@ impl Parser {
         if prim {
             return true;
         }
-        let Tok::Ident(first) = self.peek() else { return false };
+        let Tok::Ident(first) = self.peek() else {
+            return false;
+        };
         if is_keyword(first) {
             return false;
         }
@@ -411,7 +487,12 @@ impl Parser {
             return Ok(lhs);
         };
         let value = self.assignment()?;
-        Ok(Expr::Assign { target: Box::new(lhs), op, value: Box::new(value), line })
+        Ok(Expr::Assign {
+            target: Box::new(lhs),
+            op,
+            value: Box::new(value),
+            line,
+        })
     }
 
     fn logical_or(&mut self) -> Result<Expr> {
@@ -420,7 +501,12 @@ impl Parser {
             let line = self.line();
             if self.eat_punct("||") {
                 let rhs = self.logical_and()?;
-                lhs = Expr::Bin { op: BinOp::LOr, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+                lhs = Expr::Bin {
+                    op: BinOp::LOr,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    line,
+                };
             } else {
                 return Ok(lhs);
             }
@@ -433,7 +519,12 @@ impl Parser {
             let line = self.line();
             if self.eat_punct("&&") {
                 let rhs = self.bitor()?;
-                lhs = Expr::Bin { op: BinOp::LAnd, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+                lhs = Expr::Bin {
+                    op: BinOp::LAnd,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    line,
+                };
             } else {
                 return Ok(lhs);
             }
@@ -446,7 +537,12 @@ impl Parser {
             let line = self.line();
             if self.eat_punct("|") {
                 let rhs = self.bitxor()?;
-                lhs = Expr::Bin { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+                lhs = Expr::Bin {
+                    op: BinOp::Or,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    line,
+                };
             } else {
                 return Ok(lhs);
             }
@@ -459,7 +555,12 @@ impl Parser {
             let line = self.line();
             if self.eat_punct("^") {
                 let rhs = self.bitand()?;
-                lhs = Expr::Bin { op: BinOp::Xor, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+                lhs = Expr::Bin {
+                    op: BinOp::Xor,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    line,
+                };
             } else {
                 return Ok(lhs);
             }
@@ -472,7 +573,12 @@ impl Parser {
             let line = self.line();
             if self.eat_punct("&") {
                 let rhs = self.equality()?;
-                lhs = Expr::Bin { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+                lhs = Expr::Bin {
+                    op: BinOp::And,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    line,
+                };
             } else {
                 return Ok(lhs);
             }
@@ -491,7 +597,12 @@ impl Parser {
                 return Ok(lhs);
             };
             let rhs = self.relational()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
         }
     }
 
@@ -502,7 +613,11 @@ impl Parser {
             if self.is_kw("instanceof") {
                 self.bump();
                 let ty = self.expect_ident()?;
-                lhs = Expr::InstanceOf { expr: Box::new(lhs), ty, line };
+                lhs = Expr::InstanceOf {
+                    expr: Box::new(lhs),
+                    ty,
+                    line,
+                };
                 continue;
             }
             let op = if self.eat_punct("<=") {
@@ -517,7 +632,12 @@ impl Parser {
                 return Ok(lhs);
             };
             let rhs = self.shift()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
         }
     }
 
@@ -535,7 +655,12 @@ impl Parser {
                 return Ok(lhs);
             };
             let rhs = self.additive()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
         }
     }
 
@@ -551,7 +676,12 @@ impl Parser {
                 return Ok(lhs);
             };
             let rhs = self.multiplicative()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
         }
     }
 
@@ -569,7 +699,12 @@ impl Parser {
                 return Ok(lhs);
             };
             let rhs = self.unary()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
         }
     }
 
@@ -583,11 +718,19 @@ impl Parser {
         }
         if self.eat_punct("++") {
             let t = self.unary()?;
-            return Ok(Expr::Incr { target: Box::new(t), delta: 1, line });
+            return Ok(Expr::Incr {
+                target: Box::new(t),
+                delta: 1,
+                line,
+            });
         }
         if self.eat_punct("--") {
             let t = self.unary()?;
-            return Ok(Expr::Incr { target: Box::new(t), delta: -1, line });
+            return Ok(Expr::Incr {
+                target: Box::new(t),
+                delta: -1,
+                line,
+            });
         }
         // Cast: `(` Type `)` unary — only when the parenthesized tokens
         // form a type and the next token starts an expression.
@@ -605,9 +748,10 @@ impl Parser {
         self.bump(); // (
         let is_type = match self.peek() {
             Tok::Ident(s) => {
-                matches!(s.as_str(), "int" | "long" | "float" | "double" | "boolean" | "char")
-                    || (!is_keyword(s)
-                        && s.chars().next().is_some_and(|c| c.is_ascii_uppercase()))
+                matches!(
+                    s.as_str(),
+                    "int" | "long" | "float" | "double" | "boolean" | "char"
+                ) || (!is_keyword(s) && s.chars().next().is_some_and(|c| c.is_ascii_uppercase()))
             }
             _ => false,
         };
@@ -638,7 +782,11 @@ impl Parser {
             return Ok(None);
         }
         let expr = self.unary()?;
-        Ok(Some(Expr::Cast { ty, expr: Box::new(expr), line }))
+        Ok(Some(Expr::Cast {
+            ty,
+            expr: Box::new(expr),
+            line,
+        }))
     }
 
     fn postfix(&mut self) -> Result<Expr> {
@@ -649,9 +797,18 @@ impl Parser {
                 let name = self.expect_ident()?;
                 if matches!(self.peek(), Tok::Punct("(")) {
                     let args = self.call_args()?;
-                    e = Expr::Call { target: Some(Box::new(e)), method: name, args, line };
+                    e = Expr::Call {
+                        target: Some(Box::new(e)),
+                        method: name,
+                        args,
+                        line,
+                    };
                 } else {
-                    e = Expr::Field { target: Box::new(e), name, line };
+                    e = Expr::Field {
+                        target: Box::new(e),
+                        name,
+                        line,
+                    };
                 }
                 continue;
             }
@@ -659,15 +816,27 @@ impl Parser {
                 self.bump();
                 let index = self.expr()?;
                 self.expect_punct("]")?;
-                e = Expr::Index { array: Box::new(e), index: Box::new(index), line };
+                e = Expr::Index {
+                    array: Box::new(e),
+                    index: Box::new(index),
+                    line,
+                };
                 continue;
             }
             if self.eat_punct("++") {
-                e = Expr::Incr { target: Box::new(e), delta: 1, line };
+                e = Expr::Incr {
+                    target: Box::new(e),
+                    delta: 1,
+                    line,
+                };
                 continue;
             }
             if self.eat_punct("--") {
-                e = Expr::Incr { target: Box::new(e), delta: -1, line };
+                e = Expr::Incr {
+                    target: Box::new(e),
+                    delta: -1,
+                    line,
+                };
                 continue;
             }
             return Ok(e);
@@ -720,7 +889,11 @@ impl Parser {
                             self.expect_punct("]")?;
                             elem = TypeName::Array(Box::new(elem));
                         }
-                        Ok(Expr::NewArray { elem, len: Box::new(len), line })
+                        Ok(Expr::NewArray {
+                            elem,
+                            len: Box::new(len),
+                            line,
+                        })
                     } else {
                         let TypeName::Named(class) = base else {
                             return Err(CompileError::parse(line, "cannot `new` a primitive"));
@@ -732,13 +905,21 @@ impl Parser {
                 _ => {
                     if matches!(self.peek(), Tok::Punct("(")) {
                         let args = self.call_args()?;
-                        Ok(Expr::Call { target: None, method: id, args, line })
+                        Ok(Expr::Call {
+                            target: None,
+                            method: id,
+                            args,
+                            line,
+                        })
                     } else {
                         Ok(Expr::Name(id, line))
                     }
                 }
             },
-            other => Err(CompileError::parse(line, format!("unexpected token `{other}`"))),
+            other => Err(CompileError::parse(
+                line,
+                format!("unexpected token `{other}`"),
+            )),
         }
     }
 }
@@ -746,11 +927,40 @@ impl Parser {
 fn is_keyword(s: &str) -> bool {
     matches!(
         s,
-        "class" | "interface" | "extends" | "implements" | "static" | "synchronized" | "public"
-            | "private" | "protected" | "final" | "abstract" | "if" | "else" | "while" | "for"
-            | "return" | "throw" | "try" | "catch" | "break" | "continue" | "new" | "this"
-            | "true" | "false" | "null" | "instanceof" | "int" | "long" | "float" | "double"
-            | "boolean" | "char" | "void"
+        "class"
+            | "interface"
+            | "extends"
+            | "implements"
+            | "static"
+            | "synchronized"
+            | "public"
+            | "private"
+            | "protected"
+            | "final"
+            | "abstract"
+            | "if"
+            | "else"
+            | "while"
+            | "for"
+            | "return"
+            | "throw"
+            | "try"
+            | "catch"
+            | "break"
+            | "continue"
+            | "new"
+            | "this"
+            | "true"
+            | "false"
+            | "null"
+            | "instanceof"
+            | "int"
+            | "long"
+            | "float"
+            | "double"
+            | "boolean"
+            | "char"
+            | "void"
     )
 }
 

@@ -25,7 +25,10 @@ fn max_method_disassembles_to_the_expected_shape() {
     assert!(text.contains("method max(II)I"), "{text}");
     assert!(text.contains("if_icmpgt"), "{text}");
     assert_eq!(text.matches("ireturn").count(), 2, "{text}");
-    assert!(text.contains("athrow"), "non-void terminator present: {text}");
+    assert!(
+        text.contains("athrow"),
+        "non-void terminator present: {text}"
+    );
 }
 
 #[test]
@@ -67,7 +70,10 @@ fn synchronized_blocks_emit_balanced_monitor_ops() {
     assert_eq!(text.matches("monitorenter").count(), 1, "{text}");
     // Normal path + exceptional path both release.
     assert_eq!(text.matches("monitorexit").count(), 2, "{text}");
-    assert!(text.contains("catch any"), "catch-all for the unlock: {text}");
+    assert!(
+        text.contains("catch any"),
+        "catch-all for the unlock: {text}"
+    );
 }
 
 #[test]
@@ -84,7 +90,10 @@ fn try_catch_emits_typed_handler_ranges() {
     )
     .unwrap();
     let text = ijvm_classfile::disasm::disassemble(&classes[0]).unwrap();
-    assert!(text.contains("catch java/lang/ArithmeticException"), "{text}");
+    assert!(
+        text.contains("catch java/lang/ArithmeticException"),
+        "{text}"
+    );
     assert!(text.contains("idiv"), "{text}");
 }
 

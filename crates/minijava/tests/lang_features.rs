@@ -85,7 +85,10 @@ fn char_arithmetic_and_comparisons() {
             }
         }
     "#;
-    assert_eq!(run_int(src, "Chars", "f", vec![Value::Int(0)]), ('A' as i32) * 1000 + 2);
+    assert_eq!(
+        run_int(src, "Chars", "f", vec![Value::Int(0)]),
+        ('A' as i32) * 1000 + 2
+    );
 }
 
 #[test]
@@ -339,13 +342,31 @@ fn object_equals_and_hashcode_defaults() {
 #[test]
 fn compile_errors_carry_useful_messages() {
     for (src, needle) in [
-        ("class C { static int f() { return g(); } }", "no applicable overload"),
+        (
+            "class C { static int f() { return g(); } }",
+            "no applicable overload",
+        ),
         ("class C { static int f() { return x; } }", "unknown name"),
-        ("class C { static void f() { Unknown u = null; } }", "unknown type"),
-        ("class C { static int f() { boolean b = true; return b + 1; } }", "bad operands"),
-        ("class C { static void f() { break; } }", "break outside loop"),
-        ("class C { static int f(int x) { int x = 2; return x; } }", "duplicate variable"),
-        ("class C { void f() { this.g(); } } class D {}", "no applicable overload"),
+        (
+            "class C { static void f() { Unknown u = null; } }",
+            "unknown type",
+        ),
+        (
+            "class C { static int f() { boolean b = true; return b + 1; } }",
+            "bad operands",
+        ),
+        (
+            "class C { static void f() { break; } }",
+            "break outside loop",
+        ),
+        (
+            "class C { static int f(int x) { int x = 2; return x; } }",
+            "duplicate variable",
+        ),
+        (
+            "class C { void f() { this.g(); } } class D {}",
+            "no applicable overload",
+        ),
     ] {
         let err = compile_to_bytes(src, &CompileEnv::new()).unwrap_err();
         assert!(

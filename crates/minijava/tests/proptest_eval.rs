@@ -10,7 +10,7 @@ use proptest::prelude::*;
 #[derive(Debug, Clone)]
 enum E {
     Lit(i32),
-    Var,      // the method parameter
+    Var, // the method parameter
     Add(Box<E>, Box<E>),
     Sub(Box<E>, Box<E>),
     Mul(Box<E>, Box<E>),

@@ -262,7 +262,9 @@ fn uncaught_exception_reported_to_host() {
         }
     "#;
     let (mut vm, _, cid) = setup(src, "E");
-    let err = vm.call_static(cid, "f", "(I)I", vec![Value::Int(0)]).unwrap_err();
+    let err = vm
+        .call_static(cid, "f", "(I)I", vec![Value::Int(0)])
+        .unwrap_err();
     match err {
         VmError::UncaughtException { class_name, .. } => {
             assert_eq!(class_name, "java/lang/ArithmeticException");
@@ -396,9 +398,13 @@ fn println_reaches_console() {
         }
     "#;
     let (mut vm, _, cid) = setup(src, "Main");
-    vm.call_static(cid, "f", "(I)I", vec![Value::Int(21)]).unwrap();
+    vm.call_static(cid, "f", "(I)I", vec![Value::Int(21)])
+        .unwrap();
     let lines = vm.take_console();
-    assert_eq!(lines, vec!["n is 21".to_owned(), "42".to_owned(), "true".to_owned()]);
+    assert_eq!(
+        lines,
+        vec!["n is 21".to_owned(), "42".to_owned(), "true".to_owned()]
+    );
 }
 
 #[test]

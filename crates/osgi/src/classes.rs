@@ -22,7 +22,11 @@ pub fn bundle_context_class() -> ClassFile {
     m.getfield("org/osgi/BundleContext", "bundleId", "I");
     m.op(Opcode::Ireturn);
     m.done().expect("getBundleId");
-    cb.native_method("registerService", "(Ljava/lang/String;Ljava/lang/Object;)V", PUB);
+    cb.native_method(
+        "registerService",
+        "(Ljava/lang/String;Ljava/lang/Object;)V",
+        PUB,
+    );
     cb.native_method("getService", "(Ljava/lang/String;)Ljava/lang/Object;", PUB);
     cb.native_method("addBundleListener", "(Lorg/osgi/BundleListener;)V", PUB);
     cb.native_method("log", "(Ljava/lang/String;)V", PUB);
@@ -93,7 +97,10 @@ fn register_natives(vm: &mut Vm, state: Rc<RefCell<FrameworkState>>) {
                 let mut st = state.borrow_mut();
                 if let Some(old) = st.services.insert(
                     name,
-                    ServiceEntry { pin, provider: provider as u32 },
+                    ServiceEntry {
+                        pin,
+                        provider: provider as u32,
+                    },
                 ) {
                     vm.unpin(old.pin);
                 }
@@ -228,7 +235,12 @@ pub fn osgi_signatures(env: &mut ijvm_minijava::Env) {
         interfaces: vec![],
         fields: vec![],
         methods: vec![
-            MethodSig { name: "getBundleId".into(), params: vec![], ret: Ty::Int, is_static: false },
+            MethodSig {
+                name: "getBundleId".into(),
+                params: vec![],
+                ret: Ty::Int,
+                is_static: false,
+            },
             MethodSig {
                 name: "registerService".into(),
                 params: vec![s.clone(), obj.clone()],
@@ -247,7 +259,12 @@ pub fn osgi_signatures(env: &mut ijvm_minijava::Env) {
                 ret: Ty::Void,
                 is_static: false,
             },
-            MethodSig { name: "log".into(), params: vec![s], ret: Ty::Void, is_static: false },
+            MethodSig {
+                name: "log".into(),
+                params: vec![s],
+                ret: Ty::Void,
+                is_static: false,
+            },
         ],
     });
     env.add_class(ClassInfo {

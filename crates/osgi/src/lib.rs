@@ -79,9 +79,8 @@ impl BundleDescriptor {
         let mut cenv = CompileEnv::in_package(package);
         classes::osgi_signatures(&mut cenv.env);
         for (_, bytes) in imported_classes {
-            let cf = ijvm_classfile::reader::read_class(bytes).map_err(|e| {
-                ijvm_minijava::CompileError::check(0, e.to_string())
-            })?;
+            let cf = ijvm_classfile::reader::read_class(bytes)
+                .map_err(|e| ijvm_minijava::CompileError::check(0, e.to_string()))?;
             cenv.import_class_file(&cf)?;
         }
         let classes = ijvm_minijava::compile_to_bytes(source, &cenv)?;
@@ -152,7 +151,13 @@ impl Framework {
         // (paper §3.1: the first application class loader becomes Isolate0).
         let isolate0 = vm.create_isolate("osgi-runtime");
         debug_assert!(isolate0.is_privileged());
-        Framework { vm, state, bundles: Vec::new(), isolate0, lifecycle_budget: 500_000_000 }
+        Framework {
+            vm,
+            state,
+            bundles: Vec::new(),
+            isolate0,
+            lifecycle_budget: 500_000_000,
+        }
     }
 
     /// The privileged runtime isolate.
@@ -199,7 +204,10 @@ impl Framework {
         self.vm.set_field(ctx, "bundleId", Value::Int(id.0 as i32));
         let context_pin = self.vm.pin(ctx);
 
-        self.state.borrow_mut().bundle_isolates.insert(id.0, isolate);
+        self.state
+            .borrow_mut()
+            .bundle_isolates
+            .insert(id.0, isolate);
         self.bundles.push(Bundle {
             id,
             symbolic_name: desc.symbolic_name,
@@ -296,12 +304,13 @@ impl Framework {
                 // Resolve bundleStopped(int) on the listener's class and
                 // deliver the dying bundle's id.
                 let lclass = self.vm.heap().get(listener).class;
-                if let Some(index) =
-                    self.vm.class(lclass).find_method("bundleStopped", "(I)V")
-                {
+                if let Some(index) = self.vm.class(lclass).find_method("bundleStopped", "(I)V") {
                     let _ = self.vm.spawn_thread(
                         "bundle-stopped-event",
-                        MethodRef { class: lclass, index },
+                        MethodRef {
+                            class: lclass,
+                            index,
+                        },
                         vec![Value::Ref(listener), Value::Int(id.0 as i32)],
                         owner_iso,
                     );

@@ -13,9 +13,28 @@ pub const FELIX_BUNDLES: &[&str] = &["admin", "shell", "repository"];
 /// The Equinox base profile's management bundles (22, matching the
 /// bundle count the paper reports for the Equinox base configuration).
 pub const EQUINOX_BUNDLES: &[&str] = &[
-    "admin", "shell", "repository", "console", "registry", "preferences", "jobs", "contenttype",
-    "runtime", "apputil", "common", "supplement", "transforms", "update", "configurator", "ds",
-    "event", "log", "metatype", "useradmin", "http", "launcher",
+    "admin",
+    "shell",
+    "repository",
+    "console",
+    "registry",
+    "preferences",
+    "jobs",
+    "contenttype",
+    "runtime",
+    "apputil",
+    "common",
+    "supplement",
+    "transforms",
+    "update",
+    "configurator",
+    "ds",
+    "event",
+    "log",
+    "metatype",
+    "useradmin",
+    "http",
+    "launcher",
 ];
 
 /// Generates the source of one management bundle: a service interface, an
@@ -86,7 +105,10 @@ pub fn management_bundle(name: &str) -> BundleDescriptor {
 }
 
 /// Boots a framework and installs+starts a list of management bundles.
-pub fn boot_profile(options: VmOptions, bundle_names: &[&str]) -> Result<(Framework, Vec<BundleId>)> {
+pub fn boot_profile(
+    options: VmOptions,
+    bundle_names: &[&str],
+) -> Result<(Framework, Vec<BundleId>)> {
     let mut fw = Framework::new(options);
     let mut ids = Vec::with_capacity(bundle_names.len());
     for name in bundle_names {

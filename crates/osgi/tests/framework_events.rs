@@ -60,7 +60,11 @@ fn stopped_bundle_events_reach_listeners() {
     let loader = fw.bundle(watcher).unwrap().loader;
     let iso = fw.bundle(watcher).unwrap().isolate;
     let class = fw.vm_mut().load_class(loader, "wa/Watch").unwrap();
-    let slot = fw.vm().class(class).find_static_slot("stoppedBundle").unwrap();
+    let slot = fw
+        .vm()
+        .class(class)
+        .find_static_slot("stoppedBundle")
+        .unwrap();
     let mi = iso.0 as usize;
     let seen = fw.vm().class(class).mirrors[mi]
         .as_ref()
@@ -96,7 +100,11 @@ fn services_can_be_replaced() {
         .unwrap();
     fw.start_bundle(bundle).unwrap();
     let svc = fw.get_service("svc").unwrap();
-    let class_name = fw.vm().class(fw.vm().heap().get(svc).class).name.to_string();
+    let class_name = fw
+        .vm()
+        .class(fw.vm().heap().get(svc).class)
+        .name
+        .to_string();
     assert_eq!(class_name, "ve/V2", "re-registration replaces the entry");
     assert_eq!(fw.service_names(), vec!["svc".to_owned()]);
 }
@@ -124,5 +132,9 @@ fn memory_overhead_is_isolated_mode_only() {
         "isolation costs memory: {iso_total} vs {shared_total}"
     );
     let overhead = iso_total as f64 / shared_total as f64 - 1.0;
-    assert!(overhead < 0.20, "overhead {:.1}% within the paper's bound", overhead * 100.0);
+    assert!(
+        overhead < 0.20,
+        "overhead {:.1}% within the paper's bound",
+        overhead * 100.0
+    );
 }

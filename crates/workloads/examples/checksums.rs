@@ -2,6 +2,9 @@
 fn main() {
     for w in ijvm_workloads::spec::all() {
         let s = ijvm_workloads::run_workload(&w, ijvm_core::vm::IsolationMode::Isolated);
-        println!("{} {} ({} insns, {:?})", w.name, s.result, s.instructions, s.wall);
+        println!(
+            "{} {} ({} insns, {:?})",
+            w.name, s.result, s.instructions, s.wall
+        );
     }
 }

@@ -109,15 +109,25 @@ impl PaintDemo {
         fw.start_bundle(canvas).expect("canvas starts");
 
         let loader = fw.bundle(canvas).expect("installed").loader;
-        let canvas_class =
-            fw.vm_mut().load_class(loader, "canvas/Canvas").expect("canvas class");
-        PaintDemo { fw, canvas, shape, canvas_class }
+        let canvas_class = fw
+            .vm_mut()
+            .load_class(loader, "canvas/Canvas")
+            .expect("canvas class");
+        PaintDemo {
+            fw,
+            canvas,
+            shape,
+            canvas_class,
+        }
     }
 
     /// Drags the circle `steps` times across the canvas: one inter-bundle
     /// call per step, through the service object found in the registry.
     pub fn drag(&mut self, steps: u32) -> DragReport {
-        let service = self.fw.get_service("shape.circle").expect("shape registered");
+        let service = self
+            .fw
+            .get_service("shape.circle")
+            .expect("shape registered");
         let caller_iso = self.fw.bundle(self.canvas).expect("installed").isolate;
         let shape_iso = self.fw.bundle(self.shape).expect("installed").isolate;
 
@@ -149,7 +159,12 @@ impl PaintDemo {
             .isolate_stats(shape_iso)
             .map(|s| s.calls_in - calls_before)
             .unwrap_or(0);
-        DragReport { steps, migrations, calls_into_shape, wall }
+        DragReport {
+            steps,
+            migrations,
+            calls_into_shape,
+            wall,
+        }
     }
 }
 
@@ -161,16 +176,26 @@ mod tests {
     fn a_corner_to_corner_drag_makes_200_inter_bundle_calls() {
         let mut demo = PaintDemo::boot(IsolationMode::Isolated);
         let report = demo.drag(200);
-        assert_eq!(report.calls_into_shape, 200, "one call into the shape bundle per step");
+        assert_eq!(
+            report.calls_into_shape, 200,
+            "one call into the shape bundle per step"
+        );
         // Each call migrates in and back out.
-        assert!(report.migrations >= 400, "migrations: {}", report.migrations);
+        assert!(
+            report.migrations >= 400,
+            "migrations: {}",
+            report.migrations
+        );
     }
 
     #[test]
     fn shared_mode_runs_the_demo_without_migrations() {
         let mut demo = PaintDemo::boot(IsolationMode::Shared);
         let report = demo.drag(200);
-        assert_eq!(report.migrations, 0, "the baseline has no isolate switching");
+        assert_eq!(
+            report.migrations, 0,
+            "the baseline has no isolate switching"
+        );
     }
 
     #[test]

@@ -36,12 +36,13 @@ pub fn prepare(w: &Workload, mode: IsolationMode) -> (Vm, ijvm_core::ids::ClassI
     let mut vm = ijvm_jsl::boot(options);
     let iso = vm.create_isolate("workload"); // Isolate0
     let loader = vm.loader_of(iso).expect("isolate exists");
-    for (name, bytes) in
-        compile_to_bytes(w.source, &CompileEnv::new()).expect("workload compiles")
+    for (name, bytes) in compile_to_bytes(w.source, &CompileEnv::new()).expect("workload compiles")
     {
         vm.add_class_bytes(loader, &name, bytes);
     }
-    let class = vm.load_class(loader, w.entry_class).expect("entry class loads");
+    let class = vm
+        .load_class(loader, w.entry_class)
+        .expect("entry class loads");
     (vm, class, iso)
 }
 
@@ -58,7 +59,13 @@ pub fn run_workload(w: &Workload, mode: IsolationMode) -> RunStats {
         Some(Value::Int(v)) => v,
         other => panic!("workload {} returned {other:?}", w.name),
     };
-    RunStats { name: w.name, mode, wall, instructions: vm.vclock() - insns_before, result }
+    RunStats {
+        name: w.name,
+        mode,
+        wall,
+        instructions: vm.vclock() - insns_before,
+        result,
+    }
 }
 
 #[cfg(test)]

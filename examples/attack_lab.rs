@@ -13,7 +13,10 @@ fn main() {
     println!("baseline = shared statics/strings/Class objects, no accounting, no termination");
     println!("I-JVM    = per-isolate mirrors + accounting + termination\n");
 
-    println!("{:<4} {:<44} {:<13} {:<10}", "id", "attack", "baseline", "I-JVM");
+    println!(
+        "{:<4} {:<44} {:<13} {:<10}",
+        "id", "attack", "baseline", "I-JVM"
+    );
     println!("{}", "-".repeat(75));
     for id in AttackId::ALL {
         let baseline = run_attack(id, IsolationMode::Shared);
@@ -22,8 +25,16 @@ fn main() {
             "{:<4} {:<44} {:<13} {:<10}",
             id.label(),
             id.description(),
-            if baseline.compromised { "COMPROMISED" } else { "survived?!" },
-            if ijvm.compromised { "BREACHED?!" } else { "contained" },
+            if baseline.compromised {
+                "COMPROMISED"
+            } else {
+                "survived?!"
+            },
+            if ijvm.compromised {
+                "BREACHED?!"
+            } else {
+                "contained"
+            },
         );
     }
 

@@ -119,10 +119,22 @@ fn main() {
     let loader = fw.bundle(meter).unwrap().loader;
     let meter_iso = fw.bundle(meter).unwrap().isolate;
     let meter_class = fw.vm_mut().load_class(loader, "meter/Meter").unwrap();
-    let index = fw.vm().class(meter_class).find_method("read", "()I").unwrap();
+    let index = fw
+        .vm()
+        .class(meter_class)
+        .find_method("read", "()I")
+        .unwrap();
     let tid = fw
         .vm_mut()
-        .spawn_thread("read", MethodRef { class: meter_class, index }, vec![], meter_iso)
+        .spawn_thread(
+            "read",
+            MethodRef {
+                class: meter_class,
+                index,
+            },
+            vec![],
+            meter_iso,
+        )
         .unwrap();
     let _ = fw.run(Some(5_000_000));
     println!(

@@ -34,19 +34,19 @@ fn parse_args() -> Result<Args, String> {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--class" => {
-                parsed.entry_class =
-                    Some(args.next().ok_or("--class needs a value")?);
+                parsed.entry_class = Some(args.next().ok_or("--class needs a value")?);
             }
             "--shared" => parsed.shared = true,
             "--stats" => parsed.stats = true,
             "--budget" => {
                 let v = args.next().ok_or("--budget needs a value")?;
-                parsed.budget =
-                    Some(v.parse().map_err(|_| format!("bad budget {v:?}"))?);
+                parsed.budget = Some(v.parse().map_err(|_| format!("bad budget {v:?}"))?);
             }
             "--help" | "-h" => {
-                return Err("usage: ijvm-run <file.mj> [--class NAME] [--shared] [--stats] [--budget N]"
-                    .to_owned());
+                return Err(
+                    "usage: ijvm-run <file.mj> [--class NAME] [--shared] [--stats] [--budget N]"
+                        .to_owned(),
+                );
             }
             other if parsed.path.is_empty() && !other.starts_with('-') => {
                 parsed.path = other.to_owned();
@@ -55,8 +55,9 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     if parsed.path.is_empty() {
-        return Err("usage: ijvm-run <file.mj> [--class NAME] [--shared] [--stats] [--budget N]"
-            .to_owned());
+        return Err(
+            "usage: ijvm-run <file.mj> [--class NAME] [--shared] [--stats] [--budget N]".to_owned(),
+        );
     }
     Ok(parsed)
 }
@@ -90,7 +91,8 @@ fn main() -> ExitCode {
         Some(name) => name.clone(),
         None => {
             let found = classes.iter().find_map(|c| {
-                c.find_method("main", "()V").map(|_| c.name().unwrap().to_owned())
+                c.find_method("main", "()V")
+                    .map(|_| c.name().unwrap().to_owned())
             });
             match found {
                 Some(n) => n,
@@ -102,7 +104,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let options = if args.shared { VmOptions::shared() } else { VmOptions::isolated() };
+    let options = if args.shared {
+        VmOptions::shared()
+    } else {
+        VmOptions::isolated()
+    };
     let mut vm = ijvm::jsl::boot(options);
     let iso = vm.create_isolate("main-bundle");
     let loader = vm.loader_of(iso).expect("isolate exists");
@@ -124,7 +130,9 @@ fn main() -> ExitCode {
     }
 
     let result = match args.budget {
-        None => vm.call_static_as(class, "main", "()V", vec![], iso).map(|_| ()),
+        None => vm
+            .call_static_as(class, "main", "()V", vec![], iso)
+            .map(|_| ()),
         Some(budget) => {
             let index = vm.class(class).find_method("main", "()V").expect("checked");
             let mref = ijvm::core::ids::MethodRef { class, index };

@@ -39,9 +39,7 @@ fn call_int(fw: &mut Framework, bundle: BundleId, class: &str, method: &str) -> 
 /// Programmers should use the equals function instead."
 #[test]
 fn string_interning_is_per_bundle() {
-    for (mode, expect_same) in
-        [(IsolationMode::Shared, 1), (IsolationMode::Isolated, 0)]
-    {
+    for (mode, expect_same) in [(IsolationMode::Shared, 1), (IsolationMode::Isolated, 0)] {
         let mut fw = Framework::new(match mode {
             IsolationMode::Shared => VmOptions::shared(),
             IsolationMode::Isolated => VmOptions::isolated(),
@@ -170,13 +168,20 @@ fn termination_unwinds_nested_cross_bundle_stacks() {
     let loader = fw.bundle(outer).unwrap().loader;
     let iso = fw.bundle(outer).unwrap().isolate;
     let cid = fw.vm_mut().load_class(loader, "ou/Caller").unwrap();
-    let index = fw.vm().class(cid).find_method("protectedCall", "()I").unwrap();
+    let index = fw
+        .vm()
+        .class(cid)
+        .find_method("protectedCall", "()I")
+        .unwrap();
     let tid = fw
         .vm_mut()
         .spawn_thread("caller", MethodRef { class: cid, index }, vec![], iso)
         .unwrap();
     let _ = fw.run(Some(3_000_000));
-    assert!(!fw.vm().thread(tid).unwrap().is_terminated(), "spinning inside the callee");
+    assert!(
+        !fw.vm().thread(tid).unwrap().is_terminated(),
+        "spinning inside the callee"
+    );
     // The thread is currently charged to the inner bundle.
     assert_eq!(
         fw.vm().thread(tid).unwrap().current_isolate,
@@ -224,9 +229,16 @@ fn gc_charges_objects_to_the_first_referencing_isolate() {
     );
     assert_eq!(call_int(&mut fw, keeper, "kp/Keep", "take"), 1);
     fw.vm_mut().collect_garbage(None);
-    let maker_live = fw.vm().isolate_stats(fw.bundle(maker).unwrap().isolate).unwrap().live_bytes;
-    let keeper_live =
-        fw.vm().isolate_stats(fw.bundle(keeper).unwrap().isolate).unwrap().live_bytes;
+    let maker_live = fw
+        .vm()
+        .isolate_stats(fw.bundle(maker).unwrap().isolate)
+        .unwrap()
+        .live_bytes;
+    let keeper_live = fw
+        .vm()
+        .isolate_stats(fw.bundle(keeper).unwrap().isolate)
+        .unwrap()
+        .live_bytes;
     // The 100 KB array is held only by the keeper's static: charged there.
     assert!(keeper_live >= 100_000, "keeper live {keeper_live}");
     assert!(maker_live < 100_000, "maker live {maker_live}");
@@ -310,7 +322,9 @@ fn service_objects_remain_usable_until_unregistered() {
         .unwrap();
     let _ = fw.run(Some(5_000_000));
     let result = fw.vm().thread_result(tid).expect("lookup completed");
-    let Value::Ref(s) = result else { panic!("lookup returned {result}") };
+    let Value::Ref(s) = result else {
+        panic!("lookup returned {result}")
+    };
     assert_eq!(fw.vm().read_string(s).as_deref(), Some("I-JVM"));
 }
 
@@ -342,7 +356,13 @@ fn admin_can_run_in_vm_privileged_operations() {
     // Isolate0 may terminate bundles from inside the VM (org/osgi/Admin);
     // ordinary bundles get SecurityException.
     let mut fw = Framework::new(VmOptions::isolated());
-    let victim = install(&mut fw, "victim", "vi", "class V { static int ok() { return 5; } }", vec![]);
+    let victim = install(
+        &mut fw,
+        "victim",
+        "vi",
+        "class V { static int ok() { return 5; } }",
+        vec![],
+    );
     let rogue = install(
         &mut fw,
         "rogue",
@@ -366,8 +386,22 @@ fn admin_can_run_in_vm_privileged_operations() {
     let cid = fw.vm_mut().load_class(loader, "ro/Try").unwrap();
     let out = fw
         .vm_mut()
-        .call_static_as(cid, "killOther", "(I)I", vec![Value::Int(victim.0 as i32)], iso)
+        .call_static_as(
+            cid,
+            "killOther",
+            "(I)I",
+            vec![Value::Int(victim.0 as i32)],
+            iso,
+        )
         .unwrap();
-    assert_eq!(out, Some(Value::Int(-1)), "non-privileged isolates are refused");
-    assert_eq!(call_int(&mut fw, victim, "vi/V", "ok"), 5, "victim untouched");
+    assert_eq!(
+        out,
+        Some(Value::Int(-1)),
+        "non-privileged isolates are refused"
+    );
+    assert_eq!(
+        call_int(&mut fw, victim, "vi/V", "ok"),
+        5,
+        "victim untouched"
+    );
 }
