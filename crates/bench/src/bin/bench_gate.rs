@@ -1,0 +1,145 @@
+//! The bench-regression gate: compares a fresh `engine_bench` run against
+//! the committed `BENCH_engine.json` floors and fails (exit 1) when any
+//! baseline row's quickened-vs-raw speedup regressed beyond the
+//! tolerance. Usage:
+//!
+//! ```text
+//! bench_gate <baseline.json> <fresh.json> [tolerance]
+//! ```
+//!
+//! `tolerance` is the allowed relative slack below the baseline speedup
+//! (default `0.10`, i.e. −10%): a fresh speedup passes when it is at
+//! least `baseline * (1 - tolerance)`. Rows present only in the fresh
+//! file (newly added benchmarks) are reported but never gate; rows
+//! missing from the fresh file fail, so a benchmark cannot silently
+//! disappear. The parser is hand-rolled against the one-row-per-line
+//! format `engine_bench` writes — the workspace builds offline, without
+//! serde.
+
+use std::process::ExitCode;
+
+/// One parsed benchmark row.
+#[derive(Debug, Clone)]
+struct Row {
+    name: String,
+    speedup: f64,
+}
+
+/// Extracts the string value of `"key": "..."` from a JSON row line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_owned())
+}
+
+/// Extracts the numeric value of `"key": ...` from a JSON row line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn parse_rows(json: &str) -> Vec<Row> {
+    json.lines()
+        .filter(|l| l.contains("\"name\"") && l.contains("\"speedup\""))
+        .filter_map(|l| {
+            Some(Row {
+                name: str_field(l, "name")?,
+                speedup: num_field(l, "speedup")?,
+            })
+        })
+        .collect()
+}
+
+fn load_rows(path: &str) -> Vec<Row> {
+    let json =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("could not read {path}: {e}"));
+    let rows = parse_rows(&json);
+    assert!(!rows.is_empty(), "{path} contains no benchmark rows");
+    rows
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(baseline_path), Some(fresh_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: bench_gate <baseline.json> <fresh.json> [tolerance]");
+        return ExitCode::FAILURE;
+    };
+    let tolerance: f64 = args
+        .next()
+        .map(|t| t.parse().expect("tolerance must be a number"))
+        .unwrap_or(0.10);
+
+    let baseline = load_rows(&baseline_path);
+    let fresh = load_rows(&fresh_path);
+
+    println!(
+        "bench gate: {fresh_path} vs floors in {baseline_path} (tolerance −{:.0}%)",
+        tolerance * 100.0
+    );
+    let mut failures = 0u32;
+    for b in &baseline {
+        let floor = b.speedup * (1.0 - tolerance);
+        match fresh.iter().find(|f| f.name == b.name) {
+            Some(f) if f.speedup >= floor => {
+                println!(
+                    "  ok   {:<22} {:.4}x (floor {:.4}x, baseline {:.4}x)",
+                    b.name, f.speedup, floor, b.speedup
+                );
+            }
+            Some(f) => {
+                println!(
+                    "  FAIL {:<22} {:.4}x regressed below floor {:.4}x (baseline {:.4}x)",
+                    b.name, f.speedup, floor, b.speedup
+                );
+                failures += 1;
+            }
+            None => {
+                println!("  FAIL {:<22} missing from {fresh_path}", b.name);
+                failures += 1;
+            }
+        }
+    }
+    for f in &fresh {
+        if !baseline.iter().any(|b| b.name == f.name) {
+            println!(
+                "  new  {:<22} {:.4}x (not gated; add to the baseline)",
+                f.name, f.speedup
+            );
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("bench gate: {failures} row(s) regressed");
+        ExitCode::FAILURE
+    } else {
+        println!("bench gate: all rows at or above their floors");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "rows": [
+    {"name": "intra-isolate call", "raw_ns": 10, "quickened_ns": 8, "speedup": 1.2500, "guest_insns": 42},
+    {"name": "static access", "raw_ns": 10, "quickened_ns": 6, "speedup": 1.6667, "guest_insns": 42}
+  ]
+}"#;
+
+    #[test]
+    fn parses_rows() {
+        let rows = parse_rows(SAMPLE);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "intra-isolate call");
+        assert!((rows[0].speedup - 1.25).abs() < 1e-9);
+        assert!((rows[1].speedup - 1.6667).abs() < 1e-9);
+    }
+}

@@ -1,11 +1,15 @@
 //! A/B comparison of the execution engines: the raw byte interpreter vs
 //! the quickened pre-decoded dispatch, on identical bytecode and VM
-//! configuration. Writes `BENCH_engine.json` next to the working
-//! directory for downstream tooling.
+//! configuration. Writes the rows as JSON (default `BENCH_engine.json`;
+//! pass a path as the first argument, as the CI bench gate does to keep
+//! the committed baseline intact).
 
 use ijvm_bench::engine::{engine_comparison, print_engine_table, to_json};
 
 fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_owned());
     let iterations = 200_000;
     let runs = 5;
     println!(
@@ -14,9 +18,11 @@ fn main() {
     let rows = engine_comparison(iterations, runs);
     print_engine_table(&rows);
     let json = to_json(&rows, iterations);
-    let path = "BENCH_engine.json";
-    match std::fs::write(path, &json) {
+    match std::fs::write(&path, &json) {
         Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+        Err(e) => {
+            eprintln!("\ncould not write {path}: {e}");
+            std::process::exit(1);
+        }
     }
 }

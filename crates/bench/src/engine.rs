@@ -90,21 +90,37 @@ const ARITH_FIELD_SRC: &str = r#"
     }
 "#;
 
-/// Runs the arithmetic/field-access loop once under `engine`, returning
+/// The call-path acceptance workload: a three-deep static call chain with
+/// multi-argument frames, where frame setup/teardown (locals carving,
+/// allocation, metadata reads) dominates — exactly what the frame pool
+/// and the fused invoke forms attack.
+const DEEP_CALL_SRC: &str = r#"
+    class DeepCall {
+        static int leaf(int a, int b, int c) { return a + b * 2 - c; }
+        static int mid(int a, int b) { return leaf(a, b, a - b) + leaf(b, a, 1); }
+        static int spin(int n) {
+            int acc = 0;
+            for (int i = 0; i < n; i++) {
+                acc += mid(i, acc & 1023);
+            }
+            return acc;
+        }
+    }
+"#;
+
+/// Runs a one-class `spin(I)I` workload once under `engine`, returning
 /// wall time and guest instructions (after a warm-up run that pays class
 /// loading, pre-decoding and quickening).
-pub fn run_arith_field(engine: EngineKind, iterations: i32) -> (Duration, u64) {
+fn run_spin_class(src: &str, entry: &str, engine: EngineKind, iterations: i32) -> (Duration, u64) {
     use ijvm_core::value::Value;
     let mut vm = ijvm_jsl::boot(VmOptions::isolated().with_engine(engine));
     let iso = vm.create_isolate("bench");
     let loader = vm.loader_of(iso).unwrap();
-    let compiled =
-        ijvm_minijava::compile_to_bytes(ARITH_FIELD_SRC, &ijvm_minijava::CompileEnv::new())
-            .unwrap();
+    let compiled = ijvm_minijava::compile_to_bytes(src, &ijvm_minijava::CompileEnv::new()).unwrap();
     for (name, bytes) in compiled {
         vm.add_class_bytes(loader, &name, bytes);
     }
-    let class = vm.load_class(loader, "ArithField").unwrap();
+    let class = vm.load_class(loader, entry).unwrap();
     vm.call_static_as(
         class,
         "spin",
@@ -120,29 +136,69 @@ pub fn run_arith_field(engine: EngineKind, iterations: i32) -> (Duration, u64) {
     (start.elapsed(), vm.vclock() - before)
 }
 
-/// Measures the arithmetic/field-access loop under both engines.
-pub fn compare_arith_field(iterations: i32, runs: u32) -> EngineRow {
+/// Runs the arithmetic/field-access loop once under `engine`.
+pub fn run_arith_field(engine: EngineKind, iterations: i32) -> (Duration, u64) {
+    run_spin_class(ARITH_FIELD_SRC, "ArithField", engine, iterations)
+}
+
+/// Runs the deep static call chain once under `engine`.
+pub fn run_deep_call(engine: EngineKind, iterations: i32) -> (Duration, u64) {
+    run_spin_class(DEEP_CALL_SRC, "DeepCall", engine, iterations)
+}
+
+/// Measures a one-class `spin` workload under both engines.
+fn compare_spin_class(
+    name: &'static str,
+    src: &str,
+    entry: &str,
+    iterations: i32,
+    runs: u32,
+) -> EngineRow {
     let mut best_raw = Duration::MAX;
     let mut best_quick = Duration::MAX;
     let mut insns = 0;
     for _ in 0..runs.max(1) {
-        let (r, ri) = run_arith_field(EngineKind::Raw, iterations);
-        let (q, qi) = run_arith_field(EngineKind::Quickened, iterations);
+        let (r, ri) = run_spin_class(src, entry, EngineKind::Raw, iterations);
+        let (q, qi) = run_spin_class(src, entry, EngineKind::Quickened, iterations);
         assert_eq!(ri, qi, "engines must execute identical instruction streams");
         best_raw = best_raw.min(r);
         best_quick = best_quick.min(q);
         insns = qi;
     }
     EngineRow {
-        name: "arith+field loop",
+        name,
         raw: best_raw,
         quickened: best_quick,
         insns,
     }
 }
 
+/// Measures the arithmetic/field-access loop under both engines.
+pub fn compare_arith_field(iterations: i32, runs: u32) -> EngineRow {
+    compare_spin_class(
+        "arith+field loop",
+        ARITH_FIELD_SRC,
+        "ArithField",
+        iterations,
+        runs,
+    )
+}
+
+/// Measures the deep static call chain under both engines.
+pub fn compare_deep_call(iterations: i32, runs: u32) -> EngineRow {
+    compare_spin_class(
+        "deep call chain",
+        DEEP_CALL_SRC,
+        "DeepCall",
+        iterations,
+        runs,
+    )
+}
+
 /// The full engine-comparison dataset: the arithmetic/field-access loop
-/// first, then the four Figure 1 micros.
+/// first, then the four Figure 1 micros (the intra-/inter-isolate call
+/// micros are the rows the call fast path is judged on), then the deep
+/// call chain.
 pub fn engine_comparison(iterations: i32, runs: u32) -> Vec<EngineRow> {
     let mut rows = vec![compare_arith_field(iterations, runs)];
     rows.extend(
@@ -150,6 +206,7 @@ pub fn engine_comparison(iterations: i32, runs: u32) -> Vec<EngineRow> {
             .iter()
             .map(|&m| compare_engines(m, iterations, runs)),
     );
+    rows.push(compare_deep_call(iterations, runs));
     rows
 }
 

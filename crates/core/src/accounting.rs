@@ -66,6 +66,18 @@ impl ResourceStats {
         self.live_objects = 0;
         self.live_connections = 0;
     }
+
+    /// Flushes a quantum of exactly-counted CPU into this isolate.
+    ///
+    /// Every point where a thread leaves an isolate — inter-isolate call
+    /// or return (including the quickened engine's fused call path),
+    /// thread completion, stack unwinding past an isolate boundary — must
+    /// charge through here *before* the isolate reference changes, so
+    /// `cpu_exact` stays exact regardless of engine or call fast path.
+    #[inline]
+    pub fn charge_cpu(&mut self, insns: u64) {
+        self.cpu_exact += insns;
+    }
 }
 
 /// A labelled snapshot of one isolate's counters, for administrators.

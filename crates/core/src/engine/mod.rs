@@ -35,12 +35,14 @@ pub mod predecode;
 pub mod quicken;
 pub mod xinsn;
 
-pub use predecode::predecode;
-pub use xinsn::{Cmp, IfaceSite, SwitchTable, TrapKind, XInsn, BAD_TARGET};
+pub use predecode::{predecode, predecode_with};
+pub use xinsn::{
+    CallSite, Cmp, CmpRhs, FusedCmp, IfaceSite, SwitchTable, TrapKind, VirtSite, XInsn, BAD_TARGET,
+};
 
 use crate::ids::MethodRef;
 use crate::vm::Vm;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 /// Which execution engine drives bytecode frames.
@@ -74,6 +76,15 @@ pub struct PreparedCode {
     pub switches: Box<[SwitchTable]>,
     /// Per-site state of pre-decoded `invokeinterface` instructions.
     pub iface_sites: Box<[IfaceSite]>,
+    /// Payloads of [`XInsn::FusedCmpBr`] superinstructions, built by the
+    /// pre-decode peephole pass.
+    pub fused_cmps: Box<[FusedCmp]>,
+    /// Fused call sites, appended when `invokestatic`/`invokespecial`
+    /// sites quicken to their `F` forms. `RefCell` because quickening
+    /// appends while the stream is shared with executing frames.
+    pub call_sites: RefCell<Vec<Rc<CallSite>>>,
+    /// Fused `invokevirtual` sites, appended on first execution.
+    pub virt_sites: RefCell<Vec<VirtSite>>,
 }
 
 impl PreparedCode {
@@ -98,7 +109,41 @@ impl PreparedCode {
             + self.pc_to_idx.len() * 4
             + self.switches.len() * std::mem::size_of::<SwitchTable>()
             + self.iface_sites.len() * std::mem::size_of::<IfaceSite>()
+            + self.fused_cmps.len() * std::mem::size_of::<FusedCmp>()
+            + self.call_sites.borrow().len() * std::mem::size_of::<CallSite>()
+            + self.virt_sites.borrow().len() * std::mem::size_of::<VirtSite>()
     }
+}
+
+/// Captures `target`'s frame shape into a [`CallSite`], or `None` when
+/// the target cannot take the fused call path (native, `synchronized`, or
+/// abstract methods keep the shared `invoke_resolved` path, whose monitor
+/// and native dispatch must run per call).
+pub(crate) fn build_call_site(vm: &Vm, target: MethodRef) -> Option<Rc<CallSite>> {
+    let class = &vm.classes[target.class.0 as usize];
+    let m = &class.methods[target.index as usize];
+    if m.access.is_native() || m.synchronized {
+        return None;
+    }
+    let code = m.code.as_ref()?.clone();
+    let is_system = class.is_system;
+    // `None` routes the callee frame to the caller's isolate, exactly as
+    // `Vm::make_frame` would (the predicate is shared, so the fused path
+    // can never diverge from the raw interpreter's routing).
+    let frame_isolate = if vm.frame_executes_in_caller(target) {
+        None
+    } else {
+        Some(class.isolate)
+    };
+    Some(Rc::new(CallSite {
+        target,
+        arg_slots: m.arg_slots,
+        max_locals: code.max_locals,
+        max_stack: code.max_stack,
+        code,
+        is_system,
+        frame_isolate,
+    }))
 }
 
 /// Returns `method`'s prepared stream, building and caching it on first
@@ -115,7 +160,11 @@ pub(crate) fn ensure_prepared(vm: &mut Vm, method: MethodRef) -> Rc<PreparedCode
         .as_ref()
         .expect("ensure_prepared on non-bytecode method")
         .clone();
-    let prepared = Rc::new(predecode(&code, &class.pool));
+    let prepared = Rc::new(predecode_with(
+        &code,
+        &class.pool,
+        vm.options.superinstructions,
+    ));
     vm.classes[method.class.0 as usize].methods[method.index as usize].prepared =
         Some(Rc::clone(&prepared));
     prepared

@@ -14,8 +14,16 @@
 //! [`XInsn::Trap`] instructions that raise `VerifyError` when (and only
 //! when) executed, matching the raw interpreter's behaviour of faulting
 //! at execution time rather than load time.
+//!
+//! An optional third pass ([`fuse_superinstructions`]) runs a peephole
+//! over the decoded stream, folding the `Load+Load+Iadd+Store` and
+//! `Load+{IConst,Load}+IfICmp` families into single dispatch cases. The
+//! fusion is *non-destructive*: only the pattern's first cell is
+//! rewritten, the tail cells keep their original instructions, so branch
+//! targets and suspension pcs inside a pattern stay executable and the
+//! pc↔index maps are untouched.
 
-use super::xinsn::{Cmp, IfaceSite, SwitchTable, TrapKind, XInsn, BAD_TARGET};
+use super::xinsn::{Cmp, CmpRhs, FusedCmp, IfaceSite, SwitchTable, TrapKind, XInsn, BAD_TARGET};
 use super::PreparedCode;
 use crate::class::CodeBody;
 use ijvm_classfile::{ConstEntry, ConstPool, MethodDescriptor, Opcode};
@@ -101,8 +109,16 @@ fn map_target(pc_to_idx: &[u32], target: i64) -> u32 {
     pc_to_idx[target as usize]
 }
 
-/// Pre-decodes one method's code into a [`PreparedCode`].
+/// Pre-decodes one method's code into a [`PreparedCode`] with the
+/// superinstruction peephole enabled (the production default).
 pub fn predecode(code: &CodeBody, pool: &ConstPool) -> PreparedCode {
+    predecode_with(code, pool, true)
+}
+
+/// Pre-decodes one method's code into a [`PreparedCode`], optionally
+/// fusing superinstructions (`fuse = false` keeps the plain stream, for
+/// ablation and the fused-vs-unfused differential tests).
+pub fn predecode_with(code: &CodeBody, pool: &ConstPool, fuse: bool) -> PreparedCode {
     let bytes = &code.bytes;
 
     // Pass 1: instruction boundaries.
@@ -149,6 +165,12 @@ pub fn predecode(code: &CodeBody, pool: &ConstPool) -> PreparedCode {
         );
         insns.push(Cell::new(insn));
     }
+    // Pass 3 (optional): peephole-fuse superinstructions.
+    let mut fused_cmps: Vec<FusedCmp> = Vec::new();
+    if fuse {
+        fuse_superinstructions(&mut insns, &mut fused_cmps);
+    }
+
     // Guard: execution falling past the last instruction (malformed code
     // with no terminal return/goto/athrow) lands here and faults cleanly
     // instead of running off the stream. Its pc is `bytes.len()`, which
@@ -161,6 +183,58 @@ pub fn predecode(code: &CodeBody, pool: &ConstPool) -> PreparedCode {
         pc_to_idx: pc_to_idx.into_boxed_slice(),
         switches: switches.into_boxed_slice(),
         iface_sites: iface_sites.into_boxed_slice(),
+        fused_cmps: fused_cmps.into_boxed_slice(),
+        call_sites: std::cell::RefCell::new(Vec::new()),
+        virt_sites: std::cell::RefCell::new(Vec::new()),
+    }
+}
+
+/// Peephole pass: rewrites the first cell of each recognized pattern to a
+/// superinstruction. The tail cells stay intact (non-destructive fusion),
+/// so the only instructions eligible are pure ones that cannot fault —
+/// mid-pattern suspension then behaves exactly like the unfused stream,
+/// because resumption and short quanta execute the tail cells one by one.
+/// Patterns whose branch target is [`BAD_TARGET`] (malformed bytecode)
+/// are left unfused so the faulting pc matches the raw interpreter's.
+fn fuse_superinstructions(insns: &mut [Cell<XInsn>], fused_cmps: &mut Vec<FusedCmp>) {
+    let get = |i: usize| insns.get(i).map(|c| c.get());
+    let mut i = 0;
+    while i < insns.len() {
+        // Load a; Load b; Iadd; Store c  →  AddStore{a,b,c} (width 4)
+        if let (
+            Some(XInsn::Load(a)),
+            Some(XInsn::Load(b)),
+            Some(XInsn::Iadd),
+            Some(XInsn::Store(c)),
+        ) = (get(i), get(i + 1), get(i + 2), get(i + 3))
+        {
+            insns[i].set(XInsn::AddStore { a, b, c });
+            i += 4;
+            continue;
+        }
+        // Load slot; IConst k; IfICmp  →  FusedCmpBr (width 3)
+        // Load slot; Load s;   IfICmp  →  FusedCmpBr (width 3)
+        if let Some(XInsn::Load(slot)) = get(i) {
+            let rhs = match get(i + 1) {
+                Some(XInsn::IConst(k)) => Some(CmpRhs::Const(k)),
+                Some(XInsn::Load(s)) => Some(CmpRhs::Local(s)),
+                _ => None,
+            };
+            if let (Some(rhs), Some(XInsn::IfICmp { cmp, target })) = (rhs, get(i + 2)) {
+                if target != BAD_TARGET && fused_cmps.len() <= u16::MAX as usize {
+                    fused_cmps.push(FusedCmp {
+                        slot,
+                        rhs,
+                        cmp,
+                        target,
+                    });
+                    insns[i].set(XInsn::FusedCmpBr((fused_cmps.len() - 1) as u16));
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        i += 1;
     }
 }
 

@@ -14,27 +14,41 @@
 //!
 //! Semantics intentionally mirror [`crate::interp::step_thread_raw`]
 //! one-for-one: the instruction budget is counted per logical bytecode
-//! instruction (fused forms still count once), `insns_since_switch`
-//! flushes at the same yield points, frames always carry *byte* pcs when
-//! the thread is suspended (so exception tables, termination stack
-//! patching and the disassembler are engine-agnostic), and inter-isolate
-//! calls migrate the thread through the shared `invoke_resolved` path.
+//! instruction — operand-fused forms like `Iinc` count once, while
+//! superinstructions charge their full logical width (an `AddStore` is 4
+//! instructions) and de-fuse when the remaining quantum cannot cover it —
+//! `insns_since_switch` flushes at the same yield points, frames always
+//! carry *byte* pcs when the thread is suspended (so exception tables,
+//! termination stack patching and the disassembler are engine-agnostic),
+//! and calls migrate the thread with the same exact CPU flush whether
+//! they take the fused `CallSite` path or the shared `invoke_resolved`
+//! path.
 
-use super::xinsn::{SwitchTable, TrapKind, XInsn, BAD_TARGET};
-use super::{ensure_prepared, EngineKind};
+use super::xinsn::{CmpRhs, SwitchTable, TrapKind, VirtSite, XInsn, BAD_TARGET};
+use super::{build_call_site, ensure_prepared, EngineKind};
 use crate::class::{ClassTarget, InitState, RtCp};
 use crate::heap::ObjBody;
 use crate::ids::ThreadId;
 use crate::interp::{
     aioobe, alloc_prim_array, arith, check_not_poisoned, cmp3, do_return, ensure_initialized, f2i,
-    f2l, fcmp, frame_prologue, internal_err, invoke_resolved, is_instance, load_constant,
-    lookup_virtual, materialize, npe, peek_receiver, resolve_class, resolve_direct_method,
-    resolve_instance_field, resolve_interface_method, resolve_static_field, resolve_virtual_method,
-    unwind, InitAction, InvokeAction, Prologue,
+    f2l, fcmp, frame_prologue, internal_err, invoke_fused, invoke_resolved, is_instance,
+    load_constant, lookup_virtual, materialize, npe, peek_receiver, resolve_class,
+    resolve_direct_method, resolve_instance_field, resolve_interface_method, resolve_static_field,
+    resolve_virtual_method, unwind, InitAction, InvokeAction, Prologue,
 };
 use crate::monitor::{monitor_enter, monitor_exit, EnterResult};
 use crate::value::Value;
 use crate::vm::{IsolationMode, Thrown, Vm};
+
+/// Whether a fused virtual site's monomorphic cache can still be filled:
+/// `Cold` caches the first fuseable receiver; `Polymorphic` (the cache
+/// already holds a *different* class) never rebuilds, so megamorphic
+/// sites stay allocation-free on the plain vtable path.
+#[derive(PartialEq)]
+enum CacheState {
+    Cold,
+    Polymorphic,
+}
 
 /// Executes thread `tid` for at most `budget` instructions over the
 /// pre-decoded stream, returning how many were consumed.
@@ -190,6 +204,70 @@ pub(crate) fn step_thread_quickened(vm: &mut Vm, tid: ThreadId, budget: u32) -> 
                 }
             }};
         }
+        // Performs a call through a fused call site: the frame shape is
+        // precomputed, the callee frame always pushes (fused targets are
+        // plain bytecode), so control unconditionally yields back to the
+        // prologue.
+        macro_rules! fused_call {
+            ($cur:expr, $site:expr) => {{
+                check!($cur, invoke_fused(vm, tid, fidx, &$site));
+                continue 'outer;
+            }};
+        }
+        // Quickens an `invokestatic`/`invokespecial` slow form: resolves
+        // the target, then rewrites the cell to the fused form (plain
+        // bytecode targets — the resolved method and precomputed frame
+        // shape move into a call site, so dispatch never re-reads
+        // metadata) or to the resolved fallback (native / synchronized /
+        // abstract targets, or a full side table).
+        macro_rules! quicken_direct_call {
+            ($cur:expr, $cp:expr, $fused:ident, $resolved:ident) => {{
+                let class_id = vm.threads[t].frames[fidx].class;
+                let target = check!($cur, resolve_direct_method(vm, class_id, $cp));
+                let arg_slots =
+                    vm.classes[target.class.0 as usize].methods[target.index as usize].arg_slots;
+                match build_call_site(vm, target) {
+                    Some(site) => {
+                        let mut sites = prepared.call_sites.borrow_mut();
+                        if sites.len() <= u16::MAX as usize {
+                            sites.push(site);
+                            let si = (sites.len() - 1) as u16;
+                            drop(sites);
+                            prepared.insns[$cur].set(XInsn::$fused(si));
+                        } else {
+                            drop(sites);
+                            prepared.insns[$cur].set(XInsn::$resolved { target, arg_slots });
+                        }
+                    }
+                    None => {
+                        prepared.insns[$cur].set(XInsn::$resolved { target, arg_slots });
+                    }
+                }
+            }};
+        }
+        // The per-execution class-initialization check I-JVM cannot elide
+        // in Isolated mode (paper §3.1): when `<clinit>` must run (or is
+        // running on another thread), the frame suspends at this
+        // instruction and re-executes it afterwards.
+        macro_rules! ensure_class_ready {
+            ($cur:expr, $class:expr) => {{
+                let cur_iso = vm.threads[t].current_isolate;
+                let mi = vm.mirror_index(cur_iso);
+                let ready = matches!(
+                    vm.classes[$class.0 as usize].mirrors.get(mi),
+                    Some(Some(m)) if m.init == InitState::Initialized
+                );
+                if !ready {
+                    match check!($cur, ensure_initialized(vm, tid, $class, cur_iso)) {
+                        InitAction::Ready => {}
+                        InitAction::Suspend => {
+                            vm.threads[t].frames[fidx].pc = prepared.idx_to_pc[$cur];
+                            continue 'outer;
+                        }
+                    }
+                }
+            }};
+        }
 
         loop {
             if consumed + local_insns >= budget {
@@ -245,6 +323,47 @@ pub(crate) fn step_thread_quickened(vm: &mut Vm, tid: ThreadId, budget: u32) -> 
                         let f = &mut fr!();
                         f.locals[slot as usize] =
                             Value::Int(f.locals[slot as usize].as_int().wrapping_add(delta as i32));
+                    }
+                    // ---- superinstructions ----
+                    // Fused forms count their full logical width so the
+                    // instruction budget, vclock and CPU accounting stay
+                    // bit-identical to the unfused stream; when the
+                    // remaining quantum cannot cover the width they
+                    // de-fuse to their leading `Load` (the tail cells
+                    // still hold the original instructions).
+                    XInsn::AddStore { a, b, c } => {
+                        if budget - consumed - local_insns >= 3 {
+                            local_insns += 3;
+                            let f = &mut fr!();
+                            let v = f.locals[a as usize]
+                                .as_int()
+                                .wrapping_add(f.locals[b as usize].as_int());
+                            f.locals[c as usize] = Value::Int(v);
+                            next = cur + 4;
+                        } else {
+                            let v = fr!().locals[a as usize];
+                            push!(v);
+                        }
+                    }
+                    XInsn::FusedCmpBr(si) => {
+                        let fc = prepared.fused_cmps[si as usize];
+                        if budget - consumed - local_insns >= 2 {
+                            local_insns += 2;
+                            let f = &fr!();
+                            let lhs = f.locals[fc.slot as usize].as_int();
+                            let rhs = match fc.rhs {
+                                CmpRhs::Const(k) => k,
+                                CmpRhs::Local(s) => f.locals[s as usize].as_int(),
+                            };
+                            if fc.cmp.test(cmp3(lhs, rhs)) {
+                                branch_to!(fc.target);
+                            } else {
+                                next = cur + 3;
+                            }
+                        } else {
+                            let v = fr!().locals[fc.slot as usize];
+                            push!(v);
+                        }
                     }
                     // ---- array loads/stores ----
                     XInsn::ArrLoad => {
@@ -742,41 +861,17 @@ pub(crate) fn step_thread_quickened(vm: &mut Vm, tid: ThreadId, budget: u32) -> 
                     // ---- invocation ----
                     XInsn::InvokeStatic(cp) => {
                         flush_at!(next);
-                        let class_id = vm.threads[t].frames[fidx].class;
-                        let target = check!(cur, resolve_direct_method(vm, class_id, cp));
-                        let arg_slots = vm.classes[target.class.0 as usize].methods
-                            [target.index as usize]
-                            .arg_slots;
-                        prepared.insns[cur].set(XInsn::InvokeStaticR { target, arg_slots });
+                        quicken_direct_call!(cur, cp, InvokeStaticF, InvokeStaticR);
                         continue 'redo;
                     }
                     XInsn::InvokeSpecial(cp) => {
                         flush_at!(next);
-                        let class_id = vm.threads[t].frames[fidx].class;
-                        let target = check!(cur, resolve_direct_method(vm, class_id, cp));
-                        let arg_slots = vm.classes[target.class.0 as usize].methods
-                            [target.index as usize]
-                            .arg_slots;
-                        prepared.insns[cur].set(XInsn::InvokeDirectR { target, arg_slots });
+                        quicken_direct_call!(cur, cp, InvokeDirectF, InvokeDirectR);
                         continue 'redo;
                     }
                     XInsn::InvokeStaticR { target, arg_slots } => {
                         flush_at!(next);
-                        let cur_iso = vm.threads[t].current_isolate;
-                        let mi = vm.mirror_index(cur_iso);
-                        let ready = matches!(
-                            vm.classes[target.class.0 as usize].mirrors.get(mi),
-                            Some(Some(m)) if m.init == InitState::Initialized
-                        );
-                        if !ready {
-                            match check!(cur, ensure_initialized(vm, tid, target.class, cur_iso)) {
-                                InitAction::Ready => {}
-                                InitAction::Suspend => {
-                                    vm.threads[t].frames[fidx].pc = prepared.idx_to_pc[cur];
-                                    continue 'outer;
-                                }
-                            }
-                        }
+                        ensure_class_ready!(cur, target.class);
                         if shared_mode {
                             prepared.insns[cur].set(XInsn::InvokeStaticI { target, arg_slots });
                         }
@@ -787,12 +882,42 @@ pub(crate) fn step_thread_quickened(vm: &mut Vm, tid: ThreadId, budget: u32) -> 
                         flush_at!(next);
                         finish_invoke!(cur, target, arg_slots);
                     }
+                    XInsn::InvokeStaticF(si) => {
+                        flush_at!(next);
+                        let site = prepared.call_sites.borrow()[si as usize].clone();
+                        // Shared mode drops the init check after first
+                        // execution (InvokeStaticFI), like the baseline
+                        // JIT; Isolated mode re-checks every time.
+                        ensure_class_ready!(cur, site.target.class);
+                        if shared_mode {
+                            prepared.insns[cur].set(XInsn::InvokeStaticFI(si));
+                        }
+                        fused_call!(cur, site);
+                    }
+                    XInsn::InvokeStaticFI(si) | XInsn::InvokeDirectF(si) => {
+                        flush_at!(next);
+                        let site = prepared.call_sites.borrow()[si as usize].clone();
+                        fused_call!(cur, site);
+                    }
                     XInsn::InvokeVirtual(cp) => {
                         flush_at!(next);
                         let class_id = vm.threads[t].frames[fidx].class;
                         let (vslot, arg_slots) =
                             check!(cur, resolve_virtual_method(vm, class_id, cp));
-                        prepared.insns[cur].set(XInsn::InvokeVirtualR { vslot, arg_slots });
+                        let mut sites = prepared.virt_sites.borrow_mut();
+                        if sites.len() <= u16::MAX as usize {
+                            sites.push(VirtSite {
+                                vslot,
+                                arg_slots,
+                                cache: std::cell::RefCell::new(None),
+                            });
+                            let si = (sites.len() - 1) as u16;
+                            drop(sites);
+                            prepared.insns[cur].set(XInsn::InvokeVirtualF(si));
+                        } else {
+                            drop(sites);
+                            prepared.insns[cur].set(XInsn::InvokeVirtualR { vslot, arg_slots });
+                        }
                         continue 'redo;
                     }
                     XInsn::InvokeVirtualR { vslot, arg_slots } => {
@@ -810,6 +935,59 @@ pub(crate) fn step_thread_quickened(vm: &mut Vm, tid: ThreadId, budget: u32) -> 
                             ),
                         };
                         finish_invoke!(cur, target, arg_slots);
+                    }
+                    XInsn::InvokeVirtualF(si) => {
+                        flush_at!(next);
+                        let (vslot, arg_slots, cached) = {
+                            let sites = prepared.virt_sites.borrow();
+                            let s = &sites[si as usize];
+                            let out = (s.vslot, s.arg_slots, s.cache.borrow().clone());
+                            out
+                        };
+                        let receiver = check!(cur, peek_receiver(vm, t, fidx, arg_slots));
+                        let rc = vm.heap.get(receiver).class;
+                        // Monomorphic shape cache: a hit skips the vtable
+                        // read and all method-metadata loads. A miss on an
+                        // already-populated cache means the site is
+                        // polymorphic — don't rebuild/overwrite per call
+                        // (that would allocate on every invoke); keep the
+                        // cached class and take the plain vtable path.
+                        let cache_state = match &cached {
+                            Some((cc, site)) if *cc == rc => {
+                                let site = site.clone();
+                                fused_call!(cur, site);
+                            }
+                            Some(_) => CacheState::Polymorphic,
+                            None => CacheState::Cold,
+                        };
+                        let target = match vm.classes[rc.0 as usize].vtable.get(vslot as usize) {
+                            Some(&mref) => mref,
+                            None => throw!(
+                                cur,
+                                Thrown::ByName {
+                                    class_name: "java/lang/AbstractMethodError",
+                                    message: format!("vtable slot {vslot} missing"),
+                                }
+                            ),
+                        };
+                        if cache_state == CacheState::Cold {
+                            match build_call_site(vm, target) {
+                                Some(site) => {
+                                    {
+                                        let sites = prepared.virt_sites.borrow();
+                                        *sites[si as usize].cache.borrow_mut() =
+                                            Some((rc, site.clone()));
+                                    }
+                                    fused_call!(cur, site);
+                                }
+                                // Native/synchronized targets keep the
+                                // shared path (monitor entry, native
+                                // dispatch).
+                                None => finish_invoke!(cur, target, arg_slots),
+                            }
+                        } else {
+                            finish_invoke!(cur, target, arg_slots);
+                        }
                     }
                     XInsn::InvokeInterface(site) => {
                         flush_at!(next);
@@ -900,20 +1078,7 @@ pub(crate) fn step_thread_quickened(vm: &mut Vm, tid: ThreadId, budget: u32) -> 
                         flush_at!(next);
                         let iso = vm.threads[t].current_isolate;
                         check!(cur, check_not_poisoned(vm, tid, new_class));
-                        let mi = vm.mirror_index(iso);
-                        let ready = matches!(
-                            vm.classes[new_class.0 as usize].mirrors.get(mi),
-                            Some(Some(m)) if m.init == InitState::Initialized
-                        );
-                        if !ready {
-                            match check!(cur, ensure_initialized(vm, tid, new_class, iso)) {
-                                InitAction::Ready => {}
-                                InitAction::Suspend => {
-                                    vm.threads[t].frames[fidx].pc = prepared.idx_to_pc[cur];
-                                    continue 'outer;
-                                }
-                            }
-                        }
+                        ensure_class_ready!(cur, new_class);
                         if shared_mode {
                             prepared.insns[cur].set(XInsn::NewI(new_class));
                         }

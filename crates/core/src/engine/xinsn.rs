@@ -18,8 +18,9 @@
 //! like the `RtCp::StaticFieldInit`/`ClassInit`/`DirectMethodInit` fast
 //! paths of the raw interpreter.
 
-use crate::ids::{ClassId, MethodRef};
-use std::cell::Cell;
+use crate::class::CodeBody;
+use crate::ids::{ClassId, IsolateId, MethodRef};
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 /// Comparison kind for `if*` and `if_icmp*` branches.
@@ -104,6 +105,27 @@ pub enum XInsn {
         /// Signed increment.
         delta: i16,
     },
+    // ---- superinstructions (peephole-fused at pre-decode time) ----
+    /// Fused `Load a; Load b; Iadd; Store c` (the classic accumulate
+    /// shape). Counts as **4** logical instructions. The fused cell
+    /// replaces only the *first* component; the tail cells keep their
+    /// original instructions, so branches into the middle of the pattern
+    /// and resumptions at a mid-pattern pc execute unfused, and when the
+    /// remaining quantum cannot cover the full width the dispatch loop
+    /// de-fuses to the leading `Load` — scheduling stays bit-identical to
+    /// the unfused stream.
+    AddStore {
+        /// First operand's local slot.
+        a: u16,
+        /// Second operand's local slot.
+        b: u16,
+        /// Destination local slot.
+        c: u16,
+    },
+    /// Fused compare-and-branch (`Load` + `IConst`/`Load` + `IfICmp`);
+    /// operand indexes [`super::PreparedCode::fused_cmps`]. Counts as
+    /// **3** logical instructions; de-fuses like [`XInsn::AddStore`].
+    FusedCmpBr(u16),
     // ---- arrays ----
     /// All `*aload` forms (the element type lives in the array body).
     ArrLoad,
@@ -364,13 +386,28 @@ pub enum XInsn {
     },
     /// Unresolved `invokevirtual cp`.
     InvokeVirtual(u16),
-    /// Resolved `invokevirtual`: direct vtable slot.
+    /// Resolved `invokevirtual`: direct vtable slot. Fallback form used
+    /// when a fused [`XInsn::InvokeVirtualF`] site cannot be allocated.
     InvokeVirtualR {
         /// Slot in the receiver's vtable.
         vslot: u32,
         /// Argument slots including receiver.
         arg_slots: u16,
     },
+    /// Fused `invokestatic`: operand indexes
+    /// [`super::PreparedCode::call_sites`], whose [`CallSite`] carries the
+    /// resolved target *and* the precomputed frame shape, so dispatch
+    /// pushes the callee frame without re-reading method metadata. The
+    /// per-execution class-initialization check still runs (paper §3.1).
+    InvokeStaticF(u16),
+    /// `Shared`-mode fused `invokestatic` with the init check elided.
+    InvokeStaticFI(u16),
+    /// Fused `invokespecial` (no init check involved); operand indexes
+    /// [`super::PreparedCode::call_sites`].
+    InvokeDirectF(u16),
+    /// Fused `invokevirtual` with a per-site monomorphic shape cache;
+    /// operand indexes [`super::PreparedCode::virt_sites`].
+    InvokeVirtualF(u16),
     /// `invokeinterface` with a pre-decoded per-site inline cache;
     /// operand indexes [`super::PreparedCode::iface_sites`].
     InvokeInterface(u16),
@@ -421,6 +458,73 @@ pub enum SwitchTable {
         /// `(key, target)` pairs in file order.
         pairs: Box<[(i32, u32)]>,
     },
+}
+
+/// The right-hand operand of a [`XInsn::FusedCmpBr`] superinstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpRhs {
+    /// Fused `IConst` operand.
+    Const(i32),
+    /// Fused second `Load` operand (a local slot).
+    Local(u16),
+}
+
+/// Side-table payload of a [`XInsn::FusedCmpBr`] superinstruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusedCmp {
+    /// Local slot of the left-hand operand (the leading `Load`, which is
+    /// also what the de-fused fallback executes).
+    pub slot: u16,
+    /// Right-hand operand.
+    pub rhs: CmpRhs,
+    /// Comparison between the two operands.
+    pub cmp: Cmp,
+    /// Target instruction index when the comparison holds.
+    pub target: u32,
+}
+
+/// A fused call site: the resolved target method plus the precomputed
+/// frame shape, captured when an `invoke*` instruction quickens. Carrying
+/// the shape here lets the dispatch loop build the callee frame — pooled
+/// locals carved from the caller's operand stack, isolate routing, the
+/// shared `CodeBody` — without touching `RuntimeMethod` again. Only plain
+/// bytecode methods fuse; natives, `synchronized` and abstract targets
+/// stay on the resolved forms and the shared `invoke_resolved` path.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Resolved target method.
+    pub target: MethodRef,
+    /// Argument slots including the receiver.
+    pub arg_slots: u16,
+    /// The callee frame's local-slot count.
+    pub max_locals: u16,
+    /// The callee frame's operand-stack capacity hint.
+    pub max_stack: u16,
+    /// The callee's bytecode, shared with its `RuntimeMethod`.
+    pub code: Rc<CodeBody>,
+    /// `true` when the target belongs to the Java System Library (skips
+    /// the poisoning check and executes in the caller's isolate).
+    pub is_system: bool,
+    /// The isolate the callee frame executes in: `None` to stay in the
+    /// caller's isolate (system code, `Shared` mode), `Some` to migrate
+    /// the thread (paper §3.1) — CPU accounting flushes exactly at that
+    /// boundary, same as the unfused path.
+    pub frame_isolate: Option<IsolateId>,
+}
+
+/// Per-call-site state of a fused `invokevirtual`: the resolved vtable
+/// slot plus a monomorphic inline cache mapping the last receiver class
+/// to its full [`CallSite`] shape.
+#[derive(Debug)]
+pub struct VirtSite {
+    /// Slot in the receiver's vtable.
+    pub vslot: u32,
+    /// Argument slots including the receiver.
+    pub arg_slots: u16,
+    /// Last receiver class and the fused shape its target resolved to.
+    /// Misses (megamorphic sites, unfuseable targets) fall back to the
+    /// vtable lookup and the shared `invoke_resolved` path.
+    pub cache: RefCell<Option<(ClassId, Rc<CallSite>)>>,
 }
 
 /// Per-call-site state of a pre-decoded `invokeinterface`: the member

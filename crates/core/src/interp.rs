@@ -1286,6 +1286,67 @@ fn do_invoke(
     invoke_resolved(vm, tid, fidx, target, arg_slots, insn_pc)
 }
 
+/// Performs a call through a fused [`crate::engine::CallSite`]: the frame
+/// shape is precomputed, so no `RuntimeMethod` metadata is read and the
+/// callee's locals are carved straight off the caller's operand-stack
+/// window into a pooled buffer. Semantics match [`invoke_resolved`]
+/// exactly for the targets that fuse (plain bytecode methods): poisoning
+/// check first, then the frame-depth check, then the arg transfer and the
+/// inter-isolate migration of paper §3.1 (with its exact CPU flush).
+pub(crate) fn invoke_fused(
+    vm: &mut Vm,
+    tid: ThreadId,
+    fidx: usize,
+    site: &crate::engine::CallSite,
+) -> Result<(), Thrown> {
+    let t = tid.0 as usize;
+    let cur_iso = vm.threads[t].current_isolate;
+
+    if !site.is_system {
+        check_not_poisoned(vm, tid, site.target.class)?;
+    }
+    if vm.threads[t].frames.len() >= vm.options.max_frames {
+        return Err(Thrown::ByName {
+            class_name: "java/lang/StackOverflowError",
+            message: String::new(),
+        });
+    }
+
+    let th = &mut vm.threads[t];
+    // Carve the callee's locals from the caller-adjacent stack window:
+    // one pooled buffer, one memcpy, no intermediate args Vec.
+    let mut locals = th.frame_pool.take(site.max_locals as usize);
+    {
+        let stack = &mut th.frames[fidx].stack;
+        let start = stack.len() - site.arg_slots as usize;
+        locals.extend_from_slice(&stack[start..]);
+        stack.truncate(start);
+    }
+    locals.resize(site.max_locals as usize, Value::Int(0));
+    let stack = th.frame_pool.take(site.max_stack as usize);
+
+    let callee_iso = site.frame_isolate.unwrap_or(cur_iso);
+    let frame = crate::thread::Frame {
+        method: site.target,
+        class: site.target.class,
+        isolate: callee_iso,
+        caller_isolate: cur_iso,
+        is_system: site.is_system,
+        code: site.code.clone(),
+        pc: 0,
+        locals,
+        stack,
+        sync_object: None,
+        needs_sync_enter: false,
+        poisoned_return: None,
+    };
+    if callee_iso != cur_iso {
+        switch_isolate(vm, tid, callee_iso, true);
+    }
+    vm.threads[t].frames.push(frame);
+    Ok(())
+}
+
 /// Performs a call whose target method is already resolved: poisoning
 /// check, native dispatch or frame push, `synchronized` entry, and the
 /// inter-isolate thread migration of paper §3.1. Shared by the raw
@@ -1445,7 +1506,7 @@ pub(crate) fn switch_isolate(vm: &mut Vm, tid: ThreadId, to: IsolateId, is_call:
     let insns = std::mem::take(&mut vm.threads[t].insns_since_switch);
     if vm.options.accounting {
         if let Some(i) = vm.isolates.get_mut(from.0 as usize) {
-            i.stats.cpu_exact += insns;
+            i.stats.charge_cpu(insns);
         }
         if is_call {
             if let Some(i) = vm.isolates.get_mut(to.0 as usize) {
@@ -1480,11 +1541,14 @@ pub(crate) fn do_return(vm: &mut Vm, tid: ThreadId, value: Option<Value>) -> boo
     // Paper §3.3: returning into a frame of a terminated isolate raises
     // StoppedIsolateException instead.
     if let Some(dead_iso) = frame.poisoned_return {
+        let caller_isolate = frame.caller_isolate;
+        vm.threads[t].frame_pool.recycle_frame(frame);
         let ex = make_sie(vm, tid, dead_iso);
-        switch_isolate(vm, tid, frame.caller_isolate, false);
+        switch_isolate(vm, tid, caller_isolate, false);
         return unwind(vm, tid, ex);
     }
     switch_isolate(vm, tid, frame.caller_isolate, false);
+    vm.threads[t].frame_pool.recycle_frame(frame);
     match vm.threads[t].frames.last_mut() {
         Some(caller) => {
             if returns_value {
@@ -1515,13 +1579,17 @@ pub(crate) fn finish_thread(vm: &mut Vm, tid: ThreadId, value: Option<Value>) {
     let insns = std::mem::take(&mut vm.threads[t].insns_since_switch);
     if vm.options.accounting {
         if let Some(i) = vm.isolates.get_mut(iso.0 as usize) {
-            i.stats.cpu_exact += insns;
+            i.stats.charge_cpu(insns);
         }
     }
     let th = &mut vm.threads[t];
     th.state = ThreadState::Terminated;
     th.result = value;
+    // Drop the frames *and* the pool: a terminated thread never invokes
+    // again, so recycling here would strand buffers forever (terminated
+    // VmThreads stay in `vm.threads`).
     th.frames.clear();
+    th.frame_pool = crate::thread::FramePool::default();
 }
 
 // ---------------------------------------------------------------------
@@ -1626,7 +1694,7 @@ pub(crate) fn unwind(vm: &mut Vm, tid: ThreadId, ex: GcRef) -> bool {
             let insns = std::mem::take(&mut vm.threads[t].insns_since_switch);
             if vm.options.accounting {
                 if let Some(i) = vm.isolates.get_mut(iso.0 as usize) {
-                    i.stats.cpu_exact += insns;
+                    i.stats.charge_cpu(insns);
                 }
             }
             let th = &mut vm.threads[t];
@@ -1698,6 +1766,7 @@ pub(crate) fn unwind(vm: &mut Vm, tid: ThreadId, ex: GcRef) -> bool {
             mark_initialized(vm, frame.method.class, frame.isolate, InitState::Failed);
         }
         switch_isolate(vm, tid, frame.caller_isolate, false);
+        vm.threads[t].frame_pool.recycle_frame(frame);
     }
 }
 

@@ -10,6 +10,57 @@ use crate::ids::{ClassId, IsolateId, MethodRef, ThreadId};
 use crate::value::{GcRef, Value};
 use std::rc::Rc;
 
+/// Upper bound on buffers a [`FramePool`] retains. Deep recursion returns
+/// many buffers at once; beyond this the excess is simply dropped.
+const MAX_POOLED_BUFS: usize = 64;
+
+/// A per-thread recycler for frame value buffers (locals and operand
+/// stacks), so the invoke/return hot path stops hitting the allocator on
+/// every call. Buffers are cleared before they are pooled — a pooled
+/// buffer never holds stale [`Value::Ref`]s, so the pool is invisible to
+/// the GC (it is not a root set).
+///
+/// Only the quickened engine's fused call path draws from the pool (the
+/// raw interpreter stays allocation-identical as the differential
+/// oracle); both engines *feed* it on frame teardown.
+#[derive(Debug, Default)]
+pub struct FramePool {
+    bufs: Vec<Vec<Value>>,
+}
+
+impl FramePool {
+    /// Takes a cleared buffer with at least `cap` capacity.
+    pub fn take(&mut self, cap: usize) -> Vec<Value> {
+        match self.bufs.pop() {
+            Some(mut v) => {
+                debug_assert!(v.is_empty());
+                v.reserve(cap);
+                v
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// Returns a buffer to the pool, clearing it first.
+    pub fn recycle(&mut self, mut v: Vec<Value>) {
+        if self.bufs.len() < MAX_POOLED_BUFS && v.capacity() > 0 {
+            v.clear();
+            self.bufs.push(v);
+        }
+    }
+
+    /// Recycles both value buffers of a popped frame.
+    pub fn recycle_frame(&mut self, frame: Frame) {
+        self.recycle(frame.locals);
+        self.recycle(frame.stack);
+    }
+
+    /// Buffers currently pooled (test/introspection hook).
+    pub fn pooled(&self) -> usize {
+        self.bufs.len()
+    }
+}
+
 /// One interpreter frame.
 #[derive(Debug)]
 pub struct Frame {
@@ -105,6 +156,8 @@ pub struct VmThread {
     /// Instructions executed since the thread last switched isolates;
     /// flushed into `ResourceStats::cpu_exact` at switch points.
     pub insns_since_switch: u64,
+    /// Recycled locals/operand-stack buffers for this thread's frames.
+    pub frame_pool: FramePool,
 }
 
 impl VmThread {
@@ -123,6 +176,7 @@ impl VmThread {
             result: None,
             uncaught: None,
             insns_since_switch: 0,
+            frame_pool: FramePool::default(),
         }
     }
 

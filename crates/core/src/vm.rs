@@ -37,6 +37,11 @@ pub struct VmOptions {
     /// quickened dispatch by default, with the raw byte interpreter kept
     /// for ablation and A/B comparison.
     pub engine: crate::engine::EngineKind,
+    /// Superinstruction fusion in the quickened engine's pre-decoder
+    /// (peephole-folded `Load+Load+Iadd+Store` and compare-and-branch
+    /// shapes). On by default; separable for ablation and for the
+    /// fused-vs-unfused differential tests. Ignored by the raw engine.
+    pub superinstructions: bool,
     /// Per-isolate resource accounting. Defaults to `true` in `Isolated`
     /// mode; separable so benchmarks can ablate accounting cost.
     pub accounting: bool,
@@ -61,6 +66,7 @@ impl Default for VmOptions {
         VmOptions {
             isolation: IsolationMode::Isolated,
             engine: crate::engine::EngineKind::default(),
+            superinstructions: true,
             accounting: true,
             heap_limit_bytes: 256 << 20,
             max_threads: 4096,
@@ -89,6 +95,12 @@ impl VmOptions {
     /// The same options with a different execution engine.
     pub fn with_engine(mut self, engine: crate::engine::EngineKind) -> VmOptions {
         self.engine = engine;
+        self
+    }
+
+    /// The same options with superinstruction fusion toggled.
+    pub fn with_superinstructions(mut self, fuse: bool) -> VmOptions {
+        self.superinstructions = fuse;
         self
     }
 }
@@ -847,8 +859,7 @@ impl Vm {
             .expect("make_frame on non-bytecode method")
             .clone();
         let is_system = class.is_system;
-        let is_clinit = &*m.name == "<clinit>";
-        let isolate = if is_system || is_clinit || self.options.isolation == IsolationMode::Shared {
+        let isolate = if self.frame_executes_in_caller(method) {
             caller_isolate
         } else {
             class.isolate
@@ -873,6 +884,17 @@ impl Vm {
             needs_sync_enter,
             poisoned_return: None,
         }
+    }
+
+    /// The paper-§3.1 frame-isolate routing rule, shared by `make_frame`
+    /// and the engine's fused `CallSite` capture so the two can never
+    /// diverge: system-library code and class initializers execute in the
+    /// caller's isolate (as does everything in `Shared` mode); task code
+    /// executes in its defining class's isolate.
+    pub(crate) fn frame_executes_in_caller(&self, method: MethodRef) -> bool {
+        let class = &self.classes[method.class.0 as usize];
+        let m = &class.methods[method.index as usize];
+        class.is_system || &*m.name == "<clinit>" || self.options.isolation == IsolationMode::Shared
     }
 
     /// Shared thread accessor.

@@ -1,13 +1,61 @@
 //! Differential tests: every program must behave identically under the
-//! raw byte interpreter and the quickened engine — same results, same
-//! console output, same guest instruction counts (the budget quantum is
-//! counted per logical instruction in both engines), same exceptions,
-//! and the same resource-accounting totals.
+//! raw byte interpreter and the quickened engine (fused and unfused) —
+//! same results, same console output, same guest instruction counts (the
+//! budget quantum is counted per logical instruction in all engines),
+//! same exceptions, and the same resource-accounting totals.
+//!
+//! The combinations compared are env-var selectable so CI can run them
+//! as a matrix whose job name alone attributes a per-mode failure:
+//!
+//! * `IJVM_DIFF_ISOLATION` — `shared`, `isolated`, or unset for both;
+//! * `IJVM_DIFF_ENGINE` — the candidate compared against the raw oracle:
+//!   `quickened`, `quickened-nofuse`, `raw` (a control lane), or unset
+//!   for both quickened variants.
 
 use ijvm_core::engine::EngineKind;
 use ijvm_core::prelude::*;
 use ijvm_core::vm::Vm;
 use ijvm_minijava::{compile_to_bytes, CompileEnv};
+
+/// A candidate engine configuration compared against the raw oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Candidate {
+    engine: EngineKind,
+    superinstructions: bool,
+}
+
+/// Isolation modes selected by `IJVM_DIFF_ISOLATION`.
+fn selected_modes() -> Vec<IsolationMode> {
+    match std::env::var("IJVM_DIFF_ISOLATION").as_deref() {
+        Ok("shared") => vec![IsolationMode::Shared],
+        Ok("isolated") => vec![IsolationMode::Isolated],
+        Ok(other) if !other.is_empty() => panic!("bad IJVM_DIFF_ISOLATION {other:?}"),
+        _ => vec![IsolationMode::Shared, IsolationMode::Isolated],
+    }
+}
+
+/// Candidate engines selected by `IJVM_DIFF_ENGINE`.
+fn selected_candidates() -> Vec<Candidate> {
+    let quickened = Candidate {
+        engine: EngineKind::Quickened,
+        superinstructions: true,
+    };
+    let nofuse = Candidate {
+        engine: EngineKind::Quickened,
+        superinstructions: false,
+    };
+    match std::env::var("IJVM_DIFF_ENGINE").as_deref() {
+        Ok("quickened") => vec![quickened],
+        Ok("quickened-nofuse") => vec![nofuse],
+        // Control lane: the oracle against itself, catching harness bugs.
+        Ok("raw") => vec![Candidate {
+            engine: EngineKind::Raw,
+            superinstructions: true,
+        }],
+        Ok(other) if !other.is_empty() => panic!("bad IJVM_DIFF_ENGINE {other:?}"),
+        _ => vec![quickened, nofuse],
+    }
+}
 
 /// Everything we compare between engines after one run.
 #[derive(Debug, PartialEq)]
@@ -29,13 +77,14 @@ fn run_program(
     desc: &str,
     args: Vec<Value>,
     mode: IsolationMode,
-    engine: EngineKind,
+    candidate: Candidate,
 ) -> Observed {
     let options = match mode {
         IsolationMode::Shared => VmOptions::shared(),
         IsolationMode::Isolated => VmOptions::isolated(),
     }
-    .with_engine(engine);
+    .with_engine(candidate.engine)
+    .with_superinstructions(candidate.superinstructions);
     let mut vm = ijvm_jsl::boot(options);
     let iso = vm.create_isolate("diff");
     let loader = vm.loader_of(iso).unwrap();
@@ -65,8 +114,9 @@ fn observe(vm: &mut Vm, outcome: ijvm_core::Result<Option<Value>>) -> Observed {
     }
 }
 
-/// Runs one program under both engines in both isolation modes and
-/// asserts the observations match exactly.
+/// Runs one program under the raw oracle and every selected candidate in
+/// every selected isolation mode, asserting the observations match
+/// exactly.
 fn assert_engines_agree(
     name: &str,
     src: &str,
@@ -75,26 +125,19 @@ fn assert_engines_agree(
     desc: &str,
     args: Vec<Value>,
 ) {
-    for mode in [IsolationMode::Shared, IsolationMode::Isolated] {
-        let raw = run_program(
-            src,
-            entry,
-            method,
-            desc,
-            args.clone(),
-            mode,
-            EngineKind::Raw,
-        );
-        let quick = run_program(
-            src,
-            entry,
-            method,
-            desc,
-            args.clone(),
-            mode,
-            EngineKind::Quickened,
-        );
-        assert_eq!(raw, quick, "{name} diverged in {mode:?} mode");
+    let oracle = Candidate {
+        engine: EngineKind::Raw,
+        superinstructions: true,
+    };
+    for mode in selected_modes() {
+        let raw = run_program(src, entry, method, desc, args.clone(), mode, oracle);
+        for candidate in selected_candidates() {
+            let observed = run_program(src, entry, method, desc, args.clone(), mode, candidate);
+            assert_eq!(
+                raw, observed,
+                "{name} diverged in {mode:?} mode under {candidate:?}"
+            );
+        }
     }
 }
 
@@ -184,6 +227,38 @@ fn interfaces_and_virtual_dispatch_agree() {
 }
 
 #[test]
+fn polymorphic_virtual_calls_agree() {
+    // Receivers alternate between two classes through one invokevirtual
+    // site: the quickened engine's monomorphic shape cache must go
+    // polymorphic (plain vtable path) without diverging from raw.
+    assert_engines_agree(
+        "poly-virtual",
+        r#"
+        class Shape { int area() { return 0; } }
+        class Square extends Shape { int side; Square(int s) { side = s; } public int area() { return side * side; } }
+        class Strip extends Shape { int len; Strip(int l) { len = l; } public int area() { return len * 3; } }
+        class H {
+            static int total(int n) {
+                Shape a = new Square(3);
+                Shape b = new Strip(5);
+                int acc = 0;
+                for (int i = 0; i < n; i++) {
+                    Shape s = a;
+                    if (i % 2 == 1) { s = b; }
+                    acc += s.area();
+                }
+                return acc;
+            }
+        }
+        "#,
+        "H",
+        "total",
+        "(I)I",
+        vec![Value::Int(2_000)],
+    );
+}
+
+#[test]
 fn exceptions_and_handlers_agree() {
     assert_engines_agree(
         "exceptions",
@@ -267,14 +342,19 @@ fn quantum_interleaving_agrees() {
             }
         }
     "#;
-    for mode in [IsolationMode::Shared, IsolationMode::Isolated] {
+    let oracle = Candidate {
+        engine: EngineKind::Raw,
+        superinstructions: true,
+    };
+    for mode in selected_modes() {
         let mut seen = Vec::new();
-        for engine in [EngineKind::Raw, EngineKind::Quickened] {
+        for candidate in std::iter::once(oracle).chain(selected_candidates()) {
             let mut options = match mode {
                 IsolationMode::Shared => VmOptions::shared(),
                 IsolationMode::Isolated => VmOptions::isolated(),
             }
-            .with_engine(engine);
+            .with_engine(candidate.engine)
+            .with_superinstructions(candidate.superinstructions);
             options.quantum = 137; // force frequent thread switches
             let mut vm = ijvm_jsl::boot(options);
             let iso = vm.create_isolate("diff");
@@ -302,7 +382,12 @@ fn quantum_interleaving_agrees() {
                 vm.vclock(),
             ));
         }
-        assert_eq!(seen[0], seen[1], "interleaving diverged in {mode:?} mode");
+        for (i, s) in seen.iter().enumerate().skip(1) {
+            assert_eq!(
+                &seen[0], s,
+                "interleaving diverged in {mode:?} mode (lane {i})"
+            );
+        }
     }
 }
 
@@ -323,9 +408,15 @@ fn isolate_termination_agrees() {
             static int call(Svc s) { return s.poke(5); }
         }
     "#;
+    let oracle = Candidate {
+        engine: EngineKind::Raw,
+        superinstructions: true,
+    };
     let mut seen = Vec::new();
-    for engine in [EngineKind::Raw, EngineKind::Quickened] {
-        let options = VmOptions::isolated().with_engine(engine);
+    for candidate in std::iter::once(oracle).chain(selected_candidates()) {
+        let options = VmOptions::isolated()
+            .with_engine(candidate.engine)
+            .with_superinstructions(candidate.superinstructions);
         let mut vm = ijvm_jsl::boot(options);
         let home = vm.create_isolate("home");
         let home_loader = vm.loader_of(home).unwrap();
@@ -371,7 +462,9 @@ fn isolate_termination_agrees() {
         };
         seen.push((uncaught, vm.migrations()));
     }
-    assert_eq!(seen[0], seen[1], "termination behaviour diverged");
+    for (i, s) in seen.iter().enumerate().skip(1) {
+        assert_eq!(&seen[0], s, "termination behaviour diverged (lane {i})");
+    }
     assert_eq!(
         seen[0].0.as_deref(),
         Some("org/ijvm/StoppedIsolateException"),

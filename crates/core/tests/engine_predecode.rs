@@ -1,15 +1,23 @@
-//! Golden tests for the pre-decoder: classfile bytes → `XInsn` stream,
-//! plus property tests for the pc↔index maps.
+//! Golden tests for the pre-decoder: classfile bytes → `XInsn` stream
+//! (fused and unfused), plus property tests for the pc↔index maps.
 
 use ijvm_classfile::{AccessFlags, ClassBuilder, ClassFile, Opcode};
 use ijvm_core::class::CodeBody;
-use ijvm_core::engine::{predecode, Cmp, PreparedCode, SwitchTable, TrapKind, XInsn, BAD_TARGET};
+use ijvm_core::engine::{
+    predecode, predecode_with, Cmp, CmpRhs, FusedCmp, PreparedCode, SwitchTable, TrapKind, XInsn,
+    BAD_TARGET,
+};
 use proptest::prelude::*;
 
 const STATIC: AccessFlags = AccessFlags(AccessFlags::PUBLIC.0 | AccessFlags::STATIC.0);
 
-/// Builds a one-class file and pre-decodes `method`'s code.
+/// Builds a one-class file and pre-decodes `method`'s code with the
+/// superinstruction peephole enabled (the production default).
 fn predecode_method(cf: &ClassFile, method: &str) -> PreparedCode {
+    predecode_method_with(cf, method, true)
+}
+
+fn predecode_method_with(cf: &ClassFile, method: &str, fuse: bool) -> PreparedCode {
     let m = cf
         .methods
         .iter()
@@ -22,7 +30,7 @@ fn predecode_method(cf: &ClassFile, method: &str) -> PreparedCode {
         bytes: code.code.clone(),
         handlers: code.exception_table.clone(),
     };
-    predecode(&body, &cf.pool)
+    predecode_with(&body, &cf.pool, fuse)
 }
 
 fn build_class(build: impl FnOnce(&mut ClassBuilder)) -> ClassFile {
@@ -39,10 +47,10 @@ fn body_insns(p: &PreparedCode) -> Vec<XInsn> {
     all[..all.len() - 1].to_vec()
 }
 
-#[test]
-fn golden_arithmetic_loop() {
-    // static int sum(int n) { int acc = 0; for (i = 0; i < n; i++) acc += i; return acc; }
-    let cf = build_class(|cb| {
+/// The arithmetic-loop classfile shared by the fused/unfused goldens:
+/// `static int sum(int n) { int acc = 0; for (i = 0; i < n; i++) acc += i; return acc; }`
+fn arithmetic_loop_class() -> ClassFile {
+    build_class(|cb| {
         let mut m = cb.method("sum", "(I)I", STATIC);
         let head = m.new_label();
         let exit = m.new_label();
@@ -64,8 +72,13 @@ fn golden_arithmetic_loop() {
         m.iload(1);
         m.op(Opcode::Ireturn);
         m.done().unwrap();
-    });
-    let p = predecode_method(&cf, "sum");
+    })
+}
+
+#[test]
+fn golden_arithmetic_loop_unfused() {
+    let cf = arithmetic_loop_class();
+    let p = predecode_method_with(&cf, "sum", false);
     let insns = body_insns(&p);
     // Every *load/*store family collapses to typeless Load/Store; the
     // loop-head branch targets are instruction indices.
@@ -92,6 +105,97 @@ fn golden_arithmetic_loop() {
             XInsn::ReturnValue,
         ]
     );
+    assert!(p.fused_cmps.is_empty());
+}
+
+#[test]
+fn golden_arithmetic_loop_fused() {
+    // The same loop with the peephole on: the loop-head compare fuses to
+    // FusedCmpBr (Load+Load+IfICmp) and the accumulate body to AddStore
+    // (Load+Load+Iadd+Store). Fusion is non-destructive: only the first
+    // cell of each pattern is rewritten; the tails keep their original
+    // instructions so mid-pattern branch targets and resume pcs work.
+    let cf = arithmetic_loop_class();
+    let p = predecode_method(&cf, "sum");
+    let insns = body_insns(&p);
+    assert_eq!(
+        insns,
+        vec![
+            XInsn::IConst(0),
+            XInsn::Store(1),
+            XInsn::IConst(0),
+            XInsn::Store(2),
+            XInsn::FusedCmpBr(0), // index 4 == loop head, fused width 3
+            XInsn::Load(0),       // pattern tail, intact
+            XInsn::IfICmp {
+                cmp: Cmp::Ge,
+                target: 13
+            },
+            XInsn::AddStore { a: 1, b: 2, c: 1 }, // fused width 4
+            XInsn::Load(2),                       // pattern tail, intact
+            XInsn::Iadd,
+            XInsn::Store(1),
+            XInsn::Iinc { slot: 2, delta: 1 },
+            XInsn::Goto(4),
+            XInsn::Load(1), // index 13 == loop exit
+            XInsn::ReturnValue,
+        ]
+    );
+    assert_eq!(
+        p.fused_cmps.as_ref(),
+        &[FusedCmp {
+            slot: 2,
+            rhs: CmpRhs::Local(0),
+            cmp: Cmp::Ge,
+            target: 13,
+        }]
+    );
+    // The pc↔index maps are identical to the unfused stream's.
+    let unfused = predecode_method_with(&cf, "sum", false);
+    assert_eq!(p.idx_to_pc, unfused.idx_to_pc);
+    assert_eq!(p.pc_to_idx, unfused.pc_to_idx);
+}
+
+#[test]
+fn golden_load_const_compare_fuses() {
+    // while (i < 100) { i++; }  — the Load+IConst+IfICmp family.
+    let cf = build_class(|cb| {
+        let mut m = cb.method("spin", "()I", STATIC);
+        let head = m.new_label();
+        let exit = m.new_label();
+        m.const_int(0);
+        m.istore(0);
+        m.bind(head);
+        m.iload(0);
+        m.const_int(100);
+        m.branch(Opcode::IfIcmpge, exit);
+        m.iinc(0, 1);
+        m.goto(head);
+        m.bind(exit);
+        m.iload(0);
+        m.op(Opcode::Ireturn);
+        m.done().unwrap();
+    });
+    let p = predecode_method(&cf, "spin");
+    let insns = body_insns(&p);
+    let XInsn::FusedCmpBr(si) = insns[2] else {
+        panic!(
+            "expected fused compare at the loop head, got {:?}",
+            insns[2]
+        );
+    };
+    assert_eq!(
+        p.fused_cmps[si as usize],
+        FusedCmp {
+            slot: 0,
+            rhs: CmpRhs::Const(100),
+            cmp: Cmp::Ge,
+            target: 7,
+        }
+    );
+    // Tail cells keep the original instructions.
+    assert_eq!(insns[3], XInsn::IConst(100));
+    assert!(matches!(insns[4], XInsn::IfICmp { .. }));
 }
 
 #[test]
@@ -299,7 +403,7 @@ fn streams_end_with_guard() {
 fn assemble(ops: &[u8]) -> Vec<u8> {
     let mut bytes = Vec::new();
     for &op in ops {
-        match op % 8 {
+        match op % 11 {
             0 => bytes.push(Opcode::Iconst0 as u8),
             1 => bytes.extend_from_slice(&[Opcode::Bipush as u8, op]),
             2 => bytes.extend_from_slice(&[Opcode::Sipush as u8, op, op.wrapping_add(1)]),
@@ -307,6 +411,12 @@ fn assemble(ops: &[u8]) -> Vec<u8> {
             4 => bytes.push(Opcode::Dup as u8),
             5 => bytes.extend_from_slice(&[Opcode::Iinc as u8, op % 4, 1]),
             6 => bytes.push(Opcode::Iadd as u8),
+            7 => bytes.extend_from_slice(&[Opcode::Istore as u8, op % 4]),
+            // A short forward branch; the offset may or may not land on
+            // an instruction boundary, exercising both the fused and the
+            // BAD_TARGET (left unfused) compare-and-branch paths.
+            8 => bytes.extend_from_slice(&[Opcode::IfIcmplt as u8, 0, 3 + op % 8]),
+            9 => bytes.extend_from_slice(&[Opcode::IfIcmpge as u8, 0, 3 + op % 8]),
             _ => bytes.push(Opcode::Nop as u8),
         }
     }
@@ -348,5 +458,57 @@ proptest! {
             }
         }
         let _ = BAD_TARGET; // referenced to keep the API surface exercised
+    }
+
+    #[test]
+    fn fusion_preserves_maps_and_targets(ops in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Fusion only rewrites cells: stream length, pc↔index maps and
+        // side tables other than `fused_cmps` are byte-identical, every
+        // fused target is a real instruction boundary, and the pattern
+        // tails keep their original (de-fuseable) instructions.
+        let bytes = assemble(&ops);
+        let body = CodeBody { max_stack: 8, max_locals: 4, bytes, handlers: Vec::new() };
+        let pool = ijvm_classfile::ConstPool::new();
+        let fused = predecode_with(&body, &pool, true);
+        let plain = predecode_with(&body, &pool, false);
+
+        prop_assert_eq!(fused.insns.len(), plain.insns.len());
+        prop_assert_eq!(&fused.idx_to_pc, &plain.idx_to_pc);
+        prop_assert_eq!(&fused.pc_to_idx, &plain.pc_to_idx);
+
+        for (i, cell) in fused.insns.iter().enumerate() {
+            match cell.get() {
+                XInsn::AddStore { a, b, c } => {
+                    // The fused head must shadow exactly the plain pattern,
+                    // and the tail cells must be untouched.
+                    prop_assert_eq!(plain.insns[i].get(), XInsn::Load(a));
+                    prop_assert_eq!(fused.insns[i + 1].get(), XInsn::Load(b));
+                    prop_assert_eq!(fused.insns[i + 2].get(), XInsn::Iadd);
+                    prop_assert_eq!(fused.insns[i + 3].get(), XInsn::Store(c));
+                }
+                XInsn::FusedCmpBr(si) => {
+                    let fc = fused.fused_cmps[si as usize];
+                    prop_assert_eq!(plain.insns[i].get(), XInsn::Load(fc.slot));
+                    match fc.rhs {
+                        CmpRhs::Const(k) => {
+                            prop_assert_eq!(fused.insns[i + 1].get(), XInsn::IConst(k))
+                        }
+                        CmpRhs::Local(s) => {
+                            prop_assert_eq!(fused.insns[i + 1].get(), XInsn::Load(s))
+                        }
+                    }
+                    let XInsn::IfICmp { cmp, target } = fused.insns[i + 2].get() else {
+                        prop_assert!(false, "fused tail lost its IfICmp");
+                        unreachable!();
+                    };
+                    prop_assert_eq!(fc.cmp, cmp);
+                    prop_assert_eq!(fc.target, target);
+                    // Fused branch targets are valid instruction indices.
+                    prop_assert!(fc.target != BAD_TARGET);
+                    prop_assert!(fused.pc_of_index(fc.target).is_some());
+                }
+                other => prop_assert_eq!(other, plain.insns[i].get()),
+            }
+        }
     }
 }
