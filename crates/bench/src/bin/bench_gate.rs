@@ -1,17 +1,19 @@
 //! The bench-regression gate: compares a fresh `engine_bench` run against
 //! the committed `BENCH_engine.json` floors and fails (exit 1) when any
-//! baseline row's quickened-vs-raw speedup regressed beyond the
-//! tolerance. Usage:
+//! baseline row's speedup ratio regressed beyond the tolerance. Usage:
 //!
 //! ```text
 //! bench_gate <baseline.json> <fresh.json> [tolerance]
 //! ```
 //!
-//! `tolerance` is the allowed relative slack below the baseline speedup
-//! (default `0.10`, i.e. −10%): a fresh speedup passes when it is at
-//! least `baseline * (1 - tolerance)`. Rows present only in the fresh
-//! file (newly added benchmarks) are reported but never gate; rows
-//! missing from the fresh file fail, so a benchmark cannot silently
+//! Each row carries up to two gated metrics: `speedup` (quickened vs
+//! raw) and `threaded_speedup` (threaded vs raw); a metric present in
+//! the baseline must hold its floor in the fresh run. `tolerance` is the
+//! allowed relative slack below a baseline ratio and defaults to
+//! [`ijvm_bench::GATE_TOLERANCE`] (−10%) — one constant shared with the
+//! CI workflow and the docs so they cannot drift. Rows present only in
+//! the fresh file (newly added benchmarks) are reported but never gate;
+//! rows missing from the fresh file fail, so a benchmark cannot silently
 //! disappear. The parser is hand-rolled against the one-row-per-line
 //! format `engine_bench` writes — the workspace builds offline, without
 //! serde.
@@ -23,6 +25,7 @@ use std::process::ExitCode;
 struct Row {
     name: String,
     speedup: f64,
+    threaded_speedup: Option<f64>,
 }
 
 /// Extracts the string value of `"key": "..."` from a JSON row line.
@@ -33,7 +36,10 @@ fn str_field(line: &str, key: &str) -> Option<String> {
     Some(line[start..end].to_owned())
 }
 
-/// Extracts the numeric value of `"key": ...` from a JSON row line.
+/// Extracts the numeric value of `"key": ...` from a JSON row line. The
+/// search tag includes the opening quote, so `"speedup"` cannot match
+/// inside `"threaded_speedup"` (no quote precedes the `speedup` suffix
+/// there) — asserted by `speedup_key_is_boundary_checked`.
 fn num_field(line: &str, key: &str) -> Option<f64> {
     let tag = format!("\"{key}\": ");
     let start = line.find(&tag)? + tag.len();
@@ -51,6 +57,7 @@ fn parse_rows(json: &str) -> Vec<Row> {
             Some(Row {
                 name: str_field(l, "name")?,
                 speedup: num_field(l, "speedup")?,
+                threaded_speedup: num_field(l, "threaded_speedup"),
             })
         })
         .collect()
@@ -64,6 +71,35 @@ fn load_rows(path: &str) -> Vec<Row> {
     rows
 }
 
+/// Gates one metric of one row. Returns `true` on failure.
+fn gate_metric(
+    name: &str,
+    metric: &str,
+    baseline: f64,
+    fresh: Option<f64>,
+    tolerance: f64,
+) -> bool {
+    let floor = baseline * (1.0 - tolerance);
+    match fresh {
+        Some(f) if f >= floor => {
+            println!(
+                "  ok   {name:<22} {metric:<17} {f:.4}x (floor {floor:.4}x, baseline {baseline:.4}x)"
+            );
+            false
+        }
+        Some(f) => {
+            println!(
+                "  FAIL {name:<22} {metric:<17} {f:.4}x below floor {floor:.4}x (baseline {baseline:.4}x)"
+            );
+            true
+        }
+        None => {
+            println!("  FAIL {name:<22} {metric:<17} missing from the fresh run");
+            true
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let (Some(baseline_path), Some(fresh_path)) = (args.next(), args.next()) else {
@@ -73,7 +109,7 @@ fn main() -> ExitCode {
     let tolerance: f64 = args
         .next()
         .map(|t| t.parse().expect("tolerance must be a number"))
-        .unwrap_or(0.10);
+        .unwrap_or(ijvm_bench::GATE_TOLERANCE);
 
     let baseline = load_rows(&baseline_path);
     let fresh = load_rows(&fresh_path);
@@ -84,20 +120,22 @@ fn main() -> ExitCode {
     );
     let mut failures = 0u32;
     for b in &baseline {
-        let floor = b.speedup * (1.0 - tolerance);
         match fresh.iter().find(|f| f.name == b.name) {
-            Some(f) if f.speedup >= floor => {
-                println!(
-                    "  ok   {:<22} {:.4}x (floor {:.4}x, baseline {:.4}x)",
-                    b.name, f.speedup, floor, b.speedup
-                );
-            }
             Some(f) => {
-                println!(
-                    "  FAIL {:<22} {:.4}x regressed below floor {:.4}x (baseline {:.4}x)",
-                    b.name, f.speedup, floor, b.speedup
-                );
-                failures += 1;
+                if gate_metric(&b.name, "speedup", b.speedup, Some(f.speedup), tolerance) {
+                    failures += 1;
+                }
+                if let Some(bt) = b.threaded_speedup {
+                    if gate_metric(
+                        &b.name,
+                        "threaded_speedup",
+                        bt,
+                        f.threaded_speedup,
+                        tolerance,
+                    ) {
+                        failures += 1;
+                    }
+                }
             }
             None => {
                 println!("  FAIL {:<22} missing from {fresh_path}", b.name);
@@ -115,10 +153,10 @@ fn main() -> ExitCode {
     }
 
     if failures > 0 {
-        eprintln!("bench gate: {failures} row(s) regressed");
+        eprintln!("bench gate: {failures} metric(s) regressed");
         ExitCode::FAILURE
     } else {
-        println!("bench gate: all rows at or above their floors");
+        println!("bench gate: all metrics at or above their floors");
         ExitCode::SUCCESS
     }
 }
@@ -129,7 +167,7 @@ mod tests {
 
     const SAMPLE: &str = r#"{
   "rows": [
-    {"name": "intra-isolate call", "raw_ns": 10, "quickened_ns": 8, "speedup": 1.2500, "guest_insns": 42},
+    {"name": "intra-isolate call", "raw_ns": 10, "quickened_ns": 8, "threaded_ns": 7, "speedup": 1.2500, "threaded_speedup": 1.4286, "guest_insns": 42},
     {"name": "static access", "raw_ns": 10, "quickened_ns": 6, "speedup": 1.6667, "guest_insns": 42}
   ]
 }"#;
@@ -140,6 +178,17 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].name, "intra-isolate call");
         assert!((rows[0].speedup - 1.25).abs() < 1e-9);
+        assert!((rows[0].threaded_speedup.unwrap() - 1.4286).abs() < 1e-9);
         assert!((rows[1].speedup - 1.6667).abs() < 1e-9);
+        assert_eq!(rows[1].threaded_speedup, None);
+    }
+
+    /// `"speedup"` must not match the tail of `"threaded_speedup"`, even
+    /// if a writer reorders the fields.
+    #[test]
+    fn speedup_key_is_boundary_checked() {
+        let line = r#"{"name": "x", "threaded_speedup": 2.0, "speedup": 1.5}"#;
+        assert!((num_field(line, "speedup").unwrap() - 1.5).abs() < 1e-9);
+        assert!((num_field(line, "threaded_speedup").unwrap() - 2.0).abs() < 1e-9);
     }
 }

@@ -1,17 +1,19 @@
-//! Raw-vs-quickened execution-engine comparison.
+//! Execution-engine comparison: raw vs quickened vs threaded.
 //!
-//! Runs the Figure 1 micro-benchmarks (plus a field-access loop) on the
-//! same VM configuration with only [`EngineKind`] varied, so the measured
-//! delta is exactly the dispatch cost the quickened engine removes:
-//! per-instruction opcode table lookups, operand re-reads, branch-offset
-//! arithmetic, and constant-pool indirections.
+//! Runs the Figure 1 micro-benchmarks (plus a field-access loop and a
+//! deep call chain) on the same VM configuration with only [`EngineKind`]
+//! varied, so the measured deltas isolate exactly the dispatch cost each
+//! engine removes: the quickened engine drops per-instruction opcode
+//! table lookups, operand re-reads, branch-offset arithmetic and
+//! constant-pool indirections; the threaded engine additionally drops the
+//! opcode `match` itself (an indirect handler call per instruction).
 
 use crate::micro::{run_once_with, Micro};
 use ijvm_core::engine::EngineKind;
 use ijvm_core::vm::VmOptions;
 use std::time::Duration;
 
-/// One benchmark measured under both engines.
+/// One benchmark measured under all three engines.
 #[derive(Debug, Clone)]
 pub struct EngineRow {
     /// Benchmark name.
@@ -20,14 +22,22 @@ pub struct EngineRow {
     pub raw: Duration,
     /// Wall time under [`EngineKind::Quickened`].
     pub quickened: Duration,
-    /// Guest instructions executed (identical under both engines).
+    /// Wall time under [`EngineKind::Threaded`].
+    pub threaded: Duration,
+    /// Guest instructions executed (identical under all engines).
     pub insns: u64,
 }
 
 impl EngineRow {
-    /// How many times faster the quickened engine runs (>1 is faster).
+    /// How many times faster the quickened engine runs than raw (>1 is
+    /// faster).
     pub fn speedup(&self) -> f64 {
         self.raw.as_secs_f64() / self.quickened.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// How many times faster the threaded engine runs than raw.
+    pub fn threaded_speedup(&self) -> f64 {
+        self.raw.as_secs_f64() / self.threaded.as_secs_f64().max(f64::MIN_POSITIVE)
     }
 }
 
@@ -36,38 +46,39 @@ impl EngineRow {
 /// `this`), and static access.
 pub const ENGINE_MICROS: [Micro; 4] = Micro::ALL;
 
-/// Measures one micro under both engines, alternating `runs` rounds and
+/// The engines compared, in row-field order.
+const ENGINES: [EngineKind; 3] = [EngineKind::Raw, EngineKind::Quickened, EngineKind::Threaded];
+
+/// Measures one micro under all engines, alternating `runs` rounds and
 /// keeping the fastest time per engine (minimum is robust against
 /// scheduler and frequency noise).
 pub fn compare_engines(micro: Micro, iterations: i32, runs: u32) -> EngineRow {
-    let mut best_raw = Duration::MAX;
-    let mut best_quick = Duration::MAX;
+    let mut best = [Duration::MAX; 3];
     let mut insns = 0;
     for _ in 0..runs.max(1) {
-        let (r, ri) = run_once_with(
-            micro,
-            VmOptions::isolated().with_engine(EngineKind::Raw),
-            iterations,
+        let mut seen = [0u64; 3];
+        for (i, &engine) in ENGINES.iter().enumerate() {
+            let (d, n) =
+                run_once_with(micro, VmOptions::isolated().with_engine(engine), iterations);
+            best[i] = best[i].min(d);
+            seen[i] = n;
+        }
+        assert!(
+            seen.iter().all(|&n| n == seen[0]),
+            "engines must execute identical instruction streams"
         );
-        let (q, qi) = run_once_with(
-            micro,
-            VmOptions::isolated().with_engine(EngineKind::Quickened),
-            iterations,
-        );
-        assert_eq!(ri, qi, "engines must execute identical instruction streams");
-        best_raw = best_raw.min(r);
-        best_quick = best_quick.min(q);
-        insns = qi;
+        insns = seen[0];
     }
     EngineRow {
         name: micro.name(),
-        raw: best_raw,
-        quickened: best_quick,
+        raw: best[0],
+        quickened: best[1],
+        threaded: best[2],
         insns,
     }
 }
 
-/// The acceptance workload for the quickened engine: a tight loop of
+/// The acceptance workload for the dispatch engines: a tight loop of
 /// instance-field reads/writes and integer arithmetic, where dispatch
 /// overhead dominates (no allocation, no calls, no statics).
 const ARITH_FIELD_SRC: &str = r#"
@@ -146,7 +157,7 @@ pub fn run_deep_call(engine: EngineKind, iterations: i32) -> (Duration, u64) {
     run_spin_class(DEEP_CALL_SRC, "DeepCall", engine, iterations)
 }
 
-/// Measures a one-class `spin` workload under both engines.
+/// Measures a one-class `spin` workload under all engines.
 fn compare_spin_class(
     name: &'static str,
     src: &str,
@@ -154,26 +165,31 @@ fn compare_spin_class(
     iterations: i32,
     runs: u32,
 ) -> EngineRow {
-    let mut best_raw = Duration::MAX;
-    let mut best_quick = Duration::MAX;
+    let mut best = [Duration::MAX; 3];
     let mut insns = 0;
     for _ in 0..runs.max(1) {
-        let (r, ri) = run_spin_class(src, entry, EngineKind::Raw, iterations);
-        let (q, qi) = run_spin_class(src, entry, EngineKind::Quickened, iterations);
-        assert_eq!(ri, qi, "engines must execute identical instruction streams");
-        best_raw = best_raw.min(r);
-        best_quick = best_quick.min(q);
-        insns = qi;
+        let mut seen = [0u64; 3];
+        for (i, &engine) in ENGINES.iter().enumerate() {
+            let (d, n) = run_spin_class(src, entry, engine, iterations);
+            best[i] = best[i].min(d);
+            seen[i] = n;
+        }
+        assert!(
+            seen.iter().all(|&n| n == seen[0]),
+            "engines must execute identical instruction streams"
+        );
+        insns = seen[0];
     }
     EngineRow {
         name,
-        raw: best_raw,
-        quickened: best_quick,
+        raw: best[0],
+        quickened: best[1],
+        threaded: best[2],
         insns,
     }
 }
 
-/// Measures the arithmetic/field-access loop under both engines.
+/// Measures the arithmetic/field-access loop under all engines.
 pub fn compare_arith_field(iterations: i32, runs: u32) -> EngineRow {
     compare_spin_class(
         "arith+field loop",
@@ -184,7 +200,7 @@ pub fn compare_arith_field(iterations: i32, runs: u32) -> EngineRow {
     )
 }
 
-/// Measures the deep static call chain under both engines.
+/// Measures the deep static call chain under all engines.
 pub fn compare_deep_call(iterations: i32, runs: u32) -> EngineRow {
     compare_spin_class(
         "deep call chain",
@@ -212,38 +228,45 @@ pub fn engine_comparison(iterations: i32, runs: u32) -> Vec<EngineRow> {
 
 /// Pretty-prints the comparison.
 pub fn print_engine_table(rows: &[EngineRow]) {
-    println!("\n== Execution engine: raw vs quickened (Isolated mode) ==");
+    println!("\n== Execution engine: raw vs quickened vs threaded (Isolated mode) ==");
     println!(
-        "{:<22} {:>14} {:>14} {:>10} {:>14}",
-        "benchmark", "raw", "quickened", "speedup", "guest insns"
+        "{:<22} {:>12} {:>12} {:>12} {:>8} {:>8} {:>14}",
+        "benchmark", "raw", "quickened", "threaded", "q-spd", "t-spd", "guest insns"
     );
     for r in rows {
         println!(
-            "{:<22} {:>14} {:>14} {:>9.2}x {:>14}",
+            "{:<22} {:>12} {:>12} {:>12} {:>7.2}x {:>7.2}x {:>14}",
             r.name,
             format!("{:.3?}", r.raw),
             format!("{:.3?}", r.quickened),
+            format!("{:.3?}", r.threaded),
             r.speedup(),
+            r.threaded_speedup(),
             r.insns,
         );
     }
 }
 
 /// Serializes the rows as the `BENCH_engine.json` document (hand-rolled:
-/// the workspace builds offline, without serde).
+/// the workspace builds offline, without serde). Each row carries both
+/// the quickened-vs-raw (`speedup`) and threaded-vs-raw
+/// (`threaded_speedup`) ratios; the CI bench gate enforces floors on
+/// both.
 pub fn to_json(rows: &[EngineRow], iterations: i32) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"engine_raw_vs_quickened\",\n");
+    out.push_str("  \"bench\": \"engine_raw_vs_quickened_vs_threaded\",\n");
     out.push_str("  \"mode\": \"Isolated\",\n");
     out.push_str(&format!("  \"iterations\": {iterations},\n"));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"raw_ns\": {}, \"quickened_ns\": {}, \"speedup\": {:.4}, \"guest_insns\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"raw_ns\": {}, \"quickened_ns\": {}, \"threaded_ns\": {}, \"speedup\": {:.4}, \"threaded_speedup\": {:.4}, \"guest_insns\": {}}}{}\n",
             r.name,
             r.raw.as_nanos(),
             r.quickened.as_nanos(),
+            r.threaded.as_nanos(),
             r.speedup(),
+            r.threaded_speedup(),
             r.insns,
             if i + 1 < rows.len() { "," } else { "" },
         ));

@@ -21,6 +21,17 @@ pub mod micro;
 use ijvm_core::vm::IsolationMode;
 use std::time::Duration;
 
+/// The bench-regression gate's tolerance: a fresh speedup ratio passes
+/// when it is at least `baseline * (1 - GATE_TOLERANCE)`, i.e. −10%.
+///
+/// This is the **single** source of truth — the `bench_gate` binary
+/// defaults to it and the CI workflow passes no override, so the
+/// committed docs (ROADMAP.md, ARCHITECTURE.md) and the enforced gate
+/// can never drift again. Gating on the speedup *ratio* (not wall time)
+/// already cancels most runner-speed variance, because all engines run
+/// back to back on the same box.
+pub const GATE_TOLERANCE: f64 = 0.10;
+
 /// A baseline/I-JVM measurement pair.
 #[derive(Debug, Clone)]
 pub struct OverheadRow {

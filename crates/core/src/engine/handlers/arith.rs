@@ -1,0 +1,176 @@
+//! Handlers: arithmetic, shifts, bit logic, conversions, comparisons.
+//! Semantics are identical to the raw interpreter's (wrapping integer
+//! arithmetic, JVM NaN rules via [`fcmp`], saturating float→int via
+//! [`f2i`]/[`f2l`]).
+
+use super::{tpop, tpush, Ctx, Flow};
+use crate::interp::{arith, cmp3, f2i, f2l, fcmp};
+use crate::value::Value;
+
+macro_rules! binop {
+    ($name:ident, $as:ident, $ctor:ident, m $m:ident) => {
+        pub(crate) fn $name(c: &mut Ctx<'_>, _op: u64) -> Flow {
+            let b = tpop!(c).$as();
+            let a = tpop!(c).$as();
+            tpush!(c, Value::$ctor(a.$m(b)));
+            Flow::Next
+        }
+    };
+    ($name:ident, $as:ident, $ctor:ident, op $op:tt) => {
+        pub(crate) fn $name(c: &mut Ctx<'_>, _op: u64) -> Flow {
+            let b = tpop!(c).$as();
+            let a = tpop!(c).$as();
+            tpush!(c, Value::$ctor(a $op b));
+            Flow::Next
+        }
+    };
+}
+
+macro_rules! divrem {
+    ($name:ident, $as:ident, $ctor:ident, $m:ident) => {
+        pub(crate) fn $name(c: &mut Ctx<'_>, _op: u64) -> Flow {
+            let b = tpop!(c).$as();
+            let a = tpop!(c).$as();
+            if b == 0 {
+                return c.throw(arith());
+            }
+            tpush!(c, Value::$ctor(a.$m(b)));
+            Flow::Next
+        }
+    };
+}
+
+macro_rules! unop {
+    ($name:ident, $as:ident, $ctor:ident, $f:expr) => {
+        #[allow(clippy::redundant_closure_call)]
+        pub(crate) fn $name(c: &mut Ctx<'_>, _op: u64) -> Flow {
+            let a = tpop!(c).$as();
+            let r = ($f)(a);
+            tpush!(c, Value::$ctor(r));
+            Flow::Next
+        }
+    };
+}
+
+macro_rules! shift {
+    ($name:ident, $as:ident, $ctor:ident, $m:ident, $mask:expr) => {
+        pub(crate) fn $name(c: &mut Ctx<'_>, _op: u64) -> Flow {
+            let b = tpop!(c).as_int();
+            let a = tpop!(c).$as();
+            tpush!(c, Value::$ctor(a.$m(b as u32 & $mask)));
+            Flow::Next
+        }
+    };
+}
+
+macro_rules! conv {
+    ($name:ident, $get:ident, $to:ident, $ty:ty) => {
+        pub(crate) fn $name(c: &mut Ctx<'_>, _op: u64) -> Flow {
+            let v = tpop!(c).$get();
+            tpush!(c, Value::$to(v as $ty));
+            Flow::Next
+        }
+    };
+}
+
+// ---- int ----
+binop!(h_iadd, as_int, Int, m wrapping_add);
+binop!(h_isub, as_int, Int, m wrapping_sub);
+binop!(h_imul, as_int, Int, m wrapping_mul);
+divrem!(h_idiv, as_int, Int, wrapping_div);
+divrem!(h_irem, as_int, Int, wrapping_rem);
+unop!(h_ineg, as_int, Int, i32::wrapping_neg);
+binop!(h_iand, as_int, Int, op &);
+binop!(h_ior, as_int, Int, op |);
+binop!(h_ixor, as_int, Int, op ^);
+shift!(h_ishl, as_int, Int, wrapping_shl, 31);
+shift!(h_ishr, as_int, Int, wrapping_shr, 31);
+
+pub(crate) fn h_iushr(c: &mut Ctx<'_>, _op: u64) -> Flow {
+    let b = tpop!(c).as_int();
+    let a = tpop!(c).as_int();
+    tpush!(
+        c,
+        Value::Int(((a as u32).wrapping_shr(b as u32 & 31)) as i32)
+    );
+    Flow::Next
+}
+
+// ---- long ----
+binop!(h_ladd, as_long, Long, m wrapping_add);
+binop!(h_lsub, as_long, Long, m wrapping_sub);
+binop!(h_lmul, as_long, Long, m wrapping_mul);
+divrem!(h_ldiv, as_long, Long, wrapping_div);
+divrem!(h_lrem, as_long, Long, wrapping_rem);
+unop!(h_lneg, as_long, Long, i64::wrapping_neg);
+binop!(h_land, as_long, Long, op &);
+binop!(h_lor, as_long, Long, op |);
+binop!(h_lxor, as_long, Long, op ^);
+shift!(h_lshl, as_long, Long, wrapping_shl, 63);
+shift!(h_lshr, as_long, Long, wrapping_shr, 63);
+
+pub(crate) fn h_lushr(c: &mut Ctx<'_>, _op: u64) -> Flow {
+    let b = tpop!(c).as_int();
+    let a = tpop!(c).as_long();
+    tpush!(
+        c,
+        Value::Long(((a as u64).wrapping_shr(b as u32 & 63)) as i64)
+    );
+    Flow::Next
+}
+
+// ---- float ----
+binop!(h_fadd, as_float, Float, op+);
+binop!(h_fsub, as_float, Float, op -);
+binop!(h_fmul, as_float, Float, op *);
+binop!(h_fdiv, as_float, Float, op /);
+binop!(h_frem, as_float, Float, op %);
+unop!(h_fneg, as_float, Float, |a: f32| -a);
+
+// ---- double ----
+binop!(h_dadd, as_double, Double, op+);
+binop!(h_dsub, as_double, Double, op -);
+binop!(h_dmul, as_double, Double, op *);
+binop!(h_ddiv, as_double, Double, op /);
+binop!(h_drem, as_double, Double, op %);
+unop!(h_dneg, as_double, Double, |a: f64| -a);
+
+// ---- conversions ----
+conv!(h_i2l, as_int, Long, i64);
+conv!(h_i2f, as_int, Float, f32);
+conv!(h_i2d, as_int, Double, f64);
+conv!(h_l2i, as_long, Int, i32);
+conv!(h_l2f, as_long, Float, f32);
+conv!(h_l2d, as_long, Double, f64);
+conv!(h_f2d, as_float, Double, f64);
+conv!(h_d2f, as_double, Float, f32);
+unop!(h_f2i, as_float, Int, f2i);
+unop!(h_f2l, as_float, Long, |v: f32| f2l(v as f64));
+unop!(h_d2i, as_double, Int, |v: f64| f2i(v as f32));
+unop!(h_d2l, as_double, Long, f2l);
+unop!(h_i2b, as_int, Int, |v: i32| v as i8 as i32);
+unop!(h_i2c, as_int, Int, |v: i32| v as u16 as i32);
+unop!(h_i2s, as_int, Int, |v: i32| v as i16 as i32);
+
+// ---- comparisons ----
+
+pub(crate) fn h_lcmp(c: &mut Ctx<'_>, _op: u64) -> Flow {
+    let b = tpop!(c).as_long();
+    let a = tpop!(c).as_long();
+    tpush!(c, Value::Int(cmp3(a, b)));
+    Flow::Next
+}
+
+pub(crate) fn h_fcmp(c: &mut Ctx<'_>, op: u64) -> Flow {
+    let b = tpop!(c).as_float();
+    let a = tpop!(c).as_float();
+    tpush!(c, Value::Int(fcmp(a as f64, b as f64, op != 0)));
+    Flow::Next
+}
+
+pub(crate) fn h_dcmp(c: &mut Ctx<'_>, op: u64) -> Flow {
+    let b = tpop!(c).as_double();
+    let a = tpop!(c).as_double();
+    tpush!(c, Value::Int(fcmp(a, b, op != 0)));
+    Flow::Next
+}

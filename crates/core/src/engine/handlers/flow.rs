@@ -1,0 +1,177 @@
+//! Handlers: branches, switches, superinstructions, returns, and traps.
+
+use super::{cmp_from, hi32, lo32, tfr, tpop, tpush, Ctx, Flow};
+use crate::engine::xinsn::{CmpRhs, SwitchTable};
+use crate::interp::{cmp3, do_return, internal_err, unwind};
+use crate::value::Value;
+use crate::vm::Thrown;
+
+// ---- branches ----
+
+pub(crate) fn h_if(c: &mut Ctx<'_>, op: u64) -> Flow {
+    let v = tpop!(c).as_int();
+    if cmp_from(hi32(op)).test(v) {
+        return c.branch_to(lo32(op));
+    }
+    Flow::Next
+}
+
+pub(crate) fn h_ificmp(c: &mut Ctx<'_>, op: u64) -> Flow {
+    let b = tpop!(c).as_int();
+    let a = tpop!(c).as_int();
+    if cmp_from(hi32(op)).test(cmp3(a, b)) {
+        return c.branch_to(lo32(op));
+    }
+    Flow::Next
+}
+
+pub(crate) fn h_ifacmp(c: &mut Ctx<'_>, op: u64) -> Flow {
+    let b = tpop!(c);
+    let a = tpop!(c);
+    if (hi32(op) != 0) == a.ref_eq(b) {
+        return c.branch_to(lo32(op));
+    }
+    Flow::Next
+}
+
+pub(crate) fn h_ifnull(c: &mut Ctx<'_>, op: u64) -> Flow {
+    let v = tpop!(c);
+    if (hi32(op) != 0) == matches!(v, Value::Null) {
+        return c.branch_to(lo32(op));
+    }
+    Flow::Next
+}
+
+pub(crate) fn h_goto(c: &mut Ctx<'_>, op: u64) -> Flow {
+    c.branch_to(lo32(op))
+}
+
+pub(crate) fn h_tableswitch(c: &mut Ctx<'_>, op: u64) -> Flow {
+    let key = tpop!(c).as_int();
+    let target = match &c.prepared.switches[lo32(op) as usize] {
+        SwitchTable::Table {
+            default,
+            low,
+            targets,
+        } => {
+            let off = key as i64 - *low as i64;
+            if off < 0 || off >= targets.len() as i64 {
+                *default
+            } else {
+                targets[off as usize]
+            }
+        }
+        SwitchTable::Lookup { .. } => unreachable!("tableswitch with lookup payload"),
+    };
+    c.branch_to(target)
+}
+
+pub(crate) fn h_lookupswitch(c: &mut Ctx<'_>, op: u64) -> Flow {
+    let key = tpop!(c).as_int();
+    let target = match &c.prepared.switches[lo32(op) as usize] {
+        SwitchTable::Lookup { default, pairs } => pairs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, tgt)| tgt)
+            .unwrap_or(*default),
+        SwitchTable::Table { .. } => unreachable!("lookupswitch with table payload"),
+    };
+    c.branch_to(target)
+}
+
+// ---- superinstructions ----
+// Fused forms count their full logical width so the instruction budget,
+// vclock and CPU accounting stay bit-identical to the unfused stream;
+// when the remaining quantum cannot cover the width they de-fuse to
+// their leading `Load` (the tail cells still hold the originals).
+
+pub(crate) fn h_addstore(c: &mut Ctx<'_>, op: u64) -> Flow {
+    let a = op as u16 as usize;
+    let b = (op >> 16) as u16 as usize;
+    let dst = (op >> 32) as u16 as usize;
+    if c.budget - c.consumed - c.local_insns >= 3 {
+        c.local_insns += 3;
+        let f = &mut tfr!(c);
+        let v = f.locals[a].as_int().wrapping_add(f.locals[b].as_int());
+        f.locals[dst] = Value::Int(v);
+        c.next = c.cur + 4;
+    } else {
+        let v = tfr!(c).locals[a];
+        tpush!(c, v);
+    }
+    Flow::Next
+}
+
+pub(crate) fn h_fusedcmpbr(c: &mut Ctx<'_>, op: u64) -> Flow {
+    let fc = c.prepared.fused_cmps[lo32(op) as usize];
+    if c.budget - c.consumed - c.local_insns >= 2 {
+        c.local_insns += 2;
+        let f = &tfr!(c);
+        let lhs = f.locals[fc.slot as usize].as_int();
+        let rhs = match fc.rhs {
+            CmpRhs::Const(k) => k,
+            CmpRhs::Local(s) => f.locals[s as usize].as_int(),
+        };
+        if fc.cmp.test(cmp3(lhs, rhs)) {
+            return c.branch_to(fc.target);
+        }
+        c.next = c.cur + 3;
+    } else {
+        let v = tfr!(c).locals[fc.slot as usize];
+        tpush!(c, v);
+    }
+    Flow::Next
+}
+
+// ---- returns ----
+
+pub(crate) fn h_return(c: &mut Ctx<'_>, _op: u64) -> Flow {
+    c.flush_at(c.next);
+    if do_return(c.vm, c.tid, None) {
+        Flow::Outer
+    } else {
+        Flow::Yield
+    }
+}
+
+pub(crate) fn h_return_value(c: &mut Ctx<'_>, _op: u64) -> Flow {
+    let v = tpop!(c);
+    c.flush_at(c.next);
+    if do_return(c.vm, c.tid, Some(v)) {
+        Flow::Outer
+    } else {
+        Flow::Yield
+    }
+}
+
+/// `athrow` lives here with the other frame-leaving handlers.
+pub(crate) fn h_athrow(c: &mut Ctx<'_>, _op: u64) -> Flow {
+    let r = tpop!(c);
+    let Some(r) = r.as_ref() else {
+        return c.throw(crate::interp::npe());
+    };
+    c.flush_at(c.next);
+    if unwind(c.vm, c.tid, r) {
+        Flow::Outer
+    } else {
+        Flow::Yield
+    }
+}
+
+// ---- traps ----
+
+pub(crate) fn h_invalid(c: &mut Ctx<'_>, op: u64) -> Flow {
+    c.throw(Thrown::ByName {
+        class_name: "java/lang/VerifyError",
+        message: format!("bad opcode {:#04x}", op as u8),
+    })
+}
+
+pub(crate) fn h_trap(c: &mut Ctx<'_>, op: u64) -> Flow {
+    let msg = match op {
+        0 => "code ends in the middle of an instruction",
+        1 => "branch into the middle of an instruction",
+        _ => "execution ran off the end of the code",
+    };
+    c.throw(internal_err(msg))
+}

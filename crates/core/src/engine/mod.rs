@@ -1,48 +1,59 @@
-//! The quickened execution engine.
+//! The pre-decoded execution engines.
 //!
 //! The raw interpreter ([`crate::interp`]) re-decodes every instruction
 //! from classfile bytes on every execution: an `Opcode::from_byte` table
 //! lookup plus operand re-reads, branch-offset arithmetic and switch
 //! re-alignment, and a constant-pool indirection for every field access
 //! and call. This module removes all of that work from the hot path with
-//! the classic VM *quickening* design, in three layers:
+//! the classic VM *quickening* design, in four layers:
 //!
 //! 1. **Pre-decoding** ([`predecode`]) — on a method's first execution its
 //!    `Code` bytes are translated once into a dense, fixed-width
 //!    [`XInsn`] stream with fused operands and branch targets resolved to
 //!    instruction indices, plus a pc↔index map so exception tables (which
 //!    stay byte-addressed) and suspension points keep working.
-//! 2. **Quickening** ([`quicken`]) — constant-pool-indexed instructions
-//!    (`getfield`, `getstatic`, `invoke*`, `new`, …) start in slow form;
-//!    the first execution resolves them and rewrites the stream cell in
-//!    place to a direct-operand fast form. The interface-call inline
-//!    caches the raw interpreter kept in `RtCp` become per-call-site
-//!    caches in the stream.
-//! 3. **Dispatch** — [`quicken::step_thread_quickened`] drives threads
-//!    over the stream with semantics identical to the raw interpreter:
-//!    instruction-budget quanta, CPU-sampling weights, inter-isolate
-//!    migration on invoke, and `StoppedIsolateException` injection all
-//!    behave the same, which the differential tests assert.
+//! 2. **Quickening** — constant-pool-indexed instructions (`getfield`,
+//!    `getstatic`, `invoke*`, `new`, …) start in slow form; the first
+//!    execution resolves them and rewrites the stream cell in place to a
+//!    direct-operand fast form. The interface-call inline caches the raw
+//!    interpreter kept in `RtCp` become per-call-site caches in the
+//!    stream, and string `ldc` sites gain a per-isolate, GC-epoch-guarded
+//!    cache.
+//! 3. **Threading** ([`handlers::lower`]) — for the threaded engine each
+//!    [`XInsn`] lowers once (lazily) into a [`handlers::TCell`]: a handler
+//!    function pointer plus operands packed into one `u64`.
+//! 4. **Dispatch** — [`quicken::step_thread_quickened`] drives threads
+//!    over the `XInsn` stream with one big `match`;
+//!    [`handlers::step_thread_threaded`] (the default) drives them over
+//!    the cell stream with an indirect call per instruction. Both have
+//!    semantics identical to the raw interpreter: instruction-budget
+//!    quanta, CPU-sampling weights, inter-isolate migration on invoke,
+//!    and `StoppedIsolateException` injection all behave the same, which
+//!    the differential tests assert.
 //!
 //! The per-method [`PreparedCode`] cache hangs off
 //! [`crate::class::RuntimeMethod::prepared`]; it is built lazily and torn
 //! down with the owning loader when its isolate is terminated.
-//! [`crate::vm::VmOptions::engine`] selects [`EngineKind::Raw`] or
-//! [`EngineKind::Quickened`], keeping both paths alive for §4.4-style
-//! ablations and A/B benchmarking.
+//! [`crate::vm::VmOptions::engine`] selects [`EngineKind::Raw`],
+//! [`EngineKind::Quickened`] or [`EngineKind::Threaded`], keeping all
+//! paths alive for §4.4-style ablations, A/B benchmarking, and the
+//! three-way differential oracle.
 
+pub mod handlers;
 pub mod predecode;
 pub mod quicken;
 pub mod xinsn;
 
 pub use predecode::{predecode, predecode_with};
 pub use xinsn::{
-    CallSite, Cmp, CmpRhs, FusedCmp, IfaceSite, SwitchTable, TrapKind, VirtSite, XInsn, BAD_TARGET,
+    CallSite, Cmp, CmpRhs, FusedCmp, IfaceSite, LdcSite, SwitchTable, TrapKind, VirtSite, XInsn,
+    BAD_TARGET,
 };
 
 use crate::ids::MethodRef;
 use crate::vm::Vm;
-use std::cell::{Cell, RefCell};
+use handlers::TCell;
+use std::cell::{Cell, OnceCell, RefCell};
 use std::rc::Rc;
 
 /// Which execution engine drives bytecode frames.
@@ -52,9 +63,19 @@ pub enum EngineKind {
     /// kept for ablation and differential testing).
     Raw,
     /// Pre-decode each method once into an [`XInsn`] stream and dispatch
-    /// over it with in-place quickening (the default).
-    #[default]
+    /// over it with a giant `match`, quickening cells in place. Retained
+    /// as a second differential oracle (and for ablation): it shares the
+    /// [`XInsn`] stream with [`EngineKind::Threaded`] but none of its
+    /// handler lowering, so a bug in either dispatch layer shows up as a
+    /// three-way divergence.
     Quickened,
+    /// Direct-threaded dispatch (the default): each [`XInsn`] lowers once
+    /// into a [`handlers::TCell`] carrying a handler function pointer
+    /// plus packed operands, and the dispatch loop is an indirect call
+    /// per instruction — no opcode `match` on the hot path. Quickening
+    /// rewrites the cell's handler pointer in place.
+    #[default]
+    Threaded,
 }
 
 /// A method's pre-decoded, quickenable instruction stream plus the side
@@ -85,6 +106,14 @@ pub struct PreparedCode {
     pub call_sites: RefCell<Vec<Rc<CallSite>>>,
     /// Fused `invokevirtual` sites, appended on first execution.
     pub virt_sites: RefCell<Vec<VirtSite>>,
+    /// Quickened string-`ldc` sites, appended when an [`XInsn::LdcSlow`]
+    /// over a string constant first executes.
+    pub ldc_sites: RefCell<Vec<LdcSite>>,
+    /// The direct-threaded cell stream, lowered lazily from `insns` on the
+    /// threaded engine's first dispatch (other engines never pay for it).
+    /// Same length and indexing as `insns`; threaded quickening rewrites
+    /// these cells and leaves `insns` untouched.
+    threaded: OnceCell<Box<[Cell<TCell>]>>,
 }
 
 impl PreparedCode {
@@ -102,6 +131,17 @@ impl PreparedCode {
         self.idx_to_pc.get(idx as usize).copied()
     }
 
+    /// The direct-threaded cell stream, lowering it from the [`XInsn`]
+    /// stream on first use.
+    pub fn threaded_cells(&self) -> &[Cell<TCell>] {
+        self.threaded.get_or_init(|| {
+            self.insns
+                .iter()
+                .map(|c| Cell::new(handlers::lower(c.get())))
+                .collect()
+        })
+    }
+
     /// Approximate heap footprint, for metadata accounting.
     pub fn metadata_bytes(&self) -> usize {
         self.insns.len() * std::mem::size_of::<Cell<XInsn>>()
@@ -112,6 +152,11 @@ impl PreparedCode {
             + self.fused_cmps.len() * std::mem::size_of::<FusedCmp>()
             + self.call_sites.borrow().len() * std::mem::size_of::<CallSite>()
             + self.virt_sites.borrow().len() * std::mem::size_of::<VirtSite>()
+            + self.ldc_sites.borrow().len() * std::mem::size_of::<LdcSite>()
+            + self
+                .threaded
+                .get()
+                .map_or(0, |t| t.len() * std::mem::size_of::<Cell<TCell>>())
     }
 }
 

@@ -186,6 +186,8 @@ pub fn predecode_with(code: &CodeBody, pool: &ConstPool, fuse: bool) -> Prepared
         fused_cmps: fused_cmps.into_boxed_slice(),
         call_sites: std::cell::RefCell::new(Vec::new()),
         virt_sites: std::cell::RefCell::new(Vec::new()),
+        ldc_sites: std::cell::RefCell::new(Vec::new()),
+        threaded: std::cell::OnceCell::new(),
     }
 }
 

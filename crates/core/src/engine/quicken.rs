@@ -24,7 +24,7 @@
 //! they take the fused `CallSite` path or the shared `invoke_resolved`
 //! path.
 
-use super::xinsn::{CmpRhs, SwitchTable, TrapKind, VirtSite, XInsn, BAD_TARGET};
+use super::xinsn::{CmpRhs, LdcSite, SwitchTable, TrapKind, VirtSite, XInsn, BAD_TARGET};
 use super::{build_call_site, ensure_prepared, EngineKind};
 use crate::class::{ClassTarget, InitState, RtCp};
 use crate::heap::ObjBody;
@@ -305,10 +305,59 @@ pub(crate) fn step_thread_quickened(vm: &mut Vm, tid: ThreadId, budget: u32) -> 
                     XInsn::FConst(v) => push!(Value::Float(v)),
                     XInsn::DConst(v) => push!(Value::Double(v)),
                     XInsn::LdcSlow(cp) => {
-                        flush_at!(next);
+                        // String constants quicken to a per-site cached
+                        // fast form; class constants (whose resolution can
+                        // create mirrors) stay slow and re-resolve every
+                        // execution like the raw interpreter.
                         let class_id = vm.threads[t].frames[fidx].class;
+                        let is_string = matches!(
+                            vm.classes[class_id.0 as usize].pool.get(cp),
+                            Ok(ijvm_classfile::ConstEntry::String { .. })
+                        );
+                        if is_string {
+                            let mut sites = prepared.ldc_sites.borrow_mut();
+                            if sites.len() <= u16::MAX as usize {
+                                sites.push(LdcSite {
+                                    cp,
+                                    cache: std::cell::Cell::new(None),
+                                });
+                                let si = (sites.len() - 1) as u16;
+                                drop(sites);
+                                prepared.insns[cur].set(XInsn::LdcStr(si));
+                                continue 'redo;
+                            }
+                        }
+                        flush_at!(next);
                         let v = check!(cur, load_constant(vm, tid, class_id, cp));
                         push!(v);
+                    }
+                    XInsn::LdcStr(si) => {
+                        // Monomorphic (isolate, gc-epoch, ref) cache: a hit
+                        // pushes the interned string without touching the
+                        // isolate's intern map; any GC (epoch bump),
+                        // isolate switch, or ref death re-resolves.
+                        let iso = vm.threads[t].current_isolate;
+                        let cached = prepared.ldc_sites.borrow()[si as usize].cache.get();
+                        match cached {
+                            Some((cc, epoch, r))
+                                if cc == iso && epoch == vm.gc_count && vm.heap.is_live(r) =>
+                            {
+                                push!(Value::Ref(r));
+                            }
+                            _ => {
+                                flush_at!(next);
+                                let class_id = vm.threads[t].frames[fidx].class;
+                                let cp = prepared.ldc_sites.borrow()[si as usize].cp;
+                                let v = check!(cur, load_constant(vm, tid, class_id, cp));
+                                if let Value::Ref(r) = v {
+                                    let epoch = vm.gc_count;
+                                    prepared.ldc_sites.borrow()[si as usize]
+                                        .cache
+                                        .set(Some((iso, epoch, r)));
+                                }
+                                push!(v);
+                            }
+                        }
                     }
                     // ---- locals ----
                     XInsn::Load(n) => {

@@ -91,8 +91,18 @@ pub enum XInsn {
     /// Push `null`.
     AConstNull,
     /// `ldc` of a string/class constant: isolate-dependent, resolved on
-    /// every execution through the current isolate's maps.
+    /// every execution through the current isolate's maps. String
+    /// constants quicken to [`XInsn::LdcStr`] on first execution; class
+    /// constants stay slow (their resolution can create mirrors).
     LdcSlow(u16),
+    /// Quickened `ldc` of a string constant with a per-site monomorphic
+    /// `(isolate, gc-epoch, ref)` cache; operand indexes
+    /// [`super::PreparedCode::ldc_sites`]. A hit pushes the interned ref
+    /// without touching the isolate's intern map; the cache invalidates
+    /// whenever the GC epoch advances (collections can reshape the heap,
+    /// and isolate termination clears intern maps and always collects),
+    /// or when a different isolate executes the site.
+    LdcStr(u16),
     // ---- locals (typeless in this VM's one-slot model) ----
     /// Push local slot `n` (all `*load` forms).
     Load(u16),
@@ -525,6 +535,23 @@ pub struct VirtSite {
     /// Misses (megamorphic sites, unfuseable targets) fall back to the
     /// vtable lookup and the shared `invoke_resolved` path.
     pub cache: RefCell<Option<(ClassId, Rc<CallSite>)>>,
+}
+
+/// Per-site state of a quickened string `ldc` ([`XInsn::LdcStr`]).
+///
+/// The cache is monomorphic in the executing isolate: string literals
+/// resolve through the *current isolate's* intern map (paper §3.1), so a
+/// prepared stream shared across isolates (system-library code executes
+/// in its caller's isolate) must re-resolve when a different isolate
+/// arrives. The GC epoch guards liveness: any collection may reshape the
+/// heap, and isolate termination — which clears the intern map the
+/// cached ref came from — always runs one.
+#[derive(Debug)]
+pub struct LdcSite {
+    /// The original constant-pool index, for the re-resolve path.
+    pub cp: u16,
+    /// `(executing isolate, gc epoch at fill time, interned string)`.
+    pub cache: Cell<Option<(IsolateId, u64, crate::value::GcRef)>>,
 }
 
 /// Per-call-site state of a pre-decoded `invokeinterface`: the member

@@ -31,6 +31,9 @@ pub(crate) fn step_thread(vm: &mut Vm, tid: ThreadId, budget: u32) -> u32 {
         crate::engine::EngineKind::Quickened => {
             crate::engine::quicken::step_thread_quickened(vm, tid, budget)
         }
+        crate::engine::EngineKind::Threaded => {
+            crate::engine::handlers::step_thread_threaded(vm, tid, budget)
+        }
     }
 }
 

@@ -98,6 +98,13 @@ impl Vm {
         //    guarantees they will never execute again.
         self.isolates[target.0 as usize].strings.clear();
         let mi = target.0 as usize;
+        let dead_classes: Vec<bool> = self.classes.iter().map(|c| c.loader == loader).collect();
+        let empty_code = std::rc::Rc::new(crate::class::CodeBody {
+            max_stack: 0,
+            max_locals: 0,
+            bytes: Vec::new(),
+            handlers: Vec::new(),
+        });
         for class in &mut self.classes {
             if class.mirrors.len() > mi {
                 class.mirrors[mi] = None;
@@ -108,6 +115,51 @@ impl Vm {
                 }
                 for method in &mut class.methods {
                     method.prepared = None;
+                }
+            } else {
+                // Surviving classes may hold fused call shapes in their
+                // prepared streams whose `CallSite` points at a dying
+                // class: the poisoning check rejects every such call, but
+                // the cached `Rc<CodeBody>` would keep the dead isolate's
+                // bytecode alive forever.
+                for method in &class.methods {
+                    let Some(prepared) = &method.prepared else {
+                        continue;
+                    };
+                    let is_dead = |c: crate::ids::ClassId| {
+                        dead_classes.get(c.0 as usize).copied().unwrap_or(false)
+                    };
+                    // Monomorphic receiver→shape caches: drop the entry.
+                    // The site would refill from the vtable on its next
+                    // miss, but a refill is impossible — the class stays
+                    // poisoned.
+                    for site in prepared.virt_sites.borrow().iter() {
+                        let stale = matches!(&*site.cache.borrow(), Some((_, cs)) if is_dead(cs.target.class));
+                        if stale {
+                            *site.cache.borrow_mut() = None;
+                        }
+                    }
+                    // Fused direct-call sites: their indices are baked
+                    // into stream cells, so entries cannot be removed —
+                    // swap stale ones for a stub with an empty body
+                    // instead. `invoke_fused` runs the poisoning check
+                    // before touching the body and the target can never
+                    // un-poison, so the stub is unreachable. (Dying-loader
+                    // targets are never system classes, so the
+                    // `is_system` poisoning skip cannot apply.)
+                    for site in prepared.call_sites.borrow_mut().iter_mut() {
+                        if is_dead(site.target.class) {
+                            *site = std::rc::Rc::new(crate::engine::CallSite {
+                                target: site.target,
+                                arg_slots: site.arg_slots,
+                                max_locals: site.max_locals,
+                                max_stack: site.max_stack,
+                                code: empty_code.clone(),
+                                is_system: site.is_system,
+                                frame_isolate: site.frame_isolate,
+                            });
+                        }
+                    }
                 }
             }
         }

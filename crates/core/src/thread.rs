@@ -14,15 +14,28 @@ use std::rc::Rc;
 /// many buffers at once; beyond this the excess is simply dropped.
 const MAX_POOLED_BUFS: usize = 64;
 
+/// Upper bound on the *capacity* (in [`Value`] slots) of any single
+/// pooled buffer. A buffer-count cap alone is not enough: a few frames
+/// with huge operand stacks (deep recursion through a method with a large
+/// `max_stack`, or a stack that grew past its hint) could park megabytes
+/// under the count cap forever. Buffers above this bound are dropped
+/// instead of pooled when they are given back (see [`FramePool::recycle`]).
+const MAX_POOLED_BUF_SLOTS: usize = 256;
+
 /// A per-thread recycler for frame value buffers (locals and operand
 /// stacks), so the invoke/return hot path stops hitting the allocator on
 /// every call. Buffers are cleared before they are pooled — a pooled
 /// buffer never holds stale [`Value::Ref`]s, so the pool is invisible to
 /// the GC (it is not a root set).
 ///
-/// Only the quickened engine's fused call path draws from the pool (the
-/// raw interpreter stays allocation-identical as the differential
-/// oracle); both engines *feed* it on frame teardown.
+/// Only the fused call path of the quickened/threaded engines draws from
+/// the pool (the raw interpreter stays allocation-identical as the
+/// differential oracle); every engine *feeds* it on frame teardown.
+///
+/// Retention is bounded in both dimensions: at most [`MAX_POOLED_BUFS`]
+/// buffers, each capped at [`MAX_POOLED_BUF_SLOTS`] slots, so the worst
+/// case is `64 × 256 × size_of::<Value>()` per live thread regardless of
+/// how deep or wide past call chains were.
 #[derive(Debug, Default)]
 pub struct FramePool {
     bufs: Vec<Vec<Value>>,
@@ -41,9 +54,16 @@ impl FramePool {
         }
     }
 
-    /// Returns a buffer to the pool, clearing it first.
+    /// Returns a buffer to the pool, clearing it first. Oversized buffers
+    /// are dropped (`shrink_to` may legally keep excess capacity, so
+    /// dropping is the only deterministic bound) — the next `take` simply
+    /// allocates fresh, and retained bytes stay bounded by the pool caps,
+    /// not by the largest frame ever run.
     pub fn recycle(&mut self, mut v: Vec<Value>) {
-        if self.bufs.len() < MAX_POOLED_BUFS && v.capacity() > 0 {
+        if self.bufs.len() < MAX_POOLED_BUFS
+            && v.capacity() > 0
+            && v.capacity() <= MAX_POOLED_BUF_SLOTS
+        {
             v.clear();
             self.bufs.push(v);
         }
@@ -58,6 +78,49 @@ impl FramePool {
     /// Buffers currently pooled (test/introspection hook).
     pub fn pooled(&self) -> usize {
         self.bufs.len()
+    }
+
+    /// Bytes currently retained by pooled buffer capacity
+    /// (test/introspection hook).
+    pub fn retained_bytes(&self) -> usize {
+        self.bufs
+            .iter()
+            .map(|b| b.capacity() * std::mem::size_of::<Value>())
+            .sum()
+    }
+
+    /// The worst-case retention the pool caps enforce.
+    pub fn max_retained_bytes() -> usize {
+        MAX_POOLED_BUFS * MAX_POOLED_BUF_SLOTS * std::mem::size_of::<Value>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deep recursion hands back a burst of huge buffers; the pool must
+    /// bound *retained capacity*, not just buffer count.
+    #[test]
+    fn pool_bounds_retained_capacity() {
+        let mut pool = FramePool::default();
+        // A burst of huge buffers (deep recursion through wide frames)
+        // interleaved with normal ones.
+        for i in 0..200 {
+            let slots = if i % 2 == 0 { 1 << 16 } else { 16 };
+            pool.recycle(Vec::with_capacity(slots));
+        }
+        assert!(pool.pooled() > 0, "normal buffers must still pool");
+        assert!(pool.pooled() <= MAX_POOLED_BUFS);
+        assert!(
+            pool.retained_bytes() <= FramePool::max_retained_bytes(),
+            "retained {} bytes, cap {}",
+            pool.retained_bytes(),
+            FramePool::max_retained_bytes()
+        );
+        // Buffers taken back out still satisfy requested capacity.
+        let v = pool.take(1024);
+        assert!(v.capacity() >= 1024);
     }
 }
 

@@ -34,10 +34,11 @@ pub struct VmOptions {
     /// Isolation mode (see [`IsolationMode`]).
     pub isolation: IsolationMode,
     /// Execution engine (see [`crate::engine::EngineKind`]): pre-decoded
-    /// quickened dispatch by default, with the raw byte interpreter kept
-    /// for ablation and A/B comparison.
+    /// direct-threaded dispatch by default, with the quickened match
+    /// dispatch and the raw byte interpreter kept for ablation, A/B
+    /// comparison and differential testing.
     pub engine: crate::engine::EngineKind,
-    /// Superinstruction fusion in the quickened engine's pre-decoder
+    /// Superinstruction fusion in the pre-decoded engines' pre-decoder
     /// (peephole-folded `Load+Load+Iadd+Store` and compare-and-branch
     /// shapes). On by default; separable for ablation and for the
     /// fused-vs-unfused differential tests. Ignored by the raw engine.

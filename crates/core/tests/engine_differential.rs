@@ -1,6 +1,7 @@
 //! Differential tests: every program must behave identically under the
-//! raw byte interpreter and the quickened engine (fused and unfused) —
-//! same results, same console output, same guest instruction counts (the
+//! raw byte interpreter, the quickened match engine, and the
+//! direct-threaded handler engine (each fused and unfused) — same
+//! results, same console output, same guest instruction counts (the
 //! budget quantum is counted per logical instruction in all engines),
 //! same exceptions, and the same resource-accounting totals.
 //!
@@ -9,13 +10,15 @@
 //!
 //! * `IJVM_DIFF_ISOLATION` — `shared`, `isolated`, or unset for both;
 //! * `IJVM_DIFF_ENGINE` — the candidate compared against the raw oracle:
-//!   `quickened`, `quickened-nofuse`, `raw` (a control lane), or unset
-//!   for both quickened variants.
+//!   `quickened`, `quickened-nofuse`, `threaded`, `threaded-nofuse`,
+//!   `raw` (a control lane), or unset for all four quickened/threaded
+//!   variants.
 
 use ijvm_core::engine::EngineKind;
 use ijvm_core::prelude::*;
 use ijvm_core::vm::Vm;
 use ijvm_minijava::{compile_to_bytes, CompileEnv};
+use proptest::prelude::*;
 
 /// A candidate engine configuration compared against the raw oracle.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,20 +43,30 @@ fn selected_candidates() -> Vec<Candidate> {
         engine: EngineKind::Quickened,
         superinstructions: true,
     };
-    let nofuse = Candidate {
+    let quickened_nofuse = Candidate {
         engine: EngineKind::Quickened,
+        superinstructions: false,
+    };
+    let threaded = Candidate {
+        engine: EngineKind::Threaded,
+        superinstructions: true,
+    };
+    let threaded_nofuse = Candidate {
+        engine: EngineKind::Threaded,
         superinstructions: false,
     };
     match std::env::var("IJVM_DIFF_ENGINE").as_deref() {
         Ok("quickened") => vec![quickened],
-        Ok("quickened-nofuse") => vec![nofuse],
+        Ok("quickened-nofuse") => vec![quickened_nofuse],
+        Ok("threaded") => vec![threaded],
+        Ok("threaded-nofuse") => vec![threaded_nofuse],
         // Control lane: the oracle against itself, catching harness bugs.
         Ok("raw") => vec![Candidate {
             engine: EngineKind::Raw,
             superinstructions: true,
         }],
         Ok(other) if !other.is_empty() => panic!("bad IJVM_DIFF_ENGINE {other:?}"),
-        _ => vec![quickened, nofuse],
+        _ => vec![quickened, quickened_nofuse, threaded, threaded_nofuse],
     }
 }
 
@@ -392,6 +405,67 @@ fn quantum_interleaving_agrees() {
 }
 
 #[test]
+fn string_ldc_caching_agrees_across_gc_epochs() {
+    // String literals execute through the quickened/threaded engines' per-
+    // site (isolate, gc-epoch, ref) ldc cache. A tiny GC threshold forces
+    // collections mid-loop, so the cache is filled, epoch-invalidated and
+    // refilled many times — and every observation (results, per-isolate
+    // allocation counts, interning behaviour via `==`) must still match
+    // the raw interpreter, which re-resolves through the intern map every
+    // time.
+    let src = r#"
+        class L {
+            static int spin(int n) {
+                int hits = 0;
+                for (int i = 0; i < n; i++) {
+                    String a = "alpha";
+                    String b = "beta-constant";
+                    int[] garbage = new int[64];
+                    garbage[0] = i;
+                    if (a == "alpha") hits++;
+                    hits += b.length() + garbage[0] % 3;
+                }
+                return hits;
+            }
+        }
+    "#;
+    let oracle = Candidate {
+        engine: EngineKind::Raw,
+        superinstructions: true,
+    };
+    for mode in selected_modes() {
+        let mut seen = Vec::new();
+        for candidate in std::iter::once(oracle).chain(selected_candidates()) {
+            let mut options = match mode {
+                IsolationMode::Shared => VmOptions::shared(),
+                IsolationMode::Isolated => VmOptions::isolated(),
+            }
+            .with_engine(candidate.engine)
+            .with_superinstructions(candidate.superinstructions);
+            options.gc_threshold_bytes = 64 << 10; // force frequent epochs
+            let mut vm = ijvm_jsl::boot(options);
+            let iso = vm.create_isolate("ldc");
+            let loader = vm.loader_of(iso).unwrap();
+            for (name, bytes) in compile_to_bytes(src, &CompileEnv::new()).unwrap() {
+                vm.add_class_bytes(loader, &name, bytes);
+            }
+            let class = vm.load_class(loader, "L").unwrap();
+            let outcome = vm.call_static_as(class, "spin", "(I)I", vec![Value::Int(800)], iso);
+            let gc_runs = vm.gc_count();
+            seen.push((observe(&mut vm, outcome), gc_runs));
+        }
+        assert!(
+            seen[0].1 > 2,
+            "the workload must actually cycle GC epochs (saw {})",
+            seen[0].1
+        );
+        for (i, s) in seen.iter().enumerate().skip(1) {
+            assert_eq!(&seen[0], s, "ldc caching diverged in {mode:?} (lane {i})");
+        }
+    }
+}
+
+#[test]
 fn isolate_termination_agrees() {
     // A callee isolate is terminated mid-workload; both engines must see
     // the same StoppedIsolateException surface.
@@ -470,4 +544,331 @@ fn isolate_termination_agrees() {
         Some("org/ijvm/StoppedIsolateException"),
         "terminated callee must poison the call"
     );
+}
+
+/// Regression test: a monomorphic `VirtSite` receiver→shape cache filled
+/// through a hot inter-isolate virtual site must be invalidated when the
+/// target isolate is terminated — the cached `CallSite` holds an
+/// `Rc<CodeBody>` that would otherwise keep the dead isolate's bytecode
+/// alive forever — and re-invoking through the site must still raise
+/// `StoppedIsolateException` (poisoning, paper §3.3).
+#[test]
+fn terminated_isolate_invalidates_hot_virtual_site_caches() {
+    let callee_src = r#"
+        class Svc {
+            int poke(int x) { return x + 1; }
+        }
+        class SvcFactory {
+            static Svc make() { return new Svc(); }
+        }
+    "#;
+    let caller_src = r#"
+        class Caller {
+            static int call(Svc s, int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) { acc += s.poke(i); }
+                return acc;
+            }
+            static Svc remake() { return SvcFactory.make(); }
+        }
+    "#;
+    for engine in [EngineKind::Quickened, EngineKind::Threaded] {
+        let options = VmOptions::isolated().with_engine(engine);
+        let mut vm = ijvm_jsl::boot(options);
+        let home = vm.create_isolate("home");
+        let home_loader = vm.loader_of(home).unwrap();
+        let callee = vm.create_isolate("callee");
+        let callee_loader = vm.loader_of(callee).unwrap();
+        let callee_classes = compile_to_bytes(callee_src, &CompileEnv::new()).unwrap();
+        for (name, bytes) in &callee_classes {
+            vm.add_class_bytes(callee_loader, name, bytes.clone());
+        }
+        vm.add_loader_delegate(home_loader, callee_loader);
+        let mut cenv = CompileEnv::new();
+        for (_, bytes) in &callee_classes {
+            let cf = ijvm_classfile::reader::read_class(bytes).unwrap();
+            cenv.import_class_file(&cf).unwrap();
+        }
+        for (name, bytes) in compile_to_bytes(caller_src, &cenv).unwrap() {
+            vm.add_class_bytes(home_loader, &name, bytes);
+        }
+        let factory = vm.load_class(callee_loader, "SvcFactory").unwrap();
+        let svc = vm
+            .call_static_as(factory, "make", "()LSvc;", vec![], callee)
+            .unwrap()
+            .unwrap();
+        let Value::Ref(svc_ref) = svc else {
+            panic!("factory returned {svc}")
+        };
+        vm.pin(svc_ref);
+        let caller = vm.load_class(home_loader, "Caller").unwrap();
+
+        // Heat the virtual site so its monomorphic cache is filled, and
+        // the cross-isolate static site so it fuses into a `CallSite`.
+        let warm = vm
+            .call_static_as(
+                caller,
+                "call",
+                "(LSvc;I)I",
+                vec![Value::Ref(svc_ref), Value::Int(64)],
+                home,
+            )
+            .unwrap();
+        assert_eq!(warm, Some(Value::Int((0..64).map(|i| i + 1).sum())));
+        vm.call_static_as(caller, "remake", "()LSvc;", vec![], home)
+            .unwrap();
+        let cached_sites = |vm: &Vm| -> usize {
+            vm.class(caller)
+                .methods
+                .iter()
+                .filter_map(|m| m.prepared.as_ref())
+                .flat_map(|p| {
+                    p.virt_sites
+                        .borrow()
+                        .iter()
+                        .map(|s| s.cache.borrow().is_some() as usize)
+                        .collect::<Vec<_>>()
+                })
+                .sum()
+        };
+        assert!(
+            cached_sites(&vm) > 0,
+            "[{engine:?}] the virtual site never went hot"
+        );
+
+        // Fused direct-call sites whose target lives in the callee
+        // isolate retain that isolate's bytecode through `Rc<CodeBody>`.
+        let retained_dead_code_bytes = |vm: &Vm| -> usize {
+            let callee_classes: Vec<_> = ["Svc", "SvcFactory"]
+                .iter()
+                .map(|n| vm.find_class(callee_loader, n).unwrap())
+                .collect();
+            vm.class(caller)
+                .methods
+                .iter()
+                .filter_map(|m| m.prepared.as_ref())
+                .flat_map(|p| {
+                    p.call_sites
+                        .borrow()
+                        .iter()
+                        .filter(|s| callee_classes.contains(&s.target.class))
+                        .map(|s| s.code.bytes.len())
+                        .collect::<Vec<_>>()
+                })
+                .sum()
+        };
+        assert!(
+            retained_dead_code_bytes(&vm) > 0,
+            "[{engine:?}] the static site never fused"
+        );
+
+        vm.terminate_isolate(callee).unwrap();
+        assert_eq!(
+            cached_sites(&vm),
+            0,
+            "[{engine:?}] termination must drop receiver→shape caches targeting the dead isolate"
+        );
+        assert_eq!(
+            retained_dead_code_bytes(&vm),
+            0,
+            "[{engine:?}] termination must swap fused call sites for empty-body stubs"
+        );
+
+        // Re-invoking through the previously-hot site must hit the
+        // poisoning check, not a stale cached frame shape.
+        let outcome = vm.call_static_as(
+            caller,
+            "call",
+            "(LSvc;I)I",
+            vec![Value::Ref(svc_ref), Value::Int(4)],
+            home,
+        );
+        match outcome {
+            Err(ijvm_core::VmError::UncaughtException { class_name, .. }) => {
+                assert_eq!(
+                    class_name, "org/ijvm/StoppedIsolateException",
+                    "[{engine:?}]"
+                );
+            }
+            other => panic!("[{engine:?}] expected StoppedIsolateException, got {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random-program proptest lane
+// ---------------------------------------------------------------------
+
+const CMP_OPS: [ijvm_classfile::Opcode; 6] = [
+    ijvm_classfile::Opcode::IfIcmpeq,
+    ijvm_classfile::Opcode::IfIcmpne,
+    ijvm_classfile::Opcode::IfIcmplt,
+    ijvm_classfile::Opcode::IfIcmpge,
+    ijvm_classfile::Opcode::IfIcmpgt,
+    ijvm_classfile::Opcode::IfIcmple,
+];
+
+/// Assembles a random but well-formed class `P` with a static `run()I`
+/// built from structured chunks that keep the operand stack empty between
+/// chunks. Compared to the superinstruction generator, the menu here also
+/// exercises the quickened call sites (`invokestatic` to a helper),
+/// static fields, string `ldc` (the per-site cache), and allocation (GC
+/// pressure + accounting), so all three engines' quickening transitions
+/// fire under random interleavings. Every branch is a short forward skip,
+/// so all programs terminate.
+fn build_random_program(ops: &[u8]) -> Vec<u8> {
+    use ijvm_classfile::{AccessFlags, ClassBuilder, Opcode};
+    const STATIC: AccessFlags = AccessFlags(AccessFlags::PUBLIC.0 | AccessFlags::STATIC.0);
+
+    let mut cb = ClassBuilder::new("P", "java/lang/Object", AccessFlags::PUBLIC);
+    cb.field("acc", "I", STATIC);
+    // Helper the random invokestatic chunks call.
+    let mut h = cb.method("f", "(II)I", STATIC);
+    h.iload(0);
+    h.iload(1);
+    h.op(Opcode::Ixor);
+    h.const_int(3);
+    h.op(Opcode::Iadd);
+    h.op(Opcode::Ireturn);
+    h.done().unwrap();
+
+    let mut m = cb.method("run", "()I", STATIC);
+    for slot in 0..4u16 {
+        m.const_int(5 * slot as i32 + 2);
+        m.istore(slot);
+    }
+    for &op in ops {
+        let a = (op % 4) as u16;
+        let b = (op / 4 % 4) as u16;
+        let dst = (op / 16 % 4) as u16;
+        let cmp = CMP_OPS[(op / 7 % 6) as usize];
+        match op % 8 {
+            // The accumulate shape (fuses to AddStore).
+            0 => {
+                m.iload(a);
+                m.iload(b);
+                m.op(Opcode::Iadd);
+                m.istore(dst);
+            }
+            // Compare-with-constant branch (fuses to FusedCmpBr).
+            1 => {
+                let skip = m.new_label();
+                m.iload(a);
+                m.const_int(op as i32 * 3 - 128);
+                m.branch(cmp, skip);
+                m.iinc(b, 1);
+                m.bind(skip);
+            }
+            // Compare-two-locals branch (fuses to FusedCmpBr).
+            2 => {
+                let skip = m.new_label();
+                m.iload(a);
+                m.iload(b);
+                m.branch(cmp, skip);
+                m.iinc(dst, -3);
+                m.bind(skip);
+            }
+            // Static call through a fused call site.
+            3 => {
+                m.iload(a);
+                m.iload(b);
+                m.invokestatic("P", "f", "(II)I");
+                m.istore(dst);
+            }
+            // Static field round trip (mirror indirection + init check).
+            4 => {
+                m.iload(a);
+                m.putstatic("P", "acc", "I");
+                m.getstatic("P", "acc", "I");
+                m.istore(b);
+            }
+            // String ldc (per-site cache) — fold its length into a local.
+            5 => {
+                m.const_string(if op % 2 == 0 {
+                    "alpha"
+                } else {
+                    "beta-constant"
+                });
+                m.invokevirtual("java/lang/String", "length", "()I");
+                m.istore(dst);
+            }
+            // Allocation (GC pressure, accounting).
+            6 => {
+                m.const_int((op % 16) as i32 + 1);
+                m.newarray(ijvm_classfile::descriptor::BaseType::Int);
+                m.op(Opcode::Arraylength);
+                m.istore(a);
+            }
+            // Plain arithmetic that must stay unfused.
+            _ => {
+                m.iinc(a, (op % 200) as i16 - 100);
+            }
+        }
+    }
+    m.iload(0);
+    m.iload(1);
+    m.op(Opcode::Iadd);
+    m.iload(2);
+    m.op(Opcode::Iadd);
+    m.iload(3);
+    m.op(Opcode::Ixor);
+    m.op(Opcode::Ireturn);
+    m.done().unwrap();
+    ijvm_classfile::writer::write_class(&cb.build().unwrap()).unwrap()
+}
+
+/// Runs the random program under one engine configuration, returning the
+/// full observation set.
+fn run_random_program(
+    bytes: &[u8],
+    mode: IsolationMode,
+    candidate: Candidate,
+    quantum: u32,
+) -> Observed {
+    let mut options = match mode {
+        IsolationMode::Shared => VmOptions::shared(),
+        IsolationMode::Isolated => VmOptions::isolated(),
+    }
+    .with_engine(candidate.engine)
+    .with_superinstructions(candidate.superinstructions);
+    options.quantum = quantum;
+    let mut vm = ijvm_jsl::boot(options);
+    let iso = vm.create_isolate("prog");
+    let loader = vm.loader_of(iso).unwrap();
+    vm.add_class_bytes(loader, "P", bytes.to_vec());
+    let class = vm.load_class(loader, "P").unwrap();
+    let outcome = vm.call_static_as(class, "run", "()I", vec![], iso);
+    observe(&mut vm, outcome)
+}
+
+proptest! {
+    /// Raw vs Quickened vs Threaded (fused and unfused) over random
+    /// programs, random quanta, and both isolation modes: identical
+    /// results, exceptions, vclock, migrations, console, and per-isolate
+    /// accounting traces.
+    #[test]
+    fn random_programs_agree_across_engines(
+        ops in proptest::collection::vec(any::<u8>(), 0..100),
+        quantum in 1u32..500,
+    ) {
+        let bytes = build_random_program(&ops);
+        let oracle = Candidate { engine: EngineKind::Raw, superinstructions: true };
+        for mode in [IsolationMode::Shared, IsolationMode::Isolated] {
+            let raw = run_random_program(&bytes, mode, oracle, quantum);
+            for engine in [EngineKind::Quickened, EngineKind::Threaded] {
+                for superinstructions in [true, false] {
+                    let candidate = Candidate { engine, superinstructions };
+                    let observed = run_random_program(&bytes, mode, candidate, quantum);
+                    prop_assert_eq!(
+                        &raw,
+                        &observed,
+                        "random program diverged in {:?} mode under {:?} (quantum {})",
+                        mode,
+                        candidate,
+                        quantum
+                    );
+                }
+            }
+        }
+    }
 }

@@ -118,10 +118,12 @@ proptest! {
     ) {
         let bytes = build_program(&ops);
         let raw = run_program(&bytes, EngineKind::Raw, true, 10_000);
-        let unfused = run_program(&bytes, EngineKind::Quickened, false, 10_000);
-        let fused = run_program(&bytes, EngineKind::Quickened, true, 10_000);
-        prop_assert_eq!(&raw, &unfused, "raw vs quickened-unfused diverged");
-        prop_assert_eq!(&unfused, &fused, "unfused vs fused diverged");
+        for engine in [EngineKind::Quickened, EngineKind::Threaded] {
+            let unfused = run_program(&bytes, engine, false, 10_000);
+            let fused = run_program(&bytes, engine, true, 10_000);
+            prop_assert_eq!(&raw, &unfused, "raw vs {:?}-unfused diverged", engine);
+            prop_assert_eq!(&unfused, &fused, "{:?} unfused vs fused diverged", engine);
+        }
     }
 
     #[test]
@@ -133,11 +135,13 @@ proptest! {
         // stream must de-fuse at the boundary and resume through the
         // intact tail cells, bit-identical to the unfused stream.
         let bytes = build_program(&ops);
-        let unfused = run_program(&bytes, EngineKind::Quickened, false, quantum);
-        let fused = run_program(&bytes, EngineKind::Quickened, true, quantum);
-        prop_assert_eq!(&unfused, &fused, "quantum {} diverged", quantum);
-        let wide = run_program(&bytes, EngineKind::Quickened, true, 1_000_000);
-        prop_assert_eq!(fused.1, wide.1, "vclock must not depend on the quantum");
+        for engine in [EngineKind::Quickened, EngineKind::Threaded] {
+            let unfused = run_program(&bytes, engine, false, quantum);
+            let fused = run_program(&bytes, engine, true, quantum);
+            prop_assert_eq!(&unfused, &fused, "{:?} quantum {} diverged", engine, quantum);
+            let wide = run_program(&bytes, engine, true, 1_000_000);
+            prop_assert_eq!(fused.1, wide.1, "{:?} vclock must not depend on the quantum", engine);
+        }
     }
 }
 
