@@ -63,12 +63,22 @@ fn parse_rows(json: &str) -> Vec<Row> {
         .collect()
 }
 
-fn load_rows(path: &str) -> Vec<Row> {
-    let json =
-        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("could not read {path}: {e}"));
-    let rows = parse_rows(&json);
-    assert!(!rows.is_empty(), "{path} contains no benchmark rows");
-    rows
+fn load_json(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("could not read {path}: {e}"))
+}
+
+/// Extracts the numeric value of the first `"key": ...` anywhere in the
+/// document (used for the flat `"parallel"` section keys).
+fn doc_num(json: &str, key: &str) -> Option<f64> {
+    json.lines().find_map(|l| num_field(l, key))
+}
+
+/// Renders one row's full ratio set, for the offending-row summary.
+fn describe_row(r: &Row) -> String {
+    match r.threaded_speedup {
+        Some(t) => format!("speedup {:.4}x, threaded_speedup {t:.4}x", r.speedup),
+        None => format!("speedup {:.4}x", r.speedup),
+    }
 }
 
 /// Gates one metric of one row. Returns `true` on failure.
@@ -111,35 +121,52 @@ fn main() -> ExitCode {
         .map(|t| t.parse().expect("tolerance must be a number"))
         .unwrap_or(ijvm_bench::GATE_TOLERANCE);
 
-    let baseline = load_rows(&baseline_path);
-    let fresh = load_rows(&fresh_path);
+    let baseline_json = load_json(&baseline_path);
+    let fresh_json = load_json(&fresh_path);
+    let baseline = parse_rows(&baseline_json);
+    let fresh = parse_rows(&fresh_json);
+    assert!(
+        !baseline.is_empty(),
+        "{baseline_path} contains no benchmark rows"
+    );
+    assert!(!fresh.is_empty(), "{fresh_path} contains no benchmark rows");
 
     println!(
         "bench gate: {fresh_path} vs floors in {baseline_path} (tolerance −{:.0}%)",
         tolerance * 100.0
     );
     let mut failures = 0u32;
+    // Offending rows, re-listed at the end with *both* ratios so a CI
+    // log tail alone attributes the regression.
+    let mut offenders: Vec<String> = Vec::new();
     for b in &baseline {
         match fresh.iter().find(|f| f.name == b.name) {
             Some(f) => {
-                if gate_metric(&b.name, "speedup", b.speedup, Some(f.speedup), tolerance) {
-                    failures += 1;
-                }
+                let mut row_failed =
+                    gate_metric(&b.name, "speedup", b.speedup, Some(f.speedup), tolerance);
                 if let Some(bt) = b.threaded_speedup {
-                    if gate_metric(
+                    row_failed |= gate_metric(
                         &b.name,
                         "threaded_speedup",
                         bt,
                         f.threaded_speedup,
                         tolerance,
-                    ) {
-                        failures += 1;
-                    }
+                    );
+                }
+                if row_failed {
+                    failures += 1;
+                    offenders.push(format!(
+                        "{}: fresh {} | baseline {}",
+                        b.name,
+                        describe_row(f),
+                        describe_row(b)
+                    ));
                 }
             }
             None => {
                 println!("  FAIL {:<22} missing from {fresh_path}", b.name);
                 failures += 1;
+                offenders.push(format!("{}: missing from the fresh run", b.name));
             }
         }
     }
@@ -152,8 +179,45 @@ fn main() -> ExitCode {
         }
     }
 
+    // Parallel-scheduler scalability gate: the committed floor applies
+    // only where scaling is physically possible (>= 4 host cores —
+    // single-core containers measure ~1.0x by definition).
+    if let Some(floor) = doc_num(&baseline_json, "scaling_floor_4w") {
+        let cpus = doc_num(&fresh_json, "host_cpus").unwrap_or(1.0);
+        match doc_num(&fresh_json, "scaling_1_to_4") {
+            Some(scaling) if cpus >= 4.0 => {
+                if scaling >= floor {
+                    println!(
+                        "  ok   parallel scaling 1→4 workers: {scaling:.4}x (floor {floor:.2}x, {cpus} cpus)"
+                    );
+                } else {
+                    println!(
+                        "  FAIL parallel scaling 1→4 workers: {scaling:.4}x below floor {floor:.2}x ({cpus} cpus)"
+                    );
+                    failures += 1;
+                    offenders.push(format!(
+                        "parallel scaling 1→4 workers: fresh {scaling:.4}x, floor {floor:.2}x"
+                    ));
+                }
+            }
+            Some(scaling) => {
+                println!(
+                    "  skip parallel scaling 1→4 workers: {scaling:.4}x measured on {cpus} cpu(s); floor {floor:.2}x gated on >=4-core runners only"
+                );
+            }
+            None => {
+                println!("  FAIL parallel scaling section missing from {fresh_path}");
+                failures += 1;
+                offenders.push("parallel scaling: missing from the fresh run".to_owned());
+            }
+        }
+    }
+
     if failures > 0 {
-        eprintln!("bench gate: {failures} metric(s) regressed");
+        eprintln!("bench gate: {failures} metric(s) regressed; offending rows:");
+        for o in &offenders {
+            eprintln!("  - {o}");
+        }
         ExitCode::FAILURE
     } else {
         println!("bench gate: all metrics at or above their floors");
@@ -181,6 +245,30 @@ mod tests {
         assert!((rows[0].threaded_speedup.unwrap() - 1.4286).abs() < 1e-9);
         assert!((rows[1].speedup - 1.6667).abs() < 1e-9);
         assert_eq!(rows[1].threaded_speedup, None);
+    }
+
+    /// The flat `"parallel"` section keys parse from anywhere in the
+    /// document, and row keys never shadow them.
+    #[test]
+    fn parallel_section_keys_parse() {
+        let doc = r#"{
+  "rows": [
+    {"name": "x", "speedup": 1.5, "guest_insns": 2}
+  ],
+  "parallel": {
+    "host_cpus": 4,
+    "rows": [
+      {"workers": 1, "wall_ns": 100, "scaling_vs_1w": 1.0000},
+      {"workers": 4, "wall_ns": 40, "scaling_vs_1w": 2.5000}
+    ],
+    "scaling_1_to_4": 2.5000,
+    "scaling_floor_4w": 1.5
+  }
+}"#;
+        assert_eq!(doc_num(doc, "host_cpus"), Some(4.0));
+        assert_eq!(doc_num(doc, "scaling_1_to_4"), Some(2.5));
+        assert_eq!(doc_num(doc, "scaling_floor_4w"), Some(1.5));
+        assert_eq!(doc_num(doc, "absent_key"), None);
     }
 
     /// `"speedup"` must not match the tail of `"threaded_speedup"`, even

@@ -6,6 +6,7 @@
 //! intact).
 
 use ijvm_bench::engine::{engine_comparison, print_engine_table, to_json};
+use ijvm_bench::parallel::{measure_scaling, print_scaling_table};
 
 fn main() {
     let path = std::env::args()
@@ -18,7 +19,9 @@ fn main() {
     );
     let rows = engine_comparison(iterations, runs);
     print_engine_table(&rows);
-    let json = to_json(&rows, iterations);
+    let scaling = measure_scaling(8, 150_000, 3);
+    print_scaling_table(&scaling);
+    let json = to_json(&rows, iterations, Some(&scaling));
     match std::fs::write(&path, &json) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => {

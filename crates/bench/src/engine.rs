@@ -81,7 +81,7 @@ pub fn compare_engines(micro: Micro, iterations: i32, runs: u32) -> EngineRow {
 /// The acceptance workload for the dispatch engines: a tight loop of
 /// instance-field reads/writes and integer arithmetic, where dispatch
 /// overhead dominates (no allocation, no calls, no statics).
-const ARITH_FIELD_SRC: &str = r#"
+pub(crate) const ARITH_FIELD_SRC: &str = r#"
     class Vec2 {
         int x;
         int y;
@@ -251,8 +251,13 @@ pub fn print_engine_table(rows: &[EngineRow]) {
 /// the workspace builds offline, without serde). Each row carries both
 /// the quickened-vs-raw (`speedup`) and threaded-vs-raw
 /// (`threaded_speedup`) ratios; the CI bench gate enforces floors on
-/// both.
-pub fn to_json(rows: &[EngineRow], iterations: i32) -> String {
+/// both. When a parallel-scheduler scalability report is supplied it is
+/// appended as the `"parallel"` section the gate also reads.
+pub fn to_json(
+    rows: &[EngineRow],
+    iterations: i32,
+    parallel: Option<&crate::parallel::ScalingReport>,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"engine_raw_vs_quickened_vs_threaded\",\n");
     out.push_str("  \"mode\": \"Isolated\",\n");
@@ -271,6 +276,13 @@ pub fn to_json(rows: &[EngineRow], iterations: i32) -> String {
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}\n");
+    match parallel {
+        Some(report) => {
+            out.push_str("  ],\n");
+            out.push_str(&crate::parallel::scaling_to_json(report));
+            out.push_str("\n}\n");
+        }
+        None => out.push_str("  ]\n}\n"),
+    }
     out
 }

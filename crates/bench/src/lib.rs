@@ -17,6 +17,7 @@
 
 pub mod engine;
 pub mod micro;
+pub mod parallel;
 
 use ijvm_core::vm::IsolationMode;
 use std::time::Duration;

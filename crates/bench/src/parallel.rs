@@ -1,0 +1,189 @@
+//! Multi-core scalability of the cluster scheduler: the same
+//! multi-isolate workload (N independent arithmetic/field units, each a
+//! full `Send` VM) executed by the parallel work-stealing scheduler at
+//! increasing worker counts.
+//!
+//! The measured quantity is end-to-end wall time of [`Cluster::run`];
+//! unit construction (boot, compile, class loading, pre-decode warm-up)
+//! happens outside the timed region, so the ratio between worker counts
+//! isolates exactly what the scheduler adds: parallel slice execution
+//! minus queue/steal/accounting-drain overhead. Scaling is reported as
+//! `wall(1 worker) / wall(n workers)` — on a single-core host it
+//! honestly hovers around 1.0 (there is nothing to scale onto), which is
+//! why the committed JSON records `host_cpus` and the CI gate only
+//! enforces the scalability floor on ≥ 4-core runners.
+
+use crate::engine::ARITH_FIELD_SRC;
+use ijvm_core::sched::{Cluster, SchedulerKind};
+use ijvm_core::value::Value;
+use ijvm_core::vm::{Vm, VmOptions};
+use std::time::{Duration, Instant};
+
+/// Worker counts measured, in row order.
+pub const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// The scalability contract CI enforces on multi-core runners: going
+/// from 1 worker to 4 must speed the workload up by at least this
+/// factor. (Eight independent units leave plenty of parallel slack; a
+/// miss means the scheduler itself serializes.)
+pub const SCALING_FLOOR_4W: f64 = 1.5;
+
+/// One `(worker count, wall time)` measurement.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Parallel workers used.
+    pub workers: usize,
+    /// Best-of-runs wall time for the whole unit set.
+    pub wall: Duration,
+}
+
+/// The full scalability dataset.
+#[derive(Debug, Clone)]
+pub struct ScalingReport {
+    /// Units (independent isolate groups) in the workload.
+    pub units: usize,
+    /// Guest iterations each unit spins.
+    pub iterations: i32,
+    /// CPUs available to this process when measured (scaling beyond
+    /// this is physically impossible).
+    pub host_cpus: usize,
+    /// One row per entry of [`WORKER_COUNTS`].
+    pub rows: Vec<ScalingRow>,
+    /// Work steals observed in the widest-worker run (sanity signal
+    /// that stealing actually engages).
+    pub steals: u64,
+}
+
+impl ScalingReport {
+    /// `wall(1 worker) / wall(n workers)` for the row with `workers`.
+    pub fn scaling_vs_one(&self, workers: usize) -> f64 {
+        let one = self.rows.iter().find(|r| r.workers == 1);
+        let n = self.rows.iter().find(|r| r.workers == workers);
+        match (one, n) {
+            (Some(a), Some(b)) => {
+                a.wall.as_secs_f64() / b.wall.as_secs_f64().max(f64::MIN_POSITIVE)
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// The gated 1→4-worker throughput scaling.
+    pub fn scaling_1_to_4(&self) -> f64 {
+        self.scaling_vs_one(4)
+    }
+}
+
+/// Builds one ready-to-run unit: a booted VM with the arithmetic/field
+/// workload loaded, pre-decoded (via a small warm-up call) and an entry
+/// thread spawned for the measured iteration count.
+fn build_unit(iterations: i32) -> Vm {
+    let mut vm = ijvm_jsl::boot(VmOptions::isolated());
+    let iso = vm.create_isolate("unit");
+    let loader = vm.loader_of(iso).unwrap();
+    let compiled =
+        ijvm_minijava::compile_to_bytes(ARITH_FIELD_SRC, &ijvm_minijava::CompileEnv::new())
+            .unwrap();
+    for (name, bytes) in compiled {
+        vm.add_class_bytes(loader, &name, bytes);
+    }
+    let class = vm.load_class(loader, "ArithField").unwrap();
+    vm.call_static_as(class, "spin", "(I)I", vec![Value::Int(64)], iso)
+        .expect("warmup run");
+    let index = vm.class(class).find_method("spin", "(I)I").unwrap();
+    let mref = ijvm_core::ids::MethodRef { class, index };
+    vm.spawn_thread("spin", mref, vec![Value::Int(iterations)], iso)
+        .unwrap();
+    vm
+}
+
+/// Runs the unit set once under `workers`, returning wall time and the
+/// steal count.
+fn run_once(units: usize, iterations: i32, workers: usize) -> (Duration, u64) {
+    let mut cluster = Cluster::new(SchedulerKind::Parallel(workers));
+    for _ in 0..units {
+        cluster.submit(build_unit(iterations));
+    }
+    let start = Instant::now();
+    let outcome = cluster.run();
+    let wall = start.elapsed();
+    assert_eq!(outcome.vms.len(), units, "every unit must finish");
+    (wall, outcome.steals)
+}
+
+/// Measures the workload at every worker count, best of `runs` rounds.
+pub fn measure_scaling(units: usize, iterations: i32, runs: u32) -> ScalingReport {
+    let mut best = vec![Duration::MAX; WORKER_COUNTS.len()];
+    let mut steals = 0;
+    for _ in 0..runs.max(1) {
+        for (i, &workers) in WORKER_COUNTS.iter().enumerate() {
+            let (wall, s) = run_once(units, iterations, workers);
+            if wall < best[i] {
+                best[i] = wall;
+            }
+            if workers == *WORKER_COUNTS.last().unwrap() {
+                steals = steals.max(s);
+            }
+        }
+    }
+    ScalingReport {
+        units,
+        iterations,
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        rows: WORKER_COUNTS
+            .iter()
+            .zip(best)
+            .map(|(&workers, wall)| ScalingRow { workers, wall })
+            .collect(),
+        steals,
+    }
+}
+
+/// Pretty-prints the scalability table.
+pub fn print_scaling_table(report: &ScalingReport) {
+    println!(
+        "\n== Parallel scheduler scaling ({} units × {} iterations, {} host cpus) ==",
+        report.units, report.iterations, report.host_cpus
+    );
+    println!("{:<10} {:>14} {:>10}", "workers", "wall", "vs 1w");
+    for r in &report.rows {
+        println!(
+            "{:<10} {:>14} {:>9.2}x",
+            r.workers,
+            format!("{:.3?}", r.wall),
+            report.scaling_vs_one(r.workers),
+        );
+    }
+    println!(
+        "steals in widest run: {}; CI floor on ≥4-core hosts: {:.2}x",
+        report.steals, SCALING_FLOOR_4W
+    );
+}
+
+/// Serializes the report as the `"parallel"` section of
+/// `BENCH_engine.json` (hand-rolled, like the rest — no serde offline).
+pub fn scaling_to_json(report: &ScalingReport) -> String {
+    let mut out = String::from("  \"parallel\": {\n");
+    out.push_str("    \"workload\": \"multi-isolate arith+field\",\n");
+    out.push_str(&format!("    \"units\": {},\n", report.units));
+    out.push_str(&format!("    \"iterations\": {},\n", report.iterations));
+    out.push_str(&format!("    \"host_cpus\": {},\n", report.host_cpus));
+    out.push_str(&format!("    \"steals\": {},\n", report.steals));
+    out.push_str("    \"rows\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"workers\": {}, \"wall_ns\": {}, \"scaling_vs_1w\": {:.4}}}{}\n",
+            r.workers,
+            r.wall.as_nanos(),
+            report.scaling_vs_one(r.workers),
+            if i + 1 < report.rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str(&format!(
+        "    \"scaling_1_to_4\": {:.4},\n",
+        report.scaling_1_to_4()
+    ));
+    out.push_str(&format!("    \"scaling_floor_4w\": {SCALING_FLOOR_4W}\n"));
+    out.push_str("  }");
+    out
+}

@@ -13,6 +13,7 @@
 //! * GC activations — charged to the isolate that triggered the collection.
 
 use crate::ids::IsolateId;
+use std::collections::BTreeMap;
 
 /// Resource counters for one isolate.
 ///
@@ -80,6 +81,109 @@ impl ResourceStats {
     }
 }
 
+/// Cluster-level per-isolate CPU accounting, aggregated across execution
+/// units (see [`crate::sched`]).
+///
+/// Worker threads never write here directly: they accumulate exact CPU
+/// deltas into a private [`WorkerCpuBuffer`] while a unit runs, and drain
+/// the buffer into this aggregate at every *migration point* — whenever a
+/// unit is parked back onto a run queue (and so becomes stealable),
+/// finishes, or is terminated. Every drained instruction passes through
+/// [`ResourceStats::charge_cpu`], the same single exact flush point the
+/// in-VM engines use, so the aggregate is bit-identical between the
+/// deterministic and the parallel scheduler regardless of how slices
+/// interleaved or which worker ran which slice.
+#[derive(Debug, Default)]
+pub struct ClusterAccounts {
+    /// Per-`(unit, isolate)` counters. Only the CPU fields are driven by
+    /// the scheduler; memory/thread/I-O counters stay on the per-unit
+    /// [`ResourceStats`] inside each VM.
+    per_isolate: BTreeMap<(crate::sched::UnitId, IsolateId), ResourceStats>,
+}
+
+impl ClusterAccounts {
+    /// Charges `insns` exactly-counted instructions to `(unit, iso)`
+    /// through [`ResourceStats::charge_cpu`].
+    pub fn charge(&mut self, unit: crate::sched::UnitId, iso: IsolateId, insns: u64) {
+        self.per_isolate
+            .entry((unit, iso))
+            .or_default()
+            .charge_cpu(insns);
+    }
+
+    /// Exact CPU charged to one `(unit, isolate)` pair so far.
+    pub fn cpu_exact(&self, unit: crate::sched::UnitId, iso: IsolateId) -> u64 {
+        self.per_isolate
+            .get(&(unit, iso))
+            .map_or(0, |s| s.cpu_exact)
+    }
+
+    /// Total exact CPU charged across all units and isolates.
+    pub fn total_cpu_exact(&self) -> u64 {
+        self.per_isolate.values().map(|s| s.cpu_exact).sum()
+    }
+
+    /// All `(unit, isolate) → exact CPU` entries, in key order (so the
+    /// administrator view is deterministic even after a parallel run).
+    pub fn per_isolate_cpu(&self) -> Vec<((crate::sched::UnitId, IsolateId), u64)> {
+        self.per_isolate
+            .iter()
+            .map(|(&k, s)| (k, s.cpu_exact))
+            .collect()
+    }
+}
+
+/// A scheduler worker's private CPU buffer (see [`ClusterAccounts`]).
+///
+/// Recording is lock-free (the buffer is owned by one worker); draining
+/// takes the cluster aggregate's lock **once per migration point**,
+/// covering every isolate the slice touched in a single acquisition
+/// (an inter-isolate-heavy slice charges many isolates, one lock).
+/// Because every requeue is a potential steal, a migration point ends
+/// every slice — the buffer's job is coalescing within a boundary and
+/// carrying the drained-before-stealable invariant, not skipping
+/// boundaries: [`WorkerCpuBuffer::drain_into`] runs *before* a unit is
+/// parked where another worker could steal it, so no instruction is
+/// ever in flight across a migration.
+#[derive(Debug, Default)]
+pub struct WorkerCpuBuffer {
+    pending: Vec<((crate::sched::UnitId, IsolateId), u64)>,
+}
+
+impl WorkerCpuBuffer {
+    /// Adds `insns` for `(unit, iso)`, coalescing with an existing entry.
+    pub fn record(&mut self, unit: crate::sched::UnitId, iso: IsolateId, insns: u64) {
+        if insns == 0 {
+            return;
+        }
+        for (key, n) in &mut self.pending {
+            if *key == (unit, iso) {
+                *n += insns;
+                return;
+            }
+        }
+        self.pending.push(((unit, iso), insns));
+    }
+
+    /// Instructions buffered but not yet drained.
+    pub fn pending_insns(&self) -> u64 {
+        self.pending.iter().map(|(_, n)| n).sum()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Flushes every buffered entry into `accounts` through
+    /// [`ResourceStats::charge_cpu`], leaving the buffer empty.
+    pub fn drain_into(&mut self, accounts: &mut ClusterAccounts) {
+        for ((unit, iso), insns) in self.pending.drain(..) {
+            accounts.charge(unit, iso, insns);
+        }
+    }
+}
+
 /// A labelled snapshot of one isolate's counters, for administrators.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IsolateSnapshot {
@@ -115,5 +219,33 @@ mod tests {
         assert_eq!(s.cpu_sampled, 10);
         assert_eq!(s.allocated_bytes, 100);
         assert_eq!(s.gc_triggers, 3);
+    }
+
+    #[test]
+    fn worker_buffer_coalesces_and_drains_exactly() {
+        use crate::sched::UnitId;
+        let u0 = UnitId(0);
+        let u1 = UnitId(1);
+        let i0 = IsolateId(0);
+        let i1 = IsolateId(1);
+        let mut buf = WorkerCpuBuffer::default();
+        buf.record(u0, i0, 100);
+        buf.record(u0, i1, 7);
+        buf.record(u0, i0, 23); // coalesces with the first entry
+        buf.record(u1, i0, 5);
+        buf.record(u1, i0, 0); // zero-length slices are dropped
+        assert_eq!(buf.pending_insns(), 135);
+
+        let mut accounts = ClusterAccounts::default();
+        buf.drain_into(&mut accounts);
+        assert!(buf.is_empty());
+        assert_eq!(accounts.cpu_exact(u0, i0), 123);
+        assert_eq!(accounts.cpu_exact(u0, i1), 7);
+        assert_eq!(accounts.cpu_exact(u1, i0), 5);
+        assert_eq!(accounts.total_cpu_exact(), 135);
+
+        // Draining again is a no-op: nothing is charged twice.
+        buf.drain_into(&mut accounts);
+        assert_eq!(accounts.total_cpu_exact(), 135);
     }
 }

@@ -14,7 +14,7 @@ use crate::natives::NativeResult;
 use crate::value::Value;
 use crate::vm::Vm;
 use ijvm_classfile::{AccessFlags, ClassBuilder, ClassFile, Opcode};
-use std::rc::Rc;
+use std::sync::Arc;
 
 const PUB: AccessFlags = AccessFlags::PUBLIC;
 
@@ -221,7 +221,7 @@ fn register_core_natives(vm: &mut Vm) {
         "java/lang/Object",
         "hashCode",
         "()I",
-        Rc::new(|_vm, _tid, args| {
+        Arc::new(|_vm, _tid, args| {
             let r = args[0].as_ref().expect("receiver");
             // Identity hash: the slab index is stable for the object's life.
             NativeResult::Return(Some(Value::Int(r.0 as i32)))
@@ -231,7 +231,7 @@ fn register_core_natives(vm: &mut Vm) {
         "java/lang/Object",
         "getClass",
         "()Ljava/lang/Class;",
-        Rc::new(|vm, tid, args| {
+        Arc::new(|vm, tid, args| {
             let r = args[0].as_ref().expect("receiver");
             let class = vm.heap().get(r).class;
             let iso = vm.thread(tid).expect("current thread").current_isolate;
@@ -248,7 +248,7 @@ fn register_core_natives(vm: &mut Vm) {
         "java/lang/Object",
         "toString",
         "()Ljava/lang/String;",
-        Rc::new(|vm, tid, args| {
+        Arc::new(|vm, tid, args| {
             let r = args[0].as_ref().expect("receiver");
             let class_name = vm.class(vm.heap().get(r).class).name.to_string();
             let iso = vm.thread(tid).expect("current thread").current_isolate;
@@ -260,13 +260,13 @@ fn register_core_natives(vm: &mut Vm) {
         "java/lang/String",
         "toString",
         "()Ljava/lang/String;",
-        Rc::new(|_vm, _tid, args| NativeResult::Return(Some(args[0]))),
+        Arc::new(|_vm, _tid, args| NativeResult::Return(Some(args[0]))),
     );
     vm.register_native(
         "java/lang/String",
         "equals",
         "(Ljava/lang/Object;)Z",
-        Rc::new(|vm, _tid, args| {
+        Arc::new(|vm, _tid, args| {
             let a = args[0].as_ref().expect("receiver");
             let eq = match args[1] {
                 Value::Ref(b) => {
@@ -283,7 +283,7 @@ fn register_core_natives(vm: &mut Vm) {
         "java/lang/String",
         "hashCode",
         "()I",
-        Rc::new(|vm, _tid, args| {
+        Arc::new(|vm, _tid, args| {
             let r = args[0].as_ref().expect("receiver");
             let s = vm.read_string(r).unwrap_or_default();
             // Java's String.hashCode.
@@ -298,7 +298,7 @@ fn register_core_natives(vm: &mut Vm) {
         "java/lang/String",
         "concat",
         "(Ljava/lang/String;)Ljava/lang/String;",
-        Rc::new(|vm, tid, args| {
+        Arc::new(|vm, tid, args| {
             let a = args[0].as_ref().expect("receiver");
             let sa = vm.read_string(a).unwrap_or_default();
             let sb = match args[1] {
@@ -314,7 +314,7 @@ fn register_core_natives(vm: &mut Vm) {
         "java/lang/String",
         "substring",
         "(II)Ljava/lang/String;",
-        Rc::new(|vm, tid, args| {
+        Arc::new(|vm, tid, args| {
             let r = args[0].as_ref().expect("receiver");
             let s = vm.read_string(r).unwrap_or_default();
             let chars: Vec<u16> = s.encode_utf16().collect();
@@ -336,7 +336,7 @@ fn register_core_natives(vm: &mut Vm) {
         "java/lang/String",
         "indexOf",
         "(I)I",
-        Rc::new(|vm, _tid, args| {
+        Arc::new(|vm, _tid, args| {
             let r = args[0].as_ref().expect("receiver");
             let s = vm.read_string(r).unwrap_or_default();
             let needle = args[1].as_int() as u16;
@@ -352,7 +352,7 @@ fn register_core_natives(vm: &mut Vm) {
         "java/lang/String",
         "intern",
         "()Ljava/lang/String;",
-        Rc::new(|vm, tid, args| {
+        Arc::new(|vm, tid, args| {
             let r = args[0].as_ref().expect("receiver");
             let s = vm.read_string(r).unwrap_or_default();
             let iso = vm.thread(tid).expect("current thread").current_isolate;

@@ -4,16 +4,17 @@
 
 use crate::ids::{ClassId, IsolateId, LoaderId, MethodRef, ThreadId};
 use crate::value::{GcRef, Value};
+use crate::vmrc::VmRc;
 use ijvm_classfile::{AccessFlags, ConstPool, ExceptionTableEntry};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A field (static or instance) as seen at runtime.
 #[derive(Debug, Clone)]
 pub struct FieldDesc {
     /// Field name.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Field descriptor.
-    pub descriptor: Rc<str>,
+    pub descriptor: Arc<str>,
     /// Access flags.
     pub access: AccessFlags,
     /// Class that declared this field.
@@ -33,13 +34,15 @@ pub struct CodeBody {
     pub handlers: Vec<ExceptionTableEntry>,
 }
 
-/// A method as seen at runtime.
-#[derive(Debug, Clone)]
+/// A method as seen at runtime. Not `Clone`: it owns unit-confined
+/// [`VmRc`] handles (see `crate::vmrc`), which only crate code may
+/// share.
+#[derive(Debug)]
 pub struct RuntimeMethod {
     /// Method name.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Method descriptor.
-    pub descriptor: Rc<str>,
+    pub descriptor: Arc<str>,
     /// Access flags.
     pub access: AccessFlags,
     /// Argument slot count *including* the receiver for instance methods.
@@ -47,10 +50,10 @@ pub struct RuntimeMethod {
     /// `true` when the method returns a value.
     pub returns_value: bool,
     /// Bytecode body (`None` for native/abstract methods).
-    pub code: Option<Rc<CodeBody>>,
+    pub code: Option<VmRc<CodeBody>>,
     /// Pre-decoded instruction stream for the quickened engine, built
     /// lazily on first execution and dropped with the owning loader.
-    pub prepared: Option<Rc<crate::engine::PreparedCode>>,
+    pub prepared: Option<VmRc<crate::engine::PreparedCode>>,
     /// Index into the VM's native-function table, bound lazily.
     pub native_idx: Option<u32>,
     /// Virtual-table slot, for non-static non-private non-init methods.
@@ -139,9 +142,9 @@ pub enum RtCp {
     /// per-call-site inline cache.
     InterfaceMethod {
         /// Method name.
-        name: Rc<str>,
+        name: Arc<str>,
         /// Method descriptor.
-        descriptor: Rc<str>,
+        descriptor: Arc<str>,
         /// Argument slots including receiver.
         arg_slots: u16,
         /// Inline cache: last receiver class and resolved target.
@@ -164,7 +167,7 @@ pub struct RuntimeClass {
     /// This class's id.
     pub id: ClassId,
     /// Internal name (`java/lang/String`).
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Defining loader.
     pub loader: LoaderId,
     /// Isolate of the defining loader. For system-library classes this is

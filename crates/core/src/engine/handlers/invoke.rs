@@ -98,7 +98,7 @@ pub(crate) fn h_invoke_direct(c: &mut Ctx<'_>, op: u64) -> Flow {
 pub(crate) fn h_invokestatic_f(c: &mut Ctx<'_>, op: u64) -> Flow {
     c.flush_at(c.next);
     let si = lo32(op);
-    let site = c.prepared.call_sites.borrow()[si as usize].clone();
+    let site = c.prepared.call_sites.borrow()[si as usize].share();
     if let Some(f) = c.ensure_class_ready(site.target.class) {
         return f;
     }
@@ -114,7 +114,7 @@ pub(crate) fn h_invokestatic_f(c: &mut Ctx<'_>, op: u64) -> Flow {
 /// `InvokeStaticFI` / `InvokeDirectF`: straight through the call site.
 pub(crate) fn h_invoke_fused_site(c: &mut Ctx<'_>, op: u64) -> Flow {
     c.flush_at(c.next);
-    let site = c.prepared.call_sites.borrow()[lo32(op) as usize].clone();
+    let site = c.prepared.call_sites.borrow()[lo32(op) as usize].share();
     c.fused_call(&site)
 }
 
@@ -164,7 +164,11 @@ pub(crate) fn h_invokevirtual_f(c: &mut Ctx<'_>, op: u64) -> Flow {
     let (vslot, arg_slots, cached) = {
         let sites = c.prepared.virt_sites.borrow();
         let s = &sites[si];
-        let out = (s.vslot, s.arg_slots, s.cache.borrow().clone());
+        let out = (
+            s.vslot,
+            s.arg_slots,
+            s.cache.borrow().as_ref().map(|(c, cs)| (*c, cs.share())),
+        );
         out
     };
     let receiver = tchk!(c, peek_receiver(c.vm, c.t, c.fidx, arg_slots));
@@ -175,7 +179,7 @@ pub(crate) fn h_invokevirtual_f(c: &mut Ctx<'_>, op: u64) -> Flow {
     // the cached class and take the plain vtable path.
     let cache_state = match &cached {
         Some((cc, site)) if *cc == rc => {
-            let site = site.clone();
+            let site = site.share();
             return c.fused_call(&site);
         }
         Some(_) => CacheState::Polymorphic,
@@ -190,7 +194,7 @@ pub(crate) fn h_invokevirtual_f(c: &mut Ctx<'_>, op: u64) -> Flow {
             Some(site) => {
                 {
                     let sites = c.prepared.virt_sites.borrow();
-                    *sites[si].cache.borrow_mut() = Some((rc, site.clone()));
+                    *sites[si].cache.borrow_mut() = Some((rc, site.share()));
                 }
                 c.fused_call(&site)
             }

@@ -30,7 +30,7 @@
 //!   back to the scheduler.
 //!
 //! Quickening is a handler-pointer rewrite: a slow handler (e.g.
-//! [`objects::h_getstatic_slow`]) resolves through the same `resolve_*`
+//! `objects::h_getstatic_slow`) resolves through the same `resolve_*`
 //! helpers as the other engines, then `Cell::set`s its own cell to the
 //! fast handler with resolved operands and returns `Flow::Redo`.
 //!
@@ -551,7 +551,7 @@ pub(crate) fn step_thread_threaded(vm: &mut Vm, tid: ThreadId, budget: u32) -> u
 }
 
 // Re-borrow note: `tcells` and `ctx.prepared` are shared borrows of the
-// `Rc<PreparedCode>` owned by the loop iteration, while `ctx.vm` holds
+// `Arc<PreparedCode>` owned by the loop iteration, while `ctx.vm` holds
 // the exclusive VM borrow — the streams live outside the VM object, so
 // handlers can rewrite cells while mutating VM state.
 

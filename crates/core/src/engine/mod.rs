@@ -7,7 +7,7 @@
 //! and call. This module removes all of that work from the hot path with
 //! the classic VM *quickening* design, in four layers:
 //!
-//! 1. **Pre-decoding** ([`predecode`]) — on a method's first execution its
+//! 1. **Pre-decoding** ([`mod@predecode`]) — on a method's first execution its
 //!    `Code` bytes are translated once into a dense, fixed-width
 //!    [`XInsn`] stream with fused operands and branch targets resolved to
 //!    instruction indices, plus a pc↔index map so exception tables (which
@@ -22,9 +22,9 @@
 //! 3. **Threading** ([`handlers::lower`]) — for the threaded engine each
 //!    [`XInsn`] lowers once (lazily) into a [`handlers::TCell`]: a handler
 //!    function pointer plus operands packed into one `u64`.
-//! 4. **Dispatch** — [`quicken::step_thread_quickened`] drives threads
+//! 4. **Dispatch** — `quicken::step_thread_quickened` drives threads
 //!    over the `XInsn` stream with one big `match`;
-//!    [`handlers::step_thread_threaded`] (the default) drives them over
+//!    `handlers::step_thread_threaded` (the default) drives them over
 //!    the cell stream with an indirect call per instruction. Both have
 //!    semantics identical to the raw interpreter: instruction-budget
 //!    quanta, CPU-sampling weights, inter-isolate migration on invoke,
@@ -38,6 +38,15 @@
 //! [`EngineKind::Quickened`] or [`EngineKind::Threaded`], keeping all
 //! paths alive for §4.4-style ablations, A/B benchmarking, and the
 //! three-way differential oracle.
+//!
+//! Every engine's quantum hook doubles as the parallel scheduler's
+//! migration point: when the instruction budget expires, fused
+//! superinstructions de-fuse, pending exact CPU is flushable
+//! ([`crate::vm::Vm::flush_pending_cpu`]), and control returns to the
+//! driver — at which point the whole VM unit may hop to another OS
+//! worker ([`crate::sched`]). All engine metadata migrates with it: the
+//! interior-mutable caches here are single-VM state (see the `Sync`
+//! safety note on [`PreparedCode`]), never shared across units.
 
 pub mod handlers;
 pub mod predecode;
@@ -52,9 +61,9 @@ pub use xinsn::{
 
 use crate::ids::MethodRef;
 use crate::vm::Vm;
+use crate::vmrc::VmRc;
 use handlers::TCell;
 use std::cell::{Cell, OnceCell, RefCell};
-use std::rc::Rc;
 
 /// Which execution engine drives bytecode frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -103,7 +112,7 @@ pub struct PreparedCode {
     /// Fused call sites, appended when `invokestatic`/`invokespecial`
     /// sites quicken to their `F` forms. `RefCell` because quickening
     /// appends while the stream is shared with executing frames.
-    pub call_sites: RefCell<Vec<Rc<CallSite>>>,
+    pub call_sites: RefCell<Vec<VmRc<CallSite>>>,
     /// Fused `invokevirtual` sites, appended on first execution.
     pub virt_sites: RefCell<Vec<VirtSite>>,
     /// Quickened string-`ldc` sites, appended when an [`XInsn::LdcSlow`]
@@ -164,13 +173,13 @@ impl PreparedCode {
 /// the target cannot take the fused call path (native, `synchronized`, or
 /// abstract methods keep the shared `invoke_resolved` path, whose monitor
 /// and native dispatch must run per call).
-pub(crate) fn build_call_site(vm: &Vm, target: MethodRef) -> Option<Rc<CallSite>> {
+pub(crate) fn build_call_site(vm: &Vm, target: MethodRef) -> Option<VmRc<CallSite>> {
     let class = &vm.classes[target.class.0 as usize];
     let m = &class.methods[target.index as usize];
     if m.access.is_native() || m.synchronized {
         return None;
     }
-    let code = m.code.as_ref()?.clone();
+    let code = m.code.as_ref()?.share();
     let is_system = class.is_system;
     // `None` routes the callee frame to the caller's isolate, exactly as
     // `Vm::make_frame` would (the predicate is shared, so the fused path
@@ -180,7 +189,7 @@ pub(crate) fn build_call_site(vm: &Vm, target: MethodRef) -> Option<Rc<CallSite>
     } else {
         Some(class.isolate)
     };
-    Some(Rc::new(CallSite {
+    Some(VmRc::new(CallSite {
         target,
         arg_slots: m.arg_slots,
         max_locals: code.max_locals,
@@ -194,23 +203,23 @@ pub(crate) fn build_call_site(vm: &Vm, target: MethodRef) -> Option<Rc<CallSite>
 /// Returns `method`'s prepared stream, building and caching it on first
 /// use. The cache lives on the [`crate::class::RuntimeMethod`] and is
 /// dropped when the owning loader's isolate is terminated.
-pub(crate) fn ensure_prepared(vm: &mut Vm, method: MethodRef) -> Rc<PreparedCode> {
+pub(crate) fn ensure_prepared(vm: &mut Vm, method: MethodRef) -> VmRc<PreparedCode> {
     let class = &vm.classes[method.class.0 as usize];
     let m = &class.methods[method.index as usize];
     if let Some(p) = &m.prepared {
-        return Rc::clone(p);
+        return p.share();
     }
     let code = m
         .code
         .as_ref()
         .expect("ensure_prepared on non-bytecode method")
-        .clone();
-    let prepared = Rc::new(predecode_with(
+        .share();
+    let prepared = VmRc::new(predecode_with(
         &code,
         &class.pool,
         vm.options.superinstructions,
     ));
     vm.classes[method.class.0 as usize].methods[method.index as usize].prepared =
-        Some(Rc::clone(&prepared));
+        Some(prepared.share());
     prepared
 }

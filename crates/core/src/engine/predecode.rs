@@ -15,7 +15,7 @@
 //! when) executed, matching the raw interpreter's behaviour of faulting
 //! at execution time rather than load time.
 //!
-//! An optional third pass ([`fuse_superinstructions`]) runs a peephole
+//! An optional third pass (`fuse_superinstructions`) runs a peephole
 //! over the decoded stream, folding the `Load+Load+Iadd+Store` and
 //! `Load+{IConst,Load}+IfICmp` families into single dispatch cases. The
 //! fusion is *non-destructive*: only the pattern's first cell is
@@ -28,7 +28,7 @@ use super::PreparedCode;
 use crate::class::CodeBody;
 use ijvm_classfile::{ConstEntry, ConstPool, MethodDescriptor, Opcode};
 use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Byte length of the instruction starting at `pc`, or `None` when its
 /// operands run past the end of the code array.
@@ -517,8 +517,8 @@ fn decode_one(
             let site = pool.member_ref_at(cp).ok().and_then(|(_c, name, desc)| {
                 let parsed = MethodDescriptor::parse(desc).ok()?;
                 Some(IfaceSite {
-                    name: Rc::from(name),
-                    descriptor: Rc::from(desc),
+                    name: Arc::from(name),
+                    descriptor: Arc::from(desc),
                     arg_slots: parsed.param_slots() as u16 + 1,
                     cache: Cell::new(None),
                 })

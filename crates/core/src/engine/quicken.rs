@@ -12,7 +12,7 @@
 //! modelling the baseline JIT exactly like the raw interpreter's
 //! `RtCp::*Init` fast paths.
 //!
-//! Semantics intentionally mirror [`crate::interp::step_thread_raw`]
+//! Semantics intentionally mirror `interp::step_thread_raw`
 //! one-for-one: the instruction budget is counted per logical bytecode
 //! instruction — operand-fused forms like `Iinc` count once, while
 //! superinstructions charge their full logical width (an `AddStore` is 4
@@ -933,7 +933,7 @@ pub(crate) fn step_thread_quickened(vm: &mut Vm, tid: ThreadId, budget: u32) -> 
                     }
                     XInsn::InvokeStaticF(si) => {
                         flush_at!(next);
-                        let site = prepared.call_sites.borrow()[si as usize].clone();
+                        let site = prepared.call_sites.borrow()[si as usize].share();
                         // Shared mode drops the init check after first
                         // execution (InvokeStaticFI), like the baseline
                         // JIT; Isolated mode re-checks every time.
@@ -945,7 +945,7 @@ pub(crate) fn step_thread_quickened(vm: &mut Vm, tid: ThreadId, budget: u32) -> 
                     }
                     XInsn::InvokeStaticFI(si) | XInsn::InvokeDirectF(si) => {
                         flush_at!(next);
-                        let site = prepared.call_sites.borrow()[si as usize].clone();
+                        let site = prepared.call_sites.borrow()[si as usize].share();
                         fused_call!(cur, site);
                     }
                     XInsn::InvokeVirtual(cp) => {
@@ -990,7 +990,11 @@ pub(crate) fn step_thread_quickened(vm: &mut Vm, tid: ThreadId, budget: u32) -> 
                         let (vslot, arg_slots, cached) = {
                             let sites = prepared.virt_sites.borrow();
                             let s = &sites[si as usize];
-                            let out = (s.vslot, s.arg_slots, s.cache.borrow().clone());
+                            let out = (
+                                s.vslot,
+                                s.arg_slots,
+                                s.cache.borrow().as_ref().map(|(c, cs)| (*c, cs.share())),
+                            );
                             out
                         };
                         let receiver = check!(cur, peek_receiver(vm, t, fidx, arg_slots));
@@ -1003,7 +1007,7 @@ pub(crate) fn step_thread_quickened(vm: &mut Vm, tid: ThreadId, budget: u32) -> 
                         // cached class and take the plain vtable path.
                         let cache_state = match &cached {
                             Some((cc, site)) if *cc == rc => {
-                                let site = site.clone();
+                                let site = site.share();
                                 fused_call!(cur, site);
                             }
                             Some(_) => CacheState::Polymorphic,
@@ -1025,7 +1029,7 @@ pub(crate) fn step_thread_quickened(vm: &mut Vm, tid: ThreadId, budget: u32) -> 
                                     {
                                         let sites = prepared.virt_sites.borrow();
                                         *sites[si as usize].cache.borrow_mut() =
-                                            Some((rc, site.clone()));
+                                            Some((rc, site.share()));
                                     }
                                     fused_call!(cur, site);
                                 }

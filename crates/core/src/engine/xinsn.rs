@@ -20,8 +20,9 @@
 
 use crate::class::CodeBody;
 use crate::ids::{ClassId, IsolateId, MethodRef};
+use crate::vmrc::VmRc;
 use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Comparison kind for `if*` and `if_icmp*` branches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -511,7 +512,7 @@ pub struct CallSite {
     /// The callee frame's operand-stack capacity hint.
     pub max_stack: u16,
     /// The callee's bytecode, shared with its `RuntimeMethod`.
-    pub code: Rc<CodeBody>,
+    pub code: VmRc<CodeBody>,
     /// `true` when the target belongs to the Java System Library (skips
     /// the poisoning check and executes in the caller's isolate).
     pub is_system: bool,
@@ -534,7 +535,7 @@ pub struct VirtSite {
     /// Last receiver class and the fused shape its target resolved to.
     /// Misses (megamorphic sites, unfuseable targets) fall back to the
     /// vtable lookup and the shared `invoke_resolved` path.
-    pub cache: RefCell<Option<(ClassId, Rc<CallSite>)>>,
+    pub cache: RefCell<Option<(ClassId, VmRc<CallSite>)>>,
 }
 
 /// Per-site state of a quickened string `ldc` ([`XInsn::LdcStr`]).
@@ -560,9 +561,9 @@ pub struct LdcSite {
 #[derive(Debug)]
 pub struct IfaceSite {
     /// Method name.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Method descriptor.
-    pub descriptor: Rc<str>,
+    pub descriptor: Arc<str>,
     /// Argument slots including the receiver.
     pub arg_slots: u16,
     /// Inline cache: last receiver class and the target it resolved to.

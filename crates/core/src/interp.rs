@@ -129,7 +129,7 @@ pub(crate) fn step_thread_raw(vm: &mut Vm, tid: ThreadId, budget: u32) -> u32 {
             Prologue::Redeliver => continue 'outer,
             Prologue::Yield => return consumed,
         };
-        let code = vm.threads[t].frames[fidx].code.clone();
+        let code = vm.threads[t].frames[fidx].code.share();
         let bytes = &code.bytes;
         let mut pc = vm.threads[t].frames[fidx].pc as usize;
         let mut local_insns: u32 = 0;
@@ -1335,7 +1335,7 @@ pub(crate) fn invoke_fused(
         isolate: callee_iso,
         caller_isolate: cur_iso,
         is_system: site.is_system,
-        code: site.code.clone(),
+        code: site.code.share(),
         pc: 0,
         locals,
         stack,
@@ -1715,7 +1715,7 @@ pub(crate) fn unwind(vm: &mut Vm, tid: ThreadId, ex: GcRef) -> bool {
         let may_catch = iso_active && sie_iso != Some(frame_iso);
 
         if may_catch {
-            let code = frame.code.clone();
+            let code = frame.code.share();
             let pc = frame.pc;
             let frame_class = frame.class;
             let mut handler_pc = None;
@@ -2036,7 +2036,7 @@ pub(crate) fn resolve_interface_method(
     vm: &mut Vm,
     class_id: ClassId,
     cp: u16,
-) -> Result<(std::rc::Rc<str>, std::rc::Rc<str>, u16), Thrown> {
+) -> Result<(std::sync::Arc<str>, std::sync::Arc<str>, u16), Thrown> {
     if let RtCp::InterfaceMethod {
         name,
         descriptor,
@@ -2050,8 +2050,8 @@ pub(crate) fn resolve_interface_method(
     let parsed = ijvm_classfile::MethodDescriptor::parse(&mdesc)
         .map_err(|e| link_error("method", e.to_string()))?;
     let arg_slots = parsed.param_slots() as u16 + 1; // + receiver
-    let name: std::rc::Rc<str> = std::rc::Rc::from(mname.as_str());
-    let descriptor: std::rc::Rc<str> = std::rc::Rc::from(mdesc.as_str());
+    let name: std::sync::Arc<str> = std::sync::Arc::from(mname.as_str());
+    let descriptor: std::sync::Arc<str> = std::sync::Arc::from(mdesc.as_str());
     vm.classes[class_id.0 as usize].rtcp[cp as usize] = RtCp::InterfaceMethod {
         name: name.clone(),
         descriptor: descriptor.clone(),

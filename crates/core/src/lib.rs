@@ -17,6 +17,11 @@
 //! * **Isolate termination** — stack patching raises an uncatchable
 //!   `StoppedIsolateException` in code returning to a terminated isolate,
 //!   and every method of the isolate is poisoned.
+//! * **Cluster scheduling** ([`sched`]) — beyond the paper: whole VMs
+//!   are `Send` execution units scheduled across OS workers with
+//!   per-worker run queues and work stealing, keeping per-isolate CPU
+//!   accounting exact at every migration point and delivering isolate
+//!   termination cross-worker.
 //!
 //! The same VM runs in [`vm::IsolationMode::Shared`] as the *baseline*
 //! (the unmodified "LadyVM"/"Sun JVM" whose vulnerabilities the paper
@@ -60,10 +65,12 @@ pub mod interp;
 pub mod isolate;
 pub mod monitor;
 pub mod natives;
+pub mod sched;
 pub mod terminate;
 pub mod thread;
 pub mod value;
 pub mod vm;
+pub mod vmrc;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
@@ -73,6 +80,7 @@ pub mod prelude {
     pub use crate::ids::{ClassId, IsolateId, LoaderId, MethodRef, ThreadId};
     pub use crate::isolate::IsolateState;
     pub use crate::natives::{NativeFn, NativeResult};
+    pub use crate::sched::{Cluster, ClusterCtl, ClusterOutcome, SchedulerKind, UnitId};
     pub use crate::value::{GcRef, Value};
     pub use crate::vm::{IsolationMode, RunOutcome, Vm, VmOptions};
 }

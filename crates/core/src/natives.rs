@@ -10,7 +10,7 @@ use crate::ids::ThreadId;
 use crate::value::{GcRef, Value};
 use crate::vm::Vm;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Outcome of a native call.
 #[derive(Debug)]
@@ -35,8 +35,11 @@ pub enum NativeResult {
 }
 
 /// Signature of a native implementation. Arguments include the receiver
-/// (slot 0) for instance methods.
-pub type NativeFn = Rc<dyn Fn(&mut Vm, ThreadId, &[Value]) -> NativeResult>;
+/// (slot 0) for instance methods. `Send + Sync` because a whole [`Vm`]
+/// is a `Send` execution unit under the parallel scheduler
+/// ([`crate::sched`]): the registry migrates with the VM across worker
+/// threads, so natives may only capture thread-safe state.
+pub type NativeFn = Arc<dyn Fn(&mut Vm, ThreadId, &[Value]) -> NativeResult + Send + Sync>;
 
 /// Registry keyed by `(class_name, method_name, descriptor)`.
 #[derive(Default)]
@@ -87,10 +90,10 @@ impl NativeRegistry {
             .copied()
     }
 
-    /// Fetches a bound function by index (cheap `Rc` clone so the caller
+    /// Fetches a bound function by index (cheap `Arc` clone so the caller
     /// can invoke it while mutating the VM).
     pub fn get(&self, idx: u32) -> NativeFn {
-        Rc::clone(&self.fns[idx as usize])
+        Arc::clone(&self.fns[idx as usize])
     }
 
     /// Number of registered natives.
@@ -116,7 +119,7 @@ mod tests {
             "C",
             "m",
             "()V",
-            Rc::new(|_, _, _| NativeResult::Return(None)),
+            Arc::new(|_, _, _| NativeResult::Return(None)),
         );
         let idx = reg.lookup("C", "m", "()V").unwrap();
         assert_eq!(reg.len(), 1);
@@ -125,7 +128,7 @@ mod tests {
             "C",
             "m",
             "()V",
-            Rc::new(|_, _, _| NativeResult::Return(Some(Value::Int(1)))),
+            Arc::new(|_, _, _| NativeResult::Return(Some(Value::Int(1)))),
         );
         assert_eq!(reg.lookup("C", "m", "()V").unwrap(), idx);
         assert_eq!(reg.len(), 1);

@@ -1,0 +1,501 @@
+//! The cluster scheduler: deterministic and parallel work-stealing
+//! execution of `Send` VM units.
+//!
+//! A [`Vm`] is a complete, self-contained execution unit — its heap,
+//! classes, isolates, green threads, monitors and GC epochs have no
+//! shared mutable state with any other VM, and since the `Arc`
+//! conversion the whole graph is `Send` (asserted at compile time below).
+//! The cluster exploits that: it schedules *units* onto OS worker
+//! threads one quantum slice at a time, and because a parked unit is
+//! plain data, an idle worker can steal it — green threads (with their
+//! full frame stacks, quickened instruction streams and monitor state)
+//! migrate between cores at quantum boundaries by moving the unit that
+//! owns them.
+//!
+//! ```text
+//!            submit()                 ┌────────────┐
+//!   units ──────────────▶ queue[0] ◀──▶  worker 0  │──┐ run one slice,
+//!                         queue[1] ◀──▶  worker 1  │──┤ flush CPU buffer,
+//!                            …            …        │  │ park unit back
+//!                         queue[n] ◀──▶  worker n  │──┘ (now stealable)
+//!                            ▲                │
+//!                            └── steal ◀──────┘  (idle worker, FIFO end)
+//! ```
+//!
+//! **Scheduling modes** ([`SchedulerKind`], selected via
+//! [`crate::vm::VmOptions::scheduler`]):
+//!
+//! * [`SchedulerKind::Deterministic`] — one logical worker on the calling
+//!   thread, strict FIFO over a single queue, no stealing. Byte-for-byte
+//!   reproducible, which keeps it the differential oracle: a parallel run
+//!   must produce identical per-unit results and identical per-isolate
+//!   exact CPU, differing only in which worker ran which slice.
+//! * [`SchedulerKind::Parallel`]`(n)` — `n` OS workers with per-worker
+//!   run queues. A worker pops its own queue from the front and steals
+//!   from a victim's back end when idle. Wall-clock scaling tracks the
+//!   host's cores; correctness does not depend on the core count.
+//!
+//! **Exact accounting at migration points.** While a worker runs a unit
+//! it accumulates exactly-counted instructions into a private
+//! [`WorkerCpuBuffer`]; the buffer drains through
+//! [`crate::accounting::ResourceStats::charge_cpu`] into the shared
+//! [`ClusterAccounts`] *before* the unit is parked where another worker
+//! could steal it (and when it finishes or is terminated). A unit's
+//! pending in-VM counter (`insns_since_switch`) is flushed by
+//! [`Vm::flush_pending_cpu`] at the same boundary, so no instruction is
+//! in flight across a migration and per-isolate totals are bit-identical
+//! across scheduler modes — the invariant the cross-mode proptests pin.
+//!
+//! **Cross-worker termination.** [`ClusterCtl::terminate`] requests an
+//! isolate kill from any thread; the request is delivered by whichever
+//! worker next picks the unit up, *before* its next slice — a poisoned
+//! isolate's threads therefore stop at the next quantum boundary on
+//! whatever core they happen to run, exactly the paper-§3.3 semantics
+//! lifted across cores.
+
+use crate::accounting::{ClusterAccounts, WorkerCpuBuffer};
+use crate::ids::IsolateId;
+use crate::vm::{RunOutcome, Vm, VmOptions};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Compile-time proof that a whole VM is a `Send` execution unit — the
+/// property the work-stealing scheduler is built on. If any field of the
+/// VM graph regresses to a thread-unsafe shared handle, this fails to
+/// compile rather than failing in a data race.
+fn _assert_vm_is_send() {
+    fn is_send<T: Send>() {}
+    is_send::<Vm>();
+    is_send::<Unit>();
+}
+
+/// How the cluster schedules its units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Single logical worker on the calling thread, strict FIFO, no
+    /// stealing: fully reproducible, the differential oracle (and the
+    /// default).
+    #[default]
+    Deterministic,
+    /// `n` OS worker threads with per-worker run queues and work
+    /// stealing. `Parallel(0)` is treated as `Parallel(1)`.
+    Parallel(usize),
+}
+
+impl SchedulerKind {
+    /// Number of workers this mode schedules onto.
+    pub fn workers(self) -> usize {
+        match self {
+            SchedulerKind::Deterministic => 1,
+            SchedulerKind::Parallel(n) => n.max(1),
+        }
+    }
+}
+
+/// Identifies an execution unit within one [`Cluster`], in submission
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UnitId(pub u32);
+
+/// A scheduled unit: a VM plus its migration bookkeeping.
+#[derive(Debug)]
+struct Unit {
+    id: UnitId,
+    vm: Vm,
+    /// Quantum slices executed so far.
+    slices: u64,
+    /// Worker that ran the previous slice, for migration counting.
+    last_worker: Option<usize>,
+    /// Cross-worker migrations this unit underwent.
+    migrations: u64,
+    /// Per-isolate `cpu_exact` values already harvested into a worker
+    /// buffer, so each boundary charges only the delta.
+    cpu_seen: Vec<u64>,
+}
+
+impl Unit {
+    /// Flushes the VM's pending CPU and records the per-isolate deltas
+    /// since the last boundary into `buffer`. Called at every slice
+    /// boundary, before the unit can migrate.
+    fn harvest_cpu(&mut self, buffer: &mut WorkerCpuBuffer) {
+        self.vm.flush_pending_cpu();
+        let count = self.vm.isolate_count();
+        if self.cpu_seen.len() < count {
+            self.cpu_seen.resize(count, 0);
+        }
+        for i in 0..count {
+            let iso = IsolateId(i as u16);
+            let cur = self.vm.isolate_stats(iso).map_or(0, |s| s.cpu_exact);
+            let delta = cur - self.cpu_seen[i];
+            if delta > 0 {
+                buffer.record(self.id, iso, delta);
+                self.cpu_seen[i] = cur;
+            }
+        }
+    }
+}
+
+/// What happened to one unit, reported after the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitReport {
+    /// The unit.
+    pub id: UnitId,
+    /// Terminal outcome: [`RunOutcome::Idle`] (all work finished) or
+    /// [`RunOutcome::Deadlock`] (its threads blocked on each other).
+    pub outcome: RunOutcome,
+    /// Quantum slices the unit consumed.
+    pub slices: u64,
+    /// Times the unit changed workers between consecutive slices.
+    pub migrations: u64,
+}
+
+/// Everything a finished cluster run returns. `vms` and `reports` are in
+/// [`UnitId`] order regardless of completion order, so observations are
+/// directly comparable across scheduler modes.
+#[derive(Debug)]
+pub struct ClusterOutcome {
+    /// The units' VMs, for result/console/stats inspection.
+    pub vms: Vec<Vm>,
+    /// Per-unit scheduling reports.
+    pub reports: Vec<UnitReport>,
+    /// Cluster-level per-isolate exact CPU, fed only through worker
+    /// buffers draining at migration points.
+    pub accounts: ClusterAccounts,
+    /// Units taken from another worker's queue.
+    pub steals: u64,
+    /// Total cross-worker unit migrations.
+    pub migrations: u64,
+}
+
+/// A pending cross-worker termination request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct KillRequest {
+    unit: UnitId,
+    isolate: IsolateId,
+}
+
+/// Shared remote-control handle for a cluster (cloneable, thread-safe).
+#[derive(Debug, Clone, Default)]
+pub struct ClusterCtl {
+    inner: Arc<CtlInner>,
+}
+
+#[derive(Debug, Default)]
+struct CtlInner {
+    /// Fast-path flag so workers only lock the kill list when a request
+    /// is actually pending.
+    armed: AtomicBool,
+    kills: Mutex<Vec<KillRequest>>,
+}
+
+impl ClusterCtl {
+    /// Requests termination of `isolate` inside `unit`. Delivered by
+    /// whichever worker next schedules the unit, before its next quantum
+    /// slice — the dying isolate's threads stop at the next quantum
+    /// boundary on whatever core they run. Requests filed before
+    /// [`Cluster::run`] are delivered before the unit's first slice.
+    pub fn terminate(&self, unit: UnitId, isolate: IsolateId) {
+        let mut kills = self.inner.kills.lock().unwrap();
+        kills.push(KillRequest { unit, isolate });
+        // Armed while still holding the lock, mirroring `take_for`'s
+        // clear-under-lock: at every unlock, `armed` agrees with
+        // `!kills.is_empty()`, so a worker's fast-path read can only
+        // say "false" for a kill that had not been filed yet.
+        self.inner.armed.store(true, Ordering::Release);
+    }
+
+    /// Takes the kill requests addressed to `unit`, if any.
+    fn take_for(&self, unit: UnitId) -> Vec<IsolateId> {
+        if !self.inner.armed.load(Ordering::Acquire) {
+            return Vec::new();
+        }
+        let mut kills = self.inner.kills.lock().unwrap();
+        let mut taken = Vec::new();
+        kills.retain(|k| {
+            if k.unit == unit {
+                taken.push(k.isolate);
+                false
+            } else {
+                true
+            }
+        });
+        if kills.is_empty() {
+            self.inner.armed.store(false, Ordering::Release);
+        }
+        taken
+    }
+}
+
+/// The cluster: a set of submitted units plus a scheduling mode.
+#[derive(Debug)]
+pub struct Cluster {
+    kind: SchedulerKind,
+    slice: u64,
+    units: Vec<Unit>,
+    ctl: ClusterCtl,
+}
+
+/// Default instruction budget of one quantum slice (mirrors the default
+/// in-VM scheduler quantum, so one slice is one thread quantum).
+pub const DEFAULT_SLICE: u64 = 10_000;
+
+impl Cluster {
+    /// Creates an empty cluster scheduling with `kind`.
+    pub fn new(kind: SchedulerKind) -> Cluster {
+        Cluster {
+            kind,
+            slice: DEFAULT_SLICE,
+            units: Vec::new(),
+            ctl: ClusterCtl::default(),
+        }
+    }
+
+    /// Creates a cluster with the mode selected in `options` (the other
+    /// options govern the individual VMs, not the cluster).
+    pub fn from_options(options: &VmOptions) -> Cluster {
+        Cluster::new(options.scheduler)
+    }
+
+    /// Overrides the per-slice instruction budget (mostly for tests: a
+    /// tiny slice forces many migration points).
+    pub fn with_slice(mut self, slice: u64) -> Cluster {
+        self.slice = slice.max(1);
+        self
+    }
+
+    /// Submits a prepared VM (isolates created, entry threads spawned via
+    /// [`Vm::spawn_thread`], nothing run yet) as an execution unit.
+    pub fn submit(&mut self, vm: Vm) -> UnitId {
+        let id = UnitId(self.units.len() as u32);
+        self.units.push(Unit {
+            id,
+            vm,
+            slices: 0,
+            last_worker: None,
+            migrations: 0,
+            cpu_seen: Vec::new(),
+        });
+        id
+    }
+
+    /// Number of submitted units.
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// The remote-control handle (clone it before [`Cluster::run`] to
+    /// file termination requests from other threads mid-run).
+    pub fn ctl(&self) -> ClusterCtl {
+        self.ctl.clone()
+    }
+
+    /// Runs every unit to completion and returns the outcome. Consumes
+    /// the cluster: the VMs come back in the outcome for inspection.
+    pub fn run(self) -> ClusterOutcome {
+        let workers = self.kind.workers();
+        let shared = Shared::new(workers, self.slice, self.units, self.ctl);
+        match self.kind {
+            SchedulerKind::Deterministic => shared.worker_loop(0),
+            SchedulerKind::Parallel(_) => {
+                std::thread::scope(|scope| {
+                    for w in 0..workers {
+                        let shared = &shared;
+                        scope.spawn(move || shared.worker_loop(w));
+                    }
+                });
+            }
+        }
+        shared.into_outcome()
+    }
+}
+
+/// State shared by the workers of one running cluster.
+#[derive(Debug)]
+struct Shared {
+    slice: u64,
+    queues: Vec<Mutex<VecDeque<Unit>>>,
+    /// Units not yet finished; workers exit when this reaches zero.
+    outstanding: AtomicUsize,
+    /// Park/unpark for idle workers (paired with `parked`).
+    parked: Mutex<()>,
+    unpark: Condvar,
+    ctl: ClusterCtl,
+    accounts: Mutex<ClusterAccounts>,
+    finished: Mutex<Vec<(UnitReport, Vm)>>,
+    steals: AtomicU64,
+    migrations: AtomicU64,
+}
+
+impl Shared {
+    fn new(workers: usize, slice: u64, units: Vec<Unit>, ctl: ClusterCtl) -> Shared {
+        let queues: Vec<Mutex<VecDeque<Unit>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        let outstanding = units.len();
+        // Seed round-robin so every worker starts with local work.
+        for (i, unit) in units.into_iter().enumerate() {
+            queues[i % workers].lock().unwrap().push_back(unit);
+        }
+        Shared {
+            slice,
+            queues,
+            outstanding: AtomicUsize::new(outstanding),
+            parked: Mutex::new(()),
+            unpark: Condvar::new(),
+            ctl,
+            accounts: Mutex::new(ClusterAccounts::default()),
+            finished: Mutex::new(Vec::new()),
+            steals: AtomicU64::new(0),
+            migrations: AtomicU64::new(0),
+        }
+    }
+
+    /// Pops local work from the front (FIFO, the deterministic order).
+    fn pop_local(&self, w: usize) -> Option<Unit> {
+        self.queues[w].lock().unwrap().pop_front()
+    }
+
+    /// Steals from the back of the first non-empty victim queue.
+    fn steal(&self, w: usize) -> Option<Unit> {
+        let n = self.queues.len();
+        for off in 1..n {
+            let victim = (w + off) % n;
+            if let Some(unit) = self.queues[victim].lock().unwrap().pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(unit);
+            }
+        }
+        None
+    }
+
+    /// One worker: pop → deliver kills → run a slice → flush accounting →
+    /// park the unit back (stealable) or finish it.
+    fn worker_loop(&self, w: usize) {
+        let mut buffer = WorkerCpuBuffer::default();
+        loop {
+            let Some(mut unit) = self.pop_local(w).or_else(|| self.steal(w)) else {
+                if self.outstanding.load(Ordering::Acquire) == 0 {
+                    return;
+                }
+                // Units exist but other workers hold them: park briefly.
+                // The timeout makes lost wakeups harmless.
+                let guard = self.parked.lock().unwrap();
+                let _ = self
+                    .unpark
+                    .wait_timeout(guard, std::time::Duration::from_millis(1))
+                    .unwrap();
+                continue;
+            };
+
+            // Cross-worker termination lands at the quantum boundary,
+            // before the next slice, on whatever core the unit is on.
+            for iso in self.ctl.take_for(unit.id) {
+                // Best-effort: Shared-mode units and unknown isolates
+                // simply ignore the request.
+                let _ = unit.vm.terminate_isolate(iso);
+            }
+
+            if unit.last_worker.is_some_and(|prev| prev != w) {
+                unit.migrations += 1;
+                self.migrations.fetch_add(1, Ordering::Relaxed);
+            }
+            unit.last_worker = Some(w);
+
+            let outcome = unit.vm.run(Some(self.slice));
+            unit.slices += 1;
+            unit.harvest_cpu(&mut buffer);
+
+            // Drain the worker buffer *before* the unit becomes visible
+            // to other workers: accounting is exact at every point where
+            // a steal could move the unit to another core.
+            buffer.drain_into(&mut self.accounts.lock().unwrap());
+
+            match outcome {
+                RunOutcome::BudgetExhausted => {
+                    self.queues[w].lock().unwrap().push_back(unit);
+                    self.unpark.notify_all();
+                }
+                outcome => {
+                    let report = UnitReport {
+                        id: unit.id,
+                        outcome,
+                        slices: unit.slices,
+                        migrations: unit.migrations,
+                    };
+                    self.finished.lock().unwrap().push((report, unit.vm));
+                    if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        self.unpark.notify_all();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects the outcome, restoring [`UnitId`] order.
+    fn into_outcome(self) -> ClusterOutcome {
+        let mut done = self.finished.into_inner().unwrap();
+        done.sort_by_key(|(r, _)| r.id);
+        let (reports, vms) = done.into_iter().unzip();
+        ClusterOutcome {
+            vms,
+            reports,
+            accounts: self.accounts.into_inner().unwrap(),
+            steals: self.steals.load(Ordering::Relaxed),
+            migrations: self.migrations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_kind_worker_counts() {
+        assert_eq!(SchedulerKind::Deterministic.workers(), 1);
+        assert_eq!(SchedulerKind::Parallel(0).workers(), 1);
+        assert_eq!(SchedulerKind::Parallel(4).workers(), 4);
+    }
+
+    #[test]
+    fn ctl_kill_requests_route_by_unit() {
+        let ctl = ClusterCtl::default();
+        assert!(ctl.take_for(UnitId(0)).is_empty(), "idle ctl is free");
+        ctl.terminate(UnitId(0), IsolateId(1));
+        ctl.terminate(UnitId(1), IsolateId(2));
+        ctl.terminate(UnitId(0), IsolateId(3));
+        assert_eq!(ctl.take_for(UnitId(0)), vec![IsolateId(1), IsolateId(3)]);
+        assert_eq!(ctl.take_for(UnitId(1)), vec![IsolateId(2)]);
+        assert!(ctl.take_for(UnitId(1)).is_empty());
+        assert!(!ctl.inner.armed.load(Ordering::Acquire));
+    }
+
+    /// The steal path takes from the *back* of a victim queue while the
+    /// owner pops from the front — the two never contend for the same
+    /// unit unless it is the last one.
+    #[test]
+    fn steal_takes_from_victim_back() {
+        let mk = |id: u32| Unit {
+            id: UnitId(id),
+            vm: Vm::new(VmOptions::isolated()),
+            slices: 0,
+            last_worker: None,
+            migrations: 0,
+            cpu_seen: Vec::new(),
+        };
+        let shared = Shared::new(
+            2,
+            100,
+            vec![mk(0), mk(1), mk(2), mk(3)],
+            ClusterCtl::default(),
+        );
+        // Round-robin seeding: q0 = [0, 2], q1 = [1, 3].
+        assert_eq!(shared.pop_local(0).unwrap().id, UnitId(0));
+        assert_eq!(shared.steal(0).unwrap().id, UnitId(3), "steals the back");
+        assert_eq!(shared.pop_local(1).unwrap().id, UnitId(1));
+        assert_eq!(shared.steal(1).unwrap().id, UnitId(2));
+        assert!(shared.pop_local(0).is_none());
+        assert!(shared.steal(0).is_none());
+        assert_eq!(shared.steals.load(Ordering::Relaxed), 2);
+    }
+}

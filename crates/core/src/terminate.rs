@@ -14,6 +14,14 @@
 //!    inside the system library on the isolate's behalf;
 //! 4. drops the isolate's string map and task class mirrors so the GC can
 //!    reclaim everything not shared with other isolates.
+//!
+//! Under the parallel cluster scheduler the same protocol is delivered
+//! *cross-worker*: [`crate::sched::ClusterCtl::terminate`] files a kill
+//! request from any thread, and whichever worker next picks the unit up
+//! applies [`Vm::terminate_isolate`] before the unit's next quantum
+//! slice — the poisoned isolate's threads stop at the next quantum
+//! boundary on whatever core they happen to run, with everything they
+//! burned beforehand already charged exactly.
 
 use crate::error::{Result, VmError};
 use crate::ids::IsolateId;
@@ -99,7 +107,7 @@ impl Vm {
         self.isolates[target.0 as usize].strings.clear();
         let mi = target.0 as usize;
         let dead_classes: Vec<bool> = self.classes.iter().map(|c| c.loader == loader).collect();
-        let empty_code = std::rc::Rc::new(crate::class::CodeBody {
+        let empty_code = crate::vmrc::VmRc::new(crate::class::CodeBody {
             max_stack: 0,
             max_locals: 0,
             bytes: Vec::new(),
@@ -120,7 +128,7 @@ impl Vm {
                 // Surviving classes may hold fused call shapes in their
                 // prepared streams whose `CallSite` points at a dying
                 // class: the poisoning check rejects every such call, but
-                // the cached `Rc<CodeBody>` would keep the dead isolate's
+                // the cached `Arc<CodeBody>` would keep the dead isolate's
                 // bytecode alive forever.
                 for method in &class.methods {
                     let Some(prepared) = &method.prepared else {
@@ -149,12 +157,12 @@ impl Vm {
                     // `is_system` poisoning skip cannot apply.)
                     for site in prepared.call_sites.borrow_mut().iter_mut() {
                         if is_dead(site.target.class) {
-                            *site = std::rc::Rc::new(crate::engine::CallSite {
+                            *site = crate::vmrc::VmRc::new(crate::engine::CallSite {
                                 target: site.target,
                                 arg_slots: site.arg_slots,
                                 max_locals: site.max_locals,
                                 max_stack: site.max_stack,
-                                code: empty_code.clone(),
+                                code: empty_code.share(),
                                 is_system: site.is_system,
                                 frame_isolate: site.frame_isolate,
                             });

@@ -4,11 +4,21 @@
 //! quanta). A thread carries the isolate it is *currently executing in* —
 //! the isolate reference that inter-isolate calls update (paper §3.1) and
 //! that CPU sampling reads (paper §3.2).
+//!
+//! Green threads never leave their VM, but the VM itself is a `Send`
+//! execution unit: under the parallel cluster scheduler
+//! ([`crate::sched`]) a whole VM — frames, frame pools, monitors and all
+//! — migrates between OS workers at quantum-slice boundaries, so a green
+//! thread's next quantum may run on a different core than its last. The
+//! thread's `insns_since_switch` counter is flushed through
+//! [`crate::accounting::ResourceStats::charge_cpu`] at every such
+//! boundary ([`crate::vm::Vm::flush_pending_cpu`]), which keeps exact
+//! per-isolate CPU attribution bit-identical no matter where slices ran.
 
 use crate::class::CodeBody;
 use crate::ids::{ClassId, IsolateId, MethodRef, ThreadId};
 use crate::value::{GcRef, Value};
-use std::rc::Rc;
+use crate::vmrc::VmRc;
 
 /// Upper bound on buffers a [`FramePool`] retains. Deep recursion returns
 /// many buffers at once; beyond this the excess is simply dropped.
@@ -32,8 +42,8 @@ const MAX_POOLED_BUF_SLOTS: usize = 256;
 /// the pool (the raw interpreter stays allocation-identical as the
 /// differential oracle); every engine *feeds* it on frame teardown.
 ///
-/// Retention is bounded in both dimensions: at most [`MAX_POOLED_BUFS`]
-/// buffers, each capped at [`MAX_POOLED_BUF_SLOTS`] slots, so the worst
+/// Retention is bounded in both dimensions: at most `MAX_POOLED_BUFS`
+/// buffers, each capped at `MAX_POOLED_BUF_SLOTS` slots, so the worst
 /// case is `64 × 256 × size_of::<Value>()` per live thread regardless of
 /// how deep or wide past call chains were.
 #[derive(Debug, Default)]
@@ -141,7 +151,7 @@ pub struct Frame {
     /// skips such frames during accounting (paper §3.2 step 3).
     pub is_system: bool,
     /// The bytecode body.
-    pub code: Rc<CodeBody>,
+    pub code: VmRc<CodeBody>,
     /// Current program counter (byte offset).
     pub pc: u32,
     /// Local variable slots.

@@ -1,5 +1,10 @@
 //! The virtual machine: owns the heap, classes, isolates and threads, and
 //! drives the deterministic green-thread scheduler.
+//!
+//! A `Vm` is also the unit the cluster scheduler ([`crate::sched`])
+//! migrates between OS workers: everything it owns is `Send`, runs are
+//! sliceable ([`Vm::run`] with a budget), and pending exact CPU can be
+//! flushed at any slice boundary ([`Vm::flush_pending_cpu`]).
 
 use crate::accounting::{IsolateSnapshot, ResourceStats};
 use crate::class::{
@@ -14,7 +19,7 @@ use crate::thread::{Frame, ThreadState, VmThread};
 use crate::value::{GcRef, Value};
 use ijvm_classfile::{AccessFlags, ClassFile, MethodDescriptor};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Whether the VM runs with I-JVM isolation or as the unmodified baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +51,11 @@ pub struct VmOptions {
     /// Per-isolate resource accounting. Defaults to `true` in `Isolated`
     /// mode; separable so benchmarks can ablate accounting cost.
     pub accounting: bool,
+    /// Cluster scheduling mode (see [`crate::sched::SchedulerKind`]).
+    /// Consulted by [`crate::sched::Cluster::from_options`]; a single
+    /// `Vm` always runs its own green threads deterministically —
+    /// parallelism is across `Send` VM units, never inside one.
+    pub scheduler: crate::sched::SchedulerKind,
     /// Hard heap limit; allocation beyond it triggers GC, then
     /// `OutOfMemoryError`.
     pub heap_limit_bytes: usize,
@@ -69,6 +79,7 @@ impl Default for VmOptions {
             engine: crate::engine::EngineKind::default(),
             superinstructions: true,
             accounting: true,
+            scheduler: crate::sched::SchedulerKind::default(),
             heap_limit_bytes: 256 << 20,
             max_threads: 4096,
             max_frames: 1024,
@@ -102,6 +113,12 @@ impl VmOptions {
     /// The same options with superinstruction fusion toggled.
     pub fn with_superinstructions(mut self, fuse: bool) -> VmOptions {
         self.superinstructions = fuse;
+        self
+    }
+
+    /// The same options with a different cluster scheduling mode.
+    pub fn with_scheduler(mut self, scheduler: crate::sched::SchedulerKind) -> VmOptions {
+        self.scheduler = scheduler;
         self
     }
 }
@@ -179,6 +196,14 @@ pub struct Vm {
     pub(crate) migrations: u64,
     /// Set when `System.exit` is called; `run` stops.
     pub(crate) exit_code: Option<i32>,
+    /// Keeps `Vm: !Sync` no matter what the fields auto-derive: a VM is
+    /// a `Send` unit owned by one thread at a time, never shared — the
+    /// invariant the engine's interior-mutable caches
+    /// ([`crate::engine::PreparedCode`]) and the unit-confined
+    /// [`crate::vmrc::VmRc`] refcounts are sound under. Sharing `&Vm`
+    /// across threads would let two threads race on those caches, so
+    /// the capability is denied at the type level.
+    pub(crate) not_sync: std::marker::PhantomData<std::cell::Cell<u8>>,
 }
 
 impl Vm {
@@ -213,6 +238,7 @@ impl Vm {
             well_known: WellKnown::default(),
             migrations: 0,
             exit_code: None,
+            not_sync: std::marker::PhantomData,
         }
     }
 
@@ -385,7 +411,7 @@ impl Vm {
 
     /// Links a parsed class file into the VM under `loader`.
     pub fn define_class(&mut self, loader: LoaderId, cf: ClassFile) -> Result<ClassId> {
-        let name: Rc<str> = Rc::from(cf.name()?);
+        let name: Arc<str> = Arc::from(cf.name()?);
 
         let super_class = match cf.super_name()? {
             Some(s) => Some(self.load_class(loader, s)?),
@@ -413,8 +439,8 @@ impl Vm {
         let mut static_fields = Vec::new();
         for f in &cf.fields {
             let fd = FieldDesc {
-                name: Rc::from(cf.pool.utf8_at(f.name)?),
-                descriptor: Rc::from(cf.pool.utf8_at(f.descriptor)?),
+                name: Arc::from(cf.pool.utf8_at(f.name)?),
+                descriptor: Arc::from(cf.pool.utf8_at(f.descriptor)?),
                 access: f.access,
                 declared_in: id,
             };
@@ -437,7 +463,7 @@ impl Vm {
                 arg_slots += 1;
             }
             let code = m.code.as_ref().map(|c| {
-                Rc::new(CodeBody {
+                crate::vmrc::VmRc::new(CodeBody {
                     max_stack: c.max_stack,
                     max_locals: c.max_locals,
                     bytes: c.code.clone(),
@@ -450,8 +476,8 @@ impl Vm {
                 None
             };
             methods.push(RuntimeMethod {
-                name: Rc::from(mname),
-                descriptor: Rc::from(mdesc),
+                name: Arc::from(mname),
+                descriptor: Arc::from(mdesc),
                 access: m.access,
                 arg_slots,
                 returns_value: !parsed.is_void(),
@@ -513,7 +539,7 @@ impl Vm {
         let rtcp = vec![RtCp::Untouched; cf.pool.len() + 1];
         let class = RuntimeClass {
             id,
-            name: Rc::clone(&name),
+            name: Arc::clone(&name),
             loader,
             isolate,
             is_system,
@@ -858,7 +884,7 @@ impl Vm {
             .code
             .as_ref()
             .expect("make_frame on non-bytecode method")
-            .clone();
+            .share();
         let is_system = class.is_system;
         let isolate = if self.frame_executes_in_caller(method) {
             caller_isolate
@@ -1122,7 +1148,16 @@ impl Vm {
             RunOutcome::BudgetExhausted => return Err(VmError::BudgetExhausted),
             RunOutcome::Idle => {}
         }
-        let t = &self.threads[tid.0 as usize];
+        self.thread_outcome(tid)
+    }
+
+    /// The outcome of a finished thread, as [`Vm::call_static`] reports
+    /// it: its return value, or the uncaught exception that killed it as
+    /// a [`VmError::UncaughtException`]. Shared with the cluster
+    /// scheduler so a unit run under [`crate::sched::Cluster`] reports
+    /// results identically to a plain `call_static` run.
+    pub fn thread_outcome(&self, tid: ThreadId) -> Result<Option<Value>> {
+        let t = self.thread(tid)?;
         if let Some(ex) = t.uncaught {
             let class_name = self.classes[self.heap.get(ex).class.0 as usize]
                 .name
@@ -1134,6 +1169,29 @@ impl Vm {
             });
         }
         Ok(t.result)
+    }
+
+    /// Flushes every thread's pending exactly-counted instructions
+    /// (`insns_since_switch`) into its *current* isolate through
+    /// [`ResourceStats::charge_cpu`] — the same attribution an
+    /// isolate-switch flush would make, just taken early. The cluster
+    /// scheduler calls this at every quantum-slice boundary so no
+    /// instruction is in flight when a unit migrates between workers;
+    /// totals are unchanged because the in-VM flush points drain the
+    /// same counter.
+    pub fn flush_pending_cpu(&mut self) {
+        if !self.options.accounting {
+            return;
+        }
+        for t in 0..self.threads.len() {
+            let insns = std::mem::take(&mut self.threads[t].insns_since_switch);
+            if insns > 0 {
+                let iso = self.threads[t].current_isolate;
+                if let Some(i) = self.isolates.get_mut(iso.0 as usize) {
+                    i.stats.charge_cpu(insns);
+                }
+            }
+        }
     }
 
     /// The detail message of an exception object, if it has one.

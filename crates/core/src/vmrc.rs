@@ -1,0 +1,196 @@
+//! [`VmRc`]: unit-confined shared ownership with a non-atomic refcount.
+//!
+//! The hot call path clones a shared code-body handle on every frame
+//! push and drops it on every pop. With `std::rc::Rc` that is a plain
+//! increment; with `std::sync::Arc` it is two locked RMWs per call —
+//! measured at 10–20% on the call micro-benchmarks — paid for a
+//! synchronization capability the VM never uses: these handles are
+//! **unit-confined**. Every clone of a given allocation lives inside
+//! the one [`crate::vm::Vm`] that created it (the method/class tables,
+//! executing frames, prepared-stream caches), and a `Vm` is accessed by
+//! at most one thread at a time — it *moves* between scheduler workers
+//! ([`crate::sched`]) but is never shared (`Vm` is deliberately
+//! `!Sync`; see the marker in [`crate::vm::Vm`]).
+//!
+//! `VmRc` makes that trade explicit: `Rc`-speed refcounting, `Send`
+//! because the confinement invariant means the refcount can only ever
+//! be touched by the thread currently owning the VM.
+//!
+//! **Invariant (enforced by visibility, not just documented):** all
+//! handles to a given allocation stay within the VM unit that created
+//! it. The type deliberately does **not** implement `Clone` — new
+//! handles are minted only through the `pub(crate)` `VmRc::share`,
+//! so code outside this crate can never hold two handles to one
+//! allocation (it only ever sees `&VmRc` through VM accessors, and
+//! [`VmRc::new`] hands out a lone handle). With at most one external
+//! handle per allocation, the non-atomic refcount cannot be raced from
+//! safe code.
+
+use std::cell::Cell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Deref;
+use std::ptr::NonNull;
+
+struct Inner<T: ?Sized> {
+    count: Cell<usize>,
+    value: T,
+}
+
+/// A unit-confined shared pointer: `Rc`-cost cloning, `Send` movement
+/// as part of its owning VM (see the module docs for the invariant).
+pub struct VmRc<T> {
+    ptr: NonNull<Inner<T>>,
+    _marker: PhantomData<Inner<T>>,
+}
+
+// SAFETY: the refcount is a plain `Cell`, so `VmRc` is only sound to
+// move across threads because of the confinement invariant the module
+// docs spell out — and that invariant is closed under the visible API:
+// (1) inside the crate, every handle to an allocation lives in one
+// `Vm`, which is owned by one thread at a time and is `!Sync`, so
+// shares, derefs and drops are serialized by the unit's exclusive
+// ownership; (2) outside the crate, `Clone` does not exist and
+// `VmRc::share` is `pub(crate)`, so safe external code can never hold
+// two handles to the same allocation (references obtained through VM
+// accessors cannot cross threads either — `VmRc` and `Vm` are both
+// `!Sync`), and a lone handle cannot race its own count. That
+// serialization is also why `T: Send` suffices where `Arc` would
+// demand `T: Send + Sync`: confinement rules out the cross-thread
+// `&T` aliasing `Sync` exists to police.
+unsafe impl<T: Send> Send for VmRc<T> {}
+
+impl<T> VmRc<T> {
+    /// Allocates a new confined shared value.
+    pub fn new(value: T) -> VmRc<T> {
+        let inner = Box::new(Inner {
+            count: Cell::new(1),
+            value,
+        });
+        VmRc {
+            ptr: NonNull::from(Box::leak(inner)),
+            _marker: PhantomData,
+        }
+    }
+
+    #[inline]
+    fn inner(&self) -> &Inner<T> {
+        // SAFETY: the pointer is live as long as any handle exists.
+        unsafe { self.ptr.as_ref() }
+    }
+
+    /// Number of live handles to this allocation (test/introspection
+    /// hook, like `Rc::strong_count`).
+    pub fn ref_count(this: &VmRc<T>) -> usize {
+        this.inner().count.get()
+    }
+
+    /// `true` when both handles point at the same allocation.
+    pub fn ptr_eq(a: &VmRc<T>, b: &VmRc<T>) -> bool {
+        a.ptr == b.ptr
+    }
+}
+
+impl<T> VmRc<T> {
+    /// Mints another handle to this allocation. Crate-internal on
+    /// purpose: every share stays inside the owning VM, which is what
+    /// keeps the non-atomic count sound (see the module docs). The
+    /// count is overflow-checked the way `Rc`'s is — wrapping it via
+    /// `mem::forget` loops would otherwise free the allocation under
+    /// live handles.
+    #[inline]
+    pub(crate) fn share(&self) -> VmRc<T> {
+        let count = &self.inner().count;
+        let n = count.get();
+        if n == usize::MAX {
+            std::process::abort();
+        }
+        count.set(n + 1);
+        VmRc {
+            ptr: self.ptr,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Drop for VmRc<T> {
+    #[inline]
+    fn drop(&mut self) {
+        let count = &self.inner().count;
+        let n = count.get();
+        if n == 1 {
+            // SAFETY: last handle; nothing can observe the box after
+            // this (see the confinement invariant).
+            drop(unsafe { Box::from_raw(self.ptr.as_ptr()) });
+        } else {
+            count.set(n - 1);
+        }
+    }
+}
+
+impl<T> Deref for VmRc<T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner().value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for VmRc<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        T::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_and_drop_track_the_count() {
+        let a = VmRc::new(41);
+        assert_eq!(VmRc::ref_count(&a), 1);
+        let b = a.share();
+        assert_eq!(*b, 41);
+        assert_eq!(VmRc::ref_count(&a), 2);
+        assert!(VmRc::ptr_eq(&a, &b));
+        drop(b);
+        assert_eq!(VmRc::ref_count(&a), 1);
+    }
+
+    #[test]
+    fn drops_the_value_exactly_once() {
+        struct Probe<'a>(&'a Cell<u32>);
+        impl Drop for Probe<'_> {
+            fn drop(&mut self) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let drops = Cell::new(0);
+        let a = VmRc::new(Probe(&drops));
+        let b = a.share();
+        let c = b.share();
+        drop(a);
+        drop(c);
+        assert_eq!(drops.get(), 0);
+        drop(b);
+        assert_eq!(drops.get(), 1);
+    }
+
+    #[test]
+    fn moves_between_threads_with_its_unit() {
+        // A whole group of handles (a stand-in for a VM unit) moves to
+        // another thread, is used and dropped there.
+        let unit = (VmRc::new(String::from("code")), Vec::<VmRc<String>>::new());
+        let (rc, mut frames) = unit;
+        frames.push(rc.share());
+        let out = std::thread::spawn(move || {
+            frames.push(rc.share());
+            format!("{}x{}", *rc, frames.len())
+        })
+        .join()
+        .unwrap();
+        assert_eq!(out, "codex2");
+    }
+}

@@ -25,6 +25,11 @@ use proptest::prelude::*;
 struct Candidate {
     engine: EngineKind,
     superinstructions: bool,
+    /// Run through the parallel work-stealing cluster scheduler
+    /// (`SchedulerKind::Parallel(2)`, sliced) instead of a plain
+    /// `Vm::run` — the whole observation set must still match the raw
+    /// oracle bit for bit.
+    cluster: bool,
 }
 
 /// Isolation modes selected by `IJVM_DIFF_ISOLATION`.
@@ -42,28 +47,43 @@ fn selected_candidates() -> Vec<Candidate> {
     let quickened = Candidate {
         engine: EngineKind::Quickened,
         superinstructions: true,
+        cluster: false,
     };
     let quickened_nofuse = Candidate {
         engine: EngineKind::Quickened,
         superinstructions: false,
+        cluster: false,
     };
     let threaded = Candidate {
         engine: EngineKind::Threaded,
         superinstructions: true,
+        cluster: false,
     };
     let threaded_nofuse = Candidate {
         engine: EngineKind::Threaded,
         superinstructions: false,
+        cluster: false,
     };
     match std::env::var("IJVM_DIFF_ENGINE").as_deref() {
         Ok("quickened") => vec![quickened],
         Ok("quickened-nofuse") => vec![quickened_nofuse],
         Ok("threaded") => vec![threaded],
         Ok("threaded-nofuse") => vec![threaded_nofuse],
+        // Cluster lanes: the default engine driven by the parallel
+        // work-stealing scheduler, fused and unfused.
+        Ok("parallel") => vec![Candidate {
+            cluster: true,
+            ..threaded
+        }],
+        Ok("parallel-nofuse") => vec![Candidate {
+            cluster: true,
+            ..threaded_nofuse
+        }],
         // Control lane: the oracle against itself, catching harness bugs.
         Ok("raw") => vec![Candidate {
             engine: EngineKind::Raw,
             superinstructions: true,
+            cluster: false,
         }],
         Ok(other) if !other.is_empty() => panic!("bad IJVM_DIFF_ENGINE {other:?}"),
         _ => vec![quickened, quickened_nofuse, threaded, threaded_nofuse],
@@ -105,7 +125,50 @@ fn run_program(
         vm.add_class_bytes(loader, &name, bytes);
     }
     let class = vm.load_class(loader, entry).unwrap();
+    if candidate.cluster {
+        return run_in_cluster(vm, class, method, desc, args, iso);
+    }
     let outcome = vm.call_static_as(class, method, desc, args, iso);
+    observe(&mut vm, outcome)
+}
+
+/// Runs the prepared program as one unit of a two-worker parallel
+/// cluster (sliced, so the unit crosses many quantum boundaries and is
+/// stealable between them), then reports the outcome exactly as
+/// `Vm::call_static_as` would.
+fn run_in_cluster(
+    mut vm: Vm,
+    class: ClassId,
+    method: &str,
+    desc: &str,
+    args: Vec<Value>,
+    iso: IsolateId,
+) -> Observed {
+    use ijvm_core::sched::{Cluster, SchedulerKind};
+    let index = vm.class(class).find_method(method, desc).unwrap();
+    let mref = MethodRef { class, index };
+    let tid = vm
+        .spawn_thread(&format!("call:{method}"), mref, args, iso)
+        .unwrap();
+    let mut cluster = Cluster::new(SchedulerKind::Parallel(2)).with_slice(1_000);
+    let unit = cluster.submit(vm);
+    let mut out = cluster.run();
+    let mut vm = out.vms.remove(unit.0 as usize);
+    let outcome = match out.reports[unit.0 as usize].outcome {
+        RunOutcome::Deadlock => Err(ijvm_core::VmError::Deadlock),
+        RunOutcome::BudgetExhausted => Err(ijvm_core::VmError::BudgetExhausted),
+        RunOutcome::Idle => vm.thread_outcome(tid),
+    };
+    // The cluster aggregate (fed only by worker buffers draining at
+    // migration points) must agree with the in-VM exact counters.
+    for i in 0..vm.isolate_count() {
+        let iso = IsolateId(i as u16);
+        assert_eq!(
+            out.accounts.cpu_exact(unit, iso),
+            vm.isolate_stats(iso).unwrap().cpu_exact,
+            "cluster aggregate diverged for {iso}"
+        );
+    }
     observe(&mut vm, outcome)
 }
 
@@ -141,6 +204,7 @@ fn assert_engines_agree(
     let oracle = Candidate {
         engine: EngineKind::Raw,
         superinstructions: true,
+        cluster: false,
     };
     for mode in selected_modes() {
         let raw = run_program(src, entry, method, desc, args.clone(), mode, oracle);
@@ -358,6 +422,7 @@ fn quantum_interleaving_agrees() {
     let oracle = Candidate {
         engine: EngineKind::Raw,
         superinstructions: true,
+        cluster: false,
     };
     for mode in selected_modes() {
         let mut seen = Vec::new();
@@ -432,6 +497,7 @@ fn string_ldc_caching_agrees_across_gc_epochs() {
     let oracle = Candidate {
         engine: EngineKind::Raw,
         superinstructions: true,
+        cluster: false,
     };
     for mode in selected_modes() {
         let mut seen = Vec::new();
@@ -485,6 +551,7 @@ fn isolate_termination_agrees() {
     let oracle = Candidate {
         engine: EngineKind::Raw,
         superinstructions: true,
+        cluster: false,
     };
     let mut seen = Vec::new();
     for candidate in std::iter::once(oracle).chain(selected_candidates()) {
@@ -852,12 +919,12 @@ proptest! {
         quantum in 1u32..500,
     ) {
         let bytes = build_random_program(&ops);
-        let oracle = Candidate { engine: EngineKind::Raw, superinstructions: true };
+        let oracle = Candidate { engine: EngineKind::Raw, superinstructions: true, cluster: false };
         for mode in [IsolationMode::Shared, IsolationMode::Isolated] {
             let raw = run_random_program(&bytes, mode, oracle, quantum);
             for engine in [EngineKind::Quickened, EngineKind::Threaded] {
                 for superinstructions in [true, false] {
-                    let candidate = Candidate { engine, superinstructions };
+                    let candidate = Candidate { engine, superinstructions, cluster: false };
                     let observed = run_random_program(&bytes, mode, candidate, quantum);
                     prop_assert_eq!(
                         &raw,

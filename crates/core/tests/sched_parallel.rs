@@ -1,0 +1,468 @@
+//! Cross-mode scheduler tests: the same program set must behave
+//! identically under the deterministic cluster scheduler (the oracle)
+//! and the parallel work-stealing scheduler at any worker count — same
+//! per-unit results, errors, console output, virtual clocks and
+//! migration counts, and **bit-identical per-isolate exact CPU**, both
+//! inside each unit's VM and in the cluster-level aggregate that worker
+//! buffers drain into at migration points. Only which OS worker ran
+//! which slice may differ.
+
+use ijvm_core::prelude::*;
+use ijvm_core::sched::{Cluster, UnitId};
+use ijvm_minijava::{compile_to_bytes, CompileEnv};
+use proptest::prelude::*;
+
+/// One prepared workload: class sources plus the entry threads to spawn.
+struct Program {
+    src: &'static str,
+    entry: &'static str,
+    method: &'static str,
+    desc: &'static str,
+    /// One entry thread per element, each with this `(I)…` argument.
+    thread_args: Vec<i32>,
+}
+
+/// Builds a ready-to-schedule VM unit (threads spawned, nothing run).
+fn build_unit(program: &Program, quantum: u32) -> (Vm, Vec<ThreadId>) {
+    let mut options = VmOptions::isolated();
+    options.quantum = quantum;
+    let mut vm = ijvm_jsl::boot(options);
+    let iso = vm.create_isolate("unit");
+    let loader = vm.loader_of(iso).unwrap();
+    for (name, bytes) in compile_to_bytes(program.src, &CompileEnv::new()).unwrap() {
+        vm.add_class_bytes(loader, &name, bytes);
+    }
+    let class = vm.load_class(loader, program.entry).unwrap();
+    let index = vm
+        .class(class)
+        .find_method(program.method, program.desc)
+        .unwrap();
+    let mref = MethodRef { class, index };
+    let tids = program
+        .thread_args
+        .iter()
+        .map(|&n| {
+            vm.spawn_thread("entry", mref, vec![Value::Int(n)], iso)
+                .unwrap()
+        })
+        .collect();
+    (vm, tids)
+}
+
+/// Everything compared across scheduler modes for one finished unit.
+#[derive(Debug, PartialEq)]
+struct UnitObserved {
+    results: Vec<Result<Option<String>, String>>,
+    vclock: u64,
+    vm_migrations: u64,
+    console: Vec<String>,
+    cpu_exact: Vec<u64>,
+    cpu_sampled: Vec<u64>,
+    allocated_objects: Vec<u64>,
+    outcome: RunOutcome,
+    /// Cluster-aggregate exact CPU per isolate — must equal `cpu_exact`.
+    aggregate_cpu: Vec<u64>,
+}
+
+/// Runs `programs` under `kind` and observes every unit.
+fn run_set(
+    programs: &[Program],
+    kind: SchedulerKind,
+    quantum: u32,
+    slice: u64,
+) -> Vec<UnitObserved> {
+    let mut cluster = Cluster::new(kind).with_slice(slice);
+    let mut tids = Vec::new();
+    for p in programs {
+        let (vm, unit_tids) = build_unit(p, quantum);
+        cluster.submit(vm);
+        tids.push(unit_tids);
+    }
+    let mut outcome = cluster.run();
+    assert_eq!(outcome.vms.len(), programs.len(), "every unit must finish");
+    let mut observed = Vec::new();
+    for (u, vm) in outcome.vms.iter_mut().enumerate() {
+        let report = outcome.reports[u];
+        assert_eq!(report.id, UnitId(u as u32), "reports are in unit order");
+        assert!(report.slices > 0, "unit {u} never ran");
+        let snaps = vm.snapshots();
+        observed.push(UnitObserved {
+            results: tids[u]
+                .iter()
+                .map(|&tid| {
+                    vm.thread_outcome(tid)
+                        .map(|v| v.map(|v| v.to_string()))
+                        .map_err(|e| e.to_string())
+                })
+                .collect(),
+            vclock: vm.vclock(),
+            vm_migrations: vm.migrations(),
+            console: vm.take_console(),
+            cpu_exact: snaps.iter().map(|s| s.stats.cpu_exact).collect(),
+            cpu_sampled: snaps.iter().map(|s| s.stats.cpu_sampled).collect(),
+            allocated_objects: snaps.iter().map(|s| s.stats.allocated_objects).collect(),
+            outcome: report.outcome,
+            aggregate_cpu: (0..vm.isolate_count())
+                .map(|i| {
+                    outcome
+                        .accounts
+                        .cpu_exact(UnitId(u as u32), IsolateId(i as u16))
+                })
+                .collect(),
+        });
+    }
+    observed
+}
+
+fn fixed_program_set() -> Vec<Program> {
+    let arith = r#"
+        class Arith {
+            static int spin(int n) {
+                int acc = 7;
+                for (int i = 0; i < n; i++) {
+                    acc = acc * 31 + i;
+                    if (acc > 1000000) acc = acc % 99991;
+                }
+                return acc;
+            }
+        }
+    "#;
+    let alloc_print = r#"
+        class AllocPrint {
+            static int run(int n) {
+                int total = 0;
+                for (int i = 0; i < n; i++) {
+                    int[] chunk = new int[16];
+                    chunk[0] = i;
+                    total += chunk[0] % 7;
+                    if (i % 50 == 0) println("mark " + i);
+                }
+                return total;
+            }
+        }
+    "#;
+    let interleave = r#"
+        class Shared {
+            static int hits;
+            static int spin(int n) {
+                for (int i = 0; i < n; i++) { hits = hits + 1; }
+                return hits;
+            }
+        }
+    "#;
+    let faulty = r#"
+        class Faulty {
+            static int boom(int n) { return n / (n - n); }
+        }
+    "#;
+    vec![
+        Program {
+            src: arith,
+            entry: "Arith",
+            method: "spin",
+            desc: "(I)I",
+            thread_args: vec![4_000],
+        },
+        Program {
+            src: alloc_print,
+            entry: "AllocPrint",
+            method: "run",
+            desc: "(I)I",
+            thread_args: vec![400],
+        },
+        // Two green threads over one static: the unit-internal scheduler
+        // interleaving must be reproduced wherever the unit runs.
+        Program {
+            src: interleave,
+            entry: "Shared",
+            method: "spin",
+            desc: "(I)I",
+            thread_args: vec![700, 700],
+        },
+        Program {
+            src: faulty,
+            entry: "Faulty",
+            method: "boom",
+            desc: "(I)I",
+            thread_args: vec![9],
+        },
+        Program {
+            src: arith,
+            entry: "Arith",
+            method: "spin",
+            desc: "(I)I",
+            thread_args: vec![1_500],
+        },
+    ]
+}
+
+/// A whole VM is a `Send` execution unit — the property the scheduler is
+/// built on, re-asserted here from outside the crate.
+#[test]
+fn vm_units_are_send() {
+    fn is_send<T: Send>() {}
+    is_send::<Vm>();
+}
+
+#[test]
+fn parallel_matches_deterministic_on_fixed_set() {
+    let programs = fixed_program_set();
+    // Small quantum + slice: many slice boundaries, so units really do
+    // bounce between workers mid-run.
+    let oracle = run_set(&programs, SchedulerKind::Deterministic, 300, 600);
+
+    // The aggregate fed through worker buffers must equal the in-VM
+    // exact counters (nothing lost or double-charged at boundaries).
+    for (u, o) in oracle.iter().enumerate() {
+        assert_eq!(
+            o.aggregate_cpu, o.cpu_exact,
+            "unit {u}: cluster aggregate diverged from in-VM exact CPU"
+        );
+        assert_eq!(o.outcome, RunOutcome::Idle);
+    }
+    // The faulty unit's entry thread died with the expected exception.
+    assert!(
+        oracle[3].results[0]
+            .as_ref()
+            .unwrap_err()
+            .contains("ArithmeticException"),
+        "faulty unit: {:?}",
+        oracle[3].results
+    );
+
+    for workers in [2usize, 4] {
+        let parallel = run_set(&programs, SchedulerKind::Parallel(workers), 300, 600);
+        assert_eq!(
+            oracle, parallel,
+            "Parallel({workers}) diverged from the deterministic oracle"
+        );
+    }
+}
+
+/// A unit hosting two isolates with inter-isolate calls: per-isolate
+/// attribution inside the unit (thread migration, §3.1/3.2) must be
+/// preserved by the cluster, and the aggregate must match per isolate.
+#[test]
+fn multi_isolate_unit_accounting_is_exact() {
+    let callee_src = r#"
+        class Svc {
+            static int work(int x) {
+                int acc = x;
+                for (int i = 0; i < 40; i++) { acc = acc * 17 + i; }
+                return acc % 65536;
+            }
+        }
+    "#;
+    let caller_src = r#"
+        class Caller {
+            static int drive(int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) { acc += Svc.work(i) % 1024; }
+                return acc;
+            }
+        }
+    "#;
+    let build = |quantum: u32| -> (Vm, ThreadId) {
+        let mut options = VmOptions::isolated();
+        options.quantum = quantum;
+        let mut vm = ijvm_jsl::boot(options);
+        let home = vm.create_isolate("home");
+        let home_loader = vm.loader_of(home).unwrap();
+        let callee = vm.create_isolate("callee");
+        let callee_loader = vm.loader_of(callee).unwrap();
+        let callee_classes = compile_to_bytes(callee_src, &CompileEnv::new()).unwrap();
+        let mut cenv = CompileEnv::new();
+        for (name, bytes) in &callee_classes {
+            vm.add_class_bytes(callee_loader, name, bytes.clone());
+            let cf = ijvm_classfile::reader::read_class(bytes).unwrap();
+            cenv.import_class_file(&cf).unwrap();
+        }
+        vm.add_loader_delegate(home_loader, callee_loader);
+        for (name, bytes) in compile_to_bytes(caller_src, &cenv).unwrap() {
+            vm.add_class_bytes(home_loader, &name, bytes);
+        }
+        let class = vm.load_class(home_loader, "Caller").unwrap();
+        let index = vm.class(class).find_method("drive", "(I)I").unwrap();
+        let mref = MethodRef { class, index };
+        let tid = vm
+            .spawn_thread("drive", mref, vec![Value::Int(250)], home)
+            .unwrap();
+        (vm, tid)
+    };
+
+    // Plain in-VM oracle: no cluster at all.
+    let (mut plain, plain_tid) = build(200);
+    assert_eq!(plain.run(None), RunOutcome::Idle);
+    let plain_result = plain.thread_outcome(plain_tid).unwrap();
+    let plain_cpu: Vec<u64> = plain
+        .snapshots()
+        .iter()
+        .map(|s| s.stats.cpu_exact)
+        .collect();
+    assert!(plain.migrations() > 0, "workload must migrate isolates");
+
+    for kind in [
+        SchedulerKind::Deterministic,
+        SchedulerKind::Parallel(2),
+        SchedulerKind::Parallel(4),
+    ] {
+        let (vm, tid) = build(200);
+        let mut cluster = Cluster::new(kind).with_slice(350);
+        let unit = cluster.submit(vm);
+        let outcome = cluster.run();
+        let vm = &outcome.vms[0];
+        assert_eq!(vm.thread_outcome(tid).unwrap(), plain_result, "{kind:?}");
+        let cpu: Vec<u64> = vm.snapshots().iter().map(|s| s.stats.cpu_exact).collect();
+        assert_eq!(cpu, plain_cpu, "{kind:?}: per-isolate exact CPU diverged");
+        for (i, &expect) in plain_cpu.iter().enumerate() {
+            assert_eq!(
+                outcome.accounts.cpu_exact(unit, IsolateId(i as u16)),
+                expect,
+                "{kind:?}: aggregate for isolate {i} diverged"
+            );
+        }
+        assert_eq!(
+            outcome.accounts.total_cpu_exact(),
+            plain_cpu.iter().sum::<u64>()
+        );
+    }
+}
+
+/// Termination requested *before* the run is delivered ahead of the
+/// unit's first slice: the workload never executes a single instruction.
+#[test]
+fn pre_run_termination_is_delivered_before_first_slice() {
+    let program = Program {
+        src: r#"
+            class Loop {
+                static int spin(int n) {
+                    int acc = 0;
+                    while (true) { acc = acc + 1; }
+                    return acc;
+                }
+            }
+        "#,
+        entry: "Loop",
+        method: "spin",
+        desc: "(I)I",
+        thread_args: vec![1],
+    };
+    let (vm, tids) = build_unit(&program, 500);
+    let mut cluster = Cluster::new(SchedulerKind::Parallel(2)).with_slice(500);
+    let unit = cluster.submit(vm);
+    let ctl = cluster.ctl();
+    // A single-isolate unit's workload isolate is the first one created
+    // (the system library lives on the bootstrap loader, not in an
+    // isolate of its own).
+    ctl.terminate(unit, IsolateId(0));
+    let outcome = cluster.run();
+    let vm = &outcome.vms[0];
+    assert_eq!(outcome.reports[0].outcome, RunOutcome::Idle);
+    assert_ne!(
+        vm.isolate_state(IsolateId(0)).unwrap(),
+        IsolateState::Active,
+        "the isolate must be terminated"
+    );
+    let err = vm.thread_outcome(tids[0]).unwrap_err().to_string();
+    assert!(
+        err.contains("StoppedIsolateException"),
+        "expected StoppedIsolateException, got {err}"
+    );
+    assert_eq!(
+        outcome.accounts.cpu_exact(unit, IsolateId(0)),
+        0,
+        "a pre-run kill must land before any instruction is charged"
+    );
+}
+
+/// Cross-worker termination mid-run: an infinite loop spinning on some
+/// worker is stopped at its next quantum boundary when another OS thread
+/// files the kill — the paper-§3.3 protocol delivered across cores.
+#[test]
+fn cross_worker_termination_stops_spinning_unit() {
+    let spin = Program {
+        src: r#"
+            class Hog {
+                static int spin(int n) {
+                    int acc = 0;
+                    while (true) { acc = acc + 1; }
+                    return acc;
+                }
+            }
+        "#,
+        entry: "Hog",
+        method: "spin",
+        desc: "(I)I",
+        thread_args: vec![1],
+    };
+    let (vm, tids) = build_unit(&spin, 400);
+    let mut cluster = Cluster::new(SchedulerKind::Parallel(2)).with_slice(400);
+    let unit = cluster.submit(vm);
+    let ctl = cluster.ctl();
+    let killer = std::thread::spawn(move || {
+        // Let the hog actually run a few quanta first.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        ctl.terminate(unit, IsolateId(0));
+    });
+    let outcome = cluster.run();
+    killer.join().unwrap();
+    let vm = &outcome.vms[0];
+    assert_eq!(outcome.reports[0].outcome, RunOutcome::Idle);
+    let err = vm.thread_outcome(tids[0]).unwrap_err().to_string();
+    assert!(
+        err.contains("StoppedIsolateException"),
+        "expected StoppedIsolateException, got {err}"
+    );
+    // Everything the hog burned before the kill is charged exactly:
+    // aggregate and in-VM exact CPU agree even for a killed isolate.
+    assert_eq!(
+        outcome.accounts.cpu_exact(unit, IsolateId(0)),
+        vm.isolate_stats(IsolateId(0)).unwrap().cpu_exact,
+        "kill path lost exactly-counted CPU"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Accounting exactness under migration: for random program sets,
+    /// worker counts, quanta and slice lengths, total charged CPU per
+    /// isolate is identical between `Deterministic` and `Parallel(n)`
+    /// runs, and results/console/poisoning match per unit.
+    #[test]
+    fn parallel_runs_match_deterministic(
+        sizes in proptest::collection::vec(1u32..2_000, 1..6),
+        workers in 1usize..5,
+        quantum in 50u32..800,
+        slice in 100u64..2_000,
+    ) {
+        let arith = r#"
+            class Arith {
+                static int spin(int n) {
+                    int acc = 3;
+                    for (int i = 0; i < n; i++) {
+                        acc = acc * 31 + i;
+                        if (acc > 100000) acc = acc % 9973;
+                    }
+                    return acc;
+                }
+            }
+        "#;
+        let programs: Vec<Program> = sizes
+            .iter()
+            .map(|&n| Program {
+                src: arith,
+                entry: "Arith",
+                method: "spin",
+                desc: "(I)I",
+                thread_args: vec![n as i32],
+            })
+            .collect();
+        let oracle = run_set(&programs, SchedulerKind::Deterministic, quantum, slice);
+        for o in &oracle {
+            prop_assert_eq!(&o.aggregate_cpu, &o.cpu_exact);
+        }
+        let parallel = run_set(&programs, SchedulerKind::Parallel(workers), quantum, slice);
+        prop_assert_eq!(oracle, parallel);
+    }
+}

@@ -6,8 +6,8 @@ use ijvm_core::natives::NativeResult;
 use ijvm_core::thread::ThreadState;
 use ijvm_core::value::{GcRef, Value};
 use ijvm_core::vm::Vm;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Registers every JSL native. Idempotent (re-registering replaces).
 pub fn register_all(vm: &mut Vm) {
@@ -60,7 +60,7 @@ fn register_system(vm: &mut Vm) {
             sys,
             "println",
             desc,
-            Rc::new(|vm, _tid, args| {
+            Arc::new(|vm, _tid, args| {
                 let line = display_value(vm, args[0]);
                 vm.console_print(line);
                 ret_void()
@@ -72,7 +72,7 @@ fn register_system(vm: &mut Vm) {
             sys,
             "println",
             desc,
-            Rc::new(|vm, _tid, args| {
+            Arc::new(|vm, _tid, args| {
                 let line = display_value(vm, args[0]);
                 vm.console_print(line);
                 ret_void()
@@ -83,7 +83,7 @@ fn register_system(vm: &mut Vm) {
         sys,
         "println",
         "(Z)V",
-        Rc::new(|vm, _tid, args| {
+        Arc::new(|vm, _tid, args| {
             let line = if args[0].as_int() != 0 {
                 "true"
             } else {
@@ -97,7 +97,7 @@ fn register_system(vm: &mut Vm) {
         sys,
         "println",
         "(C)V",
-        Rc::new(|vm, _tid, args| {
+        Arc::new(|vm, _tid, args| {
             let c = char::from_u32(args[0].as_int() as u32).unwrap_or('?');
             vm.console_print(c.to_string());
             ret_void()
@@ -107,19 +107,19 @@ fn register_system(vm: &mut Vm) {
         sys,
         "currentTimeMillis",
         "()J",
-        Rc::new(|vm, _tid, _args| ret(Value::Long((vm.vclock() / 1_000_000) as i64))),
+        Arc::new(|vm, _tid, _args| ret(Value::Long((vm.vclock() / 1_000_000) as i64))),
     );
     vm.register_native(
         sys,
         "nanoTime",
         "()J",
-        Rc::new(|vm, _tid, _args| ret(Value::Long(vm.vclock() as i64))),
+        Arc::new(|vm, _tid, _args| ret(Value::Long(vm.vclock() as i64))),
     );
     vm.register_native(
         sys,
         "gc",
         "()V",
-        Rc::new(|vm, tid, _args| {
+        Arc::new(|vm, tid, _args| {
             let iso = vm.current_isolate(tid);
             vm.collect_garbage(Some(iso));
             ret_void()
@@ -131,7 +131,7 @@ fn register_system(vm: &mut Vm) {
         sys,
         "exit",
         "(I)V",
-        Rc::new(|vm, tid, args| {
+        Arc::new(|vm, tid, args| {
             let iso = vm.current_isolate(tid);
             if vm.is_isolated() && !iso.is_privileged() {
                 return NativeResult::Throw {
@@ -147,7 +147,7 @@ fn register_system(vm: &mut Vm) {
         sys,
         "identityHashCode",
         "(Ljava/lang/Object;)I",
-        Rc::new(|_vm, _tid, args| {
+        Arc::new(|_vm, _tid, args| {
             let h = match args[0] {
                 Value::Ref(r) => r.0 as i32,
                 _ => 0,
@@ -159,7 +159,7 @@ fn register_system(vm: &mut Vm) {
         sys,
         "arraycopy",
         "(Ljava/lang/Object;ILjava/lang/Object;II)V",
-        Rc::new(|vm, _tid, args| {
+        Arc::new(|vm, _tid, args| {
             let (Some(src), Some(dst)) = (args[0].as_ref(), args[2].as_ref()) else {
                 return NativeResult::Throw {
                     class_name: "java/lang/NullPointerException",
@@ -252,7 +252,7 @@ fn register_thread(vm: &mut Vm) {
         th,
         "start",
         "()V",
-        Rc::new(|vm, tid, args| {
+        Arc::new(|vm, tid, args| {
             let receiver = args[0].as_ref().expect("receiver");
             // Threads are charged to the isolate that creates them
             // (paper §3.2); they may then execute anywhere.
@@ -273,7 +273,7 @@ fn register_thread(vm: &mut Vm) {
         th,
         "sleep",
         "(J)V",
-        Rc::new(|vm, tid, args| {
+        Arc::new(|vm, tid, args| {
             if vm.take_interrupted(tid) {
                 return NativeResult::Throw {
                     class_name: "java/lang/InterruptedException",
@@ -286,12 +286,12 @@ fn register_thread(vm: &mut Vm) {
             NativeResult::BlockReturn(None)
         }),
     );
-    vm.register_native(th, "yield", "()V", Rc::new(|_vm, _tid, _args| ret_void()));
+    vm.register_native(th, "yield", "()V", Arc::new(|_vm, _tid, _args| ret_void()));
     vm.register_native(
         th,
         "join",
         "()V",
-        Rc::new(|vm, tid, args| {
+        Arc::new(|vm, tid, args| {
             let receiver = args[0].as_ref().expect("receiver");
             let vm_tid = vm
                 .get_field(receiver, "vmTid")
@@ -311,7 +311,7 @@ fn register_thread(vm: &mut Vm) {
         th,
         "interrupt",
         "()V",
-        Rc::new(|vm, _tid, args| {
+        Arc::new(|vm, _tid, args| {
             let receiver = args[0].as_ref().expect("receiver");
             let vm_tid = vm
                 .get_field(receiver, "vmTid")
@@ -327,7 +327,7 @@ fn register_thread(vm: &mut Vm) {
         th,
         "isAlive",
         "()Z",
-        Rc::new(|vm, _tid, args| {
+        Arc::new(|vm, _tid, args| {
             let receiver = args[0].as_ref().expect("receiver");
             let vm_tid = vm
                 .get_field(receiver, "vmTid")
@@ -345,7 +345,7 @@ fn register_thread(vm: &mut Vm) {
         th,
         "interrupted",
         "()Z",
-        Rc::new(|vm, tid, _args| ret(Value::Int(vm.take_interrupted(tid) as i32))),
+        Arc::new(|vm, tid, _args| ret(Value::Int(vm.take_interrupted(tid) as i32))),
     );
 }
 
@@ -355,100 +355,100 @@ fn register_math(vm: &mut Vm) {
         math,
         "abs",
         "(I)I",
-        Rc::new(|_v, _t, a| ret(Value::Int(a[0].as_int().wrapping_abs()))),
+        Arc::new(|_v, _t, a| ret(Value::Int(a[0].as_int().wrapping_abs()))),
     );
     vm.register_native(
         math,
         "abs",
         "(J)J",
-        Rc::new(|_v, _t, a| ret(Value::Long(a[0].as_long().wrapping_abs()))),
+        Arc::new(|_v, _t, a| ret(Value::Long(a[0].as_long().wrapping_abs()))),
     );
     vm.register_native(
         math,
         "abs",
         "(D)D",
-        Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().abs()))),
+        Arc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().abs()))),
     );
     vm.register_native(
         math,
         "min",
         "(II)I",
-        Rc::new(|_v, _t, a| ret(Value::Int(a[0].as_int().min(a[1].as_int())))),
+        Arc::new(|_v, _t, a| ret(Value::Int(a[0].as_int().min(a[1].as_int())))),
     );
     vm.register_native(
         math,
         "max",
         "(II)I",
-        Rc::new(|_v, _t, a| ret(Value::Int(a[0].as_int().max(a[1].as_int())))),
+        Arc::new(|_v, _t, a| ret(Value::Int(a[0].as_int().max(a[1].as_int())))),
     );
     vm.register_native(
         math,
         "min",
         "(JJ)J",
-        Rc::new(|_v, _t, a| ret(Value::Long(a[0].as_long().min(a[1].as_long())))),
+        Arc::new(|_v, _t, a| ret(Value::Long(a[0].as_long().min(a[1].as_long())))),
     );
     vm.register_native(
         math,
         "max",
         "(JJ)J",
-        Rc::new(|_v, _t, a| ret(Value::Long(a[0].as_long().max(a[1].as_long())))),
+        Arc::new(|_v, _t, a| ret(Value::Long(a[0].as_long().max(a[1].as_long())))),
     );
     vm.register_native(
         math,
         "min",
         "(DD)D",
-        Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().min(a[1].as_double())))),
+        Arc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().min(a[1].as_double())))),
     );
     vm.register_native(
         math,
         "max",
         "(DD)D",
-        Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().max(a[1].as_double())))),
+        Arc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().max(a[1].as_double())))),
     );
     vm.register_native(
         math,
         "sqrt",
         "(D)D",
-        Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().sqrt()))),
+        Arc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().sqrt()))),
     );
     vm.register_native(
         math,
         "floor",
         "(D)D",
-        Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().floor()))),
+        Arc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().floor()))),
     );
     vm.register_native(
         math,
         "ceil",
         "(D)D",
-        Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().ceil()))),
+        Arc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().ceil()))),
     );
     vm.register_native(
         math,
         "pow",
         "(DD)D",
-        Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().powf(a[1].as_double())))),
+        Arc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().powf(a[1].as_double())))),
     );
     vm.register_native(
         math,
         "sin",
         "(D)D",
-        Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().sin()))),
+        Arc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().sin()))),
     );
     vm.register_native(
         math,
         "cos",
         "(D)D",
-        Rc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().cos()))),
+        Arc::new(|_v, _t, a| ret(Value::Double(a[0].as_double().cos()))),
     );
     // Deterministic xorshift so runs are reproducible.
-    let seed = RefCell::new(0x9E3779B97F4A7C15u64);
+    let seed = Mutex::new(0x9E3779B97F4A7C15u64);
     vm.register_native(
         math,
         "random",
         "()D",
-        Rc::new(move |_vm, _tid, _args| {
-            let mut s = seed.borrow_mut();
+        Arc::new(move |_vm, _tid, _args| {
+            let mut s = seed.lock().unwrap();
             *s ^= *s << 13;
             *s ^= *s >> 7;
             *s ^= *s << 17;
@@ -528,13 +528,13 @@ fn register_stringbuilder(vm: &mut Vm) {
         format!("(D){sbd}"),
         format!("(Ljava/lang/Object;){sbd}"),
     ] {
-        vm.register_native(sbc, "append", &desc, Rc::new(append(display_value)));
+        vm.register_native(sbc, "append", &desc, Arc::new(append(display_value)));
     }
     vm.register_native(
         sbc,
         "append",
         &format!("(Z){sbd}"),
-        Rc::new(append(|_vm, v| {
+        Arc::new(append(|_vm, v| {
             if v.as_int() != 0 {
                 "true".into()
             } else {
@@ -546,7 +546,7 @@ fn register_stringbuilder(vm: &mut Vm) {
         sbc,
         "append",
         &format!("(C){sbd}"),
-        Rc::new(append(|_vm, v| {
+        Arc::new(append(|_vm, v| {
             char::from_u32(v.as_int() as u32).unwrap_or('?').to_string()
         })),
     );
@@ -554,7 +554,7 @@ fn register_stringbuilder(vm: &mut Vm) {
         sbc,
         "toString",
         "()Ljava/lang/String;",
-        Rc::new(|vm, tid, args| {
+        Arc::new(|vm, tid, args| {
             let sb = args[0].as_ref().expect("receiver");
             let (buf, len) = sb_state(vm, sb);
             let s = match &vm.heap().get(buf).body {
@@ -591,7 +591,7 @@ fn register_arraylist(vm: &mut Vm) {
         al,
         "add",
         "(Ljava/lang/Object;)Z",
-        Rc::new(|vm, tid, args| {
+        Arc::new(|vm, tid, args| {
             let list = args[0].as_ref().expect("receiver");
             let elems = vm
                 .get_field(list, "elems")
@@ -628,7 +628,7 @@ fn register_arraylist(vm: &mut Vm) {
         al,
         "get",
         "(I)Ljava/lang/Object;",
-        Rc::new(|vm, _tid, args| {
+        Arc::new(|vm, _tid, args| {
             let list = args[0].as_ref().expect("receiver");
             let idx = args[1].as_int();
             let size = vm.get_field(list, "size").map(|v| v.as_int()).unwrap_or(0);
@@ -653,7 +653,7 @@ fn register_arraylist(vm: &mut Vm) {
         al,
         "set",
         "(ILjava/lang/Object;)Ljava/lang/Object;",
-        Rc::new(|vm, _tid, args| {
+        Arc::new(|vm, _tid, args| {
             let list = args[0].as_ref().expect("receiver");
             let idx = args[1].as_int();
             let size = vm.get_field(list, "size").map(|v| v.as_int()).unwrap_or(0);
@@ -682,7 +682,7 @@ fn register_arraylist(vm: &mut Vm) {
         al,
         "remove",
         "(I)Ljava/lang/Object;",
-        Rc::new(|vm, _tid, args| {
+        Arc::new(|vm, _tid, args| {
             let list = args[0].as_ref().expect("receiver");
             let idx = args[1].as_int();
             let size = vm.get_field(list, "size").map(|v| v.as_int()).unwrap_or(0);
@@ -713,7 +713,7 @@ fn register_arraylist(vm: &mut Vm) {
         al,
         "clear",
         "()V",
-        Rc::new(|vm, _tid, args| {
+        Arc::new(|vm, _tid, args| {
             let list = args[0].as_ref().expect("receiver");
             let elems = vm
                 .get_field(list, "elems")
@@ -730,7 +730,7 @@ fn register_arraylist(vm: &mut Vm) {
         al,
         "contains",
         "(Ljava/lang/Object;)Z",
-        Rc::new(|vm, _tid, args| {
+        Arc::new(|vm, _tid, args| {
             let list = args[0].as_ref().expect("receiver");
             let size = vm.get_field(list, "size").map(|v| v.as_int()).unwrap_or(0) as usize;
             let elems = vm
@@ -843,7 +843,7 @@ fn register_hashmap(vm: &mut Vm) {
         hm,
         "put",
         "(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;",
-        Rc::new(|vm, tid, args| {
+        Arc::new(|vm, tid, args| {
             let map = args[0].as_ref().expect("receiver");
             let size = vm.get_field(map, "size").map(|v| v.as_int()).unwrap_or(0) as usize;
             let (_, _, cap) = map_arrays(vm, map);
@@ -876,7 +876,7 @@ fn register_hashmap(vm: &mut Vm) {
         hm,
         "get",
         "(Ljava/lang/Object;)Ljava/lang/Object;",
-        Rc::new(|vm, _tid, args| {
+        Arc::new(|vm, _tid, args| {
             let map = args[0].as_ref().expect("receiver");
             let (_, vals, _, found) = map_probe(vm, map, args[1]);
             let v = match found {
@@ -893,7 +893,7 @@ fn register_hashmap(vm: &mut Vm) {
         hm,
         "containsKey",
         "(Ljava/lang/Object;)Z",
-        Rc::new(|vm, _tid, args| {
+        Arc::new(|vm, _tid, args| {
             let map = args[0].as_ref().expect("receiver");
             let (_, _, _, found) = map_probe(vm, map, args[1]);
             ret(Value::Int(found.is_some() as i32))
@@ -903,7 +903,7 @@ fn register_hashmap(vm: &mut Vm) {
         hm,
         "remove",
         "(Ljava/lang/Object;)Ljava/lang/Object;",
-        Rc::new(|vm, tid, args| {
+        Arc::new(|vm, tid, args| {
             let map = args[0].as_ref().expect("receiver");
             let (keys, vals, _, found) = map_probe(vm, map, args[1]);
             let Some(slot) = found else {
@@ -937,7 +937,7 @@ fn register_vconnection(vm: &mut Vm) {
         vc,
         "connect",
         "()Lorg/ijvm/VConnection;",
-        Rc::new(|vm, tid, _args| {
+        Arc::new(|vm, tid, _args| {
             let iso = vm.current_isolate(tid);
             let class = vm
                 .find_class(LoaderId::BOOTSTRAP, "org/ijvm/VConnection")
@@ -954,7 +954,7 @@ fn register_vconnection(vm: &mut Vm) {
         vc,
         "read",
         "(I)I",
-        Rc::new(|vm, tid, args| {
+        Arc::new(|vm, tid, args| {
             let n = args[1].as_int().max(0) as u64;
             let iso = vm.current_isolate(tid);
             if vm.take_interrupted(tid) {
@@ -971,7 +971,7 @@ fn register_vconnection(vm: &mut Vm) {
         vc,
         "write",
         "(I)I",
-        Rc::new(|vm, tid, args| {
+        Arc::new(|vm, tid, args| {
             let n = args[1].as_int().max(0) as u64;
             let iso = vm.current_isolate(tid);
             vm.charge_io(iso, 0, n);
@@ -982,7 +982,7 @@ fn register_vconnection(vm: &mut Vm) {
         vc,
         "close",
         "()V",
-        Rc::new(|vm, _tid, args| {
+        Arc::new(|vm, _tid, args| {
             let conn = args[0].as_ref().expect("receiver");
             vm.set_field(conn, "open", Value::Int(0));
             ret_void()

@@ -7,8 +7,8 @@ use ijvm_core::error::Result;
 use ijvm_core::natives::NativeResult;
 use ijvm_core::value::Value;
 use ijvm_core::vm::Vm;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 const PUB: AccessFlags = AccessFlags::PUBLIC;
 
@@ -54,7 +54,7 @@ pub fn admin_class() -> ClassFile {
 
 /// Installs OSGi classes and registers their natives against the shared
 /// framework state.
-pub fn install(vm: &mut Vm, state: Rc<RefCell<FrameworkState>>) -> Result<()> {
+pub fn install(vm: &mut Vm, state: Arc<Mutex<FrameworkState>>) -> Result<()> {
     register_natives(vm, state);
     vm.install_system_class(&bundle_context_class())?;
     vm.install_system_class(&bundle_listener_interface())?;
@@ -62,18 +62,18 @@ pub fn install(vm: &mut Vm, state: Rc<RefCell<FrameworkState>>) -> Result<()> {
     Ok(())
 }
 
-fn register_natives(vm: &mut Vm, state: Rc<RefCell<FrameworkState>>) {
+fn register_natives(vm: &mut Vm, state: Arc<Mutex<FrameworkState>>) {
     let ctx = "org/osgi/BundleContext";
 
     // registerService(name, obj): the name service through which bundles
     // publish references; registering makes the object a GC root.
     {
-        let state = Rc::clone(&state);
+        let state = Arc::clone(&state);
         vm.register_native(
             ctx,
             "registerService",
             "(Ljava/lang/String;Ljava/lang/Object;)V",
-            Rc::new(move |vm, tid, args| {
+            Arc::new(move |vm, tid, args| {
                 let receiver = args[0].as_ref().expect("receiver");
                 let Some(name_ref) = args[1].as_ref() else {
                     return NativeResult::Throw {
@@ -94,7 +94,7 @@ fn register_natives(vm: &mut Vm, state: Rc<RefCell<FrameworkState>>) {
                     .unwrap_or(-1);
                 let _ = tid;
                 let pin = vm.pin(service);
-                let mut st = state.borrow_mut();
+                let mut st = state.lock().unwrap();
                 if let Some(old) = st.services.insert(
                     name,
                     ServiceEntry {
@@ -112,17 +112,17 @@ fn register_natives(vm: &mut Vm, state: Rc<RefCell<FrameworkState>>) {
     // getService(name): explicit sharing — the returned reference is the
     // only way an isolate gains access to a foreign object (paper §3.1).
     {
-        let state = Rc::clone(&state);
+        let state = Arc::clone(&state);
         vm.register_native(
             ctx,
             "getService",
             "(Ljava/lang/String;)Ljava/lang/Object;",
-            Rc::new(move |vm, _tid, args| {
+            Arc::new(move |vm, _tid, args| {
                 let Some(name_ref) = args[1].as_ref() else {
                     return NativeResult::Return(Some(Value::Null));
                 };
                 let name = vm.read_string(name_ref).unwrap_or_default();
-                let st = state.borrow();
+                let st = state.lock().unwrap();
                 let v = st
                     .services
                     .get(&name)
@@ -137,12 +137,12 @@ fn register_natives(vm: &mut Vm, state: Rc<RefCell<FrameworkState>>) {
     // addBundleListener(listener): StoppedBundleEvent delivery (paper
     // §3.4 rule 3).
     {
-        let state = Rc::clone(&state);
+        let state = Arc::clone(&state);
         vm.register_native(
             ctx,
             "addBundleListener",
             "(Lorg/osgi/BundleListener;)V",
-            Rc::new(move |vm, _tid, args| {
+            Arc::new(move |vm, _tid, args| {
                 let receiver = args[0].as_ref().expect("receiver");
                 let Some(listener) = args[1].as_ref() else {
                     return NativeResult::Return(None);
@@ -152,7 +152,7 @@ fn register_natives(vm: &mut Vm, state: Rc<RefCell<FrameworkState>>) {
                     .map(|v| v.as_int())
                     .unwrap_or(-1);
                 let pin = vm.pin(listener);
-                state.borrow_mut().listeners.push((owner as u32, pin));
+                state.lock().unwrap().listeners.push((owner as u32, pin));
                 NativeResult::Return(None)
             }),
         );
@@ -162,7 +162,7 @@ fn register_natives(vm: &mut Vm, state: Rc<RefCell<FrameworkState>>) {
         ctx,
         "log",
         "(Ljava/lang/String;)V",
-        Rc::new(|vm, tid, args| {
+        Arc::new(|vm, tid, args| {
             let msg = match args[1] {
                 Value::Ref(r) => vm.read_string(r).unwrap_or_default(),
                 _ => "null".to_owned(),
@@ -176,12 +176,12 @@ fn register_natives(vm: &mut Vm, state: Rc<RefCell<FrameworkState>>) {
     // Admin natives: privileged (Isolate0 only) — the rights paper §3.1
     // grants exclusively to the isolate the OSGi runtime executes in.
     {
-        let state = Rc::clone(&state);
+        let state = Arc::clone(&state);
         vm.register_native(
             "org/osgi/Admin",
             "terminateBundle",
             "(I)V",
-            Rc::new(move |vm, tid, args| {
+            Arc::new(move |vm, tid, args| {
                 let caller = vm.current_isolate(tid);
                 if !caller.is_privileged() {
                     return NativeResult::Throw {
@@ -190,7 +190,7 @@ fn register_natives(vm: &mut Vm, state: Rc<RefCell<FrameworkState>>) {
                     };
                 }
                 let bundle = args[0].as_int() as u32;
-                let iso = state.borrow().bundle_isolates.get(&bundle).copied();
+                let iso = state.lock().unwrap().bundle_isolates.get(&bundle).copied();
                 match iso {
                     Some(iso) => match vm.terminate_isolate(iso) {
                         Ok(()) => NativeResult::Return(None),
@@ -208,7 +208,7 @@ fn register_natives(vm: &mut Vm, state: Rc<RefCell<FrameworkState>>) {
         "org/osgi/Admin",
         "shutdown",
         "(I)V",
-        Rc::new(|vm, tid, args| {
+        Arc::new(|vm, tid, args| {
             let caller = vm.current_isolate(tid);
             if !caller.is_privileged() {
                 return NativeResult::Throw {

@@ -30,8 +30,8 @@ use ijvm_core::value::{GcRef, Value};
 use ijvm_core::vm::{RunOutcome, Vm, VmOptions};
 use ijvm_minijava::CompileEnv;
 use state::FrameworkState;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Identifies an installed bundle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -124,7 +124,7 @@ pub struct Bundle {
 /// The OSGi framework: owns the VM and the bundle table.
 pub struct Framework {
     vm: Vm,
-    state: Rc<RefCell<FrameworkState>>,
+    state: Arc<Mutex<FrameworkState>>,
     bundles: Vec<Bundle>,
     isolate0: IsolateId,
     /// Default instruction budget for lifecycle calls; activators that
@@ -145,8 +145,8 @@ impl Framework {
     /// Boots a framework: system library, OSGi classes, Isolate0.
     pub fn new(options: VmOptions) -> Framework {
         let mut vm = ijvm_jsl::boot(options);
-        let state = Rc::new(RefCell::new(FrameworkState::default()));
-        classes::install(&mut vm, Rc::clone(&state)).expect("OSGi class installation");
+        let state = Arc::new(Mutex::new(FrameworkState::default()));
+        classes::install(&mut vm, Arc::clone(&state)).expect("OSGi class installation");
         // The first isolate created is Isolate0: the OSGi runtime itself
         // (paper §3.1: the first application class loader becomes Isolate0).
         let isolate0 = vm.create_isolate("osgi-runtime");
@@ -205,7 +205,8 @@ impl Framework {
         let context_pin = self.vm.pin(ctx);
 
         self.state
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .bundle_isolates
             .insert(id.0, isolate);
         self.bundles.push(Bundle {
@@ -290,7 +291,7 @@ impl Framework {
         let isolate = self.bundle(id)?.isolate;
 
         // StoppedBundleEvent delivery, each on its own thread.
-        let listeners: Vec<(u32, usize)> = self.state.borrow().listeners.clone();
+        let listeners: Vec<(u32, usize)> = self.state.lock().unwrap().listeners.clone();
         for (owner, pin) in listeners {
             if owner == id.0 {
                 continue;
@@ -325,7 +326,7 @@ impl Framework {
 
         // Drop the bundle's services and listeners.
         {
-            let mut st = self.state.borrow_mut();
+            let mut st = self.state.lock().unwrap();
             let dead: Vec<String> = st
                 .services
                 .iter()
@@ -361,13 +362,19 @@ impl Framework {
 
     /// Looks up a registered service object by name (host-side).
     pub fn get_service(&self, name: &str) -> Option<GcRef> {
-        let st = self.state.borrow();
+        let st = self.state.lock().unwrap();
         st.services.get(name).and_then(|e| self.vm.pinned(e.pin))
     }
 
     /// Names of all registered services.
     pub fn service_names(&self) -> Vec<String> {
-        self.state.borrow().services.keys().cloned().collect()
+        self.state
+            .lock()
+            .unwrap()
+            .services
+            .keys()
+            .cloned()
+            .collect()
     }
 
     /// Resource snapshot of every isolate, for the administrator.

@@ -12,7 +12,7 @@ pub struct ServiceEntry {
     pub provider: u32,
 }
 
-/// State the natives and the framework share (`Rc<RefCell<…>>`).
+/// State the natives and the framework share (`Arc<Mutex<…>>`).
 #[derive(Debug, Default)]
 pub struct FrameworkState {
     /// Service name → entry (the OSGi name service of paper §3.4).
