@@ -213,6 +213,35 @@ fn main() -> ExitCode {
         }
     }
 
+    // Cross-unit call-cost gate: the inter-unit service layer must stay
+    // within the committed ceiling of an intra-VM cross-isolate call
+    // (same box, same run, one worker — a pure mechanism ratio). This is
+    // a *ceiling*, so the tolerance is applied upward.
+    if let Some(max_ratio) = doc_num(&baseline_json, "cross_unit_max_ratio") {
+        let ceiling = max_ratio * (1.0 + tolerance);
+        match doc_num(&fresh_json, "cross_unit_ratio") {
+            Some(ratio) if ratio <= ceiling => {
+                println!(
+                    "  ok   cross-unit call cost: {ratio:.4}x inter-isolate (ceiling {ceiling:.2}x)"
+                );
+            }
+            Some(ratio) => {
+                println!(
+                    "  FAIL cross-unit call cost: {ratio:.4}x inter-isolate above ceiling {ceiling:.2}x"
+                );
+                failures += 1;
+                offenders.push(format!(
+                    "cross-unit call cost: fresh {ratio:.4}x, ceiling {ceiling:.2}x"
+                ));
+            }
+            None => {
+                println!("  FAIL cross-unit section missing from {fresh_path}");
+                failures += 1;
+                offenders.push("cross-unit call cost: missing from the fresh run".to_owned());
+            }
+        }
+    }
+
     if failures > 0 {
         eprintln!("bench gate: {failures} metric(s) regressed; offending rows:");
         for o in &offenders {
@@ -269,6 +298,24 @@ mod tests {
         assert_eq!(doc_num(doc, "scaling_1_to_4"), Some(2.5));
         assert_eq!(doc_num(doc, "scaling_floor_4w"), Some(1.5));
         assert_eq!(doc_num(doc, "absent_key"), None);
+    }
+
+    /// `"cross_unit_ratio"` must not match inside
+    /// `"cross_unit_max_ratio"` and vice versa (the quote-anchored tag
+    /// keeps them apart regardless of field order).
+    #[test]
+    fn cross_unit_keys_parse_independently() {
+        let doc = r#"{
+  "cross_unit": {
+    "calls": 4000,
+    "intra_vm_ns_per_call": 130.0,
+    "cross_unit_ns_per_call": 1290.0,
+    "cross_unit_max_ratio": 10.0,
+    "cross_unit_ratio": 9.9231
+  }
+}"#;
+        assert!((doc_num(doc, "cross_unit_ratio").unwrap() - 9.9231).abs() < 1e-9);
+        assert!((doc_num(doc, "cross_unit_max_ratio").unwrap() - 10.0).abs() < 1e-9);
     }
 
     /// `"speedup"` must not match the tail of `"threaded_speedup"`, even

@@ -7,6 +7,7 @@
 
 use ijvm_bench::engine::{engine_comparison, print_engine_table, to_json};
 use ijvm_bench::parallel::{measure_scaling, print_scaling_table};
+use ijvm_bench::xunit::{measure_cross_unit_ratio, print_cross_unit};
 
 fn main() {
     let path = std::env::args()
@@ -21,7 +22,9 @@ fn main() {
     print_engine_table(&rows);
     let scaling = measure_scaling(8, 150_000, 3);
     print_scaling_table(&scaling);
-    let json = to_json(&rows, iterations, Some(&scaling));
+    let cross_unit = measure_cross_unit_ratio(4_000, 3);
+    print_cross_unit(&cross_unit);
+    let json = to_json(&rows, iterations, Some(&scaling), Some(&cross_unit));
     match std::fs::write(&path, &json) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => {

@@ -34,9 +34,10 @@ fn main() {
             .unwrap_or(f64::NAN)
     };
     println!(
-        "\nratios: I-JVM/local = {:.2}x,  links/I-JVM = {:.1}x,  RMI/I-JVM = {:.1}x",
+        "\nratios: I-JVM/local = {:.2}x,  links/I-JVM = {:.1}x,  RMI/I-JVM = {:.1}x,  cross-unit/I-JVM = {:.1}x",
         get(Model::IJvm) / get(Model::Local),
         get(Model::Links) / get(Model::IJvm),
         get(Model::Rmi) / get(Model::IJvm),
+        get(Model::CrossUnit) / get(Model::IJvm),
     );
 }

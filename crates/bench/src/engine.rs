@@ -251,12 +251,14 @@ pub fn print_engine_table(rows: &[EngineRow]) {
 /// the workspace builds offline, without serde). Each row carries both
 /// the quickened-vs-raw (`speedup`) and threaded-vs-raw
 /// (`threaded_speedup`) ratios; the CI bench gate enforces floors on
-/// both. When a parallel-scheduler scalability report is supplied it is
-/// appended as the `"parallel"` section the gate also reads.
+/// both. When supplied, the parallel-scheduler scalability report and
+/// the cross-unit call-cost report are appended as the `"parallel"` and
+/// `"cross_unit"` sections the gate also reads.
 pub fn to_json(
     rows: &[EngineRow],
     iterations: i32,
     parallel: Option<&crate::parallel::ScalingReport>,
+    cross_unit: Option<&crate::xunit::CrossUnitReport>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"engine_raw_vs_quickened_vs_threaded\",\n");
@@ -276,13 +278,19 @@ pub fn to_json(
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    match parallel {
-        Some(report) => {
-            out.push_str("  ],\n");
-            out.push_str(&crate::parallel::scaling_to_json(report));
-            out.push_str("\n}\n");
-        }
-        None => out.push_str("  ]\n}\n"),
+    let mut sections: Vec<String> = Vec::new();
+    if let Some(report) = parallel {
+        sections.push(crate::parallel::scaling_to_json(report));
+    }
+    if let Some(report) = cross_unit {
+        sections.push(crate::xunit::cross_unit_to_json(report));
+    }
+    if sections.is_empty() {
+        out.push_str("  ]\n}\n");
+    } else {
+        out.push_str("  ],\n");
+        out.push_str(&sections.join(",\n"));
+        out.push_str("\n}\n");
     }
     out
 }

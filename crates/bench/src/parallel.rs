@@ -106,7 +106,7 @@ fn run_once(units: usize, iterations: i32, workers: usize) -> (Duration, u64) {
     let start = Instant::now();
     let outcome = cluster.run();
     let wall = start.elapsed();
-    assert_eq!(outcome.vms.len(), units, "every unit must finish");
+    assert_eq!(outcome.units.len(), units, "every unit must finish");
     (wall, outcome.steals)
 }
 

@@ -1,0 +1,96 @@
+//! The cross-unit Table 1 row: cost of a cluster service call
+//! (`ijvm_core::port`) relative to an intra-VM cross-isolate direct call
+//! (the I-JVM mechanism the paper measures), both on one worker.
+//!
+//! The paper's point is that I-JVM's direct calls beat copying models by
+//! orders of magnitude. The cluster's cross-unit calls *are* a copying
+//! model — serialize → mailbox → pump dispatch → serialize the reply —
+//! so they can never match a direct call; the contract enforced here is
+//! that the whole machinery (wire codec, hub routing, park/unpark,
+//! pump dispatch, sender-pays accounting) stays within a small constant
+//! factor of the direct call instead of drifting into RMI territory:
+//! `cross_unit ≤ MAX_CROSS_UNIT_RATIO × inter-isolate` is gated by
+//! `bench_gate` against the committed `BENCH_engine.json`.
+
+use ijvm_comm::models::{measure, Model};
+
+/// The gated ceiling: a cross-unit call may cost at most this many
+/// intra-VM cross-isolate calls (single worker, same box, same run).
+pub const MAX_CROSS_UNIT_RATIO: f64 = 10.0;
+
+/// One measurement of the cross-unit/intra-VM cost ratio.
+#[derive(Debug, Clone)]
+pub struct CrossUnitReport {
+    /// Calls per batch.
+    pub calls: u32,
+    /// Best-of-runs ns per intra-VM cross-isolate call (Table 1's
+    /// "I-JVM" row).
+    pub intra_vm_ns: f64,
+    /// Best-of-runs ns per cross-unit cluster call.
+    pub cross_unit_ns: f64,
+}
+
+impl CrossUnitReport {
+    /// `cross_unit_ns / intra_vm_ns` — the gated ratio.
+    pub fn ratio(&self) -> f64 {
+        self.cross_unit_ns / self.intra_vm_ns.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Measures both sides, alternating `runs` rounds and keeping the
+/// fastest of each (minimum is robust against scheduler noise).
+pub fn measure_cross_unit_ratio(calls: u32, runs: u32) -> CrossUnitReport {
+    let mut intra = f64::MAX;
+    let mut cross = f64::MAX;
+    for _ in 0..runs.max(1) {
+        intra = intra.min(measure(Model::IJvm, calls).ns_per_call());
+        cross = cross.min(measure(Model::CrossUnit, calls).ns_per_call());
+    }
+    CrossUnitReport {
+        calls,
+        intra_vm_ns: intra,
+        cross_unit_ns: cross,
+    }
+}
+
+/// Pretty-prints the report.
+pub fn print_cross_unit(report: &CrossUnitReport) {
+    println!(
+        "\n== Cross-unit service call vs intra-VM cross-isolate call ({} calls) ==",
+        report.calls
+    );
+    println!(
+        "{:<28} {:>12}\n{:<28} {:>12}\n{:<28} {:>11.2}x (gated ceiling {:.1}x)",
+        "intra-VM cross-isolate",
+        format!("{:.0} ns/call", report.intra_vm_ns),
+        "cross-unit (cluster)",
+        format!("{:.0} ns/call", report.cross_unit_ns),
+        "ratio",
+        report.ratio(),
+        MAX_CROSS_UNIT_RATIO,
+    );
+}
+
+/// Serializes the report as the `"cross_unit"` section of
+/// `BENCH_engine.json` (hand-rolled, like the rest — no serde offline).
+pub fn cross_unit_to_json(report: &CrossUnitReport) -> String {
+    let mut out = String::from("  \"cross_unit\": {\n");
+    out.push_str(&format!("    \"calls\": {},\n", report.calls));
+    out.push_str(&format!(
+        "    \"intra_vm_ns_per_call\": {:.1},\n",
+        report.intra_vm_ns
+    ));
+    out.push_str(&format!(
+        "    \"cross_unit_ns_per_call\": {:.1},\n",
+        report.cross_unit_ns
+    ));
+    out.push_str(&format!(
+        "    \"cross_unit_ratio\": {:.4},\n",
+        report.ratio()
+    ));
+    out.push_str(&format!(
+        "    \"cross_unit_max_ratio\": {MAX_CROSS_UNIT_RATIO}\n"
+    ));
+    out.push_str("  }");
+    out
+}

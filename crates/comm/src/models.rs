@@ -31,11 +31,24 @@ pub enum Model {
     Links,
     /// RMI-style: serialize → loopback transport → deserialize.
     Rmi,
+    /// Cross-unit cluster call (`ijvm_core::port`): the caller and the
+    /// shape live in *different VMs* scheduled as cluster units; each
+    /// call is serialized into the target unit's mailbox, dispatched on
+    /// its service pump, and the reply copied back — the copying-model
+    /// cost structure, across share-nothing units, on one worker.
+    CrossUnit,
 }
 
 impl Model {
-    /// All four models in Table 1 order.
-    pub const ALL: [Model; 4] = [Model::Local, Model::Rmi, Model::Links, Model::IJvm];
+    /// All five models: the paper's Table 1 order plus the beyond-paper
+    /// cross-unit cluster row.
+    pub const ALL: [Model; 5] = [
+        Model::Local,
+        Model::Rmi,
+        Model::Links,
+        Model::IJvm,
+        Model::CrossUnit,
+    ];
 
     /// Display name matching the paper's Table 1 columns.
     pub fn name(self) -> &'static str {
@@ -44,6 +57,7 @@ impl Model {
             Model::IJvm => "I-JVM",
             Model::Links => "Incommunicado (links)",
             Model::Rmi => "RMI local call",
+            Model::CrossUnit => "cross-unit (cluster)",
         }
     }
 }
@@ -177,6 +191,9 @@ fn fixture(model: Model) -> Fixture {
 
 /// Measures `calls` inter-bundle calls under `model`.
 pub fn measure(model: Model, calls: u32) -> CallCostReport {
+    if model == Model::CrossUnit {
+        return measure_cross_unit(calls);
+    }
     let mut fx = fixture(model);
     // Warm up: class loading, lazy resolution, allocator growth.
     let warmup = (calls / 10).max(4);
@@ -190,6 +207,7 @@ pub fn measure(model: Model, calls: u32) -> CallCostReport {
         Model::Rmi => {
             run_rmi(&mut fx, warmup);
         }
+        Model::CrossUnit => unreachable!("dispatched above"),
     };
     let start_insns = fx.vm.vclock();
     let start = Instant::now();
@@ -197,6 +215,7 @@ pub fn measure(model: Model, calls: u32) -> CallCostReport {
         Model::Local | Model::IJvm => run_direct(&mut fx, calls),
         Model::Links => run_links(&mut fx, calls),
         Model::Rmi => run_rmi(&mut fx, calls),
+        Model::CrossUnit => unreachable!("dispatched above"),
     };
     let wall = start.elapsed();
     let guest_instructions = fx.vm.vclock() - start_insns;
@@ -205,6 +224,79 @@ pub fn measure(model: Model, calls: u32) -> CallCostReport {
         calls,
         wall,
         guest_instructions,
+        checksum,
+    }
+}
+
+/// Mini-Java for the cross-unit fixture: the shape bundle exports its
+/// `moveTo` as a cluster service; the canvas unit drags through it.
+const XUNIT_SHAPE_SRC: &str = r#"
+    class ShapeService {
+        int handle(int x) { return x + 1; }
+    }
+    class Boot {
+        static int start(int n) {
+            Service.export("shape.moveTo", new ShapeService());
+            return n;
+        }
+    }
+"#;
+
+const XUNIT_CANVAS_SRC: &str = r#"
+    class Canvas {
+        static int drag(int n) {
+            int acc = 0;
+            for (int i = 0; i < n; i++) acc += Service.call("shape.moveTo", i);
+            return acc;
+        }
+    }
+"#;
+
+/// Builds one cross-unit fixture unit: compiled classes, pre-loaded, an
+/// entry thread spawned for `arg`.
+fn xunit_vm(src: &str, entry: &str, method: &str, arg: i32) -> Vm {
+    let mut vm = ijvm_jsl::boot(VmOptions::isolated());
+    let iso = vm.create_isolate("bundle");
+    let loader = vm.loader_of(iso).unwrap();
+    for (name, bytes) in compile_to_bytes(src, &CompileEnv::new()).unwrap() {
+        vm.add_class_bytes(loader, &name, bytes);
+    }
+    let class = vm.load_class(loader, entry).unwrap();
+    let index = vm.class(class).find_method(method, "(I)I").unwrap();
+    vm.spawn_thread(
+        method,
+        MethodRef { class, index },
+        vec![Value::Int(arg)],
+        iso,
+    )
+    .unwrap();
+    vm
+}
+
+/// Measures `calls` cross-unit service calls on a one-worker cluster
+/// (the apples-to-apples comparison against the in-VM models: no
+/// parallelism, pure mechanism cost).
+pub fn measure_cross_unit(calls: u32) -> CallCostReport {
+    use ijvm_core::sched::{Cluster, SchedulerKind};
+    let mut cluster = Cluster::builder()
+        .scheduler(SchedulerKind::Deterministic)
+        .build();
+    let canvas = cluster.submit(xunit_vm(XUNIT_CANVAS_SRC, "Canvas", "drag", calls as i32));
+    let shape = cluster.submit(xunit_vm(XUNIT_SHAPE_SRC, "Boot", "start", 1));
+    let start = Instant::now();
+    let outcome = cluster.run();
+    let wall = start.elapsed();
+    let canvas_vm = &outcome.unit(&canvas).vm;
+    let shape_vm = &outcome.unit(&shape).vm;
+    let checksum = canvas_vm
+        .thread_result(ijvm_core::ids::ThreadId(0))
+        .map(|v| v.as_int() as i64)
+        .expect("canvas finished");
+    CallCostReport {
+        model: Model::CrossUnit,
+        calls,
+        wall,
+        guest_instructions: canvas_vm.vclock() + shape_vm.vclock(),
         checksum,
     }
 }

@@ -224,8 +224,8 @@ mod tests {
     #[test]
     fn worker_buffer_coalesces_and_drains_exactly() {
         use crate::sched::UnitId;
-        let u0 = UnitId(0);
-        let u1 = UnitId(1);
+        let u0 = UnitId::new(0);
+        let u1 = UnitId::new(1);
         let i0 = IsolateId(0);
         let i1 = IsolateId(1);
         let mut buf = WorkerCpuBuffer::default();

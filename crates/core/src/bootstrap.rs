@@ -199,6 +199,12 @@ pub const EXCEPTION_HIERARCHY: &[(&str, &str)] = &[
     ("java/lang/AbstractMethodError", "java/lang/Error"),
     ("java/lang/UnsatisfiedLinkError", "java/lang/Error"),
     ("java/lang/ExceptionInInitializerError", "java/lang/Error"),
+    // Raised at a caller whose cross-unit service call targets a
+    // terminated isolate (see `crate::port`).
+    (
+        "org/ijvm/ServiceRevokedException",
+        "java/lang/RuntimeException",
+    ),
 ];
 
 /// Installs the essential bootstrap classes and their natives. Must run
@@ -213,6 +219,7 @@ pub fn install(vm: &mut Vm) -> Result<()> {
         vm.install_system_class(&exception_subclass(name, sup))?;
     }
     vm.install_system_class(&stopped_isolate_exception_class())?;
+    crate::port::install(vm)?;
     Ok(())
 }
 

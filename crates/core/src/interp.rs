@@ -1413,6 +1413,11 @@ pub(crate) fn invoke_resolved(
                 }
                 Ok(InvokeAction::NativeDone)
             }
+            // Nothing is pushed: the waker delivers the result (value on
+            // the operand stack, or a pending exception) before the
+            // thread resumes, so the post-call stack shape matches
+            // `BlockReturn` exactly.
+            NativeResult::BlockPending => Ok(InvokeAction::NativeDone),
             NativeResult::Throw {
                 class_name,
                 message,
@@ -1585,6 +1590,12 @@ pub(crate) fn finish_thread(vm: &mut Vm, tid: ThreadId, value: Option<Value>) {
             i.stats.charge_cpu(insns);
         }
     }
+    // A service pump draining its last frame has completed one request,
+    // not its life: the port layer sends the reply and re-parks (or
+    // re-dispatches) the thread. Everything burned was charged above.
+    if vm.threads[t].is_service_pump && crate::port::pump_completed(vm, tid, value) {
+        return;
+    }
     let th = &mut vm.threads[t];
     th.state = ThreadState::Terminated;
     th.result = value;
@@ -1666,7 +1677,7 @@ pub(crate) fn make_sie(vm: &mut Vm, tid: ThreadId, dead_iso: IsolateId) -> GcRef
     r
 }
 
-fn sie_isolate_of(vm: &Vm, ex: GcRef) -> Option<IsolateId> {
+pub(crate) fn sie_isolate_of(vm: &Vm, ex: GcRef) -> Option<IsolateId> {
     let obj = vm.heap.get(ex);
     let class = &vm.classes[obj.class.0 as usize];
     if &*class.name != STOPPED_ISOLATE_EXCEPTION {
@@ -1699,6 +1710,14 @@ pub(crate) fn unwind(vm: &mut Vm, tid: ThreadId, ex: GcRef) -> bool {
                 if let Some(i) = vm.isolates.get_mut(iso.0 as usize) {
                     i.stats.charge_cpu(insns);
                 }
+            }
+            // A handler exception inside a service pump becomes a failed
+            // (or revoked) reply to the caller; the pump survives unless
+            // its isolate was terminated. `false` still tells the engine
+            // to stop stepping this thread — it was re-parked or
+            // re-dispatched, not terminated.
+            if vm.threads[t].is_service_pump && crate::port::pump_failed(vm, tid, ex) {
+                return false;
             }
             let th = &mut vm.threads[t];
             th.uncaught = Some(ex);

@@ -39,6 +39,10 @@ pub struct Isolate {
     pub strings: HashMap<String, GcRef>,
     /// Resource counters.
     pub stats: ResourceStats,
+    /// The isolate's port table: names of the cross-unit services it
+    /// currently exports (see [`crate::port`]). Termination revokes all
+    /// of them.
+    pub exported_ports: Vec<String>,
 }
 
 impl Isolate {
@@ -51,6 +55,7 @@ impl Isolate {
             state: IsolateState::Active,
             strings: HashMap::new(),
             stats: ResourceStats::default(),
+            exported_ports: Vec::new(),
         }
     }
 

@@ -65,12 +65,14 @@ pub mod interp;
 pub mod isolate;
 pub mod monitor;
 pub mod natives;
+pub mod port;
 pub mod sched;
 pub mod terminate;
 pub mod thread;
 pub mod value;
 pub mod vm;
 pub mod vmrc;
+pub mod wire;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
@@ -80,7 +82,11 @@ pub mod prelude {
     pub use crate::ids::{ClassId, IsolateId, LoaderId, MethodRef, ThreadId};
     pub use crate::isolate::IsolateState;
     pub use crate::natives::{NativeFn, NativeResult};
-    pub use crate::sched::{Cluster, ClusterCtl, ClusterOutcome, SchedulerKind, UnitId};
+    pub use crate::port::PortHub;
+    pub use crate::sched::{
+        Cluster, ClusterBuilder, ClusterCtl, ClusterOutcome, SchedulerKind, UnitHandle, UnitId,
+        UnitOutcome,
+    };
     pub use crate::value::{GcRef, Value};
     pub use crate::vm::{IsolationMode, RunOutcome, Vm, VmOptions};
 }

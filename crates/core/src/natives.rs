@@ -30,6 +30,12 @@ pub enum NativeResult {
     /// The native has parked the calling thread (set its state itself);
     /// when the thread resumes, the call completes with this value.
     BlockReturn(Option<Value>),
+    /// The native has parked the calling thread (set its state itself)
+    /// and the call's result is not known yet: whoever wakes the thread
+    /// must first push the return value onto its top frame's operand
+    /// stack (or install a pending exception). Used by the cross-unit
+    /// service layer ([`crate::port`]), where the reply arrives later.
+    BlockPending,
     /// Host-level failure; aborts the VM run.
     Fail(VmError),
 }

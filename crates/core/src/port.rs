@@ -1,0 +1,1371 @@
+//! The inter-unit service/message layer — cross-unit communication for
+//! the cluster scheduler (the ROADMAP's "distributed OSGi" step).
+//!
+//! Cluster units ([`crate::sched`]) are share-nothing `Send` VMs: no
+//! reference ever crosses a unit boundary. This module lets them
+//! communicate anyway, with the copying semantics the paper's Table 1
+//! attributes to Incommunicado-style links: a unit **exports** named
+//! services, and guest code on any unit **calls** them with arguments
+//! deep-copied through the [`crate::wire`] codec into the target unit's
+//! mailbox.
+//!
+//! ```text
+//!   unit A (caller)                hub                unit B (exporter)
+//!   ─────────────────          ──────────          ─────────────────────
+//!   Service.call ──serialize──▶ mailbox[B] ──drain──▶ pump thread runs
+//!     thread blocks             (woken: B)            handler.handle(arg)
+//!     (BlockedOnPort)                                     │ return
+//!   resume ◀──deserialize── mailbox[A] ◀──serialize──────┘
+//! ```
+//!
+//! **Host-side registry.** The [`PortHub`] is shared by every unit of one
+//! cluster. Its registry is keyed by `(UnitId, name)` — units are
+//! *addressable*: the same service name may be exported by several units
+//! (sharding), and `Service.callAt(unit, name, x)` targets one
+//! explicitly while `Service.call(name, x)` resolves to the lowest
+//! exporting unit. Calls made before the service is exported wait in the
+//! hub and are delivered on export (service-tracker semantics).
+//!
+//! **Service pumps.** Exporting spawns one *pump* green thread per
+//! service in the exporting VM. A pump has no guest loop: it parks in
+//! [`ThreadState::ServicePump`] with an empty frame stack, and request
+//! delivery pushes a `handler.handle(arg)` frame onto it directly.
+//! Draining its last frame completes the request — the interpreter's
+//! thread-exit path hands the result back here (`pump_completed`),
+//! which serializes the reply, posts it, and re-parks (or immediately
+//! re-dispatches) the pump. One pump serves one request at a time, so
+//! each service processes its mailbox strictly in arrival order — the
+//! property the cross-scheduler differential tests pin.
+//!
+//! **Sender-pays accounting (paper §3.2 lifted across units).** Copy
+//! cost is charged through [`crate::accounting::ResourceStats::charge_cpu`]
+//! to the isolate that *produces* the bytes: the calling isolate pays
+//! for the request's serialization, the serving isolate pays for the
+//! reply's. The charge is a deterministic function of the payload
+//! ([`MSG_BASE_COST`] plus one unit per byte), so per-isolate `cpu_exact`
+//! stays bit-identical across scheduler modes.
+//!
+//! **Delivery points.** Mailboxes are drained only at quantum
+//! boundaries, by the scheduler, when it picks the unit up
+//! (`Vm::port_drain`); replies are posted when the pump's handler
+//! frame returns. Both are deterministic points of the executing VM's
+//! own instruction stream, which is what keeps a two-unit ping-pong
+//! bit-identical between `Deterministic` and `Parallel(n)` — only the
+//! wall-clock time at which a parked unit is resumed may differ. The
+//! guarantee is per *message schedule*: when guest code itself races —
+//! two units sending to one mailbox concurrently, or a bare-name call
+//! racing a same-named export on another unit — arrival (and hence
+//! resolution) order is scheduling-dependent in parallel mode. Use
+//! data-dependent shapes (request→reply chains) or `callAt` addressing
+//! where cross-mode bit-identity matters; the differential corpus does.
+//!
+//! **Revocation (paper §3.3 lifted across units).** Terminating an
+//! isolate drops every service it exported: pending and in-flight calls
+//! fail at the caller with `org/ijvm/ServiceRevokedException`, future
+//! calls fail immediately, and the pump threads die with the isolate.
+
+use crate::ids::{IsolateId, MethodRef, ThreadId};
+use crate::natives::NativeResult;
+use crate::sched::UnitId;
+use crate::thread::{ThreadState, VmThread};
+use crate::value::{GcRef, Value};
+use crate::vm::Vm;
+use ijvm_classfile::{AccessFlags, ClassBuilder, ClassFile};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Exception raised at a caller whose in-flight or future call targets a
+/// service of a terminated isolate.
+pub const SERVICE_REVOKED_EXCEPTION: &str = "org/ijvm/ServiceRevokedException";
+
+/// Fixed per-message accounting charge, on top of one exactly-counted
+/// "instruction" per serialized byte. Charged to the *sender's* isolate
+/// through [`crate::accounting::ResourceStats::charge_cpu`] at the point
+/// the copy is produced.
+pub const MSG_BASE_COST: u64 = 16;
+
+/// Which handler overload a payload dispatches to (and how the reply is
+/// decoded at the caller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PayloadKind {
+    /// `int handle(int)` — primitive fast path, no object graph.
+    Int,
+    /// `Object handle(Object)` — full deep-copied object graphs.
+    Obj,
+}
+
+impl PayloadKind {
+    fn handle_descriptor(self) -> &'static str {
+        match self {
+            PayloadKind::Int => "(I)I",
+            PayloadKind::Obj => "(Ljava/lang/Object;)Ljava/lang/Object;",
+        }
+    }
+}
+
+/// Why a call could not complete, shipped back in the reply envelope.
+#[derive(Debug, Clone)]
+pub(crate) enum ReplyError {
+    /// The serving isolate was terminated (before or during the call).
+    Revoked(String),
+    /// The handler threw, or the request could not be decoded.
+    Failed(String),
+}
+
+/// A message in a unit's mailbox.
+#[derive(Debug)]
+pub(crate) enum Envelope {
+    /// A service call (or one-way send) from another unit.
+    Request {
+        /// Hub-assigned call id, echoed in the reply.
+        call: u64,
+        /// Unit to post the reply to.
+        reply_to: UnitId,
+        /// Target service name.
+        service: Arc<str>,
+        /// Payload kind (selects the handler overload).
+        kind: PayloadKind,
+        /// Wire-encoded argument.
+        bytes: Vec<u8>,
+        /// `true` for `Port.send`: no reply is ever produced.
+        oneway: bool,
+    },
+    /// The outcome of a request this unit made earlier.
+    Reply {
+        /// The call this answers.
+        call: u64,
+        /// Wire-encoded result, or the failure.
+        result: Result<(PayloadKind, Vec<u8>), ReplyError>,
+    },
+}
+
+/// One exported service as the hub sees it.
+#[derive(Debug)]
+struct HubService {
+    /// Isolate that owns (and is accountable for) the service.
+    #[allow(dead_code)]
+    isolate: IsolateId,
+    /// Set by isolate termination: calls fail with `ServiceRevoked`.
+    revoked: bool,
+}
+
+/// Failure modes of [`PortHub::send_request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SendError {
+    /// Every matching export has been revoked.
+    Revoked,
+}
+
+#[derive(Debug, Default)]
+struct HubState {
+    /// The host-side registry, keyed by `(UnitId, name)`. Resolution by
+    /// bare name walks this map in key order, so it deterministically
+    /// picks the lowest exporting unit.
+    services: BTreeMap<(UnitId, Arc<str>), HubService>,
+    /// Per-unit mailboxes, drained at quantum boundaries.
+    mail: BTreeMap<u32, VecDeque<Envelope>>,
+    /// Units with fresh mail since the scheduler's last wake-up sweep.
+    woken: Vec<u32>,
+    /// Requests whose service has not been exported yet (service-tracker
+    /// semantics): `(name, unit filter, envelope)`.
+    unresolved: Vec<(Arc<str>, Option<UnitId>, Envelope)>,
+    /// Call-id allocator.
+    next_call: u64,
+}
+
+/// The message hub shared by every unit of one cluster: service registry,
+/// mailboxes and wake-up tokens. Created by the
+/// [`crate::sched::ClusterBuilder`]; units reach it through the
+/// [`crate::vm::Vm`] they were submitted as.
+#[derive(Debug, Default)]
+pub struct PortHub {
+    state: Mutex<HubState>,
+    /// Fast-path mirror of "`woken` is non-empty", so idle scheduler
+    /// sweeps don't take the lock. Set under the lock on every post,
+    /// cleared under the lock when the wake-up list drains — a `false`
+    /// read can only miss a post that had not happened yet.
+    woken_flag: std::sync::atomic::AtomicBool,
+}
+
+impl PortHub {
+    /// Registers `(unit, name)` and routes any requests parked awaiting
+    /// this export into the unit's mailbox.
+    pub(crate) fn export(&self, unit: UnitId, name: Arc<str>, isolate: IsolateId) {
+        let mut st = self.state.lock().unwrap();
+        st.services.insert(
+            (unit, Arc::clone(&name)),
+            HubService {
+                isolate,
+                revoked: false,
+            },
+        );
+        let pending = std::mem::take(&mut st.unresolved);
+        for (n, filter, env) in pending {
+            if *n == *name && filter.is_none_or(|u| u == unit) {
+                self.post_locked(&mut st, unit, env);
+            } else {
+                st.unresolved.push((n, filter, env));
+            }
+        }
+    }
+
+    /// Marks `(unit, name)` revoked; subsequent sends fail fast.
+    pub(crate) fn revoke(&self, unit: UnitId, name: &str) {
+        let mut st = self.state.lock().unwrap();
+        for ((u, n), svc) in st.services.iter_mut() {
+            if *u == unit && **n == *name {
+                svc.revoked = true;
+            }
+        }
+    }
+
+    /// Routes a request: to `target`'s mailbox when addressed, to the
+    /// lowest exporting unit otherwise, or parks it awaiting export.
+    /// Returns the call id the reply will carry.
+    pub(crate) fn send_request(
+        &self,
+        from: UnitId,
+        target: Option<UnitId>,
+        name: &str,
+        kind: PayloadKind,
+        bytes: Vec<u8>,
+        oneway: bool,
+    ) -> Result<u64, SendError> {
+        let mut st = self.state.lock().unwrap();
+        st.next_call += 1;
+        let call = st.next_call;
+        // One scan resolves the target and reuses the registry key's
+        // `Arc<str>` — the hot call path allocates no name copy.
+        let mut resolved: Option<(UnitId, Arc<str>)> = None;
+        let mut any_revoked = false;
+        for ((u, n), svc) in st.services.iter() {
+            if **n == *name && target.is_none_or(|t| t == *u) {
+                if svc.revoked {
+                    any_revoked = true;
+                } else {
+                    resolved = Some((*u, Arc::clone(n)));
+                    break;
+                }
+            }
+        }
+        if resolved.is_none() && any_revoked {
+            return Err(SendError::Revoked);
+        }
+        match resolved {
+            Some((u, service)) => {
+                let env = Envelope::Request {
+                    call,
+                    reply_to: from,
+                    service,
+                    kind,
+                    bytes,
+                    oneway,
+                };
+                self.post_locked(&mut st, u, env);
+            }
+            None => {
+                let name_arc: Arc<str> = Arc::from(name);
+                let env = Envelope::Request {
+                    call,
+                    reply_to: from,
+                    service: Arc::clone(&name_arc),
+                    kind,
+                    bytes,
+                    oneway,
+                };
+                st.unresolved.push((name_arc, target, env));
+            }
+        }
+        Ok(call)
+    }
+
+    /// Posts an envelope to `unit`'s mailbox and marks it woken.
+    pub(crate) fn post(&self, unit: UnitId, env: Envelope) {
+        let mut st = self.state.lock().unwrap();
+        self.post_locked(&mut st, unit, env);
+    }
+
+    fn post_locked(&self, st: &mut HubState, unit: UnitId, env: Envelope) {
+        st.mail.entry(unit.index()).or_default().push_back(env);
+        if !st.woken.contains(&unit.index()) {
+            st.woken.push(unit.index());
+        }
+        self.woken_flag
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Drains `unit`'s mailbox into `out` (the quantum-boundary drain).
+    /// The mailbox buffer stays in place, capacity and all, so the hot
+    /// ping-pong path stops allocating queue storage.
+    pub(crate) fn take_mail_into(&self, unit: UnitId, out: &mut Vec<Envelope>) {
+        let mut st = self.state.lock().unwrap();
+        if let Some(q) = st.mail.get_mut(&unit.index()) {
+            out.extend(q.drain(..));
+        }
+    }
+
+    /// `true` when `unit` has undelivered mail.
+    pub(crate) fn has_mail(&self, unit: UnitId) -> bool {
+        let st = self.state.lock().unwrap();
+        st.mail.get(&unit.index()).is_some_and(|q| !q.is_empty())
+    }
+
+    /// `true` when some unit may have received mail since the last sweep
+    /// (lock-free fast path; may say `true` spuriously, never misses a
+    /// post that completed before the load).
+    pub(crate) fn has_woken(&self) -> bool {
+        self.woken_flag.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Drains the units that received mail since the last sweep into
+    /// `out`, in post order (the scheduler's unpark order).
+    pub(crate) fn drain_woken_into(&self, out: &mut Vec<u32>) {
+        let mut st = self.state.lock().unwrap();
+        out.append(&mut st.woken);
+        self.woken_flag
+            .store(false, std::sync::atomic::Ordering::Release);
+    }
+
+    /// `true` when no undelivered mail or wake-up token exists anywhere —
+    /// the hub-side half of the cluster's quiescence check. Requests
+    /// parked awaiting an export that never happens do *not* block
+    /// quiescence: their callers stay blocked and their units report it.
+    pub(crate) fn quiescent(&self) -> bool {
+        let st = self.state.lock().unwrap();
+        st.woken.is_empty() && st.mail.values().all(|q| q.is_empty())
+    }
+
+    /// Number of requests parked awaiting an export (introspection).
+    pub fn unresolved_requests(&self) -> usize {
+        self.state.lock().unwrap().unresolved.len()
+    }
+
+    /// Exported service names, in `(unit, name)` order (introspection).
+    pub fn service_names(&self) -> Vec<(u32, String)> {
+        self.state
+            .lock()
+            .unwrap()
+            .services
+            .iter()
+            .filter(|(_, s)| !s.revoked)
+            .map(|((u, n), _)| (u.index(), n.to_string()))
+            .collect()
+    }
+}
+
+/// Where a request came from, so the reply can find its way back.
+#[derive(Debug, Clone, Copy)]
+enum ReplyTo {
+    /// Another unit, via the hub.
+    Unit(UnitId),
+    /// A caller in this same VM (local call on an unattached VM).
+    Local,
+}
+
+/// A request delivered to a pump, ready to dispatch.
+#[derive(Debug)]
+struct ReadyRequest {
+    call: u64,
+    reply_to: ReplyTo,
+    kind: PayloadKind,
+    bytes: Vec<u8>,
+    oneway: bool,
+}
+
+/// The request a pump is currently serving.
+#[derive(Debug, Clone, Copy)]
+struct CurrentCall {
+    call: u64,
+    reply_to: ReplyTo,
+    kind: PayloadKind,
+    oneway: bool,
+}
+
+/// One exported service inside its VM: the pump thread plus the resolved
+/// handler methods and the request queue.
+#[derive(Debug)]
+struct Pump {
+    thread: ThreadId,
+    isolate: IsolateId,
+    handler_pin: usize,
+    handle_int: Option<MethodRef>,
+    handle_obj: Option<MethodRef>,
+    queue: VecDeque<ReadyRequest>,
+    current: Option<CurrentCall>,
+}
+
+/// A thread blocked in `Service.call`, awaiting its reply.
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    thread: ThreadId,
+}
+
+/// Per-VM port state: the cluster attachment, the service pumps this VM
+/// exports, and the threads waiting on replies. Always present (so
+/// services can be exported before the VM is submitted to a cluster);
+/// inert until guest code touches the `ijvm/Service` surface.
+#[derive(Debug, Default)]
+pub(crate) struct PortState {
+    /// Set by [`crate::sched::Cluster::submit`].
+    attach: Option<(UnitId, Arc<PortHub>)>,
+    pumps: BTreeMap<Arc<str>, Pump>,
+    waiting: HashMap<u64, Waiter>,
+    /// Call ids for local (unattached) dispatches, allocated from the top
+    /// of the id space so they can never collide with hub-assigned ids.
+    next_local_call: u64,
+    /// Reused buffer for mailbox drains (no steady-state allocation on
+    /// the ping-pong path).
+    drain_scratch: Vec<Envelope>,
+    /// One-entry service-name decode cache: guest code overwhelmingly
+    /// passes the same interned string constant on every call, so the
+    /// UTF-16 decode + allocation is paid once per (ref, GC epoch).
+    name_cache: Option<(GcRef, u64, Arc<str>)>,
+}
+
+impl PortState {
+    /// `true` when a client thread is parked awaiting a reply —
+    /// [`crate::vm::Vm::run`] reports [`crate::vm::RunOutcome::Blocked`]
+    /// instead of `Deadlock`/`Idle` while this holds.
+    pub(crate) fn has_waiters(&self) -> bool {
+        !self.waiting.is_empty()
+    }
+
+    /// `true` when the unit must stay schedulable after going idle:
+    /// it exports live services or has calls in flight.
+    pub(crate) fn keeps_unit_alive(&self) -> bool {
+        !self.pumps.is_empty() || !self.waiting.is_empty()
+    }
+
+    fn alloc_local_call(&mut self) -> u64 {
+        self.next_local_call += 1;
+        u64::MAX - self.next_local_call
+    }
+}
+
+impl Vm {
+    /// Attaches this VM to a cluster hub as `unit`, publishing every
+    /// already-exported service into the hub registry. Called by
+    /// [`crate::sched::Cluster::submit`].
+    pub(crate) fn attach_port(&mut self, unit: UnitId, hub: Arc<PortHub>) {
+        for (name, pump) in &self.port.pumps {
+            hub.export(unit, Arc::clone(name), pump.isolate);
+        }
+        self.port.attach = Some((unit, hub));
+    }
+
+    /// Drains this unit's mailbox, delivering every envelope: requests
+    /// dispatch onto (or queue behind) their service pump, replies wake
+    /// their waiting caller. The scheduler calls this at every quantum
+    /// boundary, before running a slice.
+    pub(crate) fn port_drain(&mut self) {
+        // Fast path: a unit with no exports and no calls in flight can
+        // receive no mail (requests need a registry entry, replies a
+        // waiter), so compute-only units skip the hub lock entirely.
+        // The one exception — a request that raced in just before this
+        // unit's services were revoked — is caught by the scheduler's
+        // finish-path mailbox check, which calls `port_drain_force`.
+        if self.port.pumps.is_empty() && self.port.waiting.is_empty() {
+            return;
+        }
+        self.port_drain_force();
+    }
+
+    /// Unconditional mailbox drain (see [`Vm::port_drain`]).
+    pub(crate) fn port_drain_force(&mut self) {
+        let Some((unit, hub)) = self.port.attach.clone() else {
+            return;
+        };
+        let mut mail = std::mem::take(&mut self.port.drain_scratch);
+        hub.take_mail_into(unit, &mut mail);
+        for env in mail.drain(..) {
+            match env {
+                Envelope::Request {
+                    call,
+                    reply_to,
+                    service,
+                    kind,
+                    bytes,
+                    oneway,
+                } => {
+                    let req = ReadyRequest {
+                        call,
+                        reply_to: ReplyTo::Unit(reply_to),
+                        kind,
+                        bytes,
+                        oneway,
+                    };
+                    self.pump_enqueue(&service, req);
+                }
+                Envelope::Reply { call, result } => deliver_reply(self, call, result),
+            }
+        }
+        self.port.drain_scratch = mail;
+    }
+
+    /// Revokes every service exported by `iso`: replies `ServiceRevoked`
+    /// to its pending and queued calls, marks the hub entries revoked,
+    /// and retires idle pump threads (busy ones die with the isolate's
+    /// `StoppedIsolateException`). Called by isolate termination.
+    pub(crate) fn port_revoke_isolate(&mut self, iso: IsolateId) {
+        let names: Vec<Arc<str>> = self
+            .port
+            .pumps
+            .iter()
+            .filter(|(_, p)| p.isolate == iso)
+            .map(|(n, _)| Arc::clone(n))
+            .collect();
+        for name in names {
+            revoke_pump(self, &name);
+        }
+    }
+
+    /// `true` when this unit must stay schedulable after going idle: it
+    /// exports live services or waits on a cross-unit reply. The
+    /// scheduler parks such units instead of finishing them.
+    pub(crate) fn port_keeps_unit_alive(&self) -> bool {
+        self.port.keeps_unit_alive()
+    }
+
+    /// Queues `req` behind `name`'s pump (or fails it when the service
+    /// is gone) and dispatches if the pump is idle.
+    fn pump_enqueue(&mut self, name: &Arc<str>, req: ReadyRequest) {
+        match self.port.pumps.get_mut(name) {
+            Some(pump) => {
+                pump.queue.push_back(req);
+                pump_advance(self, name);
+            }
+            None => {
+                let msg = format!("service '{name}' revoked: isolate terminated");
+                send_reply(
+                    self,
+                    req.reply_to,
+                    req.call,
+                    req.oneway,
+                    Err(ReplyError::Revoked(msg)),
+                );
+            }
+        }
+    }
+}
+
+/// Charges the deterministic copy cost of a `len`-byte message to `iso`
+/// through the single exact-CPU flush point — the sender-pays invariant.
+fn charge_copy(vm: &mut Vm, iso: IsolateId, len: usize) {
+    if vm.options.accounting {
+        if let Some(i) = vm.isolates.get_mut(iso.0 as usize) {
+            i.stats.charge_cpu(MSG_BASE_COST + len as u64);
+        }
+    }
+}
+
+/// Dispatches queued requests onto `name`'s pump until it is busy or the
+/// queue is dry. Undecodable requests are failed and skipped.
+fn pump_advance(vm: &mut Vm, name: &Arc<str>) {
+    loop {
+        let req = {
+            let Some(pump) = vm.port.pumps.get_mut(name) else {
+                return;
+            };
+            if pump.current.is_some() {
+                return;
+            }
+            let Some(req) = pump.queue.pop_front() else {
+                return;
+            };
+            req
+        };
+        match try_start(vm, name, req) {
+            Ok(()) => return,
+            Err((reply_to, call, oneway, err)) => {
+                send_reply(vm, reply_to, call, oneway, Err(err));
+            }
+        }
+    }
+}
+
+type StartFailure = (ReplyTo, u64, bool, ReplyError);
+
+/// Pushes the handler frame for `req` onto the pump thread and wakes it.
+fn try_start(vm: &mut Vm, name: &Arc<str>, req: ReadyRequest) -> Result<(), StartFailure> {
+    let (tid, iso, pin, handle_int, handle_obj) = {
+        let p = &vm.port.pumps[name];
+        (
+            p.thread,
+            p.isolate,
+            p.handler_pin,
+            p.handle_int,
+            p.handle_obj,
+        )
+    };
+    let fail = |err| (req.reply_to, req.call, req.oneway, err);
+    let Some(method) = (match req.kind {
+        PayloadKind::Int => handle_int,
+        PayloadKind::Obj => handle_obj,
+    }) else {
+        return Err(fail(ReplyError::Failed(format!(
+            "service '{name}' has no handle{} handler",
+            req.kind.handle_descriptor()
+        ))));
+    };
+    let loader = vm.isolates[iso.0 as usize].loader;
+    let arg = match crate::wire::deserialize_value(vm, &req.bytes, iso, loader) {
+        Ok(v) => v,
+        Err(e) => {
+            return Err(fail(ReplyError::Failed(format!(
+                "service '{name}' argument decode failed: {e}"
+            ))));
+        }
+    };
+    let handler = vm.pinned(pin).expect("pump handler is pinned");
+    // Build the handler frame out of the pump's frame pool — the
+    // dispatch hot path allocates no locals/stack buffers in steady
+    // state. Isolate routing matches `Vm::make_frame` exactly (shared
+    // rule: `frame_executes_in_caller`).
+    let (code, is_system, frame_isolate, synchronized) = {
+        let class = &vm.classes[method.class.0 as usize];
+        let m = &class.methods[method.index as usize];
+        let Some(code) = m.code.as_ref() else {
+            return Err(fail(ReplyError::Failed(format!(
+                "service '{name}' handler is not a bytecode method"
+            ))));
+        };
+        let frame_isolate = if vm.frame_executes_in_caller(method) {
+            iso
+        } else {
+            class.isolate
+        };
+        (code.share(), class.is_system, frame_isolate, m.synchronized)
+    };
+    let (max_locals, max_stack) = (code.max_locals as usize, code.max_stack as usize);
+    let th = &mut vm.threads[tid.0 as usize];
+    let mut locals = th.frame_pool.take(max_locals);
+    locals.push(Value::Ref(handler));
+    locals.push(arg);
+    locals.resize(max_locals, Value::Int(0));
+    let stack = th.frame_pool.take(max_stack);
+    th.current_isolate = frame_isolate;
+    th.frames.push(crate::thread::Frame {
+        method,
+        class: method.class,
+        isolate: frame_isolate,
+        caller_isolate: iso,
+        is_system,
+        code,
+        pc: 0,
+        locals,
+        stack,
+        sync_object: None,
+        needs_sync_enter: synchronized,
+        poisoned_return: None,
+    });
+    vm.port.pumps.get_mut(name).unwrap().current = Some(CurrentCall {
+        call: req.call,
+        reply_to: req.reply_to,
+        kind: req.kind,
+        oneway: req.oneway,
+    });
+    vm.wake(tid);
+    Ok(())
+}
+
+/// Sends a reply produced in this VM to wherever the request came from.
+fn send_reply(
+    vm: &mut Vm,
+    reply_to: ReplyTo,
+    call: u64,
+    oneway: bool,
+    result: Result<(PayloadKind, Vec<u8>), ReplyError>,
+) {
+    if oneway {
+        return;
+    }
+    match reply_to {
+        ReplyTo::Unit(u) => {
+            let (_, hub) = vm
+                .port
+                .attach
+                .clone()
+                .expect("cross-unit request on an unattached VM");
+            hub.post(u, Envelope::Reply { call, result });
+        }
+        ReplyTo::Local => deliver_reply(vm, call, result),
+    }
+}
+
+/// Completes a waiting `Service.call`: pushes the deserialized result on
+/// the caller's operand stack (or installs the failure as a pending
+/// exception) and wakes the thread. Stale replies — the caller was
+/// interrupted or its isolate terminated meanwhile — are dropped.
+fn deliver_reply(vm: &mut Vm, call: u64, result: Result<(PayloadKind, Vec<u8>), ReplyError>) {
+    let Some(waiter) = vm.port.waiting.remove(&call) else {
+        return;
+    };
+    let tid = waiter.thread;
+    let t = tid.0 as usize;
+    if vm.threads[t].state != (ThreadState::BlockedOnPort { call }) {
+        return; // the caller already moved on (interrupt, termination)
+    }
+    match result {
+        Ok((_, bytes)) => {
+            let iso = vm.threads[t].current_isolate;
+            let loader = vm.isolates[iso.0 as usize].loader;
+            match crate::wire::deserialize_value(vm, &bytes, iso, loader) {
+                Ok(v) => {
+                    vm.threads[t]
+                        .top_frame_mut()
+                        .expect("caller frame survives the call")
+                        .stack
+                        .push(v);
+                }
+                Err(e) => {
+                    let ex = crate::interp::alloc_exception(
+                        vm,
+                        tid,
+                        "java/lang/RuntimeException",
+                        &format!("service reply decode failed: {e}"),
+                    );
+                    vm.threads[t].pending_exception = Some(ex);
+                }
+            }
+        }
+        Err(ReplyError::Revoked(msg)) => {
+            let ex = crate::interp::alloc_exception(vm, tid, SERVICE_REVOKED_EXCEPTION, &msg);
+            vm.threads[t].pending_exception = Some(ex);
+        }
+        Err(ReplyError::Failed(msg)) => {
+            let ex = crate::interp::alloc_exception(vm, tid, "java/lang/RuntimeException", &msg);
+            vm.threads[t].pending_exception = Some(ex);
+        }
+    }
+    vm.wake(tid);
+}
+
+/// Finds the service a pump thread belongs to.
+fn find_pump_name(vm: &Vm, tid: ThreadId) -> Option<Arc<str>> {
+    vm.port
+        .pumps
+        .iter()
+        .find(|(_, p)| p.thread == tid)
+        .map(|(n, _)| Arc::clone(n))
+}
+
+/// Re-parks a pump thread awaiting its next request.
+fn park_pump(vm: &mut Vm, tid: ThreadId, iso: IsolateId) {
+    let th = &mut vm.threads[tid.0 as usize];
+    th.state = ThreadState::ServicePump;
+    th.current_isolate = iso;
+}
+
+/// Called by the interpreter when a service pump drains its last frame:
+/// one request completed. Serializes and posts the reply (the serving
+/// isolate pays for the copy), then re-parks or re-dispatches the pump.
+/// Returns `false` when the thread is not actually a live pump (it then
+/// terminates normally).
+pub(crate) fn pump_completed(vm: &mut Vm, tid: ThreadId, value: Option<Value>) -> bool {
+    let Some(name) = find_pump_name(vm, tid) else {
+        return false;
+    };
+    let iso = vm.port.pumps[&name].isolate;
+    let cur = vm.port.pumps.get_mut(&name).unwrap().current.take();
+    if let Some(cur) = cur {
+        if !cur.oneway {
+            let mut bytes = Vec::with_capacity(32);
+            crate::wire::serialize_value(vm, value.unwrap_or(Value::Null), &mut bytes);
+            charge_copy(vm, iso, bytes.len());
+            send_reply(vm, cur.reply_to, cur.call, false, Ok((cur.kind, bytes)));
+        }
+    }
+    park_pump(vm, tid, iso);
+    pump_advance(vm, &name);
+    true
+}
+
+/// Called by the interpreter when a service pump dies unwinding: the
+/// handler threw. A `StoppedIsolateException` *for the pump's own
+/// isolate* means the service died mid-call — it is revoked, its calls
+/// fail with `ServiceRevoked`, and the pump thread dies (return
+/// `false`). Any other exception — including an SIE for some *other*
+/// isolate the handler had called into — becomes a failed reply for
+/// that one call and the pump survives. (In the common termination
+/// path the pump is already gone from the table by the time its thread
+/// unwinds — `port_revoke_isolate` ran first — so `find_pump_name`
+/// misses and the thread dies normally.)
+pub(crate) fn pump_failed(vm: &mut Vm, tid: ThreadId, ex: GcRef) -> bool {
+    let Some(name) = find_pump_name(vm, tid) else {
+        return false;
+    };
+    let iso = vm.port.pumps[&name].isolate;
+    let class = vm.heap.get(ex).class;
+    let class_name = vm.classes[class.0 as usize].name.to_string();
+    if class_name == crate::interp::STOPPED_ISOLATE_EXCEPTION
+        && crate::interp::sie_isolate_of(vm, ex) == Some(iso)
+    {
+        revoke_pump(vm, &name);
+        return false;
+    }
+    let msg = vm.exception_message(ex).unwrap_or_default();
+    let detail = format!("service '{name}' handler threw {class_name}: {msg}");
+    let cur = vm.port.pumps.get_mut(&name).unwrap().current.take();
+    if let Some(cur) = cur {
+        send_reply(
+            vm,
+            cur.reply_to,
+            cur.call,
+            cur.oneway,
+            Err(ReplyError::Failed(detail)),
+        );
+    }
+    park_pump(vm, tid, iso);
+    pump_advance(vm, &name);
+    true
+}
+
+/// Tears one service down: fails its in-flight and queued calls with
+/// `ServiceRevoked`, revokes the hub entry, unpins the handler, and
+/// retires the pump thread if it is idle (a busy pump dies through the
+/// isolate-termination unwinding instead).
+fn revoke_pump(vm: &mut Vm, name: &Arc<str>) {
+    let Some(mut pump) = vm.port.pumps.remove(name) else {
+        return;
+    };
+    let msg = format!("service '{name}' revoked: isolate terminated");
+    if let Some(cur) = pump.current.take() {
+        send_reply(
+            vm,
+            cur.reply_to,
+            cur.call,
+            cur.oneway,
+            Err(ReplyError::Revoked(msg.clone())),
+        );
+    }
+    for req in pump.queue.drain(..) {
+        send_reply(
+            vm,
+            req.reply_to,
+            req.call,
+            req.oneway,
+            Err(ReplyError::Revoked(msg.clone())),
+        );
+    }
+    vm.unpin(pump.handler_pin);
+    if let Some((unit, hub)) = vm.port.attach.clone() {
+        hub.revoke(unit, name);
+    }
+    if let Some(i) = vm.isolates.get_mut(pump.isolate.0 as usize) {
+        i.exported_ports.retain(|n| n != &**name);
+    }
+    // Retire the pump thread only if it is parked idle. A busy pump —
+    // including one that already unwound its frames and is mid-way
+    // through `pump_failed` — is left to the engine's normal
+    // thread-death path, which runs `on_thread_exit` exactly once.
+    let th = &mut vm.threads[pump.thread.0 as usize];
+    if th.state == ThreadState::ServicePump {
+        debug_assert!(th.frames.is_empty());
+        th.state = ThreadState::Terminated;
+        vm.on_thread_exit(pump.thread);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The native surface: ijvm/Service and ijvm/Port
+// ---------------------------------------------------------------------
+
+/// Why an export was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExportError {
+    /// The handler object has neither `handle(int)` nor `handle(Object)`.
+    NoHandler(String),
+    /// This VM already exports a service under that name.
+    Duplicate(String),
+    /// The live-thread limit leaves no room for the pump thread.
+    ThreadLimit,
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::NoHandler(class) => write!(
+                f,
+                "service handler {class} has no handle(int) or handle(Object) method"
+            ),
+            ExportError::Duplicate(name) => {
+                write!(f, "service '{name}' is already exported by this unit")
+            }
+            ExportError::ThreadLimit => write!(f, "unable to create service pump thread"),
+        }
+    }
+}
+
+impl Vm {
+    /// Host-side export: publishes `handler` (an object with a
+    /// `handle(int)` and/or `handle(Object)` method) as service `name`
+    /// owned by — and accountable to — `owner`. The embedding
+    /// counterpart of the guest's `Service.export`; the OSGi layer uses
+    /// it to make bundle services callable from other units.
+    pub fn export_service(
+        &mut self,
+        name: &str,
+        handler: GcRef,
+        owner: IsolateId,
+    ) -> Result<(), ExportError> {
+        do_export(self, owner, name, handler)
+    }
+
+    /// Withdraws a service this VM exports, failing its in-flight and
+    /// queued calls with `ServiceRevoked` and retiring its pump. Returns
+    /// `false` when no such service exists. Replacing a service is
+    /// retract-then-export — the OSGi layer uses exactly that for
+    /// `registerService` over an existing name, so cross-unit callers
+    /// move to the new handler instead of silently keeping the old one.
+    pub fn retract_service(&mut self, name: &str) -> bool {
+        let Some(key) = self.port.pumps.keys().find(|k| ***k == *name).cloned() else {
+            return false;
+        };
+        revoke_pump(self, &key);
+        true
+    }
+}
+
+/// Exports a service: resolves the handler's `handle` overloads, spawns
+/// the pump thread, and publishes `(unit, name)` to the hub when the VM
+/// is attached to a cluster.
+fn do_export(vm: &mut Vm, iso: IsolateId, name: &str, handler: GcRef) -> Result<(), ExportError> {
+    let class = vm.heap.get(handler).class;
+    let handle_int = crate::interp::lookup_virtual(vm, class, "handle", "(I)I");
+    let handle_obj = crate::interp::lookup_virtual(
+        vm,
+        class,
+        "handle",
+        "(Ljava/lang/Object;)Ljava/lang/Object;",
+    );
+    if handle_int.is_none() && handle_obj.is_none() {
+        return Err(ExportError::NoHandler(
+            vm.classes[class.0 as usize].name.to_string(),
+        ));
+    }
+    if vm.port.pumps.contains_key(name) {
+        return Err(ExportError::Duplicate(name.to_owned()));
+    }
+    if !vm.can_spawn_thread() {
+        return Err(ExportError::ThreadLimit);
+    }
+    let handler_pin = vm.pin(handler);
+    let pump_tid = ThreadId(vm.threads.len() as u32);
+    let mut th = VmThread::new(pump_tid, &format!("svc:{name}"), iso);
+    th.is_service_pump = true;
+    th.state = ThreadState::ServicePump;
+    vm.threads.push(th);
+    if vm.options.accounting {
+        if let Some(i) = vm.isolates.get_mut(iso.0 as usize) {
+            i.stats.threads_created += 1;
+            i.stats.threads_live += 1;
+        }
+    }
+    let name_arc: Arc<str> = Arc::from(name);
+    vm.port.pumps.insert(
+        Arc::clone(&name_arc),
+        Pump {
+            thread: pump_tid,
+            isolate: iso,
+            handler_pin,
+            handle_int,
+            handle_obj,
+            queue: VecDeque::new(),
+            current: None,
+        },
+    );
+    if let Some(i) = vm.isolates.get_mut(iso.0 as usize) {
+        i.exported_ports.push(name.to_owned());
+    }
+    if let Some((unit, hub)) = vm.port.attach.clone() {
+        hub.export(unit, name_arc, iso);
+    }
+    Ok(())
+}
+
+/// Maps an [`ExportError`] onto the guest exception `Service.export`
+/// raises for it.
+fn export_error_to_native(err: ExportError) -> NativeResult {
+    let class_name = match &err {
+        ExportError::NoHandler(_) => "java/lang/IllegalArgumentException",
+        ExportError::Duplicate(_) => "java/lang/IllegalStateException",
+        ExportError::ThreadLimit => "java/lang/OutOfMemoryError",
+    };
+    NativeResult::Throw {
+        class_name,
+        message: err.to_string(),
+    }
+}
+
+/// The blocking `Service.call` path: serializes the argument (caller
+/// pays), routes the request, and parks the calling thread until the
+/// reply is delivered.
+fn port_call(
+    vm: &mut Vm,
+    tid: ThreadId,
+    target: Option<UnitId>,
+    name: &str,
+    kind: PayloadKind,
+    payload: Value,
+) -> NativeResult {
+    let iso = vm.threads[tid.0 as usize].current_isolate;
+    let mut bytes = Vec::with_capacity(32);
+    crate::wire::serialize_value(vm, payload, &mut bytes);
+    charge_copy(vm, iso, bytes.len());
+    let revoked = || NativeResult::Throw {
+        class_name: SERVICE_REVOKED_EXCEPTION,
+        message: format!("service '{name}' revoked: isolate terminated"),
+    };
+    if let Some((unit, hub)) = vm.port.attach.clone() {
+        match hub.send_request(unit, target, name, kind, bytes, false) {
+            Ok(call) => {
+                vm.port.waiting.insert(call, Waiter { thread: tid });
+                vm.threads[tid.0 as usize].state = ThreadState::BlockedOnPort { call };
+                NativeResult::BlockPending
+            }
+            Err(SendError::Revoked) => revoked(),
+        }
+    } else {
+        // Unattached VM: only services exported by this same VM are
+        // reachable, and an absent one can never appear "later".
+        if target.is_some() {
+            return NativeResult::Throw {
+                class_name: "java/lang/IllegalStateException",
+                message: "Service.callAt requires the VM to run in a cluster".to_owned(),
+            };
+        }
+        if !vm.port.pumps.contains_key(name) {
+            return NativeResult::Throw {
+                class_name: "java/lang/IllegalStateException",
+                message: format!("no service '{name}' (VM not attached to a cluster)"),
+            };
+        }
+        let call = vm.port.alloc_local_call();
+        vm.port.waiting.insert(call, Waiter { thread: tid });
+        vm.threads[tid.0 as usize].state = ThreadState::BlockedOnPort { call };
+        let name_arc: Arc<str> = Arc::from(name);
+        vm.pump_enqueue(
+            &name_arc,
+            ReadyRequest {
+                call,
+                reply_to: ReplyTo::Local,
+                kind,
+                bytes,
+                oneway: false,
+            },
+        );
+        NativeResult::BlockPending
+    }
+}
+
+/// The one-way `Port.send` path: fire-and-forget; a revoked target drops
+/// the message silently.
+fn port_send(
+    vm: &mut Vm,
+    tid: ThreadId,
+    name: &str,
+    kind: PayloadKind,
+    payload: Value,
+) -> NativeResult {
+    let iso = vm.threads[tid.0 as usize].current_isolate;
+    let mut bytes = Vec::with_capacity(32);
+    crate::wire::serialize_value(vm, payload, &mut bytes);
+    charge_copy(vm, iso, bytes.len());
+    if let Some((unit, hub)) = vm.port.attach.clone() {
+        let _ = hub.send_request(unit, None, name, kind, bytes, true);
+        NativeResult::Return(None)
+    } else {
+        if !vm.port.pumps.contains_key(name) {
+            return NativeResult::Throw {
+                class_name: "java/lang/IllegalStateException",
+                message: format!("no service '{name}' (VM not attached to a cluster)"),
+            };
+        }
+        let call = vm.port.alloc_local_call();
+        let name_arc: Arc<str> = Arc::from(name);
+        vm.pump_enqueue(
+            &name_arc,
+            ReadyRequest {
+                call,
+                reply_to: ReplyTo::Local,
+                kind,
+                bytes,
+                oneway: true,
+            },
+        );
+        NativeResult::Return(None)
+    }
+}
+
+const PUB: AccessFlags = AccessFlags::PUBLIC;
+const PUBSTATIC: AccessFlags = AccessFlags(AccessFlags::PUBLIC.0 | AccessFlags::STATIC.0);
+
+/// `ijvm/Service`: the typed cross-unit call surface.
+pub fn service_class() -> ClassFile {
+    let mut cb = ClassBuilder::new("ijvm/Service", "java/lang/Object", PUB | AccessFlags::FINAL);
+    cb.native_method(
+        "export",
+        "(Ljava/lang/String;Ljava/lang/Object;)V",
+        PUBSTATIC,
+    );
+    cb.native_method("call", "(Ljava/lang/String;I)I", PUBSTATIC);
+    cb.native_method(
+        "call",
+        "(Ljava/lang/String;Ljava/lang/Object;)Ljava/lang/Object;",
+        PUBSTATIC,
+    );
+    cb.native_method("callAt", "(ILjava/lang/String;I)I", PUBSTATIC);
+    cb.native_method("unit", "()I", PUBSTATIC);
+    cb.build().expect("ijvm/Service")
+}
+
+/// `ijvm/Port`: the one-way message surface.
+pub fn port_class() -> ClassFile {
+    let mut cb = ClassBuilder::new("ijvm/Port", "java/lang/Object", PUB | AccessFlags::FINAL);
+    cb.native_method("send", "(Ljava/lang/String;I)V", PUBSTATIC);
+    cb.native_method("send", "(Ljava/lang/String;Ljava/lang/Object;)V", PUBSTATIC);
+    cb.build().expect("ijvm/Port")
+}
+
+/// Decodes a guest service-name string, through the one-entry
+/// `(ref, GC epoch)` cache — guest loops pass the same interned string
+/// constant on every call, so the hot path is two comparisons.
+fn read_name(vm: &mut Vm, v: Value) -> Result<Arc<str>, NativeResult> {
+    let Some(r) = v.as_ref() else {
+        return Err(NativeResult::Throw {
+            class_name: "java/lang/NullPointerException",
+            message: "service name".to_owned(),
+        });
+    };
+    let epoch = vm.gc_count();
+    if let Some((cached_ref, cached_epoch, name)) = &vm.port.name_cache {
+        if *cached_ref == r && *cached_epoch == epoch {
+            return Ok(Arc::clone(name));
+        }
+    }
+    let Some(s) = vm.read_string(r) else {
+        return Err(NativeResult::Throw {
+            class_name: "java/lang/IllegalArgumentException",
+            message: "service name must be a string".to_owned(),
+        });
+    };
+    let name: Arc<str> = Arc::from(s.as_str());
+    vm.port.name_cache = Some((r, epoch, Arc::clone(&name)));
+    Ok(name)
+}
+
+fn register_natives(vm: &mut Vm) {
+    let svc = "ijvm/Service";
+    vm.register_native(
+        svc,
+        "export",
+        "(Ljava/lang/String;Ljava/lang/Object;)V",
+        Arc::new(|vm, tid, args| {
+            let name = match read_name(vm, args[0]) {
+                Ok(n) => n,
+                Err(e) => return e,
+            };
+            let Some(handler) = args[1].as_ref() else {
+                return NativeResult::Throw {
+                    class_name: "java/lang/NullPointerException",
+                    message: "service handler".to_owned(),
+                };
+            };
+            let iso = vm.current_isolate(tid);
+            match do_export(vm, iso, &name, handler) {
+                Ok(()) => NativeResult::Return(None),
+                Err(e) => export_error_to_native(e),
+            }
+        }),
+    );
+    vm.register_native(
+        svc,
+        "call",
+        "(Ljava/lang/String;I)I",
+        Arc::new(|vm, tid, args| {
+            let name = match read_name(vm, args[0]) {
+                Ok(n) => n,
+                Err(e) => return e,
+            };
+            port_call(vm, tid, None, &name, PayloadKind::Int, args[1])
+        }),
+    );
+    vm.register_native(
+        svc,
+        "call",
+        "(Ljava/lang/String;Ljava/lang/Object;)Ljava/lang/Object;",
+        Arc::new(|vm, tid, args| {
+            let name = match read_name(vm, args[0]) {
+                Ok(n) => n,
+                Err(e) => return e,
+            };
+            port_call(vm, tid, None, &name, PayloadKind::Obj, args[1])
+        }),
+    );
+    vm.register_native(
+        svc,
+        "callAt",
+        "(ILjava/lang/String;I)I",
+        Arc::new(|vm, tid, args| {
+            let unit = args[0].as_int();
+            if unit < 0 {
+                return NativeResult::Throw {
+                    class_name: "java/lang/IllegalArgumentException",
+                    message: format!("bad unit address {unit}"),
+                };
+            }
+            let name = match read_name(vm, args[1]) {
+                Ok(n) => n,
+                Err(e) => return e,
+            };
+            port_call(
+                vm,
+                tid,
+                Some(UnitId::new(unit as u32)),
+                &name,
+                PayloadKind::Int,
+                args[2],
+            )
+        }),
+    );
+    vm.register_native(
+        svc,
+        "unit",
+        "()I",
+        Arc::new(|vm, _tid, _args| {
+            let id = vm
+                .port
+                .attach
+                .as_ref()
+                .map_or(-1, |(u, _)| u.index() as i32);
+            NativeResult::Return(Some(Value::Int(id)))
+        }),
+    );
+    let port = "ijvm/Port";
+    vm.register_native(
+        port,
+        "send",
+        "(Ljava/lang/String;I)V",
+        Arc::new(|vm, tid, args| {
+            let name = match read_name(vm, args[0]) {
+                Ok(n) => n,
+                Err(e) => return e,
+            };
+            port_send(vm, tid, &name, PayloadKind::Int, args[1])
+        }),
+    );
+    vm.register_native(
+        port,
+        "send",
+        "(Ljava/lang/String;Ljava/lang/Object;)V",
+        Arc::new(|vm, tid, args| {
+            let name = match read_name(vm, args[0]) {
+                Ok(n) => n,
+                Err(e) => return e,
+            };
+            port_send(vm, tid, &name, PayloadKind::Obj, args[1])
+        }),
+    );
+}
+
+/// Installs the `ijvm/Service` and `ijvm/Port` classes and their natives.
+/// Called by [`crate::bootstrap::install`], so the surface exists on
+/// every booted VM; the natives work unattached (same-VM services) and
+/// attach to a cluster hub on [`crate::sched::Cluster::submit`].
+pub fn install(vm: &mut Vm) -> crate::error::Result<()> {
+    register_natives(vm);
+    vm.install_system_class(&service_class())?;
+    vm.install_system_class(&port_class())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_resolves_lowest_unit_and_parks_unresolved() {
+        let hub = PortHub::default();
+        // A call before any export parks in the hub...
+        let call = hub
+            .send_request(
+                UnitId::new(9),
+                None,
+                "svc",
+                PayloadKind::Int,
+                vec![1],
+                false,
+            )
+            .unwrap();
+        assert_eq!(hub.unresolved_requests(), 1);
+        assert!(hub.quiescent());
+        // ...and is routed on export.
+        hub.export(UnitId::new(2), Arc::from("svc"), IsolateId(0));
+        hub.export(UnitId::new(1), Arc::from("svc"), IsolateId(0));
+        assert_eq!(hub.unresolved_requests(), 0);
+        assert!(hub.has_mail(UnitId::new(2)), "first exporter got the call");
+        assert!(hub.has_woken());
+        let mut woken = Vec::new();
+        hub.drain_woken_into(&mut woken);
+        assert_eq!(woken, vec![2]);
+        assert!(!hub.has_woken());
+        let mut mail = Vec::new();
+        hub.take_mail_into(UnitId::new(2), &mut mail);
+        assert!(matches!(
+            mail.first(),
+            Some(Envelope::Request { call: c, .. }) if *c == call
+        ));
+        // New sends resolve to the lowest exporting unit.
+        hub.send_request(
+            UnitId::new(9),
+            None,
+            "svc",
+            PayloadKind::Int,
+            vec![2],
+            false,
+        )
+        .unwrap();
+        assert!(hub.has_mail(UnitId::new(1)));
+        assert!(!hub.has_mail(UnitId::new(2)));
+    }
+
+    #[test]
+    fn hub_revocation_fails_sends_and_addressing_targets_units() {
+        let hub = PortHub::default();
+        hub.export(UnitId::new(0), Arc::from("svc"), IsolateId(1));
+        hub.export(UnitId::new(1), Arc::from("svc"), IsolateId(1));
+        // Addressed send goes to the named unit even if not the lowest.
+        hub.send_request(
+            UnitId::new(5),
+            Some(UnitId::new(1)),
+            "svc",
+            PayloadKind::Int,
+            vec![],
+            false,
+        )
+        .unwrap();
+        assert!(hub.has_mail(UnitId::new(1)));
+        // Revoking one leaves the other resolvable...
+        hub.revoke(UnitId::new(0), "svc");
+        hub.send_request(UnitId::new(5), None, "svc", PayloadKind::Int, vec![], false)
+            .unwrap();
+        assert_eq!(hub.service_names(), vec![(1, "svc".to_owned())]);
+        // ...revoking both fails fast.
+        hub.revoke(UnitId::new(1), "svc");
+        assert_eq!(
+            hub.send_request(UnitId::new(5), None, "svc", PayloadKind::Int, vec![], false),
+            Err(SendError::Revoked)
+        );
+        assert_eq!(
+            hub.send_request(
+                UnitId::new(5),
+                Some(UnitId::new(1)),
+                "svc",
+                PayloadKind::Int,
+                vec![],
+                false
+            ),
+            Err(SendError::Revoked)
+        );
+    }
+}

@@ -1,5 +1,6 @@
 //! The cluster scheduler: deterministic and parallel work-stealing
-//! execution of `Send` VM units.
+//! execution of `Send` VM units, with an inter-unit service/message
+//! layer ([`crate::port`]).
 //!
 //! A [`Vm`] is a complete, self-contained execution unit — its heap,
 //! classes, isolates, green threads, monitors and GC epochs have no
@@ -14,12 +15,16 @@
 //!
 //! ```text
 //!            submit()                 ┌────────────┐
-//!   units ──────────────▶ queue[0] ◀──▶  worker 0  │──┐ run one slice,
-//!                         queue[1] ◀──▶  worker 1  │──┤ flush CPU buffer,
-//!                            …            …        │  │ park unit back
-//!                         queue[n] ◀──▶  worker n  │──┘ (now stealable)
+//!   units ──────────────▶ queue[0] ◀──▶  worker 0  │──┐ drain mailbox,
+//!                         queue[1] ◀──▶  worker 1  │──┤ run one slice,
+//!                            …            …        │  │ flush CPU buffer,
+//!                         queue[n] ◀──▶  worker n  │──┘ requeue / park / finish
 //!                            ▲                │
 //!                            └── steal ◀──────┘  (idle worker, FIFO end)
+//!
+//!   parked units ◀──── park (idle-with-services / blocked-on-reply)
+//!        │
+//!        └──── unpark on mail delivery (hub wake-up token) ───▶ queue
 //! ```
 //!
 //! **Scheduling modes** ([`SchedulerKind`], selected via
@@ -35,6 +40,16 @@
 //!   from a victim's back end when idle. Wall-clock scaling tracks the
 //!   host's cores; correctness does not depend on the core count.
 //!
+//! **Park / unpark.** A unit that goes idle while it still matters to the
+//! cluster — it exports live services, or one of its threads is blocked
+//! on a cross-unit reply ([`RunOutcome::Blocked`]) — is *parked* off the
+//! run queues instead of finished. Message delivery unparks it: every
+//! hub post leaves a wake-up token, and workers sweep tokens back into
+//! run queues at each iteration. The cluster completes when every
+//! remaining unit is parked and no undelivered mail exists anywhere
+//! (parked units then report their last outcome — `Idle` for a served-out
+//! exporter, `Blocked` for a caller whose reply can never come).
+//!
 //! **Exact accounting at migration points.** While a worker runs a unit
 //! it accumulates exactly-counted instructions into a private
 //! [`WorkerCpuBuffer`]; the buffer drains through
@@ -48,15 +63,17 @@
 //!
 //! **Cross-worker termination.** [`ClusterCtl::terminate`] requests an
 //! isolate kill from any thread; the request is delivered by whichever
-//! worker next picks the unit up, *before* its next slice — a poisoned
-//! isolate's threads therefore stop at the next quantum boundary on
-//! whatever core they happen to run, exactly the paper-§3.3 semantics
-//! lifted across cores.
+//! worker next picks the unit up, *before* its next slice.
+//! [`ClusterCtl::terminate_at`] defers delivery until the unit has run a
+//! given number of slices — a *deterministic* mid-run kill, used by the
+//! mid-call revocation tests to take a serving isolate down at the same
+//! execution point under every scheduler mode.
 
 use crate::accounting::{ClusterAccounts, WorkerCpuBuffer};
 use crate::ids::IsolateId;
+use crate::port::PortHub;
 use crate::vm::{RunOutcome, Vm, VmOptions};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -94,9 +111,58 @@ impl SchedulerKind {
 }
 
 /// Identifies an execution unit within one [`Cluster`], in submission
-/// order.
+/// order. Obtained from [`Cluster::submit`] (via [`UnitHandle::id`]);
+/// the index is stable and doubles as the unit's address on the
+/// cluster's message hub.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct UnitId(pub u32);
+pub struct UnitId(u32);
+
+impl UnitId {
+    pub(crate) const fn new(index: u32) -> UnitId {
+        UnitId(index)
+    }
+
+    /// The unit's submission index — also its position in
+    /// [`ClusterOutcome::units`] and its guest-visible address
+    /// (`Service.callAt`).
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for UnitId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unit{}", self.0)
+    }
+}
+
+/// A typed handle to one submitted unit: its [`UnitId`] plus the control
+/// surface addressed to it. Returned by [`Cluster::submit`].
+#[derive(Debug, Clone)]
+pub struct UnitHandle {
+    id: UnitId,
+    ctl: ClusterCtl,
+}
+
+impl UnitHandle {
+    /// The unit's id.
+    pub fn id(&self) -> UnitId {
+        self.id
+    }
+
+    /// Requests termination of `isolate` inside this unit (delivered at
+    /// the unit's next quantum boundary, from any thread).
+    pub fn terminate(&self, isolate: IsolateId) {
+        self.ctl.terminate(self.id, isolate);
+    }
+
+    /// Like [`UnitHandle::terminate`], deferred until the unit has run
+    /// at least `min_slices` quantum slices — a deterministic mid-run
+    /// kill point.
+    pub fn terminate_at(&self, isolate: IsolateId, min_slices: u64) {
+        self.ctl.terminate_at(self.id, isolate, min_slices);
+    }
+}
 
 /// A scheduled unit: a VM plus its migration bookkeeping.
 #[derive(Debug)]
@@ -138,11 +204,14 @@ impl Unit {
 
 /// What happened to one unit, reported after the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct UnitReport {
     /// The unit.
     pub id: UnitId,
-    /// Terminal outcome: [`RunOutcome::Idle`] (all work finished) or
-    /// [`RunOutcome::Deadlock`] (its threads blocked on each other).
+    /// Terminal outcome: [`RunOutcome::Idle`] (all work finished),
+    /// [`RunOutcome::Deadlock`] (its threads blocked on each other), or
+    /// [`RunOutcome::Blocked`] (a cross-unit call whose reply never
+    /// came — the cluster quiesced around it).
     pub outcome: RunOutcome,
     /// Quantum slices the unit consumed.
     pub slices: u64,
@@ -150,15 +219,30 @@ pub struct UnitReport {
     pub migrations: u64,
 }
 
-/// Everything a finished cluster run returns. `vms` and `reports` are in
-/// [`UnitId`] order regardless of completion order, so observations are
-/// directly comparable across scheduler modes.
+/// One finished unit: its VM (for result/console/stats inspection) and
+/// its scheduling report.
 #[derive(Debug)]
+#[non_exhaustive]
+pub struct UnitOutcome {
+    /// The unit's VM.
+    pub vm: Vm,
+    /// The unit's scheduling report.
+    pub report: UnitReport,
+}
+
+/// Everything a finished cluster run returns.
+///
+/// **Ordering invariant:** `units` is indexed by [`UnitId`] —
+/// `outcome.units[h.id().index() as usize]` is always the unit submitted
+/// as `h`, *regardless of completion order* (units finishing out of
+/// submission order under the parallel scheduler are sorted back; the
+/// invariant is asserted at collection time and pinned by a test). Use
+/// [`ClusterOutcome::unit`] to index by handle.
+#[derive(Debug)]
+#[non_exhaustive]
 pub struct ClusterOutcome {
-    /// The units' VMs, for result/console/stats inspection.
-    pub vms: Vec<Vm>,
-    /// Per-unit scheduling reports.
-    pub reports: Vec<UnitReport>,
+    /// The units, in [`UnitId`] order (see the ordering invariant above).
+    pub units: Vec<UnitOutcome>,
     /// Cluster-level per-isolate exact CPU, fed only through worker
     /// buffers draining at migration points.
     pub accounts: ClusterAccounts,
@@ -168,11 +252,27 @@ pub struct ClusterOutcome {
     pub migrations: u64,
 }
 
+impl ClusterOutcome {
+    /// The outcome of the unit `handle` refers to.
+    pub fn unit(&self, handle: &UnitHandle) -> &UnitOutcome {
+        &self.units[handle.id().index() as usize]
+    }
+
+    /// Mutable access to the unit `handle` refers to (e.g. to drain its
+    /// console).
+    pub fn unit_mut(&mut self, handle: &UnitHandle) -> &mut UnitOutcome {
+        &mut self.units[handle.id().index() as usize]
+    }
+}
+
 /// A pending cross-worker termination request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct KillRequest {
     unit: UnitId,
     isolate: IsolateId,
+    /// Delivered once the unit has run at least this many slices (0 =
+    /// at its next pickup).
+    after_slices: u64,
 }
 
 /// Shared remote-control handle for a cluster (cloneable, thread-safe).
@@ -196,8 +296,22 @@ impl ClusterCtl {
     /// boundary on whatever core they run. Requests filed before
     /// [`Cluster::run`] are delivered before the unit's first slice.
     pub fn terminate(&self, unit: UnitId, isolate: IsolateId) {
+        self.terminate_at(unit, isolate, 0);
+    }
+
+    /// Like [`ClusterCtl::terminate`], but deferred until the unit has
+    /// executed at least `min_slices` quantum slices. Because a unit's
+    /// slice count is a function of its own deterministic execution (not
+    /// of wall-clock time), this yields the *same* kill point under
+    /// `Deterministic` and `Parallel(n)` — the deterministic mid-call
+    /// revocation tests are built on it.
+    pub fn terminate_at(&self, unit: UnitId, isolate: IsolateId, min_slices: u64) {
         let mut kills = self.inner.kills.lock().unwrap();
-        kills.push(KillRequest { unit, isolate });
+        kills.push(KillRequest {
+            unit,
+            isolate,
+            after_slices: min_slices,
+        });
         // Armed while still holding the lock, mirroring `take_for`'s
         // clear-under-lock: at every unlock, `armed` agrees with
         // `!kills.is_empty()`, so a worker's fast-path read can only
@@ -205,15 +319,16 @@ impl ClusterCtl {
         self.inner.armed.store(true, Ordering::Release);
     }
 
-    /// Takes the kill requests addressed to `unit`, if any.
-    fn take_for(&self, unit: UnitId) -> Vec<IsolateId> {
+    /// Takes the kill requests addressed to `unit` that are due at
+    /// `slices` executed, if any.
+    fn take_for(&self, unit: UnitId, slices: u64) -> Vec<IsolateId> {
         if !self.inner.armed.load(Ordering::Acquire) {
             return Vec::new();
         }
         let mut kills = self.inner.kills.lock().unwrap();
         let mut taken = Vec::new();
         kills.retain(|k| {
-            if k.unit == unit {
+            if k.unit == unit && k.after_slices <= slices {
                 taken.push(k.isolate);
                 false
             } else {
@@ -225,49 +340,159 @@ impl ClusterCtl {
         }
         taken
     }
-}
 
-/// The cluster: a set of submitted units plus a scheduling mode.
-#[derive(Debug)]
-pub struct Cluster {
-    kind: SchedulerKind,
-    slice: u64,
-    units: Vec<Unit>,
-    ctl: ClusterCtl,
+    /// `true` when a kill addressed to `unit` is due at `slices`.
+    fn has_pending(&self, unit: UnitId, slices: u64) -> bool {
+        if !self.inner.armed.load(Ordering::Acquire) {
+            return false;
+        }
+        self.inner
+            .kills
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|k| k.unit == unit && k.after_slices <= slices)
+    }
 }
 
 /// Default instruction budget of one quantum slice (mirrors the default
 /// in-VM scheduler quantum, so one slice is one thread quantum).
 pub const DEFAULT_SLICE: u64 = 10_000;
 
-impl Cluster {
-    /// Creates an empty cluster scheduling with `kind`.
-    pub fn new(kind: SchedulerKind) -> Cluster {
-        Cluster {
-            kind,
+/// Builds a [`Cluster`]: scheduling mode, slice length, and the
+/// [`VmOptions`] defaults its units are expected to boot with. This is
+/// the embedding entry point of the v2 API — it owns everything the old
+/// `Cluster::{new, from_options, with_slice}` trio spread out.
+///
+/// ```
+/// use ijvm_core::prelude::*;
+///
+/// let cluster = Cluster::builder()
+///     .scheduler(SchedulerKind::Parallel(2))
+///     .slice(2_000)
+///     .build();
+/// # let _ = cluster;
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    kind: SchedulerKind,
+    slice: u64,
+    vm_options: VmOptions,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> ClusterBuilder {
+        ClusterBuilder {
+            kind: SchedulerKind::Deterministic,
             slice: DEFAULT_SLICE,
-            units: Vec::new(),
-            ctl: ClusterCtl::default(),
+            vm_options: VmOptions::isolated(),
         }
     }
+}
 
-    /// Creates a cluster with the mode selected in `options` (the other
-    /// options govern the individual VMs, not the cluster).
-    pub fn from_options(options: &VmOptions) -> Cluster {
-        Cluster::new(options.scheduler)
+impl ClusterBuilder {
+    /// A deterministic cluster with the default slice and `Isolated`
+    /// unit defaults.
+    pub fn new() -> ClusterBuilder {
+        ClusterBuilder::default()
     }
 
-    /// Overrides the per-slice instruction budget (mostly for tests: a
-    /// tiny slice forces many migration points).
+    /// Sets the scheduling mode.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> ClusterBuilder {
+        self.kind = kind;
+        self
+    }
+
+    /// Sets the per-slice instruction budget (a tiny slice forces many
+    /// migration points; mostly for tests).
+    pub fn slice(mut self, slice: u64) -> ClusterBuilder {
+        self.slice = slice.max(1);
+        self
+    }
+
+    /// Sets the [`VmOptions`] defaults for this cluster's units and
+    /// absorbs the options' [`VmOptions::scheduler`] as the cluster's
+    /// mode (call [`ClusterBuilder::scheduler`] afterwards to override).
+    /// The defaults are advisory — [`Cluster::options`] hands them back
+    /// for booting units — since units are built by the embedder.
+    pub fn vm_options(mut self, options: VmOptions) -> ClusterBuilder {
+        self.kind = options.scheduler;
+        self.vm_options = options;
+        self
+    }
+
+    /// Builds the cluster (empty; `submit` units next).
+    pub fn build(self) -> Cluster {
+        Cluster {
+            kind: self.kind,
+            slice: self.slice,
+            vm_defaults: self.vm_options,
+            units: Vec::new(),
+            ctl: ClusterCtl::default(),
+            hub: Arc::new(PortHub::default()),
+        }
+    }
+}
+
+/// The cluster: a set of submitted units plus a scheduling mode and the
+/// shared message hub its units communicate through.
+#[derive(Debug)]
+pub struct Cluster {
+    kind: SchedulerKind,
+    slice: u64,
+    vm_defaults: VmOptions,
+    units: Vec<Unit>,
+    ctl: ClusterCtl,
+    hub: Arc<PortHub>,
+}
+
+impl Cluster {
+    /// Starts building a cluster (the v2 embedding entry point).
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::new()
+    }
+
+    /// Shorthand for `Cluster::builder().scheduler(kind).build()`.
+    pub fn new(kind: SchedulerKind) -> Cluster {
+        Cluster::builder().scheduler(kind).build()
+    }
+
+    /// Creates a cluster with the mode selected in `options`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Cluster::builder().vm_options(options).build()`"
+    )]
+    pub fn from_options(options: &VmOptions) -> Cluster {
+        Cluster::builder().vm_options(options.clone()).build()
+    }
+
+    /// Overrides the per-slice instruction budget (shorthand for the
+    /// builder's [`ClusterBuilder::slice`]).
     pub fn with_slice(mut self, slice: u64) -> Cluster {
         self.slice = slice.max(1);
         self
     }
 
+    /// The [`VmOptions`] defaults units of this cluster should boot with
+    /// (as configured through [`ClusterBuilder::vm_options`]).
+    pub fn options(&self) -> &VmOptions {
+        &self.vm_defaults
+    }
+
+    /// The cluster's shared message hub (introspection: exported
+    /// services, parked requests).
+    pub fn hub(&self) -> Arc<PortHub> {
+        Arc::clone(&self.hub)
+    }
+
     /// Submits a prepared VM (isolates created, entry threads spawned via
-    /// [`Vm::spawn_thread`], nothing run yet) as an execution unit.
-    pub fn submit(&mut self, vm: Vm) -> UnitId {
-        let id = UnitId(self.units.len() as u32);
+    /// [`Vm::spawn_thread`], nothing run yet) as an execution unit,
+    /// attaching it to the cluster's message hub: services the VM already
+    /// exports become addressable as `(unit, name)`, and its guest code
+    /// can now reach other units through `ijvm/Service` / `ijvm/Port`.
+    pub fn submit(&mut self, mut vm: Vm) -> UnitHandle {
+        let id = UnitId::new(self.units.len() as u32);
+        vm.attach_port(id, Arc::clone(&self.hub));
         self.units.push(Unit {
             id,
             vm,
@@ -276,7 +501,10 @@ impl Cluster {
             migrations: 0,
             cpu_seen: Vec::new(),
         });
-        id
+        UnitHandle {
+            id,
+            ctl: self.ctl.clone(),
+        }
     }
 
     /// Number of submitted units.
@@ -290,11 +518,12 @@ impl Cluster {
         self.ctl.clone()
     }
 
-    /// Runs every unit to completion and returns the outcome. Consumes
-    /// the cluster: the VMs come back in the outcome for inspection.
+    /// Runs every unit until the cluster quiesces and returns the
+    /// outcome. Consumes the cluster: the VMs come back in the outcome
+    /// for inspection.
     pub fn run(self) -> ClusterOutcome {
         let workers = self.kind.workers();
-        let shared = Shared::new(workers, self.slice, self.units, self.ctl);
+        let shared = Shared::new(workers, self.slice, self.units, self.ctl, self.hub);
         match self.kind {
             SchedulerKind::Deterministic => shared.worker_loop(0),
             SchedulerKind::Parallel(_) => {
@@ -310,17 +539,43 @@ impl Cluster {
     }
 }
 
+/// A unit parked off the run queues, waiting for mail (or for the
+/// cluster to quiesce), with the outcome it last reported.
+#[derive(Debug)]
+struct ParkedUnit {
+    unit: Unit,
+    outcome: RunOutcome,
+}
+
 /// State shared by the workers of one running cluster.
+///
+/// Lock discipline: `parked` is the outermost lock; `queues[i]` and the
+/// hub's internal lock are leaves, taken one at a time and never held
+/// across each other. `running` counts units currently held by a worker
+/// (between pop and disposition) and is only mutated under the popped
+/// queue's lock, so a quiescence check that holds `parked` and observes
+/// `running == 0` with all queues empty has a consistent snapshot.
 #[derive(Debug)]
 struct Shared {
     slice: u64,
     queues: Vec<Mutex<VecDeque<Unit>>>,
     /// Units not yet finished; workers exit when this reaches zero.
     outstanding: AtomicUsize,
+    /// Units currently held by a worker (popped, not yet disposed).
+    running: AtomicUsize,
+    /// Units parked off the queues, keyed by unit index.
+    parked_units: Mutex<HashMap<u32, ParkedUnit>>,
     /// Park/unpark for idle workers (paired with `parked`).
     parked: Mutex<()>,
     unpark: Condvar,
+    /// Workers currently waiting on `unpark`. Notifications are skipped
+    /// while this is zero (the deterministic single-worker loop never
+    /// pays for them); a worker increments it *before* re-checking for
+    /// work, and the 1 ms wait timeout bounds any remaining lost-wakeup
+    /// window.
+    idle_workers: AtomicUsize,
     ctl: ClusterCtl,
+    hub: Arc<PortHub>,
     accounts: Mutex<ClusterAccounts>,
     finished: Mutex<Vec<(UnitReport, Vm)>>,
     steals: AtomicU64,
@@ -328,7 +583,13 @@ struct Shared {
 }
 
 impl Shared {
-    fn new(workers: usize, slice: u64, units: Vec<Unit>, ctl: ClusterCtl) -> Shared {
+    fn new(
+        workers: usize,
+        slice: u64,
+        units: Vec<Unit>,
+        ctl: ClusterCtl,
+        hub: Arc<PortHub>,
+    ) -> Shared {
         let queues: Vec<Mutex<VecDeque<Unit>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         let outstanding = units.len();
@@ -340,9 +601,13 @@ impl Shared {
             slice,
             queues,
             outstanding: AtomicUsize::new(outstanding),
+            running: AtomicUsize::new(0),
+            parked_units: Mutex::new(HashMap::new()),
             parked: Mutex::new(()),
             unpark: Condvar::new(),
+            idle_workers: AtomicUsize::new(0),
             ctl,
+            hub,
             accounts: Mutex::new(ClusterAccounts::default()),
             finished: Mutex::new(Vec::new()),
             steals: AtomicU64::new(0),
@@ -351,8 +616,15 @@ impl Shared {
     }
 
     /// Pops local work from the front (FIFO, the deterministic order).
+    /// `running` is incremented under the queue lock (see the lock
+    /// discipline note on [`Shared`]).
     fn pop_local(&self, w: usize) -> Option<Unit> {
-        self.queues[w].lock().unwrap().pop_front()
+        let mut q = self.queues[w].lock().unwrap();
+        let unit = q.pop_front();
+        if unit.is_some() {
+            self.running.fetch_add(1, Ordering::SeqCst);
+        }
+        unit
     }
 
     /// Steals from the back of the first non-empty victim queue.
@@ -360,7 +632,9 @@ impl Shared {
         let n = self.queues.len();
         for off in 1..n {
             let victim = (w + off) % n;
-            if let Some(unit) = self.queues[victim].lock().unwrap().pop_back() {
+            let mut q = self.queues[victim].lock().unwrap();
+            if let Some(unit) = q.pop_back() {
+                self.running.fetch_add(1, Ordering::SeqCst);
                 self.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(unit);
             }
@@ -368,28 +642,143 @@ impl Shared {
         None
     }
 
-    /// One worker: pop → deliver kills → run a slice → flush accounting →
-    /// park the unit back (stealable) or finish it.
+    /// Notifies idle workers, if any (free when nobody waits — the
+    /// deterministic single worker never does).
+    fn notify(&self) {
+        if self.idle_workers.load(Ordering::Acquire) > 0 {
+            self.unpark.notify_all();
+        }
+    }
+
+    /// Moves parked units with fresh mail back onto run queues (the
+    /// "wakeups on delivery" half of park/unpark). Tokens for units that
+    /// are not parked are dropped: a queued or running unit drains its
+    /// mail at pickup, and the park decision re-checks the mailbox under
+    /// the same locks, so no delivery can be lost. `scratch` is the
+    /// caller's reusable token buffer.
+    fn sweep_wakeups(&self, scratch: &mut Vec<u32>) -> bool {
+        if !self.hub.has_woken() {
+            return false;
+        }
+        let mut parked = self.parked_units.lock().unwrap();
+        scratch.clear();
+        self.hub.drain_woken_into(scratch);
+        let mut moved = false;
+        for &id in scratch.iter() {
+            if let Some(p) = parked.remove(&id) {
+                let w = p.unit.last_worker.unwrap_or(id as usize) % self.queues.len();
+                self.queues[w].lock().unwrap().push_back(p.unit);
+                moved = true;
+            }
+        }
+        if moved {
+            self.notify();
+        }
+        moved
+    }
+
+    /// Whether `unit` must stay schedulable after a terminal outcome:
+    /// it exports live services, waits on a reply, or has undrained mail.
+    fn keeps_unit_alive(unit: &Unit) -> bool {
+        unit.vm.port_keeps_unit_alive()
+    }
+
+    /// Finishes one unit.
+    fn finish(&self, unit: Unit, outcome: RunOutcome) {
+        let report = UnitReport {
+            id: unit.id,
+            outcome,
+            slices: unit.slices,
+            migrations: unit.migrations,
+        };
+        self.finished.lock().unwrap().push((report, unit.vm));
+        if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.unpark.notify_all();
+        }
+    }
+
+    /// The quiescence check: with no unit held by any worker, no unit on
+    /// any queue, and no undelivered mail or wake-up token in the hub,
+    /// nothing can ever make progress again — finish every parked unit
+    /// with its recorded outcome. Runs under the `parked_units` lock so
+    /// no park/unpark can interleave. Returns `true` when it made
+    /// progress (requeued a unit for an overdue kill, or wrapped up).
+    fn try_quiesce(&self) -> bool {
+        let mut parked = self.parked_units.lock().unwrap();
+        // Overdue termination requests reach parked units here: requeue
+        // them so the kill is delivered at a normal pickup.
+        let overdue: Vec<u32> = parked
+            .iter()
+            .filter(|(_, p)| self.ctl.has_pending(p.unit.id, p.unit.slices))
+            .map(|(id, _)| *id)
+            .collect();
+        if !overdue.is_empty() {
+            for id in overdue {
+                let p = parked.remove(&id).expect("collected above");
+                let w = p.unit.last_worker.unwrap_or(id as usize) % self.queues.len();
+                self.queues[w].lock().unwrap().push_back(p.unit);
+            }
+            self.notify();
+            return true;
+        }
+        if self.running.load(Ordering::SeqCst) != 0 {
+            return false;
+        }
+        for q in &self.queues {
+            if !q.lock().unwrap().is_empty() {
+                return false;
+            }
+        }
+        if !self.hub.quiescent() {
+            // Wake-up tokens remain: the caller's next sweep moves them.
+            return false;
+        }
+        if parked.len() != self.outstanding.load(Ordering::SeqCst) {
+            return false;
+        }
+        // Wrap up, in UnitId order (deterministic).
+        let mut remaining: Vec<(u32, ParkedUnit)> = parked.drain().collect();
+        remaining.sort_by_key(|(id, _)| *id);
+        for (_, p) in remaining {
+            self.finish(p.unit, p.outcome);
+        }
+        self.unpark.notify_all();
+        true
+    }
+
+    /// One worker: sweep wakeups → pop → deliver kills → drain mailbox →
+    /// run a slice → flush accounting → requeue / park / finish.
     fn worker_loop(&self, w: usize) {
         let mut buffer = WorkerCpuBuffer::default();
+        let mut woken_scratch: Vec<u32> = Vec::new();
         loop {
+            if self.outstanding.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            self.sweep_wakeups(&mut woken_scratch);
             let Some(mut unit) = self.pop_local(w).or_else(|| self.steal(w)) else {
                 if self.outstanding.load(Ordering::Acquire) == 0 {
                     return;
                 }
-                // Units exist but other workers hold them: park briefly.
-                // The timeout makes lost wakeups harmless.
+                if self.try_quiesce() {
+                    continue;
+                }
+                // Units exist but other workers hold them (or tokens are
+                // in flight): park briefly. The timeout makes lost
+                // wakeups harmless.
+                self.idle_workers.fetch_add(1, Ordering::AcqRel);
                 let guard = self.parked.lock().unwrap();
                 let _ = self
                     .unpark
                     .wait_timeout(guard, std::time::Duration::from_millis(1))
                     .unwrap();
+                self.idle_workers.fetch_sub(1, Ordering::AcqRel);
                 continue;
             };
 
             // Cross-worker termination lands at the quantum boundary,
             // before the next slice, on whatever core the unit is on.
-            for iso in self.ctl.take_for(unit.id) {
+            for iso in self.ctl.take_for(unit.id, unit.slices) {
                 // Best-effort: Shared-mode units and unknown isolates
                 // simply ignore the request.
                 let _ = unit.vm.terminate_isolate(iso);
@@ -400,6 +789,10 @@ impl Shared {
                 self.migrations.fetch_add(1, Ordering::Relaxed);
             }
             unit.last_worker = Some(w);
+
+            // Quantum-boundary mail delivery: requests dispatch onto
+            // service pumps, replies wake their blocked callers.
+            unit.vm.port_drain();
 
             let outcome = unit.vm.run(Some(self.slice));
             unit.slices += 1;
@@ -413,32 +806,60 @@ impl Shared {
             match outcome {
                 RunOutcome::BudgetExhausted => {
                     self.queues[w].lock().unwrap().push_back(unit);
-                    self.unpark.notify_all();
+                    self.notify();
                 }
                 outcome => {
-                    let report = UnitReport {
-                        id: unit.id,
-                        outcome,
-                        slices: unit.slices,
-                        migrations: unit.migrations,
-                    };
-                    self.finished.lock().unwrap().push((report, unit.vm));
-                    if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        self.unpark.notify_all();
+                    if Self::keeps_unit_alive(&unit) {
+                        // Park — unless mail arrived while the slice ran,
+                        // in which case the unit goes straight back to
+                        // work. The mailbox check and the park insert
+                        // happen under the `parked_units` lock, so a
+                        // concurrent delivery either lands before the
+                        // check (seen here) or leaves a wake-up token a
+                        // later sweep resolves against the parked entry.
+                        let mut parked = self.parked_units.lock().unwrap();
+                        if self.hub.has_mail(unit.id) {
+                            drop(parked);
+                            self.queues[w].lock().unwrap().push_back(unit);
+                        } else {
+                            parked.insert(unit.id.index(), ParkedUnit { unit, outcome });
+                        }
+                        self.notify();
+                    } else {
+                        // Nothing keeps the unit alive — but a request
+                        // may have raced into its mailbox just before
+                        // its services were revoked. Fail it back to the
+                        // caller now; finishing with undelivered mail
+                        // would leave the cluster unable to quiesce.
+                        if self.hub.has_mail(unit.id) {
+                            unit.vm.port_drain_force();
+                        }
+                        self.finish(unit, outcome);
                     }
                 }
             }
+            self.running.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
-    /// Collects the outcome, restoring [`UnitId`] order.
+    /// Collects the outcome, restoring [`UnitId`] order (the documented
+    /// `ClusterOutcome::units` indexing invariant).
     fn into_outcome(self) -> ClusterOutcome {
         let mut done = self.finished.into_inner().unwrap();
         done.sort_by_key(|(r, _)| r.id);
-        let (reports, vms) = done.into_iter().unzip();
+        for (i, (r, _)) in done.iter().enumerate() {
+            assert_eq!(
+                r.id.index() as usize,
+                i,
+                "ClusterOutcome::units must be indexable by UnitId"
+            );
+        }
+        let units = done
+            .into_iter()
+            .map(|(report, vm)| UnitOutcome { vm, report })
+            .collect();
         ClusterOutcome {
-            vms,
-            reports,
+            units,
             accounts: self.accounts.into_inner().unwrap(),
             steals: self.steals.load(Ordering::Relaxed),
             migrations: self.migrations.load(Ordering::Relaxed),
@@ -458,16 +879,23 @@ mod tests {
     }
 
     #[test]
-    fn ctl_kill_requests_route_by_unit() {
+    fn ctl_kill_requests_route_by_unit_and_slice() {
         let ctl = ClusterCtl::default();
-        assert!(ctl.take_for(UnitId(0)).is_empty(), "idle ctl is free");
+        assert!(ctl.take_for(UnitId(0), 0).is_empty(), "idle ctl is free");
         ctl.terminate(UnitId(0), IsolateId(1));
         ctl.terminate(UnitId(1), IsolateId(2));
         ctl.terminate(UnitId(0), IsolateId(3));
-        assert_eq!(ctl.take_for(UnitId(0)), vec![IsolateId(1), IsolateId(3)]);
-        assert_eq!(ctl.take_for(UnitId(1)), vec![IsolateId(2)]);
-        assert!(ctl.take_for(UnitId(1)).is_empty());
+        assert_eq!(ctl.take_for(UnitId(0), 0), vec![IsolateId(1), IsolateId(3)]);
+        assert_eq!(ctl.take_for(UnitId(1), 0), vec![IsolateId(2)]);
+        assert!(ctl.take_for(UnitId(1), 0).is_empty());
         assert!(!ctl.inner.armed.load(Ordering::Acquire));
+
+        // Deferred kills stay pending until the slice threshold.
+        ctl.terminate_at(UnitId(2), IsolateId(1), 5);
+        assert!(ctl.take_for(UnitId(2), 4).is_empty());
+        assert!(ctl.has_pending(UnitId(2), 5));
+        assert_eq!(ctl.take_for(UnitId(2), 5), vec![IsolateId(1)]);
+        assert!(!ctl.has_pending(UnitId(2), 99));
     }
 
     /// The steal path takes from the *back* of a victim queue while the
@@ -488,6 +916,7 @@ mod tests {
             100,
             vec![mk(0), mk(1), mk(2), mk(3)],
             ClusterCtl::default(),
+            Arc::new(PortHub::default()),
         );
         // Round-robin seeding: q0 = [0, 2], q1 = [1, 3].
         assert_eq!(shared.pop_local(0).unwrap().id, UnitId(0));
@@ -497,5 +926,20 @@ mod tests {
         assert!(shared.pop_local(0).is_none());
         assert!(shared.steal(0).is_none());
         assert_eq!(shared.steals.load(Ordering::Relaxed), 2);
+        assert_eq!(shared.running.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn builder_absorbs_options_and_overrides() {
+        let mut options = VmOptions::isolated();
+        options.scheduler = SchedulerKind::Parallel(3);
+        let cluster = Cluster::builder().vm_options(options).slice(123).build();
+        assert_eq!(cluster.kind, SchedulerKind::Parallel(3));
+        assert_eq!(cluster.slice, 123);
+        let cluster = Cluster::builder()
+            .vm_options(VmOptions::isolated())
+            .scheduler(SchedulerKind::Parallel(2))
+            .build();
+        assert_eq!(cluster.kind, SchedulerKind::Parallel(2));
     }
 }

@@ -172,6 +172,13 @@ impl Vm {
             }
         }
 
+        // Drop the isolate's exported cross-unit services: in-flight and
+        // queued calls fail at their callers with `ServiceRevoked`, the
+        // hub entries are revoked so future calls fail fast, and idle
+        // pump threads retire (busy ones die with the isolate's
+        // StoppedIsolateException raised above).
+        self.port_revoke_isolate(target);
+
         // Reclaim unshared objects now; also flips the isolate to Dead if
         // nothing of it survives.
         self.collect_garbage(None);

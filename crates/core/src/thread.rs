@@ -194,6 +194,17 @@ pub enum ThreadState {
         /// The isolate whose mirror is being initialized.
         isolate: IsolateId,
     },
+    /// Parked inside `ijvm/Service.call` awaiting the reply for the given
+    /// call id (see [`crate::port`]). The reply (or a revocation error)
+    /// is delivered at a quantum boundary and wakes the thread.
+    BlockedOnPort {
+        /// The in-flight call this thread is waiting on.
+        call: u64,
+    },
+    /// A service pump thread parked with no request to serve (see
+    /// [`crate::port`]). Never runnable in this state; dispatching a
+    /// request pushes a handler frame and wakes it.
+    ServicePump,
     /// Finished (normally or with an uncaught exception).
     Terminated,
 }
@@ -231,6 +242,11 @@ pub struct VmThread {
     pub insns_since_switch: u64,
     /// Recycled locals/operand-stack buffers for this thread's frames.
     pub frame_pool: FramePool,
+    /// `true` for service pump threads (see [`crate::port`]): when such a
+    /// thread drains its last frame it re-parks awaiting the next request
+    /// instead of terminating, and its handler failures become service
+    /// replies instead of uncaught-exception thread deaths.
+    pub is_service_pump: bool,
 }
 
 impl VmThread {
@@ -250,6 +266,7 @@ impl VmThread {
             uncaught: None,
             insns_since_switch: 0,
             frame_pool: FramePool::default(),
+            is_service_pump: false,
         }
     }
 

@@ -34,7 +34,12 @@ pub enum IsolationMode {
 }
 
 /// VM construction options.
+///
+/// `#[non_exhaustive]`: construct via [`VmOptions::isolated`] /
+/// [`VmOptions::shared`] (or `Default`) and adjust fields; new tuning
+/// knobs may be added without breaking embedders.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct VmOptions {
     /// Isolation mode (see [`IsolationMode`]).
     pub isolation: IsolationMode,
@@ -150,6 +155,10 @@ pub enum RunOutcome {
     BudgetExhausted,
     /// Threads remain but all are blocked on each other.
     Deadlock,
+    /// At least one thread is parked in a cross-unit `Service.call`
+    /// awaiting a reply ([`crate::port`]): the VM cannot progress until
+    /// the cluster scheduler delivers mail at the next quantum boundary.
+    Blocked,
 }
 
 /// An exception in flight inside the interpreter (crate-internal).
@@ -196,6 +205,10 @@ pub struct Vm {
     pub(crate) migrations: u64,
     /// Set when `System.exit` is called; `run` stops.
     pub(crate) exit_code: Option<i32>,
+    /// The inter-unit service/message state ([`crate::port`]): exported
+    /// service pumps, threads waiting on replies, and — once submitted to
+    /// a cluster — the unit id and shared hub.
+    pub(crate) port: crate::port::PortState,
     /// Keeps `Vm: !Sync` no matter what the fields auto-derive: a VM is
     /// a `Send` unit owned by one thread at a time, never shared — the
     /// invariant the engine's interior-mutable caches
@@ -238,6 +251,7 @@ impl Vm {
             well_known: WellKnown::default(),
             migrations: 0,
             exit_code: None,
+            port: crate::port::PortState::default(),
             not_sync: std::marker::PhantomData,
         }
     }
@@ -968,10 +982,18 @@ impl Vm {
                 if self.advance_clock_to_next_wakeup() {
                     continue;
                 }
-                let any_blocked = self
-                    .threads
-                    .iter()
-                    .any(|t| !t.is_terminated() && !t.is_runnable());
+                // Threads parked in cross-unit calls are waiting on the
+                // scheduler's mail delivery, not on each other.
+                if self.port.has_waiters() {
+                    return RunOutcome::Blocked;
+                }
+                // Idle service pumps are not "work": a unit whose only
+                // parked threads await requests has finished.
+                let any_blocked = self.threads.iter().any(|t| {
+                    !t.is_terminated()
+                        && !t.is_runnable()
+                        && t.state != crate::thread::ThreadState::ServicePump
+                });
                 return if any_blocked {
                     RunOutcome::Deadlock
                 } else {
@@ -1043,7 +1065,9 @@ impl Vm {
         let mut to_interrupt = Vec::new();
         for t in &self.threads {
             match t.state {
-                ThreadState::Sleeping { .. } | ThreadState::WaitingOnMonitor(_)
+                ThreadState::Sleeping { .. }
+                | ThreadState::WaitingOnMonitor(_)
+                | ThreadState::BlockedOnPort { .. }
                     if t.interrupted =>
                 {
                     // Interrupt pulls the thread out of its park with an
@@ -1085,7 +1109,7 @@ impl Vm {
         }
     }
 
-    fn on_thread_exit(&mut self, tid: ThreadId) {
+    pub(crate) fn on_thread_exit(&mut self, tid: ThreadId) {
         let creator = self.threads[tid.0 as usize].creator_isolate;
         if self.options.accounting {
             if let Some(i) = self.isolates.get_mut(creator.0 as usize) {
@@ -1144,7 +1168,9 @@ impl Vm {
         let mref = MethodRef { class, index };
         let tid = self.spawn_thread(&format!("call:{name}"), mref, args, caller)?;
         match self.run(None) {
-            RunOutcome::Deadlock => return Err(VmError::Deadlock),
+            // A standalone VM has no scheduler to deliver port mail, so a
+            // blocked cross-unit call can never complete here.
+            RunOutcome::Deadlock | RunOutcome::Blocked => return Err(VmError::Deadlock),
             RunOutcome::BudgetExhausted => return Err(VmError::BudgetExhausted),
             RunOutcome::Idle => {}
         }

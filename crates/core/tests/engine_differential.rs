@@ -150,12 +150,17 @@ fn run_in_cluster(
     let tid = vm
         .spawn_thread(&format!("call:{method}"), mref, args, iso)
         .unwrap();
-    let mut cluster = Cluster::new(SchedulerKind::Parallel(2)).with_slice(1_000);
+    let mut cluster = Cluster::builder()
+        .scheduler(SchedulerKind::Parallel(2))
+        .slice(1_000)
+        .build();
     let unit = cluster.submit(vm);
     let mut out = cluster.run();
-    let mut vm = out.vms.remove(unit.0 as usize);
-    let outcome = match out.reports[unit.0 as usize].outcome {
-        RunOutcome::Deadlock => Err(ijvm_core::VmError::Deadlock),
+    // `units` is indexed by UnitId regardless of completion order.
+    let finished = out.units.remove(unit.id().index() as usize);
+    let mut vm = finished.vm;
+    let outcome = match finished.report.outcome {
+        RunOutcome::Deadlock | RunOutcome::Blocked => Err(ijvm_core::VmError::Deadlock),
         RunOutcome::BudgetExhausted => Err(ijvm_core::VmError::BudgetExhausted),
         RunOutcome::Idle => vm.thread_outcome(tid),
     };
@@ -164,7 +169,7 @@ fn run_in_cluster(
     for i in 0..vm.isolate_count() {
         let iso = IsolateId(i as u16);
         assert_eq!(
-            out.accounts.cpu_exact(unit, iso),
+            out.accounts.cpu_exact(unit.id(), iso),
             vm.isolate_stats(iso).unwrap().cpu_exact,
             "cluster aggregate diverged for {iso}"
         );

@@ -8,7 +8,7 @@
 //! which slice may differ.
 
 use ijvm_core::prelude::*;
-use ijvm_core::sched::{Cluster, UnitId};
+use ijvm_core::sched::Cluster;
 use ijvm_minijava::{compile_to_bytes, CompileEnv};
 use proptest::prelude::*;
 
@@ -71,7 +71,7 @@ fn run_set(
     quantum: u32,
     slice: u64,
 ) -> Vec<UnitObserved> {
-    let mut cluster = Cluster::new(kind).with_slice(slice);
+    let mut cluster = Cluster::builder().scheduler(kind).slice(slice).build();
     let mut tids = Vec::new();
     for p in programs {
         let (vm, unit_tids) = build_unit(p, quantum);
@@ -79,11 +79,17 @@ fn run_set(
         tids.push(unit_tids);
     }
     let mut outcome = cluster.run();
-    assert_eq!(outcome.vms.len(), programs.len(), "every unit must finish");
+    assert_eq!(
+        outcome.units.len(),
+        programs.len(),
+        "every unit must finish"
+    );
+    let accounts = &outcome.accounts;
     let mut observed = Vec::new();
-    for (u, vm) in outcome.vms.iter_mut().enumerate() {
-        let report = outcome.reports[u];
-        assert_eq!(report.id, UnitId(u as u32), "reports are in unit order");
+    for (u, unit_outcome) in outcome.units.iter_mut().enumerate() {
+        let report = unit_outcome.report;
+        let vm = &mut unit_outcome.vm;
+        assert_eq!(report.id.index() as usize, u, "units are indexed by UnitId");
         assert!(report.slices > 0, "unit {u} never ran");
         let snaps = vm.snapshots();
         observed.push(UnitObserved {
@@ -103,11 +109,7 @@ fn run_set(
             allocated_objects: snaps.iter().map(|s| s.stats.allocated_objects).collect(),
             outcome: report.outcome,
             aggregate_cpu: (0..vm.isolate_count())
-                .map(|i| {
-                    outcome
-                        .accounts
-                        .cpu_exact(UnitId(u as u32), IsolateId(i as u16))
-                })
+                .map(|i| accounts.cpu_exact(report.id, IsolateId(i as u16)))
                 .collect(),
         });
     }
@@ -307,16 +309,16 @@ fn multi_isolate_unit_accounting_is_exact() {
         SchedulerKind::Parallel(4),
     ] {
         let (vm, tid) = build(200);
-        let mut cluster = Cluster::new(kind).with_slice(350);
+        let mut cluster = Cluster::builder().scheduler(kind).slice(350).build();
         let unit = cluster.submit(vm);
         let outcome = cluster.run();
-        let vm = &outcome.vms[0];
+        let vm = &outcome.unit(&unit).vm;
         assert_eq!(vm.thread_outcome(tid).unwrap(), plain_result, "{kind:?}");
         let cpu: Vec<u64> = vm.snapshots().iter().map(|s| s.stats.cpu_exact).collect();
         assert_eq!(cpu, plain_cpu, "{kind:?}: per-isolate exact CPU diverged");
         for (i, &expect) in plain_cpu.iter().enumerate() {
             assert_eq!(
-                outcome.accounts.cpu_exact(unit, IsolateId(i as u16)),
+                outcome.accounts.cpu_exact(unit.id(), IsolateId(i as u16)),
                 expect,
                 "{kind:?}: aggregate for isolate {i} diverged"
             );
@@ -348,16 +350,18 @@ fn pre_run_termination_is_delivered_before_first_slice() {
         thread_args: vec![1],
     };
     let (vm, tids) = build_unit(&program, 500);
-    let mut cluster = Cluster::new(SchedulerKind::Parallel(2)).with_slice(500);
+    let mut cluster = Cluster::builder()
+        .scheduler(SchedulerKind::Parallel(2))
+        .slice(500)
+        .build();
     let unit = cluster.submit(vm);
-    let ctl = cluster.ctl();
     // A single-isolate unit's workload isolate is the first one created
     // (the system library lives on the bootstrap loader, not in an
     // isolate of its own).
-    ctl.terminate(unit, IsolateId(0));
+    unit.terminate(IsolateId(0));
     let outcome = cluster.run();
-    let vm = &outcome.vms[0];
-    assert_eq!(outcome.reports[0].outcome, RunOutcome::Idle);
+    let vm = &outcome.unit(&unit).vm;
+    assert_eq!(outcome.unit(&unit).report.outcome, RunOutcome::Idle);
     assert_ne!(
         vm.isolate_state(IsolateId(0)).unwrap(),
         IsolateState::Active,
@@ -369,7 +373,7 @@ fn pre_run_termination_is_delivered_before_first_slice() {
         "expected StoppedIsolateException, got {err}"
     );
     assert_eq!(
-        outcome.accounts.cpu_exact(unit, IsolateId(0)),
+        outcome.accounts.cpu_exact(unit.id(), IsolateId(0)),
         0,
         "a pre-run kill must land before any instruction is charged"
     );
@@ -396,18 +400,21 @@ fn cross_worker_termination_stops_spinning_unit() {
         thread_args: vec![1],
     };
     let (vm, tids) = build_unit(&spin, 400);
-    let mut cluster = Cluster::new(SchedulerKind::Parallel(2)).with_slice(400);
+    let mut cluster = Cluster::builder()
+        .scheduler(SchedulerKind::Parallel(2))
+        .slice(400)
+        .build();
     let unit = cluster.submit(vm);
-    let ctl = cluster.ctl();
+    let killer_handle = unit.clone();
     let killer = std::thread::spawn(move || {
         // Let the hog actually run a few quanta first.
         std::thread::sleep(std::time::Duration::from_millis(20));
-        ctl.terminate(unit, IsolateId(0));
+        killer_handle.terminate(IsolateId(0));
     });
     let outcome = cluster.run();
     killer.join().unwrap();
-    let vm = &outcome.vms[0];
-    assert_eq!(outcome.reports[0].outcome, RunOutcome::Idle);
+    let vm = &outcome.unit(&unit).vm;
+    assert_eq!(outcome.unit(&unit).report.outcome, RunOutcome::Idle);
     let err = vm.thread_outcome(tids[0]).unwrap_err().to_string();
     assert!(
         err.contains("StoppedIsolateException"),
@@ -416,10 +423,71 @@ fn cross_worker_termination_stops_spinning_unit() {
     // Everything the hog burned before the kill is charged exactly:
     // aggregate and in-VM exact CPU agree even for a killed isolate.
     assert_eq!(
-        outcome.accounts.cpu_exact(unit, IsolateId(0)),
+        outcome.accounts.cpu_exact(unit.id(), IsolateId(0)),
         vm.isolate_stats(IsolateId(0)).unwrap().cpu_exact,
         "kill path lost exactly-counted CPU"
     );
+}
+
+/// The documented `ClusterOutcome::units` invariant: entries are indexed
+/// by `UnitId` no matter in which order units *complete*. Unit sizes are
+/// chosen so completion order (1, 2, 0) inverts submission order under
+/// the deterministic scheduler, and parallel runs shuffle it further.
+#[test]
+fn outcome_units_indexed_by_unit_id_regardless_of_completion_order() {
+    let spin = |n: i32| Program {
+        src: r#"
+            class Arith {
+                static int spin(int n) {
+                    int acc = 7;
+                    for (int i = 0; i < n; i++) { acc = acc * 31 + i; }
+                    return acc % 65536;
+                }
+            }
+        "#,
+        entry: "Arith",
+        method: "spin",
+        desc: "(I)I",
+        thread_args: vec![n],
+    };
+    // Long, tiny, medium: unit 0 finishes last, unit 1 first.
+    let programs = [spin(6_000), spin(10), spin(1_500)];
+    for kind in [
+        SchedulerKind::Deterministic,
+        SchedulerKind::Parallel(2),
+        SchedulerKind::Parallel(4),
+    ] {
+        let mut cluster = Cluster::builder().scheduler(kind).slice(200).build();
+        let mut handles = Vec::new();
+        let mut tids = Vec::new();
+        for p in &programs {
+            let (vm, unit_tids) = build_unit(p, 200);
+            handles.push(cluster.submit(vm));
+            tids.push(unit_tids[0]);
+        }
+        let outcome = cluster.run();
+        // Slice counts prove completion order differed from unit order.
+        assert!(
+            outcome.units[1].report.slices < outcome.units[0].report.slices,
+            "{kind:?}: the tiny unit should finish in fewer slices"
+        );
+        for (u, handle) in handles.iter().enumerate() {
+            let unit = outcome.unit(handle);
+            assert_eq!(unit.report.id, handle.id());
+            assert_eq!(unit.report.id.index() as usize, u);
+            // Each unit's VM really is the one submitted under that id:
+            // its entry thread computed that unit's expected value.
+            let expect = {
+                let mut acc = 7i32;
+                for i in 0..programs[u].thread_args[0] {
+                    acc = acc.wrapping_mul(31).wrapping_add(i);
+                }
+                (acc % 65536).to_string()
+            };
+            let got = unit.vm.thread_outcome(tids[u]).unwrap().unwrap();
+            assert_eq!(got.to_string(), expect, "{kind:?}: unit {u} mismatch");
+        }
+    }
 }
 
 proptest! {

@@ -64,6 +64,9 @@ mod tests {
             "java/util/HashMap",
             "org/ijvm/VConnection",
             "org/ijvm/StoppedIsolateException",
+            "org/ijvm/ServiceRevokedException",
+            "ijvm/Service",
+            "ijvm/Port",
         ] {
             assert!(
                 vm.find_class(LoaderId::BOOTSTRAP, name).is_some(),

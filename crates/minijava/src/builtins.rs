@@ -245,6 +245,32 @@ pub fn register(env: &mut Env) {
         ],
     ));
 
+    // The cross-unit service/message surface (ijvm_core::port): typed
+    // calls between cluster units with deep-copied arguments.
+    env.add_class(class(
+        "ijvm/Service",
+        Some("java/lang/Object"),
+        &[],
+        vec![],
+        vec![
+            m("export", &[s(), obj()], Ty::Void, true),
+            m("call", &[s(), Ty::Int], Ty::Int, true),
+            m("call", &[s(), obj()], obj(), true),
+            m("callAt", &[Ty::Int, s(), Ty::Int], Ty::Int, true),
+            m("unit", &[], Ty::Int, true),
+        ],
+    ));
+    env.add_class(class(
+        "ijvm/Port",
+        Some("java/lang/Object"),
+        &[],
+        vec![],
+        vec![
+            m("send", &[s(), Ty::Int], Ty::Void, true),
+            m("send", &[s(), obj()], Ty::Void, true),
+        ],
+    ));
+
     env.add_class(class(
         "java/lang/Throwable",
         Some("java/lang/Object"),
@@ -335,5 +361,9 @@ fn ijvm_exception_hierarchy() -> &'static [(&'static str, &'static str)] {
         ("java/lang/AbstractMethodError", "java/lang/Error"),
         ("java/lang/UnsatisfiedLinkError", "java/lang/Error"),
         ("java/lang/ExceptionInInitializerError", "java/lang/Error"),
+        (
+            "org/ijvm/ServiceRevokedException",
+            "java/lang/RuntimeException",
+        ),
     ]
 }

@@ -197,7 +197,11 @@ impl Env {
         env
     }
 
-    /// Registers a class, indexing it by its simple name too.
+    /// Registers a class, indexing it by its simple name too. A later
+    /// registration takes the simple-name slot from an earlier one, so
+    /// user and imported classes shadow same-named builtins (a bundle
+    /// may define its own `Service` without colliding with
+    /// `ijvm/Service`); exact internal names always resolve regardless.
     pub fn add_class(&mut self, info: ClassInfo) {
         let simple = info
             .internal
@@ -205,9 +209,7 @@ impl Env {
             .next()
             .unwrap_or(&info.internal)
             .to_owned();
-        self.by_simple
-            .entry(simple)
-            .or_insert_with(|| info.internal.clone());
+        self.by_simple.insert(simple, info.internal.clone());
         self.classes.insert(info.internal.clone(), info);
     }
 

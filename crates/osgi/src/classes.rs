@@ -92,17 +92,35 @@ fn register_natives(vm: &mut Vm, state: Arc<Mutex<FrameworkState>>) {
                     .get_field(receiver, "bundleId")
                     .map(|v| v.as_int())
                     .unwrap_or(-1);
-                let _ = tid;
                 let pin = vm.pin(service);
-                let mut st = state.lock().unwrap();
-                if let Some(old) = st.services.insert(
-                    name,
-                    ServiceEntry {
-                        pin,
-                        provider: provider as u32,
-                    },
-                ) {
-                    vm.unpin(old.pin);
+                {
+                    let mut st = state.lock().unwrap();
+                    if let Some(old) = st.services.insert(
+                        name.clone(),
+                        ServiceEntry {
+                            pin,
+                            provider: provider as u32,
+                        },
+                    ) {
+                        vm.unpin(old.pin);
+                    }
+                }
+                // Distributed-OSGi step: a service whose object also
+                // follows the `handle(int)`/`handle(Object)` convention
+                // becomes addressable from *other cluster units* through
+                // the port registry, charged to the providing bundle's
+                // isolate. Re-registration replaces the export too
+                // (retract, then export fresh), mirroring the local
+                // registry's replace semantics — otherwise remote
+                // callers would silently keep the old handler object.
+                // Best-effort — plain same-VM services simply stay
+                // local.
+                let owner = vm.current_isolate(tid);
+                if let Err(ijvm_core::port::ExportError::Duplicate(_)) =
+                    vm.export_service(&name, service, owner)
+                {
+                    vm.retract_service(&name);
+                    let _ = vm.export_service(&name, service, owner);
                 }
                 NativeResult::Return(None)
             }),

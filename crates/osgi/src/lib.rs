@@ -24,7 +24,7 @@ pub mod profiles;
 pub mod state;
 
 use ijvm_core::error::{Result, VmError};
-use ijvm_core::ids::{IsolateId, LoaderId, MethodRef};
+use ijvm_core::ids::{IsolateId, LoaderId, MethodRef, ThreadId};
 use ijvm_core::isolate::IsolateState;
 use ijvm_core::value::{GcRef, Value};
 use ijvm_core::vm::{RunOutcome, Vm, VmOptions};
@@ -242,18 +242,20 @@ impl Framework {
             .ok_or_else(|| VmError::Internal("context unpinned".to_owned()))
     }
 
-    fn lifecycle_call(&mut self, id: BundleId, method: &str) -> Result<RunOutcome> {
+    /// Spawns (but does not run) a bundle's lifecycle method on a fresh
+    /// thread. Returns `None` when the bundle has no such method.
+    fn spawn_lifecycle(&mut self, id: BundleId, method: &str) -> Result<Option<ThreadId>> {
         let (activator, loader, isolate) = {
             let b = self.bundle(id)?;
             (b.activator.clone(), b.loader, b.isolate)
         };
         let Some(activator) = activator else {
-            return Ok(RunOutcome::Idle); // nothing to run
+            return Ok(None); // nothing to run
         };
         let class = self.vm.load_class(loader, &activator)?;
         let desc = "(Lorg/osgi/BundleContext;)V";
         let Some(index) = self.vm.class(class).find_method(method, desc) else {
-            return Ok(RunOutcome::Idle); // optional lifecycle method
+            return Ok(None); // optional lifecycle method
         };
         let ctx = self.context_of(id)?;
         // Rule 1 (paper §3.4): lifecycle calls run on a fresh thread so a
@@ -261,12 +263,19 @@ impl Framework {
         // created by the runtime (charged to Isolate0); the code executes
         // in — and is CPU-charged to — the bundle's isolate.
         let mref = MethodRef { class, index };
-        let _tid = self.vm.spawn_thread(
+        let tid = self.vm.spawn_thread(
             &format!("{method}:{}", isolate),
             mref,
             vec![Value::Ref(ctx)],
             self.isolate0,
         )?;
+        Ok(Some(tid))
+    }
+
+    fn lifecycle_call(&mut self, id: BundleId, method: &str) -> Result<RunOutcome> {
+        if self.spawn_lifecycle(id, method)?.is_none() {
+            return Ok(RunOutcome::Idle);
+        }
         Ok(self.vm.run(Some(self.lifecycle_budget)))
     }
 
@@ -275,6 +284,26 @@ impl Framework {
         let out = self.lifecycle_call(id, "start")?;
         self.bundles[id.0 as usize].state = BundleState::Active;
         Ok(out)
+    }
+
+    /// Spawns a bundle's `start` activator thread *without running it* —
+    /// for frameworks about to become cluster units: submit the VM
+    /// ([`Framework::into_vm`]) and let the cluster drive the activator,
+    /// so its service lookups can reach (and wait for) other units.
+    pub fn spawn_start(&mut self, id: BundleId) -> Result<()> {
+        let _ = self.spawn_lifecycle(id, "start")?;
+        self.bundles[id.0 as usize].state = BundleState::Active;
+        Ok(())
+    }
+
+    /// Releases the underlying VM, e.g. to submit the whole framework —
+    /// bundles, services, spawned activators — as one cluster execution
+    /// unit ([`ijvm_core::sched::Cluster::submit`]). Services registered
+    /// through `BundleContext.registerService` whose objects follow the
+    /// `handle(int)`/`handle(Object)` convention are already exported in
+    /// the VM's port state and become cluster-addressable on submit.
+    pub fn into_vm(self) -> Vm {
+        self.vm
     }
 
     /// Stops a bundle cooperatively (runs its `stop`).

@@ -6,12 +6,16 @@
 //! * [`runner`] — runs a workload on a fresh VM in either isolation mode
 //!   and reports wall time, guest instructions and the checksum;
 //! * [`paint`] — the Felix paint demo of §4.1 (a drag gesture makes ≈200
-//!   inter-bundle calls).
+//!   inter-bundle calls);
+//! * [`pipeline`] — two-unit cluster pipelines over the inter-unit
+//!   service layer (the cross-unit Table 1 scenario).
 
 pub mod paint;
+pub mod pipeline;
 pub mod runner;
 pub mod spec;
 
 pub use paint::{DragReport, PaintDemo};
+pub use pipeline::{build_pipeline, run_pipeline, PipelineOutcome};
 pub use runner::{run_workload, RunStats};
 pub use spec::{all, Workload};

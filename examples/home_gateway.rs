@@ -4,19 +4,28 @@
 //! administrator uses I-JVM's accounting to find it and termination to
 //! evict it — without restarting the platform.
 //!
+//! Act two goes beyond the paper: the gateway's bundles are spread over
+//! **two cluster units** (two share-nothing VMs on the work-stealing
+//! scheduler), and a billing bundle on the second unit reads the meter
+//! through the cross-unit service registry — arguments deep-copied,
+//! copies charged to their senders.
+//!
 //! ```sh
 //! cargo run --release --example home_gateway
 //! ```
 
 use ijvm::prelude::*;
 use ijvm_core::ids::MethodRef;
+use ijvm_core::sched::Cluster;
 
 fn main() {
     let mut options = VmOptions::isolated();
     options.heap_limit_bytes = 16 << 20;
     let mut fw = Framework::new(options);
 
-    // Trusted service: a metering bundle the household relies on.
+    // Trusted service: a metering bundle the household relies on. Its
+    // service object follows the `handle(int)` convention, so the OSGi
+    // registry also exports it for cross-unit callers (act two).
     let meter = fw
         .install_bundle(
             BundleDescriptor::from_source(
@@ -27,8 +36,14 @@ fn main() {
                     static int reading = 100;
                     static int read() { reading = reading + 7; return reading; }
                 }
+                class MeterService {
+                    int handle(int x) { return Meter.read(); }
+                }
                 class Activator {
-                    static void start(BundleContext ctx) { ctx.log("meter online"); }
+                    static void start(BundleContext ctx) {
+                        ctx.registerService("meter.read", new MeterService());
+                        ctx.log("meter online");
+                    }
                 }
                 "#,
                 Some("Activator"),
@@ -140,5 +155,67 @@ fn main() {
     println!(
         "meter reading after eviction: {:?} (service uninterrupted)",
         fw.vm().thread_result(tid)
+    );
+
+    // ------------------------------------------------------------------
+    // Act two: the gateway goes multi-core. The surviving framework
+    // becomes one cluster unit; a billing framework on a *second* unit
+    // reads the meter through the cross-unit service registry — two
+    // share-nothing VMs, arguments deep-copied, copies charged to their
+    // senders.
+    // ------------------------------------------------------------------
+    println!("\n— act two: billing moves to its own unit —");
+    let mut billing_fw = Framework::new(VmOptions::isolated());
+    let billing = billing_fw
+        .install_bundle(
+            BundleDescriptor::from_source(
+                "billing",
+                "billing",
+                r#"
+                class Activator {
+                    static void start(BundleContext ctx) {
+                        int total = 0;
+                        for (int i = 0; i < 3; i++) {
+                            int reading = Service.call("meter.read", 0);
+                            total = total + reading;
+                            ctx.log("billing read " + reading);
+                        }
+                        ctx.log("billing total " + total);
+                    }
+                }
+                "#,
+                Some("Activator"),
+                vec![],
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    // Spawn (don't run) the activator: its service calls must resolve
+    // through the cluster, so the cluster drives it.
+    billing_fw.spawn_start(billing).unwrap();
+
+    let mut cluster = Cluster::builder()
+        .scheduler(SchedulerKind::Parallel(2))
+        .build();
+    let gateway_unit = cluster.submit(fw.into_vm());
+    let billing_unit = cluster.submit(billing_fw.into_vm());
+    let hub = cluster.hub();
+    let mut outcome = cluster.run();
+
+    for line in outcome.unit_mut(&billing_unit).vm.take_console() {
+        println!("[billing/unit1] {line}");
+    }
+    println!("cross-unit services exported: {:?}", hub.service_names());
+    let meter_iso = outcome
+        .unit(&gateway_unit)
+        .vm
+        .snapshots()
+        .into_iter()
+        .find(|s| s.name == "power-meter")
+        .expect("meter bundle");
+    println!(
+        "meter bundle after serving billing: cpu(exact)={} (includes its reply-copy charges)",
+        meter_iso.stats.cpu_exact
     );
 }

@@ -142,6 +142,9 @@ fn main() -> ExitCode {
                     eprintln!("ijvm-run: instruction budget exhausted");
                 }
                 RunOutcome::Deadlock => eprintln!("ijvm-run: deadlock"),
+                RunOutcome::Blocked => {
+                    eprintln!("ijvm-run: blocked on cross-unit service calls")
+                }
                 RunOutcome::Idle => {}
             }
             Ok(())
