@@ -242,6 +242,38 @@ fn main() -> ExitCode {
         }
     }
 
+    // Flight-recorder overhead gate: turning tracing on may slow the
+    // cross-unit call micro (the recorder's worst published case — every
+    // call emits hub events plus latency and CPU-charge records) by at
+    // most the committed ceiling relative to the trace-off run. Another
+    // ceiling, so the tolerance is applied upward. The trace-off side
+    // needs no extra gate: the per-row floors above are measured with
+    // tracing off, so trace-off overhead regressions already trip them.
+    if let Some(max_ratio) = doc_num(&baseline_json, "trace_call_max_ratio") {
+        let ceiling = max_ratio * (1.0 + tolerance);
+        match doc_num(&fresh_json, "trace_call_ratio") {
+            Some(ratio) if ratio <= ceiling => {
+                println!(
+                    "  ok   trace-on call overhead: {ratio:.4}x trace-off (ceiling {ceiling:.2}x)"
+                );
+            }
+            Some(ratio) => {
+                println!(
+                    "  FAIL trace-on call overhead: {ratio:.4}x trace-off above ceiling {ceiling:.2}x"
+                );
+                failures += 1;
+                offenders.push(format!(
+                    "trace-on call overhead: fresh {ratio:.4}x, ceiling {ceiling:.2}x"
+                ));
+            }
+            None => {
+                println!("  FAIL trace section missing from {fresh_path}");
+                failures += 1;
+                offenders.push("trace-on call overhead: missing from the fresh run".to_owned());
+            }
+        }
+    }
+
     if failures > 0 {
         eprintln!("bench gate: {failures} metric(s) regressed; offending rows:");
         for o in &offenders {
@@ -316,6 +348,24 @@ mod tests {
 }"#;
         assert!((doc_num(doc, "cross_unit_ratio").unwrap() - 9.9231).abs() < 1e-9);
         assert!((doc_num(doc, "cross_unit_max_ratio").unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    /// Same independence for the `"trace"` section keys: the
+    /// quote-anchored tag keeps `"trace_call_ratio"` from matching
+    /// inside `"trace_call_max_ratio"` regardless of field order.
+    #[test]
+    fn trace_keys_parse_independently() {
+        let doc = r#"{
+  "trace": {
+    "trace_iterations": 200000,
+    "trace_call_max_ratio": 1.5,
+    "trace_call_ratio": 1.2345,
+    "trace_arith_ratio": 1.0123
+  }
+}"#;
+        assert!((doc_num(doc, "trace_call_ratio").unwrap() - 1.2345).abs() < 1e-9);
+        assert!((doc_num(doc, "trace_call_max_ratio").unwrap() - 1.5).abs() < 1e-9);
+        assert!((doc_num(doc, "trace_arith_ratio").unwrap() - 1.0123).abs() < 1e-9);
     }
 
     /// `"speedup"` must not match the tail of `"threaded_speedup"`, even

@@ -7,6 +7,7 @@
 
 use ijvm_bench::engine::{engine_comparison, print_engine_table, to_json};
 use ijvm_bench::parallel::{measure_scaling, print_scaling_table};
+use ijvm_bench::trace::{measure_trace_overhead, print_trace_overhead};
 use ijvm_bench::xunit::{measure_cross_unit_ratio, print_cross_unit};
 
 fn main() {
@@ -24,7 +25,15 @@ fn main() {
     print_scaling_table(&scaling);
     let cross_unit = measure_cross_unit_ratio(4_000, 3);
     print_cross_unit(&cross_unit);
-    let json = to_json(&rows, iterations, Some(&scaling), Some(&cross_unit));
+    let trace = measure_trace_overhead(iterations, 4_000, 3);
+    print_trace_overhead(&trace);
+    let json = to_json(
+        &rows,
+        iterations,
+        Some(&scaling),
+        Some(&cross_unit),
+        Some(&trace),
+    );
     match std::fs::write(&path, &json) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => {

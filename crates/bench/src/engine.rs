@@ -123,8 +123,25 @@ const DEEP_CALL_SRC: &str = r#"
 /// wall time and guest instructions (after a warm-up run that pays class
 /// loading, pre-decoding and quickening).
 fn run_spin_class(src: &str, entry: &str, engine: EngineKind, iterations: i32) -> (Duration, u64) {
+    run_spin_class_with(
+        src,
+        entry,
+        VmOptions::isolated().with_engine(engine),
+        iterations,
+    )
+}
+
+/// [`run_spin_class`] with full [`VmOptions`] control — the trace
+/// overhead rows re-run the arithmetic loop with only the flight
+/// recorder toggled.
+pub(crate) fn run_spin_class_with(
+    src: &str,
+    entry: &str,
+    options: VmOptions,
+    iterations: i32,
+) -> (Duration, u64) {
     use ijvm_core::value::Value;
-    let mut vm = ijvm_jsl::boot(VmOptions::isolated().with_engine(engine));
+    let mut vm = ijvm_jsl::boot(options);
     let iso = vm.create_isolate("bench");
     let loader = vm.loader_of(iso).unwrap();
     let compiled = ijvm_minijava::compile_to_bytes(src, &ijvm_minijava::CompileEnv::new()).unwrap();
@@ -253,12 +270,15 @@ pub fn print_engine_table(rows: &[EngineRow]) {
 /// (`threaded_speedup`) ratios; the CI bench gate enforces floors on
 /// both. When supplied, the parallel-scheduler scalability report and
 /// the cross-unit call-cost report are appended as the `"parallel"` and
-/// `"cross_unit"` sections the gate also reads.
+/// `"cross_unit"` sections the gate also reads, and the flight-recorder
+/// overhead report as the `"trace"` section (trace-on vs trace-off
+/// ratios, gated as ceilings).
 pub fn to_json(
     rows: &[EngineRow],
     iterations: i32,
     parallel: Option<&crate::parallel::ScalingReport>,
     cross_unit: Option<&crate::xunit::CrossUnitReport>,
+    trace: Option<&crate::trace::TraceOverheadReport>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"engine_raw_vs_quickened_vs_threaded\",\n");
@@ -284,6 +304,9 @@ pub fn to_json(
     }
     if let Some(report) = cross_unit {
         sections.push(crate::xunit::cross_unit_to_json(report));
+    }
+    if let Some(report) = trace {
+        sections.push(crate::trace::trace_to_json(report));
     }
     if sections.is_empty() {
         out.push_str("  ]\n}\n");

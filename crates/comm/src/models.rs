@@ -254,8 +254,8 @@ const XUNIT_CANVAS_SRC: &str = r#"
 
 /// Builds one cross-unit fixture unit: compiled classes, pre-loaded, an
 /// entry thread spawned for `arg`.
-fn xunit_vm(src: &str, entry: &str, method: &str, arg: i32) -> Vm {
-    let mut vm = ijvm_jsl::boot(VmOptions::isolated());
+fn xunit_vm(src: &str, entry: &str, method: &str, arg: i32, options: VmOptions) -> Vm {
+    let mut vm = ijvm_jsl::boot(options);
     let iso = vm.create_isolate("bundle");
     let loader = vm.loader_of(iso).unwrap();
     for (name, bytes) in compile_to_bytes(src, &CompileEnv::new()).unwrap() {
@@ -277,12 +277,26 @@ fn xunit_vm(src: &str, entry: &str, method: &str, arg: i32) -> Vm {
 /// (the apples-to-apples comparison against the in-VM models: no
 /// parallelism, pure mechanism cost).
 pub fn measure_cross_unit(calls: u32) -> CallCostReport {
+    measure_cross_unit_with(calls, VmOptions::isolated())
+}
+
+/// [`measure_cross_unit`] with explicit per-unit [`VmOptions`] — both
+/// units get the same configuration. The bench crate uses this to put
+/// the flight recorder's trace-on overhead on the same call micro the
+/// cross-unit ceiling is gated on.
+pub fn measure_cross_unit_with(calls: u32, options: VmOptions) -> CallCostReport {
     use ijvm_core::sched::{Cluster, SchedulerKind};
     let mut cluster = Cluster::builder()
         .scheduler(SchedulerKind::Deterministic)
         .build();
-    let canvas = cluster.submit(xunit_vm(XUNIT_CANVAS_SRC, "Canvas", "drag", calls as i32));
-    let shape = cluster.submit(xunit_vm(XUNIT_SHAPE_SRC, "Boot", "start", 1));
+    let canvas = cluster.submit(xunit_vm(
+        XUNIT_CANVAS_SRC,
+        "Canvas",
+        "drag",
+        calls as i32,
+        options.clone(),
+    ));
+    let shape = cluster.submit(xunit_vm(XUNIT_SHAPE_SRC, "Boot", "start", 1, options));
     let start = Instant::now();
     let outcome = cluster.run();
     let wall = start.elapsed();

@@ -175,6 +175,11 @@ impl Ctx<'_> {
                 "branch into the middle of an instruction",
             ));
         }
+        if target as usize <= self.cur && self.vm.trace_enabled {
+            self.prepared
+                .back_edges
+                .set(self.prepared.back_edges.get() + 1);
+        }
         self.next = target as usize;
         Flow::Next
     }
@@ -491,6 +496,13 @@ pub(crate) fn step_thread_threaded(vm: &mut Vm, tid: ThreadId, budget: u32) -> u
         let method = vm.threads[t].frames[fidx].method;
         let prepared = ensure_prepared(vm, method);
         let entry_pc = vm.threads[t].frames[fidx].pc;
+        // Profiling seed for the JIT tier: count method entries (pc 0 ⇒
+        // a fresh invocation, not a resumed frame). Approximate — a
+        // frame suspended at pc 0 recounts on resume — and gated on the
+        // recorder so untraced dispatch pays nothing.
+        if vm.trace_enabled && entry_pc == 0 {
+            prepared.hot_count.set(prepared.hot_count.get() + 1);
+        }
         let Some(entry_idx) = prepared.index_of_pc(entry_pc) else {
             // Only reachable through malformed hand-crafted code; the raw
             // engine would read garbage here, we fail cleanly.

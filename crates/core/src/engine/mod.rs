@@ -123,6 +123,16 @@ pub struct PreparedCode {
     /// Same length and indexing as `insns`; threaded quickening rewrites
     /// these cells and leaves `insns` untouched.
     threaded: OnceCell<Box<[Cell<TCell>]>>,
+    /// Profile counter: method entries at pc 0, bumped by the threaded
+    /// engine only while the flight recorder is on
+    /// ([`crate::vm::VmOptions::trace`]) — see
+    /// [`crate::vm::Vm::top_methods`]. `Cell` like the quickening caches:
+    /// interior-mutable, sound because a `Vm` is never shared across
+    /// threads.
+    pub hot_count: Cell<u64>,
+    /// Profile counter: backward branches taken (loop iterations), under
+    /// the same gate as `hot_count`.
+    pub back_edges: Cell<u64>,
 }
 
 impl PreparedCode {

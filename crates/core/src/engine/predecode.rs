@@ -188,6 +188,8 @@ pub fn predecode_with(code: &CodeBody, pool: &ConstPool, fuse: bool) -> Prepared
         virt_sites: std::cell::RefCell::new(Vec::new()),
         ldc_sites: std::cell::RefCell::new(Vec::new()),
         threaded: std::cell::OnceCell::new(),
+        hot_count: std::cell::Cell::new(0),
+        back_edges: std::cell::Cell::new(0),
     }
 }
 

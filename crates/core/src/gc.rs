@@ -26,6 +26,8 @@ impl Vm {
     pub fn collect_garbage(&mut self, trigger: Option<IsolateId>) {
         self.gc_count += 1;
         self.allocated_since_gc = 0;
+        let epoch = self.gc_count;
+        self.trace_emit(crate::trace::EventKind::GcEpoch, trigger, None, epoch);
         let accounting = self.options.accounting;
         if accounting {
             if let Some(iso) = trigger {

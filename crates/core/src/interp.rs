@@ -1513,8 +1513,13 @@ pub(crate) fn switch_isolate(vm: &mut Vm, tid: ThreadId, to: IsolateId, is_call:
     }
     let insns = std::mem::take(&mut vm.threads[t].insns_since_switch);
     if vm.options.accounting {
+        let mut charged = false;
         if let Some(i) = vm.isolates.get_mut(from.0 as usize) {
             i.stats.charge_cpu(insns);
+            charged = true;
+        }
+        if charged && insns > 0 {
+            vm.trace_cpu_charge(from, Some(tid), insns);
         }
         if is_call {
             if let Some(i) = vm.isolates.get_mut(to.0 as usize) {
@@ -1524,6 +1529,12 @@ pub(crate) fn switch_isolate(vm: &mut Vm, tid: ThreadId, to: IsolateId, is_call:
     }
     vm.threads[t].current_isolate = to;
     vm.migrations += 1;
+    vm.trace_emit(
+        crate::trace::EventKind::IsolateSwitch,
+        Some(from),
+        Some(tid),
+        to.0 as u64,
+    );
 }
 
 /// Pops the top frame on normal return. Returns `true` when the thread
@@ -1586,8 +1597,13 @@ pub(crate) fn finish_thread(vm: &mut Vm, tid: ThreadId, value: Option<Value>) {
     let iso = vm.threads[t].current_isolate;
     let insns = std::mem::take(&mut vm.threads[t].insns_since_switch);
     if vm.options.accounting {
+        let mut charged = false;
         if let Some(i) = vm.isolates.get_mut(iso.0 as usize) {
             i.stats.charge_cpu(insns);
+            charged = true;
+        }
+        if charged && insns > 0 {
+            vm.trace_cpu_charge(iso, Some(tid), insns);
         }
     }
     // A service pump draining its last frame has completed one request,
@@ -1604,6 +1620,12 @@ pub(crate) fn finish_thread(vm: &mut Vm, tid: ThreadId, value: Option<Value>) {
     // VmThreads stay in `vm.threads`).
     th.frames.clear();
     th.frame_pool = crate::thread::FramePool::default();
+    vm.trace_emit(
+        crate::trace::EventKind::ThreadFinish,
+        Some(iso),
+        Some(tid),
+        0,
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -1674,6 +1696,12 @@ pub(crate) fn make_sie(vm: &mut Vm, tid: ThreadId, dead_iso: IsolateId) -> GcRef
             fields[slot as usize] = Value::Int(dead_iso.0 as i32);
         }
     }
+    vm.trace_emit(
+        crate::trace::EventKind::SieRaised,
+        Some(dead_iso),
+        Some(tid),
+        0,
+    );
     r
 }
 
@@ -1707,8 +1735,13 @@ pub(crate) fn unwind(vm: &mut Vm, tid: ThreadId, ex: GcRef) -> bool {
             let iso = vm.threads[t].current_isolate;
             let insns = std::mem::take(&mut vm.threads[t].insns_since_switch);
             if vm.options.accounting {
+                let mut charged = false;
                 if let Some(i) = vm.isolates.get_mut(iso.0 as usize) {
                     i.stats.charge_cpu(insns);
+                    charged = true;
+                }
+                if charged && insns > 0 {
+                    vm.trace_cpu_charge(iso, Some(tid), insns);
                 }
             }
             // A handler exception inside a service pump becomes a failed
@@ -1722,6 +1755,12 @@ pub(crate) fn unwind(vm: &mut Vm, tid: ThreadId, ex: GcRef) -> bool {
             let th = &mut vm.threads[t];
             th.uncaught = Some(ex);
             th.state = ThreadState::Terminated;
+            vm.trace_emit(
+                crate::trace::EventKind::ThreadFinish,
+                Some(iso),
+                Some(tid),
+                1,
+            );
             return false;
         };
 

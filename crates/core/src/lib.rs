@@ -69,6 +69,7 @@ pub mod port;
 pub mod sched;
 pub mod terminate;
 pub mod thread;
+pub mod trace;
 pub mod value;
 pub mod vm;
 pub mod vmrc;
@@ -86,6 +87,10 @@ pub mod prelude {
     pub use crate::sched::{
         Cluster, ClusterBuilder, ClusterCtl, ClusterOutcome, SchedulerKind, UnitHandle, UnitId,
         UnitOutcome,
+    };
+    pub use crate::trace::{
+        ClusterMetrics, EventKind, LatencyHistogram, MethodHotness, TraceConfig, TraceEvent,
+        TraceRing, TraceSink, VmMetrics,
     };
     pub use crate::value::{GcRef, Value};
     pub use crate::vm::{IsolationMode, RunOutcome, Vm, VmOptions};

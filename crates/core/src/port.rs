@@ -450,6 +450,9 @@ impl Vm {
         for (name, pump) in &self.port.pumps {
             hub.export(unit, Arc::clone(name), pump.isolate);
         }
+        if let Some(ts) = self.trace.as_mut() {
+            ts.unit = crate::trace::clamp_id(unit.index());
+        }
         self.port.attach = Some((unit, hub));
     }
 
@@ -477,6 +480,9 @@ impl Vm {
         };
         let mut mail = std::mem::take(&mut self.port.drain_scratch);
         hub.take_mail_into(unit, &mut mail);
+        if !mail.is_empty() {
+            self.trace_mail_drain(mail.len() as u64);
+        }
         for env in mail.drain(..) {
             match env {
                 Envelope::Request {
@@ -552,8 +558,14 @@ impl Vm {
 /// through the single exact-CPU flush point — the sender-pays invariant.
 fn charge_copy(vm: &mut Vm, iso: IsolateId, len: usize) {
     if vm.options.accounting {
+        let insns = MSG_BASE_COST + len as u64;
+        let mut charged = false;
         if let Some(i) = vm.isolates.get_mut(iso.0 as usize) {
-            i.stats.charge_cpu(MSG_BASE_COST + len as u64);
+            i.stats.charge_cpu(insns);
+            charged = true;
+        }
+        if charged {
+            vm.trace_cpu_charge(iso, None, insns);
         }
     }
 }
@@ -664,6 +676,12 @@ fn try_start(vm: &mut Vm, name: &Arc<str>, req: ReadyRequest) -> Result<(), Star
         kind: req.kind,
         oneway: req.oneway,
     });
+    vm.trace_emit(
+        crate::trace::EventKind::CallDeliver,
+        Some(iso),
+        Some(tid),
+        req.call,
+    );
     vm.wake(tid);
     Ok(())
 }
@@ -679,6 +697,7 @@ fn send_reply(
     if oneway {
         return;
     }
+    vm.trace_emit(crate::trace::EventKind::ReplySend, None, None, call);
     match reply_to {
         ReplyTo::Unit(u) => {
             let (_, hub) = vm
@@ -705,6 +724,7 @@ fn deliver_reply(vm: &mut Vm, call: u64, result: Result<(PayloadKind, Vec<u8>), 
     if vm.threads[t].state != (ThreadState::BlockedOnPort { call }) {
         return; // the caller already moved on (interrupt, termination)
     }
+    vm.trace_reply_deliver(call, tid);
     match result {
         Ok((_, bytes)) => {
             let iso = vm.threads[t].current_isolate;
@@ -828,6 +848,13 @@ fn revoke_pump(vm: &mut Vm, name: &Arc<str>) {
     let Some(mut pump) = vm.port.pumps.remove(name) else {
         return;
     };
+    let failed = pump.current.is_some() as u64 + pump.queue.len() as u64;
+    vm.trace_emit(
+        crate::trace::EventKind::ServiceRevoke,
+        Some(pump.isolate),
+        Some(pump.thread),
+        failed,
+    );
     let msg = format!("service '{name}' revoked: isolate terminated");
     if let Some(cur) = pump.current.take() {
         send_reply(
@@ -980,6 +1007,12 @@ fn do_export(vm: &mut Vm, iso: IsolateId, name: &str, handler: GcRef) -> Result<
     if let Some((unit, hub)) = vm.port.attach.clone() {
         hub.export(unit, name_arc, iso);
     }
+    vm.trace_emit(
+        crate::trace::EventKind::ServiceExport,
+        Some(iso),
+        Some(pump_tid),
+        0,
+    );
     Ok(())
 }
 
@@ -1021,6 +1054,7 @@ fn port_call(
             Ok(call) => {
                 vm.port.waiting.insert(call, Waiter { thread: tid });
                 vm.threads[tid.0 as usize].state = ThreadState::BlockedOnPort { call };
+                vm.trace_call_send(call, iso, tid);
                 NativeResult::BlockPending
             }
             Err(SendError::Revoked) => revoked(),
@@ -1043,6 +1077,7 @@ fn port_call(
         let call = vm.port.alloc_local_call();
         vm.port.waiting.insert(call, Waiter { thread: tid });
         vm.threads[tid.0 as usize].state = ThreadState::BlockedOnPort { call };
+        vm.trace_call_send(call, iso, tid);
         let name_arc: Arc<str> = Arc::from(name);
         vm.pump_enqueue(
             &name_arc,
@@ -1072,7 +1107,14 @@ fn port_send(
     crate::wire::serialize_value(vm, payload, &mut bytes);
     charge_copy(vm, iso, bytes.len());
     if let Some((unit, hub)) = vm.port.attach.clone() {
-        let _ = hub.send_request(unit, None, name, kind, bytes, true);
+        if let Ok(call) = hub.send_request(unit, None, name, kind, bytes, true) {
+            vm.trace_emit(
+                crate::trace::EventKind::OnewaySend,
+                Some(iso),
+                Some(tid),
+                call,
+            );
+        }
         NativeResult::Return(None)
     } else {
         if !vm.port.pumps.contains_key(name) {
@@ -1082,6 +1124,12 @@ fn port_send(
             };
         }
         let call = vm.port.alloc_local_call();
+        vm.trace_emit(
+            crate::trace::EventKind::OnewaySend,
+            Some(iso),
+            Some(tid),
+            call,
+        );
         let name_arc: Arc<str> = Arc::from(name);
         vm.pump_enqueue(
             &name_arc,

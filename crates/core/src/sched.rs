@@ -72,6 +72,10 @@
 use crate::accounting::{ClusterAccounts, WorkerCpuBuffer};
 use crate::ids::IsolateId;
 use crate::port::PortHub;
+use crate::trace::{
+    clamp_id, ClusterMetrics, EventKind, TraceEvent, TraceRing, TraceSink, VmMetrics, TRACE_NONE,
+    WORKER_RING_CAPACITY,
+};
 use crate::vm::{RunOutcome, Vm, VmOptions};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -250,6 +254,13 @@ pub struct ClusterOutcome {
     pub steals: u64,
     /// Total cross-worker unit migrations.
     pub migrations: u64,
+    /// Scheduler counters plus every unit's [`VmMetrics`] folded
+    /// together. `Some` iff at least one unit ran with tracing on.
+    pub metrics: Option<ClusterMetrics>,
+    /// The merged flight-recorder stream: every traced unit's ring plus
+    /// every worker's scheduler ring, drained at collection time. Empty
+    /// when tracing was off.
+    pub trace_events: Vec<TraceEvent>,
 }
 
 impl ClusterOutcome {
@@ -262,6 +273,12 @@ impl ClusterOutcome {
     /// console).
     pub fn unit_mut(&mut self, handle: &UnitHandle) -> &mut UnitOutcome {
         &mut self.units[handle.id().index() as usize]
+    }
+
+    /// Wraps the run's merged events in a [`TraceSink`] (sorted by
+    /// virtual clock), ready for [`TraceSink::write_chrome_trace`].
+    pub fn trace_sink(&self) -> TraceSink {
+        TraceSink::new(self.trace_events.clone())
     }
 }
 
@@ -523,7 +540,11 @@ impl Cluster {
     /// for inspection.
     pub fn run(self) -> ClusterOutcome {
         let workers = self.kind.workers();
-        let shared = Shared::new(workers, self.slice, self.units, self.ctl, self.hub);
+        let trace_on = self.vm_defaults.trace.is_on()
+            || self.units.iter().any(|u| u.vm.options().trace.is_on());
+        let shared = Shared::new(
+            workers, self.slice, self.units, self.ctl, self.hub, trace_on,
+        );
         match self.kind {
             SchedulerKind::Deterministic => shared.worker_loop(0),
             SchedulerKind::Parallel(_) => {
@@ -536,6 +557,76 @@ impl Cluster {
             }
         }
         shared.into_outcome()
+    }
+}
+
+/// One worker's private flight-recorder ring: scheduler events
+/// ([`EventKind::UnitDispatch`] .. [`EventKind::UnitKill`]) are recorded
+/// lock-free into per-worker storage and merged only once, when the
+/// cluster collects its outcome. The eager counters survive ring wrap.
+#[derive(Debug)]
+struct WorkerTrace {
+    ring: TraceRing,
+    wall: crate::trace::WallClock,
+    dispatches: u64,
+    parks: u64,
+    unparks: u64,
+    kills: u64,
+    finishes: u64,
+}
+
+impl WorkerTrace {
+    fn new() -> WorkerTrace {
+        WorkerTrace {
+            ring: TraceRing::with_capacity(WORKER_RING_CAPACITY),
+            wall: crate::trace::WallClock::new(),
+            dispatches: 0,
+            parks: 0,
+            unparks: 0,
+            kills: 0,
+            finishes: 0,
+        }
+    }
+
+    /// Records one scheduler event. `vclock` is the affected unit's
+    /// virtual clock at the boundary; `worker` lands in the `thread`
+    /// column so Perfetto lanes scheduler events per worker.
+    fn emit(
+        &mut self,
+        kind: EventKind,
+        worker: usize,
+        unit: UnitId,
+        vclock: u64,
+        isolate: u8,
+        payload: u64,
+    ) {
+        match kind {
+            // Steals count through the scheduler's authoritative atomic.
+            EventKind::UnitDispatch => self.dispatches += 1,
+            EventKind::UnitPark => self.parks += 1,
+            EventKind::UnitUnpark => self.unparks += 1,
+            EventKind::UnitKill => self.kills += 1,
+            EventKind::UnitFinish => self.finishes += 1,
+            _ => {}
+        }
+        // An unpark follows a host-time wait the unit's vclock knows
+        // nothing about, so its stamp must bypass the sampler's cache;
+        // every other scheduler event sits at a slice boundary the
+        // guest just ran up to.
+        let wall_us = if kind == EventKind::UnitUnpark {
+            self.wall.refresh(vclock)
+        } else {
+            self.wall.sample(vclock)
+        };
+        self.ring.push(TraceEvent {
+            vclock,
+            payload,
+            wall_us,
+            kind,
+            unit: clamp_id(unit.index()),
+            isolate,
+            thread: clamp_id(worker as u32),
+        });
     }
 }
 
@@ -580,6 +671,12 @@ struct Shared {
     finished: Mutex<Vec<(UnitReport, Vm)>>,
     steals: AtomicU64,
     migrations: AtomicU64,
+    /// Whether any unit runs traced; workers record scheduler events
+    /// into private [`WorkerTrace`] rings only when set.
+    trace_on: bool,
+    /// Worker rings, pushed exactly once per worker at loop exit and
+    /// merged by [`Shared::into_outcome`].
+    worker_traces: Mutex<Vec<WorkerTrace>>,
 }
 
 impl Shared {
@@ -589,6 +686,7 @@ impl Shared {
         units: Vec<Unit>,
         ctl: ClusterCtl,
         hub: Arc<PortHub>,
+        trace_on: bool,
     ) -> Shared {
         let queues: Vec<Mutex<VecDeque<Unit>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
@@ -612,6 +710,8 @@ impl Shared {
             finished: Mutex::new(Vec::new()),
             steals: AtomicU64::new(0),
             migrations: AtomicU64::new(0),
+            trace_on,
+            worker_traces: Mutex::new(Vec::new()),
         }
     }
 
@@ -656,7 +756,12 @@ impl Shared {
     /// mail at pickup, and the park decision re-checks the mailbox under
     /// the same locks, so no delivery can be lost. `scratch` is the
     /// caller's reusable token buffer.
-    fn sweep_wakeups(&self, scratch: &mut Vec<u32>) -> bool {
+    fn sweep_wakeups(
+        &self,
+        scratch: &mut Vec<u32>,
+        wt: &mut Option<WorkerTrace>,
+        me: usize,
+    ) -> bool {
         if !self.hub.has_woken() {
             return false;
         }
@@ -666,6 +771,16 @@ impl Shared {
         let mut moved = false;
         for &id in scratch.iter() {
             if let Some(p) = parked.remove(&id) {
+                if let Some(wt) = wt.as_mut() {
+                    wt.emit(
+                        EventKind::UnitUnpark,
+                        me,
+                        p.unit.id,
+                        p.unit.vm.vclock(),
+                        TRACE_NONE,
+                        0,
+                    );
+                }
                 let w = p.unit.last_worker.unwrap_or(id as usize) % self.queues.len();
                 self.queues[w].lock().unwrap().push_back(p.unit);
                 moved = true;
@@ -703,7 +818,7 @@ impl Shared {
     /// with its recorded outcome. Runs under the `parked_units` lock so
     /// no park/unpark can interleave. Returns `true` when it made
     /// progress (requeued a unit for an overdue kill, or wrapped up).
-    fn try_quiesce(&self) -> bool {
+    fn try_quiesce(&self, wt: &mut Option<WorkerTrace>, me: usize) -> bool {
         let mut parked = self.parked_units.lock().unwrap();
         // Overdue termination requests reach parked units here: requeue
         // them so the kill is delivered at a normal pickup.
@@ -740,6 +855,16 @@ impl Shared {
         let mut remaining: Vec<(u32, ParkedUnit)> = parked.drain().collect();
         remaining.sort_by_key(|(id, _)| *id);
         for (_, p) in remaining {
+            if let Some(wt) = wt.as_mut() {
+                wt.emit(
+                    EventKind::UnitFinish,
+                    me,
+                    p.unit.id,
+                    p.unit.vm.vclock(),
+                    TRACE_NONE,
+                    p.unit.slices,
+                );
+            }
             self.finish(p.unit, p.outcome);
         }
         self.unpark.notify_all();
@@ -748,19 +873,35 @@ impl Shared {
 
     /// One worker: sweep wakeups → pop → deliver kills → drain mailbox →
     /// run a slice → flush accounting → requeue / park / finish.
+    ///
+    /// With tracing on, the worker records scheduler events into a
+    /// private [`WorkerTrace`] ring — no locks on the hot path — and
+    /// publishes the ring exactly once, on exit.
     fn worker_loop(&self, w: usize) {
+        let mut wt = self.trace_on.then(WorkerTrace::new);
+        self.worker_loop_inner(w, &mut wt);
+        if let Some(wt) = wt {
+            self.worker_traces.lock().unwrap().push(wt);
+        }
+    }
+
+    fn worker_loop_inner(&self, w: usize, wt: &mut Option<WorkerTrace>) {
         let mut buffer = WorkerCpuBuffer::default();
         let mut woken_scratch: Vec<u32> = Vec::new();
         loop {
             if self.outstanding.load(Ordering::Acquire) == 0 {
                 return;
             }
-            self.sweep_wakeups(&mut woken_scratch);
-            let Some(mut unit) = self.pop_local(w).or_else(|| self.steal(w)) else {
+            self.sweep_wakeups(&mut woken_scratch, wt, w);
+            let popped = match self.pop_local(w) {
+                Some(unit) => Some((unit, false)),
+                None => self.steal(w).map(|unit| (unit, true)),
+            };
+            let Some((mut unit, stolen)) = popped else {
                 if self.outstanding.load(Ordering::Acquire) == 0 {
                     return;
                 }
-                if self.try_quiesce() {
+                if self.try_quiesce(wt, w) {
                     continue;
                 }
                 // Units exist but other workers hold them (or tokens are
@@ -776,11 +917,30 @@ impl Shared {
                 continue;
             };
 
+            if let Some(wt) = wt.as_mut() {
+                let kind = if stolen {
+                    EventKind::UnitSteal
+                } else {
+                    EventKind::UnitDispatch
+                };
+                wt.emit(kind, w, unit.id, unit.vm.vclock(), TRACE_NONE, unit.slices);
+            }
+
             // Cross-worker termination lands at the quantum boundary,
             // before the next slice, on whatever core the unit is on.
             for iso in self.ctl.take_for(unit.id, unit.slices) {
                 // Best-effort: Shared-mode units and unknown isolates
                 // simply ignore the request.
+                if let Some(wt) = wt.as_mut() {
+                    wt.emit(
+                        EventKind::UnitKill,
+                        w,
+                        unit.id,
+                        unit.vm.vclock(),
+                        clamp_id(iso.0 as u32),
+                        0,
+                    );
+                }
                 let _ = unit.vm.terminate_isolate(iso);
             }
 
@@ -822,6 +982,16 @@ impl Shared {
                             drop(parked);
                             self.queues[w].lock().unwrap().push_back(unit);
                         } else {
+                            if let Some(wt) = wt.as_mut() {
+                                wt.emit(
+                                    EventKind::UnitPark,
+                                    w,
+                                    unit.id,
+                                    unit.vm.vclock(),
+                                    TRACE_NONE,
+                                    unit.slices,
+                                );
+                            }
                             parked.insert(unit.id.index(), ParkedUnit { unit, outcome });
                         }
                         self.notify();
@@ -833,6 +1003,16 @@ impl Shared {
                         // would leave the cluster unable to quiesce.
                         if self.hub.has_mail(unit.id) {
                             unit.vm.port_drain_force();
+                        }
+                        if let Some(wt) = wt.as_mut() {
+                            wt.emit(
+                                EventKind::UnitFinish,
+                                w,
+                                unit.id,
+                                unit.vm.vclock(),
+                                TRACE_NONE,
+                                unit.slices,
+                            );
                         }
                         self.finish(unit, outcome);
                     }
@@ -854,15 +1034,53 @@ impl Shared {
                 "ClusterOutcome::units must be indexable by UnitId"
             );
         }
-        let units = done
+        let mut units: Vec<UnitOutcome> = done
             .into_iter()
             .map(|(report, vm)| UnitOutcome { vm, report })
             .collect();
+        let steals = self.steals.load(Ordering::Relaxed);
+        let migrations = self.migrations.load(Ordering::Relaxed);
+
+        // Merge the flight recorder: every worker's scheduler ring plus
+        // every traced unit's VM ring, counters folded into one
+        // [`ClusterMetrics`]. This is the only point where trace data
+        // crosses threads — the rings were single-writer until here.
+        let mut trace_events = Vec::new();
+        let metrics = if self.trace_on {
+            let mut m = ClusterMetrics {
+                steals,
+                migrations,
+                ..ClusterMetrics::default()
+            };
+            let mut worker_dropped = 0;
+            for mut wt in self.worker_traces.into_inner().unwrap() {
+                m.dispatches += wt.dispatches;
+                m.unit_parks += wt.parks;
+                m.unit_unparks += wt.unparks;
+                m.kills += wt.kills;
+                m.units_finished += wt.finishes;
+                worker_dropped += wt.ring.dropped_events();
+                trace_events.extend(wt.ring.drain_ordered());
+            }
+            let mut totals = VmMetrics::default();
+            for u in &mut units {
+                totals.absorb(&u.vm.metrics());
+                trace_events.extend(u.vm.take_trace_events());
+            }
+            m.dropped_events = worker_dropped + totals.dropped_events;
+            m.totals = totals;
+            Some(m)
+        } else {
+            None
+        };
+
         ClusterOutcome {
             units,
             accounts: self.accounts.into_inner().unwrap(),
-            steals: self.steals.load(Ordering::Relaxed),
-            migrations: self.migrations.load(Ordering::Relaxed),
+            steals,
+            migrations,
+            metrics,
+            trace_events,
         }
     }
 }
@@ -917,6 +1135,7 @@ mod tests {
             vec![mk(0), mk(1), mk(2), mk(3)],
             ClusterCtl::default(),
             Arc::new(PortHub::default()),
+            false,
         );
         // Round-robin seeding: q0 = [0, 2], q1 = [1, 3].
         assert_eq!(shared.pop_local(0).unwrap().id, UnitId(0));

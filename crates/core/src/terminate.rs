@@ -49,6 +49,12 @@ impl Vm {
         }
         iso.state = IsolateState::Terminating;
         let loader = iso.loader;
+        self.trace_emit(
+            crate::trace::EventKind::IsolateTerminate,
+            Some(target),
+            None,
+            0,
+        );
 
         // 1. Poison the isolate's classes: no method of theirs runs again,
         //    whether already "compiled" or not (paper: not-yet-JITed

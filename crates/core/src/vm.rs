@@ -75,6 +75,12 @@ pub struct VmOptions {
     pub quantum: u32,
     /// Bytes allocated between forced collections.
     pub gc_threshold_bytes: usize,
+    /// Flight-recorder mode (see [`crate::trace`]). `Off` by default:
+    /// every instrumentation point reduces to one predicted branch on a
+    /// cached `bool`, and no ring is allocated. Tracing observes only —
+    /// it never feeds back into the vclock, accounting or scheduling, so
+    /// a traced run stays bit-identical to an untraced one.
+    pub trace: crate::trace::TraceConfig,
 }
 
 impl Default for VmOptions {
@@ -90,6 +96,7 @@ impl Default for VmOptions {
             max_frames: 1024,
             quantum: 10_000,
             gc_threshold_bytes: 32 << 20,
+            trace: crate::trace::TraceConfig::Off,
         }
     }
 }
@@ -124,6 +131,12 @@ impl VmOptions {
     /// The same options with a different cluster scheduling mode.
     pub fn with_scheduler(mut self, scheduler: crate::sched::SchedulerKind) -> VmOptions {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// The same options with a different flight-recorder mode.
+    pub fn with_trace(mut self, trace: crate::trace::TraceConfig) -> VmOptions {
+        self.trace = trace;
         self
     }
 }
@@ -209,6 +222,14 @@ pub struct Vm {
     /// service pumps, threads waiting on replies, and — once submitted to
     /// a cluster — the unit id and shared hub.
     pub(crate) port: crate::port::PortState,
+    /// Cached gate for the flight recorder: `true` iff `options.trace`
+    /// is on. Instrumentation points branch on this bool (cheap,
+    /// predictable) instead of matching on the config or testing the
+    /// `Option` below.
+    pub(crate) trace_enabled: bool,
+    /// The flight recorder (ring + eager counters), boxed to keep the
+    /// untraced `Vm` small. `Some` iff `trace_enabled`.
+    pub(crate) trace: Option<Box<crate::trace::TraceState>>,
     /// Keeps `Vm: !Sync` no matter what the fields auto-derive: a VM is
     /// a `Send` unit owned by one thread at a time, never shared — the
     /// invariant the engine's interior-mutable caches
@@ -224,6 +245,7 @@ impl Vm {
     /// from the start; install system classes (e.g. via `ijvm-jsl`) before
     /// loading application code.
     pub fn new(options: VmOptions) -> Vm {
+        let trace_enabled = options.trace.is_on();
         let bootstrap = Loader {
             id: LoaderId::BOOTSTRAP,
             name: "bootstrap".to_owned(),
@@ -252,6 +274,12 @@ impl Vm {
             migrations: 0,
             exit_code: None,
             port: crate::port::PortState::default(),
+            trace_enabled,
+            trace: trace_enabled.then(|| {
+                Box::new(crate::trace::TraceState::new(
+                    crate::trace::DEFAULT_RING_CAPACITY,
+                ))
+            }),
             not_sync: std::marker::PhantomData,
         }
     }
@@ -1014,6 +1042,15 @@ impl Vm {
                     i.stats.cpu_sampled += consumed as u64;
                 }
             }
+            if self.trace_enabled && consumed > 0 {
+                let iso = self.threads[tid.0 as usize].current_isolate;
+                self.trace_emit(
+                    crate::trace::EventKind::QuantumEnd,
+                    Some(iso),
+                    Some(tid),
+                    consumed as u64,
+                );
+            }
 
             let t = &self.threads[tid.0 as usize];
             if t.is_runnable() {
@@ -1213,8 +1250,14 @@ impl Vm {
             let insns = std::mem::take(&mut self.threads[t].insns_since_switch);
             if insns > 0 {
                 let iso = self.threads[t].current_isolate;
+                let mut charged = false;
                 if let Some(i) = self.isolates.get_mut(iso.0 as usize) {
                     i.stats.charge_cpu(insns);
+                    charged = true;
+                }
+                if charged {
+                    let tid = self.threads[t].id;
+                    self.trace_cpu_charge(iso, Some(tid), insns);
                 }
             }
         }
@@ -1272,7 +1315,17 @@ impl Vm {
     }
 
     /// Snapshot of every isolate's counters, for administrators.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `Vm::metrics().isolates` — the unified reporting surface"
+    )]
     pub fn snapshots(&self) -> Vec<IsolateSnapshot> {
+        self.isolate_rows()
+    }
+
+    /// Builds the per-isolate accounting rows (shared by the deprecated
+    /// [`Vm::snapshots`] and [`Vm::metrics`]).
+    fn isolate_rows(&self) -> Vec<IsolateSnapshot> {
         self.isolates
             .iter()
             .map(|i| IsolateSnapshot {
@@ -1282,6 +1335,195 @@ impl Vm {
                 stats: i.stats.clone(),
             })
             .collect()
+    }
+
+    /// The unified metrics snapshot: always-on counters (vclock,
+    /// migrations, GC epochs) and the per-isolate accounting rows, plus —
+    /// when the flight recorder is on ([`VmOptions::trace`]) — the
+    /// trace-derived counters and the per-call latency histogram.
+    pub fn metrics(&self) -> crate::trace::VmMetrics {
+        use crate::trace::EventKind as K;
+        let mut m = crate::trace::VmMetrics {
+            vclock: self.vclock,
+            isolate_switches: self.migrations,
+            gc_epochs: self.gc_count,
+            isolates: self.isolate_rows(),
+            ..Default::default()
+        };
+        if let Some(ts) = &self.trace {
+            m.quanta = ts.kind_count(K::QuantumEnd);
+            m.cpu_charges = ts.kind_count(K::CpuCharge);
+            m.cpu_charged_insns = ts.cpu_charged_insns;
+            m.sie_raised = ts.kind_count(K::SieRaised);
+            m.threads_finished = ts.kind_count(K::ThreadFinish);
+            m.isolates_terminated = ts.kind_count(K::IsolateTerminate);
+            m.calls_sent = ts.kind_count(K::CallSend);
+            m.oneways_sent = ts.kind_count(K::OnewaySend);
+            m.calls_served = ts.kind_count(K::CallDeliver);
+            m.replies_sent = ts.kind_count(K::ReplySend);
+            m.replies_delivered = ts.kind_count(K::ReplyDeliver);
+            m.services_exported = ts.kind_count(K::ServiceExport);
+            m.services_revoked = ts.kind_count(K::ServiceRevoke);
+            m.mailbox_high_water = ts.mailbox_high_water;
+            m.call_latency = ts.call_latency.clone();
+            m.events_recorded = ts.events_recorded;
+            m.dropped_events = ts.ring.dropped_events();
+        }
+        m
+    }
+
+    /// Drains the flight recorder's ring, returning the recorded events
+    /// in order (empty when tracing is off). The eager counters reported
+    /// by [`Vm::metrics`] are unaffected.
+    pub fn take_trace_events(&mut self) -> Vec<crate::trace::TraceEvent> {
+        match self.trace.as_mut() {
+            Some(ts) => ts.ring.drain_ordered(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The `n` hottest methods by profile score (invocations weighted
+    /// with back-edges — loop iterations dominate, as a JIT tier wants).
+    /// Counters are only bumped while the flight recorder is on and the
+    /// threaded engine runs, so this is empty on untraced runs.
+    pub fn top_methods(&self, n: usize) -> Vec<crate::trace::MethodHotness> {
+        let mut rows: Vec<crate::trace::MethodHotness> = self
+            .classes
+            .iter()
+            .flat_map(|c| c.methods.iter().map(move |m| (c, m)))
+            .filter_map(|(c, m)| {
+                let p = m.prepared.as_ref()?;
+                let (invocations, back_edges) = (p.hot_count.get(), p.back_edges.get());
+                if invocations == 0 && back_edges == 0 {
+                    return None;
+                }
+                Some(crate::trace::MethodHotness {
+                    class_name: c.name.to_string(),
+                    method_name: m.name.to_string(),
+                    invocations,
+                    back_edges,
+                })
+            })
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.score()));
+        rows.truncate(n);
+        rows
+    }
+
+    // ------------------------------------------------------------------
+    // Flight-recorder emit points (crate-internal)
+    // ------------------------------------------------------------------
+
+    /// Records one event. The `trace_enabled` test is the *entire* cost
+    /// when tracing is off.
+    #[inline]
+    pub(crate) fn trace_emit(
+        &mut self,
+        kind: crate::trace::EventKind,
+        iso: Option<IsolateId>,
+        tid: Option<ThreadId>,
+        payload: u64,
+    ) {
+        if self.trace_enabled {
+            self.trace_emit_cold(kind, iso, tid, payload);
+        }
+    }
+
+    // Not `#[cold]`: with the recorder on this runs a dozen times per
+    // cross-unit call, and cold-section placement is measurable there.
+    // The off path never reaches it — `trace_emit`'s cached-bool branch
+    // is the entire off cost — so normal layout loses nothing.
+    #[inline(never)]
+    fn trace_emit_cold(
+        &mut self,
+        kind: crate::trace::EventKind,
+        iso: Option<IsolateId>,
+        tid: Option<ThreadId>,
+        payload: u64,
+    ) {
+        use crate::trace::{clamp_id, TraceEvent, TRACE_NONE};
+        let Some(ts) = self.trace.as_mut() else {
+            return;
+        };
+        let ev = TraceEvent {
+            vclock: self.vclock,
+            payload,
+            wall_us: ts.wall.sample(self.vclock),
+            kind,
+            unit: ts.unit,
+            isolate: iso.map_or(TRACE_NONE, |i| clamp_id(i.0 as u32)),
+            thread: tid.map_or(TRACE_NONE, |t| clamp_id(t.0)),
+        };
+        ts.kind_counts[kind as usize] += 1;
+        ts.events_recorded += 1;
+        ts.ring.push(ev);
+    }
+
+    /// Records an exact-accounting CPU flush of `insns` instructions into
+    /// `iso`. Every [`ResourceStats::charge_cpu`] call site pairs with
+    /// exactly one of these, so per-isolate `CpuCharge` payload sums
+    /// equal `cpu_exact`.
+    #[inline]
+    pub(crate) fn trace_cpu_charge(&mut self, iso: IsolateId, tid: Option<ThreadId>, insns: u64) {
+        if self.trace_enabled {
+            if let Some(ts) = self.trace.as_mut() {
+                ts.cpu_charged_insns += insns;
+            }
+            self.trace_emit_cold(crate::trace::EventKind::CpuCharge, Some(iso), tid, insns);
+        }
+    }
+
+    /// Records a blocking `Service.call` send, remembering its send-time
+    /// vclock so [`Vm::trace_reply_deliver`] can compute the round trip.
+    #[inline]
+    pub(crate) fn trace_call_send(&mut self, call: u64, iso: IsolateId, tid: ThreadId) {
+        if self.trace_enabled {
+            let vclock = self.vclock;
+            if let Some(ts) = self.trace.as_mut() {
+                ts.call_starts.push((call, vclock));
+            }
+            self.trace_emit_cold(
+                crate::trace::EventKind::CallSend,
+                Some(iso),
+                Some(tid),
+                call,
+            );
+        }
+    }
+
+    /// Records a reply reaching its blocked caller; the event payload is
+    /// the call's round-trip latency in vclock ticks, which also feeds
+    /// the [`crate::trace::LatencyHistogram`] behind [`Vm::metrics`].
+    #[inline]
+    pub(crate) fn trace_reply_deliver(&mut self, call: u64, tid: ThreadId) {
+        if self.trace_enabled {
+            let vclock = self.vclock;
+            let mut latency = 0;
+            if let Some(ts) = self.trace.as_mut() {
+                if let Some(i) = ts.call_starts.iter().position(|&(c, _)| c == call) {
+                    latency = vclock.saturating_sub(ts.call_starts.swap_remove(i).1);
+                }
+                ts.call_latency.record(latency);
+            }
+            self.trace_emit_cold(
+                crate::trace::EventKind::ReplyDeliver,
+                None,
+                Some(tid),
+                latency,
+            );
+        }
+    }
+
+    /// Records a mailbox drain of `n` envelopes, tracking the high-water
+    /// mark.
+    #[inline]
+    pub(crate) fn trace_mail_drain(&mut self, n: u64) {
+        if self.trace_enabled {
+            if let Some(ts) = self.trace.as_mut() {
+                ts.mailbox_high_water = ts.mailbox_high_water.max(n);
+            }
+            self.trace_emit_cold(crate::trace::EventKind::MailDrain, None, None, n);
+        }
     }
 
     /// Estimated *isolation* metadata footprint: task-class-mirror arrays

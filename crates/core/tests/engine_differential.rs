@@ -12,7 +12,12 @@
 //! * `IJVM_DIFF_ENGINE` — the candidate compared against the raw oracle:
 //!   `quickened`, `quickened-nofuse`, `threaded`, `threaded-nofuse`,
 //!   `raw` (a control lane), or unset for all four quickened/threaded
-//!   variants.
+//!   variants;
+//! * `IJVM_DIFF_TRACE` — `full` runs every *candidate* with the flight
+//!   recorder on ([`TraceConfig::Full`]) while the oracle stays
+//!   untraced, pinning the tracing layer's zero-perturbation guarantee:
+//!   results, console, vclock, migrations and exact accounting must all
+//!   stay bit-identical with tracing enabled.
 
 use ijvm_core::engine::EngineKind;
 use ijvm_core::prelude::*;
@@ -30,6 +35,18 @@ struct Candidate {
     /// `Vm::run` — the whole observation set must still match the raw
     /// oracle bit for bit.
     cluster: bool,
+    /// Run with the flight recorder on (`TraceConfig::Full`); the
+    /// observation set must still match the untraced oracle.
+    trace: bool,
+}
+
+/// Whether `IJVM_DIFF_TRACE=full` asks for traced candidates.
+fn trace_lane() -> bool {
+    match std::env::var("IJVM_DIFF_TRACE").as_deref() {
+        Ok("full") => true,
+        Ok(other) if !other.is_empty() => panic!("bad IJVM_DIFF_TRACE {other:?}"),
+        _ => false,
+    }
 }
 
 /// Isolation modes selected by `IJVM_DIFF_ISOLATION`.
@@ -44,25 +61,30 @@ fn selected_modes() -> Vec<IsolationMode> {
 
 /// Candidate engines selected by `IJVM_DIFF_ENGINE`.
 fn selected_candidates() -> Vec<Candidate> {
+    let trace = trace_lane();
     let quickened = Candidate {
         engine: EngineKind::Quickened,
         superinstructions: true,
         cluster: false,
+        trace,
     };
     let quickened_nofuse = Candidate {
         engine: EngineKind::Quickened,
         superinstructions: false,
         cluster: false,
+        trace,
     };
     let threaded = Candidate {
         engine: EngineKind::Threaded,
         superinstructions: true,
         cluster: false,
+        trace,
     };
     let threaded_nofuse = Candidate {
         engine: EngineKind::Threaded,
         superinstructions: false,
         cluster: false,
+        trace,
     };
     match std::env::var("IJVM_DIFF_ENGINE").as_deref() {
         Ok("quickened") => vec![quickened],
@@ -79,11 +101,13 @@ fn selected_candidates() -> Vec<Candidate> {
             cluster: true,
             ..threaded_nofuse
         }],
-        // Control lane: the oracle against itself, catching harness bugs.
+        // Control lane: the oracle against itself, catching harness bugs
+        // (and, with IJVM_DIFF_TRACE=full, traced-raw vs untraced-raw).
         Ok("raw") => vec![Candidate {
             engine: EngineKind::Raw,
             superinstructions: true,
             cluster: false,
+            trace,
         }],
         Ok(other) if !other.is_empty() => panic!("bad IJVM_DIFF_ENGINE {other:?}"),
         _ => vec![quickened, quickened_nofuse, threaded, threaded_nofuse],
@@ -112,12 +136,15 @@ fn run_program(
     mode: IsolationMode,
     candidate: Candidate,
 ) -> Observed {
-    let options = match mode {
+    let mut options = match mode {
         IsolationMode::Shared => VmOptions::shared(),
         IsolationMode::Isolated => VmOptions::isolated(),
     }
     .with_engine(candidate.engine)
     .with_superinstructions(candidate.superinstructions);
+    if candidate.trace {
+        options = options.with_trace(TraceConfig::Full);
+    }
     let mut vm = ijvm_jsl::boot(options);
     let iso = vm.create_isolate("diff");
     let loader = vm.loader_of(iso).unwrap();
@@ -182,7 +209,7 @@ fn observe(vm: &mut Vm, outcome: ijvm_core::Result<Option<Value>>) -> Observed {
         Ok(v) => (v.map(|v| format!("{v}")), None),
         Err(e) => (None, Some(e.to_string())),
     };
-    let snaps = vm.snapshots();
+    let snaps = vm.metrics().isolates;
     Observed {
         result,
         error,
@@ -210,6 +237,7 @@ fn assert_engines_agree(
         engine: EngineKind::Raw,
         superinstructions: true,
         cluster: false,
+        trace: false,
     };
     for mode in selected_modes() {
         let raw = run_program(src, entry, method, desc, args.clone(), mode, oracle);
@@ -428,6 +456,7 @@ fn quantum_interleaving_agrees() {
         engine: EngineKind::Raw,
         superinstructions: true,
         cluster: false,
+        trace: false,
     };
     for mode in selected_modes() {
         let mut seen = Vec::new();
@@ -438,6 +467,9 @@ fn quantum_interleaving_agrees() {
             }
             .with_engine(candidate.engine)
             .with_superinstructions(candidate.superinstructions);
+            if candidate.trace {
+                options = options.with_trace(TraceConfig::Full);
+            }
             options.quantum = 137; // force frequent thread switches
             let mut vm = ijvm_jsl::boot(options);
             let iso = vm.create_isolate("diff");
@@ -503,6 +535,7 @@ fn string_ldc_caching_agrees_across_gc_epochs() {
         engine: EngineKind::Raw,
         superinstructions: true,
         cluster: false,
+        trace: false,
     };
     for mode in selected_modes() {
         let mut seen = Vec::new();
@@ -513,6 +546,9 @@ fn string_ldc_caching_agrees_across_gc_epochs() {
             }
             .with_engine(candidate.engine)
             .with_superinstructions(candidate.superinstructions);
+            if candidate.trace {
+                options = options.with_trace(TraceConfig::Full);
+            }
             options.gc_threshold_bytes = 64 << 10; // force frequent epochs
             let mut vm = ijvm_jsl::boot(options);
             let iso = vm.create_isolate("ldc");
@@ -557,12 +593,16 @@ fn isolate_termination_agrees() {
         engine: EngineKind::Raw,
         superinstructions: true,
         cluster: false,
+        trace: false,
     };
     let mut seen = Vec::new();
     for candidate in std::iter::once(oracle).chain(selected_candidates()) {
-        let options = VmOptions::isolated()
+        let mut options = VmOptions::isolated()
             .with_engine(candidate.engine)
             .with_superinstructions(candidate.superinstructions);
+        if candidate.trace {
+            options = options.with_trace(TraceConfig::Full);
+        }
         let mut vm = ijvm_jsl::boot(options);
         let home = vm.create_isolate("home");
         let home_loader = vm.loader_of(home).unwrap();
@@ -903,6 +943,9 @@ fn run_random_program(
     }
     .with_engine(candidate.engine)
     .with_superinstructions(candidate.superinstructions);
+    if candidate.trace {
+        options = options.with_trace(TraceConfig::Full);
+    }
     options.quantum = quantum;
     let mut vm = ijvm_jsl::boot(options);
     let iso = vm.create_isolate("prog");
@@ -924,12 +967,12 @@ proptest! {
         quantum in 1u32..500,
     ) {
         let bytes = build_random_program(&ops);
-        let oracle = Candidate { engine: EngineKind::Raw, superinstructions: true, cluster: false };
+        let oracle = Candidate { engine: EngineKind::Raw, superinstructions: true, cluster: false, trace: false };
         for mode in [IsolationMode::Shared, IsolationMode::Isolated] {
             let raw = run_random_program(&bytes, mode, oracle, quantum);
             for engine in [EngineKind::Quickened, EngineKind::Threaded] {
                 for superinstructions in [true, false] {
-                    let candidate = Candidate { engine, superinstructions, cluster: false };
+                    let candidate = Candidate { engine, superinstructions, cluster: false, trace: trace_lane() };
                     let observed = run_random_program(&bytes, mode, candidate, quantum);
                     prop_assert_eq!(
                         &raw,

@@ -128,7 +128,7 @@ fn run_scenario(
         let report = unit_outcome.report;
         let vm = &mut unit_outcome.vm;
         assert_eq!(report.id.index() as usize, u, "units indexed by UnitId");
-        let snaps = vm.snapshots();
+        let snaps = vm.metrics().isolates;
         observed.push(Observed {
             results: tids[u]
                 .iter()

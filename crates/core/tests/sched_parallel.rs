@@ -91,7 +91,7 @@ fn run_set(
         let vm = &mut unit_outcome.vm;
         assert_eq!(report.id.index() as usize, u, "units are indexed by UnitId");
         assert!(report.slices > 0, "unit {u} never ran");
-        let snaps = vm.snapshots();
+        let snaps = vm.metrics().isolates;
         observed.push(UnitObserved {
             results: tids[u]
                 .iter()
@@ -297,7 +297,8 @@ fn multi_isolate_unit_accounting_is_exact() {
     assert_eq!(plain.run(None), RunOutcome::Idle);
     let plain_result = plain.thread_outcome(plain_tid).unwrap();
     let plain_cpu: Vec<u64> = plain
-        .snapshots()
+        .metrics()
+        .isolates
         .iter()
         .map(|s| s.stats.cpu_exact)
         .collect();
@@ -314,7 +315,12 @@ fn multi_isolate_unit_accounting_is_exact() {
         let outcome = cluster.run();
         let vm = &outcome.unit(&unit).vm;
         assert_eq!(vm.thread_outcome(tid).unwrap(), plain_result, "{kind:?}");
-        let cpu: Vec<u64> = vm.snapshots().iter().map(|s| s.stats.cpu_exact).collect();
+        let cpu: Vec<u64> = vm
+            .metrics()
+            .isolates
+            .iter()
+            .map(|s| s.stats.cpu_exact)
+            .collect();
         assert_eq!(cpu, plain_cpu, "{kind:?}: per-isolate exact CPU diverged");
         for (i, &expect) in plain_cpu.iter().enumerate() {
             assert_eq!(

@@ -1,0 +1,439 @@
+//! Flight-recorder integration tests: the tracing layer must observe
+//! without perturbing. A traced run is bit-identical to an untraced one
+//! (results, console, vclock, per-isolate exact CPU), the merged event
+//! stream reconciles exactly with the cluster's exact accounting
+//! (per-isolate `cpu_charge` payload sums equal
+//! [`ClusterAccounts::total_cpu_exact`]), and the Chrome trace export is
+//! well-formed JSON a Perfetto load would accept.
+
+use ijvm_core::accounting::{ClusterAccounts, WorkerCpuBuffer};
+use ijvm_core::prelude::*;
+use ijvm_core::sched::UnitId;
+use ijvm_minijava::{compile_to_bytes, CompileEnv};
+use std::collections::BTreeMap;
+
+fn options(trace: bool, quantum: u32) -> VmOptions {
+    let mut options = VmOptions::isolated();
+    if trace {
+        options = options.with_trace(TraceConfig::Full);
+    }
+    options.quantum = quantum;
+    options
+}
+
+fn build_unit(src: &str, entry: &str, method: &str, arg: i32, opts: VmOptions) -> (Vm, ThreadId) {
+    let mut vm = ijvm_jsl::boot(opts);
+    let iso = vm.create_isolate("unit");
+    let loader = vm.loader_of(iso).unwrap();
+    for (name, bytes) in compile_to_bytes(src, &CompileEnv::new()).unwrap() {
+        vm.add_class_bytes(loader, &name, bytes);
+    }
+    let class = vm.load_class(loader, entry).unwrap();
+    let index = vm.class(class).find_method(method, "(I)I").unwrap();
+    let mref = MethodRef { class, index };
+    let tid = vm
+        .spawn_thread("entry", mref, vec![Value::Int(arg)], iso)
+        .unwrap();
+    (vm, tid)
+}
+
+fn stage_src(export: &str, call: Option<&str>, scale: i32) -> String {
+    match call {
+        // Interior pipeline stage: serve `export`, forward to `call`.
+        Some(next) => format!(
+            r#"
+            class Stage {{
+                int handle(int x) {{ return Service.call("{next}", x * {scale} + 1); }}
+            }}
+            class Boot {{
+                static int start(int n) {{
+                    Service.export("{export}", new Stage());
+                    return n;
+                }}
+            }}
+            "#
+        ),
+        // Terminal stage.
+        None => format!(
+            r#"
+            class Stage {{
+                int handle(int x) {{ return x * {scale} + 1; }}
+            }}
+            class Boot {{
+                static int start(int n) {{
+                    Service.export("{export}", new Stage());
+                    return n;
+                }}
+            }}
+            "#
+        ),
+    }
+}
+
+const DRIVER_SRC: &str = r#"
+    class Driver {
+        static int drive(int n) {
+            int acc = 0;
+            for (int i = 0; i < n; i++) {
+                acc = (acc + Service.call("s1", i)) % 100003;
+            }
+            return acc;
+        }
+    }
+"#;
+
+/// Submits the 4-unit pipeline (driver → s1 → s2 → s3) and runs it.
+fn run_pipeline(kind: SchedulerKind, trace: bool) -> (ClusterOutcome, Vec<ThreadId>) {
+    let mut cluster = Cluster::builder().scheduler(kind).slice(500).build();
+    let mut tids = Vec::new();
+    let stages = [
+        (DRIVER_SRC.to_owned(), "Driver", "drive", 24),
+        (stage_src("s1", Some("s2"), 3), "Boot", "start", 1),
+        (stage_src("s2", Some("s3"), 5), "Boot", "start", 1),
+        (stage_src("s3", None, 7), "Boot", "start", 1),
+    ];
+    for (src, entry, method, arg) in &stages {
+        let (vm, tid) = build_unit(src, entry, method, *arg, options(trace, 200));
+        cluster.submit(vm);
+        tids.push(tid);
+    }
+    (cluster.run(), tids)
+}
+
+/// UnitIds are only minted by `Cluster::submit`; mint a few for the
+/// accounting-surface tests below.
+fn unit_ids(n: u32) -> Vec<UnitId> {
+    let mut cluster = Cluster::builder().build();
+    (0..n)
+        .map(|_| cluster.submit(ijvm_jsl::boot(VmOptions::isolated())).id())
+        .collect()
+}
+
+/// `ClusterAccounts::per_isolate_cpu` reports rows in `(unit, isolate)`
+/// key order no matter the charge order — the administrator view is
+/// deterministic even after a parallel run.
+#[test]
+fn per_isolate_cpu_rows_are_key_ordered() {
+    let ids = unit_ids(3);
+    let (u0, u1, u2) = (ids[0], ids[1], ids[2]);
+    let mut accounts = ClusterAccounts::default();
+    accounts.charge(u2, IsolateId(1), 30);
+    accounts.charge(u0, IsolateId(2), 10);
+    accounts.charge(u1, IsolateId(0), 20);
+    accounts.charge(u0, IsolateId(1), 5);
+    accounts.charge(u0, IsolateId(1), 2); // coalesces into the same row
+    let rows = accounts.per_isolate_cpu();
+    assert_eq!(
+        rows,
+        vec![
+            ((u0, IsolateId(1)), 7),
+            ((u0, IsolateId(2)), 10),
+            ((u1, IsolateId(0)), 20),
+            ((u2, IsolateId(1)), 30),
+        ]
+    );
+    assert_eq!(accounts.total_cpu_exact(), 67);
+}
+
+/// Draining a worker buffer twice charges nothing twice: `drain_into`
+/// leaves the buffer empty, so a second drain is a no-op.
+#[test]
+fn worker_cpu_buffer_drain_is_idempotent() {
+    let ids = unit_ids(2);
+    let mut buf = WorkerCpuBuffer::default();
+    buf.record(ids[0], IsolateId(0), 41);
+    buf.record(ids[1], IsolateId(3), 1);
+    buf.record(ids[0], IsolateId(0), 9);
+    assert_eq!(buf.pending_insns(), 51);
+
+    let mut accounts = ClusterAccounts::default();
+    buf.drain_into(&mut accounts);
+    assert!(buf.is_empty());
+    assert_eq!(accounts.total_cpu_exact(), 51);
+
+    buf.drain_into(&mut accounts);
+    buf.drain_into(&mut accounts);
+    assert_eq!(
+        accounts.total_cpu_exact(),
+        51,
+        "re-drain must charge nothing"
+    );
+    assert_eq!(accounts.cpu_exact(ids[0], IsolateId(0)), 50);
+    assert_eq!(accounts.cpu_exact(ids[1], IsolateId(3)), 1);
+}
+
+/// The ring keeps the newest `capacity` events, drops the oldest, and
+/// states the loss exactly — across drains and reuse.
+#[test]
+fn trace_ring_wraps_with_exact_drop_count() {
+    let ev = |n: u64| TraceEvent {
+        vclock: n,
+        payload: n,
+        wall_us: 0,
+        kind: EventKind::QuantumEnd,
+        unit: 0,
+        isolate: 0,
+        thread: 0,
+    };
+    let mut ring = TraceRing::with_capacity(8);
+    for n in 0..20 {
+        ring.push(ev(n));
+    }
+    assert_eq!(ring.len(), 8);
+    assert_eq!(ring.dropped_events(), 12, "oldest 12 of 20 dropped");
+    let drained: Vec<u64> = ring.drain_ordered().iter().map(|e| e.vclock).collect();
+    assert_eq!(
+        drained,
+        (12..20).collect::<Vec<u64>>(),
+        "newest 8, in order"
+    );
+    assert!(ring.is_empty());
+    assert_eq!(ring.dropped_events(), 12, "drain preserves the loss count");
+    ring.push(ev(99));
+    assert_eq!(ring.len(), 1, "ring is reusable after a drain");
+}
+
+/// Tracing must not perturb execution: a traced standalone run matches an
+/// untraced one on results, console, vclock and per-isolate exact CPU.
+#[test]
+fn traced_vm_run_is_bit_identical_to_untraced() {
+    let src = r#"
+        class W {
+            static int work(int n) {
+                int acc = 7;
+                for (int i = 0; i < n; i++) {
+                    acc = (acc * 31 + i) % 99991;
+                    if (i % 50 == 0) println("mark " + i);
+                }
+                return acc;
+            }
+        }
+    "#;
+    let observe = |trace: bool| {
+        let (mut vm, tid) = build_unit(src, "W", "work", 3_000, options(trace, 137));
+        assert_eq!(vm.run(None), RunOutcome::Idle);
+        let cpu: Vec<u64> = vm
+            .metrics()
+            .isolates
+            .iter()
+            .map(|s| (s.stats.cpu_exact, s.stats.cpu_sampled))
+            .flat_map(|(a, b)| [a, b])
+            .collect();
+        (
+            vm.thread_result(tid).map(|v| v.to_string()),
+            vm.vclock(),
+            vm.take_console(),
+            cpu,
+        )
+    };
+    assert_eq!(observe(false), observe(true));
+}
+
+/// Tracing must not perturb the cluster either: the traced 4-unit
+/// pipeline matches the untraced one under both scheduler modes, and the
+/// parallel run matches the deterministic oracle.
+#[test]
+fn traced_pipeline_matches_untraced_across_modes() {
+    let observe = |kind, trace| {
+        let (outcome, tids) = run_pipeline(kind, trace);
+        let results: Vec<_> = outcome
+            .units
+            .iter()
+            .zip(&tids)
+            .map(|(u, &tid)| {
+                (
+                    u.vm.thread_result(tid).map(|v| v.to_string()),
+                    u.vm.vclock(),
+                )
+            })
+            .collect();
+        (results, outcome.accounts.per_isolate_cpu())
+    };
+    let oracle = observe(SchedulerKind::Deterministic, false);
+    assert_eq!(oracle, observe(SchedulerKind::Deterministic, true));
+    assert_eq!(oracle, observe(SchedulerKind::Parallel(4), false));
+    assert_eq!(oracle, observe(SchedulerKind::Parallel(4), true));
+}
+
+/// Minimal structural JSON check (no serde in the dev set): balanced
+/// braces/brackets outside strings, and nothing after the root value.
+fn assert_json_shape(s: &str) {
+    let mut depth = 0i64;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut root_closed = false;
+    for c in s.chars() {
+        if root_closed {
+            assert!(c.is_whitespace(), "trailing garbage after root value");
+            continue;
+        }
+        if in_str {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                assert!(depth >= 0, "unbalanced close");
+                if depth == 0 {
+                    root_closed = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(root_closed && !in_str, "truncated JSON");
+}
+
+/// The acceptance scenario: a parallel 4-unit pipeline run exports valid
+/// Chrome trace JSON, and the per-isolate sums of the `cpu_charge` event
+/// payloads reconcile exactly with the cluster's exact accounting.
+#[test]
+fn parallel_pipeline_chrome_trace_reconciles_with_exact_accounting() {
+    let (outcome, _) = run_pipeline(SchedulerKind::Parallel(4), true);
+    let metrics = outcome
+        .metrics
+        .as_ref()
+        .expect("traced run carries metrics");
+    assert_eq!(metrics.dropped_events, 0, "workload must fit the rings");
+    assert!(metrics.dispatches > 0, "units were dispatched");
+    assert_eq!(metrics.units_finished, 4, "all units finished");
+    assert!(metrics.totals.calls_sent > 0, "the pipeline called through");
+    assert_eq!(
+        metrics.totals.replies_delivered, metrics.totals.calls_sent,
+        "every call came back"
+    );
+    assert_eq!(
+        metrics.totals.call_latency.count(),
+        metrics.totals.calls_sent,
+        "every round trip was timed"
+    );
+
+    // Events → accounting reconciliation, the flight-recorder invariant:
+    // cpu_charge events are emitted at exactly the points that feed
+    // ResourceStats::charge_cpu, so their payload sums *are* the exact
+    // CPU ledger.
+    let mut by_key: BTreeMap<(u8, u8), u64> = BTreeMap::new();
+    for e in &outcome.trace_events {
+        if e.kind == EventKind::CpuCharge {
+            *by_key.entry((e.unit, e.isolate)).or_default() += e.payload;
+        }
+    }
+    let summed: u64 = by_key.values().sum();
+    assert_eq!(
+        summed,
+        outcome.accounts.total_cpu_exact(),
+        "cpu_charge payload total must equal the cluster's exact CPU"
+    );
+    for ((unit, iso), cpu) in outcome.accounts.per_isolate_cpu() {
+        if cpu == 0 {
+            continue;
+        }
+        assert_eq!(
+            by_key
+                .get(&(unit.index() as u8, iso.0 as u8))
+                .copied()
+                .unwrap_or(0),
+            cpu,
+            "per-isolate cpu_charge sum diverged for ({unit}, {iso:?})"
+        );
+    }
+
+    // Export is structurally valid Chrome trace JSON with every event.
+    let sink = outcome.trace_sink();
+    let mut json = Vec::new();
+    sink.write_chrome_trace(&mut json).unwrap();
+    let json = String::from_utf8(json).unwrap();
+    assert!(json.starts_with("{\"traceEvents\""));
+    assert_json_shape(&json);
+    assert_eq!(
+        json.matches("\"ph\": \"i\"").count(),
+        outcome.trace_events.len(),
+        "one instant event per recorded trace event"
+    );
+    assert!(json.contains("\"cpu_charge\""));
+    assert!(json.contains("\"unit_dispatch\""));
+    assert!(json.contains("\"call_send\""));
+}
+
+/// Profiling hooks: the threaded fast path bumps per-method counters
+/// only while tracing is on, and `top_methods` surfaces the hot loop.
+#[test]
+fn top_methods_fills_under_trace_and_stays_empty_untraced() {
+    let src = r#"
+        class Hot {
+            static int inner(int x) { return x * 3 + 1; }
+            static int spin(int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) { acc = (acc + Hot.inner(i)) % 65536; }
+                return acc;
+            }
+        }
+    "#;
+    for trace in [false, true] {
+        let (mut vm, _) = build_unit(src, "Hot", "spin", 5_000, options(trace, 1_000));
+        assert_eq!(vm.run(None), RunOutcome::Idle);
+        let hot = vm.top_methods(10);
+        if !trace {
+            assert!(hot.is_empty(), "untraced runs must not profile");
+            continue;
+        }
+        assert!(!hot.is_empty(), "traced run must surface hot methods");
+        let inner = hot
+            .iter()
+            .find(|m| m.method_name == "inner")
+            .expect("the hot callee is profiled");
+        assert!(inner.invocations >= 5_000, "called every iteration");
+        let spin = hot
+            .iter()
+            .find(|m| m.method_name == "spin")
+            .expect("the looping caller is profiled");
+        assert!(spin.back_edges >= 4_999, "the loop's back edge is counted");
+        assert!(spin.score() > 0);
+        // Rows come back hottest-first.
+        for w in hot.windows(2) {
+            assert!(w[0].score() >= w[1].score(), "top_methods must be sorted");
+        }
+    }
+}
+
+/// `VmMetrics` counters populate under trace on a standalone VM, and the
+/// quantum/charge counters reconcile with the VM's own ledger.
+#[test]
+fn vm_metrics_counters_reconcile() {
+    let src = r#"
+        class M {
+            static int run(int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) { acc += i; }
+                return acc;
+            }
+        }
+    "#;
+    let (mut vm, _) = build_unit(src, "M", "run", 4_000, options(true, 100));
+    assert_eq!(vm.run(None), RunOutcome::Idle);
+    let m = vm.metrics();
+    assert!(m.quanta > 0, "quantum boundaries were traced");
+    assert!(m.cpu_charges > 0, "exact flushes were traced");
+    assert_eq!(m.vclock, vm.vclock());
+    let exact: u64 = m.isolates.iter().map(|s| s.stats.cpu_exact).sum();
+    assert_eq!(
+        m.cpu_charged_insns, exact,
+        "traced charge total must equal the accounting ledger"
+    );
+    assert!(m.events_recorded > 0);
+    assert_eq!(m.dropped_events, 0);
+    let events = vm.take_trace_events();
+    assert_eq!(events.len() as u64, m.events_recorded);
+    assert!(
+        events.windows(2).all(|w| w[0].vclock <= w[1].vclock),
+        "a single VM's ring drains in vclock order"
+    );
+}

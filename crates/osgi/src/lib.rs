@@ -408,7 +408,7 @@ impl Framework {
 
     /// Resource snapshot of every isolate, for the administrator.
     pub fn snapshots(&self) -> Vec<ijvm_core::accounting::IsolateSnapshot> {
-        self.vm.snapshots()
+        self.vm.metrics().isolates
     }
 
     /// Whether a bundle's isolate has been fully reclaimed (no object of

@@ -210,7 +210,8 @@ fn main() {
     let meter_iso = outcome
         .unit(&gateway_unit)
         .vm
-        .snapshots()
+        .metrics()
+        .isolates
         .into_iter()
         .find(|s| s.name == "power-meter")
         .expect("meter bundle");

@@ -6,13 +6,21 @@
 //! ijvm-run program.mj --class Main    # pick the entry class
 //! ijvm-run program.mj --shared        # run on the vulnerable baseline
 //! ijvm-run program.mj --stats         # print per-isolate accounting
+//! ijvm-run program.mj --trace out.json  # flight-recorder trace, Chrome
+//!                                       # trace-event JSON (open in
+//!                                       # Perfetto / chrome://tracing)
 //! ```
 //!
 //! The program runs inside its own bundle isolate; `println(...)` output
-//! is forwarded to stdout.
+//! is forwarded to stdout. `--trace` enables the in-VM flight recorder
+//! ([`TraceConfig::Full`]) for the run and also upgrades `--stats` with
+//! the traced counters (quanta, CPU flushes, hottest methods).
 
 use ijvm::prelude::*;
 use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: ijvm-run <file.mj> [--class NAME] [--shared] [--stats] [--budget N] [--trace FILE]";
 
 struct Args {
     path: String,
@@ -20,6 +28,7 @@ struct Args {
     shared: bool,
     stats: bool,
     budget: Option<u64>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         shared: false,
         stats: false,
         budget: None,
+        trace: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -42,11 +52,11 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--budget needs a value")?;
                 parsed.budget = Some(v.parse().map_err(|_| format!("bad budget {v:?}"))?);
             }
+            "--trace" => {
+                parsed.trace = Some(args.next().ok_or("--trace needs a file path")?);
+            }
             "--help" | "-h" => {
-                return Err(
-                    "usage: ijvm-run <file.mj> [--class NAME] [--shared] [--stats] [--budget N]"
-                        .to_owned(),
-                );
+                return Err(USAGE.to_owned());
             }
             other if parsed.path.is_empty() && !other.starts_with('-') => {
                 parsed.path = other.to_owned();
@@ -55,9 +65,7 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     if parsed.path.is_empty() {
-        return Err(
-            "usage: ijvm-run <file.mj> [--class NAME] [--shared] [--stats] [--budget N]".to_owned(),
-        );
+        return Err(USAGE.to_owned());
     }
     Ok(parsed)
 }
@@ -104,11 +112,14 @@ fn main() -> ExitCode {
         }
     };
 
-    let options = if args.shared {
+    let mut options = if args.shared {
         VmOptions::shared()
     } else {
         VmOptions::isolated()
     };
+    if args.trace.is_some() {
+        options = options.with_trace(TraceConfig::Full);
+    }
     let mut vm = ijvm::jsl::boot(options);
     let iso = vm.create_isolate("main-bundle");
     let loader = vm.loader_of(iso).expect("isolate exists");
@@ -156,11 +167,13 @@ fn main() -> ExitCode {
     }
     if args.stats {
         vm.collect_garbage(None);
+        let metrics = vm.metrics();
         eprintln!("\nper-isolate accounting:");
-        for snap in vm.snapshots() {
+        for snap in &metrics.isolates {
             eprintln!(
-                "  {:<14} cpu={:<12} allocated={:<10} live={:<10} gcs={} threads={}",
+                "  {:<14} cpu_exact={:<12} cpu_sampled={:<12} allocated={:<10} live={:<10} gcs={} threads={}",
                 snap.name,
+                snap.stats.cpu_exact,
                 snap.stats.cpu_sampled,
                 snap.stats.allocated_bytes,
                 snap.stats.live_bytes,
@@ -168,6 +181,43 @@ fn main() -> ExitCode {
                 snap.stats.threads_created,
             );
         }
+        eprintln!(
+            "vm totals: vclock={} migrations={} gc_epochs={}",
+            metrics.vclock, metrics.isolate_switches, metrics.gc_epochs
+        );
+        if args.trace.is_some() {
+            eprintln!(
+                "trace: quanta={} cpu_flushes={} charged_insns={} events={} dropped={}",
+                metrics.quanta,
+                metrics.cpu_charges,
+                metrics.cpu_charged_insns,
+                metrics.events_recorded,
+                metrics.dropped_events,
+            );
+            let hot = vm.top_methods(5);
+            if !hot.is_empty() {
+                eprintln!("hottest methods (invocations + 8*back_edges):");
+                for m in hot {
+                    eprintln!(
+                        "  {:<40} invocations={:<8} back_edges={}",
+                        format!("{}.{}", m.class_name, m.method_name),
+                        m.invocations,
+                        m.back_edges,
+                    );
+                }
+            }
+        }
+    }
+    if let Some(path) = &args.trace {
+        let sink = TraceSink::new(vm.take_trace_events());
+        if let Err(e) = sink.write_chrome_trace_file(path) {
+            eprintln!("ijvm-run: cannot write trace {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "trace written to {path} ({} events) — load it at https://ui.perfetto.dev",
+            sink.events().len()
+        );
     }
 
     match result {
