@@ -274,6 +274,39 @@ fn main() -> ExitCode {
         }
     }
 
+    // Saturation-latency gate: the p99 cross-unit round-trip under the
+    // quota-bounded saturation workload, in *deterministic vclock
+    // ticks*. Unlike the wall-clock sections this number cannot drift
+    // with runner speed — the deterministic scheduler replays the same
+    // delivery/coalescing schedule on every box — so a fresh p99 above
+    // the ceiling means the flow-control or batching behavior itself
+    // changed, not that CI was slow. Still a ceiling, so the shared
+    // tolerance is applied upward.
+    if let Some(max_ticks) = doc_num(&baseline_json, "sat_p99_max_ticks") {
+        let ceiling = max_ticks * (1.0 + tolerance);
+        match doc_num(&fresh_json, "sat_p99_ticks") {
+            Some(p99) if p99 <= ceiling => {
+                println!(
+                    "  ok   saturation p99 round-trip: {p99:.0} ticks (ceiling {ceiling:.0} ticks)"
+                );
+            }
+            Some(p99) => {
+                println!(
+                    "  FAIL saturation p99 round-trip: {p99:.0} ticks above ceiling {ceiling:.0} ticks"
+                );
+                failures += 1;
+                offenders.push(format!(
+                    "saturation p99 round-trip: fresh {p99:.0} ticks, ceiling {ceiling:.0} ticks"
+                ));
+            }
+            None => {
+                println!("  FAIL saturation section missing from {fresh_path}");
+                failures += 1;
+                offenders.push("saturation p99 round-trip: missing from the fresh run".to_owned());
+            }
+        }
+    }
+
     if failures > 0 {
         eprintln!("bench gate: {failures} metric(s) regressed; offending rows:");
         for o in &offenders {
@@ -366,6 +399,24 @@ mod tests {
         assert!((doc_num(doc, "trace_call_ratio").unwrap() - 1.2345).abs() < 1e-9);
         assert!((doc_num(doc, "trace_call_max_ratio").unwrap() - 1.5).abs() < 1e-9);
         assert!((doc_num(doc, "trace_arith_ratio").unwrap() - 1.0123).abs() < 1e-9);
+    }
+
+    /// Same independence for the `"saturation"` section keys:
+    /// `"sat_p99_ticks"` must not match inside `"sat_p99_max_ticks"`
+    /// regardless of field order.
+    #[test]
+    fn saturation_keys_parse_independently() {
+        let doc = r#"{
+  "saturation": {
+    "sat_units": 200,
+    "sat_p99_max_ticks": 4096,
+    "sat_p99_ticks": 2048,
+    "sat_p50_ticks": 2048
+  }
+}"#;
+        assert!((doc_num(doc, "sat_p99_ticks").unwrap() - 2048.0).abs() < 1e-9);
+        assert!((doc_num(doc, "sat_p99_max_ticks").unwrap() - 4096.0).abs() < 1e-9);
+        assert!((doc_num(doc, "sat_p50_ticks").unwrap() - 2048.0).abs() < 1e-9);
     }
 
     /// `"speedup"` must not match the tail of `"threaded_speedup"`, even

@@ -7,6 +7,9 @@
 
 use ijvm_bench::engine::{engine_comparison, print_engine_table, to_json};
 use ijvm_bench::parallel::{measure_scaling, print_scaling_table};
+use ijvm_bench::saturation::{
+    measure_saturation, print_saturation, SAT_CLIENTS, SAT_SERVERS, SAT_WINDOWS,
+};
 use ijvm_bench::trace::{measure_trace_overhead, print_trace_overhead};
 use ijvm_bench::xunit::{measure_cross_unit_ratio, print_cross_unit};
 
@@ -27,12 +30,15 @@ fn main() {
     print_cross_unit(&cross_unit);
     let trace = measure_trace_overhead(iterations, 4_000, 3);
     print_trace_overhead(&trace);
+    let saturation = measure_saturation(SAT_CLIENTS, SAT_SERVERS, SAT_WINDOWS);
+    print_saturation(&saturation);
     let json = to_json(
         &rows,
         iterations,
         Some(&scaling),
         Some(&cross_unit),
         Some(&trace),
+        Some(&saturation),
     );
     match std::fs::write(&path, &json) {
         Ok(()) => println!("\nwrote {path}"),

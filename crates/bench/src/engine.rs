@@ -279,6 +279,7 @@ pub fn to_json(
     parallel: Option<&crate::parallel::ScalingReport>,
     cross_unit: Option<&crate::xunit::CrossUnitReport>,
     trace: Option<&crate::trace::TraceOverheadReport>,
+    saturation: Option<&crate::saturation::SaturationReport>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"engine_raw_vs_quickened_vs_threaded\",\n");
@@ -307,6 +308,9 @@ pub fn to_json(
     }
     if let Some(report) = trace {
         sections.push(crate::trace::trace_to_json(report));
+    }
+    if let Some(report) = saturation {
+        sections.push(crate::saturation::saturation_to_json(report));
     }
     if sections.is_empty() {
         out.push_str("  ]\n}\n");

@@ -18,6 +18,7 @@
 pub mod engine;
 pub mod micro;
 pub mod parallel;
+pub mod saturation;
 pub mod trace;
 pub mod xunit;
 

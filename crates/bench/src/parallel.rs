@@ -99,7 +99,9 @@ fn build_unit(iterations: i32) -> Vm {
 /// Runs the unit set once under `workers`, returning wall time and the
 /// steal count.
 fn run_once(units: usize, iterations: i32, workers: usize) -> (Duration, u64) {
-    let mut cluster = Cluster::new(SchedulerKind::Parallel(workers));
+    let mut cluster = Cluster::builder()
+        .scheduler(SchedulerKind::Parallel(workers))
+        .build();
     for _ in 0..units {
         cluster.submit(build_unit(iterations));
     }

@@ -83,7 +83,7 @@ pub mod prelude {
     pub use crate::ids::{ClassId, IsolateId, LoaderId, MethodRef, ThreadId};
     pub use crate::isolate::IsolateState;
     pub use crate::natives::{NativeFn, NativeResult};
-    pub use crate::port::PortHub;
+    pub use crate::port::{ExportError, HubStats, MailboxQuota, MailboxStat, ServiceStat};
     pub use crate::sched::{
         Cluster, ClusterBuilder, ClusterCtl, ClusterOutcome, SchedulerKind, UnitHandle, UnitId,
         UnitOutcome,

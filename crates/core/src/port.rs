@@ -18,7 +18,8 @@
 //!   resume ◀──deserialize── mailbox[A] ◀──serialize──────┘
 //! ```
 //!
-//! **Host-side registry.** The [`PortHub`] is shared by every unit of one
+//! **Host-side registry.** The `PortHub` (crate-private; embedders see
+//! the read-only [`HubStats`] snapshot) is shared by every unit of one
 //! cluster. Its registry is keyed by `(UnitId, name)` — units are
 //! *addressable*: the same service name may be exported by several units
 //! (sharding), and `Service.callAt(unit, name, x)` targets one
@@ -156,6 +157,55 @@ pub(crate) enum SendError {
     Revoked,
 }
 
+/// Successful outcomes of [`PortHub::send_request`].
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum SendOutcome {
+    /// Admitted and routed; the reply will carry this call id.
+    Sent(u64),
+    /// The destination unit is over its mailbox quota. The payload is
+    /// handed back so the sender can park and retry; the sending unit is
+    /// registered for a wake-up token when the destination drains.
+    OverQuota(Vec<u8>),
+}
+
+/// Per-unit mailbox admission quota — the hub's flow control. A
+/// destination whose admitted-but-unserved requests reach either bound
+/// stops admitting: senders park in
+/// [`crate::thread::ThreadState::BlockedOnQuota`] instead of failing
+/// (and instead of growing the victim's heap), and their sends are
+/// retried at quantum boundaries as the destination drains. Replies are
+/// exempt — a full mailbox must never stop a reply from unblocking its
+/// caller, or two units calling each other could deadlock on quota.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MailboxQuota {
+    /// Maximum admitted-but-unserved requests per destination unit.
+    pub max_messages: u32,
+    /// Maximum admitted-but-unserved request payload bytes per
+    /// destination unit.
+    pub max_bytes: u64,
+}
+
+impl MailboxQuota {
+    /// No flow control — the default.
+    pub const UNBOUNDED: MailboxQuota = MailboxQuota {
+        max_messages: u32::MAX,
+        max_bytes: u64::MAX,
+    };
+
+    /// Admission check against the current usage. Strict comparison so a
+    /// single oversized message still gets through an empty mailbox —
+    /// quota throttles floods, it never wedges a sender permanently.
+    fn admits(&self, msgs: u32, bytes: u64) -> bool {
+        msgs < self.max_messages && bytes < self.max_bytes
+    }
+}
+
+impl Default for MailboxQuota {
+    fn default() -> Self {
+        MailboxQuota::UNBOUNDED
+    }
+}
+
 #[derive(Debug, Default)]
 struct HubState {
     /// The host-side registry, keyed by `(UnitId, name)`. Resolution by
@@ -171,15 +221,37 @@ struct HubState {
     unresolved: Vec<(Arc<str>, Option<UnitId>, Envelope)>,
     /// Call-id allocator.
     next_call: u64,
+    /// Per-destination admitted-but-unserved request accounting:
+    /// `unit index -> (messages, payload bytes)`. Charged at admission,
+    /// released when the serving unit reports the request served (or
+    /// failed) at its next boundary flush — so the bound covers the
+    /// mailbox *and* the destination's pump queues together.
+    inflight: BTreeMap<u32, (u32, u64)>,
+    /// `(destination, sender)` unit pairs for senders parked on the
+    /// destination's quota. A release that brings the destination back
+    /// under quota turns every matching sender into a wake-up token;
+    /// the pairs themselves are cleared by the sender's own retry sweep.
+    quota_waiters: Vec<(u32, u32)>,
+}
+
+impl HubState {
+    fn bump_inflight(&mut self, unit: u32, bytes: u64) {
+        let e = self.inflight.entry(unit).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += bytes;
+    }
 }
 
 /// The message hub shared by every unit of one cluster: service registry,
-/// mailboxes and wake-up tokens. Created by the
+/// mailboxes, admission quotas and wake-up tokens. Created by the
 /// [`crate::sched::ClusterBuilder`]; units reach it through the
-/// [`crate::vm::Vm`] they were submitted as.
+/// [`crate::vm::Vm`] they were submitted as. Embedders observe it
+/// through [`HubStats`] snapshots only.
 #[derive(Debug, Default)]
-pub struct PortHub {
+pub(crate) struct PortHub {
     state: Mutex<HubState>,
+    /// Cluster-wide per-unit admission quota (immutable after build).
+    quota: MailboxQuota,
     /// Fast-path mirror of "`woken` is non-empty", so idle scheduler
     /// sweeps don't take the lock. Set under the lock on every post,
     /// cleared under the lock when the wake-up list drains — a `false`
@@ -188,8 +260,19 @@ pub struct PortHub {
 }
 
 impl PortHub {
+    /// A hub with the given per-unit admission quota.
+    pub(crate) fn with_quota(quota: MailboxQuota) -> PortHub {
+        PortHub {
+            quota,
+            ..PortHub::default()
+        }
+    }
+
     /// Registers `(unit, name)` and routes any requests parked awaiting
-    /// this export into the unit's mailbox.
+    /// this export into the unit's mailbox. Parked requests bypass the
+    /// admission check (their senders are already blocked on the reply)
+    /// but are still accounted, so the destination sheds new load until
+    /// it works through them.
     pub(crate) fn export(&self, unit: UnitId, name: Arc<str>, isolate: IsolateId) {
         let mut st = self.state.lock().unwrap();
         st.services.insert(
@@ -202,6 +285,9 @@ impl PortHub {
         let pending = std::mem::take(&mut st.unresolved);
         for (n, filter, env) in pending {
             if *n == *name && filter.is_none_or(|u| u == unit) {
+                if let Envelope::Request { ref bytes, .. } = env {
+                    st.bump_inflight(unit.index(), bytes.len() as u64);
+                }
                 self.post_locked(&mut st, unit, env);
             } else {
                 st.unresolved.push((n, filter, env));
@@ -209,7 +295,9 @@ impl PortHub {
         }
     }
 
-    /// Marks `(unit, name)` revoked; subsequent sends fail fast.
+    /// Marks `(unit, name)` revoked; subsequent sends fail fast. Senders
+    /// parked on the unit's quota are woken so their retry observes the
+    /// revocation instead of waiting for a drain that may never come.
     pub(crate) fn revoke(&self, unit: UnitId, name: &str) {
         let mut st = self.state.lock().unwrap();
         for ((u, n), svc) in st.services.iter_mut() {
@@ -217,11 +305,16 @@ impl PortHub {
                 svc.revoked = true;
             }
         }
+        self.wake_quota_waiters(&mut st, unit.index());
     }
 
     /// Routes a request: to `target`'s mailbox when addressed, to the
     /// lowest exporting unit otherwise, or parks it awaiting export.
-    /// Returns the call id the reply will carry.
+    /// A resolved destination over its quota admits nothing: the payload
+    /// is handed back ([`SendOutcome::OverQuota`]) and `from` is
+    /// registered for a wake-up token — registration and the quota check
+    /// happen under one lock, so a concurrent release cannot slip
+    /// between them.
     pub(crate) fn send_request(
         &self,
         from: UnitId,
@@ -230,10 +323,8 @@ impl PortHub {
         kind: PayloadKind,
         bytes: Vec<u8>,
         oneway: bool,
-    ) -> Result<u64, SendError> {
+    ) -> Result<SendOutcome, SendError> {
         let mut st = self.state.lock().unwrap();
-        st.next_call += 1;
-        let call = st.next_call;
         // One scan resolves the target and reuses the registry key's
         // `Arc<str>` — the hot call path allocates no name copy.
         let mut resolved: Option<(UnitId, Arc<str>)> = None;
@@ -253,6 +344,17 @@ impl PortHub {
         }
         match resolved {
             Some((u, service)) => {
+                let (msgs, used) = st.inflight.get(&u.index()).copied().unwrap_or((0, 0));
+                if !self.quota.admits(msgs, used) {
+                    let pair = (u.index(), from.index());
+                    if !st.quota_waiters.contains(&pair) {
+                        st.quota_waiters.push(pair);
+                    }
+                    return Ok(SendOutcome::OverQuota(bytes));
+                }
+                st.next_call += 1;
+                let call = st.next_call;
+                st.bump_inflight(u.index(), bytes.len() as u64);
                 let env = Envelope::Request {
                     call,
                     reply_to: from,
@@ -262,8 +364,11 @@ impl PortHub {
                     oneway,
                 };
                 self.post_locked(&mut st, u, env);
+                Ok(SendOutcome::Sent(call))
             }
             None => {
+                st.next_call += 1;
+                let call = st.next_call;
                 let name_arc: Arc<str> = Arc::from(name);
                 let env = Envelope::Request {
                     call,
@@ -274,15 +379,85 @@ impl PortHub {
                     oneway,
                 };
                 st.unresolved.push((name_arc, target, env));
+                Ok(SendOutcome::Sent(call))
             }
         }
-        Ok(call)
     }
 
-    /// Posts an envelope to `unit`'s mailbox and marks it woken.
-    pub(crate) fn post(&self, unit: UnitId, env: Envelope) {
+    /// Turns every sender parked on `dest`'s quota into a wake-up token.
+    /// The `(dest, sender)` pairs stay registered — the sender's own
+    /// retry sweep clears and (if still over quota) re-registers them,
+    /// so a spurious wake can never lose a later one.
+    fn wake_quota_waiters(&self, st: &mut HubState, dest: u32) {
+        let mut woke = false;
+        for i in 0..st.quota_waiters.len() {
+            let (d, sender) = st.quota_waiters[i];
+            if d == dest && !st.woken.contains(&sender) {
+                st.woken.push(sender);
+                woke = true;
+            }
+        }
+        if woke {
+            self.woken_flag
+                .store(true, std::sync::atomic::Ordering::Release);
+        }
+    }
+
+    /// One boundary transaction for a serving unit: posts its coalesced
+    /// replies and returns the quota capacity of the requests it served
+    /// this quantum, waking any senders the release lets back in. Called
+    /// from [`Vm::port_quantum_flush`] — mid-slice service work never
+    /// touches the hub lock.
+    pub(crate) fn flush_boundary(
+        &self,
+        unit: UnitId,
+        outbox: &mut Vec<(UnitId, Envelope)>,
+        served_msgs: u32,
+        served_bytes: u64,
+    ) {
         let mut st = self.state.lock().unwrap();
-        self.post_locked(&mut st, unit, env);
+        for (to, env) in outbox.drain(..) {
+            self.post_locked(&mut st, to, env);
+        }
+        if served_msgs > 0 {
+            let u = unit.index();
+            let (msgs, bytes) = st.inflight.get(&u).copied().unwrap_or((0, 0));
+            let now = (
+                msgs.saturating_sub(served_msgs),
+                bytes.saturating_sub(served_bytes),
+            );
+            if now == (0, 0) {
+                st.inflight.remove(&u);
+            } else {
+                st.inflight.insert(u, now);
+            }
+            if self.quota.admits(now.0, now.1) {
+                self.wake_quota_waiters(&mut st, u);
+            }
+        }
+    }
+
+    /// Drops `sender`'s quota-waiter registrations. The sender's retry
+    /// sweep calls this first, then re-registers through
+    /// [`PortHub::send_request`] for each send still over quota.
+    pub(crate) fn clear_quota_waits(&self, sender: UnitId) {
+        let mut st = self.state.lock().unwrap();
+        st.quota_waiters.retain(|&(_, s)| s != sender.index());
+    }
+
+    /// `true` when `sender` has a registered quota-park whose destination
+    /// now admits (or was revoked). The scheduler re-checks this under
+    /// its park lock — the mirror of the `has_mail` re-check — closing
+    /// the race where the release token fired while the sender was still
+    /// running and was dropped by the wake-up sweep.
+    pub(crate) fn retry_ready(&self, sender: UnitId) -> bool {
+        let st = self.state.lock().unwrap();
+        st.quota_waiters.iter().any(|&(d, s)| {
+            s == sender.index() && {
+                let (msgs, bytes) = st.inflight.get(&d).copied().unwrap_or((0, 0));
+                self.quota.admits(msgs, bytes)
+            }
+        })
     }
 
     fn post_locked(&self, st: &mut HubState, unit: UnitId, env: Envelope) {
@@ -335,13 +510,17 @@ impl PortHub {
         st.woken.is_empty() && st.mail.values().all(|q| q.is_empty())
     }
 
-    /// Number of requests parked awaiting an export (introspection).
-    pub fn unresolved_requests(&self) -> usize {
+    /// Number of requests parked awaiting an export (introspection; the
+    /// embedder-facing equivalent is [`HubStats::unresolved_requests`]).
+    #[cfg(test)]
+    pub(crate) fn unresolved_requests(&self) -> usize {
         self.state.lock().unwrap().unresolved.len()
     }
 
-    /// Exported service names, in `(unit, name)` order (introspection).
-    pub fn service_names(&self) -> Vec<(u32, String)> {
+    /// Exported service names, in `(unit, name)` order (introspection;
+    /// the embedder-facing equivalent is [`HubStats::services`]).
+    #[cfg(test)]
+    pub(crate) fn service_names(&self) -> Vec<(u32, String)> {
         self.state
             .lock()
             .unwrap()
@@ -351,6 +530,91 @@ impl PortHub {
             .map(|((u, n), _)| (u.index(), n.to_string()))
             .collect()
     }
+
+    /// A read-only snapshot of the hub — the embedder-facing view
+    /// ([`crate::sched::Cluster::hub_stats`]).
+    pub(crate) fn stats(&self) -> HubStats {
+        let st = self.state.lock().unwrap();
+        let services = st
+            .services
+            .iter()
+            .filter(|(_, s)| !s.revoked)
+            .map(|((u, n), _)| ServiceStat {
+                unit: u.index(),
+                name: n.to_string(),
+            })
+            .collect();
+        let mut boxes: BTreeMap<u32, MailboxStat> = BTreeMap::new();
+        let blank = |unit| MailboxStat {
+            unit,
+            queued: 0,
+            admitted_messages: 0,
+            admitted_bytes: 0,
+            parked_senders: 0,
+        };
+        for (u, q) in st.mail.iter().filter(|(_, q)| !q.is_empty()) {
+            boxes.entry(*u).or_insert_with(|| blank(*u)).queued = q.len();
+        }
+        for (u, (msgs, bytes)) in st.inflight.iter() {
+            let row = boxes.entry(*u).or_insert_with(|| blank(*u));
+            row.admitted_messages = *msgs;
+            row.admitted_bytes = *bytes;
+        }
+        for &(d, _) in st.quota_waiters.iter() {
+            boxes.entry(d).or_insert_with(|| blank(d)).parked_senders += 1;
+        }
+        HubStats {
+            services,
+            mailboxes: boxes.into_values().collect(),
+            unresolved_requests: st.unresolved.len(),
+            quota: self.quota,
+        }
+    }
+}
+
+/// Read-only snapshot of a cluster's hub: live exports, per-unit mailbox
+/// depths and quota state. The embedder-facing replacement for direct
+/// hub access — obtain one from [`crate::sched::Cluster::hub_stats`]
+/// before the run, or from
+/// [`crate::sched::ClusterOutcome::hub_stats`] after it.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct HubStats {
+    /// Live (non-revoked) exports, in `(unit, name)` order.
+    pub services: Vec<ServiceStat>,
+    /// Per-unit mailbox state, in unit order; units with no queued,
+    /// admitted or parked traffic are omitted.
+    pub mailboxes: Vec<MailboxStat>,
+    /// Requests parked awaiting an export that has not happened yet.
+    pub unresolved_requests: usize,
+    /// The cluster-wide per-unit admission quota.
+    pub quota: MailboxQuota,
+}
+
+/// One live export in a [`HubStats`] snapshot.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServiceStat {
+    /// Exporting unit (its submit index).
+    pub unit: u32,
+    /// Service name.
+    pub name: String,
+}
+
+/// One unit's mailbox in a [`HubStats`] snapshot.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct MailboxStat {
+    /// The unit (its submit index).
+    pub unit: u32,
+    /// Envelopes posted and not yet drained.
+    pub queued: usize,
+    /// Requests admitted under quota and not yet served.
+    pub admitted_messages: u32,
+    /// Payload bytes admitted under quota and not yet served.
+    pub admitted_bytes: u64,
+    /// Senders currently parked on this unit's quota.
+    pub parked_senders: usize,
 }
 
 /// Where a request came from, so the reply can find its way back.
@@ -379,6 +643,13 @@ struct CurrentCall {
     reply_to: ReplyTo,
     kind: PayloadKind,
     oneway: bool,
+    /// The request's quota contribution — `(1, payload bytes)` for a
+    /// hub-routed request, `(0, 0)` for a local one — released when the
+    /// request reaches its terminal disposition (handler returned,
+    /// threw, or was revoked). Releasing at *completion* rather than at
+    /// dispatch keeps the quota an honest bound on payloads resident at
+    /// the destination.
+    quota: (u32, u64),
 }
 
 /// One exported service inside its VM: the pump thread plus the resolved
@@ -394,10 +665,68 @@ struct Pump {
     current: Option<CurrentCall>,
 }
 
-/// A thread blocked in `Service.call`, awaiting its reply.
+/// Who consumes a reply, routed by request id: a thread parked in the
+/// blocking `Service.call`, or a pending future created by
+/// `Service.post` (whose owner may be off running something else).
 #[derive(Debug, Clone, Copy)]
-struct Waiter {
+enum Waiter {
+    Thread(ThreadId),
+    Future(u32),
+}
+
+/// A guest-visible future (`ijvm/Future`), created by `Service.post`.
+/// The guest object carries only the id; all state lives here.
+#[derive(Debug)]
+struct FutureState {
+    /// Isolate that created the future. Terminating it revokes the
+    /// future deterministically (the late reply is dropped).
+    owner: IsolateId,
+    /// A thread parked in `get`, with the payload kind its overload
+    /// decodes (`get` = int, `getObject` = object graph).
+    waiter: Option<(ThreadId, PayloadKind)>,
+    slot: FutureSlot,
+}
+
+#[derive(Debug)]
+enum FutureSlot {
+    /// Reply not yet delivered; `call` routes it here (0 while the send
+    /// itself is still parked on the destination's quota).
+    Pending { call: u64 },
+    /// Reply arrived; consumed by the first `get`.
+    Ready(Result<(PayloadKind, Vec<u8>), ReplyError>),
+    /// Cancelled before the reply arrived; `get` throws.
+    Cancelled,
+}
+
+/// A send parked because its destination was over quota. The payload was
+/// serialized and charged before parking — sender-pays happens exactly
+/// once — and only the hub admission is retried, at every
+/// quantum-boundary drain, in send order.
+#[derive(Debug)]
+struct PendingSend {
     thread: ThreadId,
+    target: Option<UnitId>,
+    name: Arc<str>,
+    kind: PayloadKind,
+    bytes: Vec<u8>,
+    mode: SendMode,
+}
+
+/// What a [`PendingSend`] resumes as once admitted.
+#[derive(Debug, Clone, Copy)]
+enum SendMode {
+    /// Blocking `Service.call`: on admission the thread rolls over into
+    /// `BlockedOnPort`, still parked, awaiting the reply.
+    Call,
+    /// `Service.post`: the future ref is already on the sender's operand
+    /// stack; admission wires the call id to the future and wakes the
+    /// sender.
+    Post {
+        /// The future handed back by the parked `post`.
+        future: u32,
+    },
+    /// `Port.send`: fire-and-forget; admission just wakes the sender.
+    Oneway,
 }
 
 /// Per-VM port state: the cluster attachment, the service pumps this VM
@@ -410,6 +739,18 @@ pub(crate) struct PortState {
     attach: Option<(UnitId, Arc<PortHub>)>,
     pumps: BTreeMap<Arc<str>, Pump>,
     waiting: HashMap<u64, Waiter>,
+    /// Live futures by id (the guest object's `id` field).
+    futures: HashMap<u32, FutureState>,
+    /// Future-id allocator.
+    next_future: u32,
+    /// Sends parked on a destination's quota, in send order.
+    pending_sends: VecDeque<PendingSend>,
+    /// Replies produced mid-slice, coalesced into one hub post at the
+    /// quantum boundary ([`crate::vm::Vm::port_quantum_flush`]).
+    outbox: Vec<(UnitId, Envelope)>,
+    /// Quota capacity of requests this VM finished serving since the
+    /// last boundary flush: `(messages, payload bytes)`.
+    served: (u32, u64),
     /// Call ids for local (unattached) dispatches, allocated from the top
     /// of the id space so they can never collide with hub-assigned ids.
     next_local_call: u64,
@@ -423,22 +764,47 @@ pub(crate) struct PortState {
 }
 
 impl PortState {
-    /// `true` when a client thread is parked awaiting a reply —
-    /// [`crate::vm::Vm::run`] reports [`crate::vm::RunOutcome::Blocked`]
-    /// instead of `Deadlock`/`Idle` while this holds.
+    /// `true` when outside input is still expected: a reply for a parked
+    /// call or a pending future, or an admission retry for a
+    /// quota-parked send — [`crate::vm::Vm::run`] reports
+    /// [`crate::vm::RunOutcome::Blocked`] instead of `Deadlock`/`Idle`
+    /// while this holds.
     pub(crate) fn has_waiters(&self) -> bool {
-        !self.waiting.is_empty()
+        !self.waiting.is_empty() || !self.pending_sends.is_empty()
     }
 
     /// `true` when the unit must stay schedulable after going idle:
-    /// it exports live services or has calls in flight.
+    /// it exports live services, has calls or futures in flight, or has
+    /// sends parked on a destination's quota.
     pub(crate) fn keeps_unit_alive(&self) -> bool {
-        !self.pumps.is_empty() || !self.waiting.is_empty()
+        !self.pumps.is_empty() || !self.waiting.is_empty() || !self.pending_sends.is_empty()
     }
 
     fn alloc_local_call(&mut self) -> u64 {
         self.next_local_call += 1;
         u64::MAX - self.next_local_call
+    }
+
+    fn alloc_future(&mut self) -> u32 {
+        self.next_future += 1;
+        self.next_future
+    }
+
+    /// Accounts released quota capacity (a served request's
+    /// [`CurrentCall::quota`] contribution) for the next boundary flush.
+    fn note_served_counts(&mut self, (msgs, bytes): (u32, u64)) {
+        self.served.0 += msgs;
+        self.served.1 += bytes;
+    }
+
+    /// Accounts one hub-admitted request as served, for the next
+    /// boundary flush. Local dispatches never passed admission and are
+    /// exempt.
+    fn note_served(&mut self, req: &ReadyRequest) {
+        if matches!(req.reply_to, ReplyTo::Unit(_)) {
+            self.served.0 += 1;
+            self.served.1 += req.bytes.len() as u64;
+        }
     }
 }
 
@@ -461,13 +827,17 @@ impl Vm {
     /// their waiting caller. The scheduler calls this at every quantum
     /// boundary, before running a slice.
     pub(crate) fn port_drain(&mut self) {
-        // Fast path: a unit with no exports and no calls in flight can
-        // receive no mail (requests need a registry entry, replies a
-        // waiter), so compute-only units skip the hub lock entirely.
-        // The one exception — a request that raced in just before this
-        // unit's services were revoked — is caught by the scheduler's
-        // finish-path mailbox check, which calls `port_drain_force`.
-        if self.port.pumps.is_empty() && self.port.waiting.is_empty() {
+        // Fast path: a unit with no exports, no calls in flight and no
+        // quota-parked sends can receive no mail (requests need a
+        // registry entry, replies a waiter), so compute-only units skip
+        // the hub lock entirely. The one exception — a request that
+        // raced in just before this unit's services were revoked — is
+        // caught by the scheduler's finish-path mailbox check, which
+        // calls `port_drain_force`.
+        if self.port.pumps.is_empty()
+            && self.port.waiting.is_empty()
+            && self.port.pending_sends.is_empty()
+        {
             return;
         }
         self.port_drain_force();
@@ -506,12 +876,150 @@ impl Vm {
             }
         }
         self.port.drain_scratch = mail;
+        self.port_retry_pending();
+    }
+
+    /// Retries quota-parked sends in send order — the unpark half of the
+    /// flow-control protocol, run at every quantum-boundary drain. Each
+    /// retry goes back through hub admission: success resumes the send
+    /// as if it had never parked, a still-full destination re-registers
+    /// for its wake-up token, and a revocation fails the send the same
+    /// way it would have failed synchronously.
+    fn port_retry_pending(&mut self) {
+        if self.port.pending_sends.is_empty() {
+            return;
+        }
+        let Some((unit, hub)) = self.port.attach.clone() else {
+            return;
+        };
+        // Registrations are rebuilt from scratch each sweep so stale
+        // pairs (dropped sends, terminated threads) cannot accumulate.
+        hub.clear_quota_waits(unit);
+        let rounds = self.port.pending_sends.len();
+        for _ in 0..rounds {
+            let Some(ps) = self.port.pending_sends.pop_front() else {
+                break;
+            };
+            let PendingSend {
+                thread: tid,
+                target,
+                name,
+                kind,
+                bytes,
+                mode,
+            } = ps;
+            // The parked thread was interrupted or terminated meanwhile:
+            // the send is abandoned.
+            if self.threads[tid.0 as usize].state != ThreadState::BlockedOnQuota {
+                continue;
+            }
+            let iso = self.threads[tid.0 as usize].current_isolate;
+            let oneway = matches!(mode, SendMode::Oneway);
+            match hub.send_request(unit, target, &name, kind, bytes, oneway) {
+                Ok(SendOutcome::Sent(call)) => {
+                    self.trace_emit(
+                        crate::trace::EventKind::QuotaUnpark,
+                        Some(iso),
+                        Some(tid),
+                        call,
+                    );
+                    match mode {
+                        SendMode::Call => {
+                            self.port.waiting.insert(call, Waiter::Thread(tid));
+                            self.threads[tid.0 as usize].state =
+                                ThreadState::BlockedOnPort { call };
+                            self.trace_call_send(call, iso, tid, crate::trace::EventKind::CallSend);
+                        }
+                        SendMode::Post { future } => {
+                            if let Some(f) = self.port.futures.get_mut(&future) {
+                                if matches!(f.slot, FutureSlot::Pending { .. }) {
+                                    f.slot = FutureSlot::Pending { call };
+                                }
+                            }
+                            self.port.waiting.insert(call, Waiter::Future(future));
+                            self.trace_call_send(
+                                call,
+                                iso,
+                                tid,
+                                crate::trace::EventKind::FuturePost,
+                            );
+                            self.wake(tid);
+                        }
+                        SendMode::Oneway => {
+                            self.trace_emit(
+                                crate::trace::EventKind::OnewaySend,
+                                Some(iso),
+                                Some(tid),
+                                call,
+                            );
+                            self.wake(tid);
+                        }
+                    }
+                }
+                Ok(SendOutcome::OverQuota(bytes)) => {
+                    self.port.pending_sends.push_back(PendingSend {
+                        thread: tid,
+                        target,
+                        name,
+                        kind,
+                        bytes,
+                        mode,
+                    });
+                }
+                Err(SendError::Revoked) => {
+                    let msg = format!("service '{name}' revoked: isolate terminated");
+                    match mode {
+                        SendMode::Call => {
+                            let ex = crate::interp::alloc_exception(
+                                self,
+                                tid,
+                                SERVICE_REVOKED_EXCEPTION,
+                                &msg,
+                            );
+                            self.threads[tid.0 as usize].pending_exception = Some(ex);
+                        }
+                        SendMode::Post { future } => {
+                            if let Some(f) = self.port.futures.get_mut(&future) {
+                                if matches!(f.slot, FutureSlot::Pending { .. }) {
+                                    f.slot = FutureSlot::Ready(Err(ReplyError::Revoked(msg)));
+                                }
+                            }
+                        }
+                        SendMode::Oneway => {} // dropped silently, like port_send
+                    }
+                    self.wake(tid);
+                }
+            }
+        }
+    }
+
+    /// Flushes this unit's coalesced replies and served-request quota to
+    /// the hub in one transaction. The scheduler calls this at every
+    /// quantum boundary — after the slice, and again after finish-path
+    /// force drains — in both scheduler modes, so delivery points stay
+    /// bit-identical.
+    pub(crate) fn port_quantum_flush(&mut self) {
+        let (msgs, bytes) = std::mem::take(&mut self.port.served);
+        if self.port.outbox.is_empty() && msgs == 0 {
+            return;
+        }
+        let Some((unit, hub)) = self.port.attach.clone() else {
+            self.port.outbox.clear();
+            return;
+        };
+        let mut outbox = std::mem::take(&mut self.port.outbox);
+        hub.flush_boundary(unit, &mut outbox, msgs, bytes);
+        self.port.outbox = outbox;
     }
 
     /// Revokes every service exported by `iso`: replies `ServiceRevoked`
     /// to its pending and queued calls, marks the hub entries revoked,
     /// and retires idle pump threads (busy ones die with the isolate's
-    /// `StoppedIsolateException`). Called by isolate termination.
+    /// `StoppedIsolateException`). Also revokes the isolate's pending
+    /// futures — their reply routing is dropped so late replies are
+    /// discarded — and abandons its quota-parked sends (their threads
+    /// already took the termination exception). Called by isolate
+    /// termination.
     pub(crate) fn port_revoke_isolate(&mut self, iso: IsolateId) {
         let names: Vec<Arc<str>> = self
             .port
@@ -523,6 +1031,33 @@ impl Vm {
         for name in names {
             revoke_pump(self, &name);
         }
+        let dead: Vec<u32> = self
+            .port
+            .futures
+            .iter()
+            .filter(|(_, f)| f.owner == iso)
+            .map(|(id, _)| *id)
+            .collect();
+        for fid in dead {
+            if let Some(f) = self.port.futures.remove(&fid) {
+                if let FutureSlot::Pending { call } = f.slot {
+                    self.port.waiting.remove(&call);
+                }
+            }
+        }
+        let threads = &self.threads;
+        self.port
+            .pending_sends
+            .retain(|ps| threads[ps.thread.0 as usize].state == ThreadState::BlockedOnQuota);
+        // The retry sweep only clears this unit's hub waiter pairs when
+        // it has pending sends left to re-register; if the revocation
+        // just abandoned the last one, drop the stale pairs here or an
+        // admitting destination would requeue this unit forever.
+        if self.port.pending_sends.is_empty() {
+            if let Some((unit, hub)) = self.port.attach.clone() {
+                hub.clear_quota_waits(unit);
+            }
+        }
     }
 
     /// `true` when this unit must stay schedulable after going idle: it
@@ -530,6 +1065,17 @@ impl Vm {
     /// scheduler parks such units instead of finishing them.
     pub(crate) fn port_keeps_unit_alive(&self) -> bool {
         self.port.keeps_unit_alive()
+    }
+
+    /// `true` when this unit holds quota-parked sends. The scheduler's
+    /// park decision gates its `PortHub::retry_ready` probe on this, so
+    /// units that never hit a quota (the common case) pay no extra hub
+    /// lock per park. Sound because a unit with no pending sends has no
+    /// registered quota-waiter pairs: pairs are created together with
+    /// their `PendingSend` and cleared by the retry sweep or, when
+    /// revocation abandons the last send, by `port_revoke_isolate`.
+    pub(crate) fn port_has_pending_sends(&self) -> bool {
+        !self.port.pending_sends.is_empty()
     }
 
     /// Queues `req` behind `name`'s pump (or fails it when the service
@@ -541,6 +1087,7 @@ impl Vm {
                 pump_advance(self, name);
             }
             None => {
+                self.port.note_served(&req);
                 let msg = format!("service '{name}' revoked: isolate terminated");
                 send_reply(
                     self,
@@ -586,9 +1133,18 @@ fn pump_advance(vm: &mut Vm, name: &Arc<str>) {
             };
             req
         };
-        match try_start(vm, name, req) {
+        // Quota is released at the request's *terminal disposition*: a
+        // dispatch failure below is terminal, a successful start carries
+        // the contribution into `CurrentCall` and releases it when the
+        // handler returns, throws, or is revoked.
+        let quota = match req.reply_to {
+            ReplyTo::Unit(_) => (1, req.bytes.len() as u64),
+            ReplyTo::Local => (0, 0),
+        };
+        match try_start(vm, name, req, quota) {
             Ok(()) => return,
             Err((reply_to, call, oneway, err)) => {
+                vm.port.note_served_counts(quota);
                 send_reply(vm, reply_to, call, oneway, Err(err));
             }
         }
@@ -598,7 +1154,12 @@ fn pump_advance(vm: &mut Vm, name: &Arc<str>) {
 type StartFailure = (ReplyTo, u64, bool, ReplyError);
 
 /// Pushes the handler frame for `req` onto the pump thread and wakes it.
-fn try_start(vm: &mut Vm, name: &Arc<str>, req: ReadyRequest) -> Result<(), StartFailure> {
+fn try_start(
+    vm: &mut Vm,
+    name: &Arc<str>,
+    req: ReadyRequest,
+    quota: (u32, u64),
+) -> Result<(), StartFailure> {
     let (tid, iso, pin, handle_int, handle_obj) = {
         let p = &vm.port.pumps[name];
         (
@@ -675,6 +1236,7 @@ fn try_start(vm: &mut Vm, name: &Arc<str>, req: ReadyRequest) -> Result<(), Star
         reply_to: req.reply_to,
         kind: req.kind,
         oneway: req.oneway,
+        quota,
     });
     vm.trace_emit(
         crate::trace::EventKind::CallDeliver,
@@ -687,6 +1249,10 @@ fn try_start(vm: &mut Vm, name: &Arc<str>, req: ReadyRequest) -> Result<(), Star
 }
 
 /// Sends a reply produced in this VM to wherever the request came from.
+/// Cross-unit replies are *coalesced*: they collect in the outbox and go
+/// to the hub in one batch at the quantum boundary
+/// ([`crate::vm::Vm::port_quantum_flush`]) — the receiver drains at its
+/// own boundary either way, so batching changes no observable order.
 fn send_reply(
     vm: &mut Vm,
     reply_to: ReplyTo,
@@ -700,31 +1266,40 @@ fn send_reply(
     vm.trace_emit(crate::trace::EventKind::ReplySend, None, None, call);
     match reply_to {
         ReplyTo::Unit(u) => {
-            let (_, hub) = vm
-                .port
-                .attach
-                .clone()
-                .expect("cross-unit request on an unattached VM");
-            hub.post(u, Envelope::Reply { call, result });
+            vm.port.outbox.push((u, Envelope::Reply { call, result }));
         }
         ReplyTo::Local => deliver_reply(vm, call, result),
     }
 }
 
-/// Completes a waiting `Service.call`: pushes the deserialized result on
-/// the caller's operand stack (or installs the failure as a pending
-/// exception) and wakes the thread. Stale replies — the caller was
-/// interrupted or its isolate terminated meanwhile — are dropped.
+/// Routes an incoming reply by request id: to the thread parked in
+/// `Service.call`, or to the pending future the caller is pipelining on.
+/// Stale replies — the waiter was cancelled, interrupted or its isolate
+/// terminated meanwhile — are dropped.
 fn deliver_reply(vm: &mut Vm, call: u64, result: Result<(PayloadKind, Vec<u8>), ReplyError>) {
     let Some(waiter) = vm.port.waiting.remove(&call) else {
         return;
     };
-    let tid = waiter.thread;
+    match waiter {
+        Waiter::Thread(tid) => deliver_to_thread(vm, call, tid, result),
+        Waiter::Future(fid) => resolve_future(vm, call, fid, result),
+    }
+}
+
+/// Completes a waiting `Service.call`: pushes the deserialized result on
+/// the caller's operand stack (or installs the failure as a pending
+/// exception) and wakes the thread.
+fn deliver_to_thread(
+    vm: &mut Vm,
+    call: u64,
+    tid: ThreadId,
+    result: Result<(PayloadKind, Vec<u8>), ReplyError>,
+) {
     let t = tid.0 as usize;
     if vm.threads[t].state != (ThreadState::BlockedOnPort { call }) {
         return; // the caller already moved on (interrupt, termination)
     }
-    vm.trace_reply_deliver(call, tid);
+    vm.trace_reply_deliver(call, tid, crate::trace::EventKind::ReplyDeliver);
     match result {
         Ok((_, bytes)) => {
             let iso = vm.threads[t].current_isolate;
@@ -760,6 +1335,110 @@ fn deliver_reply(vm: &mut Vm, call: u64, result: Result<(PayloadKind, Vec<u8>), 
     vm.wake(tid);
 }
 
+/// A reply arrived for a pending future: store it, and if a thread is
+/// parked in `get`, complete that `get` in place (push the decoded value
+/// or install the failure) and wake it.
+fn resolve_future(
+    vm: &mut Vm,
+    call: u64,
+    fid: u32,
+    result: Result<(PayloadKind, Vec<u8>), ReplyError>,
+) {
+    let Some(f) = vm.port.futures.get_mut(&fid) else {
+        return; // cancelled or revoked meanwhile; drop the late reply
+    };
+    if !matches!(f.slot, FutureSlot::Pending { .. }) {
+        return;
+    }
+    f.slot = FutureSlot::Ready(result);
+    let waiter = f.waiter.take();
+    let trace_tid = waiter.map(|(t, _)| t).unwrap_or(ThreadId(u32::MAX));
+    vm.trace_reply_deliver(call, trace_tid, crate::trace::EventKind::FutureResolve);
+    if let Some((tid, expected)) = waiter {
+        if vm.threads[tid.0 as usize].state == (ThreadState::BlockedOnFuture { future: fid }) {
+            match consume_ready(vm, tid, fid, expected) {
+                GetOutcome::Value(v) => {
+                    vm.threads[tid.0 as usize]
+                        .top_frame_mut()
+                        .expect("getter frame survives the wait")
+                        .stack
+                        .push(v);
+                }
+                GetOutcome::Failure {
+                    class_name,
+                    message,
+                } => {
+                    let ex = crate::interp::alloc_exception(vm, tid, class_name, &message);
+                    vm.threads[tid.0 as usize].pending_exception = Some(ex);
+                }
+            }
+            vm.wake(tid);
+        }
+    }
+}
+
+/// How a `get` on a ready future completes.
+enum GetOutcome {
+    /// The decoded reply value.
+    Value(Value),
+    /// A guest exception to raise at the getter.
+    Failure {
+        class_name: &'static str,
+        message: String,
+    },
+}
+
+/// Consumes a `Ready` future for a `get`/`getObject`: decodes the value
+/// into the getter's isolate, or maps the failure to the same exceptions
+/// the blocking `Service.call` raises. A payload-kind mismatch (`get` on
+/// an object future, or vice versa) throws *without* consuming, so the
+/// correctly-typed getter still works.
+fn consume_ready(vm: &mut Vm, tid: ThreadId, fid: u32, expected: PayloadKind) -> GetOutcome {
+    {
+        let f = &vm.port.futures[&fid];
+        let FutureSlot::Ready(result) = &f.slot else {
+            unreachable!("consume_ready on a non-ready future");
+        };
+        if let Ok((kind, _)) = result {
+            if *kind != expected {
+                let (got, want) = match expected {
+                    PayloadKind::Int => ("an object", "getObject"),
+                    PayloadKind::Obj => ("an int", "get"),
+                };
+                return GetOutcome::Failure {
+                    class_name: "java/lang/IllegalStateException",
+                    message: format!("future holds {got} result; use {want}()"),
+                };
+            }
+        }
+    }
+    let f = vm.port.futures.remove(&fid).expect("future present");
+    let FutureSlot::Ready(result) = f.slot else {
+        unreachable!();
+    };
+    match result {
+        Ok((_, bytes)) => {
+            let iso = vm.threads[tid.0 as usize].current_isolate;
+            let loader = vm.isolates[iso.0 as usize].loader;
+            match crate::wire::deserialize_value(vm, &bytes, iso, loader) {
+                Ok(v) => GetOutcome::Value(v),
+                Err(e) => GetOutcome::Failure {
+                    class_name: "java/lang/RuntimeException",
+                    message: format!("service reply decode failed: {e}"),
+                },
+            }
+        }
+        Err(ReplyError::Revoked(msg)) => GetOutcome::Failure {
+            class_name: SERVICE_REVOKED_EXCEPTION,
+            message: msg,
+        },
+        Err(ReplyError::Failed(msg)) => GetOutcome::Failure {
+            class_name: "java/lang/RuntimeException",
+            message: msg,
+        },
+    }
+}
+
 /// Finds the service a pump thread belongs to.
 fn find_pump_name(vm: &Vm, tid: ThreadId) -> Option<Arc<str>> {
     vm.port
@@ -788,6 +1467,7 @@ pub(crate) fn pump_completed(vm: &mut Vm, tid: ThreadId, value: Option<Value>) -
     let iso = vm.port.pumps[&name].isolate;
     let cur = vm.port.pumps.get_mut(&name).unwrap().current.take();
     if let Some(cur) = cur {
+        vm.port.note_served_counts(cur.quota);
         if !cur.oneway {
             let mut bytes = Vec::with_capacity(32);
             crate::wire::serialize_value(vm, value.unwrap_or(Value::Null), &mut bytes);
@@ -827,6 +1507,7 @@ pub(crate) fn pump_failed(vm: &mut Vm, tid: ThreadId, ex: GcRef) -> bool {
     let detail = format!("service '{name}' handler threw {class_name}: {msg}");
     let cur = vm.port.pumps.get_mut(&name).unwrap().current.take();
     if let Some(cur) = cur {
+        vm.port.note_served_counts(cur.quota);
         send_reply(
             vm,
             cur.reply_to,
@@ -857,6 +1538,7 @@ fn revoke_pump(vm: &mut Vm, name: &Arc<str>) {
     );
     let msg = format!("service '{name}' revoked: isolate terminated");
     if let Some(cur) = pump.current.take() {
+        vm.port.note_served_counts(cur.quota);
         send_reply(
             vm,
             cur.reply_to,
@@ -866,6 +1548,7 @@ fn revoke_pump(vm: &mut Vm, name: &Arc<str>) {
         );
     }
     for req in pump.queue.drain(..) {
+        vm.port.note_served(&req);
         send_reply(
             vm,
             req.reply_to,
@@ -922,6 +1605,8 @@ impl std::fmt::Display for ExportError {
         }
     }
 }
+
+impl std::error::Error for ExportError {}
 
 impl Vm {
     /// Host-side export: publishes `handler` (an object with a
@@ -1030,6 +1715,37 @@ fn export_error_to_native(err: ExportError) -> NativeResult {
     }
 }
 
+/// Parks a sender whose destination is over quota: the serialized (and
+/// already-charged) payload moves into the pending-send queue and the
+/// thread blocks until the hub admits the retry.
+#[allow(clippy::too_many_arguments)]
+fn park_on_quota(
+    vm: &mut Vm,
+    tid: ThreadId,
+    iso: IsolateId,
+    target: Option<UnitId>,
+    name: &str,
+    kind: PayloadKind,
+    bytes: Vec<u8>,
+    mode: SendMode,
+) {
+    vm.trace_emit(
+        crate::trace::EventKind::QuotaPark,
+        Some(iso),
+        Some(tid),
+        bytes.len() as u64,
+    );
+    vm.port.pending_sends.push_back(PendingSend {
+        thread: tid,
+        target,
+        name: Arc::from(name),
+        kind,
+        bytes,
+        mode,
+    });
+    vm.threads[tid.0 as usize].state = ThreadState::BlockedOnQuota;
+}
+
 /// The blocking `Service.call` path: serializes the argument (caller
 /// pays), routes the request, and parks the calling thread until the
 /// reply is delivered.
@@ -1051,10 +1767,14 @@ fn port_call(
     };
     if let Some((unit, hub)) = vm.port.attach.clone() {
         match hub.send_request(unit, target, name, kind, bytes, false) {
-            Ok(call) => {
-                vm.port.waiting.insert(call, Waiter { thread: tid });
+            Ok(SendOutcome::Sent(call)) => {
+                vm.port.waiting.insert(call, Waiter::Thread(tid));
                 vm.threads[tid.0 as usize].state = ThreadState::BlockedOnPort { call };
-                vm.trace_call_send(call, iso, tid);
+                vm.trace_call_send(call, iso, tid, crate::trace::EventKind::CallSend);
+                NativeResult::BlockPending
+            }
+            Ok(SendOutcome::OverQuota(bytes)) => {
+                park_on_quota(vm, tid, iso, target, name, kind, bytes, SendMode::Call);
                 NativeResult::BlockPending
             }
             Err(SendError::Revoked) => revoked(),
@@ -1075,9 +1795,9 @@ fn port_call(
             };
         }
         let call = vm.port.alloc_local_call();
-        vm.port.waiting.insert(call, Waiter { thread: tid });
+        vm.port.waiting.insert(call, Waiter::Thread(tid));
         vm.threads[tid.0 as usize].state = ThreadState::BlockedOnPort { call };
-        vm.trace_call_send(call, iso, tid);
+        vm.trace_call_send(call, iso, tid, crate::trace::EventKind::CallSend);
         let name_arc: Arc<str> = Arc::from(name);
         vm.pump_enqueue(
             &name_arc,
@@ -1107,15 +1827,25 @@ fn port_send(
     crate::wire::serialize_value(vm, payload, &mut bytes);
     charge_copy(vm, iso, bytes.len());
     if let Some((unit, hub)) = vm.port.attach.clone() {
-        if let Ok(call) = hub.send_request(unit, None, name, kind, bytes, true) {
-            vm.trace_emit(
-                crate::trace::EventKind::OnewaySend,
-                Some(iso),
-                Some(tid),
-                call,
-            );
+        match hub.send_request(unit, None, name, kind, bytes, true) {
+            Ok(SendOutcome::Sent(call)) => {
+                vm.trace_emit(
+                    crate::trace::EventKind::OnewaySend,
+                    Some(iso),
+                    Some(tid),
+                    call,
+                );
+                NativeResult::Return(None)
+            }
+            Ok(SendOutcome::OverQuota(bytes)) => {
+                // Fire-and-forget still backpressures: the flooder parks
+                // (already charged) instead of growing the victim's
+                // mailbox. `send` returns void, so nothing is pushed.
+                park_on_quota(vm, tid, iso, None, name, kind, bytes, SendMode::Oneway);
+                NativeResult::BlockReturn(None)
+            }
+            Err(SendError::Revoked) => NativeResult::Return(None),
         }
-        NativeResult::Return(None)
     } else {
         if !vm.port.pumps.contains_key(name) {
             return NativeResult::Throw {
@@ -1145,6 +1875,285 @@ fn port_send(
     }
 }
 
+/// Allocates the guest-visible `ijvm/Future` object carrying `fid`.
+/// Allocation happens *before* any hub traffic, so an OOM here aborts
+/// the post cleanly.
+fn alloc_future_obj(vm: &mut Vm, tid: ThreadId, fid: u32) -> Result<GcRef, NativeResult> {
+    let iso = vm.threads[tid.0 as usize].current_isolate;
+    let class = vm
+        .load_class(crate::ids::LoaderId::BOOTSTRAP, "ijvm/Future")
+        .expect("ijvm/Future is a bootstrap class");
+    let r = match vm.alloc_instance(class, iso) {
+        Ok(r) => r,
+        Err(thrown) => {
+            let ex = crate::interp::materialize(vm, tid, thrown);
+            return Err(NativeResult::ThrowRef(ex));
+        }
+    };
+    let slot = vm.classes[class.0 as usize]
+        .find_instance_slot("id")
+        .expect("ijvm/Future has an id field");
+    if let crate::heap::ObjBody::Fields(fields) = &mut vm.heap.get_mut(r).body {
+        fields[slot as usize] = Value::Int(fid as i32);
+    }
+    Ok(r)
+}
+
+/// Reads the future id out of an `ijvm/Future` receiver.
+fn future_id(vm: &Vm, recv: Value) -> Result<u32, NativeResult> {
+    let Some(r) = recv.as_ref() else {
+        return Err(NativeResult::Throw {
+            class_name: "java/lang/NullPointerException",
+            message: "future".to_owned(),
+        });
+    };
+    let obj = vm.heap.get(r);
+    let slot = vm.classes[obj.class.0 as usize]
+        .find_instance_slot("id")
+        .expect("ijvm/Future has an id field");
+    if let crate::heap::ObjBody::Fields(fields) = &obj.body {
+        Ok(fields[slot as usize].as_int() as u32)
+    } else {
+        unreachable!("ijvm/Future is a fields object")
+    }
+}
+
+/// The pipelining `Service.post` path: serializes and charges like
+/// `call`, but hands back an `ijvm/Future` immediately instead of
+/// parking — one green thread can keep many requests in flight and
+/// collect them with `Future.get`. Delivery failures (revocation)
+/// surface at `get`, not here; only argument errors throw at the post.
+fn port_post(
+    vm: &mut Vm,
+    tid: ThreadId,
+    target: Option<UnitId>,
+    name: &str,
+    kind: PayloadKind,
+    payload: Value,
+) -> NativeResult {
+    let iso = vm.threads[tid.0 as usize].current_isolate;
+    let mut bytes = Vec::with_capacity(32);
+    crate::wire::serialize_value(vm, payload, &mut bytes);
+    charge_copy(vm, iso, bytes.len());
+    let fid = vm.port.alloc_future();
+    let fut = match alloc_future_obj(vm, tid, fid) {
+        Ok(r) => r,
+        Err(e) => return e,
+    };
+    if let Some((unit, hub)) = vm.port.attach.clone() {
+        match hub.send_request(unit, target, name, kind, bytes, false) {
+            Ok(SendOutcome::Sent(call)) => {
+                vm.port.waiting.insert(call, Waiter::Future(fid));
+                vm.port.futures.insert(
+                    fid,
+                    FutureState {
+                        owner: iso,
+                        waiter: None,
+                        slot: FutureSlot::Pending { call },
+                    },
+                );
+                vm.trace_call_send(call, iso, tid, crate::trace::EventKind::FuturePost);
+                NativeResult::Return(Some(Value::Ref(fut)))
+            }
+            Ok(SendOutcome::OverQuota(bytes)) => {
+                // The future ref goes on the sender's stack now
+                // (`BlockReturn`); the thread parks and the retry sweep
+                // wires the call id in once the destination admits.
+                vm.port.futures.insert(
+                    fid,
+                    FutureState {
+                        owner: iso,
+                        waiter: None,
+                        slot: FutureSlot::Pending { call: 0 },
+                    },
+                );
+                park_on_quota(
+                    vm,
+                    tid,
+                    iso,
+                    target,
+                    name,
+                    kind,
+                    bytes,
+                    SendMode::Post { future: fid },
+                );
+                NativeResult::BlockReturn(Some(Value::Ref(fut)))
+            }
+            Err(SendError::Revoked) => {
+                let msg = format!("service '{name}' revoked: isolate terminated");
+                vm.port.futures.insert(
+                    fid,
+                    FutureState {
+                        owner: iso,
+                        waiter: None,
+                        slot: FutureSlot::Ready(Err(ReplyError::Revoked(msg))),
+                    },
+                );
+                vm.trace_call_send(0, iso, tid, crate::trace::EventKind::FuturePost);
+                NativeResult::Return(Some(Value::Ref(fut)))
+            }
+        }
+    } else {
+        if target.is_some() {
+            return NativeResult::Throw {
+                class_name: "java/lang/IllegalStateException",
+                message: "Service.postAt requires the VM to run in a cluster".to_owned(),
+            };
+        }
+        if !vm.port.pumps.contains_key(name) {
+            return NativeResult::Throw {
+                class_name: "java/lang/IllegalStateException",
+                message: format!("no service '{name}' (VM not attached to a cluster)"),
+            };
+        }
+        let call = vm.port.alloc_local_call();
+        vm.port.waiting.insert(call, Waiter::Future(fid));
+        vm.port.futures.insert(
+            fid,
+            FutureState {
+                owner: iso,
+                waiter: None,
+                slot: FutureSlot::Pending { call },
+            },
+        );
+        vm.trace_call_send(call, iso, tid, crate::trace::EventKind::FuturePost);
+        let name_arc: Arc<str> = Arc::from(name);
+        vm.pump_enqueue(
+            &name_arc,
+            ReadyRequest {
+                call,
+                reply_to: ReplyTo::Local,
+                kind,
+                bytes,
+                oneway: false,
+            },
+        );
+        NativeResult::Return(Some(Value::Ref(fut)))
+    }
+}
+
+/// `Future.get`/`getObject`: returns (consuming the future), parks in
+/// [`ThreadState::BlockedOnFuture`] while pending, or throws on
+/// cancellation/failure. Single consumer: a second thread parking on
+/// the same future is rejected.
+fn future_get(vm: &mut Vm, tid: ThreadId, recv: Value, expected: PayloadKind) -> NativeResult {
+    let fid = match future_id(vm, recv) {
+        Ok(f) => f,
+        Err(e) => return e,
+    };
+    enum Disposition {
+        Park,
+        Busy,
+        Consumed,
+        Cancelled,
+        Ready,
+    }
+    let disp = match vm.port.futures.get_mut(&fid) {
+        None => Disposition::Consumed,
+        Some(f) => match f.slot {
+            FutureSlot::Pending { .. } => {
+                if f.waiter.is_some() {
+                    Disposition::Busy
+                } else {
+                    f.waiter = Some((tid, expected));
+                    Disposition::Park
+                }
+            }
+            FutureSlot::Cancelled => Disposition::Cancelled,
+            FutureSlot::Ready(_) => Disposition::Ready,
+        },
+    };
+    match disp {
+        Disposition::Park => {
+            vm.threads[tid.0 as usize].state = ThreadState::BlockedOnFuture { future: fid };
+            NativeResult::BlockPending
+        }
+        Disposition::Busy => NativeResult::Throw {
+            class_name: "java/lang/IllegalStateException",
+            message: "future already has a waiter".to_owned(),
+        },
+        Disposition::Consumed => NativeResult::Throw {
+            class_name: "java/lang/IllegalStateException",
+            message: "future already consumed".to_owned(),
+        },
+        Disposition::Cancelled => NativeResult::Throw {
+            class_name: "java/lang/IllegalStateException",
+            message: "future cancelled".to_owned(),
+        },
+        Disposition::Ready => match consume_ready(vm, tid, fid, expected) {
+            GetOutcome::Value(v) => NativeResult::Return(Some(v)),
+            GetOutcome::Failure {
+                class_name,
+                message,
+            } => NativeResult::Throw {
+                class_name,
+                message,
+            },
+        },
+    }
+}
+
+/// `Future.cancel`: drops the reply routing of a still-pending future so
+/// the late reply is discarded. Returns `true` only when the cancel won
+/// the race with the reply; a parked getter (another thread) is woken
+/// with an `IllegalStateException`.
+fn future_cancel(vm: &mut Vm, tid: ThreadId, recv: Value) -> NativeResult {
+    let fid = match future_id(vm, recv) {
+        Ok(f) => f,
+        Err(e) => return e,
+    };
+    let pending = match vm.port.futures.get_mut(&fid) {
+        Some(f) => {
+            if let FutureSlot::Pending { call } = f.slot {
+                f.slot = FutureSlot::Cancelled;
+                Some((call, f.waiter.take()))
+            } else {
+                None
+            }
+        }
+        None => None,
+    };
+    let Some((call, waiter)) = pending else {
+        return NativeResult::Return(Some(Value::Int(0)));
+    };
+    if call != 0 {
+        vm.port.waiting.remove(&call);
+    }
+    let iso = vm.threads[tid.0 as usize].current_isolate;
+    vm.trace_emit(
+        crate::trace::EventKind::FutureCancel,
+        Some(iso),
+        Some(tid),
+        call,
+    );
+    if let Some((wtid, _)) = waiter {
+        if vm.threads[wtid.0 as usize].state == (ThreadState::BlockedOnFuture { future: fid }) {
+            let ex = crate::interp::alloc_exception(
+                vm,
+                wtid,
+                "java/lang/IllegalStateException",
+                "future cancelled",
+            );
+            vm.threads[wtid.0 as usize].pending_exception = Some(ex);
+            vm.wake(wtid);
+        }
+    }
+    NativeResult::Return(Some(Value::Int(1)))
+}
+
+/// `Future.isDone`: resolved, cancelled or already consumed.
+fn future_is_done(vm: &mut Vm, recv: Value) -> NativeResult {
+    let fid = match future_id(vm, recv) {
+        Ok(f) => f,
+        Err(e) => return e,
+    };
+    let done = match vm.port.futures.get(&fid) {
+        None => true, // consumed
+        Some(f) => !matches!(f.slot, FutureSlot::Pending { .. }),
+    };
+    NativeResult::Return(Some(Value::Int(done as i32)))
+}
+
 const PUB: AccessFlags = AccessFlags::PUBLIC;
 const PUBSTATIC: AccessFlags = AccessFlags(AccessFlags::PUBLIC.0 | AccessFlags::STATIC.0);
 
@@ -1163,8 +2172,28 @@ pub fn service_class() -> ClassFile {
         PUBSTATIC,
     );
     cb.native_method("callAt", "(ILjava/lang/String;I)I", PUBSTATIC);
+    cb.native_method("post", "(Ljava/lang/String;I)Lijvm/Future;", PUBSTATIC);
+    cb.native_method(
+        "post",
+        "(Ljava/lang/String;Ljava/lang/Object;)Lijvm/Future;",
+        PUBSTATIC,
+    );
+    cb.native_method("postAt", "(ILjava/lang/String;I)Lijvm/Future;", PUBSTATIC);
     cb.native_method("unit", "()I", PUBSTATIC);
     cb.build().expect("ijvm/Service")
+}
+
+/// `ijvm/Future`: a pending cross-unit reply, created by `Service.post`.
+/// The guest object carries only an id; the reply routing lives in the
+/// VM's port state. No public constructor — only `post` mints them.
+pub fn future_class() -> ClassFile {
+    let mut cb = ClassBuilder::new("ijvm/Future", "java/lang/Object", PUB | AccessFlags::FINAL);
+    cb.field("id", "I", AccessFlags::PRIVATE);
+    cb.native_method("get", "()I", PUB);
+    cb.native_method("getObject", "()Ljava/lang/Object;", PUB);
+    cb.native_method("isDone", "()Z", PUB);
+    cb.native_method("cancel", "()Z", PUB);
+    cb.build().expect("ijvm/Future")
 }
 
 /// `ijvm/Port`: the one-way message surface.
@@ -1278,6 +2307,81 @@ fn register_natives(vm: &mut Vm) {
     );
     vm.register_native(
         svc,
+        "post",
+        "(Ljava/lang/String;I)Lijvm/Future;",
+        Arc::new(|vm, tid, args| {
+            let name = match read_name(vm, args[0]) {
+                Ok(n) => n,
+                Err(e) => return e,
+            };
+            port_post(vm, tid, None, &name, PayloadKind::Int, args[1])
+        }),
+    );
+    vm.register_native(
+        svc,
+        "post",
+        "(Ljava/lang/String;Ljava/lang/Object;)Lijvm/Future;",
+        Arc::new(|vm, tid, args| {
+            let name = match read_name(vm, args[0]) {
+                Ok(n) => n,
+                Err(e) => return e,
+            };
+            port_post(vm, tid, None, &name, PayloadKind::Obj, args[1])
+        }),
+    );
+    vm.register_native(
+        svc,
+        "postAt",
+        "(ILjava/lang/String;I)Lijvm/Future;",
+        Arc::new(|vm, tid, args| {
+            let unit = args[0].as_int();
+            if unit < 0 {
+                return NativeResult::Throw {
+                    class_name: "java/lang/IllegalArgumentException",
+                    message: format!("bad unit address {unit}"),
+                };
+            }
+            let name = match read_name(vm, args[1]) {
+                Ok(n) => n,
+                Err(e) => return e,
+            };
+            port_post(
+                vm,
+                tid,
+                Some(UnitId::new(unit as u32)),
+                &name,
+                PayloadKind::Int,
+                args[2],
+            )
+        }),
+    );
+    let fut = "ijvm/Future";
+    vm.register_native(
+        fut,
+        "get",
+        "()I",
+        Arc::new(|vm, tid, args| future_get(vm, tid, args[0], PayloadKind::Int)),
+    );
+    vm.register_native(
+        fut,
+        "getObject",
+        "()Ljava/lang/Object;",
+        Arc::new(|vm, tid, args| future_get(vm, tid, args[0], PayloadKind::Obj)),
+    );
+    vm.register_native(
+        fut,
+        "isDone",
+        "()Z",
+        Arc::new(|vm, _tid, args| future_is_done(vm, args[0])),
+    );
+    vm.register_native(
+        fut,
+        "cancel",
+        "()Z",
+        Arc::new(|vm, tid, args| future_cancel(vm, tid, args[0])),
+    );
+    vm.register_native(
+        svc,
         "unit",
         "()I",
         Arc::new(|vm, _tid, _args| {
@@ -1316,14 +2420,16 @@ fn register_natives(vm: &mut Vm) {
     );
 }
 
-/// Installs the `ijvm/Service` and `ijvm/Port` classes and their natives.
-/// Called by [`crate::bootstrap::install`], so the surface exists on
-/// every booted VM; the natives work unattached (same-VM services) and
-/// attach to a cluster hub on [`crate::sched::Cluster::submit`].
+/// Installs the `ijvm/Service`, `ijvm/Port` and `ijvm/Future` classes
+/// and their natives. Called by [`crate::bootstrap::install`], so the
+/// surface exists on every booted VM; the natives work unattached
+/// (same-VM services) and attach to a cluster hub on
+/// [`crate::sched::Cluster::submit`].
 pub fn install(vm: &mut Vm) -> crate::error::Result<()> {
     register_natives(vm);
     vm.install_system_class(&service_class())?;
     vm.install_system_class(&port_class())?;
+    vm.install_system_class(&future_class())?;
     Ok(())
 }
 
@@ -1331,20 +2437,25 @@ pub fn install(vm: &mut Vm) -> crate::error::Result<()> {
 mod tests {
     use super::*;
 
+    fn sent(r: Result<SendOutcome, SendError>) -> u64 {
+        match r.expect("send failed") {
+            SendOutcome::Sent(call) => call,
+            SendOutcome::OverQuota(_) => panic!("unexpected quota rejection"),
+        }
+    }
+
     #[test]
     fn hub_resolves_lowest_unit_and_parks_unresolved() {
         let hub = PortHub::default();
         // A call before any export parks in the hub...
-        let call = hub
-            .send_request(
-                UnitId::new(9),
-                None,
-                "svc",
-                PayloadKind::Int,
-                vec![1],
-                false,
-            )
-            .unwrap();
+        let call = sent(hub.send_request(
+            UnitId::new(9),
+            None,
+            "svc",
+            PayloadKind::Int,
+            vec![1],
+            false,
+        ));
         assert_eq!(hub.unresolved_requests(), 1);
         assert!(hub.quiescent());
         // ...and is routed on export.
@@ -1364,17 +2475,67 @@ mod tests {
             Some(Envelope::Request { call: c, .. }) if *c == call
         ));
         // New sends resolve to the lowest exporting unit.
-        hub.send_request(
+        sent(hub.send_request(
             UnitId::new(9),
             None,
             "svc",
             PayloadKind::Int,
             vec![2],
             false,
-        )
-        .unwrap();
+        ));
         assert!(hub.has_mail(UnitId::new(1)));
         assert!(!hub.has_mail(UnitId::new(2)));
+    }
+
+    #[test]
+    fn hub_quota_parks_senders_and_releases_wake_them() {
+        let hub = PortHub::with_quota(MailboxQuota {
+            max_messages: 2,
+            max_bytes: 1024,
+        });
+        let dest = UnitId::new(0);
+        let sender = UnitId::new(3);
+        hub.export(dest, Arc::from("svc"), IsolateId(0));
+        // Two admissions fill the quota...
+        sent(hub.send_request(sender, None, "svc", PayloadKind::Int, vec![1], false));
+        sent(hub.send_request(sender, None, "svc", PayloadKind::Int, vec![2], false));
+        // ...the third bounces with its payload handed back, and the
+        // sender is registered for a wake-up token.
+        match hub
+            .send_request(sender, None, "svc", PayloadKind::Int, vec![3], false)
+            .unwrap()
+        {
+            SendOutcome::OverQuota(bytes) => assert_eq!(bytes, vec![3]),
+            SendOutcome::Sent(_) => panic!("expected quota rejection"),
+        }
+        assert!(!hub.retry_ready(sender), "destination still full");
+        let stats = hub.stats();
+        let row = &stats.mailboxes[0];
+        assert_eq!(
+            (row.queued, row.admitted_messages, row.parked_senders),
+            (2, 2, 1)
+        );
+        // Draining the mailbox alone releases nothing — capacity returns
+        // only when the destination reports the requests served.
+        let mut mail = Vec::new();
+        hub.take_mail_into(dest, &mut mail);
+        assert_eq!(mail.len(), 2);
+        assert!(!hub.retry_ready(sender));
+        let mut woken = Vec::new();
+        hub.drain_woken_into(&mut woken);
+        assert_eq!(woken, vec![0]);
+        // The boundary flush returns capacity and wakes the sender.
+        let mut outbox = Vec::new();
+        hub.flush_boundary(dest, &mut outbox, 2, 2);
+        assert!(hub.retry_ready(sender));
+        assert!(hub.has_woken());
+        woken.clear();
+        hub.drain_woken_into(&mut woken);
+        assert_eq!(woken, vec![3]);
+        // The sender's retry sweep clears its registration.
+        hub.clear_quota_waits(sender);
+        assert!(!hub.retry_ready(sender));
+        sent(hub.send_request(sender, None, "svc", PayloadKind::Int, vec![3], false));
     }
 
     #[test]

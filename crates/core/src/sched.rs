@@ -71,7 +71,7 @@
 
 use crate::accounting::{ClusterAccounts, WorkerCpuBuffer};
 use crate::ids::IsolateId;
-use crate::port::PortHub;
+use crate::port::{HubStats, MailboxQuota, PortHub};
 use crate::trace::{
     clamp_id, ClusterMetrics, EventKind, TraceEvent, TraceRing, TraceSink, VmMetrics, TRACE_NONE,
     WORKER_RING_CAPACITY,
@@ -261,6 +261,10 @@ pub struct ClusterOutcome {
     /// every worker's scheduler ring, drained at collection time. Empty
     /// when tracing was off.
     pub trace_events: Vec<TraceEvent>,
+    /// Final read-only hub snapshot: services still exported, mailbox
+    /// depths and quota accounting at wrap-up (see
+    /// [`Cluster::hub_stats`] for the mid-build equivalent).
+    pub hub_stats: HubStats,
 }
 
 impl ClusterOutcome {
@@ -395,6 +399,7 @@ pub struct ClusterBuilder {
     kind: SchedulerKind,
     slice: u64,
     vm_options: VmOptions,
+    mailbox_quota: MailboxQuota,
 }
 
 impl Default for ClusterBuilder {
@@ -403,6 +408,7 @@ impl Default for ClusterBuilder {
             kind: SchedulerKind::Deterministic,
             slice: DEFAULT_SLICE,
             vm_options: VmOptions::isolated(),
+            mailbox_quota: MailboxQuota::UNBOUNDED,
         }
     }
 }
@@ -438,6 +444,21 @@ impl ClusterBuilder {
         self
     }
 
+    /// Caps every unit's mailbox at `max_messages` admitted-but-unserved
+    /// requests and `max_bytes` of serialized payload. Over-quota senders
+    /// are *parked* (their green thread blocks in the send, already
+    /// charged sender-pays for the payload) and retried at quantum
+    /// boundaries as the destination drains — flow control, not failure.
+    /// Replies are exempt so request/reply cycles cannot deadlock. The
+    /// default is [`MailboxQuota::UNBOUNDED`].
+    pub fn mailbox_quota(mut self, max_messages: u32, max_bytes: u64) -> ClusterBuilder {
+        self.mailbox_quota = MailboxQuota {
+            max_messages,
+            max_bytes,
+        };
+        self
+    }
+
     /// Builds the cluster (empty; `submit` units next).
     pub fn build(self) -> Cluster {
         Cluster {
@@ -446,7 +467,7 @@ impl ClusterBuilder {
             vm_defaults: self.vm_options,
             units: Vec::new(),
             ctl: ClusterCtl::default(),
-            hub: Arc::new(PortHub::default()),
+            hub: Arc::new(PortHub::with_quota(self.mailbox_quota)),
         }
     }
 }
@@ -470,6 +491,12 @@ impl Cluster {
     }
 
     /// Shorthand for `Cluster::builder().scheduler(kind).build()`.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Cluster::builder().scheduler(kind).build()` — the \
+                builder is the one construction path and also carries the \
+                flow-control knobs (`ClusterBuilder::mailbox_quota`)"
+    )]
     pub fn new(kind: SchedulerKind) -> Cluster {
         Cluster::builder().scheduler(kind).build()
     }
@@ -485,6 +512,11 @@ impl Cluster {
 
     /// Overrides the per-slice instruction budget (shorthand for the
     /// builder's [`ClusterBuilder::slice`]).
+    #[deprecated(
+        since = "0.3.0",
+        note = "configure the slice up front with `ClusterBuilder::slice` \
+                instead of mutating a built cluster"
+    )]
     pub fn with_slice(mut self, slice: u64) -> Cluster {
         self.slice = slice.max(1);
         self
@@ -496,10 +528,14 @@ impl Cluster {
         &self.vm_defaults
     }
 
-    /// The cluster's shared message hub (introspection: exported
-    /// services, parked requests).
-    pub fn hub(&self) -> Arc<PortHub> {
-        Arc::clone(&self.hub)
+    /// A read-only snapshot of the cluster's message hub: exported
+    /// services, per-unit mailbox depths and quota accounting, unresolved
+    /// requests. This replaces the old `Cluster::hub()` accessor, which
+    /// leaked the hub's internals (`Arc<PortHub>`) into embedder code;
+    /// the hub itself is now crate-private. [`ClusterOutcome::hub_stats`]
+    /// carries the final snapshot past [`Cluster::run`].
+    pub fn hub_stats(&self) -> HubStats {
+        self.hub.stats()
     }
 
     /// Submits a prepared VM (isolates created, entry threads spawned via
@@ -955,6 +991,11 @@ impl Shared {
             unit.vm.port_drain();
 
             let outcome = unit.vm.run(Some(self.slice));
+            // Quantum-boundary coalescing: replies buffered during the
+            // slice post to the hub in one lock acquisition, and the
+            // slice's served requests release their quota (waking any
+            // parked senders) at the same time.
+            unit.vm.port_quantum_flush();
             unit.slices += 1;
             unit.harvest_cpu(&mut buffer);
 
@@ -978,7 +1019,17 @@ impl Shared {
                         // check (seen here) or leaves a wake-up token a
                         // later sweep resolves against the parked entry.
                         let mut parked = self.parked_units.lock().unwrap();
-                        if self.hub.has_mail(unit.id) {
+                        // `retry_ready` mirrors the mailbox re-check for
+                        // quota-parked sends: a destination may have
+                        // drained (pushing this unit's wake-up token)
+                        // while the slice ran, and the token sweep drops
+                        // tokens for units that are not parked yet. The
+                        // probe is gated on the VM-side pending-send
+                        // queue so the common no-quota park pays no
+                        // second hub lock.
+                        if self.hub.has_mail(unit.id)
+                            || (unit.vm.port_has_pending_sends() && self.hub.retry_ready(unit.id))
+                        {
                             drop(parked);
                             self.queues[w].lock().unwrap().push_back(unit);
                         } else {
@@ -1003,6 +1054,7 @@ impl Shared {
                         // would leave the cluster unable to quiesce.
                         if self.hub.has_mail(unit.id) {
                             unit.vm.port_drain_force();
+                            unit.vm.port_quantum_flush();
                         }
                         if let Some(wt) = wt.as_mut() {
                             wt.emit(
@@ -1081,6 +1133,7 @@ impl Shared {
             migrations,
             metrics,
             trace_events,
+            hub_stats: self.hub.stats(),
         }
     }
 }

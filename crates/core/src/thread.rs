@@ -201,6 +201,19 @@ pub enum ThreadState {
         /// The in-flight call this thread is waiting on.
         call: u64,
     },
+    /// Parked inside `ijvm/Future.get` awaiting resolution of the given
+    /// future id (see [`crate::port`]). The reply routes by request id to
+    /// the future, which pushes the decoded value (or a pending
+    /// exception) and wakes the thread.
+    BlockedOnFuture {
+        /// The future this thread is waiting on.
+        future: u32,
+    },
+    /// Parked inside a send (`Service.call`/`post`, `Port.send`) because
+    /// the destination unit's mailbox is over its quota. The serialized
+    /// payload is already charged and queued VM-side; the send is retried
+    /// at quantum boundaries once the destination drains below quota.
+    BlockedOnQuota,
     /// A service pump thread parked with no request to serve (see
     /// [`crate::port`]). Never runnable in this state; dispatching a
     /// request pushes a handler frame and wakes it.

@@ -134,6 +134,20 @@ pub enum EventKind {
     UnitFinish = 19,
     /// A pending kill was delivered to a unit; `isolate` = target.
     UnitKill = 20,
+    /// An async `Service.post` was sent; payload = the hub call id.
+    FuturePost = 21,
+    /// A reply resolved a pending future; payload = the call's
+    /// round-trip latency in vclock ticks (caller-side).
+    FutureResolve = 22,
+    /// A pending future was cancelled before its reply arrived;
+    /// payload = the hub call id.
+    FutureCancel = 23,
+    /// A sender parked because the destination unit's mailbox was over
+    /// quota; payload = the serialized request size in bytes.
+    QuotaPark = 24,
+    /// A quota-parked send was retried successfully and the sender
+    /// unparked; payload = the hub call id (0 for oneways).
+    QuotaUnpark = 25,
 }
 
 impl EventKind {
@@ -161,6 +175,11 @@ impl EventKind {
             EventKind::UnitUnpark => "unit_unpark",
             EventKind::UnitFinish => "unit_finish",
             EventKind::UnitKill => "unit_kill",
+            EventKind::FuturePost => "future_post",
+            EventKind::FutureResolve => "future_resolve",
+            EventKind::FutureCancel => "future_cancel",
+            EventKind::QuotaPark => "quota_park",
+            EventKind::QuotaUnpark => "quota_unpark",
         }
     }
 }
@@ -387,6 +406,16 @@ pub struct VmMetrics {
     pub replies_sent: u64,
     /// Replies delivered to this VM's blocked callers.
     pub replies_delivered: u64,
+    /// Async hub posts sent (`Service.post`).
+    pub posts_sent: u64,
+    /// Pending futures resolved by a reply.
+    pub futures_resolved: u64,
+    /// Pending futures cancelled before their reply arrived.
+    pub futures_cancelled: u64,
+    /// Sends parked because the destination mailbox was over quota.
+    pub quota_parks: u64,
+    /// Quota-parked sends that were retried successfully.
+    pub quota_unparks: u64,
     /// Services exported on the hub.
     pub services_exported: u64,
     /// Services revoked.
@@ -421,6 +450,11 @@ impl VmMetrics {
         self.calls_served += other.calls_served;
         self.replies_sent += other.replies_sent;
         self.replies_delivered += other.replies_delivered;
+        self.posts_sent += other.posts_sent;
+        self.futures_resolved += other.futures_resolved;
+        self.futures_cancelled += other.futures_cancelled;
+        self.quota_parks += other.quota_parks;
+        self.quota_unparks += other.quota_unparks;
         self.services_exported += other.services_exported;
         self.services_revoked += other.services_revoked;
         self.mailbox_high_water = self.mailbox_high_water.max(other.mailbox_high_water);

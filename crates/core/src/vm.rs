@@ -57,7 +57,7 @@ pub struct VmOptions {
     /// mode; separable so benchmarks can ablate accounting cost.
     pub accounting: bool,
     /// Cluster scheduling mode (see [`crate::sched::SchedulerKind`]).
-    /// Consulted by [`crate::sched::Cluster::from_options`]; a single
+    /// Consulted by [`crate::sched::ClusterBuilder::vm_options`]; a single
     /// `Vm` always runs its own green threads deterministically —
     /// parallelism is across `Send` VM units, never inside one.
     pub scheduler: crate::sched::SchedulerKind,
@@ -1105,6 +1105,8 @@ impl Vm {
                 ThreadState::Sleeping { .. }
                 | ThreadState::WaitingOnMonitor(_)
                 | ThreadState::BlockedOnPort { .. }
+                | ThreadState::BlockedOnFuture { .. }
+                | ThreadState::BlockedOnQuota
                     if t.interrupted =>
                 {
                     // Interrupt pulls the thread out of its park with an
@@ -1362,6 +1364,11 @@ impl Vm {
             m.calls_served = ts.kind_count(K::CallDeliver);
             m.replies_sent = ts.kind_count(K::ReplySend);
             m.replies_delivered = ts.kind_count(K::ReplyDeliver);
+            m.posts_sent = ts.kind_count(K::FuturePost);
+            m.futures_resolved = ts.kind_count(K::FutureResolve);
+            m.futures_cancelled = ts.kind_count(K::FutureCancel);
+            m.quota_parks = ts.kind_count(K::QuotaPark);
+            m.quota_unparks = ts.kind_count(K::QuotaUnpark);
             m.services_exported = ts.kind_count(K::ServiceExport);
             m.services_revoked = ts.kind_count(K::ServiceRevoke);
             m.mailbox_high_water = ts.mailbox_high_water;
@@ -1473,29 +1480,40 @@ impl Vm {
         }
     }
 
-    /// Records a blocking `Service.call` send, remembering its send-time
-    /// vclock so [`Vm::trace_reply_deliver`] can compute the round trip.
+    /// Records an outbound cross-unit request (`kind` distinguishes a
+    /// blocking `Service.call` from a pipelined `Service.post`),
+    /// remembering its send-time vclock so [`Vm::trace_reply_deliver`]
+    /// can compute the round trip.
     #[inline]
-    pub(crate) fn trace_call_send(&mut self, call: u64, iso: IsolateId, tid: ThreadId) {
+    pub(crate) fn trace_call_send(
+        &mut self,
+        call: u64,
+        iso: IsolateId,
+        tid: ThreadId,
+        kind: crate::trace::EventKind,
+    ) {
         if self.trace_enabled {
             let vclock = self.vclock;
             if let Some(ts) = self.trace.as_mut() {
                 ts.call_starts.push((call, vclock));
             }
-            self.trace_emit_cold(
-                crate::trace::EventKind::CallSend,
-                Some(iso),
-                Some(tid),
-                call,
-            );
+            self.trace_emit_cold(kind, Some(iso), Some(tid), call);
         }
     }
 
-    /// Records a reply reaching its blocked caller; the event payload is
-    /// the call's round-trip latency in vclock ticks, which also feeds
-    /// the [`crate::trace::LatencyHistogram`] behind [`Vm::metrics`].
+    /// Records a reply reaching its destination — a blocked caller
+    /// (`ReplyDeliver`) or a pending future (`FutureResolve`); the event
+    /// payload is the call's round-trip latency in vclock ticks, which
+    /// also feeds the [`crate::trace::LatencyHistogram`] behind
+    /// [`Vm::metrics`]. `tid` may be `ThreadId(u32::MAX)` when no thread
+    /// is parked on the future (the clamp maps it to "no thread").
     #[inline]
-    pub(crate) fn trace_reply_deliver(&mut self, call: u64, tid: ThreadId) {
+    pub(crate) fn trace_reply_deliver(
+        &mut self,
+        call: u64,
+        tid: ThreadId,
+        kind: crate::trace::EventKind,
+    ) {
         if self.trace_enabled {
             let vclock = self.vclock;
             let mut latency = 0;
@@ -1505,12 +1523,7 @@ impl Vm {
                 }
                 ts.call_latency.record(latency);
             }
-            self.trace_emit_cold(
-                crate::trace::EventKind::ReplyDeliver,
-                None,
-                Some(tid),
-                latency,
-            );
+            self.trace_emit_cold(kind, None, Some(tid), latency);
         }
     }
 

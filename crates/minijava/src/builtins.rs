@@ -257,7 +257,40 @@ pub fn register(env: &mut Env) {
             m("call", &[s(), Ty::Int], Ty::Int, true),
             m("call", &[s(), obj()], obj(), true),
             m("callAt", &[Ty::Int, s(), Ty::Int], Ty::Int, true),
+            m(
+                "post",
+                &[s(), Ty::Int],
+                Ty::Object("ijvm/Future".into()),
+                true,
+            ),
+            m(
+                "post",
+                &[s(), obj()],
+                Ty::Object("ijvm/Future".into()),
+                true,
+            ),
+            m(
+                "postAt",
+                &[Ty::Int, s(), Ty::Int],
+                Ty::Object("ijvm/Future".into()),
+                true,
+            ),
             m("unit", &[], Ty::Int, true),
+        ],
+    ));
+    // The pipelined half of the service surface: `Service.post` returns
+    // one of these immediately; `get` parks until the reply routes back
+    // by request id.
+    env.add_class(class(
+        "ijvm/Future",
+        Some("java/lang/Object"),
+        &[],
+        vec![],
+        vec![
+            m("get", &[], Ty::Int, false),
+            m("getObject", &[], obj(), false),
+            m("isDone", &[], Ty::Boolean, false),
+            m("cancel", &[], Ty::Boolean, false),
         ],
     ));
     env.add_class(class(

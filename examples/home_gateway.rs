@@ -200,13 +200,18 @@ fn main() {
         .build();
     let gateway_unit = cluster.submit(fw.into_vm());
     let billing_unit = cluster.submit(billing_fw.into_vm());
-    let hub = cluster.hub();
     let mut outcome = cluster.run();
 
     for line in outcome.unit_mut(&billing_unit).vm.take_console() {
         println!("[billing/unit1] {line}");
     }
-    println!("cross-unit services exported: {:?}", hub.service_names());
+    let exported: Vec<(u32, &str)> = outcome
+        .hub_stats
+        .services
+        .iter()
+        .map(|s| (s.unit, s.name.as_str()))
+        .collect();
+    println!("cross-unit services exported: {exported:?}");
     let meter_iso = outcome
         .unit(&gateway_unit)
         .vm
