@@ -186,6 +186,7 @@ impl WorkerCpuBuffer {
 
 /// A labelled snapshot of one isolate's counters, for administrators.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct IsolateSnapshot {
     /// The isolate.
     pub isolate: IsolateId,

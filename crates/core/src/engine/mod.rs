@@ -67,6 +67,7 @@ use std::cell::{Cell, OnceCell, RefCell};
 
 /// Which execution engine drives bytecode frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
 pub enum EngineKind {
     /// Decode classfile bytes on every instruction (the seed interpreter;
     /// kept for ablation and differential testing).

@@ -9,6 +9,7 @@ pub type Result<T> = std::result::Result<T, VmError>;
 /// Errors surfaced to the embedding host (not Java exceptions; those are
 /// heap objects delivered through the interpreter's unwinding machinery).
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum VmError {
     /// A class could not be found on the loader's class path.
     ClassNotFound {

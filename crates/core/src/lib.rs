@@ -75,6 +75,12 @@ pub mod vm;
 pub mod vmrc;
 pub mod wire;
 
+// Concurrency models over the crate-private cluster protocols; see the
+// module docs for the `--cfg loom` invocation and the offline-stub
+// semantics.
+#[cfg(all(test, loom))]
+mod loom_models;
+
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use crate::accounting::{IsolateSnapshot, ResourceStats};

@@ -72,6 +72,8 @@ use crate::thread::{ThreadState, VmThread};
 use crate::value::{GcRef, Value};
 use crate::vm::Vm;
 use ijvm_classfile::{AccessFlags, ClassBuilder, ClassFile};
+// lint: allow(determinism) — import only; each HashMap field below
+// carries its own iteration-order justification.
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
@@ -177,6 +179,7 @@ pub(crate) enum SendOutcome {
 /// exempt — a full mailbox must never stop a reply from unblocking its
 /// caller, or two units calling each other could deadlock on quota.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct MailboxQuota {
     /// Maximum admitted-but-unserved requests per destination unit.
     pub max_messages: u32,
@@ -738,8 +741,14 @@ pub(crate) struct PortState {
     /// Set by [`crate::sched::Cluster::submit`].
     attach: Option<(UnitId, Arc<PortHub>)>,
     pumps: BTreeMap<Arc<str>, Pump>,
+    /// Reply routing by call id. Hot path (touched per call/reply), so
+    /// it stays a HashMap.
+    // lint: allow(determinism) — keyed insert/remove only, never
+    // iterated, so hash order is unobservable.
     waiting: HashMap<u64, Waiter>,
-    /// Live futures by id (the guest object's `id` field).
+    /// Live futures by id (the guest object's `id` field). Hot path.
+    // lint: allow(determinism) — keyed access; the one iteration
+    // (port_revoke_isolate) sorts the collected ids before acting.
     futures: HashMap<u32, FutureState>,
     /// Future-id allocator.
     next_future: u32,
@@ -1031,13 +1040,16 @@ impl Vm {
         for name in names {
             revoke_pump(self, &name);
         }
-        let dead: Vec<u32> = self
+        let mut dead: Vec<u32> = self
             .port
             .futures
             .iter()
             .filter(|(_, f)| f.owner == iso)
             .map(|(id, _)| *id)
             .collect();
+        // Collected from a HashMap: sort so the processing order (and
+        // anything it may ever feed) is independent of hash order.
+        dead.sort_unstable();
         for fid in dead {
             if let Some(f) = self.port.futures.remove(&fid) {
                 if let FutureSlot::Pending { call } = f.slot {
@@ -1582,6 +1594,7 @@ fn revoke_pump(vm: &mut Vm, name: &Arc<str>) {
 
 /// Why an export was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ExportError {
     /// The handler object has neither `handle(int)` nor `handle(Object)`.
     NoHandler(String),

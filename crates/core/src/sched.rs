@@ -77,7 +77,7 @@ use crate::trace::{
     WORKER_RING_CAPACITY,
 };
 use crate::vm::{RunOutcome, Vm, VmOptions};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -690,8 +690,12 @@ struct Shared {
     outstanding: AtomicUsize,
     /// Units currently held by a worker (popped, not yet disposed).
     running: AtomicUsize,
-    /// Units parked off the queues, keyed by unit index.
-    parked_units: Mutex<HashMap<u32, ParkedUnit>>,
+    /// Units parked off the queues, keyed by unit index. A `BTreeMap`
+    /// on purpose: [`Shared::try_quiesce`] iterates it to pick overdue
+    /// kills and to wrap up, and both requeue units — hash-iteration
+    /// order here would leak straight into requeue (and so delivery)
+    /// order under the deterministic scheduler.
+    parked_units: Mutex<BTreeMap<u32, ParkedUnit>>,
     /// Park/unpark for idle workers (paired with `parked`).
     parked: Mutex<()>,
     unpark: Condvar,
@@ -736,7 +740,7 @@ impl Shared {
             queues,
             outstanding: AtomicUsize::new(outstanding),
             running: AtomicUsize::new(0),
-            parked_units: Mutex::new(HashMap::new()),
+            parked_units: Mutex::new(BTreeMap::new()),
             parked: Mutex::new(()),
             unpark: Condvar::new(),
             idle_workers: AtomicUsize::new(0),
@@ -887,10 +891,9 @@ impl Shared {
         if parked.len() != self.outstanding.load(Ordering::SeqCst) {
             return false;
         }
-        // Wrap up, in UnitId order (deterministic).
-        let mut remaining: Vec<(u32, ParkedUnit)> = parked.drain().collect();
-        remaining.sort_by_key(|(id, _)| *id);
-        for (_, p) in remaining {
+        // Wrap up, in UnitId order (BTreeMap iteration is already
+        // key-ordered — deterministic).
+        for (_, p) in std::mem::take(&mut *parked) {
             if let Some(wt) = wt.as_mut() {
                 wt.emit(
                     EventKind::UnitFinish,

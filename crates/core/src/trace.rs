@@ -36,6 +36,12 @@
 //! open it in `chrome://tracing` or <https://ui.perfetto.dev>.
 
 use crate::accounting::IsolateSnapshot;
+// The single sanctioned wall-clock import of the deterministic core:
+// WallClock stamps `wall_us` for human trace correlation and nothing
+// downstream ever reads it back. Everything else runs on vclock.
+// lint: allow(determinism) — see WallClock below; clippy's
+// disallowed-types ban is lifted for exactly this import and use.
+#[allow(clippy::disallowed_types)]
 use std::time::Instant;
 
 /// Tracing mode, set via [`crate::vm::VmOptions::trace`] /
@@ -81,6 +87,7 @@ pub const TRACE_NONE: u8 = u8::MAX;
 /// export.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
+#[non_exhaustive]
 pub enum EventKind {
     /// A scheduling quantum ended; payload = instructions consumed.
     QuantumEnd = 0,
@@ -529,12 +536,14 @@ const WALL_REFRESH_TICKS: u64 = 256;
 /// bounded by the wall time the guest takes to retire the refresh
 /// window (sub-µs on the interpreter's hot paths).
 #[derive(Debug)]
+#[allow(clippy::disallowed_types)]
 pub(crate) struct WallClock {
     epoch: Instant,
     cached_us: u32,
     next_refresh: u64,
 }
 
+#[allow(clippy::disallowed_types)]
 impl WallClock {
     pub(crate) fn new() -> WallClock {
         WallClock {

@@ -18,6 +18,8 @@ use crate::natives::{NativeFn, NativeRegistry};
 use crate::thread::{Frame, ThreadState, VmThread};
 use crate::value::{GcRef, Value};
 use ijvm_classfile::{AccessFlags, ClassFile, MethodDescriptor};
+// lint: allow(determinism) — import only; every HashMap/HashSet below
+// is keyed lookup (insert/get/contains), never iterated.
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -154,6 +156,8 @@ pub struct Loader {
     /// `true` only for the bootstrap loader.
     pub is_system: bool,
     /// name → class-file bytes.
+    // lint: allow(determinism) — probed by class name during loading,
+    // never iterated; hash order is unobservable.
     pub classpath: HashMap<String, Vec<u8>>,
     /// Loaders consulted after bootstrap delegation (bundle imports).
     pub delegates: Vec<LoaderId>,
@@ -161,6 +165,7 @@ pub struct Loader {
 
 /// Why [`Vm::run`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RunOutcome {
     /// No thread is runnable or sleeping: all work finished.
     Idle,
@@ -202,7 +207,12 @@ pub struct Vm {
     pub(crate) options: VmOptions,
     pub(crate) heap: Heap,
     pub(crate) classes: Vec<RuntimeClass>,
+    // lint: allow(determinism) — keyed get/insert only, never iterated
+    // (class iteration goes through the `classes` Vec, in ClassId
+    // order).
     pub(crate) class_index: HashMap<(LoaderId, String), ClassId>,
+    // lint: allow(determinism) — insert/contains/remove cycle guard,
+    // never iterated.
     pub(crate) loading: HashSet<(LoaderId, String)>,
     pub(crate) loaders: Vec<Loader>,
     pub(crate) isolates: Vec<Isolate>,
@@ -251,6 +261,8 @@ impl Vm {
             name: "bootstrap".to_owned(),
             isolate: IsolateId::ISOLATE0,
             is_system: true,
+            // lint: allow(determinism) — constructor of the field
+            // justified at its declaration.
             classpath: HashMap::new(),
             delegates: Vec::new(),
         };
@@ -258,7 +270,10 @@ impl Vm {
             options,
             heap: Heap::new(),
             classes: Vec::new(),
+            // lint: allow(determinism) — constructors of the fields
+            // justified at their declarations.
             class_index: HashMap::new(),
+            // lint: allow(determinism) — as above.
             loading: HashSet::new(),
             loaders: vec![bootstrap],
             isolates: Vec::new(),
@@ -308,6 +323,8 @@ impl Vm {
             name: format!("loader:{name}"),
             isolate: iso,
             is_system: false,
+            // lint: allow(determinism) — constructor of the field
+            // justified at its declaration.
             classpath: HashMap::new(),
             delegates: Vec::new(),
         });

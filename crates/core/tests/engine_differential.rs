@@ -189,7 +189,10 @@ fn run_in_cluster(
     let outcome = match finished.report.outcome {
         RunOutcome::Deadlock | RunOutcome::Blocked => Err(ijvm_core::VmError::Deadlock),
         RunOutcome::BudgetExhausted => Err(ijvm_core::VmError::BudgetExhausted),
-        RunOutcome::Idle => vm.thread_outcome(tid),
+        // The wildcard covers Idle (and, RunOutcome being
+        // #[non_exhaustive], any future outcome defaults to "ran to
+        // completion, read the thread result").
+        _ => vm.thread_outcome(tid),
     };
     // The cluster aggregate (fed only by worker buffers draining at
     // migration points) must agree with the in-VM exact counters.

@@ -413,7 +413,9 @@ fn cross_worker_termination_stops_spinning_unit() {
     let unit = cluster.submit(vm);
     let killer_handle = unit.clone();
     let killer = std::thread::spawn(move || {
-        // Let the hog actually run a few quanta first.
+        // Let the hog actually run a few quanta first. A host-side test
+        // driver thread may sleep — the clippy ban targets VM code.
+        #[allow(clippy::disallowed_methods)]
         std::thread::sleep(std::time::Duration::from_millis(20));
         killer_handle.terminate(IsolateId(0));
     });

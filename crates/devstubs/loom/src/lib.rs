@@ -1,0 +1,264 @@
+//! Offline stand-in for [loom](https://github.com/tokio-rs/loom).
+//!
+//! The build environment has no crates.io access, so the concurrency
+//! models in `ijvm-core` (compiled under `--cfg loom`) resolve their
+//! `loom` dependency to this crate. It mirrors the subset of loom's API
+//! the models use, with one honest difference in semantics:
+//!
+//! * **Real loom** explores every legal interleaving of a bounded model
+//!   exhaustively (DPOR over a modeled memory order).
+//! * **This stand-in** runs the model body many times on real OS
+//!   threads, injecting randomized preemption points at every wrapped
+//!   atomic/lock operation — a stress harness, not a proof.
+//!
+//! The API-compatible surface means an environment *with* network
+//! access can swap the workspace `loom` entry for the real crate and
+//! the models upgrade from stress testing to exhaustive checking
+//! without a source change. Until then the models still earn their
+//! keep: each iteration shuffles thread schedules, so ordering bugs in
+//! the protocols under test surface as (reproducibly re-runnable)
+//! assertion failures long before they would in CI's fixed schedules.
+//!
+//! Iteration count: `LOOM_MAX_PREEMPTIONS` is ignored; set
+//! `LOOM_STUB_ITERS` (default 64) to scale the stress budget.
+
+use std::cell::Cell;
+
+/// Runs `f` repeatedly (default 64 iterations, `LOOM_STUB_ITERS`
+/// overrides), with randomized preemption injected at every operation
+/// on this crate's sync wrappers. Signature-compatible with
+/// `loom::model`.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters = std::env::var("LOOM_STUB_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(64)
+        .max(1);
+    for seed in 0..iters {
+        // Different base seeds tilt the per-thread preemption streams so
+        // iterations do not all replay the same lucky schedule.
+        PREEMPT_SEED.with(|s| s.set(0x9E37_79B9u32.wrapping_mul(seed + 1) | 1));
+        f();
+    }
+}
+
+thread_local! {
+    static PREEMPT_SEED: Cell<u32> = const { Cell::new(0x2545_F491) };
+}
+
+/// A cheap xorshift coin flip; roughly 1-in-4 operations yield the OS
+/// scheduler, which is what actually shakes interleavings loose on a
+/// multi-core host (and forces requeuing even on one core).
+fn maybe_preempt() {
+    PREEMPT_SEED.with(|s| {
+        let mut x = s.get();
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        s.set(x);
+        if x & 3 == 0 {
+            std::thread::yield_now();
+        }
+    });
+}
+
+pub mod thread {
+    //! Preemption-seeded wrapper over [`std::thread`].
+
+    /// Spawns a thread whose preemption stream is seeded from the
+    /// spawner's, so sibling threads diverge.
+    pub fn spawn<F, T>(f: F) -> std::thread::JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let seed = super::PREEMPT_SEED.with(|s| s.get());
+        std::thread::spawn(move || {
+            super::PREEMPT_SEED.with(|s| s.set(seed.rotate_left(7) ^ 0xB529_7A4D));
+            f()
+        })
+    }
+
+    pub use std::thread::{yield_now, JoinHandle};
+}
+
+pub mod hint {
+    /// Loom's explicit schedule point; here a direct OS yield.
+    pub fn spin_loop() {
+        std::thread::yield_now();
+    }
+}
+
+pub mod sync {
+    //! Preemption-injecting wrappers over [`std::sync`] primitives.
+
+    pub use std::sync::Arc;
+
+    /// [`std::sync::Mutex`] with a preemption point before each lock
+    /// acquisition (the spot where real loom branches its schedules).
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        pub fn lock(&self) -> std::sync::LockResult<std::sync::MutexGuard<'_, T>> {
+            super::maybe_preempt();
+            self.0.lock()
+        }
+
+        pub fn try_lock(&self) -> std::sync::TryLockResult<std::sync::MutexGuard<'_, T>> {
+            self.0.try_lock()
+        }
+
+        pub fn into_inner(self) -> std::sync::LockResult<T> {
+            self.0.into_inner()
+        }
+    }
+
+    /// [`std::sync::Condvar`] with preemption points around waits and
+    /// notifies.
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        pub fn new() -> Condvar {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        pub fn wait<'a, T>(
+            &self,
+            guard: std::sync::MutexGuard<'a, T>,
+        ) -> std::sync::LockResult<std::sync::MutexGuard<'a, T>> {
+            self.0.wait(guard)
+        }
+
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: std::sync::MutexGuard<'a, T>,
+            dur: std::time::Duration,
+        ) -> std::sync::LockResult<(std::sync::MutexGuard<'a, T>, std::sync::WaitTimeoutResult)>
+        {
+            self.0.wait_timeout(guard, dur)
+        }
+
+        pub fn notify_one(&self) {
+            super::maybe_preempt();
+            self.0.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            super::maybe_preempt();
+            self.0.notify_all();
+        }
+    }
+
+    pub mod atomic {
+        //! Atomics with a preemption point before every access —
+        //! loom's schedule-branch points, approximated.
+
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! stub_atomic {
+            ($name:ident, $std:ty, $val:ty) => {
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    pub const fn new(v: $val) -> $name {
+                        $name(<$std>::new(v))
+                    }
+
+                    pub fn load(&self, order: Ordering) -> $val {
+                        crate::maybe_preempt();
+                        self.0.load(order)
+                    }
+
+                    pub fn store(&self, v: $val, order: Ordering) {
+                        crate::maybe_preempt();
+                        self.0.store(v, order);
+                    }
+
+                    pub fn swap(&self, v: $val, order: Ordering) -> $val {
+                        crate::maybe_preempt();
+                        self.0.swap(v, order)
+                    }
+
+                    pub fn fetch_add(&self, v: $val, order: Ordering) -> $val {
+                        crate::maybe_preempt();
+                        self.0.fetch_add(v, order)
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $val,
+                        new: $val,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$val, $val> {
+                        crate::maybe_preempt();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        stub_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        stub_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        stub_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+        /// `AtomicBool` (separate from the macro: no `fetch_add`).
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            pub const fn new(v: bool) -> AtomicBool {
+                AtomicBool(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            pub fn load(&self, order: Ordering) -> bool {
+                crate::maybe_preempt();
+                self.0.load(order)
+            }
+
+            pub fn store(&self, v: bool, order: Ordering) {
+                crate::maybe_preempt();
+                self.0.store(v, order);
+            }
+
+            pub fn swap(&self, v: bool, order: Ordering) -> bool {
+                crate::maybe_preempt();
+                self.0.swap(v, order)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn model_runs_and_threads_join() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let runs2 = Arc::clone(&runs);
+        super::model(move || {
+            let counter = Arc::new(Mutex::new(0u32));
+            let c = Arc::clone(&counter);
+            let t = super::thread::spawn(move || {
+                *c.lock().unwrap() += 1;
+            });
+            *counter.lock().unwrap() += 1;
+            t.join().unwrap();
+            assert_eq!(*counter.lock().unwrap(), 2);
+            runs2.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(runs.load(Ordering::Relaxed) >= 1, "model body ran");
+    }
+}

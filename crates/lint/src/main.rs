@@ -1,0 +1,17 @@
+//! Standalone entry point for the CI `lint` job: prints every
+//! violation and exits 1 if any exist. `cargo test -p ijvm-lint` runs
+//! the identical pass as an integration test.
+
+fn main() {
+    let root = ijvm_lint::workspace_root();
+    let violations = ijvm_lint::check_workspace(&root);
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    if violations.is_empty() {
+        println!("ijvm-lint: workspace clean");
+    } else {
+        eprintln!("ijvm-lint: {} violation(s)", violations.len());
+        std::process::exit(1);
+    }
+}

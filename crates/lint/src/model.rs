@@ -1,0 +1,365 @@
+//! The source model: a comment- and string-aware line scanner.
+//!
+//! The analyzer has no parser dependency (the build environment is
+//! offline, so `syn` is unavailable); instead each file is lexed into a
+//! per-line model that is exactly strong enough for the rule passes:
+//!
+//! * [`Line::code`] — the line's program text with comments removed and
+//!   string/char literal *contents* blanked (the delimiters remain, so
+//!   `"HashMap"` in a string can never trip the determinism rule);
+//! * [`Line::comment`] — the line's comment text (line comments, doc
+//!   comments and the slices of block comments crossing the line), where
+//!   `SAFETY:` justifications and `lint: allow(...)` annotations live.
+//!
+//! The scanner understands nested block comments, escapes, raw strings
+//! (`r"…"`, `r#"…"#`, with `b`/`c` prefixes) and the char-literal vs
+//! lifetime ambiguity (`'a'` vs `'a`), which is everything required to
+//! never misclassify a token's context.
+
+/// One scanned source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// The original text (used only where literal contents matter, e.g.
+    /// checking that a `#[deprecated]` note names a replacement).
+    pub raw: String,
+    /// Program text: comments stripped, literal contents blanked.
+    pub code: String,
+    /// Plain (`//`, `/* */`) comment text — where `SAFETY:` and
+    /// annotations live.
+    pub comment: String,
+    /// Doc-comment text (`///`, `//!`). Kept separate so documentation
+    /// *describing* the annotation grammar is never parsed as an
+    /// annotation.
+    pub doc: String,
+}
+
+impl Line {
+    /// `true` when the line carries comments but no program text.
+    pub fn is_comment_only(&self) -> bool {
+        self.code.trim().is_empty()
+            && !(self.comment.trim().is_empty() && self.doc.trim().is_empty())
+    }
+
+    /// `true` when the line carries neither program text nor comments.
+    pub fn is_blank(&self) -> bool {
+        self.code.trim().is_empty() && self.comment.trim().is_empty() && self.doc.trim().is_empty()
+    }
+
+    /// `true` when the line's program text is (the start of) an
+    /// attribute — rule passes walk through these when looking for the
+    /// comment block above an item.
+    pub fn is_attr(&self) -> bool {
+        let t = self.code.trim_start();
+        t.starts_with("#[") || t.starts_with("#![")
+    }
+}
+
+/// A scanned file: its workspace-relative path (always `/`-separated)
+/// and line model.
+#[derive(Debug)]
+pub struct SourceFile {
+    pub rel_path: String,
+    pub lines: Vec<Line>,
+}
+
+enum State {
+    Code,
+    /// `true` when the comment is a doc comment (`///` or `//!`).
+    LineComment(bool),
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Scans `text` into a [`SourceFile`].
+pub fn scan(rel_path: &str, text: &str) -> SourceFile {
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Code;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment(_)) {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        cur.raw.push(c);
+        match state {
+            State::Code => match c {
+                '/' if chars.get(i + 1) == Some(&'/') => {
+                    let is_doc = matches!(chars.get(i + 2), Some('/') | Some('!'));
+                    state = State::LineComment(is_doc);
+                    i += 1;
+                    cur.raw.push('/');
+                }
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    state = State::BlockComment(1);
+                    i += 1;
+                    cur.raw.push('*');
+                }
+                '"' => {
+                    cur.code.push('"');
+                    state = State::Str;
+                }
+                'r' | 'b' | 'c' if !prev_is_ident(&cur.code) || c == 'r' => {
+                    // Possible raw-string prefix: r"…", r#"…"#, br"…",
+                    // cr#"…"#. An `r` mid-identifier is excluded by the
+                    // word-boundary check; a failed match falls through
+                    // to plain identifier handling.
+                    if let Some((skip, hashes)) = raw_string_at(&chars, i, &cur.code) {
+                        cur.code.push('"');
+                        // chars[i] is already in `raw`; append the rest
+                        // of the prefix (`r#…#"`).
+                        for k in 1..skip {
+                            if let Some(&pc) = chars.get(i + k) {
+                                cur.raw.push(pc);
+                            }
+                        }
+                        i += skip;
+                        state = State::RawStr(hashes);
+                        continue;
+                    }
+                    cur.code.push(c);
+                }
+                '\'' => {
+                    // Lifetime (`'a`) or char literal (`'a'`, `'\n'`)?
+                    let n1 = chars.get(i + 1).copied();
+                    let n2 = chars.get(i + 2).copied();
+                    let is_char = match n1 {
+                        Some('\\') => true,
+                        Some(x) if x != '\'' => n2 == Some('\''),
+                        _ => false,
+                    };
+                    cur.code.push('\'');
+                    if is_char {
+                        state = State::CharLit;
+                    }
+                }
+                _ => cur.code.push(c),
+            },
+            State::LineComment(is_doc) => {
+                if is_doc {
+                    cur.doc.push(c);
+                } else {
+                    cur.comment.push(c);
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    cur.raw.push('*');
+                    cur.comment.push_str("/*");
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    cur.raw.push('/');
+                    i += 2;
+                    continue;
+                }
+                cur.comment.push(c);
+            }
+            State::Str => match c {
+                '\\' => {
+                    // Skip the escaped char (it may be a quote).
+                    if let Some(&e) = chars.get(i + 1) {
+                        if e != '\n' {
+                            cur.raw.push(e);
+                            i += 1;
+                        }
+                    }
+                }
+                '"' => {
+                    cur.code.push('"');
+                    state = State::Code;
+                }
+                _ => {}
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    for k in 0..hashes as usize {
+                        if let Some(&h) = chars.get(i + 1 + k) {
+                            cur.raw.push(h);
+                        }
+                    }
+                    i += hashes as usize;
+                    cur.code.push('"');
+                    state = State::Code;
+                }
+            }
+            State::CharLit => match c {
+                '\\' => {
+                    if let Some(&e) = chars.get(i + 1) {
+                        if e != '\n' {
+                            cur.raw.push(e);
+                            i += 1;
+                        }
+                    }
+                }
+                '\'' => {
+                    cur.code.push('\'');
+                    state = State::Code;
+                }
+                _ => {}
+            },
+        }
+        i += 1;
+    }
+    if !cur.raw.is_empty() || !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    SourceFile {
+        rel_path: rel_path.replace('\\', "/"),
+        lines,
+    }
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// If a raw string starts at `chars[i]`, returns `(chars consumed
+/// before the contents, hash count)`.
+fn raw_string_at(chars: &[char], i: usize, code_so_far: &str) -> Option<(usize, u32)> {
+    if prev_is_ident(code_so_far) {
+        return None;
+    }
+    let mut j = i;
+    // Optional b/c prefix before r.
+    if matches!(chars.get(j), Some('b') | Some('c')) && chars.get(j + 1) == Some(&'r') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((j - i + 1, hashes))
+    } else {
+        None
+    }
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(i + 1 + k) == Some(&'#'))
+}
+
+/// Word-boundary token search: `needle` must not be flanked by
+/// identifier characters (so `VmRc` never matches `Rc`, and
+/// `randomize` never matches `random`).
+pub fn has_word(code: &str, needle: &str) -> bool {
+    find_word(code, needle).is_some()
+}
+
+/// Position of the first word-boundary occurrence of `needle`.
+pub fn find_word(code: &str, needle: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let left_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let right_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if left_ok && right_ok {
+            return Some(start);
+        }
+        from = start + 1;
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_separated() {
+        let f = scan(
+            "x.rs",
+            "let a = \"HashMap inside\"; // HashMap in comment\nlet b = 2; /* multi\nline */ let c = 3;\n",
+        );
+        assert!(!has_word(&f.lines[0].code, "HashMap"));
+        assert!(f.lines[0].comment.contains("HashMap"));
+        assert!(f.lines[1].code.contains("let b"));
+        assert!(f.lines[1].comment.contains("multi"));
+        assert!(f.lines[2].code.contains("let c"));
+        assert!(f.lines[2].comment.contains("line"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes_are_blanked() {
+        let f = scan(
+            "x.rs",
+            "let a = r#\"unsafe { HashMap }\"#;\nlet b = \"esc \\\" quote HashMap\";\n",
+        );
+        assert!(!has_word(&f.lines[0].code, "unsafe"));
+        assert!(!has_word(&f.lines[0].code, "HashMap"));
+        assert!(!has_word(&f.lines[1].code, "HashMap"));
+        assert!(f.lines[1].code.trim_end().ends_with(';'));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = scan(
+            "x.rs",
+            "fn f<'a>(x: &'a str) -> &'a str { x } // SAFETY: n/a\n",
+        );
+        assert!(f.lines[0].code.contains("-> &'a str"));
+        assert!(f.lines[0].comment.contains("SAFETY"));
+        let g = scan("x.rs", "let c = 'x'; let d = '\\n'; let e = 1; // tail\n");
+        assert!(g.lines[0].code.contains("let e"));
+        assert!(g.lines[0].comment.contains("tail"));
+    }
+
+    #[test]
+    fn word_boundaries_hold() {
+        assert!(has_word("let x: Rc<CodeBody>", "Rc"));
+        assert!(!has_word("let x: VmRc<CodeBody>", "Rc"));
+        assert!(!has_word("randomize()", "random"));
+        assert!(has_word("random()", "random"));
+    }
+
+    #[test]
+    fn doc_comments_are_kept_apart_from_plain_comments() {
+        let f = scan(
+            "x.rs",
+            "//! grammar example: lint: allow(rule)\n/// item doc\n// plain SAFETY: note\n",
+        );
+        assert!(f.lines[0].doc.contains("lint: allow"));
+        assert!(f.lines[0].comment.is_empty());
+        assert!(f.lines[0].is_comment_only());
+        assert!(f.lines[1].doc.contains("item doc"));
+        assert!(f.lines[2].comment.contains("SAFETY"));
+        assert!(f.lines[2].doc.is_empty());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = scan("x.rs", "/* outer /* inner */ still comment */ let x = 1;\n");
+        assert!(f.lines[0].code.contains("let x"));
+        assert!(!f.lines[0].code.contains("outer"));
+        assert!(f.lines[0].comment.contains("inner"));
+    }
+}

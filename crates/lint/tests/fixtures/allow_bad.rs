@@ -1,0 +1,6 @@
+// Fixture: malformed allow annotations (never compiled).
+// lint: allow(no-such-rule) — the rule name is unknown.
+pub fn f() {}
+
+// lint: allow(hot-handle)
+pub fn g() {}

@@ -1,0 +1,4 @@
+// Fixture: unsafe without a SAFETY justification (never compiled).
+pub fn peek(ptr: *const u32) -> u32 {
+    unsafe { *ptr }
+}

@@ -1,0 +1,17 @@
+// Fixture: every justified form R1 must accept (never compiled).
+pub fn peek(ptr: *const u32) -> u32 {
+    // SAFETY: caller guarantees ptr is valid and aligned.
+    unsafe { *ptr }
+}
+
+pub fn inline(ptr: *const u32) -> u32 {
+    unsafe { *ptr } // SAFETY: same-line justification form.
+}
+
+// SAFETY: the type owns no thread-affine state; the comment may sit
+// above attributes.
+#[allow(dead_code)]
+unsafe impl Send for Opaque {}
+
+// lint: allow(safety-comment) — justified in the module docs instead.
+pub unsafe fn excused() {}

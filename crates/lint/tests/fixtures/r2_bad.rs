@@ -1,0 +1,24 @@
+// Fixture: determinism violations; scanned as if it were
+// crates/core/src/sched.rs (never compiled).
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+// lint: allow(determinism)
+pub fn pause() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub struct Index {
+    // lint: allow(determinism) — lookup-only map: inserted and probed
+    // by key, never iterated, so hash order cannot leak anywhere.
+    map: HashMap<u32, u32>,
+}
+
+pub fn in_string() {
+    let _ = "HashMap and Instant in a string are fine";
+    // HashMap and Instant in a comment are fine too.
+}

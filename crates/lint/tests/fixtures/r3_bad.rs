@@ -1,0 +1,22 @@
+// Fixture: hot-handle sharing violations (never compiled).
+use std::sync::Arc;
+
+pub struct Cache {
+    body: Arc<CodeBody>,
+}
+
+pub fn stash(site: std::rc::Rc<CallSite>) {
+    drop(site);
+}
+
+pub struct Legacy {
+    // lint: allow(hot-handle) — test-only mirror of the pre-VmRc
+    // layout, used to measure the refcount cost VmRc removes.
+    code: Arc<PreparedCode>,
+}
+
+pub struct Fine {
+    // VmRc is the sanctioned handle; `Arc<str>` wraps no hot handle.
+    body: VmRc<CodeBody>,
+    name: Arc<str>,
+}

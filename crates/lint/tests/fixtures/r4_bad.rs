@@ -1,0 +1,23 @@
+// Fixture: embedding-surface hygiene; scanned as if it were
+// crates/core/src/fake_api.rs with surface = {Widget, EngineKind}
+// (never compiled).
+pub struct Widget {
+    pub x: u32,
+}
+
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineKind {
+    Switch,
+    Threaded,
+}
+
+#[deprecated]
+pub fn old() {}
+
+#[deprecated(note = "use `replacement_fn` instead")]
+pub fn older() {}
+
+pub struct NotSurface {
+    pub y: u32,
+}

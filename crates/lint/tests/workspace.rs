@@ -1,0 +1,23 @@
+//! The enforcement test: the real workspace must be lint-clean. This
+//! is what makes `cargo test` (tier 1) fail when a new `unsafe` block
+//! lands without a SAFETY comment, a wall-clock read or hash-ordered
+//! iteration slips into a deterministic-path module, a hot handle gets
+//! wrapped in Rc/Arc, or an embedding-surface type ships without an
+//! evolution story.
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = ijvm_lint::workspace_root();
+    let violations = ijvm_lint::check_workspace(&root);
+    assert!(
+        violations.is_empty(),
+        "\n{} lint violation(s):\n{}\n\nEither fix the site or, if it is sound, annotate it \
+         with `// lint: allow(<rule>) — <reason>` (the reason is required).\n",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

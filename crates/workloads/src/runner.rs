@@ -4,6 +4,10 @@
 //! slowdown of I-JVM relative to LadyVM; [`run_workload`] reproduces that
 //! setup — same bytecode, two VM configurations.
 
+// Measured runs read the wall clock by design; the workspace clippy
+// ban is lifted for this timing module.
+#![allow(clippy::disallowed_types)]
+
 use crate::spec::Workload;
 use ijvm_core::ids::IsolateId;
 use ijvm_core::value::Value;

@@ -157,6 +157,8 @@ fn main() -> ExitCode {
                     eprintln!("ijvm-run: blocked on cross-unit service calls")
                 }
                 RunOutcome::Idle => {}
+                // RunOutcome is #[non_exhaustive].
+                other => eprintln!("ijvm-run: stopped: {other:?}"),
             }
             Ok(())
         }
