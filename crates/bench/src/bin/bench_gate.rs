@@ -307,6 +307,34 @@ fn main() -> ExitCode {
         }
     }
 
+    // Hub-scaling flat-ratio gate: the unit-count sweep (8 → 1000+
+    // units at identical per-shard pressure) must keep cross-unit wall
+    // ns/call flat — the worst row over the best stays under the
+    // committed ceiling. A hub whose per-message cost walked a global
+    // registry or swept every mailbox would scale with unit count and
+    // trip this at the 1000-unit row. Wall-clock based, so the shared
+    // upward tolerance applies on top of the already-generous ceiling.
+    if let Some(max_ratio) = doc_num(&baseline_json, "sat_scaling_max_ratio") {
+        let ceiling = max_ratio * (1.0 + tolerance);
+        match doc_num(&fresh_json, "sat_scaling_ratio") {
+            Some(ratio) if ratio <= ceiling => {
+                println!("  ok   hub scaling flat ratio: {ratio:.2}x (ceiling {ceiling:.2}x)");
+            }
+            Some(ratio) => {
+                println!("  FAIL hub scaling flat ratio: {ratio:.2}x above ceiling {ceiling:.2}x");
+                failures += 1;
+                offenders.push(format!(
+                    "hub scaling flat ratio: fresh {ratio:.2}x, ceiling {ceiling:.2}x"
+                ));
+            }
+            None => {
+                println!("  FAIL hub scaling sweep missing from {fresh_path}");
+                failures += 1;
+                offenders.push("hub scaling flat ratio: missing from the fresh run".to_owned());
+            }
+        }
+    }
+
     if failures > 0 {
         eprintln!("bench gate: {failures} metric(s) regressed; offending rows:");
         for o in &offenders {
@@ -417,6 +445,26 @@ mod tests {
         assert!((doc_num(doc, "sat_p99_ticks").unwrap() - 2048.0).abs() < 1e-9);
         assert!((doc_num(doc, "sat_p99_max_ticks").unwrap() - 4096.0).abs() < 1e-9);
         assert!((doc_num(doc, "sat_p50_ticks").unwrap() - 2048.0).abs() < 1e-9);
+    }
+
+    /// The scaling-sweep keys follow the same discipline:
+    /// `"sat_scaling_ratio"` must not match inside
+    /// `"sat_scaling_max_ratio"`, and the `sweep_`-prefixed per-row
+    /// keys inside the `sat_scaling` array can never shadow a scalar.
+    #[test]
+    fn scaling_sweep_keys_parse_independently() {
+        let doc = r#"{
+  "saturation": {
+    "sat_scaling": [
+      { "sweep_units": 8, "sweep_ns_per_msg": 750.0 },
+      { "sweep_units": 1000, "sweep_ns_per_msg": 800.0 }
+    ],
+    "sat_scaling_max_ratio": 3.00,
+    "sat_scaling_ratio": 1.067
+  }
+}"#;
+        assert!((doc_num(doc, "sat_scaling_ratio").unwrap() - 1.067).abs() < 1e-9);
+        assert!((doc_num(doc, "sat_scaling_max_ratio").unwrap() - 3.0).abs() < 1e-9);
     }
 
     /// `"speedup"` must not match the tail of `"threaded_speedup"`, even

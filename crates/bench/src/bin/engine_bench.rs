@@ -8,7 +8,8 @@
 use ijvm_bench::engine::{engine_comparison, print_engine_table, to_json};
 use ijvm_bench::parallel::{measure_scaling, print_scaling_table};
 use ijvm_bench::saturation::{
-    measure_saturation, print_saturation, SAT_CLIENTS, SAT_SERVERS, SAT_WINDOWS,
+    measure_saturation, measure_saturation_scaling, print_saturation, print_saturation_scaling,
+    SAT_CLIENTS, SAT_SERVERS, SAT_WINDOWS,
 };
 use ijvm_bench::trace::{measure_trace_overhead, print_trace_overhead};
 use ijvm_bench::xunit::{measure_cross_unit_ratio, print_cross_unit};
@@ -32,6 +33,8 @@ fn main() {
     print_trace_overhead(&trace);
     let saturation = measure_saturation(SAT_CLIENTS, SAT_SERVERS, SAT_WINDOWS);
     print_saturation(&saturation);
+    let sat_scaling = measure_saturation_scaling();
+    print_saturation_scaling(&sat_scaling);
     let json = to_json(
         &rows,
         iterations,
@@ -39,6 +42,7 @@ fn main() {
         Some(&cross_unit),
         Some(&trace),
         Some(&saturation),
+        Some(&sat_scaling),
     );
     match std::fs::write(&path, &json) {
         Ok(()) => println!("\nwrote {path}"),

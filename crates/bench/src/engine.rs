@@ -272,7 +272,9 @@ pub fn print_engine_table(rows: &[EngineRow]) {
 /// the cross-unit call-cost report are appended as the `"parallel"` and
 /// `"cross_unit"` sections the gate also reads, and the flight-recorder
 /// overhead report as the `"trace"` section (trace-on vs trace-off
-/// ratios, gated as ceilings).
+/// ratios, gated as ceilings). The saturation report (plus, when
+/// measured, the unit-count scaling sweep) lands in the `"saturation"`
+/// section, whose flat ratio the gate reads as a ceiling.
 pub fn to_json(
     rows: &[EngineRow],
     iterations: i32,
@@ -280,6 +282,7 @@ pub fn to_json(
     cross_unit: Option<&crate::xunit::CrossUnitReport>,
     trace: Option<&crate::trace::TraceOverheadReport>,
     saturation: Option<&crate::saturation::SaturationReport>,
+    sat_scaling: Option<&crate::saturation::SaturationScaling>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"engine_raw_vs_quickened_vs_threaded\",\n");
@@ -310,7 +313,7 @@ pub fn to_json(
         sections.push(crate::trace::trace_to_json(report));
     }
     if let Some(report) = saturation {
-        sections.push(crate::saturation::saturation_to_json(report));
+        sections.push(crate::saturation::saturation_to_json(report, sat_scaling));
     }
     if sections.is_empty() {
         out.push_str("  ]\n}\n");

@@ -16,7 +16,16 @@ use ijvm_comm::models::{measure, Model};
 
 /// The gated ceiling: a cross-unit call may cost at most this many
 /// intra-VM cross-isolate calls (single worker, same box, same run).
-pub const MAX_CROSS_UNIT_RATIO: f64 = 10.0;
+///
+/// Raised from 10.0 when the hub was sharded for 1000+ units: the
+/// sharded path pays a fixed extra ~150–250 ns per call (registry shard
+/// lock + table read guard + per-ring mutex where the global-mutex hub
+/// paid one lock) in exchange for per-message cost that stays flat as
+/// the topology grows — which is gated separately and much more tightly
+/// by `SAT_SCALING_MAX_RATIO`. Measured 11.4–11.5× on the reference
+/// runner; the margin to 13 covers the intra-VM denominator's jitter
+/// (±10% on a 1-cpu host moves the ratio by a full point).
+pub const MAX_CROSS_UNIT_RATIO: f64 = 13.0;
 
 /// One measurement of the cross-unit/intra-VM cost ratio.
 #[derive(Debug, Clone)]

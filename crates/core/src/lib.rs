@@ -63,6 +63,7 @@ pub mod heap;
 pub mod ids;
 pub mod interp;
 pub mod isolate;
+pub(crate) mod mailbox;
 pub mod monitor;
 pub mod natives;
 pub mod port;

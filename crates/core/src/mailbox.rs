@@ -1,0 +1,444 @@
+//! Per-unit mailbox storage for the sharded [`crate::port::PortHub`]:
+//! a bounded MPSC ring buffer with a mutex-guarded overflow spillway,
+//! plus the destination's quota accounting cell.
+//!
+//! # Single-consumer invariant
+//!
+//! Any number of sender units may [`Mailbox::post`] concurrently, but
+//! only the *owning* unit drains — the scheduler hands a unit to exactly
+//! one worker at a time, and drains happen only inside that unit's
+//! quantum (`Vm::port_drain_force`), so there is never a second
+//! concurrent consumer. The ring's `pop` is nonetheless written
+//! CAS-safe (MPMC-style head claims), so the single-consumer rule is a
+//! protocol invariant the scheduler upholds, not a memory-safety
+//! obligation: a violation could reorder deliveries, it cannot corrupt
+//! memory or double-free.
+//!
+//! # Ordering
+//!
+//! Per-producer FIFO holds across the ring→overflow transition: a
+//! producer that ever diverts to the overflow keeps appending there
+//! (under the overflow lock) until the consumer drains the spillway and
+//! clears the flag under that same lock, and the consumer sweeps the
+//! ring once more under that lock *before* reading the spillway (a
+//! producer's ring pushes precede its spill appends in program order,
+//! so the sweep sees them) — so one producer's messages can never
+//! leapfrog its own earlier ones. Messages from *different*
+//! producers that race are unordered — exactly as they were under the
+//! old global-mutex mailboxes, where arrival order between racing
+//! senders was whatever the lock handed out. Under the deterministic
+//! scheduler everything is single-threaded, so arrival order is total
+//! and identical to the old implementation.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::port::Envelope;
+
+/// Ring capacity per unit, in envelopes. Power of two; the steady-state
+/// cross-unit traffic of one quantum fits, and floods spill to the
+/// overflow queue instead of blocking or dropping.
+const RING_CAPACITY: usize = 64;
+
+/// One slot of the bounded MPSC ring: a sequence number that encodes
+/// whether the slot currently holds a value for the lap the producer or
+/// consumer is on (Vyukov's bounded-queue scheme).
+struct Slot<T> {
+    seq: AtomicUsize,
+    val: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded multi-producer ring buffer. Producers claim slots with a
+/// CAS on `tail`; the consumer claims with a CAS on `head`. Full is an
+/// error (the caller spills to the overflow queue) — the ring never
+/// blocks and never drops.
+pub(crate) struct MpscRing<T> {
+    slots: Box<[Slot<T>]>,
+    /// Index mask (`capacity - 1`; capacity is a power of two).
+    mask: usize,
+    /// Next slot to write (monotonic; wraps via the mask).
+    tail: AtomicUsize,
+    /// Next slot to read (monotonic; wraps via the mask).
+    head: AtomicUsize,
+}
+
+// SAFETY: the ring hands each value from the producing thread to the
+// consuming thread exactly once: a producer publishes its write with a
+// release store of the slot's `seq`, and a consumer takes ownership only
+// after an acquire load observes that store, so the value's bytes are
+// fully visible before `assume_init_read`. No slot is ever readable and
+// writable at once (the `seq` lap protocol gives each claimant exclusive
+// access), so `T: Send` is the only requirement.
+unsafe impl<T: Send> Send for MpscRing<T> {}
+// SAFETY: see the `Send` justification — all shared-slot access is
+// mediated by the `seq` acquire/release handshake and head/tail CAS
+// claims, so `&MpscRing<T>` may be used from any number of threads.
+unsafe impl<T: Send> Sync for MpscRing<T> {}
+
+impl<T> MpscRing<T> {
+    fn with_capacity(capacity: usize) -> MpscRing<T> {
+        debug_assert!(capacity.is_power_of_two());
+        let slots = (0..capacity)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                val: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        MpscRing {
+            slots,
+            mask: capacity - 1,
+            tail: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enqueues `value`, or hands it back when the ring is full.
+    pub(crate) fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                // The slot is free for this lap; claim it.
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS above claimed slot `pos`
+                        // exclusively for this producer — no other
+                        // producer can claim it until the consumer
+                        // advances `seq` by a full lap, and the consumer
+                        // will not read it until the release store below
+                        // publishes the write.
+                        unsafe { (*slot.val.get()).write(value) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if dif < 0 {
+                // The consumer has not freed this slot: the ring is full.
+                return Err(value);
+            } else {
+                // Another producer claimed `pos`; chase the tail.
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest value, or `None` when the ring is empty.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos.wrapping_add(1) as isize;
+            if dif == 0 {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS claimed slot `pos` exclusively
+                        // for this consumer, and the acquire load of
+                        // `seq` above synchronized with the producer's
+                        // release store, so the slot holds a fully
+                        // initialized value that is read exactly once.
+                        let value = unsafe { (*slot.val.get()).assume_init_read() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Number of queued values (approximate under concurrent access;
+    /// exact when quiescent or read under the owner's quota lock, where
+    /// admissions are counted before their push lands).
+    pub(crate) fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.wrapping_sub(head).min(self.mask + 1)
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
+        head == tail
+    }
+}
+
+impl<T> Drop for MpscRing<T> {
+    fn drop(&mut self) {
+        // Claimed-but-unread slots still own their values.
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> std::fmt::Debug for MpscRing<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpscRing")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// The destination-side quota accounting for one unit, all under one
+/// mutex so admission checks, waiter registration and completion-time
+/// release can never tear against each other (the per-destination
+/// replacement for the old hub-global `inflight` + `quota_waiters`).
+#[derive(Debug, Default)]
+pub(crate) struct QuotaCell {
+    /// Admitted-but-unserved requests addressed to this unit.
+    pub(crate) msgs: u32,
+    /// Admitted-but-unserved request payload bytes.
+    pub(crate) bytes: u64,
+    /// Sender units parked on this destination's quota. A release that
+    /// re-admits turns each into a wake-up token; the entries themselves
+    /// are cleared by the sender's own retry sweep.
+    pub(crate) waiters: Vec<u32>,
+}
+
+/// One unit's mailbox: the MPSC ring, its overflow spillway, and the
+/// destination's quota cell. Senders post lock-free in the common case;
+/// the owning unit drains without ever contending with posters.
+#[derive(Debug)]
+pub(crate) struct Mailbox {
+    ring: MpscRing<Envelope>,
+    /// `true` while the overflow queue may be non-empty. Set under the
+    /// overflow lock by a producer that found the ring full; cleared
+    /// under the same lock by the consumer once the spillway drains.
+    /// While set, producers append to the overflow (not the ring) so
+    /// one producer's messages never overtake its own earlier ones.
+    overflow_flag: AtomicBool,
+    overflow: Mutex<VecDeque<Envelope>>,
+    quota: Mutex<QuotaCell>,
+    /// Cluster-wide undelivered-envelope counter, shared by every
+    /// mailbox of one hub. Incremented *before* the enqueue and
+    /// decremented only *after* a drain removed the envelope, so the
+    /// counter never undercounts what is queued: a zero read means the
+    /// whole cluster's mailboxes are empty, which is what turns the
+    /// hub's quiescence check into one load instead of an O(units)
+    /// walk over every ring.
+    pending: Arc<AtomicUsize>,
+}
+
+impl Default for Mailbox {
+    fn default() -> Mailbox {
+        Mailbox::with_pending(Arc::new(AtomicUsize::new(0)))
+    }
+}
+
+impl Mailbox {
+    /// A mailbox wired to a (typically hub-shared) pending counter.
+    pub(crate) fn with_pending(pending: Arc<AtomicUsize>) -> Mailbox {
+        Mailbox {
+            ring: MpscRing::with_capacity(RING_CAPACITY),
+            overflow_flag: AtomicBool::new(false),
+            overflow: Mutex::new(VecDeque::new()),
+            quota: Mutex::new(QuotaCell::default()),
+            pending,
+        }
+    }
+
+    /// Enqueues `env` for the owning unit. Lock-free while the ring has
+    /// room; spills to the overflow queue under its lock otherwise.
+    pub(crate) fn post(&self, mut env: Envelope) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        if !self.overflow_flag.load(Ordering::Acquire) {
+            match self.ring.push(env) {
+                Ok(()) => return,
+                Err(back) => env = back,
+            }
+        }
+        let mut spill = self.overflow.lock().unwrap();
+        // Re-check under the lock: the consumer may have drained the
+        // spillway (clearing the flag) since the load above, in which
+        // case the ring is the right destination again.
+        if !self.overflow_flag.load(Ordering::Relaxed) {
+            match self.ring.push(env) {
+                Ok(()) => return,
+                Err(back) => env = back,
+            }
+            self.overflow_flag.store(true, Ordering::Release);
+        }
+        spill.push_back(env);
+    }
+
+    /// Drains everything queued into `out`, oldest first: the ring, then
+    /// the overflow spillway. Only the owning unit calls this (the
+    /// single-consumer invariant).
+    pub(crate) fn drain_into(&self, out: &mut Vec<Envelope>) {
+        let before = out.len();
+        while let Some(env) = self.ring.pop() {
+            out.push(env);
+        }
+        if self.overflow_flag.load(Ordering::Acquire) {
+            let mut spill = self.overflow.lock().unwrap();
+            // Sweep the ring again *under the overflow lock*, before
+            // the spillway: a producer that refilled the ring after the
+            // pops above and then spilled did the ring push strictly
+            // before its spill append (program order), so that push is
+            // visible here — popping it now keeps the producer's ring
+            // messages ahead of its spilled ones. Producers racing this
+            // sweep with a fast-path push cannot have anything in the
+            // current spillway (they would have observed the flag and
+            // taken the lock path), so their messages carry no ordering
+            // obligation against it.
+            while let Some(env) = self.ring.pop() {
+                out.push(env);
+            }
+            out.extend(spill.drain(..));
+            self.overflow_flag.store(false, Ordering::Release);
+        }
+        let drained = out.len() - before;
+        if drained > 0 {
+            self.pending.fetch_sub(drained, Ordering::AcqRel);
+        }
+    }
+
+    /// `true` when something is queued (may be spuriously `true` while a
+    /// concurrent drain is mid-flight; never misses a completed post).
+    pub(crate) fn has_mail(&self) -> bool {
+        !self.ring.is_empty() || self.overflow_flag.load(Ordering::Acquire)
+    }
+
+    /// `true` when nothing is queued and no spillway drain is pending —
+    /// exact once senders have stopped. Test/model probe; the hub's
+    /// quiescence check reads the shared pending counter instead of
+    /// walking rings.
+    #[cfg(test)]
+    pub(crate) fn is_idle(&self) -> bool {
+        self.ring.is_empty() && !self.overflow_flag.load(Ordering::Acquire)
+    }
+
+    /// Queued envelope count (ring + spillway).
+    pub(crate) fn queued_len(&self) -> usize {
+        self.ring.len() + self.overflow.lock().unwrap().len()
+    }
+
+    /// Locks and returns this destination's quota cell.
+    pub(crate) fn quota_cell(&self) -> MutexGuard<'_, QuotaCell> {
+        self.quota.lock().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(call: u64) -> Envelope {
+        Envelope::Request {
+            call,
+            reply_to: crate::sched::UnitId::new(0),
+            service: std::sync::Arc::from("svc"),
+            kind: crate::port::PayloadKind::Int,
+            bytes: vec![],
+            oneway: true,
+        }
+    }
+
+    fn call_of(env: &Envelope) -> u64 {
+        match env {
+            Envelope::Request { call, .. } | Envelope::Reply { call, .. } => *call,
+        }
+    }
+
+    #[test]
+    fn ring_push_pop_fifo() {
+        let ring: MpscRing<u64> = MpscRing::with_capacity(8);
+        for i in 0..8 {
+            ring.push(i).unwrap();
+        }
+        assert!(ring.push(99).is_err(), "full ring rejects");
+        for i in 0..8 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+        assert_eq!(ring.pop(), None);
+        // Wrap around a few laps.
+        for lap in 0..5u64 {
+            for i in 0..3 {
+                ring.push(lap * 10 + i).unwrap();
+            }
+            for i in 0..3 {
+                assert_eq!(ring.pop(), Some(lap * 10 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn mailbox_spills_past_ring_capacity_in_order() {
+        let mb = Mailbox::default();
+        let n = RING_CAPACITY as u64 + 40;
+        for i in 0..n {
+            mb.post(req(i));
+        }
+        assert!(mb.has_mail());
+        let mut out = Vec::new();
+        mb.drain_into(&mut out);
+        let calls: Vec<u64> = out.iter().map(call_of).collect();
+        assert_eq!(calls, (0..n).collect::<Vec<_>>());
+        assert!(mb.is_idle());
+        // Post-spill, the mailbox returns to the lock-free ring path.
+        mb.post(req(7));
+        let mut out = Vec::new();
+        mb.drain_into(&mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        let mb = std::sync::Arc::new(Mailbox::default());
+        let producers = 4u64;
+        let per = 500u64;
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let mb = std::sync::Arc::clone(&mb);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        mb.post(req(p * per + i));
+                    }
+                })
+            })
+            .collect();
+        let mut seen: Vec<u64> = Vec::new();
+        // Drain concurrently with the producers, then once after join.
+        while seen.len() < (producers * per) as usize {
+            let mut out = Vec::new();
+            mb.drain_into(&mut out);
+            seen.extend(out.iter().map(call_of));
+            std::hint::spin_loop();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut out = Vec::new();
+        mb.drain_into(&mut out);
+        seen.extend(out.iter().map(call_of));
+        assert_eq!(seen.len(), (producers * per) as usize);
+        // Exactly-once delivery, and per-producer FIFO.
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..producers * per).collect::<Vec<_>>());
+        for p in 0..producers {
+            let mine: Vec<u64> = seen.iter().copied().filter(|c| c / per == p).collect();
+            assert!(mine.windows(2).all(|w| w[0] < w[1]), "producer {p} FIFO");
+        }
+    }
+}

@@ -66,6 +66,7 @@
 //! calls fail immediately, and the pump threads die with the isolate.
 
 use crate::ids::{IsolateId, MethodRef, ThreadId};
+use crate::mailbox::Mailbox;
 use crate::natives::NativeResult;
 use crate::sched::UnitId;
 use crate::thread::{ThreadState, VmThread};
@@ -75,7 +76,8 @@ use ijvm_classfile::{AccessFlags, ClassBuilder, ClassFile};
 // lint: allow(determinism) — import only; each HashMap field below
 // carries its own iteration-order justification.
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 
 /// Exception raised at a caller whose in-flight or future call targets a
 /// service of a terminated isolate.
@@ -166,8 +168,15 @@ pub(crate) enum SendOutcome {
     Sent(u64),
     /// The destination unit is over its mailbox quota. The payload is
     /// handed back so the sender can park and retry; the sending unit is
-    /// registered for a wake-up token when the destination drains.
-    OverQuota(Vec<u8>),
+    /// registered for a wake-up token when the destination drains. The
+    /// resolved destination rides along so the sender's park/retry
+    /// bookkeeping stays shard-local (no hub-wide scans at pickup).
+    OverQuota {
+        /// The serialized payload, returned for the retry.
+        bytes: Vec<u8>,
+        /// The resolved destination unit whose quota rejected the send.
+        dest: u32,
+    },
 }
 
 /// Per-unit mailbox admission quota — the hub's flow control. A
@@ -201,6 +210,15 @@ impl MailboxQuota {
     fn admits(&self, msgs: u32, bytes: u64) -> bool {
         msgs < self.max_messages && bytes < self.max_bytes
     }
+
+    /// `true` for [`MailboxQuota::UNBOUNDED`] — every admission check
+    /// passes and no sender can ever park, so the hub skips the quota
+    /// cell entirely on such clusters (admission counters stay zero in
+    /// [`MailboxStat`]; there is no admitted-but-unserved bound to
+    /// report against).
+    fn is_unbounded(&self) -> bool {
+        *self == MailboxQuota::UNBOUNDED
+    }
 }
 
 impl Default for MailboxQuota {
@@ -209,40 +227,53 @@ impl Default for MailboxQuota {
     }
 }
 
-#[derive(Debug, Default)]
-struct HubState {
-    /// The host-side registry, keyed by `(UnitId, name)`. Resolution by
-    /// bare name walks this map in key order, so it deterministically
-    /// picks the lowest exporting unit.
-    services: BTreeMap<(UnitId, Arc<str>), HubService>,
-    /// Per-unit mailboxes, drained at quantum boundaries.
-    mail: BTreeMap<u32, VecDeque<Envelope>>,
-    /// Units with fresh mail since the scheduler's last wake-up sweep.
-    woken: Vec<u32>,
-    /// Requests whose service has not been exported yet (service-tracker
-    /// semantics): `(name, unit filter, envelope)`.
-    unresolved: Vec<(Arc<str>, Option<UnitId>, Envelope)>,
-    /// Call-id allocator.
-    next_call: u64,
-    /// Per-destination admitted-but-unserved request accounting:
-    /// `unit index -> (messages, payload bytes)`. Charged at admission,
-    /// released when the serving unit reports the request served (or
-    /// failed) at its next boundary flush — so the bound covers the
-    /// mailbox *and* the destination's pump queues together.
-    inflight: BTreeMap<u32, (u32, u64)>,
-    /// `(destination, sender)` unit pairs for senders parked on the
-    /// destination's quota. A release that brings the destination back
-    /// under quota turns every matching sender into a wake-up token;
-    /// the pairs themselves are cleared by the sender's own retry sweep.
-    quota_waiters: Vec<(u32, u32)>,
+/// Number of service-registry shards — a power of two. Contention on
+/// the registry is per shard (per service-name neighborhood), not per
+/// cluster.
+const REGISTRY_SHARDS: usize = 16;
+
+/// Deterministic shard routing: FNV-1a over the service name's bytes.
+/// A pure, platform-independent function of the name — the proptest
+/// lane in this module's tests pins that, which is what lets a sharded
+/// registry coexist with the bit-identical differential contract.
+pub(crate) fn shard_of(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) & (REGISTRY_SHARDS - 1)
 }
 
-impl HubState {
-    fn bump_inflight(&mut self, unit: u32, bytes: u64) {
-        let e = self.inflight.entry(unit).or_insert((0, 0));
-        e.0 += 1;
-        e.1 += bytes;
-    }
+/// One shard of the service registry: the exports whose names hash
+/// here, plus the unresolved requests awaiting such an export.
+/// Resolution and unresolved-parking for one name share this shard's
+/// lock, so an export can never slip between a send's registry miss and
+/// its park.
+#[derive(Debug, Default)]
+struct RegistryShard {
+    /// Exports by name, then by exporting unit. Both levels are
+    /// `BTreeMap` so bare-name resolution deterministically picks the
+    /// lowest exporting unit, independent of export order.
+    services: BTreeMap<Arc<str>, BTreeMap<UnitId, HubService>>,
+    /// Requests parked awaiting an export (service-tracker semantics):
+    /// `(name, unit filter, envelope)`.
+    unresolved: Vec<(Arc<str>, Option<UnitId>, Envelope)>,
+}
+
+/// The per-unit mailbox table plus the wake-token bitmap. Grows (under
+/// the write lock) the first time a unit index is addressed; steady
+/// state takes the read lock only, so posts from many senders proceed
+/// in parallel and never contend with the registry shards or with the
+/// receiving unit's drain.
+#[derive(Debug, Default)]
+struct MailTable {
+    boxes: Vec<Arc<Mailbox>>,
+    /// One bit per unit with fresh mail (or a quota-release token) since
+    /// the scheduler's last sweep. A sweep is one word-scan — O(units/64)
+    /// loads plus a `swap` per non-zero word — not a map walk under a
+    /// global lock, and it yields units in ascending index order.
+    woken: Vec<AtomicU64>,
 }
 
 /// The message hub shared by every unit of one cluster: service registry,
@@ -250,16 +281,41 @@ impl HubState {
 /// [`crate::sched::ClusterBuilder`]; units reach it through the
 /// [`crate::vm::Vm`] they were submitted as. Embedders observe it
 /// through [`HubStats`] snapshots only.
+///
+/// Sharded for scale: the registry is split over [`REGISTRY_SHARDS`]
+/// name-hashed shards, mailboxes are per-unit MPSC rings
+/// ([`crate::mailbox::Mailbox`]) reached through an `RwLock` that is
+/// write-locked only to grow the table, and quota accounting lives in
+/// each destination mailbox's own cell. There is no hub-global mutex on
+/// any send/drain/flush path. Lock order, where paths take more than
+/// one: registry shard → mailbox table (read) → a mailbox quota cell;
+/// [`PortHub::stats`] is the only path holding several shard/quota locks
+/// at once, and every other path holds at most one.
 #[derive(Debug, Default)]
 pub(crate) struct PortHub {
-    state: Mutex<HubState>,
+    /// The sharded service registry (lock per shard, not per cluster).
+    registry: [Mutex<RegistryShard>; REGISTRY_SHARDS],
+    /// Per-unit mailboxes and the wake bitmap.
+    table: RwLock<MailTable>,
+    /// Call-id allocator. Ids are matched sender-side per reply and
+    /// never compared across scheduler modes (latency is measured in
+    /// vclock ticks), so a racy `fetch_add` order is fine.
+    next_call: AtomicU64,
     /// Cluster-wide per-unit admission quota (immutable after build).
     quota: MailboxQuota,
-    /// Fast-path mirror of "`woken` is non-empty", so idle scheduler
-    /// sweeps don't take the lock. Set under the lock on every post,
-    /// cleared under the lock when the wake-up list drains — a `false`
-    /// read can only miss a post that had not happened yet.
-    woken_flag: std::sync::atomic::AtomicBool,
+    /// Fast-path mirror of "some wake bit may be set", so idle scheduler
+    /// sweeps don't touch the table at all. The sweep clears it *before*
+    /// scanning the words; because the per-word RMWs are `AcqRel`, a
+    /// post whose bit the scan missed re-raises the flag afterwards — a
+    /// `false` read can only miss a post that had not completed yet.
+    woken_flag: AtomicBool,
+    /// Cluster-wide undelivered-envelope counter, shared with every
+    /// mailbox the table grows ([`Mailbox::with_pending`]). Incremented
+    /// before an enqueue, decremented after a drain removed the
+    /// envelope, so it never undercounts what is queued — which makes
+    /// [`PortHub::quiescent`] one load plus the word-scan instead of an
+    /// O(units) walk over every ring.
+    pending: Arc<AtomicUsize>,
 }
 
 impl PortHub {
@@ -271,30 +327,112 @@ impl PortHub {
         }
     }
 
+    /// The mailbox for `unit`, growing the table on first contact.
+    /// Cold-path form (clones the `Arc`); the per-message paths hold
+    /// one [`PortHub::table_for`] read guard instead.
+    fn mailbox(&self, unit: u32) -> Arc<Mailbox> {
+        let table = self.table_for(unit);
+        Arc::clone(&table.boxes[unit as usize])
+    }
+
+    /// A read guard whose table covers `unit` — the single table access
+    /// of the per-message paths. Growth is the slow path: once the
+    /// topology is built, every call is one uncontended read lock.
+    fn table_for(&self, unit: u32) -> RwLockReadGuard<'_, MailTable> {
+        loop {
+            let table = self.table.read().unwrap();
+            if table.boxes.len() > unit as usize {
+                return table;
+            }
+            drop(table);
+            self.grow(unit);
+        }
+    }
+
+    /// Grows the mailbox table (and the wake bitmap) to cover `unit`.
+    fn grow(&self, unit: u32) {
+        let mut table = self.table.write().unwrap();
+        let need = unit as usize + 1;
+        if table.boxes.len() < need {
+            let pending = &self.pending;
+            table.boxes.resize_with(need, || {
+                Arc::new(Mailbox::with_pending(Arc::clone(pending)))
+            });
+        }
+        let words = need.div_ceil(64);
+        if table.woken.len() < words {
+            table.woken.resize_with(words, AtomicU64::default);
+        }
+    }
+
+    /// Registers `unit`'s mailbox and hands it back for the unit to
+    /// cache. After this, the unit's own drains, emptiness checks and
+    /// park-decision re-checks go straight to its mailbox — a
+    /// compute-only unit touches nothing hub-global at pickup.
+    pub(crate) fn register_unit(&self, unit: UnitId) -> Arc<Mailbox> {
+        self.mailbox(unit.index())
+    }
+
+    /// Sets `unit`'s wake bit, then raises the cluster-wide flag. A wake
+    /// token can target a unit no send has addressed yet (a parked
+    /// sender whose own index is higher than any destination's);
+    /// [`PortHub::table_for`] gives it a slot.
+    fn set_woken(&self, unit: u32) {
+        {
+            let table = self.table_for(unit);
+            table.woken[unit as usize / 64].fetch_or(1 << (unit % 64), Ordering::AcqRel);
+        }
+        self.woken_flag.store(true, Ordering::Release);
+    }
+
+    /// Posts `env` to `unit`'s mailbox and leaves a wake token — ring
+    /// push and wake bit under one table read guard, so a delivery is a
+    /// single lock acquisition.
+    fn post(&self, unit: u32, env: Envelope) {
+        {
+            let table = self.table_for(unit);
+            table.boxes[unit as usize].post(env);
+            table.woken[unit as usize / 64].fetch_or(1 << (unit % 64), Ordering::AcqRel);
+        }
+        self.woken_flag.store(true, Ordering::Release);
+    }
+
     /// Registers `(unit, name)` and routes any requests parked awaiting
     /// this export into the unit's mailbox. Parked requests bypass the
     /// admission check (their senders are already blocked on the reply)
     /// but are still accounted, so the destination sheds new load until
     /// it works through them.
     pub(crate) fn export(&self, unit: UnitId, name: Arc<str>, isolate: IsolateId) {
-        let mut st = self.state.lock().unwrap();
-        st.services.insert(
-            (unit, Arc::clone(&name)),
-            HubService {
-                isolate,
-                revoked: false,
-            },
-        );
-        let pending = std::mem::take(&mut st.unresolved);
-        for (n, filter, env) in pending {
-            if *n == *name && filter.is_none_or(|u| u == unit) {
-                if let Envelope::Request { ref bytes, .. } = env {
-                    st.bump_inflight(unit.index(), bytes.len() as u64);
+        let routed: Vec<Envelope> = {
+            let mut shard = self.registry[shard_of(&name)].lock().unwrap();
+            shard.services.entry(Arc::clone(&name)).or_default().insert(
+                unit,
+                HubService {
+                    isolate,
+                    revoked: false,
+                },
+            );
+            let pending = std::mem::take(&mut shard.unresolved);
+            let mut routed = Vec::new();
+            for (n, filter, env) in pending {
+                if *n == *name && filter.is_none_or(|u| u == unit) {
+                    routed.push(env);
+                } else {
+                    shard.unresolved.push((n, filter, env));
                 }
-                self.post_locked(&mut st, unit, env);
-            } else {
-                st.unresolved.push((n, filter, env));
             }
+            routed
+        };
+        for env in routed {
+            if !self.quota.is_unbounded() {
+                if let Envelope::Request { ref bytes, .. } = env {
+                    let mb = self.mailbox(unit.index());
+                    let mut cell = mb.quota_cell();
+                    cell.msgs += 1;
+                    cell.bytes += bytes.len() as u64;
+                }
+            }
+            self.post(unit.index(), env);
         }
     }
 
@@ -302,22 +440,27 @@ impl PortHub {
     /// parked on the unit's quota are woken so their retry observes the
     /// revocation instead of waiting for a drain that may never come.
     pub(crate) fn revoke(&self, unit: UnitId, name: &str) {
-        let mut st = self.state.lock().unwrap();
-        for ((u, n), svc) in st.services.iter_mut() {
-            if *u == unit && **n == *name {
-                svc.revoked = true;
+        {
+            let mut shard = self.registry[shard_of(name)].lock().unwrap();
+            if let Some(units) = shard.services.get_mut(name) {
+                if let Some(svc) = units.get_mut(&unit) {
+                    svc.revoked = true;
+                }
             }
         }
-        self.wake_quota_waiters(&mut st, unit.index());
+        let waiters: Vec<u32> = self.mailbox(unit.index()).quota_cell().waiters.clone();
+        for waiter in waiters {
+            self.set_woken(waiter);
+        }
     }
 
     /// Routes a request: to `target`'s mailbox when addressed, to the
     /// lowest exporting unit otherwise, or parks it awaiting export.
-    /// A resolved destination over its quota admits nothing: the payload
-    /// is handed back ([`SendOutcome::OverQuota`]) and `from` is
-    /// registered for a wake-up token — registration and the quota check
-    /// happen under one lock, so a concurrent release cannot slip
-    /// between them.
+    /// Resolution and unresolved-parking happen under the name's
+    /// registry shard lock (an export cannot slip between the miss and
+    /// the park); admission and waiter registration happen under the
+    /// destination mailbox's own quota lock (a concurrent release cannot
+    /// slip between the check and the registration).
     pub(crate) fn send_request(
         &self,
         from: UnitId,
@@ -327,90 +470,89 @@ impl PortHub {
         bytes: Vec<u8>,
         oneway: bool,
     ) -> Result<SendOutcome, SendError> {
-        let mut st = self.state.lock().unwrap();
-        // One scan resolves the target and reuses the registry key's
-        // `Arc<str>` — the hot call path allocates no name copy.
-        let mut resolved: Option<(UnitId, Arc<str>)> = None;
-        let mut any_revoked = false;
-        for ((u, n), svc) in st.services.iter() {
-            if **n == *name && target.is_none_or(|t| t == *u) {
-                if svc.revoked {
-                    any_revoked = true;
-                } else {
-                    resolved = Some((*u, Arc::clone(n)));
-                    break;
-                }
-            }
-        }
-        if resolved.is_none() && any_revoked {
-            return Err(SendError::Revoked);
-        }
-        match resolved {
-            Some((u, service)) => {
-                let (msgs, used) = st.inflight.get(&u.index()).copied().unwrap_or((0, 0));
-                if !self.quota.admits(msgs, used) {
-                    let pair = (u.index(), from.index());
-                    if !st.quota_waiters.contains(&pair) {
-                        st.quota_waiters.push(pair);
+        let (dest, service): (UnitId, Arc<str>) = {
+            let mut shard = self.registry[shard_of(name)].lock().unwrap();
+            let mut resolved = None;
+            let mut any_revoked = false;
+            // The inner map iterates units in ascending order, so the
+            // bare-name path picks the lowest live exporter; the key's
+            // `Arc<str>` is reused — the hot path allocates no name copy.
+            if let Some((key, units)) = shard.services.get_key_value(name) {
+                for (u, svc) in units.iter() {
+                    if target.is_none_or(|t| t == *u) {
+                        if svc.revoked {
+                            any_revoked = true;
+                        } else {
+                            resolved = Some((*u, Arc::clone(key)));
+                            break;
+                        }
                     }
-                    return Ok(SendOutcome::OverQuota(bytes));
                 }
-                st.next_call += 1;
-                let call = st.next_call;
-                st.bump_inflight(u.index(), bytes.len() as u64);
-                let env = Envelope::Request {
-                    call,
-                    reply_to: from,
-                    service,
-                    kind,
-                    bytes,
-                    oneway,
-                };
-                self.post_locked(&mut st, u, env);
-                Ok(SendOutcome::Sent(call))
             }
-            None => {
-                st.next_call += 1;
-                let call = st.next_call;
-                let name_arc: Arc<str> = Arc::from(name);
-                let env = Envelope::Request {
-                    call,
-                    reply_to: from,
-                    service: Arc::clone(&name_arc),
-                    kind,
-                    bytes,
-                    oneway,
-                };
-                st.unresolved.push((name_arc, target, env));
-                Ok(SendOutcome::Sent(call))
+            match resolved {
+                Some(hit) => hit,
+                None if any_revoked => return Err(SendError::Revoked),
+                None => {
+                    let call = self.next_call.fetch_add(1, Ordering::Relaxed) + 1;
+                    let name_arc: Arc<str> = Arc::from(name);
+                    let env = Envelope::Request {
+                        call,
+                        reply_to: from,
+                        service: Arc::clone(&name_arc),
+                        kind,
+                        bytes,
+                        oneway,
+                    };
+                    shard.unresolved.push((name_arc, target, env));
+                    return Ok(SendOutcome::Sent(call));
+                }
             }
-        }
-    }
-
-    /// Turns every sender parked on `dest`'s quota into a wake-up token.
-    /// The `(dest, sender)` pairs stay registered — the sender's own
-    /// retry sweep clears and (if still over quota) re-registers them,
-    /// so a spurious wake can never lose a later one.
-    fn wake_quota_waiters(&self, st: &mut HubState, dest: u32) {
-        let mut woke = false;
-        for i in 0..st.quota_waiters.len() {
-            let (d, sender) = st.quota_waiters[i];
-            if d == dest && !st.woken.contains(&sender) {
-                st.woken.push(sender);
-                woke = true;
+        };
+        // Admission, ring push and wake bit all under one table read
+        // guard — the entire delivery is one lock acquisition plus the
+        // destination's quota cell (lock order: table read → quota
+        // cell, as documented on [`PortHub`]).
+        let d = dest.index() as usize;
+        let call = {
+            let table = self.table_for(dest.index());
+            let mb = &table.boxes[d];
+            if !self.quota.is_unbounded() {
+                let mut cell = mb.quota_cell();
+                if !self.quota.admits(cell.msgs, cell.bytes) {
+                    let sender = from.index();
+                    if !cell.waiters.contains(&sender) {
+                        cell.waiters.push(sender);
+                    }
+                    return Ok(SendOutcome::OverQuota {
+                        bytes,
+                        dest: dest.index(),
+                    });
+                }
+                cell.msgs += 1;
+                cell.bytes += bytes.len() as u64;
             }
-        }
-        if woke {
-            self.woken_flag
-                .store(true, std::sync::atomic::Ordering::Release);
-        }
+            let call = self.next_call.fetch_add(1, Ordering::Relaxed) + 1;
+            let env = Envelope::Request {
+                call,
+                reply_to: from,
+                service,
+                kind,
+                bytes,
+                oneway,
+            };
+            mb.post(env);
+            table.woken[d / 64].fetch_or(1 << (d % 64), Ordering::AcqRel);
+            call
+        };
+        self.woken_flag.store(true, Ordering::Release);
+        Ok(SendOutcome::Sent(call))
     }
 
     /// One boundary transaction for a serving unit: posts its coalesced
     /// replies and returns the quota capacity of the requests it served
     /// this quantum, waking any senders the release lets back in. Called
     /// from [`Vm::port_quantum_flush`] — mid-slice service work never
-    /// touches the hub lock.
+    /// touches the hub.
     pub(crate) fn flush_boundary(
         &self,
         unit: UnitId,
@@ -418,158 +560,242 @@ impl PortHub {
         served_msgs: u32,
         served_bytes: u64,
     ) {
-        let mut st = self.state.lock().unwrap();
-        for (to, env) in outbox.drain(..) {
-            self.post_locked(&mut st, to, env);
+        if outbox.is_empty() && (served_msgs == 0 || self.quota.is_unbounded()) {
+            return;
         }
-        if served_msgs > 0 {
-            let u = unit.index();
-            let (msgs, bytes) = st.inflight.get(&u).copied().unwrap_or((0, 0));
-            let now = (
-                msgs.saturating_sub(served_msgs),
-                bytes.saturating_sub(served_bytes),
-            );
-            if now == (0, 0) {
-                st.inflight.remove(&u);
+        // The whole boundary is one table read guard: every reply post,
+        // its wake bit, and the serving unit's quota release (lock
+        // order: table read → quota cell, as documented on [`PortHub`]).
+        let mut need = unit.index();
+        for (to, _) in outbox.iter() {
+            need = need.max(to.index());
+        }
+        let posted = !outbox.is_empty();
+        let waiters: Vec<u32> = {
+            let table = self.table_for(need);
+            for (to, env) in outbox.drain(..) {
+                let d = to.index() as usize;
+                table.boxes[d].post(env);
+                table.woken[d / 64].fetch_or(1 << (d % 64), Ordering::AcqRel);
+            }
+            if served_msgs > 0 && !self.quota.is_unbounded() {
+                let mut cell = table.boxes[unit.index() as usize].quota_cell();
+                cell.msgs = cell.msgs.saturating_sub(served_msgs);
+                cell.bytes = cell.bytes.saturating_sub(served_bytes);
+                if self.quota.admits(cell.msgs, cell.bytes) {
+                    cell.waiters.clone()
+                } else {
+                    Vec::new()
+                }
             } else {
-                st.inflight.insert(u, now);
+                Vec::new()
             }
-            if self.quota.admits(now.0, now.1) {
-                self.wake_quota_waiters(&mut st, u);
-            }
+        };
+        if posted {
+            self.woken_flag.store(true, Ordering::Release);
+        }
+        // Wake bits for released senders are set after the quota lock
+        // drops (no quota lock is ever held across a *new* table
+        // acquisition). No wake-up can be lost to the gap: the waiter
+        // registrations stay in the cell, and a sender whose admission
+        // check runs after the release observes the post-release
+        // counters.
+        for waiter in waiters {
+            self.set_woken(waiter);
         }
     }
 
-    /// Drops `sender`'s quota-waiter registrations. The sender's retry
-    /// sweep calls this first, then re-registers through
-    /// [`PortHub::send_request`] for each send still over quota.
+    /// Drops `sender`'s quota-waiter registrations everywhere. Cold-path
+    /// form for isolate revocation, which abandons pending sends without
+    /// tracking their parked destinations; the per-pickup retry sweep
+    /// uses the targeted [`PortHub::clear_quota_waits_at`].
     pub(crate) fn clear_quota_waits(&self, sender: UnitId) {
-        let mut st = self.state.lock().unwrap();
-        st.quota_waiters.retain(|&(_, s)| s != sender.index());
+        let boxes: Vec<Arc<Mailbox>> = {
+            let table = self.table.read().unwrap();
+            table.boxes.iter().map(Arc::clone).collect()
+        };
+        for mb in boxes {
+            mb.quota_cell().waiters.retain(|&s| s != sender.index());
+        }
     }
 
-    /// `true` when `sender` has a registered quota-park whose destination
-    /// now admits (or was revoked). The scheduler re-checks this under
-    /// its park lock — the mirror of the `has_mail` re-check — closing
-    /// the race where the release token fired while the sender was still
-    /// running and was dropped by the wake-up sweep.
-    pub(crate) fn retry_ready(&self, sender: UnitId) -> bool {
-        let st = self.state.lock().unwrap();
-        st.quota_waiters.iter().any(|&(d, s)| {
-            s == sender.index() && {
-                let (msgs, bytes) = st.inflight.get(&d).copied().unwrap_or((0, 0));
-                self.quota.admits(msgs, bytes)
-            }
+    /// Drops `sender`'s quota-waiter registrations at its parked
+    /// destinations. The sender's retry sweep calls this first, then
+    /// re-registers through [`PortHub::send_request`] for each send
+    /// still over quota.
+    pub(crate) fn clear_quota_waits_at(&self, sender: UnitId, dests: &[u32]) {
+        for &d in dests {
+            self.mailbox(d)
+                .quota_cell()
+                .waiters
+                .retain(|&s| s != sender.index());
+        }
+    }
+
+    /// `true` when `sender` has a registered quota-park at one of
+    /// `dests` whose destination now admits. The scheduler re-checks
+    /// this under its park lock — the mirror of the mailbox re-check —
+    /// closing the race where the release token fired while the sender
+    /// was still running and was dropped by the wake-up sweep.
+    pub(crate) fn retry_ready_at(&self, sender: UnitId, dests: &[u32]) -> bool {
+        dests.iter().any(|&d| {
+            let mb = self.mailbox(d);
+            let cell = mb.quota_cell();
+            cell.waiters.contains(&sender.index()) && self.quota.admits(cell.msgs, cell.bytes)
         })
     }
 
-    fn post_locked(&self, st: &mut HubState, unit: UnitId, env: Envelope) {
-        st.mail.entry(unit.index()).or_default().push_back(env);
-        if !st.woken.contains(&unit.index()) {
-            st.woken.push(unit.index());
-        }
-        self.woken_flag
-            .store(true, std::sync::atomic::Ordering::Release);
+    /// Hub-wide [`PortHub::retry_ready_at`], for unit tests and the loom
+    /// models (which don't thread parked destinations around).
+    #[cfg(test)]
+    pub(crate) fn retry_ready(&self, sender: UnitId) -> bool {
+        let units = self.table.read().unwrap().boxes.len() as u32;
+        (0..units).any(|d| self.retry_ready_at(sender, &[d]))
     }
 
-    /// Drains `unit`'s mailbox into `out` (the quantum-boundary drain).
-    /// The mailbox buffer stays in place, capacity and all, so the hot
-    /// ping-pong path stops allocating queue storage.
+    /// Drains `unit`'s mailbox into `out`. Test/model form — the runtime
+    /// drain goes through the unit's own cached mailbox
+    /// ([`Vm::port_drain`]) and never locks the table.
+    #[cfg(test)]
     pub(crate) fn take_mail_into(&self, unit: UnitId, out: &mut Vec<Envelope>) {
-        let mut st = self.state.lock().unwrap();
-        if let Some(q) = st.mail.get_mut(&unit.index()) {
-            out.extend(q.drain(..));
-        }
+        self.mailbox(unit.index()).drain_into(out);
     }
 
-    /// `true` when `unit` has undelivered mail.
+    /// `true` when `unit` has undelivered mail. Test/model form — the
+    /// scheduler asks the unit's cached mailbox instead.
+    #[cfg(test)]
     pub(crate) fn has_mail(&self, unit: UnitId) -> bool {
-        let st = self.state.lock().unwrap();
-        st.mail.get(&unit.index()).is_some_and(|q| !q.is_empty())
+        let table = self.table.read().unwrap();
+        table
+            .boxes
+            .get(unit.index() as usize)
+            .is_some_and(|mb| mb.has_mail())
     }
 
     /// `true` when some unit may have received mail since the last sweep
-    /// (lock-free fast path; may say `true` spuriously, never misses a
-    /// post that completed before the load).
+    /// (one atomic load; may say `true` spuriously, never misses a post
+    /// that completed before the load).
     pub(crate) fn has_woken(&self) -> bool {
-        self.woken_flag.load(std::sync::atomic::Ordering::Acquire)
+        self.woken_flag.load(Ordering::Acquire)
     }
 
-    /// Drains the units that received mail since the last sweep into
-    /// `out`, in post order (the scheduler's unpark order).
+    /// Drains every pending wake token into `out`, in ascending unit
+    /// order — one batched word-scan per scheduler sweep. The flag is
+    /// cleared first: a post racing the scan either lands its bit before
+    /// the word is swapped (harvested now) or, having read the swapped
+    /// word value through its `AcqRel` RMW, re-raises the flag strictly
+    /// after this clear (harvested next sweep). Either way no token is
+    /// lost.
     pub(crate) fn drain_woken_into(&self, out: &mut Vec<u32>) {
-        let mut st = self.state.lock().unwrap();
-        out.append(&mut st.woken);
-        self.woken_flag
-            .store(false, std::sync::atomic::Ordering::Release);
+        self.woken_flag.store(false, Ordering::Release);
+        let table = self.table.read().unwrap();
+        for (wi, word) in table.woken.iter().enumerate() {
+            if word.load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            let mut bits = word.swap(0, Ordering::AcqRel);
+            while bits != 0 {
+                let bit = bits.trailing_zeros();
+                out.push(wi as u32 * 64 + bit);
+                bits &= bits - 1;
+            }
+        }
     }
 
     /// `true` when no undelivered mail or wake-up token exists anywhere —
     /// the hub-side half of the cluster's quiescence check. Requests
     /// parked awaiting an export that never happens do *not* block
     /// quiescence: their callers stay blocked and their units report it.
+    /// One load of the shared pending counter (which never undercounts
+    /// what is queued — see [`Mailbox::with_pending`]) plus the
+    /// O(units/64) word-scan; never a walk over the rings, so the check
+    /// stays cheap at 1000+ units. A post that is mid-flight keeps the
+    /// counter nonzero, so a `true` here cannot miss queued mail — the
+    /// spurious direction is `false`, which the caller retries.
     pub(crate) fn quiescent(&self) -> bool {
-        let st = self.state.lock().unwrap();
-        st.woken.is_empty() && st.mail.values().all(|q| q.is_empty())
+        if self.pending.load(Ordering::Acquire) != 0 {
+            return false;
+        }
+        let table = self.table.read().unwrap();
+        table.woken.iter().all(|w| w.load(Ordering::Acquire) == 0)
     }
 
     /// Number of requests parked awaiting an export (introspection; the
     /// embedder-facing equivalent is [`HubStats::unresolved_requests`]).
     #[cfg(test)]
     pub(crate) fn unresolved_requests(&self) -> usize {
-        self.state.lock().unwrap().unresolved.len()
+        self.registry
+            .iter()
+            .map(|s| s.lock().unwrap().unresolved.len())
+            .sum()
     }
 
     /// Exported service names, in `(unit, name)` order (introspection;
     /// the embedder-facing equivalent is [`HubStats::services`]).
     #[cfg(test)]
     pub(crate) fn service_names(&self) -> Vec<(u32, String)> {
-        self.state
-            .lock()
-            .unwrap()
-            .services
-            .iter()
-            .filter(|(_, s)| !s.revoked)
-            .map(|((u, n), _)| (u.index(), n.to_string()))
-            .collect()
+        let mut out = Vec::new();
+        for shard in self.registry.iter() {
+            let shard = shard.lock().unwrap();
+            for (name, units) in shard.services.iter() {
+                for (u, svc) in units.iter() {
+                    if !svc.revoked {
+                        out.push((u.index(), name.to_string()));
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
     }
 
     /// A read-only snapshot of the hub — the embedder-facing view
-    /// ([`crate::sched::Cluster::hub_stats`]).
+    /// ([`crate::sched::Cluster::hub_stats`]). Coherent across shards:
+    /// every registry shard and every mailbox's quota cell is held
+    /// locked simultaneously while the rows are read, so totals cannot
+    /// tear between shard locks. The pile-up cannot deadlock: every
+    /// other hub path holds at most one shard or quota lock at a time,
+    /// and this one acquires them in a fixed order (shards ascending,
+    /// then cells ascending).
     pub(crate) fn stats(&self) -> HubStats {
-        let st = self.state.lock().unwrap();
-        let services = st
-            .services
-            .iter()
-            .filter(|(_, s)| !s.revoked)
-            .map(|((u, n), _)| ServiceStat {
-                unit: u.index(),
-                name: n.to_string(),
-            })
-            .collect();
-        let mut boxes: BTreeMap<u32, MailboxStat> = BTreeMap::new();
-        let blank = |unit| MailboxStat {
-            unit,
-            queued: 0,
-            admitted_messages: 0,
-            admitted_bytes: 0,
-            parked_senders: 0,
-        };
-        for (u, q) in st.mail.iter().filter(|(_, q)| !q.is_empty()) {
-            boxes.entry(*u).or_insert_with(|| blank(*u)).queued = q.len();
+        let shards: Vec<_> = self.registry.iter().map(|s| s.lock().unwrap()).collect();
+        let table = self.table.read().unwrap();
+        let cells: Vec<_> = table.boxes.iter().map(|mb| mb.quota_cell()).collect();
+        let mut services: Vec<ServiceStat> = Vec::new();
+        for shard in shards.iter() {
+            for (name, units) in shard.services.iter() {
+                for (u, svc) in units.iter() {
+                    if !svc.revoked {
+                        services.push(ServiceStat {
+                            unit: u.index(),
+                            name: name.to_string(),
+                        });
+                    }
+                }
+            }
         }
-        for (u, (msgs, bytes)) in st.inflight.iter() {
-            let row = boxes.entry(*u).or_insert_with(|| blank(*u));
-            row.admitted_messages = *msgs;
-            row.admitted_bytes = *bytes;
-        }
-        for &(d, _) in st.quota_waiters.iter() {
-            boxes.entry(d).or_insert_with(|| blank(d)).parked_senders += 1;
+        services.sort_by(|a, b| (a.unit, &a.name).cmp(&(b.unit, &b.name)));
+        let mut mailboxes = Vec::new();
+        for (u, (mb, cell)) in table.boxes.iter().zip(cells.iter()).enumerate() {
+            let row = MailboxStat {
+                unit: u as u32,
+                queued: mb.queued_len(),
+                admitted_messages: cell.msgs,
+                admitted_bytes: cell.bytes,
+                parked_senders: cell.waiters.len(),
+            };
+            if row.queued > 0
+                || row.admitted_messages > 0
+                || row.admitted_bytes > 0
+                || row.parked_senders > 0
+            {
+                mailboxes.push(row);
+            }
         }
         HubStats {
             services,
-            mailboxes: boxes.into_values().collect(),
-            unresolved_requests: st.unresolved.len(),
+            mailboxes,
+            unresolved_requests: shards.iter().map(|s| s.unresolved.len()).sum(),
             quota: self.quota,
         }
     }
@@ -713,6 +939,10 @@ struct PendingSend {
     kind: PayloadKind,
     bytes: Vec<u8>,
     mode: SendMode,
+    /// The destination whose quota parked this send (where the waiter
+    /// registration lives), so retry sweeps and park re-checks stay
+    /// shard-local instead of scanning every mailbox.
+    parked_dest: u32,
 }
 
 /// What a [`PendingSend`] resumes as once admitted.
@@ -740,6 +970,10 @@ enum SendMode {
 pub(crate) struct PortState {
     /// Set by [`crate::sched::Cluster::submit`].
     attach: Option<(UnitId, Arc<PortHub>)>,
+    /// This unit's own hub mailbox, cached at attach: drains, emptiness
+    /// checks and park re-checks go straight here, so the unit never
+    /// locks the hub's mailbox table for its own mail.
+    own_box: Option<Arc<Mailbox>>,
     pumps: BTreeMap<Arc<str>, Pump>,
     /// Reply routing by call id. Hot path (touched per call/reply), so
     /// it stays a HashMap.
@@ -828,6 +1062,7 @@ impl Vm {
         if let Some(ts) = self.trace.as_mut() {
             ts.unit = crate::trace::clamp_id(unit.index());
         }
+        self.port.own_box = Some(hub.register_unit(unit));
         self.port.attach = Some((unit, hub));
     }
 
@@ -852,13 +1087,15 @@ impl Vm {
         self.port_drain_force();
     }
 
-    /// Unconditional mailbox drain (see [`Vm::port_drain`]).
+    /// Unconditional mailbox drain (see [`Vm::port_drain`]). Drains the
+    /// unit's own cached mailbox ring directly — senders post to the
+    /// ring without a lock, and the drain never contends with them.
     pub(crate) fn port_drain_force(&mut self) {
-        let Some((unit, hub)) = self.port.attach.clone() else {
+        let Some(own) = self.port.own_box.clone() else {
             return;
         };
         let mut mail = std::mem::take(&mut self.port.drain_scratch);
-        hub.take_mail_into(unit, &mut mail);
+        own.drain_into(&mut mail);
         if !mail.is_empty() {
             self.trace_mail_drain(mail.len() as u64);
         }
@@ -902,8 +1139,18 @@ impl Vm {
             return;
         };
         // Registrations are rebuilt from scratch each sweep so stale
-        // pairs (dropped sends, terminated threads) cannot accumulate.
-        hub.clear_quota_waits(unit);
+        // entries (dropped sends, terminated threads) cannot accumulate.
+        // Only the destinations this unit is actually parked on are
+        // touched — the sweep is shard-local, not a hub-wide scan.
+        let mut dests: Vec<u32> = self
+            .port
+            .pending_sends
+            .iter()
+            .map(|p| p.parked_dest)
+            .collect();
+        dests.sort_unstable();
+        dests.dedup();
+        hub.clear_quota_waits_at(unit, &dests);
         let rounds = self.port.pending_sends.len();
         for _ in 0..rounds {
             let Some(ps) = self.port.pending_sends.pop_front() else {
@@ -916,6 +1163,7 @@ impl Vm {
                 kind,
                 bytes,
                 mode,
+                parked_dest: _,
             } = ps;
             // The parked thread was interrupted or terminated meanwhile:
             // the send is abandoned.
@@ -965,7 +1213,7 @@ impl Vm {
                         }
                     }
                 }
-                Ok(SendOutcome::OverQuota(bytes)) => {
+                Ok(SendOutcome::OverQuota { bytes, dest }) => {
                     self.port.pending_sends.push_back(PendingSend {
                         thread: tid,
                         target,
@@ -973,6 +1221,7 @@ impl Vm {
                         kind,
                         bytes,
                         mode,
+                        parked_dest: dest,
                     });
                 }
                 Err(SendError::Revoked) => {
@@ -1079,15 +1328,41 @@ impl Vm {
         self.port.keeps_unit_alive()
     }
 
-    /// `true` when this unit holds quota-parked sends. The scheduler's
-    /// park decision gates its `PortHub::retry_ready` probe on this, so
-    /// units that never hit a quota (the common case) pay no extra hub
-    /// lock per park. Sound because a unit with no pending sends has no
-    /// registered quota-waiter pairs: pairs are created together with
-    /// their `PendingSend` and cleared by the retry sweep or, when
-    /// revocation abandons the last send, by `port_revoke_isolate`.
-    pub(crate) fn port_has_pending_sends(&self) -> bool {
-        !self.port.pending_sends.is_empty()
+    /// `true` when this unit's mailbox has undelivered mail. One ring
+    /// emptiness check on the unit's own cached mailbox — no hub lock,
+    /// nothing for an unattached VM — so the scheduler's park decision
+    /// and finish-path check cost a compute-only unit nothing.
+    pub(crate) fn port_has_mail(&self) -> bool {
+        self.port.own_box.as_ref().is_some_and(|mb| mb.has_mail())
+    }
+
+    /// `true` when this unit holds a quota-parked send whose destination
+    /// now admits. The scheduler re-checks this under its park lock —
+    /// the mirror of the [`Vm::port_has_mail`] re-check — closing the
+    /// race where the release token fired while the unit was still
+    /// running and was dropped by the wake-up sweep. Units with no
+    /// pending sends (the common case) return without touching the hub;
+    /// parked ones probe only the destinations they are parked on.
+    /// Sound because waiter registrations are created together with
+    /// their `PendingSend` (at its `parked_dest`) and cleared by the
+    /// retry sweep or, when revocation abandons the last send, by
+    /// `port_revoke_isolate`.
+    pub(crate) fn port_retry_ready(&self) -> bool {
+        if self.port.pending_sends.is_empty() {
+            return false;
+        }
+        let Some((unit, hub)) = self.port.attach.as_ref() else {
+            return false;
+        };
+        let mut dests: Vec<u32> = self
+            .port
+            .pending_sends
+            .iter()
+            .map(|p| p.parked_dest)
+            .collect();
+        dests.sort_unstable();
+        dests.dedup();
+        hub.retry_ready_at(*unit, &dests)
     }
 
     /// Queues `req` behind `name`'s pump (or fails it when the service
@@ -1741,6 +2016,7 @@ fn park_on_quota(
     kind: PayloadKind,
     bytes: Vec<u8>,
     mode: SendMode,
+    dest: u32,
 ) {
     vm.trace_emit(
         crate::trace::EventKind::QuotaPark,
@@ -1755,6 +2031,7 @@ fn park_on_quota(
         kind,
         bytes,
         mode,
+        parked_dest: dest,
     });
     vm.threads[tid.0 as usize].state = ThreadState::BlockedOnQuota;
 }
@@ -1786,8 +2063,18 @@ fn port_call(
                 vm.trace_call_send(call, iso, tid, crate::trace::EventKind::CallSend);
                 NativeResult::BlockPending
             }
-            Ok(SendOutcome::OverQuota(bytes)) => {
-                park_on_quota(vm, tid, iso, target, name, kind, bytes, SendMode::Call);
+            Ok(SendOutcome::OverQuota { bytes, dest }) => {
+                park_on_quota(
+                    vm,
+                    tid,
+                    iso,
+                    target,
+                    name,
+                    kind,
+                    bytes,
+                    SendMode::Call,
+                    dest,
+                );
                 NativeResult::BlockPending
             }
             Err(SendError::Revoked) => revoked(),
@@ -1850,11 +2137,21 @@ fn port_send(
                 );
                 NativeResult::Return(None)
             }
-            Ok(SendOutcome::OverQuota(bytes)) => {
+            Ok(SendOutcome::OverQuota { bytes, dest }) => {
                 // Fire-and-forget still backpressures: the flooder parks
                 // (already charged) instead of growing the victim's
                 // mailbox. `send` returns void, so nothing is pushed.
-                park_on_quota(vm, tid, iso, None, name, kind, bytes, SendMode::Oneway);
+                park_on_quota(
+                    vm,
+                    tid,
+                    iso,
+                    None,
+                    name,
+                    kind,
+                    bytes,
+                    SendMode::Oneway,
+                    dest,
+                );
                 NativeResult::BlockReturn(None)
             }
             Err(SendError::Revoked) => NativeResult::Return(None),
@@ -1968,7 +2265,7 @@ fn port_post(
                 vm.trace_call_send(call, iso, tid, crate::trace::EventKind::FuturePost);
                 NativeResult::Return(Some(Value::Ref(fut)))
             }
-            Ok(SendOutcome::OverQuota(bytes)) => {
+            Ok(SendOutcome::OverQuota { bytes, dest }) => {
                 // The future ref goes on the sender's stack now
                 // (`BlockReturn`); the thread parks and the retry sweep
                 // wires the call id in once the destination admits.
@@ -1989,6 +2286,7 @@ fn port_post(
                     kind,
                     bytes,
                     SendMode::Post { future: fid },
+                    dest,
                 );
                 NativeResult::BlockReturn(Some(Value::Ref(fut)))
             }
@@ -2453,7 +2751,7 @@ mod tests {
     fn sent(r: Result<SendOutcome, SendError>) -> u64 {
         match r.expect("send failed") {
             SendOutcome::Sent(call) => call,
-            SendOutcome::OverQuota(_) => panic!("unexpected quota rejection"),
+            SendOutcome::OverQuota { .. } => panic!("unexpected quota rejection"),
         }
     }
 
@@ -2518,7 +2816,10 @@ mod tests {
             .send_request(sender, None, "svc", PayloadKind::Int, vec![3], false)
             .unwrap()
         {
-            SendOutcome::OverQuota(bytes) => assert_eq!(bytes, vec![3]),
+            SendOutcome::OverQuota { bytes, dest } => {
+                assert_eq!(bytes, vec![3]);
+                assert_eq!(dest, 0, "the resolved destination rides along");
+            }
             SendOutcome::Sent(_) => panic!("expected quota rejection"),
         }
         assert!(!hub.retry_ready(sender), "destination still full");
@@ -2589,5 +2890,119 @@ mod tests {
             ),
             Err(SendError::Revoked)
         );
+    }
+
+    // The shard-routing determinism lane: routing must be a pure
+    // function of the service name (never of pointer identity, hash
+    // seeds or export order), and bare-name resolution must pick the
+    // lowest exporting unit however the exports were interleaved —
+    // the two properties that let a sharded registry hide behind the
+    // bit-identical differential contract.
+    proptest::proptest! {
+        #[test]
+        fn shard_routing_is_deterministic(
+            name in "[a-z0-9/._-]{1,24}",
+            mut units in proptest::collection::vec(0u32..64, 1..8),
+        ) {
+            let shard = shard_of(&name);
+            proptest::prop_assert!(shard < REGISTRY_SHARDS);
+            // Stable across string identity (a fresh allocation).
+            proptest::prop_assert_eq!(shard, shard_of(name.clone().as_str()));
+            let hub = PortHub::default();
+            for &u in units.iter() {
+                hub.export(UnitId::new(u), Arc::from(name.as_str()), IsolateId(0));
+            }
+            sent(hub.send_request(
+                UnitId::new(99),
+                None,
+                &name,
+                PayloadKind::Int,
+                vec![7],
+                false,
+            ));
+            units.sort_unstable();
+            proptest::prop_assert!(
+                hub.has_mail(UnitId::new(units[0])),
+                "bare-name resolution must pick the lowest exporter"
+            );
+        }
+    }
+
+    /// Mid-flood [`PortHub::stats`] snapshots must be coherent: with
+    /// producers hammering one destination, every snapshot row has to
+    /// satisfy the cross-field invariants (`admitted <= quota bound`,
+    /// `queued <= admitted`) that torn reads between per-shard locks
+    /// would violate — admission is counted under the same cell lock
+    /// the snapshot reads, strictly before the envelope is posted.
+    #[test]
+    fn stats_snapshot_is_coherent_mid_flood() {
+        let quota = MailboxQuota {
+            max_messages: 8,
+            max_bytes: 1 << 20,
+        };
+        let hub = Arc::new(PortHub::with_quota(quota));
+        hub.export(UnitId::new(0), Arc::from("svc"), IsolateId(0));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let senders: Vec<_> = (1u32..5)
+            .map(|s| {
+                let hub = Arc::clone(&hub);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        match hub
+                            .send_request(
+                                UnitId::new(s),
+                                None,
+                                "svc",
+                                PayloadKind::Int,
+                                vec![s as u8],
+                                true,
+                            )
+                            .unwrap()
+                        {
+                            SendOutcome::Sent(_) => {}
+                            SendOutcome::OverQuota { .. } => {
+                                // Drain-and-release on the destination's
+                                // behalf so the flood keeps cycling.
+                                let mut mail = Vec::new();
+                                hub.take_mail_into(UnitId::new(0), &mut mail);
+                                let served: u64 = mail.len() as u64;
+                                if served > 0 {
+                                    hub.flush_boundary(
+                                        UnitId::new(0),
+                                        &mut Vec::new(),
+                                        served as u32,
+                                        served,
+                                    );
+                                }
+                                hub.clear_quota_waits(UnitId::new(s));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            let stats = hub.stats();
+            for row in stats.mailboxes.iter() {
+                assert!(
+                    row.admitted_messages <= quota.max_messages,
+                    "admission bound torn: {} > {}",
+                    row.admitted_messages,
+                    quota.max_messages
+                );
+                assert!(
+                    row.queued <= row.admitted_messages as usize,
+                    "snapshot tore between queue and admission: queued {} \
+                     admitted {}",
+                    row.queued,
+                    row.admitted_messages
+                );
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for s in senders {
+            s.join().unwrap();
+        }
     }
 }

@@ -1022,17 +1022,17 @@ impl Shared {
                         // check (seen here) or leaves a wake-up token a
                         // later sweep resolves against the parked entry.
                         let mut parked = self.parked_units.lock().unwrap();
-                        // `retry_ready` mirrors the mailbox re-check for
-                        // quota-parked sends: a destination may have
-                        // drained (pushing this unit's wake-up token)
-                        // while the slice ran, and the token sweep drops
-                        // tokens for units that are not parked yet. The
-                        // probe is gated on the VM-side pending-send
-                        // queue so the common no-quota park pays no
-                        // second hub lock.
-                        if self.hub.has_mail(unit.id)
-                            || (unit.vm.port_has_pending_sends() && self.hub.retry_ready(unit.id))
-                        {
+                        // `port_retry_ready` mirrors the mailbox
+                        // re-check for quota-parked sends: a destination
+                        // may have drained (pushing this unit's wake-up
+                        // token) while the slice ran, and the token
+                        // sweep drops tokens for units that are not
+                        // parked yet. Both probes are VM-side: the mail
+                        // check reads the unit's own cached mailbox and
+                        // the retry probe touches only the shards its
+                        // parked sends wait on, so the common
+                        // compute-only park never takes a hub lock.
+                        if unit.vm.port_has_mail() || unit.vm.port_retry_ready() {
                             drop(parked);
                             self.queues[w].lock().unwrap().push_back(unit);
                         } else {
@@ -1055,7 +1055,7 @@ impl Shared {
                         // its services were revoked. Fail it back to the
                         // caller now; finishing with undelivered mail
                         // would leave the cluster unable to quiesce.
-                        if self.hub.has_mail(unit.id) {
+                        if unit.vm.port_has_mail() {
                             unit.vm.port_drain_force();
                             unit.vm.port_quantum_flush();
                         }

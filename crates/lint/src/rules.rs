@@ -194,6 +194,7 @@ const DETERMINISTIC_PATHS: &[&str] = &[
     "crates/core/src/interp.rs",
     "crates/core/src/sched.rs",
     "crates/core/src/port.rs",
+    "crates/core/src/mailbox.rs",
     "crates/core/src/vm.rs",
 ];
 
@@ -548,6 +549,20 @@ mod tests {
             assert!(
                 reason.split_whitespace().count() >= 4,
                 "allowlist entry `{name}` needs a real reason, got: {reason:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_hub_files_are_in_deterministic_scope() {
+        // The sharded PortHub splits delivery state across registry
+        // shards and per-unit mailboxes; a `HashMap` sneaking into
+        // either file could leak hash-iteration order into resolution
+        // or wake order. Both must stay under the determinism rule.
+        for rel in ["crates/core/src/port.rs", "crates/core/src/mailbox.rs"] {
+            assert!(
+                is_deterministic_path(rel),
+                "{rel} must be covered by the determinism lint"
             );
         }
     }
