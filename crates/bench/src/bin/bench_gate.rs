@@ -335,6 +335,36 @@ fn main() -> ExitCode {
         }
     }
 
+    // Checkpoint elasticity gate: restoring a warmed image must beat
+    // the cold boot (class load + `<clinit>` + warmup) it replaces by
+    // the committed floor. A floor, so the shared tolerance is applied
+    // downward, like the engine speedups: both sides of the ratio run
+    // back to back on the same box, cancelling runner-speed variance.
+    if let Some(floor) = doc_num(&baseline_json, "restore_min_speedup") {
+        let gated_floor = floor * (1.0 - tolerance);
+        match doc_num(&fresh_json, "restore_speedup") {
+            Some(speedup) if speedup >= gated_floor => {
+                println!(
+                    "  ok   checkpoint restore vs cold boot: {speedup:.2}x (floor {gated_floor:.2}x)"
+                );
+            }
+            Some(speedup) => {
+                println!(
+                    "  FAIL checkpoint restore vs cold boot: {speedup:.2}x below floor {gated_floor:.2}x"
+                );
+                failures += 1;
+                offenders.push(format!(
+                    "checkpoint restore vs cold boot: fresh {speedup:.2}x, floor {gated_floor:.2}x"
+                ));
+            }
+            None => {
+                println!("  FAIL checkpoint section missing from {fresh_path}");
+                failures += 1;
+                offenders.push("checkpoint restore speedup: missing from the fresh run".to_owned());
+            }
+        }
+    }
+
     if failures > 0 {
         eprintln!("bench gate: {failures} metric(s) regressed; offending rows:");
         for o in &offenders {

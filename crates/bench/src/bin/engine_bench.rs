@@ -5,6 +5,7 @@
 //! argument, as the CI bench gate does to keep the committed baseline
 //! intact).
 
+use ijvm_bench::checkpoint::{measure_checkpoint, print_checkpoint};
 use ijvm_bench::engine::{engine_comparison, print_engine_table, to_json};
 use ijvm_bench::parallel::{measure_scaling, print_scaling_table};
 use ijvm_bench::saturation::{
@@ -35,6 +36,8 @@ fn main() {
     print_saturation(&saturation);
     let sat_scaling = measure_saturation_scaling();
     print_saturation_scaling(&sat_scaling);
+    let checkpoint = measure_checkpoint(8, 3);
+    print_checkpoint(&checkpoint);
     let json = to_json(
         &rows,
         iterations,
@@ -43,6 +46,7 @@ fn main() {
         Some(&trace),
         Some(&saturation),
         Some(&sat_scaling),
+        Some(&checkpoint),
     );
     match std::fs::write(&path, &json) {
         Ok(()) => println!("\nwrote {path}"),

@@ -1,0 +1,211 @@
+//! Checkpoint/restore cost model: snapshot size, capture and restore
+//! latency, and the elasticity payoff — how much faster a warmed unit
+//! comes up from an image than from a cold boot that re-runs class
+//! loading and `<clinit>`, and how that advantage amortizes across an
+//! N-way snapshot fork (`Cluster::submit_image_n`).
+//!
+//! The gated contract is `restore_speedup`: restoring a warmed image
+//! must beat the cold boot it replaces by at least
+//! [`RESTORE_MIN_SPEEDUP`] (checked by `bench_gate` against the
+//! committed `BENCH_engine.json`). Restore replays class *definitions*
+//! from the embedded bytes but skips verification-order re-discovery,
+//! `<clinit>` execution and warmup entirely — if it ever stopped
+//! beating the cold path, snapshot-fork scale-out would be pointless.
+
+use ijvm_core::checkpoint::{restore, UnitImage};
+use ijvm_core::prelude::*;
+use std::time::Instant;
+
+/// The gated floor: restoring a warmed image must be at least this many
+/// times faster than a cold boot (boot + class load + `<clinit>` +
+/// warmup) of the same unit. Measured 15–30× on the reference runner
+/// (the warmup loop dominates the cold side; the restore side is one
+/// validated pass over a ~16 KB image), so 3× leaves a wide margin for
+/// slow runners while still failing if restore ever re-ran init work.
+pub const RESTORE_MIN_SPEEDUP: f64 = 3.0;
+
+/// The warmed template: an expensive, observable `<clinit>` plus an
+/// exported service — the unit shape snapshot-fork exists for.
+const WARM_SRC: &str = r#"
+    class Table {
+        static int sum = fill();
+        static int fill() {
+            int s = 0;
+            for (int i = 0; i < 120000; i++) s = s + i % 97;
+            return s;
+        }
+    }
+    class Lookup {
+        int handle(int x) { return x + Table.sum; }
+    }
+    class Boot {
+        static int start(int n) {
+            Service.export("lookup", new Lookup());
+            return Table.sum;
+        }
+    }
+"#;
+
+/// One checkpoint/restore measurement set (best-of-runs latencies).
+#[derive(Debug, Clone)]
+pub struct CheckpointReport {
+    /// Size of the warmed unit's image in bytes.
+    pub image_bytes: usize,
+    /// Cold path: boot + add classes + load + `<clinit>` + warmup, ns.
+    pub cold_boot_ns: f64,
+    /// Capture latency of the warmed unit, ns.
+    pub checkpoint_ns: f64,
+    /// Restore latency from the image (validate + replay + install), ns.
+    pub restore_ns: f64,
+    /// Width of the measured snapshot fork.
+    pub forks: u32,
+    /// Per-clone cost of `Cluster::submit_image_n` across `forks`, ns.
+    pub fork_per_unit_ns: f64,
+}
+
+impl CheckpointReport {
+    /// `cold_boot_ns / restore_ns` — the gated elasticity payoff.
+    pub fn restore_speedup(&self) -> f64 {
+        self.cold_boot_ns / self.restore_ns.max(f64::MIN_POSITIVE)
+    }
+
+    /// `cold_boot_ns / fork_per_unit_ns` — the payoff per clone when
+    /// one image fans out N ways.
+    pub fn fork_amortization(&self) -> f64 {
+        self.cold_boot_ns / self.fork_per_unit_ns.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Cold-boots the warmed template to idle from pre-compiled classes
+/// (compilation is deliberately outside the measurement: restore
+/// replaces boot and init, not the compiler).
+fn cold_boot(classes: &[(String, Vec<u8>)]) -> Vm {
+    let mut vm = ijvm_jsl::boot(VmOptions::isolated());
+    let iso = vm.create_isolate("unit");
+    let loader = vm.loader_of(iso).unwrap();
+    for (name, bytes) in classes {
+        vm.add_class_bytes(loader, name, bytes.clone());
+    }
+    let class = vm.load_class(loader, "Boot").unwrap();
+    let index = vm.class(class).find_method("start", "(I)I").unwrap();
+    vm.spawn_thread("boot", MethodRef { class, index }, vec![Value::Int(1)], iso)
+        .unwrap();
+    assert_eq!(vm.run(None), RunOutcome::Idle, "warmup must finish");
+    vm
+}
+
+/// Measures the full checkpoint cost model, keeping the fastest of
+/// `runs` rounds for every latency (minimum is robust against noise).
+pub fn measure_checkpoint(forks: u32, runs: u32) -> CheckpointReport {
+    let classes =
+        ijvm_minijava::compile_to_bytes(WARM_SRC, &ijvm_minijava::CompileEnv::new()).unwrap();
+
+    let mut cold_ns = f64::MAX;
+    let mut ckpt_ns = f64::MAX;
+    let mut restore_ns = f64::MAX;
+    let mut fork_unit_ns = f64::MAX;
+    let mut image_bytes = 0usize;
+
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        let vm = cold_boot(&classes);
+        cold_ns = cold_ns.min(start.elapsed().as_nanos() as f64);
+
+        let start = Instant::now();
+        let image = vm.checkpoint().expect("warmed unit is quiescent");
+        ckpt_ns = ckpt_ns.min(start.elapsed().as_nanos() as f64);
+        image_bytes = image.len();
+
+        let start = Instant::now();
+        let restored = restore(&image, VmOptions::isolated(), ijvm_jsl::install_natives)
+            .expect("image restores");
+        restore_ns = restore_ns.min(start.elapsed().as_nanos() as f64);
+        drop(restored);
+
+        let mut cluster = Cluster::builder()
+            .scheduler(SchedulerKind::Parallel(1))
+            .vm_options(VmOptions::isolated())
+            .build();
+        let start = Instant::now();
+        cluster
+            .submit_image_n(&image, forks as usize, ijvm_jsl::install_natives)
+            .expect("image forks");
+        fork_unit_ns =
+            fork_unit_ns.min(start.elapsed().as_nanos() as f64 / f64::from(forks.max(1)));
+    }
+
+    CheckpointReport {
+        image_bytes,
+        cold_boot_ns: cold_ns,
+        checkpoint_ns: ckpt_ns,
+        restore_ns,
+        forks,
+        fork_per_unit_ns: fork_unit_ns,
+    }
+}
+
+/// Pretty-prints the report.
+pub fn print_checkpoint(report: &CheckpointReport) {
+    println!("\n== Checkpoint/restore vs cold boot (warmed service unit) ==");
+    println!(
+        "{:<28} {:>14}\n{:<28} {:>14}\n{:<28} {:>14}\n{:<28} {:>14}\n{:<28} {:>13.2}x (gated floor {:.1}x)\n{:<28} {:>13.2}x ({}-way fork)",
+        "image size",
+        format!("{} bytes", report.image_bytes),
+        "cold boot + <clinit>",
+        format!("{:.0} ns", report.cold_boot_ns),
+        "checkpoint (capture)",
+        format!("{:.0} ns", report.checkpoint_ns),
+        "restore (resume-ready)",
+        format!("{:.0} ns", report.restore_ns),
+        "restore speedup",
+        report.restore_speedup(),
+        RESTORE_MIN_SPEEDUP,
+        "fork amortization",
+        report.fork_amortization(),
+        report.forks,
+    );
+}
+
+/// Serializes the report as the `"checkpoint"` section of
+/// `BENCH_engine.json` (hand-rolled, like the rest — no serde offline).
+pub fn checkpoint_to_json(report: &CheckpointReport) -> String {
+    let mut out = String::from("  \"checkpoint\": {\n");
+    out.push_str(&format!(
+        "    \"ckpt_image_bytes\": {},\n",
+        report.image_bytes
+    ));
+    out.push_str(&format!(
+        "    \"ckpt_cold_boot_ns\": {:.0},\n",
+        report.cold_boot_ns
+    ));
+    out.push_str(&format!(
+        "    \"ckpt_capture_ns\": {:.0},\n",
+        report.checkpoint_ns
+    ));
+    out.push_str(&format!(
+        "    \"ckpt_restore_ns\": {:.0},\n",
+        report.restore_ns
+    ));
+    out.push_str(&format!("    \"ckpt_forks\": {},\n", report.forks));
+    out.push_str(&format!(
+        "    \"ckpt_fork_per_unit_ns\": {:.0},\n",
+        report.fork_per_unit_ns
+    ));
+    out.push_str(&format!(
+        "    \"ckpt_fork_amortization\": {:.4},\n",
+        report.fork_amortization()
+    ));
+    out.push_str(&format!(
+        "    \"restore_speedup\": {:.4},\n",
+        report.restore_speedup()
+    ));
+    out.push_str(&format!(
+        "    \"restore_min_speedup\": {RESTORE_MIN_SPEEDUP}\n"
+    ));
+    out.push_str("  }");
+    out
+}
+
+/// An [`UnitImage`] re-export so the drivers don't need `ijvm_core::
+/// checkpoint` in scope for type annotations.
+pub type Image = UnitImage;

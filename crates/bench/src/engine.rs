@@ -274,7 +274,10 @@ pub fn print_engine_table(rows: &[EngineRow]) {
 /// overhead report as the `"trace"` section (trace-on vs trace-off
 /// ratios, gated as ceilings). The saturation report (plus, when
 /// measured, the unit-count scaling sweep) lands in the `"saturation"`
-/// section, whose flat ratio the gate reads as a ceiling.
+/// section, whose flat ratio the gate reads as a ceiling. The
+/// checkpoint/restore cost model lands in the `"checkpoint"` section,
+/// whose `restore_speedup` the gate reads as a floor.
+#[allow(clippy::too_many_arguments)]
 pub fn to_json(
     rows: &[EngineRow],
     iterations: i32,
@@ -283,6 +286,7 @@ pub fn to_json(
     trace: Option<&crate::trace::TraceOverheadReport>,
     saturation: Option<&crate::saturation::SaturationReport>,
     sat_scaling: Option<&crate::saturation::SaturationScaling>,
+    checkpoint: Option<&crate::checkpoint::CheckpointReport>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"engine_raw_vs_quickened_vs_threaded\",\n");
@@ -314,6 +318,9 @@ pub fn to_json(
     }
     if let Some(report) = saturation {
         sections.push(crate::saturation::saturation_to_json(report, sat_scaling));
+    }
+    if let Some(report) = checkpoint {
+        sections.push(crate::checkpoint::checkpoint_to_json(report));
     }
     if sections.is_empty() {
         out.push_str("  ]\n}\n");

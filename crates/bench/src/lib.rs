@@ -20,6 +20,7 @@
 // whole crate.
 #![allow(clippy::disallowed_types, clippy::disallowed_methods)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod micro;
 pub mod parallel;

@@ -223,6 +223,21 @@ pub fn install(vm: &mut Vm) -> Result<()> {
     Ok(())
 }
 
+/// Registers exactly the native implementations [`install`] would,
+/// without installing any system class. This is the natives hook for
+/// checkpoint restore ([`crate::checkpoint::restore`]): a checkpoint
+/// image carries the bootstrap classpath — including every system-class
+/// byte stream `install` originally wrote — so restore replays the class
+/// definitions from the image and must not re-install them; only the
+/// host-side native function table (which cannot be serialized) has to
+/// be rebuilt. Embedders that registered additional natives must layer
+/// their registrations on top, the same way they layered them over
+/// [`install`] (e.g. `ijvm_jsl::install_natives`).
+pub fn install_natives(vm: &mut Vm) {
+    register_core_natives(vm);
+    crate::port::install_natives(vm);
+}
+
 fn register_core_natives(vm: &mut Vm) {
     vm.register_native(
         "java/lang/Object",

@@ -207,6 +207,38 @@ impl Heap {
             .filter_map(|(i, s)| s.as_ref().map(|_| GcRef(i as u32)))
             .collect()
     }
+
+    // ------------------------------------------------------------------
+    // Checkpoint support (crate::checkpoint)
+    // ------------------------------------------------------------------
+
+    /// The raw slab, including `None` holes. A checkpoint must serialize
+    /// holes positionally: slab indices *are* the object identities
+    /// ([`GcRef`] values), so a restored heap has to reproduce the exact
+    /// slot layout for every serialized reference to stay valid.
+    pub(crate) fn slots(&self) -> &[Option<Object>] {
+        &self.slots
+    }
+
+    /// The free list in stack order. `alloc` pops from the back, so the
+    /// restored list must preserve order for allocation to replay
+    /// identically after restore.
+    pub(crate) fn free_list(&self) -> &[u32] {
+        &self.free
+    }
+
+    /// Rebuilds a heap from a serialized slab and free list, recomputing
+    /// the accounting counters from the objects themselves.
+    pub(crate) fn from_parts(slots: Vec<Option<Object>>, free: Vec<u32>) -> Heap {
+        let used_bytes = slots.iter().flatten().map(Object::size_bytes).sum();
+        let live_objects = slots.iter().flatten().count();
+        Heap {
+            slots,
+            free,
+            used_bytes,
+            live_objects,
+        }
+    }
 }
 
 #[cfg(test)]

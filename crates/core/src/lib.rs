@@ -55,6 +55,7 @@
 
 pub mod accounting;
 pub mod bootstrap;
+pub mod checkpoint;
 pub mod class;
 pub mod engine;
 pub mod error;
@@ -85,6 +86,7 @@ mod loom_models;
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use crate::accounting::{IsolateSnapshot, ResourceStats};
+    pub use crate::checkpoint::{CheckpointError, UnitImage};
     pub use crate::engine::EngineKind;
     pub use crate::error::{Result as VmResult, VmError};
     pub use crate::ids::{ClassId, IsolateId, LoaderId, MethodRef, ThreadId};
@@ -92,8 +94,8 @@ pub mod prelude {
     pub use crate::natives::{NativeFn, NativeResult};
     pub use crate::port::{ExportError, HubStats, MailboxQuota, MailboxStat, ServiceStat};
     pub use crate::sched::{
-        Cluster, ClusterBuilder, ClusterCtl, ClusterOutcome, SchedulerKind, UnitHandle, UnitId,
-        UnitOutcome,
+        CheckpointTicket, Cluster, ClusterBuilder, ClusterCtl, ClusterOutcome, SchedulerKind,
+        UnitHandle, UnitId, UnitOutcome,
     };
     pub use crate::trace::{
         ClusterMetrics, EventKind, LatencyHistogram, MethodHotness, TraceConfig, TraceEvent,

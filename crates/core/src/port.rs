@@ -1386,6 +1386,193 @@ impl Vm {
             }
         }
     }
+
+    // ------------------------------------------------------------------
+    // Checkpoint support (crate::checkpoint)
+    // ------------------------------------------------------------------
+
+    /// Whether the port layer is at a checkpointable boundary: no call
+    /// awaiting a reply, no quota-parked send, nothing mid-dispatch, no
+    /// unflushed boundary state and no undrained mail. The scheduler's
+    /// capture point (after `port_drain`, before the slice) plus this
+    /// check together implement the documented drain-to-boundary rule:
+    /// in-flight cross-unit traffic must land before a snapshot is cut.
+    pub(crate) fn port_checkpoint_clean(&self) -> Result<(), &'static str> {
+        let p = &self.port;
+        if !p.waiting.is_empty() {
+            return Err("calls or futures awaiting replies");
+        }
+        if !p.pending_sends.is_empty() {
+            return Err("sends parked on a destination quota");
+        }
+        if !p.outbox.is_empty() {
+            return Err("replies pending the boundary flush");
+        }
+        if p.served != (0, 0) {
+            return Err("served quota pending the boundary flush");
+        }
+        for pump in p.pumps.values() {
+            if pump.current.is_some() || !pump.queue.is_empty() {
+                return Err("service pump mid-request");
+            }
+        }
+        for f in p.futures.values() {
+            if f.waiter.is_some() {
+                return Err("thread parked in Future.get");
+            }
+            if matches!(f.slot, FutureSlot::Pending { .. }) {
+                return Err("future awaiting its reply");
+            }
+        }
+        if self.port_has_mail() {
+            return Err("undrained mailbox");
+        }
+        Ok(())
+    }
+
+    /// Snapshots the port layer for a checkpoint image. Callers must
+    /// have verified [`Vm::port_checkpoint_clean`] first: only durable
+    /// state (exported pumps, resolved futures, id allocators) is
+    /// captured — everything transient is clean by precondition.
+    pub(crate) fn port_snapshot(&self) -> PortImage {
+        let pumps = self
+            .port
+            .pumps
+            .iter()
+            .map(|(name, p)| PumpImage {
+                name: name.to_string(),
+                thread: p.thread.0,
+                isolate: p.isolate.0,
+                handler_pin: p.handler_pin as u64,
+                handle_int: p.handle_int,
+                handle_obj: p.handle_obj,
+            })
+            .collect();
+        let mut futures: Vec<FutureImage> = self
+            .port
+            .futures
+            .iter()
+            .map(|(&id, f)| FutureImage {
+                id,
+                owner: f.owner.0,
+                slot: match &f.slot {
+                    FutureSlot::Ready(r) => FutureSlotImage::Ready(r.clone()),
+                    FutureSlot::Cancelled => FutureSlotImage::Cancelled,
+                    FutureSlot::Pending { .. } => {
+                        unreachable!("port_checkpoint_clean rejects pending futures")
+                    }
+                },
+            })
+            .collect();
+        // Collected from a HashMap: sort so the image bytes are
+        // independent of hash order.
+        futures.sort_unstable_by_key(|f| f.id);
+        PortImage {
+            pumps,
+            futures,
+            next_future: self.port.next_future,
+            next_local_call: self.port.next_local_call,
+        }
+    }
+
+    /// Rebuilds the port layer from a checkpoint image on a freshly
+    /// restored VM (not yet attached to any hub). The caller has already
+    /// bounds-checked thread ids, isolate ids and handler pins.
+    pub(crate) fn port_restore(&mut self, img: PortImage) {
+        for p in img.pumps {
+            self.port.pumps.insert(
+                Arc::from(p.name.as_str()),
+                Pump {
+                    thread: ThreadId(p.thread),
+                    isolate: IsolateId(p.isolate),
+                    handler_pin: p.handler_pin as usize,
+                    handle_int: p.handle_int,
+                    handle_obj: p.handle_obj,
+                    queue: VecDeque::new(),
+                    current: None,
+                },
+            );
+        }
+        for f in img.futures {
+            self.port.futures.insert(
+                f.id,
+                FutureState {
+                    owner: IsolateId(f.owner),
+                    waiter: None,
+                    slot: match f.slot {
+                        FutureSlotImage::Ready(r) => FutureSlot::Ready(r),
+                        FutureSlotImage::Cancelled => FutureSlot::Cancelled,
+                    },
+                },
+            );
+        }
+        self.port.next_future = img.next_future;
+        self.port.next_local_call = img.next_local_call;
+    }
+
+    /// Renames every exported service to `"{name}#{clone_idx}"`, for
+    /// snapshot-fork scale-out ([`crate::sched::Cluster::submit_image_n`]):
+    /// each clone restored from one image must publish distinct hub names
+    /// or the clones would race for the original's callers. Must run
+    /// before the VM is submitted (hub export happens at attach). The
+    /// per-isolate export tables are remapped in step so revocation on
+    /// termination still finds the pumps.
+    pub(crate) fn port_remap_service_names(&mut self, clone_idx: usize) {
+        debug_assert!(self.port.attach.is_none(), "remap after attach");
+        let old = std::mem::take(&mut self.port.pumps);
+        for (name, pump) in old {
+            let renamed = format!("{name}#{clone_idx}");
+            if let Some(iso) = self.isolates.get_mut(pump.isolate.0 as usize) {
+                for e in iso.exported_ports.iter_mut() {
+                    if *e == *name {
+                        *e = renamed.clone();
+                    }
+                }
+            }
+            self.port.pumps.insert(Arc::from(renamed.as_str()), pump);
+        }
+    }
+}
+
+/// Serializable snapshot of one exported service pump. The queue and
+/// in-flight request are absent by the cleanliness precondition; the
+/// handler pin survives because host roots are checkpointed exactly.
+#[derive(Debug)]
+pub(crate) struct PumpImage {
+    pub(crate) name: String,
+    pub(crate) thread: u32,
+    pub(crate) isolate: u16,
+    pub(crate) handler_pin: u64,
+    pub(crate) handle_int: Option<MethodRef>,
+    pub(crate) handle_obj: Option<MethodRef>,
+}
+
+/// Serializable snapshot of one live future (resolved or cancelled —
+/// pending futures cannot cross a checkpoint).
+#[derive(Debug)]
+pub(crate) struct FutureImage {
+    pub(crate) id: u32,
+    pub(crate) owner: u16,
+    pub(crate) slot: FutureSlotImage,
+}
+
+/// The durable half of [`FutureSlot`].
+#[derive(Debug)]
+pub(crate) enum FutureSlotImage {
+    /// Reply already delivered, not yet consumed by `get`.
+    Ready(Result<(PayloadKind, Vec<u8>), ReplyError>),
+    /// Cancelled before resolution; `get` throws.
+    Cancelled,
+}
+
+/// The durable port state of one unit, captured into and restored from
+/// a checkpoint image's PORT section.
+#[derive(Debug)]
+pub(crate) struct PortImage {
+    pub(crate) pumps: Vec<PumpImage>,
+    pub(crate) futures: Vec<FutureImage>,
+    pub(crate) next_future: u32,
+    pub(crate) next_local_call: u64,
 }
 
 /// Charges the deterministic copy cost of a `len`-byte message to `iso`
@@ -2742,6 +2929,15 @@ pub fn install(vm: &mut Vm) -> crate::error::Result<()> {
     vm.install_system_class(&port_class())?;
     vm.install_system_class(&future_class())?;
     Ok(())
+}
+
+/// Registers only the port natives, without installing (or re-defining)
+/// any class. Checkpoint restore uses this: the image's serialized
+/// bootstrap classpath already carries the `ijvm/*` class bytes, so the
+/// classes are replayed from the image and only the host-side native
+/// bindings need to come back. See [`crate::bootstrap::install_natives`].
+pub(crate) fn install_natives(vm: &mut Vm) {
+    register_natives(vm);
 }
 
 #[cfg(test)]

@@ -70,6 +70,7 @@
 //! execution point under every scheduler mode.
 
 use crate::accounting::{ClusterAccounts, WorkerCpuBuffer};
+use crate::checkpoint::{CheckpointError, UnitImage};
 use crate::ids::IsolateId;
 use crate::port::{HubStats, MailboxQuota, PortHub};
 use crate::trace::{
@@ -165,6 +166,16 @@ impl UnitHandle {
     /// kill point.
     pub fn terminate_at(&self, isolate: IsolateId, min_slices: u64) {
         self.ctl.terminate_at(self.id, isolate, min_slices);
+    }
+
+    /// Requests a checkpoint image of this unit, cut at the first
+    /// quantum boundary where it has executed at least `after_slices`
+    /// slices (see [`ClusterCtl::checkpoint_at`] for the delivery and
+    /// determinism contract). Returns a [`CheckpointTicket`]; call
+    /// [`CheckpointTicket::wait`] after [`Cluster::run`] returns (or
+    /// from another OS thread, under the parallel scheduler).
+    pub fn checkpoint_at(&self, after_slices: u64) -> CheckpointTicket {
+        self.ctl.checkpoint_at(self.id, after_slices)
     }
 }
 
@@ -286,6 +297,73 @@ impl ClusterOutcome {
     }
 }
 
+/// The pending result of a [`UnitHandle::checkpoint_at`] request: a
+/// one-shot slot the scheduler fulfills when it cuts (or definitively
+/// fails to cut) the image at a quantum boundary.
+///
+/// Under [`SchedulerKind::Deterministic`] the whole cluster runs on the
+/// calling thread, so call [`CheckpointTicket::wait`] *after*
+/// [`Cluster::run`] returns — the image was cut mid-run and is already
+/// in the slot. Under `Parallel(n)`, `wait` may also be called from
+/// another OS thread while the cluster is still running.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct CheckpointTicket {
+    inner: Arc<TicketInner>,
+}
+
+#[derive(Debug, Default)]
+struct TicketInner {
+    slot: Mutex<Option<Result<UnitImage, CheckpointError>>>,
+    ready: Condvar,
+}
+
+impl TicketInner {
+    /// First fulfillment wins; later ones are dropped (a request is
+    /// consumed exactly once, so a second call can only be the shutdown
+    /// safety net racing a regular delivery).
+    fn fulfill(&self, r: Result<UnitImage, CheckpointError>) {
+        let mut slot = self.slot.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(r);
+        }
+        self.ready.notify_all();
+    }
+}
+
+impl CheckpointTicket {
+    /// Blocks until the scheduler settles the request, then returns the
+    /// image (or the reason no image could be cut).
+    pub fn wait(self) -> Result<UnitImage, CheckpointError> {
+        let mut slot = self.inner.slot.lock().unwrap();
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            slot = self.inner.ready.wait(slot).unwrap();
+        }
+    }
+
+    /// Non-blocking probe: the result if the request has been settled.
+    pub fn try_take(&self) -> Option<Result<UnitImage, CheckpointError>> {
+        self.inner.slot.lock().unwrap().take()
+    }
+}
+
+/// A pending checkpoint request (see [`UnitHandle::checkpoint_at`]).
+#[derive(Debug, Clone)]
+struct CkptRequest {
+    unit: UnitId,
+    /// Captured at the first quantum boundary where the unit has run at
+    /// least this many slices.
+    after_slices: u64,
+    /// Set by the quiescence path: the next capture attempt must settle
+    /// the ticket (image or error) instead of retrying, so a permanently
+    /// blocked unit cannot livelock the cluster's wrap-up.
+    final_attempt: bool,
+    ticket: Arc<TicketInner>,
+}
+
 /// A pending cross-worker termination request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct KillRequest {
@@ -308,6 +386,9 @@ struct CtlInner {
     /// is actually pending.
     armed: AtomicBool,
     kills: Mutex<Vec<KillRequest>>,
+    /// Fast-path flag for the checkpoint list, mirroring `armed`.
+    ckpt_armed: AtomicBool,
+    ckpts: Mutex<Vec<CkptRequest>>,
 }
 
 impl ClusterCtl {
@@ -360,6 +441,99 @@ impl ClusterCtl {
             self.inner.armed.store(false, Ordering::Release);
         }
         taken
+    }
+
+    /// Requests a checkpoint of `unit` at the first quantum boundary
+    /// where it has executed at least `after_slices` slices. Like
+    /// [`ClusterCtl::terminate_at`], the cut point is a function of the
+    /// unit's own deterministic slice count, never of wall-clock time,
+    /// so the image is bit-identical under `Deterministic` and every
+    /// `Parallel(n)` — the restore-determinism tests are built on that.
+    ///
+    /// If the unit is not at a clean boundary there (in-flight cross-
+    /// unit calls, undrained mail), the request is retried at later
+    /// boundaries until the traffic drains; a unit that finishes, or a
+    /// cluster that quiesces, settles the request against the unit's
+    /// final state instead.
+    pub fn checkpoint_at(&self, unit: UnitId, after_slices: u64) -> CheckpointTicket {
+        let inner = Arc::new(TicketInner::default());
+        let mut ckpts = self.inner.ckpts.lock().unwrap();
+        ckpts.push(CkptRequest {
+            unit,
+            after_slices,
+            final_attempt: false,
+            ticket: Arc::clone(&inner),
+        });
+        // Armed under the lock, mirroring `terminate_at`.
+        self.inner.ckpt_armed.store(true, Ordering::Release);
+        drop(ckpts);
+        CheckpointTicket { inner }
+    }
+
+    /// Takes the checkpoint requests addressed to `unit` that are due at
+    /// `slices` executed (final-marked requests are always due).
+    fn take_ckpts_for(&self, unit: UnitId, slices: u64) -> Vec<CkptRequest> {
+        if !self.inner.ckpt_armed.load(Ordering::Acquire) {
+            return Vec::new();
+        }
+        let mut ckpts = self.inner.ckpts.lock().unwrap();
+        let mut taken = Vec::new();
+        let mut i = 0;
+        while i < ckpts.len() {
+            let c = &ckpts[i];
+            if c.unit == unit && (c.after_slices <= slices || c.final_attempt) {
+                taken.push(ckpts.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        if ckpts.is_empty() {
+            self.inner.ckpt_armed.store(false, Ordering::Release);
+        }
+        taken
+    }
+
+    /// Re-files requests whose capture attempt found the unit unclean
+    /// (they retry at the unit's next boundary).
+    fn put_back_ckpts(&self, reqs: Vec<CkptRequest>) {
+        if reqs.is_empty() {
+            return;
+        }
+        let mut ckpts = self.inner.ckpts.lock().unwrap();
+        ckpts.extend(reqs);
+        self.inner.ckpt_armed.store(true, Ordering::Release);
+    }
+
+    /// `true` when any checkpoint request for `unit` is pending.
+    fn has_pending_ckpt(&self, unit: UnitId) -> bool {
+        if !self.inner.ckpt_armed.load(Ordering::Acquire) {
+            return false;
+        }
+        self.inner
+            .ckpts
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|c| c.unit == unit)
+    }
+
+    /// Marks every pending request for `unit` final (quiescence wrap-up:
+    /// no further slice can ever make a not-yet-due request due, and no
+    /// further traffic can clean an unclean boundary).
+    fn mark_ckpts_final(&self, unit: UnitId) {
+        let mut ckpts = self.inner.ckpts.lock().unwrap();
+        for c in ckpts.iter_mut() {
+            if c.unit == unit {
+                c.final_attempt = true;
+            }
+        }
+    }
+
+    /// Drains every pending request (cluster shutdown safety net).
+    fn take_all_ckpts(&self) -> Vec<CkptRequest> {
+        let mut ckpts = self.inner.ckpts.lock().unwrap();
+        self.inner.ckpt_armed.store(false, Ordering::Release);
+        std::mem::take(&mut *ckpts)
     }
 
     /// `true` when a kill addressed to `unit` is due at `slices`.
@@ -558,6 +732,48 @@ impl Cluster {
             id,
             ctl: self.ctl.clone(),
         }
+    }
+
+    /// Restores a checkpoint image ([`crate::checkpoint`]) as a new
+    /// execution unit — crash-restart: the unit resumes from the
+    /// captured boundary with a fresh [`UnitId`] and re-exports its
+    /// services under their **original names** (the restored unit is
+    /// the service; callers that looked the name up again after the
+    /// crash reach it).
+    ///
+    /// The cluster's [`VmOptions`] defaults are the restore options —
+    /// their hard state-shape fields must match the image (see
+    /// [`crate::checkpoint::restore`]). `natives` must register the
+    /// natives the captured VM had (e.g. `ijvm_jsl::install_natives`).
+    pub fn submit_image(
+        &mut self,
+        image: &UnitImage,
+        natives: impl FnOnce(&mut Vm),
+    ) -> Result<UnitHandle, CheckpointError> {
+        let vm = crate::checkpoint::restore(image, self.vm_defaults.clone(), natives)?;
+        Ok(self.submit(vm))
+    }
+
+    /// Restores one image as `n` independent units — snapshot-fork
+    /// scale-out: boot and warm a unit once, checkpoint it, and stamp
+    /// out clones that skip class loading and `<clinit>` re-execution
+    /// entirely. Each clone gets a fresh [`UnitId`], and every exported
+    /// service is renamed `"{name}#{k}"` (k = 0..n) **before** the clone
+    /// attaches to the hub, so the clones publish distinct addresses
+    /// instead of racing for the original's callers.
+    pub fn submit_image_n(
+        &mut self,
+        image: &UnitImage,
+        n: usize,
+        natives: impl Fn(&mut Vm),
+    ) -> Result<Vec<UnitHandle>, CheckpointError> {
+        let mut handles = Vec::with_capacity(n);
+        for k in 0..n {
+            let mut vm = crate::checkpoint::restore(image, self.vm_defaults.clone(), &natives)?;
+            vm.port_remap_service_names(k);
+            handles.push(self.submit(vm));
+        }
+        Ok(handles)
     }
 
     /// Number of submitted units.
@@ -838,8 +1054,48 @@ impl Shared {
         unit.vm.port_keeps_unit_alive()
     }
 
+    /// Settles the checkpoint requests due for `unit` at its current
+    /// boundary: a clean capture fulfills every due ticket with a clone
+    /// of one image; an unclean boundary re-files non-final requests for
+    /// the next boundary and fails final ones.
+    fn deliver_checkpoints(&self, unit: &Unit) {
+        let due = self.ctl.take_ckpts_for(unit.id, unit.slices);
+        if due.is_empty() {
+            return;
+        }
+        match unit.vm.checkpoint() {
+            Ok(image) => {
+                for req in due {
+                    req.ticket.fulfill(Ok(image.clone()));
+                }
+            }
+            Err(e) => {
+                let mut retry = Vec::new();
+                for req in due {
+                    if req.final_attempt {
+                        req.ticket.fulfill(Err(e.clone()));
+                    } else {
+                        retry.push(req);
+                    }
+                }
+                self.ctl.put_back_ckpts(retry);
+            }
+        }
+    }
+
     /// Finishes one unit.
     fn finish(&self, unit: Unit, outcome: RunOutcome) {
+        // A finishing unit settles every checkpoint request addressed to
+        // it, whatever its `after_slices`: the contract is "at slice N
+        // or at unit completion, whichever comes first" — there will be
+        // no later boundary.
+        let pending = self.ctl.take_ckpts_for(unit.id, u64::MAX);
+        if !pending.is_empty() {
+            let result = unit.vm.checkpoint();
+            for req in pending {
+                req.ticket.fulfill(result.clone());
+            }
+        }
         let report = UnitReport {
             id: unit.id,
             outcome,
@@ -890,6 +1146,27 @@ impl Shared {
         }
         if parked.len() != self.outstanding.load(Ordering::SeqCst) {
             return false;
+        }
+        // The cluster is globally stalled. Parked units with pending
+        // checkpoint requests get one final boundary visit before
+        // wrap-up: nothing else can ever run, so the requests are marked
+        // final (deliver-or-fail at pickup, no re-file) and their units
+        // requeued. This terminates — the pickup consumes the requests,
+        // the unit re-parks, and the next stall has nothing pending.
+        let ckpt_due: Vec<u32> = parked
+            .iter()
+            .filter(|(_, p)| self.ctl.has_pending_ckpt(p.unit.id))
+            .map(|(id, _)| *id)
+            .collect();
+        if !ckpt_due.is_empty() {
+            for id in ckpt_due {
+                let p = parked.remove(&id).expect("collected above");
+                self.ctl.mark_ckpts_final(p.unit.id);
+                let w = p.unit.last_worker.unwrap_or(id as usize) % self.queues.len();
+                self.queues[w].lock().unwrap().push_back(p.unit);
+            }
+            self.notify();
+            return true;
         }
         // Wrap up, in UnitId order (BTreeMap iteration is already
         // key-ordered — deterministic).
@@ -993,6 +1270,13 @@ impl Shared {
             // service pumps, replies wake their blocked callers.
             unit.vm.port_drain();
 
+            // Checkpoint requests due at this boundary cut their image
+            // here — after the mail drain, before the slice runs: the
+            // same point in the unit's deterministic slice sequence
+            // under every scheduler mode, which is what makes the image
+            // bit-identical across Deterministic and Parallel(n).
+            self.deliver_checkpoints(&unit);
+
             let outcome = unit.vm.run(Some(self.slice));
             // Quantum-boundary coalescing: replies buffered during the
             // slice post to the hub in one lock acquisition, and the
@@ -1093,6 +1377,20 @@ impl Shared {
             .into_iter()
             .map(|(report, vm)| UnitOutcome { vm, report })
             .collect();
+        // Shutdown safety net: requests that never met their unit (a
+        // made-up unit id, or filed after the unit finished) settle
+        // against the final VMs, or fail cleanly — no ticket is ever
+        // left unfulfilled by a completed run.
+        for req in self.ctl.take_all_ckpts() {
+            let result = match units.get(req.unit.index() as usize) {
+                Some(u) => u.vm.checkpoint(),
+                None => Err(CheckpointError::NotQuiescent(
+                    "unit not found at cluster shutdown",
+                )),
+            };
+            req.ticket.fulfill(result);
+        }
+
         let steals = self.steals.load(Ordering::Relaxed);
         let migrations = self.migrations.load(Ordering::Relaxed);
 

@@ -332,6 +332,41 @@ impl Vm {
         iso
     }
 
+    /// Pushes an application loader shell during checkpoint restore
+    /// ([`crate::checkpoint::restore`]): the recorded name and isolate
+    /// binding are reinstated verbatim, and the classpath/delegates are
+    /// filled in by the caller from the image. Unlike
+    /// [`Vm::create_isolate`] this creates no isolate — isolates are
+    /// restored from their own image section.
+    pub(crate) fn restore_push_loader(&mut self, name: String, isolate: IsolateId) -> LoaderId {
+        let id = LoaderId(self.loaders.len() as u16);
+        self.loaders.push(Loader {
+            id,
+            name,
+            isolate,
+            is_system: false,
+            // lint: allow(determinism) — constructor of the field
+            // justified at its declaration.
+            classpath: HashMap::new(),
+            delegates: Vec::new(),
+        });
+        id
+    }
+
+    /// Captures this VM as a stable byte image ([`crate::checkpoint`]).
+    ///
+    /// The VM must be quiescent: parked at a quantum boundary with no
+    /// in-flight cross-unit traffic (always true for a VM the embedder
+    /// holds directly, outside a cluster). For a unit running under a
+    /// cluster scheduler use
+    /// [`crate::sched::UnitHandle::checkpoint_at`], which quiesces the
+    /// unit at a slice boundary first.
+    pub fn checkpoint(
+        &self,
+    ) -> std::result::Result<crate::checkpoint::UnitImage, crate::checkpoint::CheckpointError> {
+        crate::checkpoint::capture(self)
+    }
+
     /// The loader attached to an isolate.
     pub fn loader_of(&self, iso: IsolateId) -> Result<LoaderId> {
         self.isolates

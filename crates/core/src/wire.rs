@@ -250,31 +250,34 @@ thread_local! {
         std::cell::RefCell::new(std::collections::HashMap::new());
 }
 
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+/// Bounds-checked big-endian byte reader, shared with the checkpoint
+/// image decoder ([`crate::checkpoint`]), which faces the same hostile-
+/// input surface as the wire codec.
+pub(crate) struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl Reader<'_> {
-    fn u8(&mut self) -> Result<u8, WireError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
         let b = *self.bytes.get(self.pos).ok_or(WireError::Truncated)?;
         self.pos += 1;
         Ok(b)
     }
-    fn u32(&mut self) -> Result<u32, WireError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
         let mut buf = [0u8; 4];
         for b in &mut buf {
             *b = self.u8()?;
         }
         Ok(u32::from_be_bytes(buf))
     }
-    fn u64(&mut self) -> Result<u64, WireError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
         Ok(((self.u32()? as u64) << 32) | self.u32()? as u64)
     }
-    fn u16(&mut self) -> Result<u16, WireError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, WireError> {
         Ok(((self.u8()? as u16) << 8) | self.u8()? as u16)
     }
-    fn str(&mut self) -> Result<String, WireError> {
+    pub(crate) fn str(&mut self) -> Result<String, WireError> {
         let len = self.u32()? as usize;
         let end = self.pos.checked_add(len).ok_or(WireError::Truncated)?;
         if end > self.bytes.len() {
@@ -285,6 +288,12 @@ impl Reader<'_> {
             .to_owned();
         self.pos = end;
         Ok(s)
+    }
+    /// Bytes left in the stream — the checkpoint decoder validates every
+    /// element count against this before allocating, so a hostile length
+    /// field cannot request an absurd buffer.
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
     }
 }
 

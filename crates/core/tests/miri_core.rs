@@ -119,3 +119,47 @@ fn trace_ring_wraps_without_losing_accounting() {
     assert!(ring.is_empty());
     assert_eq!(ring.capacity(), cap);
 }
+
+/// The checkpoint image codec: a fourth buffer-heavy corner. The valid
+/// path round-trips (parse → restore → re-capture bit-identical), and
+/// hostile inputs — truncations and bit flips, which exercise every
+/// header, section-table and checksum branch — are rejected by
+/// validation without ever reading past the buffer or allocating from
+/// an untrusted count (the UB this lane exists to rule out).
+#[test]
+fn checkpoint_image_decode_rejects_hostile_bytes_without_ub() {
+    let vm = ijvm_jsl::boot(VmOptions::isolated());
+    let image = vm.checkpoint().expect("a fresh VM is quiescent");
+    let bytes = image.as_bytes().to_vec();
+
+    // Valid path: the public decode, a full restore, and a re-capture
+    // that must reproduce the image byte for byte (capture is a pure
+    // function of VM state).
+    let reparsed = UnitImage::from_bytes(bytes.clone()).expect("valid image parses");
+    let restored =
+        ijvm_core::checkpoint::restore(&reparsed, VmOptions::isolated(), ijvm_jsl::install_natives)
+            .expect("valid image restores");
+    assert_eq!(
+        restored.checkpoint().expect("restored VM is quiescent"),
+        image,
+        "restore → capture must be the identity on images"
+    );
+
+    // Hostile path, downsized under Miri: sample positions instead of
+    // sweeping all ~15k bytes.
+    let step = if cfg!(miri) { bytes.len() / 8 + 1 } else { 1 };
+    for cut in (0..bytes.len()).step_by(step) {
+        assert!(
+            UnitImage::from_bytes(bytes[..cut].to_vec()).is_err(),
+            "truncation to {cut} bytes must be rejected"
+        );
+    }
+    for pos in (0..bytes.len()).step_by(step) {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x41;
+        assert!(
+            UnitImage::from_bytes(bad).is_err(),
+            "bit flip at {pos} must be rejected"
+        );
+    }
+}

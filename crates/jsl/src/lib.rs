@@ -37,6 +37,17 @@ pub fn install(vm: &mut Vm) -> Result<()> {
     Ok(())
 }
 
+/// Registers exactly the natives [`install`] would — bootstrap, port and
+/// JSL — without installing any class. This is the natives hook for
+/// restoring a checkpoint image of a JSL-booted VM
+/// (`ijvm_core::checkpoint::restore`, `Cluster::submit_image`): the image
+/// carries every installed class's bytes, so restore replays the class
+/// definitions and only the host-side native table must be rebuilt.
+pub fn install_natives(vm: &mut Vm) {
+    ijvm_core::bootstrap::install_natives(vm);
+    natives::register_all(vm);
+}
+
 /// Convenience: a fully booted VM with the given options.
 pub fn boot(options: ijvm_core::vm::VmOptions) -> Vm {
     let mut vm = Vm::new(options);

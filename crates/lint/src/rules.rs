@@ -196,6 +196,10 @@ const DETERMINISTIC_PATHS: &[&str] = &[
     "crates/core/src/port.rs",
     "crates/core/src/mailbox.rs",
     "crates/core/src/vm.rs",
+    // Image capture must be a pure function of VM state (checkpoint
+    // bit-identity across scheduler modes) and restore must rebuild
+    // hash-free, clock-free state — both directions are oracle-visible.
+    "crates/core/src/checkpoint.rs",
 ];
 
 const DETERMINISTIC_DIRS: &[&str] = &["crates/core/src/engine/"];

@@ -60,6 +60,17 @@ fn r2_is_scoped_to_deterministic_paths() {
     assert_eq!(lines_of(&v, Rule::Determinism), vec![10]);
 }
 
+/// The checkpoint codec is pinned inside R2's scope: capture must be a
+/// pure function of VM state and restore must not introduce hash-order
+/// or clock nondeterminism, or images stop being bit-identical across
+/// scheduler modes.
+#[test]
+fn r2_covers_the_checkpoint_codec() {
+    let v = check("r2_bad.rs", "crates/core/src/checkpoint.rs", &[]);
+    assert_eq!(lines_of(&v, Rule::Determinism), vec![3, 4, 6, 7, 10, 12]);
+    assert_eq!(v.len(), 6, "{v:?}");
+}
+
 #[test]
 fn r3_flags_refcounted_hot_handles() {
     let v = check("r3_bad.rs", "crates/core/src/engine/switch.rs", &[]);

@@ -1,0 +1,134 @@
+//! Snapshot-fork scale-out: boot **one** unit, pay its expensive class
+//! initialization once, checkpoint it to a stable byte image, then
+//! stamp out four serving clones with `Cluster::submit_image_n` — none
+//! of which re-run `<clinit>` — and drive each clone from its own
+//! client.
+//!
+//! ```sh
+//! cargo run --example checkpoint_fork
+//! ```
+
+use ijvm::prelude::*;
+use ijvm_minijava::{compile_to_bytes, CompileEnv};
+
+/// Boots, warms and checkpoints the template unit: a service whose
+/// backing table is computed by an observable, deliberately expensive
+/// static initializer.
+fn warmed_image(options: &VmOptions) -> UnitImage {
+    let mut vm = ijvm::jsl::boot(options.clone());
+    let iso = vm.create_isolate("lookup-service");
+    let loader = vm.loader_of(iso).unwrap();
+    let classes = compile_to_bytes(
+        r#"
+        class Table {
+            static int sum = fill();
+            static int fill() {
+                int s = 0;
+                for (int i = 0; i < 20000; i++) s = s + i % 97;
+                println("table warmed (expensive <clinit> ran)");
+                return s;
+            }
+        }
+        class Lookup {
+            int handle(int x) { return x + Table.sum; }
+        }
+        class Boot {
+            static int start(int n) {
+                Service.export("lookup", new Lookup());
+                return Table.sum;
+            }
+        }
+        "#,
+        &CompileEnv::new(),
+    )
+    .unwrap();
+    for (name, bytes) in classes {
+        vm.add_class_bytes(loader, &name, bytes);
+    }
+    let class = vm.load_class(loader, "Boot").unwrap();
+    let index = vm.class(class).find_method("start", "(I)I").unwrap();
+    vm.spawn_thread("boot", MethodRef { class, index }, vec![Value::Int(1)], iso)
+        .unwrap();
+    assert_eq!(vm.run(None), RunOutcome::Idle, "warmup finishes");
+    vm.checkpoint().expect("an idle warmed unit is quiescent")
+}
+
+fn client_vm(options: &VmOptions, fork: usize) -> Vm {
+    let mut vm = ijvm::jsl::boot(options.clone());
+    let iso = vm.create_isolate("client");
+    let loader = vm.loader_of(iso).unwrap();
+    let src = format!(
+        r#"
+        class Client {{
+            static int drive(int n) {{
+                int acc = 0;
+                for (int i = 0; i < n; i++) acc += Service.call("lookup#{fork}", i);
+                return acc;
+            }}
+        }}
+        "#
+    );
+    for (name, bytes) in compile_to_bytes(&src, &CompileEnv::new()).unwrap() {
+        vm.add_class_bytes(loader, &name, bytes);
+    }
+    let class = vm.load_class(loader, "Client").unwrap();
+    let index = vm.class(class).find_method("drive", "(I)I").unwrap();
+    vm.spawn_thread(
+        "drive",
+        MethodRef { class, index },
+        vec![Value::Int(8)],
+        iso,
+    )
+    .unwrap();
+    vm
+}
+
+fn main() {
+    let options = VmOptions::isolated();
+
+    // Pay class loading and <clinit> once, for the whole fleet.
+    let image = warmed_image(&options);
+    println!(
+        "warmed template checkpointed: {} bytes (versioned, checksummed)",
+        image.len()
+    );
+
+    // Fork the image as four independent units. Each clone gets a fresh
+    // UnitId and its services are renamed lookup#0..lookup#3 *before*
+    // attaching to the hub, so the clones publish distinct addresses.
+    let forks = 4;
+    let mut cluster = Cluster::builder()
+        .scheduler(SchedulerKind::Parallel(4))
+        .vm_options(options.clone())
+        .build();
+    cluster
+        .submit_image_n(&image, forks, ijvm::jsl::install_natives)
+        .expect("the warmed image forks");
+    for fork in 0..forks {
+        cluster.submit(client_vm(&options, fork));
+    }
+
+    let mut outcome = cluster.run();
+    for (u, unit) in outcome.units.iter_mut().enumerate() {
+        let console = unit.vm.take_console();
+        if u < forks {
+            // Each clone carries exactly one pre-fork warmup line and
+            // never re-ran the initializer.
+            let warm = console
+                .iter()
+                .filter(|l| l.contains("table warmed"))
+                .count();
+            println!("fork {u}: served as lookup#{u}, <clinit> runs in console: {warm}");
+            assert_eq!(warm, 1, "a fork must not re-run class initialization");
+        } else {
+            let client = u - forks;
+            let result = unit
+                .vm
+                .thread_outcome(ThreadId(0))
+                .expect("client finished")
+                .expect("drive returns a value");
+            println!("client {client}: drove lookup#{client}, got {result}");
+        }
+    }
+    println!("one boot, {forks} serving clones — no cold start in any of them");
+}

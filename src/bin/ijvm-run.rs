@@ -9,18 +9,30 @@
 //! ijvm-run program.mj --trace out.json  # flight-recorder trace, Chrome
 //!                                       # trace-event JSON (open in
 //!                                       # Perfetto / chrome://tracing)
+//! ijvm-run program.mj --checkpoint img.ckpt   # checkpoint the finished
+//!                                             # VM to a stable byte image
+//! ijvm-run --restore img.ckpt                 # resume a checkpoint image
 //! ```
 //!
 //! The program runs inside its own bundle isolate; `println(...)` output
 //! is forwarded to stdout. `--trace` enables the in-VM flight recorder
 //! ([`TraceConfig::Full`]) for the run and also upgrades `--stats` with
 //! the traced counters (quanta, CPU flushes, hottest methods).
+//!
+//! `--checkpoint FILE` captures the VM after the run into a versioned,
+//! checksummed image ([`ijvm::core::checkpoint`]); `--restore FILE`
+//! boots from such an image instead of a source file — classes are
+//! replayed from the embedded bytes and `<clinit>` does **not** re-run.
+//! The console is part of the image, so a resumed run reprints the full
+//! history before any new output. Hard VM-shape options (isolation,
+//! quantum, limits) must match the image; engine options are free.
 
 use ijvm::prelude::*;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: ijvm-run <file.mj> [--class NAME] [--shared] [--stats] [--budget N] [--trace FILE]";
+const USAGE: &str = "usage: ijvm-run <file.mj> [--class NAME] [--shared] [--stats] [--budget N] \
+     [--trace FILE] [--checkpoint FILE]\n       ijvm-run --restore FILE [--shared] [--stats] \
+     [--budget N] [--trace FILE] [--checkpoint FILE]";
 
 struct Args {
     path: String,
@@ -29,6 +41,8 @@ struct Args {
     stats: bool,
     budget: Option<u64>,
     trace: Option<String>,
+    checkpoint: Option<String>,
+    restore: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +54,8 @@ fn parse_args() -> Result<Args, String> {
         stats: false,
         budget: None,
         trace: None,
+        checkpoint: None,
+        restore: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -55,6 +71,12 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => {
                 parsed.trace = Some(args.next().ok_or("--trace needs a file path")?);
             }
+            "--checkpoint" => {
+                parsed.checkpoint = Some(args.next().ok_or("--checkpoint needs a file path")?);
+            }
+            "--restore" => {
+                parsed.restore = Some(args.next().ok_or("--restore needs a file path")?);
+            }
             "--help" | "-h" => {
                 return Err(USAGE.to_owned());
             }
@@ -64,10 +86,34 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    if parsed.path.is_empty() {
-        return Err(USAGE.to_owned());
+    match &parsed.restore {
+        None if parsed.path.is_empty() => return Err(USAGE.to_owned()),
+        Some(_) if !parsed.path.is_empty() => {
+            return Err("give either a source file or --restore FILE, not both".to_owned());
+        }
+        Some(_) if parsed.entry_class.is_some() => {
+            return Err(
+                "--class does not apply to --restore (the image fixes the entry)".to_owned(),
+            );
+        }
+        _ => {}
     }
     Ok(parsed)
+}
+
+fn report_outcome(outcome: RunOutcome) {
+    match outcome {
+        RunOutcome::BudgetExhausted => {
+            eprintln!("ijvm-run: instruction budget exhausted");
+        }
+        RunOutcome::Deadlock => eprintln!("ijvm-run: deadlock"),
+        RunOutcome::Blocked => {
+            eprintln!("ijvm-run: blocked on cross-unit service calls")
+        }
+        RunOutcome::Idle => {}
+        // RunOutcome is #[non_exhaustive].
+        other => eprintln!("ijvm-run: stopped: {other:?}"),
+    }
 }
 
 fn main() -> ExitCode {
@@ -78,40 +124,6 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let source = match std::fs::read_to_string(&args.path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("ijvm-run: cannot read {}: {e}", args.path);
-            return ExitCode::from(2);
-        }
-    };
-
-    let classes = match ijvm::minijava::compile(&source, &ijvm::minijava::CompileEnv::new()) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("ijvm-run: {e}");
-            return ExitCode::from(1);
-        }
-    };
-
-    // Entry: the requested class, or the first one declaring main()V.
-    let entry = match &args.entry_class {
-        Some(name) => name.clone(),
-        None => {
-            let found = classes.iter().find_map(|c| {
-                c.find_method("main", "()V")
-                    .map(|_| c.name().unwrap().to_owned())
-            });
-            match found {
-                Some(n) => n,
-                None => {
-                    eprintln!("ijvm-run: no class declares `static void main()`");
-                    return ExitCode::from(1);
-                }
-            }
-        }
-    };
-
     let mut options = if args.shared {
         VmOptions::shared()
     } else {
@@ -120,49 +132,121 @@ fn main() -> ExitCode {
     if args.trace.is_some() {
         options = options.with_trace(TraceConfig::Full);
     }
-    let mut vm = ijvm::jsl::boot(options);
-    let iso = vm.create_isolate("main-bundle");
-    let loader = vm.loader_of(iso).expect("isolate exists");
-    for cf in &classes {
-        let name = cf.name().expect("compiled class has a name").to_owned();
-        let bytes = ijvm::classfile::writer::write_class(cf).expect("serializes");
-        vm.add_class_bytes(loader, &name, bytes);
-    }
-    let class = match vm.load_class(loader, &entry) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("ijvm-run: {e}");
+
+    let (mut vm, result) = if let Some(img_path) = &args.restore {
+        // Resume a checkpoint image: no compilation, no class init —
+        // the image carries classes, heap, threads and console.
+        let bytes = match std::fs::read(img_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("ijvm-run: cannot read {img_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let image = match UnitImage::from_bytes(bytes) {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("ijvm-run: bad checkpoint image {img_path}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        let mut vm =
+            match ijvm::core::checkpoint::restore(&image, options, ijvm::jsl::install_natives) {
+                Ok(vm) => vm,
+                Err(e) => {
+                    eprintln!("ijvm-run: cannot restore {img_path}: {e}");
+                    return ExitCode::from(1);
+                }
+            };
+        report_outcome(vm.run(args.budget));
+        (vm, Ok(()))
+    } else {
+        let source = match std::fs::read_to_string(&args.path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ijvm-run: cannot read {}: {e}", args.path);
+                return ExitCode::from(2);
+            }
+        };
+
+        let classes = match ijvm::minijava::compile(&source, &ijvm::minijava::CompileEnv::new()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("ijvm-run: {e}");
+                return ExitCode::from(1);
+            }
+        };
+
+        // Entry: the requested class, or the first one declaring main()V.
+        let entry = match &args.entry_class {
+            Some(name) => name.clone(),
+            None => {
+                let found = classes.iter().find_map(|c| {
+                    c.find_method("main", "()V")
+                        .map(|_| c.name().unwrap().to_owned())
+                });
+                match found {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("ijvm-run: no class declares `static void main()`");
+                        return ExitCode::from(1);
+                    }
+                }
+            }
+        };
+
+        let mut vm = ijvm::jsl::boot(options);
+        let iso = vm.create_isolate("main-bundle");
+        let loader = vm.loader_of(iso).expect("isolate exists");
+        for cf in &classes {
+            let name = cf.name().expect("compiled class has a name").to_owned();
+            let bytes = ijvm::classfile::writer::write_class(cf).expect("serializes");
+            vm.add_class_bytes(loader, &name, bytes);
+        }
+        let class = match vm.load_class(loader, &entry) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("ijvm-run: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        if vm.class(class).find_method("main", "()V").is_none() {
+            eprintln!("ijvm-run: {entry} has no `static void main()`");
             return ExitCode::from(1);
         }
-    };
-    if vm.class(class).find_method("main", "()V").is_none() {
-        eprintln!("ijvm-run: {entry} has no `static void main()`");
-        return ExitCode::from(1);
-    }
 
-    let result = match args.budget {
-        None => vm
-            .call_static_as(class, "main", "()V", vec![], iso)
-            .map(|_| ()),
-        Some(budget) => {
-            let index = vm.class(class).find_method("main", "()V").expect("checked");
-            let mref = ijvm::core::ids::MethodRef { class, index };
-            vm.spawn_thread("main", mref, vec![], iso).expect("spawn");
-            match vm.run(Some(budget)) {
-                RunOutcome::BudgetExhausted => {
-                    eprintln!("ijvm-run: instruction budget exhausted");
-                }
-                RunOutcome::Deadlock => eprintln!("ijvm-run: deadlock"),
-                RunOutcome::Blocked => {
-                    eprintln!("ijvm-run: blocked on cross-unit service calls")
-                }
-                RunOutcome::Idle => {}
-                // RunOutcome is #[non_exhaustive].
-                other => eprintln!("ijvm-run: stopped: {other:?}"),
+        let result = match args.budget {
+            None => vm
+                .call_static_as(class, "main", "()V", vec![], iso)
+                .map(|_| ()),
+            Some(budget) => {
+                let index = vm.class(class).find_method("main", "()V").expect("checked");
+                let mref = ijvm::core::ids::MethodRef { class, index };
+                vm.spawn_thread("main", mref, vec![], iso).expect("spawn");
+                report_outcome(vm.run(Some(budget)));
+                Ok(())
             }
-            Ok(())
-        }
+        };
+        (vm, result)
     };
+
+    // Checkpoint *before* draining the console: the console history is
+    // part of the image, so a later --restore replays it.
+    if let Some(path) = &args.checkpoint {
+        match vm.checkpoint() {
+            Ok(image) => {
+                if let Err(e) = std::fs::write(path, image.as_bytes()) {
+                    eprintln!("ijvm-run: cannot write checkpoint {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                eprintln!("checkpoint written to {path} ({} bytes)", image.len());
+            }
+            Err(e) => {
+                eprintln!("ijvm-run: checkpoint failed: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
 
     for line in vm.take_console() {
         println!("{line}");
